@@ -1,0 +1,213 @@
+//! `cargo bench --bench figures` — regenerates every table and figure
+//! of the paper at the environment-configured scale and prints the
+//! paper-vs-measured comparison, plus the ablation studies DESIGN.md
+//! calls out (router pipelining, VC count, buffer depth).
+//!
+//! This target is intentionally `harness = false`: it is a result
+//! generator, not a timing microbenchmark (see `micro.rs` for those).
+
+use nucanet::config::ALL_DESIGNS;
+use nucanet::experiments::{fig7, fig8, fig9, geomean, normalize_fig9, run_cell};
+use nucanet::{Design, Scheme};
+use nucanet_bench::{pct, scale_from_env};
+use nucanet_noc::RouterParams;
+use nucanet_workload::{BenchmarkProfile, ALL_BENCHMARKS};
+
+fn main() {
+    let scale = scale_from_env();
+    println!(
+        "=== nucanet figure/table regeneration (measured={}, warmup={}) ===\n",
+        scale.measured, scale.warmup
+    );
+
+    // ---- Figure 7 ----
+    println!("--- Figure 7: latency split, Unicast LRU, Design A ---");
+    let rows = fig7(scale);
+    let k = rows.len() as f64;
+    let (b, n, m) = rows.iter().fold((0.0, 0.0, 0.0), |(a, c, d), r| {
+        (a + r.bank, c + r.network, d + r.memory)
+    });
+    for r in &rows {
+        println!(
+            "  {:10} bank {} net {} mem {}",
+            r.benchmark,
+            pct(r.bank),
+            pct(r.network),
+            pct(r.memory)
+        );
+    }
+    println!(
+        "  avg: bank {}% net {}% mem {}%  (paper: 25 / 65 / 10)",
+        pct(b / k),
+        pct(n / k),
+        pct(m / k)
+    );
+
+    // ---- Figure 8 ----
+    println!("\n--- Figure 8: scheme comparison, Design A ---");
+    let cells = fig8(scale);
+    for s in nucanet::scheme::ALL_SCHEMES {
+        let avg = geomean(
+            cells
+                .iter()
+                .filter(|c| c.scheme == s)
+                .map(|c| c.avg_latency),
+        );
+        let hit = geomean(
+            cells
+                .iter()
+                .filter(|c| c.scheme == s && c.hit_latency > 0.0)
+                .map(|c| c.hit_latency),
+        );
+        let ipc = geomean(cells.iter().filter(|c| c.scheme == s).map(|c| c.ipc));
+        println!(
+            "  {:22} avg {:7.1}  hit {:7.1}  ipc {:.3}",
+            s.name(),
+            avg,
+            hit,
+            ipc
+        );
+    }
+    let mean = |s: Scheme| {
+        geomean(
+            cells
+                .iter()
+                .filter(|c| c.scheme == s)
+                .map(|c| c.avg_latency),
+        )
+    };
+    println!(
+        "  mc-fastLRU vs mc-promotion: {:+.1}% latency (paper -37%), IPC {:+.1}% (paper +20%)",
+        100.0 * (mean(Scheme::MulticastFastLru) / mean(Scheme::MulticastPromotion) - 1.0),
+        100.0
+            * (geomean(
+                cells
+                    .iter()
+                    .filter(|c| c.scheme == Scheme::MulticastFastLru)
+                    .map(|c| c.ipc)
+            ) / geomean(
+                cells
+                    .iter()
+                    .filter(|c| c.scheme == Scheme::MulticastPromotion)
+                    .map(|c| c.ipc)
+            ) - 1.0)
+    );
+
+    // ---- Figure 9 ----
+    println!("\n--- Figure 9: normalized IPC by design (Multicast Fast-LRU) ---");
+    let cells9 = fig9(scale);
+    let norm = normalize_fig9(&cells9);
+    for d in ALL_DESIGNS {
+        let g = geomean(norm.iter().filter(|(c, _)| c.design == d).map(|(_, v)| *v));
+        println!("  Design {:?}: {:.3}", d, g);
+    }
+    println!("  (paper: A 1.00, B ~1.00, C 0.86, D 0.88, E 1.12, F 1.13)");
+    let headline = geomean(ALL_BENCHMARKS.iter().map(|b: &BenchmarkProfile| {
+        let (_, best) = run_cell(Design::F, Scheme::MulticastFastLru, b, scale);
+        let (_, base) = run_cell(Design::A, Scheme::MulticastPromotion, b, scale);
+        best / base
+    }));
+    println!("  headline F/fastLRU vs A/promotion: {headline:.2}x (paper 1.38x)");
+
+    // ---- Table 4 ----
+    println!("\n--- Table 4: area ---");
+    for a in nucanet::area::table4() {
+        let (bs, rs, ls) = a.breakdown.shares();
+        println!(
+            "  Design {:?}: bank {} router {} link {}  L2 {:7.1} mm2, chip {:7.1} mm2",
+            a.design,
+            pct(bs),
+            pct(rs),
+            pct(ls),
+            a.breakdown.l2_mm2(),
+            a.chip_mm2
+        );
+    }
+
+    // ---- Ablations ----
+    println!("\n--- Ablation: single-cycle vs pipelined router (gcc, Design A, mc-fastLRU) ---");
+    let gcc = BenchmarkProfile::by_name("gcc").expect("gcc exists");
+    for stages in [1u32, 2, 4] {
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.router = RouterParams::pipelined(stages);
+        let (metrics, ipc) = run_with_cfg(&cfg, &gcc, scale);
+        println!(
+            "  {stages}-stage router: avg latency {:7.1}, ipc {:.3}",
+            metrics.avg_latency(),
+            ipc
+        );
+    }
+
+    println!("\n--- Ablation: VCs per port (gcc, Design A, mc-fastLRU) ---");
+    for vcs in [2u8, 4, 8] {
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.router.vcs_per_port = vcs;
+        let (metrics, _) = run_with_cfg(&cfg, &gcc, scale);
+        println!(
+            "  {vcs} VCs: avg latency {:7.1}, replication blocked cycles {}",
+            metrics.avg_latency(),
+            metrics.net.replication_blocked_cycles
+        );
+    }
+
+    println!("\n--- Ablation: VC buffer depth (gcc, Design A, mc-fastLRU) ---");
+    for depth in [2u8, 4, 8] {
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.router.vc_depth = depth;
+        let (metrics, _) = run_with_cfg(&cfg, &gcc, scale);
+        println!("  depth {depth}: avg latency {:7.1}", metrics.avg_latency());
+    }
+
+    println!("\n--- Ablation: outstanding-transaction window (gcc, Design A, mc-fastLRU) ---");
+    for window in [1usize, 2, 4, 8] {
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.max_outstanding = window;
+        let (metrics, _) = run_with_cfg(&cfg, &gcc, scale);
+        println!(
+            "  window {window}: avg latency {:7.1}, {} cycles total, p90 packet latency {:?}",
+            metrics.avg_latency(),
+            metrics.cycles,
+            metrics.net.latency_quantile(0.9)
+        );
+    }
+
+    println!("\n--- Extra baseline: static NUCA vs the paper's schemes (gcc, Design A) ---");
+    for scheme in [
+        Scheme::StaticNuca,
+        Scheme::UnicastPromotion,
+        Scheme::MulticastFastLru,
+    ] {
+        let cfg = Design::A.config(scheme);
+        let (metrics, ipc) = run_with_cfg(&cfg, &gcc, scale);
+        println!(
+            "  {:20} avg latency {:7.1}, ipc {:.3}, MRU hit share {:.0}%",
+            scheme.name(),
+            metrics.avg_latency(),
+            ipc,
+            100.0 * metrics.mru_concentration()
+        );
+    }
+
+    println!("\ndone.");
+}
+
+fn run_with_cfg(
+    cfg: &nucanet::SystemConfig,
+    profile: &BenchmarkProfile,
+    scale: nucanet::experiments::ExperimentScale,
+) -> (nucanet::Metrics, f64) {
+    use nucanet_workload::{CoreModel, SynthConfig, TraceGenerator};
+    let mut gen = TraceGenerator::new(
+        *profile,
+        SynthConfig {
+            active_sets: scale.active_sets,
+            seed: scale.seed,
+            ..Default::default()
+        },
+    );
+    let trace = gen.generate(scale.warmup, scale.measured);
+    let mut sys = nucanet::CacheSystem::new(cfg);
+    let metrics = sys.run(&trace);
+    let ipc = metrics.ipc(&CoreModel::for_profile(profile));
+    (metrics, ipc)
+}

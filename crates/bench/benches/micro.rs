@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the simulator substrates: network
+//! stepping throughput, multicast delivery, functional cache access
+//! rate, trace generation, and a small end-to-end system run per
+//! scheme. These measure *our simulator's* performance (useful when
+//! optimising it), not the paper's architecture metrics — those come
+//! from `benches/figures.rs` and the `fig*`/`tables` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nucanet::experiments::ExperimentScale;
+use nucanet::{CacheSystem, Design, Scheme};
+use nucanet_cache::{AddressMap, CacheModel, ReplacementPolicy};
+use nucanet_noc::{Dest, Endpoint, Network, NodeId, Packet, RouterParams, RoutingSpec, Topology};
+use nucanet_workload::{BenchmarkProfile, SynthConfig, TraceGenerator};
+
+fn unit(n: u16) -> Vec<u32> {
+    vec![1; n as usize]
+}
+
+fn bench_network_random_traffic(c: &mut Criterion) {
+    c.bench_function("noc/mesh16_random_200pkts", |bch| {
+        bch.iter(|| {
+            let topo = Topology::mesh(16, 16, &unit(15), &unit(15));
+            let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+            let mut net: Network<u32> = Network::new(topo, table, RouterParams::default());
+            let mut x: u32 = 1;
+            for i in 0..200u32 {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                let a = x % 256;
+                let b = (x >> 8) % 256;
+                if a == b {
+                    continue;
+                }
+                net.inject(Packet::new(
+                    Endpoint::at(NodeId(a)),
+                    Dest::unicast(Endpoint::at(NodeId(b))),
+                    if i.is_multiple_of(2) { 1 } else { 5 },
+                    i,
+                ));
+            }
+            while net.is_busy() || net.next_event_cycle().is_some() {
+                net.advance();
+            }
+            net.stats().packets_delivered
+        })
+    });
+}
+
+fn bench_multicast_column(c: &mut Criterion) {
+    c.bench_function("noc/multicast_column_16", |bch| {
+        bch.iter(|| {
+            let topo = Topology::mesh(2, 16, &unit(1), &unit(15));
+            let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+            let mut net: Network<u32> = Network::new(topo, table, RouterParams::default());
+            let path: Vec<Endpoint> = (0..16)
+                .map(|r| Endpoint::at(net.topology().node_at(1, r)))
+                .collect();
+            for _ in 0..20 {
+                net.inject(Packet::new(
+                    Endpoint::at(net.topology().node_at(0, 0)),
+                    Dest::multicast(path.clone()),
+                    1,
+                    0,
+                ));
+                while net.is_busy() || net.next_event_cycle().is_some() {
+                    net.advance();
+                }
+            }
+            net.stats().packets_delivered
+        })
+    });
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    c.bench_function("cache/functional_100k_accesses", |bch| {
+        bch.iter(|| {
+            let mut l2 = CacheModel::new(AddressMap::hpca07(), 16, ReplacementPolicy::Lru);
+            let mut x: u32 = 1;
+            for _ in 0..100_000 {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                l2.access(x & !0x3F, x.is_multiple_of(4));
+            }
+            l2.stats().hits
+        })
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("workload/generate_50k", |bch| {
+        bch.iter(|| {
+            let profile = BenchmarkProfile::by_name("gcc").expect("gcc exists");
+            let mut gen = TraceGenerator::new(profile, SynthConfig::default());
+            gen.generate(0, 50_000).len()
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system/end_to_end_small");
+    g.sample_size(10);
+    for scheme in [Scheme::UnicastLru, Scheme::MulticastFastLru] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |bch, &scheme| {
+                bch.iter(|| {
+                    let scale = ExperimentScale {
+                        warmup: 2_000,
+                        measured: 300,
+                        active_sets: 64,
+                        seed: 7,
+                    };
+                    let profile = BenchmarkProfile::by_name("twolf").expect("twolf exists");
+                    let mut gen = TraceGenerator::new(
+                        profile,
+                        SynthConfig {
+                            active_sets: scale.active_sets,
+                            seed: scale.seed,
+                            ..Default::default()
+                        },
+                    );
+                    let trace = gen.generate(scale.warmup, scale.measured);
+                    let mut sys = CacheSystem::new(&Design::A.config(scheme));
+                    sys.run(&trace).avg_latency()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_network_random_traffic,
+    bench_multicast_column,
+    bench_cache_model,
+    bench_trace_generation,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates **Figure 7**: latency distribution of L2 cache accesses
+//! (bank / network / memory percentages) in the Unicast LRU environment
+//! on Design A (16×16 mesh, 64 KB banks).
+//!
+//! Paper values to compare against: network ≈ 65 % on average,
+//! bank ≈ 25 %, memory ≈ 10 %.
+
+use nucanet::experiments::fig7;
+use nucanet_bench::{pct, rule, scale_from_env};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Figure 7 — latency distribution, Unicast LRU, Design A");
+    println!(
+        "(scale: {} measured accesses, {} warm-up)",
+        scale.measured, scale.warmup
+    );
+    rule(52);
+    println!(
+        "{:10} {:>8} {:>8} {:>8}",
+        "benchmark", "bank%", "net%", "mem%"
+    );
+    rule(52);
+    let rows = fig7(scale);
+    let (mut b, mut n, mut m) = (0.0, 0.0, 0.0);
+    for r in &rows {
+        println!(
+            "{:10} {:>8} {:>8} {:>8}",
+            r.benchmark,
+            pct(r.bank),
+            pct(r.network),
+            pct(r.memory)
+        );
+        b += r.bank;
+        n += r.network;
+        m += r.memory;
+    }
+    let k = rows.len() as f64;
+    rule(52);
+    println!(
+        "{:10} {:>8} {:>8} {:>8}",
+        "avg",
+        pct(b / k),
+        pct(n / k),
+        pct(m / k)
+    );
+    println!("\npaper:      bank ~25%   network ~65%   memory ~10%");
+}

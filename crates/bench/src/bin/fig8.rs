@@ -1,0 +1,109 @@
+//! Regenerates **Figure 8**: average access / hit / miss latency of the
+//! five replacement schemes on the Design A network, plus the derived
+//! IPC comparison quoted in §6.1.
+//!
+//! Paper shapes to compare against:
+//! * Unicast LRU ≈ +4.4 % average latency over Unicast Promotion.
+//! * Unicast Fast-LRU ≈ −30 % vs Unicast Promotion.
+//! * Multicast Fast-LRU ≈ −46 % vs Unicast LRU, ≈ −27 % vs Unicast
+//!   Fast-LRU, ≈ −37 % vs Multicast Promotion (⇒ ≈ +20 % IPC).
+
+use nucanet::experiments::{fig8, geomean};
+use nucanet::Scheme;
+use nucanet_bench::{rule, scale_from_env};
+use nucanet_workload::ALL_BENCHMARKS;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Figure 8 — L2 access latency by scheme, Design A network");
+    println!(
+        "(scale: {} measured accesses, {} warm-up)\n",
+        scale.measured, scale.warmup
+    );
+    let cells = fig8(scale);
+
+    for (title, f) in [
+        ("(a) average access latency [cycles]", 0usize),
+        ("(b) average hit latency [cycles]", 1),
+        ("(c) average miss latency [cycles]", 2),
+    ] {
+        println!("{title}");
+        rule(118);
+        print!("{:10}", "benchmark");
+        for s in nucanet::scheme::ALL_SCHEMES {
+            print!(" {:>20}", s.name());
+        }
+        println!();
+        rule(118);
+        for b in &ALL_BENCHMARKS {
+            print!("{:10}", b.name);
+            for s in nucanet::scheme::ALL_SCHEMES {
+                let c = cells
+                    .iter()
+                    .find(|c| c.benchmark == b.name && c.scheme == s)
+                    .expect("cell computed");
+                let v = match f {
+                    0 => c.avg_latency,
+                    1 => c.hit_latency,
+                    _ => c.miss_latency,
+                };
+                print!(" {:>20.1}", v);
+            }
+            println!();
+        }
+        rule(118);
+        println!();
+    }
+
+    // §6.1 summary ratios.
+    let mean = |s: Scheme| {
+        geomean(
+            cells
+                .iter()
+                .filter(|c| c.scheme == s && c.avg_latency > 0.0)
+                .map(|c| c.avg_latency),
+        )
+    };
+    let up = mean(Scheme::UnicastPromotion);
+    let ul = mean(Scheme::UnicastLru);
+    let uf = mean(Scheme::UnicastFastLru);
+    let mp = mean(Scheme::MulticastPromotion);
+    let mf = mean(Scheme::MulticastFastLru);
+    println!("summary (geomean of average latency):");
+    println!(
+        "  unicast LRU vs unicast promotion: {:+.1}%  (paper: +4.4%)",
+        100.0 * (ul / up - 1.0)
+    );
+    println!(
+        "  unicast fastLRU vs unicast promotion: {:+.1}%  (paper: -30.2%)",
+        100.0 * (uf / up - 1.0)
+    );
+    println!(
+        "  multicast fastLRU vs unicast LRU: {:+.1}%  (paper: -46%)",
+        100.0 * (mf / ul - 1.0)
+    );
+    println!(
+        "  multicast fastLRU vs unicast fastLRU: {:+.1}%  (paper: -27%)",
+        100.0 * (mf / uf - 1.0)
+    );
+    println!(
+        "  multicast fastLRU vs multicast promotion: {:+.1}%  (paper: -37%)",
+        100.0 * (mf / mp - 1.0)
+    );
+
+    let ipc_gain = geomean(ALL_BENCHMARKS.iter().map(|b| {
+        let best = cells
+            .iter()
+            .find(|c| c.benchmark == b.name && c.scheme == Scheme::MulticastFastLru)
+            .expect("cell");
+        let base = cells
+            .iter()
+            .find(|c| c.benchmark == b.name && c.scheme == Scheme::MulticastPromotion)
+            .expect("cell");
+        best.ipc / base.ipc
+    }));
+    println!(
+        "  IPC, multicast fastLRU vs multicast promotion: {:+.1}%  (paper: +20%)",
+        100.0 * (ipc_gain - 1.0)
+    );
+}

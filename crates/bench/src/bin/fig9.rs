@@ -1,0 +1,67 @@
+//! Regenerates **Figure 9**: IPC of Designs A–F (Table 3) under
+//! Multicast Fast-LRU, normalised to Design A per benchmark.
+//!
+//! Paper shapes to compare against: B ≈ A; C ≈ −14 %; D ≈ −12 %;
+//! E ≈ +12 %; F ≈ +13 % (and F = 1.38× over Design A with Multicast
+//! Promotion — the headline claim).
+
+use nucanet::config::ALL_DESIGNS;
+use nucanet::experiments::{fig9, geomean, normalize_fig9, run_cell, ExperimentScale};
+use nucanet::{Design, Scheme};
+use nucanet_bench::{rule, scale_from_env};
+use nucanet_workload::{BenchmarkProfile, ALL_BENCHMARKS};
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Figure 9 — normalized IPC by network design (Multicast Fast-LRU)");
+    println!(
+        "(scale: {} measured accesses, {} warm-up)\n",
+        scale.measured, scale.warmup
+    );
+    let cells = fig9(scale);
+    let normalized = normalize_fig9(&cells);
+
+    rule(70);
+    print!("{:10}", "benchmark");
+    for d in ALL_DESIGNS {
+        print!(" {:>9}", format!("{d:?}"));
+    }
+    println!();
+    rule(70);
+    for b in &ALL_BENCHMARKS {
+        print!("{:10}", b.name);
+        for d in ALL_DESIGNS {
+            let (_, norm) = normalized
+                .iter()
+                .find(|(c, _)| c.benchmark == b.name && c.design == d)
+                .expect("cell computed");
+            print!(" {:>9.3}", norm);
+        }
+        println!();
+    }
+    rule(70);
+    print!("{:10}", "geomean");
+    for d in ALL_DESIGNS {
+        let g = geomean(
+            normalized
+                .iter()
+                .filter(|(c, _)| c.design == d)
+                .map(|(_, n)| *n),
+        );
+        print!(" {:>9.3}", g);
+    }
+    println!();
+    println!("\npaper:  A=1.00  B~1.00  C~0.86  D~0.88  E~1.12  F~1.13");
+
+    // Headline: halo + Multicast Fast-LRU vs mesh + Multicast Promotion.
+    let headline = geomean(ALL_BENCHMARKS.iter().map(|b: &BenchmarkProfile| {
+        let (_, best) = run_cell(Design::F, Scheme::MulticastFastLru, b, scale);
+        let (_, base) = run_cell(Design::A, Scheme::MulticastPromotion, b, scale);
+        best / base
+    }));
+    println!(
+        "\nheadline: Design F multicast fastLRU vs Design A multicast promotion: {:.2}x (paper: 1.38x)",
+        headline
+    );
+    let _ = ExperimentScale::default();
+}

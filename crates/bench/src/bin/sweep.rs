@@ -1,0 +1,89 @@
+//! Capacity-scaling sweep: mesh vs halo as the L2 grows.
+//!
+//! The paper's motivation is that wire delay makes large caches
+//! network-dominated; the halo's constant-distance MRU banks should
+//! therefore matter *more* as capacity grows. This sweep holds the bank
+//! size (64 KB) and column count (16) fixed and scales the column
+//! length: 4 MB (4 banks/set) → 32 MB (32 banks/set), comparing the
+//! 16×N mesh against the N-long halo under Multicast Fast-LRU.
+//!
+//! ```text
+//! cargo run --release -p nucanet-bench --bin sweep
+//! ```
+
+use nucanet::config::TopologyChoice;
+use nucanet::{CacheSystem, Design, Scheme, SystemConfig};
+use nucanet_bench::scale_from_env;
+use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, TraceGenerator};
+
+fn config(topology: TopologyChoice, banks_per_set: usize) -> SystemConfig {
+    let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+    cfg.topology = topology;
+    cfg.bank_kb = vec![64; banks_per_set];
+    cfg.bank_ways = vec![1; banks_per_set];
+    cfg.core_ports = if topology == TopologyChoice::Halo {
+        4
+    } else {
+        1
+    };
+    cfg.mem_extra_wire = if topology == TopologyChoice::Halo {
+        // The controller sits mid-die; the off-chip wire grows with the
+        // spike run (Design E uses 16 cycles at 16 banks).
+        banks_per_set as u32
+    } else {
+        0
+    };
+    cfg.name = format!(
+        "{} ({} MB)",
+        match topology {
+            TopologyChoice::Mesh => "16xN mesh",
+            TopologyChoice::SimplifiedMesh => "16xN simplified mesh",
+            TopologyChoice::Halo => "N-spike halo",
+        },
+        banks_per_set * 16 * 64 / 1024
+    );
+    cfg
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let bench =
+        BenchmarkProfile::by_name(&std::env::args().nth(1).unwrap_or_else(|| "twolf".into()))
+            .expect("benchmark exists");
+    println!(
+        "capacity sweep, {} ({} measured accesses, {} warm-up)\n",
+        bench.name, scale.measured, scale.warmup
+    );
+    println!(
+        "{:>6} {:>7} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "MB", "banks", "mesh avg", "halo avg", "mesh IPC", "halo IPC", "halo/mesh"
+    );
+    println!("{}", "-".repeat(78));
+    for banks_per_set in [4usize, 8, 16, 32] {
+        let mb = banks_per_set * 16 * 64 / 1024;
+        let run = |cfg: &SystemConfig| {
+            let mut gen = TraceGenerator::new(
+                bench,
+                SynthConfig {
+                    active_sets: scale.active_sets,
+                    seed: scale.seed,
+                    ..Default::default()
+                },
+            );
+            let trace = gen.generate(scale.warmup, scale.measured);
+            let mut sys = CacheSystem::new(cfg);
+            let m = sys.run(&trace);
+            let ipc = m.ipc(&CoreModel::for_profile(&bench));
+            (m.avg_latency(), ipc)
+        };
+        let (mesh_avg, mesh_ipc) = run(&config(TopologyChoice::Mesh, banks_per_set));
+        let (halo_avg, halo_ipc) = run(&config(TopologyChoice::Halo, banks_per_set));
+        println!(
+            "{mb:>6} {banks_per_set:>7} {mesh_avg:>12.1} {halo_avg:>12.1} {mesh_ipc:>12.3} {halo_ipc:>12.3} {:>9.3}",
+            halo_ipc / mesh_ipc
+        );
+    }
+    println!("\nexpected shape: the halo's relative IPC advantage grows with the");
+    println!("column length — longer mesh columns mean longer walks, while every");
+    println!("halo MRU bank stays one hop from the hub.");
+}

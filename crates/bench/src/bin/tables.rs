@@ -1,0 +1,218 @@
+//! Regenerates the paper's **tables**:
+//!
+//! * `table1` — system parameters (memory, router, wire delays, bank
+//!   latencies) as produced by our timing models.
+//! * `table2` — benchmark characterisation, with the derived
+//!   accesses-per-instruction column recomputed and the synthetic
+//!   generator's write mix cross-checked.
+//! * `table3` — the six network designs.
+//! * `table4` — area analysis (bank/router/link shares, L2 area, chip
+//!   area) for Designs A, B, E, F.
+//! * `census` — the §1/§4 link-utilisation analysis: fraction of mesh
+//!   links never used by cache traffic and the minimal-link count.
+//!
+//! Run with a table name as argument, or `all`.
+
+use nucanet::area::{table4, unused_area_mm2};
+use nucanet::config::ALL_DESIGNS;
+use nucanet::Scheme;
+use nucanet_bench::{pct, rule};
+use nucanet_cache::AddressMap;
+use nucanet_noc::{LinkCensus, NodeId, RoutingSpec, Topology};
+use nucanet_timing::{BankModel, Technology, WireModel};
+use nucanet_workload::{SynthConfig, TraceGenerator, ALL_BENCHMARKS};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => table3(),
+        "table4" => table4_print(),
+        "census" => census(),
+        "all" => {
+            table1();
+            println!();
+            table2();
+            println!();
+            table3();
+            println!();
+            table4_print();
+            println!();
+            census();
+        }
+        other => {
+            eprintln!("unknown table '{other}'; use table1|table2|table3|table4|census|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1() {
+    let tech = Technology::hpca07_65nm();
+    let wire = WireModel::new(&tech);
+    println!("Table 1 — system parameters (regenerated from the models)");
+    rule(64);
+    println!("memory: block 64B; latency 130 cycles + 4 cycles per 8B");
+    println!("router: 4-flit buffers, 4 VCs/PC, 128-bit flits, 1 cycle/stage");
+    println!(
+        "wire:   {:.1} ps/mm repeated global wire at {} GHz",
+        wire.repeated_delay_ps_per_mm(),
+        tech.clock_ghz
+    );
+    rule(64);
+    println!(
+        "{:>8} {:>10} {:>12} {:>16}",
+        "bank", "wire", "tag match", "tag+replace"
+    );
+    for kb in [64u32, 128, 256, 512] {
+        let b = BankModel::new(kb);
+        println!(
+            "{:>6}KB {:>8}cy {:>10}cy {:>14}cy",
+            kb,
+            b.tile_wire_cycles(&tech),
+            b.tag_match_cycles(),
+            b.tag_match_replace_cycles()
+        );
+    }
+    println!("paper:  64KB 1/2/3, 128KB 2/4/4, 256KB 2/4/5, 512KB 3/5/6");
+}
+
+fn table2() {
+    println!("Table 2 — benchmarks (observables from the paper, mix checked");
+    println!("against the synthetic generator over 20k accesses)");
+    rule(78);
+    println!(
+        "{:10} {:>6} {:>8} {:>9} {:>9} {:>9} {:>11} {:>9}",
+        "benchmark", "class", "instr", "IPC(L2p)", "reads", "writes", "acc/instr", "gen wr%"
+    );
+    rule(78);
+    for b in ALL_BENCHMARKS {
+        let mut gen = TraceGenerator::new(b, SynthConfig::default());
+        let t = gen.generate(0, 20_000);
+        println!(
+            "{:10} {:>6} {:>7}M {:>9.2} {:>8.3}M {:>8.3}M {:>11.3} {:>9}",
+            b.name,
+            format!("{:?}", b.class),
+            b.instructions / 1_000_000,
+            b.perfect_l2_ipc,
+            b.l2_reads as f64 / 1e6,
+            b.l2_writes as f64 / 1e6,
+            b.accesses_per_instr(),
+            pct(t.write_fraction()),
+        );
+    }
+}
+
+fn table3() {
+    println!("Table 3 — network designs");
+    rule(64);
+    println!(
+        "{:8} {:38} {:16}",
+        "design", "interconnection network", "bank size"
+    );
+    rule(64);
+    for d in ALL_DESIGNS {
+        println!(
+            "{:8} {:38} {:16}",
+            format!("{d:?}"),
+            d.interconnect_description(),
+            d.bank_description()
+        );
+    }
+}
+
+fn table4_print() {
+    println!("Table 4 — area analysis of network designs");
+    rule(76);
+    println!(
+        "{:8} {:>8} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "design", "bank%", "router%", "link%", "L2 [mm2]", "chip [mm2]", "unused[mm2]"
+    );
+    rule(76);
+    for a in table4() {
+        let (b, r, l) = a.breakdown.shares();
+        println!(
+            "{:8} {:>8} {:>8} {:>8} {:>12.2} {:>12.2} {:>12.2}",
+            format!("{:?}", a.design),
+            pct(b),
+            pct(r),
+            pct(l),
+            a.breakdown.l2_mm2(),
+            a.chip_mm2,
+            unused_area_mm2(&a)
+        );
+    }
+    rule(76);
+    println!("paper:  A 47.8/20.8/31.4 567.70/567.70   B 58.4/13.0/28.6 464.60/521.99");
+    println!("        E 67.5/14.1/18.4 402.30/1602.22  F 78.7/ 5.7/15.7 312.19/517.61");
+}
+
+fn census() {
+    println!("Link census — §1 \"20% of the links are never used\" / §4 minimal links");
+    let unit = |n: u16| vec![1u32; n as usize];
+    let topo = Topology::mesh(16, 16, &unit(15), &unit(15));
+    let rt = RoutingSpec::Xy.build(&topo).expect("mesh routes under XY");
+    let core = topo.node_at(7, 0);
+    let memory = topo.node_at(8, 15);
+    let mut flows: Vec<(NodeId, NodeId)> = Vec::new();
+    for c in 0..16 {
+        for r in 0..16 {
+            let bank = topo.node_at(c, r);
+            flows.push((core, bank));
+            flows.push((bank, core));
+            if r + 1 < 16 {
+                flows.push((bank, topo.node_at(c, r + 1)));
+                flows.push((topo.node_at(c, r + 1), bank));
+            }
+        }
+        flows.push((memory, topo.node_at(c, 0)));
+        flows.push((topo.node_at(c, 15), memory));
+    }
+    flows.push((core, memory));
+    flows.push((memory, core));
+    let census = LinkCensus::from_flows(&topo, &rt, &flows);
+    println!(
+        "16x16 mesh, XY, cache traffic: {}/{} links unused ({})",
+        census.unused(),
+        census.total(),
+        pct(census.unused_fraction())
+    );
+    println!("paper: ~20% never used");
+
+    // §4: link counts.
+    let n = 16u32;
+    let full = 4 * (n - 1) * (n - 1) + 2 * (n - 1) * 2; // paper counts 4(n-1)^2 core links
+    let _ = full;
+    let simp = Topology::simplified_mesh(16, 16, &unit(15), &unit(15));
+    println!(
+        "full mesh links: {}   simplified mesh links: {}   removed: {}",
+        topo.link_count(),
+        simp.link_count(),
+        topo.link_count() - simp.link_count()
+    );
+    let map = AddressMap::hpca07();
+    println!(
+        "address map: {} columns x {} sets, tag {} bits",
+        map.columns(),
+        map.sets(),
+        map.tag_bits()
+    );
+
+    // Replication-blocking rarity: quote §3.1 "blocking rarely happens".
+    let scale = nucanet::experiments::ExperimentScale::tiny();
+    let profile = nucanet_workload::BenchmarkProfile::by_name("gcc").expect("gcc exists");
+    let (m, _) = nucanet::experiments::run_cell(
+        nucanet::Design::A,
+        Scheme::MulticastFastLru,
+        &profile,
+        scale,
+    );
+    println!(
+        "multicast replication: {} replicas, {} blocked cycles over {} cycles (rarely blocks: {})",
+        m.net.replications,
+        m.net.replication_blocked_cycles,
+        m.cycles,
+        m.net.replication_blocked_cycles * 100 / m.cycles.max(1) < 5
+    );
+}

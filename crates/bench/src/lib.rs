@@ -1,0 +1,58 @@
+//! Shared harness utilities for the table/figure regeneration targets.
+//!
+//! Every binary and the `figures` bench read their simulation scale from
+//! the environment so quick runs and paper-scale runs use one code path:
+//!
+//! * `NUCANET_MEASURED` — timed accesses per (benchmark, design, scheme)
+//!   cell (default 4000).
+//! * `NUCANET_WARMUP` — functional warm-up accesses (default 20000).
+//! * `NUCANET_SETS` — active cache sets in the workload (default 256).
+//! * `NUCANET_SEED` — workload seed (default 0xCAFE).
+
+use nucanet::experiments::ExperimentScale;
+
+/// Reads the experiment scale from the environment (see crate docs).
+pub fn scale_from_env() -> ExperimentScale {
+    let get = |k: &str, d: u64| -> u64 {
+        std::env::var(k)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d)
+    };
+    ExperimentScale {
+        warmup: get("NUCANET_WARMUP", 20_000) as usize,
+        measured: get("NUCANET_MEASURED", 4_000) as usize,
+        active_sets: get("NUCANET_SETS", 256) as u32,
+        seed: get("NUCANET_SEED", 0xCAFE),
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}", 100.0 * x)
+}
+
+/// Prints a horizontal rule sized for our tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_sane() {
+        // (Environment-dependent only if the caller sets the variables;
+        // the test environment does not.)
+        let s = scale_from_env();
+        assert!(s.measured > 0);
+        assert!(s.warmup > 0);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), " 50.0");
+        assert_eq!(pct(1.0), "100.0");
+    }
+}

@@ -1,0 +1,196 @@
+//! Address decomposition.
+//!
+//! Section 5 of the paper: "A 32-bit address is divided into 4 fields:
+//! tag (12 bits), index (10 bits), bank-column (4 bits), and offset
+//! (6 bits). The *bank-column* is used to select one of 16 columns of
+//! the network while the *index* identifies one of the entries in each
+//! bank in the column."
+
+/// How physical addresses map onto (column, index, tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressMap {
+    /// Block offset bits (6 for 64-byte blocks).
+    pub offset_bits: u32,
+    /// Bank-column selector bits (4 → 16 columns).
+    pub column_bits: u32,
+    /// Per-bank set index bits (10 → 1024 sets per bank way).
+    pub index_bits: u32,
+}
+
+/// A decomposed block address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr {
+    /// Which bank set (network column / spike).
+    pub column: u32,
+    /// Set index within each bank of the column.
+    pub index: u32,
+    /// Tag compared against stored blocks.
+    pub tag: u32,
+}
+
+impl AddressMap {
+    /// The paper's layout: 64 B blocks, 16 columns, 1024 sets per bank.
+    pub fn hpca07() -> Self {
+        AddressMap {
+            offset_bits: 6,
+            column_bits: 4,
+            index_bits: 10,
+        }
+    }
+
+    /// Creates a custom map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three fields exceed 31 bits combined (a tag bit
+    /// must remain).
+    pub fn new(offset_bits: u32, column_bits: u32, index_bits: u32) -> Self {
+        assert!(
+            offset_bits + column_bits + index_bits < 32,
+            "offset+column+index must leave room for a tag"
+        );
+        AddressMap {
+            offset_bits,
+            column_bits,
+            index_bits,
+        }
+    }
+
+    /// Number of bank columns (`2^column_bits`).
+    pub fn columns(&self) -> u32 {
+        1 << self.column_bits
+    }
+
+    /// Sets per bank way (`2^index_bits`).
+    pub fn sets(&self) -> u32 {
+        1 << self.index_bits
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u32 {
+        1 << self.offset_bits
+    }
+
+    /// Tag width in bits for a 32-bit address.
+    pub fn tag_bits(&self) -> u32 {
+        32 - self.offset_bits - self.column_bits - self.index_bits
+    }
+
+    /// Decomposes a 32-bit physical address.
+    pub fn decompose(&self, addr: u32) -> BlockAddr {
+        let block = addr >> self.offset_bits;
+        let column = block & (self.columns() - 1);
+        let index = (block >> self.column_bits) & (self.sets() - 1);
+        let tag = block >> (self.column_bits + self.index_bits);
+        BlockAddr { column, index, tag }
+    }
+
+    /// Recomposes a block address into the address of its first byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field exceeds its width.
+    pub fn compose(&self, block: BlockAddr) -> u32 {
+        assert!(
+            block.column < self.columns(),
+            "column {} out of range",
+            block.column
+        );
+        assert!(
+            block.index < self.sets(),
+            "index {} out of range",
+            block.index
+        );
+        assert!(
+            block.tag < (1u32 << self.tag_bits()),
+            "tag {} out of range",
+            block.tag
+        );
+        ((block.tag << self.index_bits | block.index) << self.column_bits | block.column)
+            << self.offset_bits
+    }
+}
+
+impl Default for AddressMap {
+    fn default() -> Self {
+        AddressMap::hpca07()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_layout_widths() {
+        let m = AddressMap::hpca07();
+        assert_eq!(m.columns(), 16);
+        assert_eq!(m.sets(), 1024);
+        assert_eq!(m.block_bytes(), 64);
+        assert_eq!(m.tag_bits(), 12);
+    }
+
+    #[test]
+    fn decompose_compose_roundtrip() {
+        let m = AddressMap::hpca07();
+        for addr in [0u32, 0x40, 0xFFFF_FFC0, 0x1234_5678 & !0x3F, 0xDEAD_BEC0] {
+            let b = m.decompose(addr);
+            assert_eq!(m.compose(b), addr & !0x3F, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn offset_bits_ignored() {
+        let m = AddressMap::hpca07();
+        assert_eq!(m.decompose(0x1000), m.decompose(0x103F));
+        assert_ne!(m.decompose(0x1000), m.decompose(0x1040));
+    }
+
+    #[test]
+    fn adjacent_blocks_interleave_columns() {
+        // Consecutive 64 B blocks map to consecutive columns — the paper
+        // spreads bank sets across columns by low block-address bits.
+        let m = AddressMap::hpca07();
+        let a = m.decompose(0x0000);
+        let b = m.decompose(0x0040);
+        assert_eq!(a.column, 0);
+        assert_eq!(b.column, 1);
+        assert_eq!(a.index, b.index);
+    }
+
+    #[test]
+    fn index_changes_every_16_blocks() {
+        let m = AddressMap::hpca07();
+        let a = m.decompose(0x0000);
+        let b = m.decompose(64 * 16);
+        assert_eq!(b.column, 0);
+        assert_eq!(b.index, a.index + 1);
+    }
+
+    #[test]
+    fn custom_map() {
+        let m = AddressMap::new(6, 2, 8);
+        assert_eq!(m.columns(), 4);
+        assert_eq!(m.sets(), 256);
+        assert_eq!(m.tag_bits(), 16);
+        let b = m.decompose(0xABCD_EF00);
+        assert_eq!(m.compose(b), 0xABCD_EF00 & !0x3F);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for a tag")]
+    fn overfull_map_panics() {
+        let _ = AddressMap::new(6, 13, 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn compose_validates_fields() {
+        let m = AddressMap::hpca07();
+        let _ = m.compose(BlockAddr {
+            column: 16,
+            index: 0,
+            tag: 0,
+        });
+    }
+}

@@ -1,0 +1,281 @@
+//! A single cache bank.
+//!
+//! A bank stores `ways × sets` frames. Uniform designs use 64 KB
+//! direct-mapped banks (1 way × 1024 sets); the non-uniform halo and
+//! mesh designs use banks of 2, 4, or 8 ways. Within a bank, the ways of
+//! a set are kept in recency order (position 0 = most recently arrived),
+//! so a multi-way bank behaves as one segment of the distributed LRU
+//! stack: it accepts pushed-down blocks at its top and evicts from its
+//! bottom.
+
+/// One cached block: its tag and dirty bit. (Data values are not
+/// simulated; only placement and movement matter.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Block {
+    /// Address tag.
+    pub tag: u32,
+    /// Set when the block has been written since it was fetched.
+    pub dirty: bool,
+}
+
+/// A bank of `ways × sets` frames with per-set recency order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bank {
+    ways: usize,
+    sets: usize,
+    /// `frames[set]`: ways in recency order, `None` = empty frame.
+    frames: Vec<Vec<Option<Block>>>,
+}
+
+impl Bank {
+    /// Creates an empty bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` or `sets` is zero.
+    pub fn new(ways: usize, sets: usize) -> Self {
+        assert!(ways >= 1, "bank needs at least one way");
+        assert!(sets >= 1, "bank needs at least one set");
+        Bank {
+            ways,
+            sets,
+            frames: vec![vec![None; ways]; sets],
+        }
+    }
+
+    /// Associativity of this bank.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Whether `tag` is present in `set` (tag match; no state change).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn probe(&self, set: usize, tag: u32) -> bool {
+        self.frames[set].iter().flatten().any(|b| b.tag == tag)
+    }
+
+    /// Removes and returns the block with `tag` from `set`, leaving a
+    /// hole. Used when a hit block departs toward the MRU bank.
+    pub fn extract(&mut self, set: usize, tag: u32) -> Option<Block> {
+        let ways = &mut self.frames[set];
+        let pos = ways.iter().position(|b| b.is_some_and(|b| b.tag == tag))?;
+        let blk = ways.remove(pos);
+        // Keep the recency order of the survivors; the hole sinks to the
+        // bottom so the next pushed-down block fills from the top.
+        ways.push(None);
+        blk
+    }
+
+    /// Marks `tag` dirty in `set`; returns whether it was present.
+    pub fn mark_dirty(&mut self, set: usize, tag: u32) -> bool {
+        for b in self.frames[set].iter_mut().flatten() {
+            if b.tag == tag {
+                b.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pushes `block` onto the top (most recent way) of `set`, evicting
+    /// and returning the bottom block when the set is full. Empty frames
+    /// absorb the push without eviction.
+    pub fn push_top(&mut self, set: usize, block: Block) -> Option<Block> {
+        let ways = &mut self.frames[set];
+        // Drop the bottom-most empty frame if one exists, else evict the
+        // bottom block.
+        let evicted = if let Some(hole) = ways.iter().rposition(Option::is_none) {
+            ways.remove(hole);
+            None
+        } else {
+            ways.pop().expect("ways is non-empty")
+        };
+        ways.insert(0, Some(block));
+        evicted
+    }
+
+    /// The block currently at the bottom (least recent way) of `set`.
+    pub fn peek_bottom(&self, set: usize) -> Option<Block> {
+        self.frames[set].iter().rev().flatten().next().copied()
+    }
+
+    /// Removes and returns the bottom (least recent) block of `set`,
+    /// leaving a hole. This is the Fast-LRU eviction a bank performs
+    /// right after detecting its own miss (§3.2): the departing block
+    /// travels to the next bank while the hole awaits the block pushed
+    /// down from the previous bank.
+    pub fn evict_bottom(&mut self, set: usize) -> Option<Block> {
+        let ways = &mut self.frames[set];
+        let pos = ways.iter().rposition(|b| b.is_some())?;
+        let blk = ways.remove(pos);
+        ways.push(None);
+        blk
+    }
+
+    /// Moves `tag` to the top of its set (an internal-hit touch).
+    /// Returns whether the tag was present.
+    pub fn touch(&mut self, set: usize, tag: u32) -> bool {
+        let Some(blk) = self.extract(set, tag) else {
+            return false;
+        };
+        // extract left a trailing hole, so this cannot evict.
+        let evicted = self.push_top(set, blk);
+        debug_assert!(evicted.is_none());
+        true
+    }
+
+    /// Overwrites `set` with the given frames (recency order, `None` =
+    /// hole). Used to preload warmed cache contents into a timed
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames.len()` differs from the bank's way count.
+    pub fn load_set(&mut self, set: usize, frames: &[Option<Block>]) {
+        assert_eq!(
+            frames.len(),
+            self.ways,
+            "frame count must equal associativity"
+        );
+        self.frames[set].clear();
+        self.frames[set].extend_from_slice(frames);
+    }
+
+    /// All blocks of `set` in recency order (holes skipped).
+    pub fn blocks(&self, set: usize) -> Vec<Block> {
+        self.frames[set].iter().flatten().copied().collect()
+    }
+
+    /// Number of valid blocks in `set`.
+    pub fn occupancy(&self, set: usize) -> usize {
+        self.frames[set].iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(tag: u32) -> Block {
+        Block { tag, dirty: false }
+    }
+
+    #[test]
+    fn probe_empty_bank() {
+        let bank = Bank::new(2, 4);
+        assert!(!bank.probe(0, 1));
+        assert_eq!(bank.occupancy(0), 0);
+    }
+
+    #[test]
+    fn push_fills_then_evicts_bottom() {
+        let mut bank = Bank::new(2, 1);
+        assert_eq!(bank.push_top(0, b(1)), None);
+        assert_eq!(bank.push_top(0, b(2)), None);
+        // Full: pushing 3 evicts the oldest (1).
+        assert_eq!(bank.push_top(0, b(3)), Some(b(1)));
+        assert_eq!(bank.blocks(0), vec![b(3), b(2)]);
+    }
+
+    #[test]
+    fn extract_leaves_hole_and_preserves_order() {
+        let mut bank = Bank::new(3, 1);
+        bank.push_top(0, b(1));
+        bank.push_top(0, b(2));
+        bank.push_top(0, b(3)); // order: 3,2,1
+        assert_eq!(bank.extract(0, 2), Some(b(2)));
+        assert_eq!(bank.blocks(0), vec![b(3), b(1)]);
+        assert_eq!(bank.occupancy(0), 2);
+        // The hole absorbs the next push without eviction.
+        assert_eq!(bank.push_top(0, b(4)), None);
+        assert_eq!(bank.blocks(0), vec![b(4), b(3), b(1)]);
+    }
+
+    #[test]
+    fn extract_missing_tag_is_none() {
+        let mut bank = Bank::new(1, 1);
+        assert_eq!(bank.extract(0, 5), None);
+    }
+
+    #[test]
+    fn touch_moves_to_top() {
+        let mut bank = Bank::new(3, 1);
+        bank.push_top(0, b(1));
+        bank.push_top(0, b(2));
+        bank.push_top(0, b(3));
+        assert!(bank.touch(0, 1));
+        assert_eq!(bank.blocks(0), vec![b(1), b(3), b(2)]);
+        assert!(!bank.touch(0, 9));
+    }
+
+    #[test]
+    fn mark_dirty() {
+        let mut bank = Bank::new(2, 2);
+        bank.push_top(1, b(7));
+        assert!(bank.mark_dirty(1, 7));
+        assert!(!bank.mark_dirty(1, 8));
+        assert_eq!(
+            bank.blocks(1),
+            vec![Block {
+                tag: 7,
+                dirty: true
+            }]
+        );
+        // Other set untouched.
+        assert_eq!(bank.occupancy(0), 0);
+    }
+
+    #[test]
+    fn peek_bottom_sees_oldest() {
+        let mut bank = Bank::new(2, 1);
+        assert_eq!(bank.peek_bottom(0), None);
+        bank.push_top(0, b(1));
+        bank.push_top(0, b(2));
+        assert_eq!(bank.peek_bottom(0), Some(b(1)));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut bank = Bank::new(1, 3);
+        bank.push_top(0, b(1));
+        bank.push_top(2, b(2));
+        assert!(bank.probe(0, 1));
+        assert!(!bank.probe(1, 1));
+        assert!(bank.probe(2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _ = Bank::new(0, 4);
+    }
+
+    #[test]
+    fn evict_bottom_removes_oldest() {
+        let mut bank = Bank::new(3, 1);
+        bank.push_top(0, b(1));
+        bank.push_top(0, b(2));
+        assert_eq!(bank.evict_bottom(0), Some(b(1)));
+        assert_eq!(bank.blocks(0), vec![b(2)]);
+        // The hole absorbs the next push.
+        assert_eq!(bank.push_top(0, b(3)), None);
+        assert_eq!(bank.evict_bottom(0), Some(b(2)));
+        assert_eq!(bank.evict_bottom(0), Some(b(3)));
+        assert_eq!(bank.evict_bottom(0), None);
+    }
+
+    #[test]
+    fn direct_mapped_bank_replaces_immediately() {
+        let mut bank = Bank::new(1, 2);
+        assert_eq!(bank.push_top(0, b(1)), None);
+        assert_eq!(bank.push_top(0, b(2)), Some(b(1)));
+    }
+}

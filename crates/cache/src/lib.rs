@@ -1,0 +1,42 @@
+//! Functional (timing-free) NUCA cache models.
+//!
+//! The HPCA'07 paper distributes a 16-way set-associative 16 MB L2 cache
+//! over a network of banks: each mesh column (or halo spike) holds one
+//! *bank set*; a block's column is chosen by its address bits, its way
+//! by the replacement policy. This crate models the cache **contents**
+//! independently of timing:
+//!
+//! * [`addr`] — the paper's §5 address decomposition (tag 12 / index 10 /
+//!   bank-column 4 / offset 6 bits), configurable for other geometries.
+//! * [`bank`] — one cache bank holding `ways × sets` frames with an
+//!   internal LRU order among its ways.
+//! * [`bankset`] — the position-stack model of one distributed bank set
+//!   under Promotion / LRU / Fast-LRU replacement. (Fast-LRU is
+//!   *functionally* identical to LRU — it differs only in timing — which
+//!   the timed protocol engines in the `nucanet` crate are tested
+//!   against.)
+//! * [`model`] — a whole L2 built of one bank set per column, with hit /
+//!   miss / per-position statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use nucanet_cache::{AddressMap, CacheModel, ReplacementPolicy};
+//!
+//! let map = AddressMap::hpca07();
+//! let mut l2 = CacheModel::new(map, 16, ReplacementPolicy::Lru);
+//! let addr = 0x1234_5678;
+//! assert!(!l2.access(addr, false).is_hit()); // cold miss
+//! assert!(l2.access(addr, false).is_hit());  // now resident, at MRU
+//! assert_eq!(l2.stats().hits_by_position[0], 1);
+//! ```
+
+pub mod addr;
+pub mod bank;
+pub mod bankset;
+pub mod model;
+
+pub use addr::{AddressMap, BlockAddr};
+pub use bank::{Bank, Block};
+pub use bankset::{AccessResult, BankSetModel, ReplacementPolicy};
+pub use model::{CacheModel, CacheStats};

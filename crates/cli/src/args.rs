@@ -1,0 +1,236 @@
+//! `--key value` argument parsing and domain-value lookup.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use nucanet::{Design, Scheme};
+use nucanet_workload::BenchmarkProfile;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Why a command line was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no value.
+    MissingValue(String),
+    /// A bare token where `--flag` was expected.
+    UnexpectedToken(String),
+    /// A value failed domain validation.
+    BadValue {
+        key: String,
+        value: String,
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing subcommand"),
+            ParseError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ParseError::UnexpectedToken(t) => write!(f, "unexpected token '{t}'"),
+            ParseError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "bad value '{value}' for --{key}; expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Args {
+    /// Parses `tokens` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ParseError> {
+        let mut it = tokens.into_iter();
+        let command = it.next().ok_or(ParseError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ParseError::MissingCommand);
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ParseError::UnexpectedToken(tok));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| ParseError::MissingValue(key.to_string()))?;
+            options.insert(key.to_string(), value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Raw option lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::BadValue`] if present but not an integer.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ParseError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                expected: "an unsigned integer",
+            }),
+        }
+    }
+
+    /// The `--design` option (default A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::BadValue`] for anything but `A`–`F`.
+    pub fn design(&self) -> Result<Design, ParseError> {
+        match self.get("design").unwrap_or("A") {
+            "A" | "a" => Ok(Design::A),
+            "B" | "b" => Ok(Design::B),
+            "C" | "c" => Ok(Design::C),
+            "D" | "d" => Ok(Design::D),
+            "E" | "e" => Ok(Design::E),
+            "F" | "f" => Ok(Design::F),
+            other => Err(ParseError::BadValue {
+                key: "design".into(),
+                value: other.into(),
+                expected: "one of A, B, C, D, E, F",
+            }),
+        }
+    }
+
+    /// The `--scheme` option (default `mc-fastlru`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::BadValue`] for unknown scheme names.
+    pub fn scheme(&self) -> Result<Scheme, ParseError> {
+        match self.get("scheme").unwrap_or("mc-fastlru") {
+            "promotion" | "uni-promotion" => Ok(Scheme::UnicastPromotion),
+            "lru" | "uni-lru" => Ok(Scheme::UnicastLru),
+            "fastlru" | "uni-fastlru" => Ok(Scheme::UnicastFastLru),
+            "mc-promotion" => Ok(Scheme::MulticastPromotion),
+            "mc-fastlru" => Ok(Scheme::MulticastFastLru),
+            "static" | "snuca" => Ok(Scheme::StaticNuca),
+            other => Err(ParseError::BadValue {
+                key: "scheme".into(),
+                value: other.into(),
+                expected: "promotion|lru|fastlru|mc-promotion|mc-fastlru|static",
+            }),
+        }
+    }
+
+    /// The `--bench` option (default `gcc`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::BadValue`] for names not in Table 2.
+    pub fn benchmark(&self) -> Result<BenchmarkProfile, ParseError> {
+        let name = self.get("bench").unwrap_or("gcc");
+        BenchmarkProfile::by_name(name).ok_or_else(|| ParseError::BadValue {
+            key: "bench".into(),
+            value: name.into(),
+            expected: "a Table 2 benchmark (applu, apsi, art, …, vpr)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ParseError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse("run --design F --bench art --accesses 500").unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.design().unwrap(), Design::F);
+        assert_eq!(a.benchmark().unwrap().name, "art");
+        assert_eq!(a.get_usize("accesses", 0).unwrap(), 500);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("run").unwrap();
+        assert_eq!(a.design().unwrap(), Design::A);
+        assert_eq!(a.scheme().unwrap(), Scheme::MulticastFastLru);
+        assert_eq!(a.benchmark().unwrap().name, "gcc");
+        assert_eq!(a.get_usize("accesses", 1234).unwrap(), 1234);
+    }
+
+    #[test]
+    fn scheme_aliases() {
+        assert_eq!(
+            parse("x --scheme static").unwrap().scheme().unwrap(),
+            Scheme::StaticNuca
+        );
+        assert_eq!(
+            parse("x --scheme lru").unwrap().scheme().unwrap(),
+            Scheme::UnicastLru
+        );
+        assert_eq!(
+            parse("x --scheme mc-promotion").unwrap().scheme().unwrap(),
+            Scheme::MulticastPromotion
+        );
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(matches!(
+            parse("run --design Z").unwrap().design(),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse("run --bench quake").unwrap().benchmark(),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse("run --accesses many")
+                .unwrap()
+                .get_usize("accesses", 0),
+            Err(ParseError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(parse(""), Err(ParseError::MissingCommand));
+        assert_eq!(parse("--design A"), Err(ParseError::MissingCommand));
+        assert_eq!(
+            parse("run --design"),
+            Err(ParseError::MissingValue("design".into()))
+        );
+        assert_eq!(
+            parse("run stray"),
+            Err(ParseError::UnexpectedToken("stray".into()))
+        );
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = parse("run --design Z").unwrap().design().unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("design") && msg.contains('Z'), "{msg}");
+    }
+}

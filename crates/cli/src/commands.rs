@@ -1,0 +1,425 @@
+//! Subcommand implementations. Each returns its output as a `String` so
+//! the binary stays a two-line shell and tests can assert on content.
+
+use nucanet::area::{analyze, unused_area_mm2};
+use nucanet::config::ALL_DESIGNS;
+use nucanet::energy::energy_of_run;
+use nucanet::experiments::{run_cell, ExperimentScale};
+use nucanet::scheme::ALL_SCHEMES;
+use nucanet::{CacheSystem, Scheme};
+use nucanet_noc::{LinkCensus, NodeId, RoutingSpec, Topology};
+use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
+
+use crate::args::{Args, ParseError};
+use crate::render::{metrics_line, Table};
+
+/// Executes `args` and returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (rendered by the binary) on bad options or
+/// an unknown subcommand.
+pub fn run_command(args: &Args) -> Result<String, ParseError> {
+    match args.command.as_str() {
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "designs" => cmd_designs(args),
+        "area" => Ok(cmd_area()),
+        "energy" => cmd_energy(args),
+        "census" => Ok(cmd_census()),
+        "trace" => cmd_trace(args),
+        "replay" => cmd_replay(args),
+        "help" | "--help" | "-h" => Ok(help_text()),
+        other => Err(ParseError::BadValue {
+            key: "command".into(),
+            value: other.into(),
+            expected: "run|compare|designs|area|energy|census|trace|replay|help",
+        }),
+    }
+}
+
+/// The help screen.
+pub fn help_text() -> String {
+    "nucanet — networked NUCA cache simulator (HPCA'07 reproduction)\n\
+     \n\
+     usage: nucanet <command> [--key value ...]\n\
+     \n\
+     commands:\n\
+     \x20 run      simulate one (design, scheme, benchmark) cell\n\
+     \x20 compare  all replacement schemes on one design\n\
+     \x20 designs  all network designs under one scheme\n\
+     \x20 area     Table 4 area analysis for every design\n\
+     \x20 energy   per-access dynamic energy split (§7 extension)\n\
+     \x20 census   link-utilisation analysis of the 16x16 mesh\n\
+     \x20 trace    print a synthetic L2 trace (addr,write per line)\n\
+     \x20 replay   run a trace file through a design (--file PATH)\n\
+     \n\
+     common options:\n\
+     \x20 --design A..F        network design (default A)\n\
+     \x20 --scheme NAME        promotion|lru|fastlru|mc-promotion|mc-fastlru|static\n\
+     \x20 --bench NAME         Table 2 benchmark (default gcc)\n\
+     \x20 --accesses N         measured accesses (default 2000)\n\
+     \x20 --warmup N           warm-up accesses (default 20000)\n\
+     \x20 --cores K            cores sharing the cache (run only, default 1)\n\
+     \x20 --seed N             workload seed\n\
+     \x20 --csv 1              emit CSV instead of aligned text\n"
+        .into()
+}
+
+fn scale_of(args: &Args) -> Result<ExperimentScale, ParseError> {
+    Ok(ExperimentScale {
+        warmup: args.get_usize("warmup", 20_000)?,
+        measured: args.get_usize("accesses", 2_000)?,
+        active_sets: args.get_usize("sets", 256)? as u32,
+        seed: args.get_usize("seed", 0xCAFE)? as u64,
+    })
+}
+
+fn cmd_run(args: &Args) -> Result<String, ParseError> {
+    let design = args.design()?;
+    let scheme = args.scheme()?;
+    let bench = args.benchmark()?;
+    let scale = scale_of(args)?;
+    let cores = args.get_usize("cores", 1)?.max(1) as u8;
+
+    if cores == 1 {
+        let (m, ipc) = run_cell(design, scheme, &bench, scale);
+        return Ok(format!(
+            "{design:?} / {scheme} / {}\n{}\nIPC {ipc:.3} (perfect-L2 {:.2})\n",
+            bench.name,
+            metrics_line(&m),
+            bench.perfect_l2_ipc
+        ));
+    }
+    // CMP: every core runs the same profile with a different seed.
+    let cfg = design.config(scheme);
+    let mut sys = CacheSystem::with_cores(&cfg, cores);
+    let traces: Vec<Trace> = (0..cores)
+        .map(|i| {
+            let mut gen = TraceGenerator::new(
+                bench,
+                SynthConfig {
+                    active_sets: scale.active_sets,
+                    seed: scale.seed + i as u64,
+                    ..Default::default()
+                },
+            );
+            gen.generate(scale.warmup, scale.measured)
+        })
+        .collect();
+    let ms = sys.run_cmp(&traces);
+    let mut out = format!("{design:?} / {scheme} / {} x{cores} cores\n", bench.name);
+    for (i, m) in ms.iter().enumerate() {
+        out.push_str(&format!("core {i}: {}\n", metrics_line(m)));
+    }
+    Ok(out)
+}
+
+fn cmd_compare(args: &Args) -> Result<String, ParseError> {
+    let design = args.design()?;
+    let bench = args.benchmark()?;
+    let scale = scale_of(args)?;
+    let mut t = Table::new(vec!["scheme", "avg", "hit", "miss", "hitrate", "ipc"]);
+    for scheme in ALL_SCHEMES.into_iter().chain([Scheme::StaticNuca]) {
+        // Static NUCA only routes on the full mesh and halo.
+        if scheme == Scheme::StaticNuca
+            && !matches!(design, nucanet::Design::A | nucanet::Design::E)
+        {
+            continue;
+        }
+        let (m, ipc) = run_cell(design, scheme, &bench, scale);
+        t.push(vec![
+            scheme.name().to_string(),
+            format!("{:.1}", m.avg_latency()),
+            format!("{:.1}", m.avg_hit_latency()),
+            format!("{:.1}", m.avg_miss_latency()),
+            format!("{:.3}", m.hit_rate()),
+            format!("{ipc:.3}"),
+        ]);
+    }
+    Ok(render(args, t))
+}
+
+fn cmd_designs(args: &Args) -> Result<String, ParseError> {
+    let scheme = args.scheme()?;
+    let bench = args.benchmark()?;
+    let scale = scale_of(args)?;
+    let mut t = Table::new(vec!["design", "interconnect", "avg", "ipc", "norm"]);
+    let mut base_ipc = None;
+    for d in ALL_DESIGNS {
+        // Static NUCA needs uniform bank counts AND routable fills to
+        // every bank — only the full mesh (A) and halo (E) qualify.
+        if scheme == Scheme::StaticNuca && !matches!(d, nucanet::Design::A | nucanet::Design::E) {
+            continue;
+        }
+        let (m, ipc) = run_cell(d, scheme, &bench, scale);
+        let base = *base_ipc.get_or_insert(ipc);
+        t.push(vec![
+            format!("{d:?}"),
+            d.interconnect_description().to_string(),
+            format!("{:.1}", m.avg_latency()),
+            format!("{ipc:.3}"),
+            format!("{:.3}", ipc / base),
+        ]);
+    }
+    Ok(render(args, t))
+}
+
+fn cmd_area() -> String {
+    let mut t = Table::new(vec![
+        "design",
+        "bank%",
+        "router%",
+        "link%",
+        "L2 mm2",
+        "chip mm2",
+        "unused mm2",
+    ]);
+    for d in ALL_DESIGNS {
+        let a = analyze(d);
+        let (b, r, l) = a.breakdown.shares();
+        t.push(vec![
+            format!("{d:?}"),
+            format!("{:.1}", 100.0 * b),
+            format!("{:.1}", 100.0 * r),
+            format!("{:.1}", 100.0 * l),
+            format!("{:.1}", a.breakdown.l2_mm2()),
+            format!("{:.1}", a.chip_mm2),
+            format!("{:.1}", unused_area_mm2(&a)),
+        ]);
+    }
+    t.to_text()
+}
+
+fn cmd_energy(args: &Args) -> Result<String, ParseError> {
+    let design = args.design()?;
+    let scheme = args.scheme()?;
+    let bench = args.benchmark()?;
+    let scale = scale_of(args)?;
+    let (m, _) = run_cell(design, scheme, &bench, scale);
+    let e = energy_of_run(&design.config(scheme), &m);
+    let n = m.accesses() as f64;
+    Ok(format!(
+        "{design:?} / {scheme} / {}: {:.1} pJ per access\n\
+         \x20 link {:.1}  router {:.1}  bank {:.1}  memory {:.1}  (network share {:.0}%)\n",
+        bench.name,
+        e.per_access_pj(),
+        e.link_pj / n,
+        e.router_pj / n,
+        e.bank_pj / n,
+        e.memory_pj / n,
+        100.0 * e.network_share()
+    ))
+}
+
+fn cmd_census() -> String {
+    let unit = |n: u16| vec![1u32; n as usize];
+    let topo = Topology::mesh(16, 16, &unit(15), &unit(15));
+    let rt = RoutingSpec::Xy.build(&topo).expect("mesh routes under XY");
+    let core = topo.node_at(7, 0);
+    let memory = topo.node_at(8, 15);
+    let mut flows: Vec<(NodeId, NodeId)> = Vec::new();
+    for c in 0..16 {
+        for r in 0..16 {
+            let bank = topo.node_at(c, r);
+            flows.push((core, bank));
+            flows.push((bank, core));
+            if r + 1 < 16 {
+                flows.push((bank, topo.node_at(c, r + 1)));
+                flows.push((topo.node_at(c, r + 1), bank));
+            }
+        }
+        flows.push((memory, topo.node_at(c, 0)));
+        flows.push((topo.node_at(c, 15), memory));
+    }
+    let census = LinkCensus::from_flows(&topo, &rt, &flows);
+    let simp = Topology::simplified_mesh(16, 16, &unit(15), &unit(15));
+    format!(
+        "16x16 mesh under XY with cache traffic: {}/{} links never used ({:.0}%)\n\
+         simplified mesh keeps {} links (removes {})\n\
+         paper §1: \"20% of the links in a mesh network are never used\"\n",
+        census.unused(),
+        census.total(),
+        100.0 * census.unused_fraction(),
+        simp.link_count(),
+        topo.link_count() - simp.link_count()
+    )
+}
+
+fn cmd_trace(args: &Args) -> Result<String, ParseError> {
+    let bench = args.benchmark()?;
+    let n = args.get_usize("accesses", 1_000)?;
+    let seed = args.get_usize("seed", 0xCAFE)? as u64;
+    let mut gen = TraceGenerator::new(
+        bench,
+        SynthConfig {
+            seed,
+            ..Default::default()
+        },
+    );
+    let trace = gen.generate(0, n);
+    let mut out = String::with_capacity(n * 12);
+    out.push_str("# addr,write\n");
+    for a in trace.all() {
+        out.push_str(&format!("{:#010x},{}\n", a.addr, u8::from(a.write)));
+    }
+    Ok(out)
+}
+
+fn cmd_replay(args: &Args) -> Result<String, ParseError> {
+    let design = args.design()?;
+    let scheme = args.scheme()?;
+    let path = args
+        .get("file")
+        .ok_or(ParseError::MissingValue("file".into()))?;
+    let file = std::fs::File::open(path).map_err(|e| ParseError::BadValue {
+        key: "file".into(),
+        value: format!("{path}: {e}"),
+        expected: "a readable trace file",
+    })?;
+    let trace = nucanet_workload::read_trace(std::io::BufReader::new(file)).map_err(|e| {
+        ParseError::BadValue {
+            key: "file".into(),
+            value: e.to_string(),
+            expected: "a trace in `addr,write` format",
+        }
+    })?;
+    let mut sys = CacheSystem::new(&design.config(scheme));
+    let m = sys.run(&trace);
+    Ok(format!(
+        "{design:?} / {scheme} / {path}\n{}\n",
+        metrics_line(&m)
+    ))
+}
+
+fn render(args: &Args, t: Table) -> String {
+    if args.get("csv") == Some("1") {
+        t.to_csv()
+    } else {
+        t.to_text()
+    }
+}
+
+/// IPC for a metrics/benchmark pair (exposed for the binary's tests).
+pub fn ipc_of(m: &nucanet::Metrics, bench: &nucanet_workload::BenchmarkProfile) -> f64 {
+    m.ipc(&CoreModel::for_profile(bench))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> String {
+        let args = Args::parse(line.split_whitespace().map(String::from)).expect("parses");
+        run_command(&args).expect("command succeeds")
+    }
+
+    #[test]
+    fn help_lists_all_commands() {
+        let h = help_text();
+        for cmd in [
+            "run", "compare", "designs", "area", "energy", "census", "trace",
+        ] {
+            assert!(h.contains(cmd), "help must mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let args = Args::parse(["frobnicate".to_string()]).unwrap();
+        assert!(run_command(&args).is_err());
+    }
+
+    #[test]
+    fn run_small_cell() {
+        let out = run("run --bench art --accesses 80 --warmup 1500 --sets 32");
+        assert!(out.contains("A / multicast+fastLRU / art"), "{out}");
+        assert!(out.contains("IPC"), "{out}");
+        assert!(out.contains("80 accesses"), "{out}");
+    }
+
+    #[test]
+    fn run_cmp_cell() {
+        let out = run("run --cores 2 --accesses 60 --warmup 1000 --sets 32 --bench twolf");
+        assert!(out.contains("x2 cores"), "{out}");
+        assert!(out.contains("core 0:"), "{out}");
+        assert!(out.contains("core 1:"), "{out}");
+    }
+
+    #[test]
+    fn compare_emits_all_schemes() {
+        let out = run("compare --accesses 60 --warmup 1000 --sets 32 --bench vpr");
+        for s in ["unicast+promotion", "multicast+fastLRU", "static NUCA"] {
+            assert!(out.contains(s), "{out}");
+        }
+    }
+
+    #[test]
+    fn compare_csv_mode() {
+        let out = run("compare --accesses 50 --warmup 800 --sets 32 --csv 1");
+        assert!(out.starts_with("scheme,avg,hit,miss,hitrate,ipc"), "{out}");
+        assert_eq!(out.lines().count(), 7, "{out}");
+    }
+
+    #[test]
+    fn designs_skips_non_uniform_for_static() {
+        let out = run("designs --scheme static --accesses 50 --warmup 800 --sets 32");
+        assert!(out.contains("A"), "{out}");
+        assert!(
+            !out.contains("non-uniform"),
+            "static NUCA must skip D/F: {out}"
+        );
+    }
+
+    #[test]
+    fn area_has_six_rows() {
+        let out = cmd_area();
+        assert_eq!(out.lines().count(), 8, "{out}"); // header + rule + 6 designs
+    }
+
+    #[test]
+    fn census_mentions_the_claim() {
+        let out = cmd_census();
+        assert!(out.contains("never used"), "{out}");
+    }
+
+    #[test]
+    fn trace_dumps_lines() {
+        let out = run("trace --bench art --accesses 25 --seed 7");
+        assert_eq!(out.lines().count(), 26, "{out}"); // header + 25 accesses
+        assert!(out.lines().nth(1).unwrap().starts_with("0x"), "{out}");
+    }
+
+    #[test]
+    fn replay_runs_a_trace_file() {
+        // Emit a trace with the trace command, write it to a temp file,
+        // replay it.
+        let dumped = run("trace --bench art --accesses 120 --seed 3");
+        let path = std::env::temp_dir().join("nucanet_cli_replay_test.trace");
+        std::fs::write(&path, format!("# warmup: 40\n{dumped}")).unwrap();
+        let out = run(&format!(
+            "replay --file {} --design B --scheme fastlru",
+            path.display()
+        ));
+        assert!(out.contains("80 accesses"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_missing_file_errors() {
+        let args = Args::parse(
+            "replay --file /no/such/file.trace"
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        assert!(run_command(&args).is_err());
+    }
+
+    #[test]
+    fn energy_reports_components() {
+        let out = run("energy --accesses 50 --warmup 800 --sets 32 --bench mesa");
+        assert!(out.contains("pJ per access"), "{out}");
+        assert!(out.contains("network share"), "{out}");
+    }
+}

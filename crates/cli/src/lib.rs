@@ -1,0 +1,24 @@
+//! Command-line front end for the `nucanet` simulator.
+//!
+//! The binary is a thin shell over this library so every command is unit
+//! testable:
+//!
+//! ```text
+//! nucanet run      --design F --scheme mc-fastlru --bench gcc [--accesses N] [--cores K]
+//! nucanet compare  --bench twolf [--design A]         # all schemes side by side
+//! nucanet designs  --bench mcf [--scheme mc-fastlru]  # all designs side by side
+//! nucanet area                                        # Table 4 for all designs
+//! nucanet energy   --design F --bench vpr             # §7 energy report
+//! nucanet census                                      # link-utilisation analysis
+//! nucanet trace    --bench art --accesses 10000       # dump a trace to stdout
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set identical to the library's.
+
+pub mod args;
+pub mod commands;
+pub mod render;
+
+pub use args::{Args, ParseError};
+pub use commands::run_command;

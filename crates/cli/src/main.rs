@@ -1,0 +1,21 @@
+//! `nucanet` binary: parse the command line, run it, print the result.
+
+use nucanet_cli::commands::help_text;
+use nucanet_cli::{run_command, Args};
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", help_text());
+            std::process::exit(2);
+        }
+    };
+    match run_command(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", help_text());
+            std::process::exit(2);
+        }
+    }
+}

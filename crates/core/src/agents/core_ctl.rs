@@ -1,0 +1,799 @@
+//! The cache controller at the core.
+//!
+//! Admits L2 accesses as transactions (bounded outstanding window,
+//! per-bank-set serialisation — the paper's 2-entry spike queues),
+//! issues unicast walks or multicasts, collects notifications, invokes
+//! the off-chip memory on a full miss, and retires transactions into
+//! [`AccessRecord`]s.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use nucanet_noc::{Dest, Endpoint};
+
+use super::Outgoing;
+use crate::metrics::AccessRecord;
+use crate::msg::CacheMsg;
+use crate::scheme::Scheme;
+
+/// Bank-set serialisation state, shared by every controller that uses
+/// the cache (one per system; CMP cores share it so cross-core accesses
+/// to one set cannot interleave mid-replacement).
+#[derive(Debug)]
+pub struct SetLocks {
+    col_active: Vec<u8>,
+    locked: HashSet<(u16, u32)>,
+    per_column_limit: u8,
+}
+
+impl SetLocks {
+    /// Creates an unlocked table for `columns` bank sets.
+    pub fn new(columns: usize, per_column_limit: u8) -> Self {
+        SetLocks {
+            col_active: vec![0; columns],
+            locked: HashSet::new(),
+            per_column_limit: per_column_limit.max(1),
+        }
+    }
+
+    /// Shared handle for several controllers.
+    pub fn shared(columns: usize, per_column_limit: u8) -> Rc<RefCell<SetLocks>> {
+        Rc::new(RefCell::new(SetLocks::new(columns, per_column_limit)))
+    }
+
+    fn can_admit(&self, column: u16, index: u32) -> bool {
+        self.col_active[column as usize] < self.per_column_limit
+            && !self.locked.contains(&(column, index))
+    }
+
+    fn lock(&mut self, column: u16, index: u32) {
+        self.col_active[column as usize] += 1;
+        self.locked.insert((column, index));
+    }
+
+    fn unlock(&mut self, column: u16, index: u32) {
+        self.col_active[column as usize] -= 1;
+        self.locked.remove(&(column, index));
+    }
+}
+
+/// One L2 access waiting for admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingAccess {
+    /// Bank set (column/spike).
+    pub column: u16,
+    /// Set index within each bank.
+    pub index: u32,
+    /// Address tag.
+    pub tag: u32,
+    /// Store vs load.
+    pub write: bool,
+}
+
+#[derive(Debug)]
+struct Txn {
+    column: u16,
+    index: u32,
+    tag: u32,
+    write: bool,
+    issued_at: u64,
+    data_done: Option<u64>,
+    hit_position: Option<u8>,
+    miss_count: u8,
+    notifies_seen: u8,
+    expect_completion: bool,
+    completion_seen: Option<u64>,
+    expect_filldone: bool,
+    filldone_seen: Option<u64>,
+    mem_fetch_sent: bool,
+    last_pos_acc: u32,
+    bank_cycles: u64,
+    mem_cycles: u64,
+}
+
+/// The core-side protocol engine.
+#[derive(Debug)]
+pub struct CoreController {
+    scheme: Scheme,
+    /// The controller's network interfaces; column `c` uses interface
+    /// `c % endpoints.len()` for both injection and replies.
+    pub endpoints: Vec<Endpoint>,
+    memory: Endpoint,
+    /// Bank endpoints per column, MRU first.
+    columns: Vec<Vec<Endpoint>>,
+    positions: u8,
+    queue: VecDeque<PendingAccess>,
+    txns: HashMap<u32, Txn>,
+    next_txn: u32,
+    locks: Rc<RefCell<SetLocks>>,
+    max_outstanding: usize,
+    /// How deep into the queue admission may look (an MSHR-like window).
+    admission_scan: usize,
+    completed: Vec<AccessRecord>,
+}
+
+impl CoreController {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty or ragged.
+    pub fn new(
+        scheme: Scheme,
+        endpoints: Vec<Endpoint>,
+        memory: Endpoint,
+        columns: Vec<Vec<Endpoint>>,
+        max_outstanding: usize,
+        locks: Rc<RefCell<SetLocks>>,
+    ) -> Self {
+        assert!(!columns.is_empty(), "need at least one column");
+        assert!(
+            !endpoints.is_empty(),
+            "need at least one controller interface"
+        );
+        let positions = columns[0].len() as u8;
+        assert!(positions >= 1, "columns must hold at least one bank");
+        assert!(
+            columns.iter().all(|c| c.len() == positions as usize),
+            "ragged columns"
+        );
+        CoreController {
+            scheme,
+            endpoints,
+            memory,
+            columns,
+            positions,
+            queue: VecDeque::new(),
+            txns: HashMap::new(),
+            next_txn: 0,
+            locks,
+            max_outstanding: max_outstanding.max(1),
+            admission_scan: 16,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Offsets this controller's transaction ids so several controllers
+    /// can share the network without id collisions at the banks.
+    pub fn set_txn_base(&mut self, base: u32) {
+        assert!(self.txns.is_empty(), "set the txn base before issuing");
+        self.next_txn = base;
+    }
+
+    /// Enqueues one access for admission.
+    pub fn push_access(&mut self, a: PendingAccess) {
+        self.queue.push_back(a);
+    }
+
+    /// Transactions currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Accesses not yet admitted.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether all work has been admitted, completed, and retired.
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty() && self.txns.is_empty()
+    }
+
+    /// Takes the retired access records accumulated so far.
+    pub fn take_completed(&mut self) -> Vec<AccessRecord> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The interface serving `column`.
+    pub fn port_for(&self, column: u16) -> Endpoint {
+        self.endpoints[column as usize % self.endpoints.len()]
+    }
+
+    /// Admits as many queued accesses as limits allow; returns the
+    /// request packets to inject, each tagged with the interface it
+    /// departs from.
+    pub fn try_admit(&mut self, now: u64) -> Vec<(Endpoint, Outgoing)> {
+        let mut out = Vec::new();
+        loop {
+            if self.txns.len() >= self.max_outstanding {
+                break;
+            }
+            let locks = self.locks.borrow();
+            let slot = self
+                .queue
+                .iter()
+                .take(self.admission_scan)
+                .position(|a| locks.can_admit(a.column, a.index));
+            drop(locks);
+            let Some(i) = slot else { break };
+            let a = self.queue.remove(i).expect("position came from the queue");
+            let src = self.port_for(a.column);
+            out.push((src, self.admit(a, now)));
+        }
+        out
+    }
+
+    fn admit(&mut self, a: PendingAccess, now: u64) -> Outgoing {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.locks.borrow_mut().lock(a.column, a.index);
+        self.txns.insert(
+            txn,
+            Txn {
+                column: a.column,
+                index: a.index,
+                tag: a.tag,
+                write: a.write,
+                issued_at: now,
+                data_done: None,
+                hit_position: None,
+                miss_count: 0,
+                notifies_seen: 0,
+                expect_completion: false,
+                completion_seen: None,
+                expect_filldone: false,
+                filldone_seen: None,
+                mem_fetch_sent: false,
+                last_pos_acc: 0,
+                bank_cycles: 0,
+                mem_cycles: 0,
+            },
+        );
+        let reply = self.port_for(a.column);
+        if self.scheme == Scheme::StaticNuca {
+            // Static placement: straight to the home bank.
+            let home = a.index as usize % self.positions as usize;
+            return Outgoing {
+                ready: now,
+                dest: Dest::unicast(self.columns[a.column as usize][home]),
+                msg: CacheMsg::Request {
+                    txn,
+                    index: a.index,
+                    tag: a.tag,
+                    write: a.write,
+                    reply,
+                },
+            };
+        }
+        if self.scheme.is_multicast() {
+            Outgoing {
+                ready: now,
+                dest: Dest::multicast(self.columns[a.column as usize].clone()),
+                msg: CacheMsg::Request {
+                    txn,
+                    index: a.index,
+                    tag: a.tag,
+                    write: a.write,
+                    reply,
+                },
+            }
+        } else {
+            Outgoing {
+                ready: now,
+                dest: Dest::unicast(self.columns[a.column as usize][0]),
+                msg: CacheMsg::WalkRequest {
+                    txn,
+                    index: a.index,
+                    tag: a.tag,
+                    write: a.write,
+                    carry: None,
+                    acc_bank: 0,
+                    reply,
+                },
+            }
+        }
+    }
+
+    /// Handles a message addressed to the core; may emit a memory fetch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown transactions or messages the core never
+    /// receives.
+    pub fn handle(&mut self, msg: &CacheMsg, now: u64) -> Vec<Outgoing> {
+        let id = msg.txn();
+        let positions = self.positions;
+        let scheme = self.scheme;
+        let t = self
+            .txns
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("core received {msg:?} for unknown txn {id}"));
+        let mut out = Vec::new();
+        match *msg {
+            CacheMsg::HitData {
+                position, acc_bank, ..
+            } => {
+                t.hit_position = Some(position);
+                t.notifies_seen += 1;
+                t.bank_cycles += acc_bank as u64;
+                if t.data_done.is_none() {
+                    t.data_done = Some(now);
+                }
+                if position > 0 {
+                    match scheme {
+                        Scheme::UnicastPromotion
+                        | Scheme::MulticastPromotion
+                        | Scheme::UnicastLru => {
+                            t.expect_completion = true;
+                        }
+                        Scheme::UnicastFastLru | Scheme::MulticastFastLru => {
+                            t.expect_filldone = true;
+                        }
+                        // No migration: a hit is complete once the data
+                        // reaches the core.
+                        Scheme::StaticNuca => {}
+                    }
+                }
+            }
+            CacheMsg::MissNotify {
+                position,
+                chain_started,
+                acc_bank,
+                ..
+            } => {
+                t.notifies_seen += 1;
+                t.miss_count += 1;
+                if position == 0 && chain_started {
+                    t.expect_completion = true;
+                }
+                let fetch = if scheme.is_multicast() {
+                    if position == positions - 1 {
+                        t.last_pos_acc = acc_bank;
+                    }
+                    t.miss_count == positions
+                } else {
+                    t.last_pos_acc = acc_bank;
+                    true
+                };
+                if fetch {
+                    assert!(!t.mem_fetch_sent, "duplicate memory fetch for txn {id}");
+                    t.mem_fetch_sent = true;
+                    t.bank_cycles += t.last_pos_acc as u64;
+                    let reply = self.endpoints[t.column as usize % self.endpoints.len()];
+                    out.push(Outgoing {
+                        ready: now,
+                        dest: Dest::unicast(self.memory),
+                        msg: CacheMsg::MemFetch {
+                            txn: id,
+                            column: t.column,
+                            index: t.index,
+                            tag: t.tag,
+                            write: t.write,
+                            reply,
+                        },
+                    });
+                }
+            }
+            CacheMsg::FillData {
+                chain_started,
+                acc_bank,
+                acc_mem,
+                ..
+            } => {
+                if t.data_done.is_none() {
+                    t.data_done = Some(now);
+                }
+                t.bank_cycles += acc_bank as u64;
+                t.mem_cycles += acc_mem as u64;
+                if chain_started {
+                    t.expect_completion = true;
+                }
+            }
+            CacheMsg::Completion { acc_bank, .. } => {
+                t.completion_seen = Some(now);
+                t.bank_cycles += acc_bank as u64;
+            }
+            CacheMsg::FillDone { acc_bank, .. } => {
+                t.filldone_seen = Some(now);
+                t.bank_cycles += acc_bank as u64;
+            }
+            ref other => panic!("core received unexpected {other:?}"),
+        }
+        self.try_retire(id);
+        out
+    }
+
+    fn try_retire(&mut self, id: u32) {
+        let t = &self.txns[&id];
+        let data_ok = t.data_done.is_some();
+        let chain_ok = !t.expect_completion || t.completion_seen.is_some();
+        let fill_ok = !t.expect_filldone || t.filldone_seen.is_some();
+        let notifies_ok = !self.scheme.is_multicast() || t.notifies_seen == self.positions;
+        if !(data_ok && chain_ok && fill_ok && notifies_ok) {
+            return;
+        }
+        let t = self.txns.remove(&id).expect("txn present");
+        self.locks.borrow_mut().unlock(t.column, t.index);
+        // Access latency counts the whole operation — tag-match, data
+        // delivery AND replacement — matching the paper's hop-count
+        // accounting (Fig. 2: LRU 21 hops vs Fast-LRU 12 hops). Late
+        // miss-notification stragglers of a multicast hit do not extend
+        // it; they only delay bookkeeping.
+        let data = t.data_done.expect("data_ok checked");
+        let done = [Some(data), t.completion_seen, t.filldone_seen]
+            .into_iter()
+            .flatten()
+            .max()
+            .expect("data present");
+        self.completed.push(AccessRecord {
+            write: t.write,
+            hit_position: t.hit_position,
+            latency: done - t.issued_at,
+            data_latency: data - t.issued_at,
+            bank_cycles: t.bank_cycles,
+            mem_cycles: t.mem_cycles,
+        });
+    }
+
+    /// Debug dump of stuck transactions (used by the system watchdog).
+    pub fn debug_stuck(&self) -> String {
+        let mut s = String::new();
+        for (id, t) in &self.txns {
+            s.push_str(&format!(
+                "txn {id}: col {} idx {} data={:?} notifies={} misses={} \
+                 exp_c={} c={:?} exp_f={} f={:?}\n",
+                t.column,
+                t.index,
+                t.data_done,
+                t.notifies_seen,
+                t.miss_count,
+                t.expect_completion,
+                t.completion_seen,
+                t.expect_filldone,
+                t.filldone_seen
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucanet_noc::NodeId;
+
+    fn ep(n: u32) -> Endpoint {
+        Endpoint::at(NodeId(n))
+    }
+
+    fn controller(scheme: Scheme) -> CoreController {
+        let columns = vec![
+            vec![ep(10), ep(11), ep(12), ep(13)],
+            vec![ep(20), ep(21), ep(22), ep(23)],
+        ];
+        CoreController::new(
+            scheme,
+            vec![ep(1)],
+            ep(2),
+            columns,
+            4,
+            SetLocks::shared(2, 2),
+        )
+    }
+
+    fn acc(column: u16, index: u32, tag: u32) -> PendingAccess {
+        PendingAccess {
+            column,
+            index,
+            tag,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn admits_multicast_request_to_whole_column() {
+        let mut c = controller(Scheme::MulticastFastLru);
+        c.push_access(acc(1, 5, 9));
+        let out = c.try_admit(100);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, ep(1), "departs from the controller interface");
+        assert_eq!(
+            out[0].1.dest,
+            Dest::multicast(vec![ep(20), ep(21), ep(22), ep(23)])
+        );
+        assert!(matches!(
+            out[0].1.msg,
+            CacheMsg::Request {
+                index: 5,
+                tag: 9,
+                ..
+            }
+        ));
+        assert_eq!(c.outstanding(), 1);
+    }
+
+    #[test]
+    fn admits_unicast_walk_to_mru_bank() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.push_access(acc(0, 1, 2));
+        let out = c.try_admit(0);
+        assert_eq!(out[0].1.dest, Dest::unicast(ep(10)));
+        assert!(matches!(
+            out[0].1.msg,
+            CacheMsg::WalkRequest { carry: None, .. }
+        ));
+    }
+
+    #[test]
+    fn same_set_serialises() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.push_access(acc(0, 1, 2));
+        c.push_access(acc(0, 1, 3)); // same set
+        let out = c.try_admit(0);
+        assert_eq!(out.len(), 1, "second access to the same set must wait");
+        assert_eq!(c.queued(), 1);
+    }
+
+    #[test]
+    fn different_sets_in_one_column_up_to_limit() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.push_access(acc(0, 1, 2));
+        c.push_access(acc(0, 2, 3));
+        c.push_access(acc(0, 3, 4)); // exceeds per-column limit of 2
+        let out = c.try_admit(0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn admission_skips_blocked_head() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.push_access(acc(0, 1, 2));
+        c.push_access(acc(0, 1, 3)); // blocked (same set)
+        c.push_access(acc(1, 9, 4)); // admissible
+        let out = c.try_admit(0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(c.queued(), 1);
+    }
+
+    #[test]
+    fn unicast_hit_retires_on_data_when_mru() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        let out = c.handle(
+            &CacheMsg::HitData {
+                txn: 0,
+                position: 0,
+                acc_bank: 2,
+            },
+            30,
+        );
+        assert!(out.is_empty());
+        assert!(c.is_done());
+        let rec = c.take_completed();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].latency, 30);
+        assert_eq!(rec[0].hit_position, Some(0));
+        assert_eq!(rec[0].bank_cycles, 2);
+    }
+
+    #[test]
+    fn unicast_lru_deep_hit_waits_for_completion() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        c.handle(
+            &CacheMsg::HitData {
+                txn: 0,
+                position: 3,
+                acc_bank: 8,
+            },
+            40,
+        );
+        assert_eq!(c.outstanding(), 1, "replacement chain still running");
+        c.handle(
+            &CacheMsg::Completion {
+                txn: 0,
+                acc_bank: 12,
+            },
+            90,
+        );
+        assert!(c.is_done());
+        let rec = c.take_completed()[0];
+        assert_eq!(rec.latency, 90, "latency spans the replacement chain");
+        assert_eq!(rec.data_latency, 40, "data arrived earlier");
+    }
+
+    #[test]
+    fn unicast_miss_fetches_memory_and_retires_on_fill() {
+        let mut c = controller(Scheme::UnicastFastLru);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        let out = c.handle(
+            &CacheMsg::MissNotify {
+                txn: 0,
+                position: 3,
+                chain_started: false,
+                acc_bank: 11,
+            },
+            50,
+        );
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            out[0].msg,
+            CacheMsg::MemFetch {
+                column: 0,
+                index: 1,
+                tag: 2,
+                ..
+            }
+        ));
+        assert_eq!(out[0].dest, Dest::unicast(ep(2)));
+        c.handle(
+            &CacheMsg::FillData {
+                txn: 0,
+                chain_started: false,
+                acc_bank: 3,
+                acc_mem: 162,
+            },
+            260,
+        );
+        assert!(c.is_done());
+        let rec = &c.take_completed()[0];
+        assert_eq!(rec.hit_position, None);
+        assert_eq!(rec.latency, 260);
+        assert_eq!(rec.bank_cycles, 14);
+        assert_eq!(rec.mem_cycles, 162);
+    }
+
+    #[test]
+    fn multicast_waits_for_all_notifies() {
+        let mut c = controller(Scheme::MulticastFastLru);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        // Hit at the MRU bank, but the other three banks still report.
+        c.handle(
+            &CacheMsg::HitData {
+                txn: 0,
+                position: 0,
+                acc_bank: 2,
+            },
+            10,
+        );
+        assert_eq!(c.outstanding(), 1);
+        for p in 1..4u8 {
+            c.handle(
+                &CacheMsg::MissNotify {
+                    txn: 0,
+                    position: p,
+                    chain_started: false,
+                    acc_bank: 2,
+                },
+                12 + p as u64,
+            );
+        }
+        assert!(c.is_done());
+        let rec = c.take_completed()[0];
+        assert_eq!(
+            rec.latency, 10,
+            "MRU hit: stragglers do not extend the latency"
+        );
+        assert_eq!(rec.data_latency, 10);
+    }
+
+    #[test]
+    fn multicast_full_miss_triggers_single_fetch() {
+        let mut c = controller(Scheme::MulticastFastLru);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        let mut fetches = 0;
+        for p in 0..4u8 {
+            let out = c.handle(
+                &CacheMsg::MissNotify {
+                    txn: 0,
+                    position: p,
+                    chain_started: p == 0,
+                    acc_bank: if p == 3 { 7 } else { 2 },
+                },
+                10,
+            );
+            fetches += out.len();
+        }
+        assert_eq!(fetches, 1, "exactly one fetch after all misses");
+        // Chain completion + fill still outstanding.
+        c.handle(
+            &CacheMsg::Completion {
+                txn: 0,
+                acc_bank: 0,
+            },
+            60,
+        );
+        assert_eq!(c.outstanding(), 1);
+        c.handle(
+            &CacheMsg::FillData {
+                txn: 0,
+                chain_started: false,
+                acc_bank: 3,
+                acc_mem: 162,
+            },
+            200,
+        );
+        assert!(c.is_done());
+        let rec = &c.take_completed()[0];
+        assert_eq!(rec.bank_cycles, 7 + 3, "LRU bank tag + MRU install");
+    }
+
+    #[test]
+    fn multicast_deep_hit_needs_filldone_and_chain() {
+        let mut c = controller(Scheme::MulticastFastLru);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        c.handle(
+            &CacheMsg::MissNotify {
+                txn: 0,
+                position: 0,
+                chain_started: true,
+                acc_bank: 3,
+            },
+            8,
+        );
+        c.handle(
+            &CacheMsg::HitData {
+                txn: 0,
+                position: 2,
+                acc_bank: 3,
+            },
+            12,
+        );
+        c.handle(
+            &CacheMsg::MissNotify {
+                txn: 0,
+                position: 1,
+                chain_started: false,
+                acc_bank: 2,
+            },
+            13,
+        );
+        c.handle(
+            &CacheMsg::MissNotify {
+                txn: 0,
+                position: 3,
+                chain_started: false,
+                acc_bank: 2,
+            },
+            14,
+        );
+        assert_eq!(c.outstanding(), 1, "chain + MRU fill outstanding");
+        c.handle(
+            &CacheMsg::Completion {
+                txn: 0,
+                acc_bank: 0,
+            },
+            30,
+        );
+        assert_eq!(c.outstanding(), 1, "MRU fill outstanding");
+        c.handle(
+            &CacheMsg::FillDone {
+                txn: 0,
+                acc_bank: 0,
+            },
+            35,
+        );
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn outstanding_window_caps_admission() {
+        let mut c = controller(Scheme::UnicastLru);
+        for i in 0..10 {
+            c.push_access(acc((i % 2) as u16, i, 1));
+        }
+        let out = c.try_admit(0);
+        assert_eq!(out.len(), 4, "max_outstanding = 4");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown txn")]
+    fn unknown_txn_panics() {
+        let mut c = controller(Scheme::UnicastLru);
+        let _ = c.handle(
+            &CacheMsg::Completion {
+                txn: 7,
+                acc_bank: 0,
+            },
+            0,
+        );
+    }
+}

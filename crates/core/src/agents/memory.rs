@@ -1,0 +1,220 @@
+//! Off-chip memory controller agent.
+//!
+//! Table 1: "Memory latency (pipelined): 130 cycles + 4 cycles per 8B".
+//! A 64-byte block therefore takes 162 cycles; the halo designs add a
+//! round-trip wire penalty because their memory controller sits in the
+//! middle of the die (§4). The memory is pipelined: overlapping fetches
+//! do not queue behind each other.
+
+use nucanet_noc::{Dest, Endpoint};
+
+use super::Outgoing;
+use crate::msg::CacheMsg;
+use crate::scheme::Scheme;
+
+/// The memory controller and off-chip DRAM model.
+#[derive(Debug, Clone)]
+pub struct MemoryAgent {
+    endpoint: Endpoint,
+    /// Bank endpoints per column, position order (fill targets).
+    banks: Vec<Vec<Endpoint>>,
+    scheme: Scheme,
+    /// Full service time for one block (fetch or writeback).
+    service: u32,
+    fetches: u64,
+    writebacks: u64,
+}
+
+impl MemoryAgent {
+    /// Creates the agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is empty or ragged-empty.
+    pub fn new(
+        endpoint: Endpoint,
+        banks: Vec<Vec<Endpoint>>,
+        scheme: Scheme,
+        service: u32,
+    ) -> Self {
+        assert!(!banks.is_empty(), "memory needs at least one fill column");
+        assert!(
+            banks.iter().all(|c| !c.is_empty()),
+            "columns need at least one bank"
+        );
+        MemoryAgent {
+            endpoint,
+            banks,
+            scheme,
+            service,
+            fetches: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// This agent's endpoint.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// Block fetches served.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Writebacks absorbed.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Handles one delivered message.
+    ///
+    /// # Panics
+    ///
+    /// Panics on messages the memory can never receive.
+    pub fn handle(&mut self, msg: &CacheMsg, now: u64) -> Vec<Outgoing> {
+        match *msg {
+            CacheMsg::MemFetch {
+                txn,
+                column,
+                index,
+                tag,
+                write,
+                reply,
+            } => {
+                self.fetches += 1;
+                let fin = now + self.service as u64;
+                let col = &self.banks[column as usize];
+                // Fills land in the MRU bank; static NUCA fills the home
+                // bank instead (blocks never move afterwards).
+                let target = if self.scheme == Scheme::StaticNuca {
+                    col[index as usize % col.len()]
+                } else {
+                    col[0]
+                };
+                vec![Outgoing {
+                    ready: fin,
+                    dest: Dest::unicast(target),
+                    msg: CacheMsg::MemReply {
+                        txn,
+                        index,
+                        tag,
+                        write,
+                        acc_mem: self.service,
+                        reply,
+                    },
+                }]
+            }
+            CacheMsg::WriteBack { .. } => {
+                self.writebacks += 1;
+                Vec::new()
+            }
+            ref other => panic!("memory received unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nucanet_noc::NodeId;
+
+    fn ep(n: u32) -> Endpoint {
+        Endpoint::at(NodeId(n))
+    }
+
+    #[test]
+    fn fetch_replies_to_the_columns_mru_bank() {
+        let mut m = MemoryAgent::new(
+            ep(0),
+            vec![vec![ep(1)], vec![ep(2)]],
+            Scheme::MulticastFastLru,
+            162,
+        );
+        let out = m.handle(
+            &CacheMsg::MemFetch {
+                txn: 9,
+                column: 1,
+                index: 3,
+                tag: 7,
+                write: true,
+                reply: Endpoint::default(),
+            },
+            1_000,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ready, 1_162);
+        assert_eq!(out[0].dest, Dest::unicast(ep(2)));
+        assert!(matches!(
+            out[0].msg,
+            CacheMsg::MemReply {
+                txn: 9,
+                index: 3,
+                tag: 7,
+                write: true,
+                acc_mem: 162,
+                ..
+            }
+        ));
+        assert_eq!(m.fetches(), 1);
+    }
+
+    #[test]
+    fn memory_is_pipelined() {
+        let mut m = MemoryAgent::new(ep(0), vec![vec![ep(1)]], Scheme::MulticastFastLru, 162);
+        let a = m.handle(
+            &CacheMsg::MemFetch {
+                txn: 1,
+                column: 0,
+                index: 0,
+                tag: 0,
+                write: false,
+                reply: Endpoint::default(),
+            },
+            10,
+        );
+        let b = m.handle(
+            &CacheMsg::MemFetch {
+                txn: 2,
+                column: 0,
+                index: 1,
+                tag: 0,
+                write: false,
+                reply: Endpoint::default(),
+            },
+            11,
+        );
+        assert_eq!(a[0].ready, 172);
+        assert_eq!(b[0].ready, 173, "second fetch overlaps, not queues");
+    }
+
+    #[test]
+    fn writebacks_are_absorbed() {
+        let mut m = MemoryAgent::new(ep(0), vec![vec![ep(1)]], Scheme::MulticastFastLru, 162);
+        let out = m.handle(
+            &CacheMsg::WriteBack {
+                txn: 1,
+                block: nucanet_cache::Block {
+                    tag: 1,
+                    dirty: true,
+                },
+            },
+            0,
+        );
+        assert!(out.is_empty());
+        assert_eq!(m.writebacks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected")]
+    fn unexpected_message_panics() {
+        let mut m = MemoryAgent::new(ep(0), vec![vec![ep(1)]], Scheme::MulticastFastLru, 162);
+        let _ = m.handle(
+            &CacheMsg::Completion {
+                txn: 0,
+                acc_bank: 0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Distributed protocol engines.
+//!
+//! The cache protocol is realised by three kinds of agents attached to
+//! network endpoints:
+//!
+//! * [`bank::BankAgent`] — one per cache bank; owns the bank's frames
+//!   and reacts to requests, pushed-down blocks, swaps, and memory
+//!   fills per the configured [`crate::Scheme`].
+//! * [`memory::MemoryAgent`] — the off-chip memory controller
+//!   (130 + 4·(B/8) cycles, pipelined; plus the halo's extra controller
+//!   wire).
+//! * [`core_ctl::CoreController`] — the cache controller next to the
+//!   core: admits transactions (per-bank-set serialisation, bounded
+//!   outstanding window), issues unicast walks or multicasts, collects
+//!   hit/miss notifications, triggers memory fetches, and retires
+//!   transactions into [`crate::metrics::AccessRecord`]s.
+
+pub mod bank;
+pub mod core_ctl;
+pub mod memory;
+
+use nucanet_noc::Dest;
+
+use crate::msg::CacheMsg;
+
+/// A message an agent wants injected once its service completes.
+#[derive(Debug, Clone)]
+pub struct Outgoing {
+    /// Cycle at which the packet may enter the network.
+    pub ready: u64,
+    /// Where it goes.
+    pub dest: Dest,
+    /// Protocol payload (flit count derives from it).
+    pub msg: CacheMsg,
+}

@@ -1,0 +1,547 @@
+//! System configurations and physical layout construction.
+//!
+//! [`Design`] enumerates Table 3's six configurations; every design is a
+//! 16 MB L2 of 16 bank sets (columns/spikes) with 16 ways each, and all
+//! run any [`Scheme`]. Link delays come from bank geometry via the
+//! Cacti/wire models (Table 1's 1/2/2/3 cycles per tile).
+
+use nucanet_noc::{Endpoint, RouterParams, RoutingSpec, Topology};
+use nucanet_timing::{BankModel, BankTiming, Technology};
+
+use crate::scheme::Scheme;
+
+/// Topology family of a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyChoice {
+    /// Full 2D mesh with XY routing (Design A).
+    Mesh,
+    /// Simplified mesh (first/last-row horizontal links only) with XYX
+    /// routing (Designs B, C, D).
+    SimplifiedMesh,
+    /// Halo: hub + spikes, shortest-path routing (Designs E, F).
+    Halo,
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Human-readable name ("Design A", …).
+    pub name: String,
+    /// Topology family.
+    pub topology: TopologyChoice,
+    /// Bank capacity (KB) per position along a column/spike, MRU first.
+    pub bank_kb: Vec<u32>,
+    /// Ways per bank position (64 KB per way).
+    pub bank_ways: Vec<u32>,
+    /// Number of bank sets (columns or spikes).
+    pub columns: u16,
+    /// Replacement/communication scheme.
+    pub scheme: Scheme,
+    /// Router microarchitecture.
+    pub router: RouterParams,
+    /// Off-chip memory: base latency in cycles (130 in Table 1).
+    pub mem_base_cycles: u32,
+    /// Off-chip memory: cycles per 8 bytes transferred (4 in Table 1).
+    pub mem_per_8b_cycles: u32,
+    /// Extra wire delay (each way) between the memory controller and
+    /// the off-chip interface — 16 cycles for Design E, 9 for Design F,
+    /// 0 for meshes where the controller sits at the die edge.
+    pub mem_extra_wire: u32,
+    /// Number of network interfaces the cache controller exposes. The
+    /// paper's halo assumes "the cache controller can support multiple
+    /// ports/interfaces to the networked cache" (§4); meshes use one.
+    pub core_ports: u8,
+    /// Maximum concurrently outstanding transactions at the core.
+    pub max_outstanding: usize,
+    /// Maximum concurrent transactions per bank set (the paper's 2-entry
+    /// spike queue).
+    pub per_column_limit: u8,
+    /// Technology node.
+    pub tech: Technology,
+}
+
+/// Table 3's six network designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// 16×16 mesh, uniform 64 KB banks.
+    A,
+    /// 16×16 simplified mesh, uniform 64 KB banks.
+    B,
+    /// 16×4 simplified mesh, uniform 256 KB banks.
+    C,
+    /// 16×5 simplified mesh, non-uniform banks (64/64/128/256/512 KB).
+    D,
+    /// 16-spike halo of length 16, uniform 64 KB banks.
+    E,
+    /// 16-spike halo of length 5, non-uniform banks.
+    F,
+}
+
+/// All designs in Table 3 order.
+pub const ALL_DESIGNS: [Design; 6] = [
+    Design::A,
+    Design::B,
+    Design::C,
+    Design::D,
+    Design::E,
+    Design::F,
+];
+
+const NON_UNIFORM_KB: [u32; 5] = [64, 64, 128, 256, 512];
+
+impl Design {
+    /// Builds the configuration of this design under `scheme`.
+    pub fn config(self, scheme: Scheme) -> SystemConfig {
+        let (topology, bank_kb): (TopologyChoice, Vec<u32>) = match self {
+            Design::A => (TopologyChoice::Mesh, vec![64; 16]),
+            Design::B => (TopologyChoice::SimplifiedMesh, vec![64; 16]),
+            Design::C => (TopologyChoice::SimplifiedMesh, vec![256; 4]),
+            Design::D => (TopologyChoice::SimplifiedMesh, NON_UNIFORM_KB.to_vec()),
+            Design::E => (TopologyChoice::Halo, vec![64; 16]),
+            Design::F => (TopologyChoice::Halo, NON_UNIFORM_KB.to_vec()),
+        };
+        let mem_extra_wire = match self {
+            Design::E => 16,
+            Design::F => 9,
+            _ => 0,
+        };
+        let core_ports = if matches!(topology, TopologyChoice::Halo) {
+            4
+        } else {
+            1
+        };
+        SystemConfig {
+            name: format!("Design {self:?}"),
+            topology,
+            bank_ways: bank_kb.iter().map(|kb| kb / 64).collect(),
+            bank_kb,
+            columns: 16,
+            scheme,
+            router: RouterParams::hpca07(),
+            mem_base_cycles: 130,
+            mem_per_8b_cycles: 4,
+            mem_extra_wire,
+            core_ports,
+            max_outstanding: 4,
+            per_column_limit: 2,
+            tech: Technology::hpca07_65nm(),
+        }
+    }
+
+    /// Table 3's "Interconnection Network" column.
+    pub fn interconnect_description(self) -> &'static str {
+        match self {
+            Design::A => "16 x 16 mesh",
+            Design::B => "16 x 16 simplified mesh",
+            Design::C => "16 x 4 simplified mesh",
+            Design::D => "16 x 5 simplified mesh",
+            Design::E => "16-spike halo (length of spike=16)",
+            Design::F => "16-spike halo (length of spike=5)",
+        }
+    }
+
+    /// Table 3's "Bank Size" column.
+    pub fn bank_description(self) -> &'static str {
+        match self {
+            Design::A | Design::B | Design::E => "uniform (64KB)",
+            Design::C => "uniform (256KB)",
+            Design::D | Design::F => "non-uniform",
+        }
+    }
+}
+
+/// Where one bank lives in the built system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankPlace {
+    /// Network attachment.
+    pub endpoint: Endpoint,
+    /// Bank set (column/spike) this bank belongs to.
+    pub column: u16,
+    /// Position within the set, 0 = MRU (closest to the core).
+    pub position: u8,
+    /// Ways held by this bank.
+    pub ways: u32,
+    /// Capacity in KB.
+    pub kb: u32,
+    /// Access latencies (Table 1).
+    pub timing: BankTiming,
+}
+
+/// The physical realisation of a [`SystemConfig`].
+#[derive(Debug, Clone)]
+pub struct SystemLayout {
+    /// Network topology with all endpoints attached.
+    pub topo: Topology,
+    /// Routing algorithm to run on it.
+    pub routing: RoutingSpec,
+    /// The core / cache-controller endpoint (first interface).
+    pub core: Endpoint,
+    /// All cache-controller interfaces (≥ 1; column `c` replies to
+    /// interface `c % core_ports.len()`).
+    pub core_ports: Vec<Endpoint>,
+    /// The memory-controller endpoint.
+    pub memory: Endpoint,
+    /// All banks, indexed by bank id.
+    pub banks: Vec<BankPlace>,
+    /// `by_column[c]` = bank ids of column `c` in position order.
+    pub by_column: Vec<Vec<usize>>,
+}
+
+impl SystemConfig {
+    /// Builds a layout with `n_cores` independent cache-controller
+    /// attachment points — the paper's §7 CMP direction. Returns the
+    /// layout plus each core's interface list.
+    ///
+    /// Meshes spread the cores across the top row; halos give each core
+    /// its own hub slot (memory moves to the slot after them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is zero or exceeds the column count.
+    pub fn build_cmp_layout(&self, n_cores: u8) -> (SystemLayout, Vec<Vec<Endpoint>>) {
+        assert!(n_cores >= 1, "need at least one core");
+        assert!(
+            (n_cores as u16) <= self.columns,
+            "more cores than columns is not supported"
+        );
+        if n_cores == 1 {
+            let layout = self.build_layout();
+            let ifaces = vec![layout.core_ports.clone()];
+            return (layout, ifaces);
+        }
+        match self.topology {
+            TopologyChoice::Mesh | TopologyChoice::SimplifiedMesh => {
+                let mut layout = self.build_layout();
+                // Core 0 keeps the single-core position; additional
+                // cores spread over the top row.
+                let mut ifaces = vec![vec![layout.core]];
+                for i in 1..n_cores {
+                    let col = ((2 * i as u32 + 1) * self.columns as u32 / (2 * n_cores as u32))
+                        .min(self.columns as u32 - 1) as u16;
+                    let node = layout.topo.node_at(col, 0);
+                    let slot = layout.topo.add_local_slot(node);
+                    ifaces.push(vec![Endpoint { node, slot }]);
+                }
+                layout.core_ports = ifaces.iter().flatten().copied().collect();
+                (layout, ifaces)
+            }
+            TopologyChoice::Halo => {
+                // One hub slot per core; reuse the core_ports slots and
+                // grow them if there are more cores than ports.
+                let mut cfg = self.clone();
+                cfg.core_ports = cfg.core_ports.max(n_cores);
+                let layout = cfg.build_layout();
+                let ifaces = (0..n_cores)
+                    .map(|i| vec![layout.core_ports[i as usize]])
+                    .collect();
+                (layout, ifaces)
+            }
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is inconsistent (no banks, mismatched
+    /// way list, zero columns).
+    pub fn validate(&self) {
+        assert!(
+            !self.bank_kb.is_empty(),
+            "need at least one bank per column"
+        );
+        assert_eq!(
+            self.bank_kb.len(),
+            self.bank_ways.len(),
+            "bank_kb/bank_ways mismatch"
+        );
+        assert!(self.columns >= 1, "need at least one column");
+        for (kb, w) in self.bank_kb.iter().zip(&self.bank_ways) {
+            assert_eq!(kb / 64, *w, "ways must be capacity / 64KB");
+            assert!(*w >= 1, "bank must hold at least one way");
+        }
+        assert!(
+            self.core_ports >= 1,
+            "the controller needs at least one interface"
+        );
+        self.router.validate();
+    }
+
+    /// Total associativity of one bank set.
+    pub fn total_ways(&self) -> u32 {
+        self.bank_ways.iter().sum()
+    }
+
+    /// Total L2 capacity in bytes (ways × columns × 64 KB).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_ways() as u64 * self.columns as u64 * 64 * 1024
+    }
+
+    /// Off-chip service time for one block (fetch or writeback):
+    /// base + per-8B transfer + the round-trip controller wire.
+    pub fn mem_service_cycles(&self) -> u32 {
+        self.mem_base_cycles + self.mem_per_8b_cycles * (64 / 8) + 2 * self.mem_extra_wire
+    }
+
+    /// Builds the physical layout: topology, endpoint placement, and
+    /// geometry-derived link delays.
+    pub fn build_layout(&self) -> SystemLayout {
+        self.validate();
+        let positions = self.bank_kb.len() as u16;
+        let models: Vec<BankModel> = self.bank_kb.iter().map(|&kb| BankModel::new(kb)).collect();
+        let wire_cycles: Vec<u32> = models
+            .iter()
+            .map(|m| m.tile_wire_cycles(&self.tech).max(1))
+            .collect();
+        let timings: Vec<BankTiming> = models.iter().map(|m| m.timing_at(&self.tech)).collect();
+
+        match self.topology {
+            TopologyChoice::Mesh | TopologyChoice::SimplifiedMesh => {
+                // Columns are bank sets; row r holds position r. The
+                // horizontal pitch is set by the widest bank of the
+                // column (the paper uses the 512 KB delay for Design D).
+                let h_delay = *wire_cycles.iter().max().expect("at least one bank");
+                let col_gaps = vec![h_delay; self.columns as usize - 1];
+                // Vertical gap r→r+1 spans the larger adjacent tile.
+                let row_gaps: Vec<u32> = (0..positions - 1)
+                    .map(|r| wire_cycles[r as usize].max(wire_cycles[r as usize + 1]))
+                    .collect();
+                let mut topo = if self.topology == TopologyChoice::Mesh {
+                    Topology::mesh(self.columns, positions, &col_gaps, &row_gaps)
+                } else {
+                    Topology::simplified_mesh(self.columns, positions, &col_gaps, &row_gaps)
+                };
+                // Core at the centre of the top row, memory at the
+                // centre of the bottom row (§5).
+                let core_node = topo.node_at(self.columns / 2 - 1, 0);
+                let mem_node = topo.node_at(self.columns / 2, positions - 1);
+                let core_slot = topo.add_local_slot(core_node);
+                let mem_slot = topo.add_local_slot(mem_node);
+                let mut banks = Vec::new();
+                let mut by_column = vec![Vec::new(); self.columns as usize];
+                for c in 0..self.columns {
+                    for p in 0..positions {
+                        by_column[c as usize].push(banks.len());
+                        banks.push(BankPlace {
+                            endpoint: Endpoint::at(topo.node_at(c, p)),
+                            column: c,
+                            position: p as u8,
+                            ways: self.bank_ways[p as usize],
+                            kb: self.bank_kb[p as usize],
+                            timing: timings[p as usize],
+                        });
+                    }
+                }
+                let core = Endpoint {
+                    node: core_node,
+                    slot: core_slot,
+                };
+                SystemLayout {
+                    routing: if self.topology == TopologyChoice::Mesh {
+                        RoutingSpec::Xy
+                    } else {
+                        RoutingSpec::Xyx
+                    },
+                    topo,
+                    core,
+                    core_ports: vec![core],
+                    memory: Endpoint {
+                        node: mem_node,
+                        slot: mem_slot,
+                    },
+                    banks,
+                    by_column,
+                }
+            }
+            TopologyChoice::Halo => {
+                // Spike link j spans bank j's tile. The hub exposes one
+                // local slot per controller interface plus the memory
+                // controller's slot.
+                let topo =
+                    Topology::halo(self.columns, positions, &wire_cycles, self.core_ports + 1);
+                let hub = nucanet_noc::NodeId(0);
+                let mut banks = Vec::new();
+                let mut by_column = vec![Vec::new(); self.columns as usize];
+                for s in 0..self.columns {
+                    for p in 0..positions {
+                        by_column[s as usize].push(banks.len());
+                        banks.push(BankPlace {
+                            endpoint: Endpoint::at(topo.spike_node(s, p)),
+                            column: s,
+                            position: p as u8,
+                            ways: self.bank_ways[p as usize],
+                            kb: self.bank_kb[p as usize],
+                            timing: timings[p as usize],
+                        });
+                    }
+                }
+                SystemLayout {
+                    routing: RoutingSpec::ShortestPath,
+                    topo,
+                    core: Endpoint { node: hub, slot: 0 },
+                    core_ports: (0..self.core_ports)
+                        .map(|s| Endpoint { node: hub, slot: s })
+                        .collect(),
+                    memory: Endpoint {
+                        node: hub,
+                        slot: self.core_ports,
+                    },
+                    banks,
+                    by_column,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_designs_are_16mb_16way() {
+        for d in ALL_DESIGNS {
+            let cfg = d.config(Scheme::MulticastFastLru);
+            cfg.validate();
+            assert_eq!(cfg.total_ways(), 16, "{d:?}");
+            assert_eq!(cfg.capacity_bytes(), 16 << 20, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn design_a_layout_shape() {
+        let l = Design::A.config(Scheme::UnicastLru).build_layout();
+        assert_eq!(l.banks.len(), 256);
+        assert_eq!(l.by_column.len(), 16);
+        assert_eq!(l.by_column[0].len(), 16);
+        assert_eq!(l.routing, RoutingSpec::Xy);
+        // Core at (7,0), memory at (8,15).
+        assert_eq!(l.core.node, l.topo.node_at(7, 0));
+        assert_eq!(l.memory.node, l.topo.node_at(8, 15));
+        assert_eq!(l.core.slot, 1, "core shares a router with a bank");
+    }
+
+    #[test]
+    fn design_b_uses_xyx_on_simplified_mesh() {
+        let l = Design::B.config(Scheme::MulticastFastLru).build_layout();
+        assert_eq!(l.routing, RoutingSpec::Xyx);
+        assert!(matches!(
+            l.topo.kind(),
+            nucanet_noc::TopologyKind::SimplifiedMesh { cols: 16, rows: 16 }
+        ));
+    }
+
+    #[test]
+    fn design_c_has_four_large_banks_per_column() {
+        let cfg = Design::C.config(Scheme::MulticastFastLru);
+        assert_eq!(cfg.bank_kb, vec![256; 4]);
+        assert_eq!(cfg.bank_ways, vec![4; 4]);
+        let l = cfg.build_layout();
+        assert_eq!(l.banks.len(), 64);
+        // 256 KB banks: Table 1 says 4-cycle tag match, 2-cycle wire.
+        assert_eq!(l.banks[0].timing.tag_match, 4);
+    }
+
+    #[test]
+    fn design_d_non_uniform_delays() {
+        let cfg = Design::D.config(Scheme::MulticastFastLru);
+        let l = cfg.build_layout();
+        assert_eq!(cfg.bank_kb, vec![64, 64, 128, 256, 512]);
+        // Horizontal pitch is the widest bank's (512 KB → 3 cycles), as
+        // in the paper.
+        let n00 = l.topo.node_at(0, 0);
+        let r = l.topo.router(n00);
+        let p = r.port_by_label(nucanet_noc::PortLabel::XPlus).unwrap();
+        let link = l.topo.link(r.ports[p.0 as usize].out_link.unwrap());
+        assert_eq!(link.delay, 3);
+        // First vertical gap spans two 64 KB tiles → 1 cycle.
+        let pv = r.port_by_label(nucanet_noc::PortLabel::YPlus).unwrap();
+        let lv = l.topo.link(r.ports[pv.0 as usize].out_link.unwrap());
+        assert_eq!(lv.delay, 1);
+    }
+
+    #[test]
+    fn design_e_halo_layout() {
+        let l = Design::E.config(Scheme::MulticastFastLru).build_layout();
+        assert_eq!(l.routing, RoutingSpec::ShortestPath);
+        assert_eq!(l.banks.len(), 256);
+        assert_eq!(
+            l.core.node, l.memory.node,
+            "core and memory both at the hub"
+        );
+        assert_ne!(l.core.slot, l.memory.slot);
+        assert_eq!(
+            l.core_ports.len(),
+            4,
+            "halo controller exposes four interfaces"
+        );
+        assert!(l.core_ports.iter().all(|e| e.slot != l.memory.slot));
+    }
+
+    #[test]
+    fn design_f_memory_penalty() {
+        let e = Design::E.config(Scheme::MulticastFastLru);
+        let f = Design::F.config(Scheme::MulticastFastLru);
+        let a = Design::A.config(Scheme::MulticastFastLru);
+        assert_eq!(e.mem_extra_wire, 16);
+        assert_eq!(f.mem_extra_wire, 9);
+        assert_eq!(a.mem_extra_wire, 0);
+        // 130 + 32 transfer + round-trip wire.
+        assert_eq!(a.mem_service_cycles(), 162);
+        assert_eq!(f.mem_service_cycles(), 162 + 18);
+    }
+
+    #[test]
+    fn table3_descriptions() {
+        assert_eq!(Design::A.interconnect_description(), "16 x 16 mesh");
+        assert_eq!(Design::F.bank_description(), "non-uniform");
+    }
+
+    #[test]
+    fn layouts_route_core_to_every_bank() {
+        for d in ALL_DESIGNS {
+            let l = d.config(Scheme::MulticastFastLru).build_layout();
+            let table = l.routing.build(&l.topo).unwrap();
+            for b in &l.banks {
+                assert!(
+                    table.is_routable(l.core.node, b.endpoint.node),
+                    "{d:?} core→bank"
+                );
+                assert!(
+                    table.is_routable(b.endpoint.node, l.core.node),
+                    "{d:?} bank→core"
+                );
+            }
+            assert!(
+                table.is_routable(l.core.node, l.memory.node),
+                "{d:?} core→mem"
+            );
+            assert!(
+                table.is_routable(l.memory.node, l.core.node),
+                "{d:?} mem→core"
+            );
+            // Memory must reach every MRU bank (fills) and be reachable
+            // from every LRU bank (writebacks).
+            for c in 0..16usize {
+                let mru = &l.banks[l.by_column[c][0]];
+                let lru = &l.banks[*l.by_column[c].last().unwrap()];
+                assert!(
+                    table.is_routable(l.memory.node, mru.endpoint.node),
+                    "{d:?} mem→MRU"
+                );
+                assert!(
+                    table.is_routable(lru.endpoint.node, l.memory.node),
+                    "{d:?} LRU→mem"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must be capacity")]
+    fn inconsistent_ways_panic() {
+        let mut cfg = Design::A.config(Scheme::UnicastLru);
+        cfg.bank_ways[3] = 2;
+        cfg.validate();
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-run dynamic energy accounting — the paper's §7 future work
+//! ("energy consumption analysis of the networked cache systems"), plus
+//! the *on-demand power control* study (turning off a subset of the
+//! cache) the authors say they are developing.
+//!
+//! Energy is assembled from the per-event models in
+//! [`nucanet_timing::energy`] and the event counts a simulation already
+//! collects: flits per link (with geometric link lengths), router
+//! traversals, bank array accesses by capacity, and off-chip transfers.
+
+use nucanet_timing::{BankModel, EnergyModel};
+
+use crate::config::{Design, SystemConfig};
+use crate::metrics::Metrics;
+use crate::scheme::Scheme;
+
+/// Dynamic energy of one simulation run, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Link switching energy.
+    pub link_pj: f64,
+    /// Router buffer + crossbar energy.
+    pub router_pj: f64,
+    /// Bank array access energy.
+    pub bank_pj: f64,
+    /// Off-chip transfer energy.
+    pub memory_pj: f64,
+    /// Measured accesses the energy is attributed to.
+    pub accesses: u64,
+}
+
+impl EnergyReport {
+    /// Total dynamic energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.link_pj + self.router_pj + self.bank_pj + self.memory_pj
+    }
+
+    /// Average dynamic energy per L2 access, in pJ.
+    pub fn per_access_pj(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_pj() / self.accesses as f64
+        }
+    }
+
+    /// Network (link + router) share of the total, in [0, 1].
+    pub fn network_share(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.link_pj + self.router_pj) / t
+        }
+    }
+}
+
+/// Computes the energy of a finished run.
+///
+/// Link lengths come from the same tile geometry the area model uses:
+/// a link spans the larger of its endpoint tiles.
+pub fn energy_of_run(cfg: &SystemConfig, metrics: &Metrics) -> EnergyReport {
+    let em = EnergyModel::new(&cfg.tech);
+    let layout = cfg.build_layout();
+
+    // Tile side per node (bank footprint; hub/core nodes count as zero).
+    let side_of: Vec<f64> = (0..layout.topo.len())
+        .map(|n| {
+            layout
+                .banks
+                .iter()
+                .find(|b| b.endpoint.node.0 as usize == n)
+                .map(|b| BankModel::new(b.kb).area_mm2().sqrt())
+                .unwrap_or(0.0)
+        })
+        .collect();
+
+    let mut link_pj = 0.0;
+    let mut hops: u64 = 0;
+    for (i, l) in layout.topo.links().iter().enumerate() {
+        let flits = metrics.net.flits_per_link.get(i).copied().unwrap_or(0);
+        if flits == 0 {
+            continue;
+        }
+        let len = side_of[l.src.0 as usize]
+            .max(side_of[l.dst.0 as usize])
+            .max(0.5);
+        link_pj += flits as f64 * em.link_pj(len);
+        hops += flits;
+    }
+    // Every link traversal enters a router; ejected flits traverse the
+    // final router's crossbar too.
+    let router_pj = (hops + metrics.net.flits_ejected) as f64 * em.router_pj();
+
+    let bank_pj: f64 = metrics
+        .bank_ops_by_kb
+        .iter()
+        .map(|&(kb, n)| n as f64 * em.bank_pj(kb))
+        .sum();
+    let memory_pj = metrics.mem_ops as f64 * em.memory_pj();
+
+    EnergyReport {
+        link_pj,
+        router_pj,
+        bank_pj,
+        memory_pj,
+        accesses: metrics.accesses() as u64,
+    }
+}
+
+/// On-demand power control (§7): model powering off the `off_per_column`
+/// farthest banks of every bank set. Returns the retained fraction of
+/// (dynamic-energy-relevant) capacity and the leakage saving, which is
+/// proportional to the powered-off silicon area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatingEstimate {
+    /// Ways still powered per set.
+    pub ways_on: u32,
+    /// Fraction of bank silicon still powered, in [0, 1].
+    pub area_on_fraction: f64,
+    /// Fraction of leakage power saved, in [0, 1].
+    pub leakage_saved: f64,
+}
+
+/// Estimates the effect of turning off the farthest `off_positions`
+/// banks of each column of `design`.
+///
+/// # Panics
+///
+/// Panics if `off_positions` is not smaller than the column length.
+pub fn gating_estimate(design: Design, off_positions: usize) -> GatingEstimate {
+    let cfg = design.config(Scheme::MulticastFastLru);
+    assert!(
+        off_positions < cfg.bank_kb.len(),
+        "cannot power off every bank of a column"
+    );
+    let keep = cfg.bank_kb.len() - off_positions;
+    let ways_on: u32 = cfg.bank_ways[..keep].iter().sum();
+    let area = |kbs: &[u32]| -> f64 { kbs.iter().map(|&kb| BankModel::new(kb).area_mm2()).sum() };
+    let total = area(&cfg.bank_kb);
+    let on = area(&cfg.bank_kb[..keep]);
+    GatingEstimate {
+        ways_on,
+        area_on_fraction: on / total,
+        leakage_saved: 1.0 - on / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{run_cell, ExperimentScale};
+    use nucanet_workload::BenchmarkProfile;
+
+    fn report(design: Design) -> EnergyReport {
+        let profile = BenchmarkProfile::by_name("twolf").expect("twolf exists");
+        let (m, _) = run_cell(
+            design,
+            Scheme::MulticastFastLru,
+            &profile,
+            ExperimentScale::tiny(),
+        );
+        energy_of_run(&design.config(Scheme::MulticastFastLru), &m)
+    }
+
+    #[test]
+    fn energy_components_are_positive() {
+        let r = report(Design::A);
+        assert!(r.link_pj > 0.0);
+        assert!(r.router_pj > 0.0);
+        assert!(r.bank_pj > 0.0);
+        assert!(r.memory_pj > 0.0);
+        assert!(r.per_access_pj() > 0.0);
+        assert!((0.0..=1.0).contains(&r.network_share()));
+    }
+
+    #[test]
+    fn halo_spends_less_network_energy_than_mesh() {
+        // Shorter paths (1-hop MRU banks) mean fewer link/router events.
+        let a = report(Design::A);
+        let f = report(Design::F);
+        assert!(
+            f.link_pj + f.router_pj < a.link_pj + a.router_pj,
+            "F network {:.0} pJ !< A network {:.0} pJ",
+            f.link_pj + f.router_pj,
+            a.link_pj + a.router_pj
+        );
+    }
+
+    #[test]
+    fn memory_energy_scales_with_misses() {
+        let profile = BenchmarkProfile::by_name("applu").expect("applu exists");
+        let scale = ExperimentScale::tiny();
+        let (m_stream, _) = run_cell(Design::A, Scheme::MulticastFastLru, &profile, scale);
+        let hot = BenchmarkProfile::by_name("art").expect("art exists");
+        let (m_hot, _) = run_cell(Design::A, Scheme::MulticastFastLru, &hot, scale);
+        let cfg = Design::A.config(Scheme::MulticastFastLru);
+        let e_stream = energy_of_run(&cfg, &m_stream);
+        let e_hot = energy_of_run(&cfg, &m_hot);
+        assert!(
+            e_stream.memory_pj > e_hot.memory_pj,
+            "streaming must hit memory more"
+        );
+    }
+
+    #[test]
+    fn gating_saves_leakage_proportionally() {
+        let g = gating_estimate(Design::A, 8);
+        assert_eq!(g.ways_on, 8);
+        assert!(
+            (g.area_on_fraction - 0.5).abs() < 1e-9,
+            "uniform banks halve"
+        );
+        assert!((g.leakage_saved - 0.5).abs() < 1e-9);
+
+        // Non-uniform F: turning off the single 512 KB bank saves the
+        // most silicon per bank.
+        let f = gating_estimate(Design::F, 1);
+        assert_eq!(f.ways_on, 8);
+        assert!(f.leakage_saved > 0.4, "the 512 KB bank dominates: {f:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot power off every bank")]
+    fn gating_everything_panics() {
+        let _ = gating_estimate(Design::C, 4);
+    }
+}

@@ -1,0 +1,297 @@
+//! Canned experiment runners regenerating the paper's tables & figures.
+//!
+//! Every runner takes an [`ExperimentScale`] so tests can run scaled-down
+//! versions of the same code the benchmark harness runs at full size.
+//! The simulated window is a statistical sample of the paper's
+//! multi-billion-instruction windows; absolute latencies depend on the
+//! sample, but the cross-scheme and cross-design *shapes* are what the
+//! paper's conclusions rest on.
+
+use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, TraceGenerator, ALL_BENCHMARKS};
+
+use crate::config::{Design, ALL_DESIGNS};
+use crate::metrics::Metrics;
+use crate::scheme::{Scheme, ALL_SCHEMES};
+use crate::system::CacheSystem;
+
+/// How large a simulation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Functional warm-up accesses.
+    pub warmup: usize,
+    /// Timed, measured accesses.
+    pub measured: usize,
+    /// Distinct sets the workload touches.
+    pub active_sets: u32,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            warmup: 30_000,
+            measured: 8_000,
+            active_sets: 256,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// A tiny scale for unit/integration tests.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            warmup: 3_000,
+            measured: 400,
+            active_sets: 64,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Runs one (design, scheme, benchmark) cell and returns its metrics
+/// plus the modelled IPC.
+pub fn run_cell(
+    design: Design,
+    scheme: Scheme,
+    profile: &BenchmarkProfile,
+    scale: ExperimentScale,
+) -> (Metrics, f64) {
+    let cfg = design.config(scheme);
+    let mut gen = TraceGenerator::new(
+        *profile,
+        SynthConfig {
+            active_sets: scale.active_sets,
+            seed: scale.seed,
+            ..Default::default()
+        },
+    );
+    let trace = gen.generate(scale.warmup, scale.measured);
+    let mut sys = CacheSystem::new(&cfg);
+    let metrics = sys.run(&trace);
+    let ipc = metrics.ipc(&CoreModel::for_profile(profile));
+    (metrics, ipc)
+}
+
+/// One bar of Fig. 7: the latency split under Unicast LRU on Design A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Row {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Bank fraction of total latency.
+    pub bank: f64,
+    /// Network fraction.
+    pub network: f64,
+    /// Memory fraction.
+    pub memory: f64,
+}
+
+/// Regenerates Fig. 7 (latency distribution, Unicast LRU, Design A).
+pub fn fig7(scale: ExperimentScale) -> Vec<Fig7Row> {
+    ALL_BENCHMARKS
+        .iter()
+        .map(|b| {
+            let (m, _) = run_cell(Design::A, Scheme::UnicastLru, b, scale);
+            let (bank, network, memory) = m.latency_breakdown();
+            Fig7Row {
+                benchmark: b.name,
+                bank,
+                network,
+                memory,
+            }
+        })
+        .collect()
+}
+
+/// One cell of Fig. 8: latencies + IPC for a (benchmark, scheme) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Cell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Scheme evaluated.
+    pub scheme: Scheme,
+    /// Average access latency (Fig. 8a).
+    pub avg_latency: f64,
+    /// Average hit latency (Fig. 8b).
+    pub hit_latency: f64,
+    /// Average miss latency (Fig. 8c).
+    pub miss_latency: f64,
+    /// Cache hit rate.
+    pub hit_rate: f64,
+    /// Modelled IPC.
+    pub ipc: f64,
+}
+
+/// Regenerates Fig. 8 (all five schemes on the Design A network).
+pub fn fig8(scale: ExperimentScale) -> Vec<Fig8Cell> {
+    let mut out = Vec::new();
+    for b in &ALL_BENCHMARKS {
+        for scheme in ALL_SCHEMES {
+            let (m, ipc) = run_cell(Design::A, scheme, b, scale);
+            out.push(Fig8Cell {
+                benchmark: b.name,
+                scheme,
+                avg_latency: m.avg_latency(),
+                hit_latency: m.avg_hit_latency(),
+                miss_latency: m.avg_miss_latency(),
+                hit_rate: m.hit_rate(),
+                ipc,
+            });
+        }
+    }
+    out
+}
+
+/// One bar of Fig. 9: a design's IPC for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig9Cell {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Design evaluated (Multicast Fast-LRU everywhere).
+    pub design: Design,
+    /// Modelled IPC.
+    pub ipc: f64,
+    /// Average access latency underlying the IPC.
+    pub avg_latency: f64,
+}
+
+/// Regenerates Fig. 9 (Designs A–F under Multicast Fast-LRU).
+pub fn fig9(scale: ExperimentScale) -> Vec<Fig9Cell> {
+    let mut out = Vec::new();
+    for b in &ALL_BENCHMARKS {
+        for design in ALL_DESIGNS {
+            let (m, ipc) = run_cell(design, Scheme::MulticastFastLru, b, scale);
+            out.push(Fig9Cell {
+                benchmark: b.name,
+                design,
+                ipc,
+                avg_latency: m.avg_latency(),
+            });
+        }
+    }
+    out
+}
+
+/// Normalises Fig. 9 cells to Design A per benchmark (the paper's y-axis).
+pub fn normalize_fig9(cells: &[Fig9Cell]) -> Vec<(Fig9Cell, f64)> {
+    cells
+        .iter()
+        .map(|c| {
+            let base = cells
+                .iter()
+                .find(|b| b.benchmark == c.benchmark && b.design == Design::A)
+                .expect("Design A baseline present");
+            (*c, c.ipc / base.ipc)
+        })
+        .collect()
+}
+
+/// Geometric-mean helper for summarising normalised IPCs.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean needs positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(name: &str) -> BenchmarkProfile {
+        BenchmarkProfile::by_name(name).expect("benchmark exists")
+    }
+
+    #[test]
+    fn run_cell_produces_metrics() {
+        let (m, ipc) = run_cell(
+            Design::A,
+            Scheme::MulticastFastLru,
+            &bench("gcc"),
+            ExperimentScale::tiny(),
+        );
+        assert_eq!(m.accesses(), ExperimentScale::tiny().measured);
+        assert!(ipc > 0.0 && ipc < bench("gcc").perfect_l2_ipc);
+    }
+
+    #[test]
+    fn fig7_network_dominates() {
+        // The paper's headline: ~65% network, ~25% bank, ~10% memory.
+        let scale = ExperimentScale::tiny();
+        let (m, _) = run_cell(Design::A, Scheme::UnicastLru, &bench("gcc"), scale);
+        let (bank, network, memory) = m.latency_breakdown();
+        assert!(
+            network > bank,
+            "network share must dominate bank: {network} vs {bank}"
+        );
+        assert!(network > memory, "network share must dominate memory");
+        assert!(network > 0.4, "network {network}");
+    }
+
+    #[test]
+    fn fast_lru_reduces_latency_vs_lru() {
+        let scale = ExperimentScale::tiny();
+        let (lru, _) = run_cell(Design::A, Scheme::UnicastLru, &bench("twolf"), scale);
+        let (fast, _) = run_cell(Design::A, Scheme::UnicastFastLru, &bench("twolf"), scale);
+        assert!(
+            fast.avg_latency() < lru.avg_latency(),
+            "Fast-LRU {:.1} must beat LRU {:.1}",
+            fast.avg_latency(),
+            lru.avg_latency()
+        );
+    }
+
+    #[test]
+    fn multicast_fast_lru_is_best_scheme() {
+        let scale = ExperimentScale::tiny();
+        let (best, _) = run_cell(Design::A, Scheme::MulticastFastLru, &bench("vpr"), scale);
+        for other in [
+            Scheme::UnicastPromotion,
+            Scheme::UnicastLru,
+            Scheme::MulticastPromotion,
+        ] {
+            let (m, _) = run_cell(Design::A, other, &bench("vpr"), scale);
+            assert!(
+                best.avg_latency() < m.avg_latency(),
+                "multicast fastLRU {:.1} vs {other} {:.1}",
+                best.avg_latency(),
+                m.avg_latency()
+            );
+        }
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty::<f64>()), 0.0);
+    }
+
+    #[test]
+    fn normalize_fig9_baseline_is_one() {
+        let cells = vec![
+            Fig9Cell {
+                benchmark: "x",
+                design: Design::A,
+                ipc: 0.2,
+                avg_latency: 50.0,
+            },
+            Fig9Cell {
+                benchmark: "x",
+                design: Design::F,
+                ipc: 0.25,
+                avg_latency: 40.0,
+            },
+        ];
+        let n = normalize_fig9(&cells);
+        assert!((n[0].1 - 1.0).abs() < 1e-12);
+        assert!((n[1].1 - 1.25).abs() < 1e-12);
+    }
+}

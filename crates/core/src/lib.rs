@@ -1,0 +1,60 @@
+//! `nucanet` — a networked NUCA L2 cache system co-designed with its
+//! on-chip network, reproducing *"A Domain-Specific On-Chip Network
+//! Design for Large Scale Cache Systems"* (HPCA 2007).
+//!
+//! The crate glues the substrates together into the paper's full system:
+//!
+//! * [`scheme`] — the five replacement/communication schemes evaluated
+//!   in Fig. 8: Unicast/Multicast × Promotion/LRU/Fast-LRU.
+//! * [`msg`] — the cache-protocol messages that ride the network
+//!   (requests, evicted blocks, hit data, notifications, memory traffic)
+//!   with their §5 flitization.
+//! * [`config`] — system configurations, including Table 3's Designs
+//!   A–F, and layout construction (topology + endpoint placement + link
+//!   delays from bank geometry).
+//! * [`agents`] — the distributed protocol engines: bank agents, the
+//!   memory agent, and the core's cache controller with per-bank-set
+//!   transaction serialisation.
+//! * [`system`] — the full-system driver: trace in, [`metrics::Metrics`]
+//!   out (latency, breakdown, hit statistics, network counters).
+//! * [`area`] — the Table 4 area analysis (bank/router/link areas, L2
+//!   area, chip bounding box) for every design.
+//! * [`energy`] — per-run dynamic energy accounting and the on-demand
+//!   power-gating estimate (the paper's §7 future work).
+//! * [`experiments`] — canned runners regenerating each table and
+//!   figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nucanet::{Design, Scheme, CacheSystem};
+//! use nucanet_workload::{BenchmarkProfile, SynthConfig, TraceGenerator};
+//!
+//! let cfg = Design::A.config(Scheme::MulticastFastLru);
+//! let profile = BenchmarkProfile::by_name("gcc").unwrap();
+//! let mut gen = TraceGenerator::new(profile, SynthConfig { active_sets: 64, ..Default::default() });
+//! let trace = gen.generate(2_000, 300);
+//!
+//! let mut sys = CacheSystem::new(&cfg);
+//! let metrics = sys.run(&trace);
+//! assert_eq!(metrics.accesses(), 300);
+//! assert!(metrics.avg_latency() > 0.0);
+//! ```
+
+pub mod agents;
+pub mod area;
+pub mod config;
+pub mod energy;
+pub mod experiments;
+pub mod metrics;
+pub mod msg;
+pub mod scheme;
+pub mod system;
+
+pub use area::{AreaBreakdown, DesignArea};
+pub use config::{Design, SystemConfig, SystemLayout, TopologyChoice};
+pub use energy::EnergyReport;
+pub use metrics::{AccessRecord, Metrics};
+pub use msg::CacheMsg;
+pub use scheme::Scheme;
+pub use system::CacheSystem;

@@ -1,0 +1,219 @@
+//! Measurement results of a full-system run.
+
+use nucanet_noc::NetStats;
+use nucanet_workload::CoreModel;
+
+/// One completed L2 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Store vs load.
+    pub write: bool,
+    /// Bank position the request hit, or `None` for a cache miss.
+    pub hit_position: Option<u8>,
+    /// Cycles from request injection until the whole operation
+    /// (tag-match + data delivery + replacement) finished — the paper's
+    /// hop-count accounting of Fig. 2.
+    pub latency: u64,
+    /// Cycles from request injection until the data reached the core.
+    pub data_latency: u64,
+    /// Bank service cycles on the critical path.
+    pub bank_cycles: u64,
+    /// Off-chip memory cycles on the critical path (0 for hits).
+    pub mem_cycles: u64,
+}
+
+/// Aggregated results of one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Every measured access, in completion order.
+    pub records: Vec<AccessRecord>,
+    /// Network statistics snapshot at the end of the run.
+    pub net: NetStats,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Bank positions per set (for the hit histogram).
+    pub positions: usize,
+    /// Bank array accesses, grouped by bank capacity in KB (for energy
+    /// accounting).
+    pub bank_ops_by_kb: Vec<(u32, u64)>,
+    /// Off-chip block transfers (fetches + writebacks).
+    pub mem_ops: u64,
+}
+
+impl Metrics {
+    /// Number of measured accesses.
+    pub fn accesses(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Cache hit rate over the measured window.
+    pub fn hit_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .records
+            .iter()
+            .filter(|r| r.hit_position.is_some())
+            .count();
+        hits as f64 / self.records.len() as f64
+    }
+
+    /// Average access latency (Fig. 8a).
+    pub fn avg_latency(&self) -> f64 {
+        avg(self.records.iter().map(|r| r.latency))
+    }
+
+    /// Average data-arrival latency (request → block at the core).
+    pub fn avg_data_latency(&self) -> f64 {
+        avg(self.records.iter().map(|r| r.data_latency))
+    }
+
+    /// Average latency of hits only (Fig. 8b).
+    pub fn avg_hit_latency(&self) -> f64 {
+        avg(self
+            .records
+            .iter()
+            .filter(|r| r.hit_position.is_some())
+            .map(|r| r.latency))
+    }
+
+    /// Average latency of misses only (Fig. 8c).
+    pub fn avg_miss_latency(&self) -> f64 {
+        avg(self
+            .records
+            .iter()
+            .filter(|r| r.hit_position.is_none())
+            .map(|r| r.latency))
+    }
+
+    /// Fig. 7's decomposition of the total latency into (bank, network,
+    /// memory) fractions, each in [0, 1].
+    pub fn latency_breakdown(&self) -> (f64, f64, f64) {
+        let total: u64 = self.records.iter().map(|r| r.latency).sum();
+        if total == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let bank: u64 = self
+            .records
+            .iter()
+            .map(|r| r.bank_cycles.min(r.latency))
+            .sum();
+        let mem: u64 = self.records.iter().map(|r| r.mem_cycles).sum();
+        let bank_f = bank as f64 / total as f64;
+        let mem_f = mem as f64 / total as f64;
+        (bank_f, (1.0 - bank_f - mem_f).max(0.0), mem_f)
+    }
+
+    /// Hits per bank position (0 = MRU bank).
+    pub fn hits_by_position(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.positions.max(1)];
+        for r in &self.records {
+            if let Some(p) = r.hit_position {
+                h[p as usize] += 1;
+            }
+        }
+        h
+    }
+
+    /// Fraction of hits landing in the MRU bank.
+    pub fn mru_concentration(&self) -> f64 {
+        let h = self.hits_by_position();
+        let total: u64 = h.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            h[0] as f64 / total as f64
+        }
+    }
+
+    /// IPC under `core` given the measured average latency.
+    pub fn ipc(&self, core: &CoreModel) -> f64 {
+        core.ipc(self.avg_latency())
+    }
+}
+
+fn avg(iter: impl Iterator<Item = u64>) -> f64 {
+    let mut n = 0u64;
+    let mut s = 0u64;
+    for v in iter {
+        n += 1;
+        s += v;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        s as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(hit: Option<u8>, latency: u64, bank: u64, mem: u64) -> AccessRecord {
+        AccessRecord {
+            write: false,
+            hit_position: hit,
+            latency,
+            data_latency: latency,
+            bank_cycles: bank,
+            mem_cycles: mem,
+        }
+    }
+
+    fn metrics(records: Vec<AccessRecord>) -> Metrics {
+        Metrics {
+            records,
+            net: NetStats::new(0),
+            cycles: 100,
+            positions: 16,
+            bank_ops_by_kb: vec![],
+            mem_ops: 0,
+        }
+    }
+
+    #[test]
+    fn averages_split_by_outcome() {
+        let m = metrics(vec![
+            rec(Some(0), 10, 2, 0),
+            rec(None, 200, 10, 162),
+            rec(Some(3), 30, 8, 0),
+        ]);
+        assert!((m.avg_latency() - 80.0).abs() < 1e-9);
+        assert!((m.avg_hit_latency() - 20.0).abs() < 1e-9);
+        assert!((m.avg_miss_latency() - 200.0).abs() < 1e-9);
+        assert!((m.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_one() {
+        let m = metrics(vec![rec(Some(0), 10, 4, 0), rec(None, 190, 6, 100)]);
+        let (b, n, mm) = m.latency_breakdown();
+        assert!((b + n + mm - 1.0).abs() < 1e-9);
+        assert!((b - 10.0 / 200.0).abs() < 1e-9);
+        assert!((mm - 100.0 / 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hit_histogram() {
+        let m = metrics(vec![
+            rec(Some(0), 1, 0, 0),
+            rec(Some(0), 1, 0, 0),
+            rec(Some(5), 1, 0, 0),
+        ]);
+        let h = m.hits_by_position();
+        assert_eq!(h[0], 2);
+        assert_eq!(h[5], 1);
+        assert!((m.mru_concentration() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = metrics(vec![]);
+        assert_eq!(m.avg_latency(), 0.0);
+        assert_eq!(m.hit_rate(), 0.0);
+        assert_eq!(m.latency_breakdown(), (0.0, 0.0, 0.0));
+        assert_eq!(m.mru_concentration(), 0.0);
+    }
+}

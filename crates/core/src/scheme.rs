@@ -1,0 +1,135 @@
+//! The five replacement/communication schemes of Fig. 8.
+
+use nucanet_cache::ReplacementPolicy;
+
+/// How requests are delivered and how replacement is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// D-NUCA baseline: sequential bank walk, promotion on hit.
+    UnicastPromotion,
+    /// Sequential walk; hit block moves to the MRU bank, the displaced
+    /// blocks shuffle down *after* the hit is found (Fig. 2a).
+    UnicastLru,
+    /// Sequential walk with the evicted block riding along, overlapping
+    /// replacement with tag-match (Fig. 2b).
+    UnicastFastLru,
+    /// Concurrent tag-match via multicast, promotion on hit.
+    MulticastPromotion,
+    /// The paper's best scheme: multicast tag-match + Fast-LRU (Fig. 3).
+    MulticastFastLru,
+    /// Static NUCA baseline (the paper's reference \[17\]): every set maps to one
+    /// fixed bank (`home = index mod positions`); blocks never migrate.
+    /// This is the switched-network variant ("S-NUCA-2") — the original
+    /// S-NUCA's dedicated wires are what the paper's area analysis
+    /// argues against.
+    StaticNuca,
+}
+
+/// The five schemes of Fig. 8, in the figure's order. [`Scheme::StaticNuca`]
+/// is an extra baseline and not part of the paper's comparison.
+pub const ALL_SCHEMES: [Scheme; 5] = [
+    Scheme::UnicastPromotion,
+    Scheme::UnicastLru,
+    Scheme::UnicastFastLru,
+    Scheme::MulticastPromotion,
+    Scheme::MulticastFastLru,
+];
+
+impl Scheme {
+    /// Whether requests are multicast to all banks of the set.
+    pub fn is_multicast(self) -> bool {
+        matches!(self, Scheme::MulticastPromotion | Scheme::MulticastFastLru)
+    }
+
+    /// Whether replacement overlaps with the tag-match walk.
+    pub fn is_fast_lru(self) -> bool {
+        matches!(self, Scheme::UnicastFastLru | Scheme::MulticastFastLru)
+    }
+
+    /// The functional replacement policy the scheme realises. Static
+    /// NUCA keeps LRU order *within* its single home bank.
+    pub fn policy(self) -> ReplacementPolicy {
+        match self {
+            Scheme::UnicastPromotion | Scheme::MulticastPromotion => ReplacementPolicy::Promotion,
+            Scheme::UnicastLru => ReplacementPolicy::Lru,
+            Scheme::UnicastFastLru | Scheme::MulticastFastLru => ReplacementPolicy::FastLru,
+            Scheme::StaticNuca => ReplacementPolicy::Lru,
+        }
+    }
+
+    /// Whether blocks migrate between banks (false for Static NUCA).
+    pub fn migrates(self) -> bool {
+        !matches!(self, Scheme::StaticNuca)
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::UnicastPromotion => "unicast+promotion",
+            Scheme::UnicastLru => "unicast+LRU",
+            Scheme::UnicastFastLru => "unicast+fastLRU",
+            Scheme::MulticastPromotion => "multicast+promotion",
+            Scheme::MulticastFastLru => "multicast+fastLRU",
+            Scheme::StaticNuca => "static NUCA",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_schemes_in_fig8() {
+        assert_eq!(ALL_SCHEMES.len(), 5);
+        assert!(!ALL_SCHEMES.contains(&Scheme::StaticNuca));
+    }
+
+    #[test]
+    fn static_nuca_does_not_migrate() {
+        assert!(!Scheme::StaticNuca.migrates());
+        assert!(Scheme::MulticastFastLru.migrates());
+        assert!(!Scheme::StaticNuca.is_multicast());
+        assert!(!Scheme::StaticNuca.is_fast_lru());
+    }
+
+    #[test]
+    fn multicast_flags() {
+        assert!(Scheme::MulticastFastLru.is_multicast());
+        assert!(Scheme::MulticastPromotion.is_multicast());
+        assert!(!Scheme::UnicastLru.is_multicast());
+    }
+
+    #[test]
+    fn fast_lru_flags() {
+        assert!(Scheme::UnicastFastLru.is_fast_lru());
+        assert!(Scheme::MulticastFastLru.is_fast_lru());
+        assert!(!Scheme::UnicastLru.is_fast_lru());
+        assert!(!Scheme::UnicastPromotion.is_fast_lru());
+    }
+
+    #[test]
+    fn policies_map_correctly() {
+        assert_eq!(
+            Scheme::UnicastPromotion.policy(),
+            ReplacementPolicy::Promotion
+        );
+        assert_eq!(Scheme::UnicastLru.policy(), ReplacementPolicy::Lru);
+        assert_eq!(
+            Scheme::MulticastFastLru.policy(),
+            ReplacementPolicy::FastLru
+        );
+    }
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(Scheme::MulticastFastLru.to_string(), "multicast+fastLRU");
+        assert_eq!(Scheme::UnicastPromotion.to_string(), "unicast+promotion");
+    }
+}

@@ -1,0 +1,178 @@
+//! Link-utilisation census.
+//!
+//! Section 1 of the paper observes that "20% of the links in a mesh
+//! network are never used" by D-NUCA cache traffic, and §4 derives the
+//! minimal link set (Fig. 4(b)). [`LinkCensus`] reproduces both: given a
+//! routing table and the set of (source, destination) flows that occur
+//! in a cache system, it marks which links any flow traverses.
+
+use crate::ids::{LinkId, NodeId};
+use crate::routing::RoutingTable;
+use crate::stats::NetStats;
+use crate::topology::Topology;
+
+/// Which links a traffic pattern touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkCensus {
+    used: Vec<bool>,
+}
+
+impl LinkCensus {
+    /// Census over statically routed flows.
+    pub fn from_flows(topo: &Topology, table: &RoutingTable, flows: &[(NodeId, NodeId)]) -> Self {
+        let mut used = vec![false; topo.link_count()];
+        for &(src, dst) in flows {
+            if let Some(path) = table.path(topo, src, dst) {
+                for l in path {
+                    used[l.0 as usize] = true;
+                }
+            }
+        }
+        LinkCensus { used }
+    }
+
+    /// Census from dynamic simulation statistics.
+    pub fn from_stats(stats: &NetStats) -> Self {
+        LinkCensus {
+            used: stats.flits_per_link.iter().map(|&f| f > 0).collect(),
+        }
+    }
+
+    /// Total number of links considered.
+    pub fn total(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Number of links some flow uses.
+    pub fn used(&self) -> usize {
+        self.used.iter().filter(|&&u| u).count()
+    }
+
+    /// Number of links no flow ever uses.
+    pub fn unused(&self) -> usize {
+        self.total() - self.used()
+    }
+
+    /// Fraction of links never used (the paper's headline 20 %).
+    pub fn unused_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.unused() as f64 / self.total() as f64
+        }
+    }
+
+    /// Whether a specific link is used.
+    pub fn is_used(&self, link: LinkId) -> bool {
+        self.used[link.0 as usize]
+    }
+
+    /// Ids of all unused links.
+    pub fn unused_links(&self) -> Vec<LinkId> {
+        self.used
+            .iter()
+            .enumerate()
+            .filter(|(_, &u)| !u)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingSpec;
+    use crate::topology::Topology;
+
+    fn unit(n: u16) -> Vec<u32> {
+        vec![1; n as usize]
+    }
+
+    /// The cache-system flow set of Fig. 4(a) on a mesh: requests
+    /// core→banks, replies banks→core, column neighbours, memory fills
+    /// and writebacks.
+    fn cache_flows(topo: &Topology, cols: u16, rows: u16) -> Vec<(NodeId, NodeId)> {
+        let core = topo.node_at(cols / 2 - 1, 0);
+        let memory = topo.node_at(cols / 2, rows - 1);
+        let mut flows = Vec::new();
+        for c in 0..cols {
+            for r in 0..rows {
+                let bank = topo.node_at(c, r);
+                flows.push((core, bank));
+                flows.push((bank, core));
+                if r + 1 < rows {
+                    flows.push((bank, topo.node_at(c, r + 1)));
+                    flows.push((topo.node_at(c, r + 1), bank));
+                }
+            }
+            // Memory fill goes to the MRU bank of the column.
+            flows.push((memory, topo.node_at(c, 0)));
+            // Writeback from the LRU bank of the column.
+            flows.push((topo.node_at(c, rows - 1), memory));
+        }
+        flows.push((core, memory));
+        flows.push((memory, core));
+        flows
+    }
+
+    #[test]
+    fn cache_traffic_leaves_mesh_links_unused() {
+        let t = Topology::mesh(16, 16, &unit(15), &unit(15));
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        let flows = cache_flows(&t, 16, 16);
+        let census = LinkCensus::from_flows(&t, &rt, &flows);
+        let frac = census.unused_fraction();
+        // The paper reports ~20% of links never used in the 16x16 mesh.
+        assert!(frac > 0.10 && frac < 0.35, "unused fraction {frac}");
+    }
+
+    #[test]
+    fn simplified_mesh_with_xyx_has_high_utilisation() {
+        let t = Topology::simplified_mesh(16, 16, &unit(15), &unit(15));
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        let flows = cache_flows(&t, 16, 16);
+        let census = LinkCensus::from_flows(&t, &rt, &flows);
+        assert!(
+            census.unused_fraction() < 0.15,
+            "simplified mesh should waste few links, got {}",
+            census.unused_fraction()
+        );
+    }
+
+    #[test]
+    fn halo_uses_every_link() {
+        let t = Topology::halo(8, 4, &[1; 4], 1);
+        let rt = RoutingSpec::ShortestPath.build(&t).unwrap();
+        let hub = NodeId(0);
+        let mut flows = Vec::new();
+        for s in 0..8 {
+            for p in 0..4 {
+                flows.push((hub, t.spike_node(s, p)));
+                flows.push((t.spike_node(s, p), hub));
+            }
+        }
+        let census = LinkCensus::from_flows(&t, &rt, &flows);
+        assert_eq!(census.unused(), 0);
+        assert_eq!(census.used(), t.link_count());
+    }
+
+    #[test]
+    fn from_stats_matches_flit_counts() {
+        let stats = NetStats {
+            flits_per_link: vec![0, 7, 0, 2, 1],
+            ..Default::default()
+        };
+        let c = LinkCensus::from_stats(&stats);
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.used(), 3);
+        assert_eq!(c.unused_links(), vec![LinkId(0), LinkId(2)]);
+        assert!(c.is_used(LinkId(1)));
+        assert!(!c.is_used(LinkId(0)));
+    }
+
+    #[test]
+    fn empty_census() {
+        let c = LinkCensus { used: vec![] };
+        assert_eq!(c.unused_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Channel-dependency analysis and deadlock-freedom proofs.
+//!
+//! A routing algorithm on a wormhole network is deadlock-free if the
+//! *channel dependency graph* (CDG) — a node per channel (link), an edge
+//! whenever some routed path uses one channel directly after another —
+//! is acyclic (Dally & Seitz). The paper argues XYX is deadlock-free "by
+//! enforcing a total order of channels" (Fig. 5(b));
+//! [`ChannelDependencyGraph::enumeration`] produces exactly such a total
+//! order (a topological order of the CDG),
+//! and the tests verify every routed path follows strictly increasing
+//! channel numbers.
+
+use crate::ids::{LinkId, NodeId};
+use crate::routing::RoutingTable;
+use crate::topology::Topology;
+
+/// Channel dependency graph for a (topology, routing, traffic) triple.
+#[derive(Debug, Clone)]
+pub struct ChannelDependencyGraph {
+    n_links: usize,
+    /// Adjacency: `edges[a]` holds every channel `b` such that some path
+    /// uses `a` immediately before `b`.
+    edges: Vec<Vec<u32>>,
+}
+
+/// Result of a deadlock analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockReport {
+    /// Whether the CDG is acyclic (⇒ deadlock-free routing).
+    pub acyclic: bool,
+    /// A cycle witness (channel ids) when not acyclic.
+    pub cycle: Option<Vec<LinkId>>,
+}
+
+impl ChannelDependencyGraph {
+    /// Builds the CDG for **all routable pairs** of the topology.
+    pub fn from_all_pairs(topo: &Topology, table: &RoutingTable) -> Self {
+        let pairs: Vec<(NodeId, NodeId)> = (0..topo.len() as u32)
+            .flat_map(|a| (0..topo.len() as u32).map(move |b| (NodeId(a), NodeId(b))))
+            .filter(|(a, b)| a != b)
+            .collect();
+        Self::from_traffic(topo, table, &pairs)
+    }
+
+    /// Builds the CDG restricted to the given traffic pairs (e.g. only
+    /// the communication patterns that occur in a cache system, Fig. 4a).
+    pub fn from_traffic(topo: &Topology, table: &RoutingTable, pairs: &[(NodeId, NodeId)]) -> Self {
+        let n_links = topo.link_count();
+        let mut edges: Vec<Vec<u32>> = vec![Vec::new(); n_links];
+        for &(src, dst) in pairs {
+            let Some(path) = table.path(topo, src, dst) else {
+                continue;
+            };
+            for w in path.windows(2) {
+                let (a, b) = (w[0].0 as usize, w[1].0);
+                if !edges[a].contains(&b) {
+                    edges[a].push(b);
+                }
+            }
+        }
+        ChannelDependencyGraph { n_links, edges }
+    }
+
+    /// Number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Checks acyclicity; returns a cycle witness when one exists.
+    pub fn analyze(&self) -> DeadlockReport {
+        // Iterative three-colour DFS.
+        const WHITE: u8 = 0;
+        const GREY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut colour = vec![WHITE; self.n_links];
+        let mut parent: Vec<Option<usize>> = vec![None; self.n_links];
+        for start in 0..self.n_links {
+            if colour[start] != WHITE {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            colour[start] = GREY;
+            while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+                if *i < self.edges[v].len() {
+                    let w = self.edges[v][*i] as usize;
+                    *i += 1;
+                    match colour[w] {
+                        WHITE => {
+                            colour[w] = GREY;
+                            parent[w] = Some(v);
+                            stack.push((w, 0));
+                        }
+                        GREY => {
+                            // Found a back edge v -> w: reconstruct cycle.
+                            let mut cyc = vec![LinkId(v as u32)];
+                            let mut cur = v;
+                            while cur != w {
+                                cur = parent[cur].expect("grey node must have a parent on stack");
+                                cyc.push(LinkId(cur as u32));
+                            }
+                            cyc.reverse();
+                            return DeadlockReport {
+                                acyclic: false,
+                                cycle: Some(cyc),
+                            };
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour[v] = BLACK;
+                    stack.pop();
+                }
+            }
+        }
+        DeadlockReport {
+            acyclic: true,
+            cycle: None,
+        }
+    }
+
+    /// Produces a channel enumeration: a total order such that every
+    /// dependency goes from a lower to a higher number (Kahn topological
+    /// sort). Returns `None` when the CDG is cyclic.
+    ///
+    /// This is the constructive counterpart of the paper's Fig. 5(b):
+    /// "any path in XYX routing follows increasingly numbered channels".
+    pub fn enumeration(&self) -> Option<Vec<u32>> {
+        let mut indeg = vec![0u32; self.n_links];
+        for es in &self.edges {
+            for &w in es {
+                indeg[w as usize] += 1;
+            }
+        }
+        let mut order = vec![0u32; self.n_links];
+        let mut queue: Vec<usize> = (0..self.n_links).filter(|&v| indeg[v] == 0).collect();
+        // Deterministic: process in id order.
+        queue.sort_unstable();
+        let mut next_number = 0u32;
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order[v] = next_number;
+            next_number += 1;
+            let mut newly = Vec::new();
+            for &w in &self.edges[v] {
+                let w = w as usize;
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    newly.push(w);
+                }
+            }
+            newly.sort_unstable();
+            queue.extend(newly);
+        }
+        if next_number as usize == self.n_links {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+/// Verifies that `path` follows strictly increasing channel numbers
+/// under `enumeration`.
+pub fn path_is_increasing(enumeration: &[u32], path: &[LinkId]) -> bool {
+    path.windows(2)
+        .all(|w| enumeration[w[0].0 as usize] < enumeration[w[1].0 as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingSpec;
+
+    fn unit(n: u16) -> Vec<u32> {
+        vec![1; n as usize]
+    }
+
+    #[test]
+    fn xy_on_full_mesh_is_deadlock_free() {
+        let t = Topology::mesh(5, 5, &unit(4), &unit(4));
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        let cdg = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+        assert!(cdg.analyze().acyclic);
+    }
+
+    #[test]
+    fn xyx_on_full_mesh_is_deadlock_free() {
+        let t = Topology::mesh(5, 5, &unit(4), &unit(4));
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        let cdg = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+        assert!(cdg.analyze().acyclic);
+    }
+
+    #[test]
+    fn xyx_on_simplified_mesh_is_deadlock_free() {
+        let t = Topology::simplified_mesh(8, 8, &unit(7), &unit(7));
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        let cdg = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+        let report = cdg.analyze();
+        assert!(report.acyclic, "cycle: {:?}", report.cycle);
+    }
+
+    #[test]
+    fn shortest_path_on_halo_is_deadlock_free() {
+        // Halo spikes are trees: any minimal routing is deadlock-free.
+        let t = Topology::halo(16, 5, &[1, 1, 2, 2, 3], 2);
+        let rt = RoutingSpec::ShortestPath.build(&t).unwrap();
+        let cdg = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+        assert!(cdg.analyze().acyclic);
+    }
+
+    #[test]
+    fn xyx_channel_enumeration_exists_and_orders_paths() {
+        let t = Topology::simplified_mesh(3, 3, &unit(2), &unit(2));
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        let cdg = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+        let order = cdg
+            .enumeration()
+            .expect("XYX must admit a total channel order");
+        for a in 0..t.len() as u32 {
+            for b in 0..t.len() as u32 {
+                if let Some(path) = rt.path(&t, NodeId(a), NodeId(b)) {
+                    assert!(
+                        path_is_increasing(&order, &path),
+                        "path {a}->{b} not increasing: {path:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_none_for_cyclic_graph() {
+        // Hand-built 3-cycle.
+        let cdg = ChannelDependencyGraph {
+            n_links: 3,
+            edges: vec![vec![1], vec![2], vec![0]],
+        };
+        assert!(cdg.enumeration().is_none());
+        let r = cdg.analyze();
+        assert!(!r.acyclic);
+        assert_eq!(r.cycle.as_ref().map(Vec::len), Some(3));
+    }
+
+    #[test]
+    fn cycle_witness_is_a_real_cycle() {
+        let cdg = ChannelDependencyGraph {
+            n_links: 4,
+            edges: vec![vec![1], vec![2], vec![1], vec![]],
+        };
+        let r = cdg.analyze();
+        assert!(!r.acyclic);
+        let cyc = r.cycle.unwrap();
+        // Every consecutive pair (and the wrap-around) must be an edge.
+        for i in 0..cyc.len() {
+            let a = cyc[i].0 as usize;
+            let b = cyc[(i + 1) % cyc.len()].0;
+            assert!(cdg.edges[a].contains(&b), "{a}->{b} missing");
+        }
+    }
+
+    #[test]
+    fn restricted_traffic_cdg_is_smaller() {
+        let t = Topology::mesh(4, 4, &unit(3), &unit(3));
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        let all = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+        let core = t.node_at(1, 0);
+        let pairs: Vec<_> = (0..16u32).map(|b| (core, NodeId(b))).collect();
+        let restricted = ChannelDependencyGraph::from_traffic(&t, &rt, &pairs);
+        assert!(restricted.edge_count() < all.edge_count());
+        assert!(restricted.analyze().acyclic);
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let cdg = ChannelDependencyGraph {
+            n_links: 0,
+            edges: vec![],
+        };
+        assert!(cdg.analyze().acyclic);
+        assert_eq!(cdg.enumeration(), Some(vec![]));
+    }
+}

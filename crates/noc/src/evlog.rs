@@ -1,0 +1,188 @@
+//! Optional network event log for protocol debugging.
+//!
+//! When enabled, the [`crate::Network`] records packet-level events into
+//! a bounded ring buffer (oldest entries are dropped first). The log has
+//! zero cost while disabled, which is the default.
+
+use std::collections::VecDeque;
+
+use crate::ids::{Endpoint, NodeId};
+use crate::packet::PacketId;
+
+/// One logged event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// A packet entered a source queue.
+    Inject {
+        /// Cycle of injection.
+        cycle: u64,
+        /// Packet id assigned.
+        packet: PacketId,
+        /// Source endpoint.
+        src: Endpoint,
+        /// Flit count.
+        flits: u32,
+    },
+    /// A packet's tail was handed to a local sink.
+    Deliver {
+        /// Cycle of delivery.
+        cycle: u64,
+        /// Which packet.
+        packet: PacketId,
+        /// Receiving endpoint.
+        endpoint: Endpoint,
+    },
+    /// A multicast head reserved a replica VC at `node`.
+    Replicate {
+        /// Cycle of the reservation.
+        cycle: u64,
+        /// Which packet.
+        packet: PacketId,
+        /// Router performing the replication.
+        node: NodeId,
+    },
+    /// A multicast head found no free replica VC at `node` this cycle.
+    ReplicaBlocked {
+        /// Cycle of the stall.
+        cycle: u64,
+        /// Router where the head stalled.
+        node: NodeId,
+    },
+}
+
+impl NetEvent {
+    /// The cycle the event happened.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            NetEvent::Inject { cycle, .. }
+            | NetEvent::Deliver { cycle, .. }
+            | NetEvent::Replicate { cycle, .. }
+            | NetEvent::ReplicaBlocked { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// Bounded ring buffer of [`NetEvent`]s.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    capacity: usize,
+    events: VecDeque<NetEvent>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Creates a log keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log needs room for at least one event");
+        EventLog {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest at capacity.
+    pub fn push(&mut self, ev: NetEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &NetEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because of the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events concerning one packet, oldest first.
+    pub fn for_packet(&self, packet: PacketId) -> Vec<NetEvent> {
+        self.events
+            .iter()
+            .filter(|e| match e {
+                NetEvent::Inject { packet: p, .. }
+                | NetEvent::Deliver { packet: p, .. }
+                | NetEvent::Replicate { packet: p, .. } => *p == packet,
+                NetEvent::ReplicaBlocked { .. } => false,
+            })
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inject(cycle: u64, id: u64) -> NetEvent {
+        NetEvent::Inject {
+            cycle,
+            packet: PacketId(id),
+            src: Endpoint::at(NodeId(0)),
+            flits: 1,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut log = EventLog::new(2);
+        log.push(inject(1, 1));
+        log.push(inject(2, 2));
+        log.push(inject(3, 3));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        let cycles: Vec<u64> = log.events().map(NetEvent::cycle).collect();
+        assert_eq!(cycles, vec![2, 3]);
+    }
+
+    #[test]
+    fn per_packet_filter() {
+        let mut log = EventLog::new(8);
+        log.push(inject(1, 7));
+        log.push(NetEvent::Deliver {
+            cycle: 5,
+            packet: PacketId(7),
+            endpoint: Endpoint::at(NodeId(3)),
+        });
+        log.push(inject(2, 8));
+        log.push(NetEvent::ReplicaBlocked {
+            cycle: 3,
+            node: NodeId(1),
+        });
+        let evs = log.for_packet(PacketId(7));
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[1].cycle(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn zero_capacity_panics() {
+        let _ = EventLog::new(0);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new(4);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

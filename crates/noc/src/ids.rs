@@ -1,0 +1,118 @@
+//! Strongly typed identifiers for network entities.
+
+use std::fmt;
+
+/// Identifies one router in a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifies one unidirectional link in a [`crate::Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LinkId(pub u32);
+
+/// Index of a port within one router's port array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PortId(pub u8);
+
+/// A network attachment point: a local slot of a router.
+///
+/// Routers may expose several local slots (e.g. the mesh router the core
+/// is attached to carries both a cache bank and the cache controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Endpoint {
+    /// The router the endpoint hangs off.
+    pub node: NodeId,
+    /// Which of the router's local slots (0-based).
+    pub slot: u8,
+}
+
+impl Endpoint {
+    /// Endpoint at `node`'s first (usually only) local slot.
+    pub fn at(node: NodeId) -> Self {
+        Endpoint { node, slot: 0 }
+    }
+}
+
+/// Grid coordinate of a mesh router. Row 0 is the top row (where the
+/// core attaches in the paper's layouts); column 0 is the left edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    /// Column (x), 0-based from the left.
+    pub col: u16,
+    /// Row (y), 0-based from the top.
+    pub row: u16,
+}
+
+impl Coord {
+    /// Manhattan distance between two coordinates.
+    pub fn manhattan(self, other: Coord) -> u32 {
+        let dc = (self.col as i32 - other.col as i32).unsigned_abs();
+        let dr = (self.row as i32 - other.row as i32).unsigned_abs();
+        dc + dr
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.node, self.slot)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.col, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord { col: 1, row: 2 };
+        let b = Coord { col: 4, row: 0 };
+        assert_eq!(a.manhattan(b), 5);
+        assert_eq!(b.manhattan(a), 5);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn endpoint_at_uses_slot_zero() {
+        let e = Endpoint::at(NodeId(7));
+        assert_eq!(
+            e,
+            Endpoint {
+                node: NodeId(7),
+                slot: 0
+            }
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(
+            Endpoint {
+                node: NodeId(3),
+                slot: 1
+            }
+            .to_string(),
+            "n3.1"
+        );
+        assert_eq!(Coord { col: 2, row: 5 }.to_string(), "(2, 5)");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(0) < LinkId(9));
+        assert!(PortId(1) < PortId(3));
+    }
+}

@@ -1,0 +1,241 @@
+//! Packets, destinations, and flitization.
+//!
+//! The cache network delivers packetized data (§5 of the paper): a flit
+//! is 128 bits; a read request or notification fits in one flit; a packet
+//! carrying a 64-byte block (plus address and wormhole overhead) is five
+//! flits.
+
+use std::rc::Rc;
+
+use crate::ids::Endpoint;
+
+/// Flit width in bits (Table 1).
+pub const FLIT_BITS: u32 = 128;
+/// Block size carried by data packets, in bytes (Table 1).
+pub const BLOCK_BYTES: u32 = 64;
+/// Per-packet overhead: type (2 b), size (7 b), routing (8 b),
+/// communication type (1 b) — §5 of the paper — plus the 32-bit address.
+pub const OVERHEAD_BITS: u32 = 2 + 7 + 8 + 1 + 32;
+
+/// Number of flits for a packet carrying `data_bytes` of payload.
+///
+/// ```
+/// use nucanet_noc::packet::flits_for_bytes;
+/// assert_eq!(flits_for_bytes(0), 1);  // request / notification
+/// assert_eq!(flits_for_bytes(64), 5); // block transfer
+/// ```
+pub fn flits_for_bytes(data_bytes: u32) -> u32 {
+    let bits = OVERHEAD_BITS + 8 * data_bytes;
+    bits.div_ceil(FLIT_BITS).max(1)
+}
+
+/// Unique identifier assigned to each injected packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PacketId(pub u64);
+
+/// Where a packet is going.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Dest {
+    /// Ordinary one-destination wormhole packet.
+    Unicast(Endpoint),
+    /// Path multicast: the packet visits the endpoints **in order**,
+    /// leaving a replica at each (the paper's column multicast used for
+    /// concurrent tag-match). Consecutive endpoints must lie further
+    /// along the routing path.
+    Multicast(Vec<Endpoint>),
+}
+
+impl Dest {
+    /// Convenience constructor for a unicast destination.
+    pub fn unicast(e: Endpoint) -> Self {
+        Dest::Unicast(e)
+    }
+
+    /// Convenience constructor for a path multicast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty.
+    pub fn multicast(path: Vec<Endpoint>) -> Self {
+        assert!(
+            !path.is_empty(),
+            "multicast destination list cannot be empty"
+        );
+        Dest::Multicast(path)
+    }
+
+    /// The endpoints of this destination, in visiting order.
+    pub fn endpoints(&self) -> &[Endpoint] {
+        match self {
+            Dest::Unicast(e) => std::slice::from_ref(e),
+            Dest::Multicast(v) => v,
+        }
+    }
+
+    /// Whether this packet needs multicast replication support.
+    pub fn is_multicast(&self) -> bool {
+        matches!(self, Dest::Multicast(v) if v.len() > 1)
+    }
+}
+
+/// An injected packet. `P` is the protocol payload type carried opaquely
+/// by the network (the cache system uses its message enum).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet<P> {
+    /// Identifier, assigned by [`crate::Network::inject`].
+    pub id: PacketId,
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination(s).
+    pub dest: Dest,
+    /// Length in flits (use [`flits_for_bytes`]).
+    pub flits: u32,
+    /// Cycle the packet entered the source queue; stamped by `inject`.
+    pub injected_at: u64,
+    /// Protocol payload.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Creates a packet ready for [`crate::Network::inject`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flits` is zero.
+    pub fn new(src: Endpoint, dest: Dest, flits: u32, payload: P) -> Self {
+        assert!(flits >= 1, "a packet is at least one flit");
+        Packet {
+            id: PacketId(0),
+            src,
+            dest,
+            flits,
+            injected_at: 0,
+            payload,
+        }
+    }
+}
+
+/// One flit in flight. Flits of a packet share the packet body via `Rc`.
+#[derive(Debug)]
+pub(crate) struct FlitRef<P> {
+    pub pkt: Rc<Packet<P>>,
+    /// Position within the packet: 0 = head, `flits - 1` = tail.
+    pub seq: u32,
+    /// Index into `pkt.dest.endpoints()` of the next endpoint this copy
+    /// still has to reach.
+    pub dest_idx: u32,
+}
+
+// Manual impl: `P` itself need not be `Clone` — flits share the packet
+// body through the `Rc`.
+impl<P> Clone for FlitRef<P> {
+    fn clone(&self) -> Self {
+        FlitRef {
+            pkt: Rc::clone(&self.pkt),
+            seq: self.seq,
+            dest_idx: self.dest_idx,
+        }
+    }
+}
+
+impl<P> FlitRef<P> {
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+
+    pub fn is_tail(&self) -> bool {
+        self.seq + 1 == self.pkt.flits
+    }
+
+    /// The endpoint this copy is currently heading to.
+    pub fn target(&self) -> Endpoint {
+        self.pkt.dest.endpoints()[self.dest_idx as usize]
+    }
+
+    /// Whether further endpoints remain after [`FlitRef::target`].
+    pub fn has_more_targets(&self) -> bool {
+        (self.dest_idx as usize + 1) < self.pkt.dest.endpoints().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn request_packet_is_one_flit() {
+        // 50 overhead bits alone fit into one 128-bit flit.
+        assert_eq!(flits_for_bytes(0), 1);
+    }
+
+    #[test]
+    fn block_packet_is_five_flits() {
+        // 64 B data + 32 b address + 18 b overhead = 562 bits -> 5 flits.
+        assert_eq!(flits_for_bytes(BLOCK_BYTES), 5);
+    }
+
+    #[test]
+    fn small_write_fits_fewer_flits() {
+        assert_eq!(flits_for_bytes(8), 1);
+        assert_eq!(flits_for_bytes(16), 2);
+    }
+
+    #[test]
+    fn dest_endpoints_order_preserved() {
+        let a = Endpoint::at(NodeId(1));
+        let b = Endpoint::at(NodeId(2));
+        let d = Dest::multicast(vec![a, b]);
+        assert_eq!(d.endpoints(), &[a, b]);
+        assert!(d.is_multicast());
+        assert!(!Dest::unicast(a).is_multicast());
+        // A single-destination "multicast" needs no replication.
+        assert!(!Dest::multicast(vec![a]).is_multicast());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_multicast_panics() {
+        let _ = Dest::multicast(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_flit_packet_panics() {
+        let _ = Packet::new(
+            Endpoint::at(NodeId(0)),
+            Dest::unicast(Endpoint::at(NodeId(1))),
+            0,
+            (),
+        );
+    }
+
+    #[test]
+    fn flitref_head_tail() {
+        let pkt = Rc::new(Packet::new(
+            Endpoint::at(NodeId(0)),
+            Dest::unicast(Endpoint::at(NodeId(1))),
+            3,
+            (),
+        ));
+        let head = FlitRef {
+            pkt: Rc::clone(&pkt),
+            seq: 0,
+            dest_idx: 0,
+        };
+        let mid = FlitRef {
+            pkt: Rc::clone(&pkt),
+            seq: 1,
+            dest_idx: 0,
+        };
+        let tail = FlitRef {
+            pkt,
+            seq: 2,
+            dest_idx: 0,
+        };
+        assert!(head.is_head() && !head.is_tail());
+        assert!(!mid.is_head() && !mid.is_tail());
+        assert!(!tail.is_head() && tail.is_tail());
+        assert!(!head.has_more_targets());
+    }
+}

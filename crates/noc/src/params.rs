@@ -1,0 +1,118 @@
+//! Router configuration parameters (Table 1 of the paper).
+
+/// Wormhole router parameters shared by every router in a network.
+///
+/// The defaults reproduce Table 1 of the paper: 4 virtual channels per
+/// physical channel, 4-flit buffers, single-cycle routers, and a
+/// one-cycle credit return.
+///
+/// ```
+/// use nucanet_noc::RouterParams;
+/// let p = RouterParams::default();
+/// assert_eq!(p.vcs_per_port, 4);
+/// assert_eq!(p.vc_depth, 4);
+/// assert_eq!(p.router_stages, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouterParams {
+    /// Virtual channels per physical channel.
+    pub vcs_per_port: u8,
+    /// Flit-buffer depth per virtual channel.
+    pub vc_depth: u8,
+    /// Cycles for a credit to travel back upstream.
+    pub credit_delay: u32,
+    /// Router traversal stages. `1` models the paper's single-cycle
+    /// router (lookahead routing + buffer bypassing + speculative switch
+    /// allocation + arbitration precomputation); larger values model a
+    /// conventional pipelined router for ablation studies.
+    pub router_stages: u32,
+    /// Cycles of no forward progress after which [`crate::Network::step`]
+    /// panics, treating the network as deadlocked. Safety net for tests.
+    pub watchdog_cycles: u64,
+}
+
+impl RouterParams {
+    /// Paper configuration (single-cycle router, Table 1 buffers).
+    pub fn hpca07() -> Self {
+        RouterParams {
+            vcs_per_port: 4,
+            vc_depth: 4,
+            credit_delay: 1,
+            router_stages: 1,
+            watchdog_cycles: 200_000,
+        }
+    }
+
+    /// A conventional pipelined router with `stages` cycles per hop,
+    /// otherwise identical. Used as the ablation baseline.
+    pub fn pipelined(stages: u32) -> Self {
+        assert!(stages >= 1, "a router needs at least one stage");
+        RouterParams {
+            router_stages: stages,
+            ..Self::hpca07()
+        }
+    }
+
+    /// Validates the invariants other modules rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero where that is meaningless.
+    pub fn validate(&self) {
+        assert!(self.vcs_per_port >= 1, "need at least one VC per port");
+        assert!(self.vc_depth >= 1, "need at least a one-flit buffer");
+        assert!(self.router_stages >= 1, "need at least one router stage");
+        assert!(
+            self.credit_delay >= 1,
+            "credits cannot return in zero cycles"
+        );
+    }
+}
+
+impl Default for RouterParams {
+    fn default() -> Self {
+        RouterParams::hpca07()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let p = RouterParams::default();
+        assert_eq!(p.vcs_per_port, 4);
+        assert_eq!(p.vc_depth, 4);
+        assert_eq!(p.credit_delay, 1);
+        assert_eq!(p.router_stages, 1);
+    }
+
+    #[test]
+    fn pipelined_changes_only_stages() {
+        let p = RouterParams::pipelined(4);
+        assert_eq!(p.router_stages, 4);
+        assert_eq!(p.vcs_per_port, RouterParams::hpca07().vcs_per_port);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_pipelined_panics() {
+        let _ = RouterParams::pipelined(0);
+    }
+
+    #[test]
+    fn validate_accepts_default() {
+        RouterParams::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VC")]
+    fn validate_rejects_zero_vcs() {
+        RouterParams {
+            vcs_per_port: 0,
+            ..RouterParams::hpca07()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-router microarchitectural state.
+//!
+//! Each router has one *input unit* per port (a set of virtual channels
+//! with flit FIFOs) and one *output unit* per port (per-VC ownership and
+//! credit state mirroring the downstream input buffer). Local ports act
+//! as injection queues on the input side and ejection sinks on the
+//! output side.
+//!
+//! Multicast replication follows §3.1 of the paper: when a path-multicast
+//! head must both eject locally and continue, the router reserves a free
+//! VC of a *different* input physical channel and copies each flit into
+//! it as the primary flit traverses the switch. The replica VC then
+//! competes for the ejection port like any other input VC. No dedicated
+//! multicast buffers exist; when no VC is free the packet blocks.
+
+use std::collections::VecDeque;
+
+use crate::packet::FlitRef;
+
+/// Where an input VC's current packet is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct OutRoute {
+    /// Output port index at this router.
+    pub port: u8,
+    /// Downstream VC index (unused for ejection).
+    pub vc: u8,
+    /// True when `port` is a local slot (ejection).
+    pub eject: bool,
+}
+
+/// Multicast split state on a primary input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Split {
+    /// Input port holding the replica VC.
+    pub port: u8,
+    /// Replica VC index within that port.
+    pub vc: u8,
+}
+
+/// One virtual channel of an input unit.
+#[derive(Debug)]
+pub(crate) struct InputVc<P> {
+    pub buf: VecDeque<FlitRef<P>>,
+    /// Allocated output for the packet currently traversing this VC.
+    pub route: Option<OutRoute>,
+    /// Multicast replication target, when this VC carries a primary
+    /// multicast stream that still has further endpoints.
+    pub split: Option<Split>,
+    /// True while this VC stores locally written replica flits. Such
+    /// flits did not arrive over the link, so ejecting them returns no
+    /// upstream credit.
+    pub replica_role: bool,
+}
+
+impl<P> InputVc<P> {
+    pub fn new() -> Self {
+        InputVc {
+            buf: VecDeque::new(),
+            route: None,
+            split: None,
+            replica_role: false,
+        }
+    }
+
+    /// A VC is free for replica reservation when it is completely idle.
+    pub fn is_free(&self) -> bool {
+        self.buf.is_empty() && self.route.is_none() && !self.replica_role
+    }
+}
+
+/// Input unit of one port.
+#[derive(Debug)]
+pub(crate) struct InputPort<P> {
+    pub vcs: Vec<InputVc<P>>,
+    /// Local ports hold injection queues (unbounded source queues).
+    pub is_local: bool,
+    /// Flits received over the link; the replica selector prefers the
+    /// least-utilised physical channel (§3.1).
+    pub util: u64,
+}
+
+/// Sender-side state for one VC of an outgoing link.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OutVcState {
+    /// Allocated to a packet (set at head, cleared at tail).
+    pub owner: bool,
+    /// Free downstream buffer slots we may still consume.
+    pub credits: u8,
+}
+
+/// Output unit of one port.
+#[derive(Debug)]
+pub(crate) struct OutputPort {
+    /// Per-VC sender-side state; present only for ports with an
+    /// outgoing link (local ejection sinks need none).
+    pub vcs: Vec<OutVcState>,
+    /// Round-robin pointer over input ports for switch allocation.
+    pub rr: u8,
+}
+
+/// Full microarchitectural state of one router.
+#[derive(Debug)]
+pub(crate) struct RouterState<P> {
+    pub inputs: Vec<InputPort<P>>,
+    pub outputs: Vec<OutputPort>,
+    /// Round-robin pointer over VCs, per input port.
+    pub rr_in: Vec<u8>,
+}
+
+impl<P> Default for RouterState<P> {
+    fn default() -> Self {
+        RouterState {
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            rr_in: Vec::new(),
+        }
+    }
+}
+
+impl<P> RouterState<P> {
+    /// Builds state for a router with the given port shapes.
+    pub fn build(ports: &[(bool, bool)], vcs_per_port: u8, vc_depth: u8) -> Self {
+        // ports: (is_local, has_out_link)
+        let _ = vc_depth;
+        let inputs = ports
+            .iter()
+            .map(|&(is_local, _)| InputPort {
+                vcs: (0..vcs_per_port).map(|_| InputVc::new()).collect(),
+                is_local,
+                util: 0,
+            })
+            .collect();
+        let outputs = ports
+            .iter()
+            .map(|&(_, has_link)| OutputPort {
+                vcs: if has_link {
+                    (0..vcs_per_port)
+                        .map(|_| OutVcState {
+                            owner: false,
+                            credits: vc_depth,
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+                rr: 0,
+            })
+            .collect();
+        RouterState {
+            inputs,
+            outputs,
+            rr_in: vec![0; ports.len()],
+        }
+    }
+
+    /// Whether any input VC holds flits (router must stay scheduled).
+    pub fn has_work(&self) -> bool {
+        self.inputs
+            .iter()
+            .any(|p| p.vcs.iter().any(|v| !v.buf.is_empty()))
+    }
+
+    /// Total buffered flits (diagnostics).
+    pub fn buffered_flits(&self) -> usize {
+        self.inputs
+            .iter()
+            .map(|p| p.vcs.iter().map(|v| v.buf.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_shapes_ports() {
+        let r: RouterState<()> = RouterState::build(&[(true, false), (false, true)], 4, 4);
+        assert_eq!(r.inputs.len(), 2);
+        assert!(r.inputs[0].is_local);
+        assert!(!r.inputs[1].is_local);
+        assert_eq!(r.inputs[1].vcs.len(), 4);
+        assert!(
+            r.outputs[0].vcs.is_empty(),
+            "local output has no credit state"
+        );
+        assert_eq!(r.outputs[1].vcs.len(), 4);
+        assert_eq!(r.outputs[1].vcs[0].credits, 4);
+        assert!(!r.has_work());
+        assert_eq!(r.buffered_flits(), 0);
+    }
+
+    #[test]
+    fn fresh_vc_is_free() {
+        let vc: InputVc<()> = InputVc::new();
+        assert!(vc.is_free());
+    }
+
+    #[test]
+    fn vc_with_route_is_not_free() {
+        let mut vc: InputVc<()> = InputVc::new();
+        vc.route = Some(OutRoute {
+            port: 1,
+            vc: 0,
+            eject: false,
+        });
+        assert!(!vc.is_free());
+    }
+
+    #[test]
+    fn replica_role_vc_is_not_free() {
+        let mut vc: InputVc<()> = InputVc::new();
+        vc.replica_role = true;
+        assert!(!vc.is_free());
+    }
+}

@@ -1,0 +1,440 @@
+//! Deterministic table-based routing.
+//!
+//! Routing decisions are precomputed into a [`RoutingTable`]
+//! (`next_hop[current][destination] → port`), which models the paper's
+//! lookahead routing: the output port of every hop is known before the
+//! flit arrives. Three generators are provided:
+//!
+//! * [`RoutingSpec::Xy`] — classic dimension-order XY (Design A / D-NUCA).
+//! * [`RoutingSpec::Xyx`] — the paper's Fig. 5 algorithm: packets moving
+//!   down (or staying in the same row) route X first then Y+; packets
+//!   moving up route Y− first, finishing with X in the destination row.
+//!   On the simplified mesh this only ever uses horizontal links in the
+//!   first and last rows.
+//! * [`RoutingSpec::ShortestPath`] — BFS with deterministic tie-breaking,
+//!   for halo and custom topologies.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::ids::{LinkId, NodeId, PortId};
+use crate::topology::{PortLabel, Topology, TopologyKind};
+
+/// Which routing algorithm to build a table from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingSpec {
+    /// Dimension-order XY routing (X first, then Y).
+    Xy,
+    /// The paper's XYX routing (Fig. 5).
+    Xyx,
+    /// Hop-count shortest path (BFS, lowest-`LinkId` tie-break).
+    ShortestPath,
+}
+
+/// Error building a routing table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildRoutingError {
+    /// XY/XYX need mesh coordinates; the topology has none.
+    NotAMesh,
+}
+
+impl fmt::Display for BuildRoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildRoutingError::NotAMesh => {
+                write!(f, "coordinate routing requires a mesh topology")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildRoutingError {}
+
+/// Precomputed next-hop table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTable {
+    n: usize,
+    /// `next[cur * n + dst]`: output port at `cur` toward `dst`.
+    next: Vec<Option<PortId>>,
+    /// Whether a full path from `src` to `dst` exists.
+    reachable: Vec<bool>,
+    spec: RoutingSpec,
+}
+
+impl RoutingSpec {
+    /// Builds the routing table for `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildRoutingError::NotAMesh`] when a coordinate-based
+    /// algorithm is requested for a topology without coordinates.
+    pub fn build(self, topo: &Topology) -> Result<RoutingTable, BuildRoutingError> {
+        let n = topo.len();
+        let mut next = vec![None; n * n];
+        match self {
+            RoutingSpec::Xy | RoutingSpec::Xyx => {
+                if !matches!(
+                    topo.kind(),
+                    TopologyKind::Mesh { .. } | TopologyKind::SimplifiedMesh { .. }
+                ) {
+                    return Err(BuildRoutingError::NotAMesh);
+                }
+                for cur in 0..n {
+                    for dst in 0..n {
+                        if cur == dst {
+                            continue;
+                        }
+                        let label = self.mesh_port(topo, NodeId(cur as u32), NodeId(dst as u32));
+                        next[cur * n + dst] = label.and_then(|l| {
+                            let r = topo.router(NodeId(cur as u32));
+                            r.port_by_label(l)
+                                .filter(|p| r.ports[p.0 as usize].out_link.is_some())
+                        });
+                    }
+                }
+            }
+            RoutingSpec::ShortestPath => {
+                // BFS from every destination over reversed links.
+                for dst in 0..n {
+                    let mut dist = vec![u32::MAX; n];
+                    let mut q = VecDeque::new();
+                    dist[dst] = 0;
+                    q.push_back(dst);
+                    while let Some(v) = q.pop_front() {
+                        // Links arriving at v come from upstream routers u.
+                        for (li, l) in topo.links().iter().enumerate() {
+                            if l.dst.0 as usize != v {
+                                continue;
+                            }
+                            let u = l.src.0 as usize;
+                            if dist[u] == u32::MAX {
+                                dist[u] = dist[v] + 1;
+                                q.push_back(u);
+                                next[u * n + dst] = Some(l.src_port);
+                            } else if dist[u] == dist[v] + 1 {
+                                // Deterministic tie-break: lowest LinkId wins.
+                                let cur = next[u * n + dst];
+                                let better = match cur {
+                                    None => true,
+                                    Some(p) => {
+                                        let cur_link = topo.router(NodeId(u as u32)).ports
+                                            [p.0 as usize]
+                                            .out_link
+                                            .expect("routed port must have an out link");
+                                        LinkId(li as u32) < cur_link
+                                    }
+                                };
+                                if better {
+                                    next[u * n + dst] = Some(l.src_port);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut table = RoutingTable {
+            n,
+            next,
+            reachable: vec![false; n * n],
+            spec: self,
+        };
+        table.compute_reachability(topo);
+        Ok(table)
+    }
+
+    /// Mesh port label per hop for XY / XYX.
+    fn mesh_port(self, topo: &Topology, cur: NodeId, dst: NodeId) -> Option<PortLabel> {
+        let c = topo.coord_of(cur)?;
+        let d = topo.coord_of(dst)?;
+        let xoff = d.col as i32 - c.col as i32;
+        let yoff = d.row as i32 - c.row as i32;
+        match self {
+            RoutingSpec::Xy => Some(if xoff > 0 {
+                PortLabel::XPlus
+            } else if xoff < 0 {
+                PortLabel::XMinus
+            } else if yoff > 0 {
+                PortLabel::YPlus
+            } else {
+                PortLabel::YMinus
+            }),
+            // Fig. 5(a): if Yoffset >= 0 { X first, then Y+ } else { Y- }.
+            RoutingSpec::Xyx => Some(if yoff >= 0 {
+                if xoff > 0 {
+                    PortLabel::XPlus
+                } else if xoff < 0 {
+                    PortLabel::XMinus
+                } else {
+                    PortLabel::YPlus
+                }
+            } else {
+                PortLabel::YMinus
+            }),
+            RoutingSpec::ShortestPath => unreachable!("handled in build"),
+        }
+    }
+}
+
+impl RoutingTable {
+    fn compute_reachability(&mut self, topo: &Topology) {
+        let n = self.n;
+        for src in 0..n {
+            'dst: for dst in 0..n {
+                if src == dst {
+                    self.reachable[src * n + dst] = true;
+                    continue;
+                }
+                let mut cur = src;
+                for _ in 0..=n {
+                    match self.next[cur * n + dst] {
+                        None => continue 'dst,
+                        Some(p) => {
+                            let link = topo.router(NodeId(cur as u32)).ports[p.0 as usize]
+                                .out_link
+                                .expect("routing table port has no out link");
+                            cur = topo.link(link).dst.0 as usize;
+                            if cur == dst {
+                                self.reachable[src * n + dst] = true;
+                                continue 'dst;
+                            }
+                        }
+                    }
+                }
+                // Path longer than n hops: treat as a routing loop.
+            }
+        }
+    }
+
+    /// Output port at `cur` toward `dst`; `None` when `cur == dst` or
+    /// the algorithm provides no route.
+    pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> Option<PortId> {
+        self.next[cur.0 as usize * self.n + dst.0 as usize]
+    }
+
+    /// Whether a complete route from `src` to `dst` exists.
+    pub fn is_routable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.reachable[src.0 as usize * self.n + dst.0 as usize]
+    }
+
+    /// The algorithm this table was built from.
+    pub fn spec(&self) -> RoutingSpec {
+        self.spec
+    }
+
+    /// The full link path from `src` to `dst`, if routable.
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        if !self.is_routable(src, dst) {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut cur = src;
+        while cur != dst {
+            let p = self.next_hop(cur, dst)?;
+            let link = topo.router(cur).ports[p.0 as usize].out_link?;
+            out.push(link);
+            cur = topo.link(link).dst;
+        }
+        Some(out)
+    }
+
+    /// Hop count from `src` to `dst`, if routable.
+    pub fn hops(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.path(topo, src, dst).map(|p| p.len() as u32)
+    }
+
+    /// Latency (sum of link delays) from `src` to `dst`, if routable.
+    pub fn path_delay(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<u32> {
+        self.path(topo, src, dst)
+            .map(|p| p.iter().map(|&l| topo.link(l).delay).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Coord;
+
+    fn unit(n: u16) -> Vec<u32> {
+        vec![1; n as usize]
+    }
+
+    fn mesh4() -> Topology {
+        Topology::mesh(4, 4, &unit(3), &unit(3))
+    }
+
+    #[test]
+    fn xy_routes_x_first() {
+        let t = mesh4();
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        let src = t.node_at(0, 0);
+        let dst = t.node_at(2, 2);
+        let path = rt.path(&t, src, dst).unwrap();
+        assert_eq!(path.len(), 4);
+        // First two hops must be horizontal.
+        let first = t.link(path[0]);
+        assert_eq!(t.coord_of(first.dst), Some(Coord { col: 1, row: 0 }));
+        let second = t.link(path[1]);
+        assert_eq!(t.coord_of(second.dst), Some(Coord { col: 2, row: 0 }));
+    }
+
+    #[test]
+    fn xyx_downward_matches_xy() {
+        let t = mesh4();
+        let xy = RoutingSpec::Xy.build(&t).unwrap();
+        let xyx = RoutingSpec::Xyx.build(&t).unwrap();
+        // Core row (0) to a lower row: identical paths.
+        let src = t.node_at(1, 0);
+        let dst = t.node_at(3, 3);
+        assert_eq!(xy.path(&t, src, dst), xyx.path(&t, src, dst));
+    }
+
+    #[test]
+    fn xyx_upward_routes_y_first() {
+        let t = mesh4();
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        // A reply from bank (3,3) to the core column at (1,0):
+        let src = t.node_at(3, 3);
+        let dst = t.node_at(1, 0);
+        let path = rt.path(&t, src, dst).unwrap();
+        // First three hops go straight up the column.
+        for (i, l) in path.iter().take(3).enumerate() {
+            let link = t.link(*l);
+            assert_eq!(
+                t.coord_of(link.dst),
+                Some(Coord {
+                    col: 3,
+                    row: 2 - i as u16
+                }),
+                "hop {i} must be vertical"
+            );
+        }
+    }
+
+    #[test]
+    fn xyx_works_on_simplified_mesh_for_cache_patterns() {
+        let t = Topology::simplified_mesh(8, 8, &unit(7), &unit(7));
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        let core = t.node_at(3, 0);
+        let memory = t.node_at(4, 7);
+        for col in 0..8 {
+            for row in 0..8 {
+                let bank = t.node_at(col, row);
+                // Request: core -> any bank (via row 0, then down).
+                assert!(rt.is_routable(core, bank), "core->({col},{row})");
+                // Reply: any bank -> core.
+                assert!(rt.is_routable(bank, core), "({col},{row})->core");
+                // Memory fill: memory -> MRU bank (row 0).
+                if row == 0 {
+                    assert!(rt.is_routable(memory, bank), "mem->({col},0)");
+                }
+                // Writeback: LRU bank (last row) -> memory.
+                if row == 7 {
+                    assert!(rt.is_routable(bank, memory), "({col},7)->mem");
+                }
+            }
+        }
+        // Core <-> memory.
+        assert!(rt.is_routable(core, memory));
+        assert!(rt.is_routable(memory, core));
+    }
+
+    #[test]
+    fn xy_is_not_complete_on_simplified_mesh() {
+        let t = Topology::simplified_mesh(4, 4, &unit(3), &unit(3));
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        // XY from (0,1) to (2,1) needs a horizontal link in row 1.
+        assert!(!rt.is_routable(t.node_at(0, 1), t.node_at(2, 1)));
+    }
+
+    #[test]
+    fn xyx_mid_row_horizontal_is_unroutable_on_simplified_mesh() {
+        let t = Topology::simplified_mesh(4, 4, &unit(3), &unit(3));
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        // Same-row traffic in an interior row does not occur in cache
+        // communication and indeed has no route.
+        assert!(!rt.is_routable(t.node_at(0, 1), t.node_at(2, 1)));
+    }
+
+    #[test]
+    fn shortest_path_on_halo() {
+        let t = Topology::halo(4, 4, &[1; 4], 1);
+        let rt = RoutingSpec::ShortestPath.build(&t).unwrap();
+        let hub = NodeId(0);
+        for s in 0..4 {
+            for pos in 0..4 {
+                let bank = t.spike_node(s, pos);
+                assert_eq!(rt.hops(&t, hub, bank), Some(pos as u32 + 1));
+                assert_eq!(rt.hops(&t, bank, hub), Some(pos as u32 + 1));
+            }
+        }
+        // Bank to bank on the same spike goes along the chain.
+        assert_eq!(rt.hops(&t, t.spike_node(1, 0), t.spike_node(1, 3)), Some(3));
+        // Bank to bank across spikes goes through the hub.
+        assert_eq!(rt.hops(&t, t.spike_node(0, 1), t.spike_node(2, 1)), Some(4));
+    }
+
+    #[test]
+    fn halo_mru_banks_equidistant_from_hub() {
+        // The halo property: all MRU banks one hop from the core.
+        let t = Topology::halo(16, 5, &[1, 1, 2, 2, 3], 2);
+        let rt = RoutingSpec::ShortestPath.build(&t).unwrap();
+        for s in 0..16 {
+            assert_eq!(rt.hops(&t, NodeId(0), t.spike_node(s, 0)), Some(1));
+        }
+    }
+
+    #[test]
+    fn coordinate_routing_rejects_halo() {
+        let t = Topology::halo(2, 2, &[1, 1], 1);
+        assert_eq!(RoutingSpec::Xy.build(&t), Err(BuildRoutingError::NotAMesh));
+        assert_eq!(RoutingSpec::Xyx.build(&t), Err(BuildRoutingError::NotAMesh));
+    }
+
+    #[test]
+    fn path_delay_accumulates_link_delays() {
+        let t = Topology::mesh(3, 3, &[2, 2], &[3, 3]);
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        // (0,0) -> (2,2): 2 horizontal (2 each) + 2 vertical (3 each).
+        assert_eq!(
+            rt.path_delay(&t, t.node_at(0, 0), t.node_at(2, 2)),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn self_route_is_trivially_reachable() {
+        let t = mesh4();
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        let n = t.node_at(1, 1);
+        assert!(rt.is_routable(n, n));
+        assert_eq!(rt.next_hop(n, n), None);
+        assert_eq!(rt.hops(&t, n, n), Some(0));
+    }
+
+    #[test]
+    fn full_mesh_xy_all_pairs_routable() {
+        let t = mesh4();
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert!(rt.is_routable(NodeId(a), NodeId(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_matches_manhattan_on_full_mesh() {
+        let t = mesh4();
+        let rt = RoutingSpec::ShortestPath.build(&t).unwrap();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let (ca, cb) = (
+                    t.coord_of(NodeId(a)).unwrap(),
+                    t.coord_of(NodeId(b)).unwrap(),
+                );
+                assert_eq!(rt.hops(&t, NodeId(a), NodeId(b)), Some(ca.manhattan(cb)));
+            }
+        }
+    }
+}

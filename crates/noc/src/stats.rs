@@ -1,0 +1,176 @@
+//! Network statistics collected during simulation.
+
+/// Counters the [`crate::Network`] maintains while stepping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Cycles the network has been stepped (including skipped idle
+    /// cycles via fast-forward).
+    pub cycles: u64,
+    /// Packets accepted by `inject`.
+    pub packets_injected: u64,
+    /// Packet deliveries (a multicast packet counts once per endpoint).
+    pub packets_delivered: u64,
+    /// Flits that traversed each link, indexed by `LinkId`.
+    pub flits_per_link: Vec<u64>,
+    /// Flits handed to local sinks.
+    pub flits_ejected: u64,
+    /// Sum over deliveries of (delivery cycle − injection cycle).
+    pub total_packet_latency: u64,
+    /// Successful multicast replica creations.
+    pub replications: u64,
+    /// Cycles a multicast head spent blocked because no free VC of a
+    /// different input port was available for replication (the paper's
+    /// "blocking rarely happens" claim is checked against this).
+    pub replication_blocked_cycles: u64,
+    /// Packet-latency histogram: bucket `i` counts deliveries with
+    /// latency in `[10·i, 10·i+10)` cycles; the last bucket is open.
+    pub latency_buckets: Vec<u64>,
+    /// Highest number of flits simultaneously buffered in any single
+    /// input VC observed during the run.
+    pub peak_vc_occupancy: u8,
+}
+
+/// Number of histogram buckets in [`NetStats::latency_buckets`].
+pub const LATENCY_BUCKETS: usize = 16;
+
+impl NetStats {
+    /// Creates zeroed statistics for a network with `n_links` links.
+    pub fn new(n_links: usize) -> Self {
+        NetStats {
+            flits_per_link: vec![0; n_links],
+            latency_buckets: vec![0; LATENCY_BUCKETS],
+            ..Default::default()
+        }
+    }
+
+    /// Records one delivery into the latency histogram.
+    pub(crate) fn record_latency(&mut self, latency: u64) {
+        let b = ((latency / 10) as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_buckets[b] += 1;
+    }
+
+    /// Latency below which `quantile` (0..=1) of packets completed,
+    /// resolved to bucket granularity (10 cycles). `None` when nothing
+    /// was delivered.
+    pub fn latency_quantile(&self, quantile: f64) -> Option<u64> {
+        assert!(
+            (0.0..=1.0).contains(&quantile),
+            "quantile must be in [0, 1]"
+        );
+        let total: u64 = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (quantile * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.latency_buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(10 * (i as u64 + 1));
+            }
+        }
+        Some(10 * LATENCY_BUCKETS as u64)
+    }
+
+    /// Average end-to-end packet latency in cycles, or 0.0 when nothing
+    /// was delivered.
+    pub fn avg_packet_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_packet_latency as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Fraction of links that carried zero flits.
+    pub fn unused_link_fraction(&self) -> f64 {
+        if self.flits_per_link.is_empty() {
+            return 0.0;
+        }
+        let unused = self.flits_per_link.iter().filter(|&&f| f == 0).count();
+        unused as f64 / self.flits_per_link.len() as f64
+    }
+
+    /// Mean flits per cycle per link (network load).
+    pub fn mean_link_load(&self) -> f64 {
+        if self.cycles == 0 || self.flits_per_link.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.flits_per_link.iter().sum();
+        total as f64 / (self.cycles as f64 * self.flits_per_link.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_on_new() {
+        let s = NetStats::new(5);
+        assert_eq!(s.flits_per_link, vec![0; 5]);
+        assert_eq!(s.avg_packet_latency(), 0.0);
+        assert_eq!(s.mean_link_load(), 0.0);
+    }
+
+    #[test]
+    fn avg_latency() {
+        let s = NetStats {
+            packets_delivered: 4,
+            total_packet_latency: 100,
+            ..NetStats::new(0)
+        };
+        assert!((s.avg_packet_latency() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unused_fraction() {
+        let s = NetStats {
+            flits_per_link: vec![0, 3, 0, 1],
+            ..Default::default()
+        };
+        assert!((s.unused_link_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_load() {
+        let s = NetStats {
+            cycles: 10,
+            flits_per_link: vec![5, 15],
+            ..Default::default()
+        };
+        assert!((s.mean_link_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_histogram_buckets() {
+        let mut s = NetStats::new(0);
+        s.record_latency(0);
+        s.record_latency(9);
+        s.record_latency(10);
+        s.record_latency(500);
+        assert_eq!(s.latency_buckets[0], 2);
+        assert_eq!(s.latency_buckets[1], 1);
+        assert_eq!(s.latency_buckets[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let mut s = NetStats::new(0);
+        for l in [5u64, 5, 5, 25, 95] {
+            s.record_latency(l);
+        }
+        assert_eq!(s.latency_quantile(0.5), Some(10));
+        assert_eq!(s.latency_quantile(0.8), Some(30));
+        assert_eq!(s.latency_quantile(1.0), Some(100));
+        assert_eq!(NetStats::new(0).latency_quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn bad_quantile_panics() {
+        let mut s = NetStats::new(0);
+        s.record_latency(1);
+        let _ = s.latency_quantile(1.5);
+    }
+}

@@ -1,0 +1,713 @@
+//! Port-graph topologies: mesh, simplified mesh, and halo.
+//!
+//! A [`Topology`] is a set of routers, each with a list of ports. A port
+//! is either a *local* attachment slot (bank, core, or memory controller)
+//! or carries up to one outgoing and one incoming unidirectional
+//! [`Link`]. Unidirectional links let us express the paper's Fig. 4(b)
+//! minimal-link mesh and the simplified mesh of Design B.
+
+use crate::ids::{Coord, LinkId, NodeId, PortId};
+
+/// Role of a port, used by routing-table generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortLabel {
+    /// Local attachment slot (bank / core / memory controller).
+    Local(u8),
+    /// Mesh: toward higher column numbers (east).
+    XPlus,
+    /// Mesh: toward lower column numbers (west).
+    XMinus,
+    /// Mesh: toward higher row numbers (south, away from the core row).
+    YPlus,
+    /// Mesh: toward lower row numbers (north, toward the core row).
+    YMinus,
+    /// Halo hub: entry of spike `s`.
+    Spike(u16),
+    /// Halo spike router: toward the hub.
+    Up,
+    /// Halo spike router: away from the hub.
+    Down,
+}
+
+/// One router port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// What the port is for.
+    pub label: PortLabel,
+    /// Link this port drives (absent on local ports and on removed
+    /// directions of the simplified mesh).
+    pub out_link: Option<LinkId>,
+    /// Link that feeds this port.
+    pub in_link: Option<LinkId>,
+}
+
+/// One router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Router {
+    /// Grid coordinate (meshes only).
+    pub coord: Option<Coord>,
+    /// Ports in arbitrary but stable order. Local slots come first.
+    pub ports: Vec<Port>,
+}
+
+impl Router {
+    /// Port index with the given label, if present.
+    pub fn port_by_label(&self, label: PortLabel) -> Option<PortId> {
+        self.ports
+            .iter()
+            .position(|p| p.label == label)
+            .map(|i| PortId(i as u8))
+    }
+
+    /// Number of local attachment slots.
+    pub fn local_slots(&self) -> u8 {
+        self.ports
+            .iter()
+            .filter(|p| matches!(p.label, PortLabel::Local(_)))
+            .count() as u8
+    }
+
+    /// Number of ports with an incoming link plus local slots — the
+    /// router's input-port count for area estimation.
+    pub fn in_ports(&self) -> u32 {
+        self.ports
+            .iter()
+            .filter(|p| p.in_link.is_some() || matches!(p.label, PortLabel::Local(_)))
+            .count() as u32
+    }
+
+    /// Output-port count (outgoing links plus local slots).
+    pub fn out_ports(&self) -> u32 {
+        self.ports
+            .iter()
+            .filter(|p| p.out_link.is_some() || matches!(p.label, PortLabel::Local(_)))
+            .count() as u32
+    }
+}
+
+/// One unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Driving router.
+    pub src: NodeId,
+    /// Port on the driving router.
+    pub src_port: PortId,
+    /// Receiving router.
+    pub dst: NodeId,
+    /// Port on the receiving router.
+    pub dst_port: PortId,
+    /// Traversal delay in cycles (per-tile wire delay, ≥ 1).
+    pub delay: u32,
+}
+
+/// What family a topology belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Full 2D mesh, `cols × rows`.
+    Mesh { cols: u16, rows: u16 },
+    /// Design B/C/D mesh: horizontal links only in the first and last
+    /// rows (requires XYX routing).
+    SimplifiedMesh { cols: u16, rows: u16 },
+    /// Halo: hub router 0 with `spikes` linear spikes of `spike_len`
+    /// routers each.
+    Halo { spikes: u16, spike_len: u16 },
+}
+
+/// An immutable network topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    kind: TopologyKind,
+    routers: Vec<Router>,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// Builds a full `cols × rows` mesh with bidirectional links and one
+    /// local slot per router.
+    ///
+    /// `col_gap_delays[c]` is the delay of horizontal links between
+    /// columns `c` and `c+1` (length `cols-1`); `row_gap_delays[r]`
+    /// likewise for vertical links (length `rows-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension/delay-slice mismatches or dimensions < 1.
+    pub fn mesh(cols: u16, rows: u16, col_gap_delays: &[u32], row_gap_delays: &[u32]) -> Self {
+        Self::build_mesh(cols, rows, col_gap_delays, row_gap_delays, false)
+    }
+
+    /// Builds the paper's *simplified mesh*: all vertical links, but
+    /// horizontal links only in the first (row 0) and last rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension/delay-slice mismatches or dimensions < 1.
+    pub fn simplified_mesh(
+        cols: u16,
+        rows: u16,
+        col_gap_delays: &[u32],
+        row_gap_delays: &[u32],
+    ) -> Self {
+        Self::build_mesh(cols, rows, col_gap_delays, row_gap_delays, true)
+    }
+
+    fn build_mesh(
+        cols: u16,
+        rows: u16,
+        col_gap_delays: &[u32],
+        row_gap_delays: &[u32],
+        simplified: bool,
+    ) -> Self {
+        assert!(
+            cols >= 1 && rows >= 1,
+            "mesh dimensions must be at least 1x1"
+        );
+        assert_eq!(
+            col_gap_delays.len(),
+            cols as usize - 1,
+            "need cols-1 horizontal delays"
+        );
+        assert_eq!(
+            row_gap_delays.len(),
+            rows as usize - 1,
+            "need rows-1 vertical delays"
+        );
+        assert!(
+            col_gap_delays.iter().chain(row_gap_delays).all(|&d| d >= 1),
+            "link delays must be at least one cycle"
+        );
+
+        let kind = if simplified {
+            TopologyKind::SimplifiedMesh { cols, rows }
+        } else {
+            TopologyKind::Mesh { cols, rows }
+        };
+        let mut topo = Topology {
+            kind,
+            routers: Vec::new(),
+            links: Vec::new(),
+        };
+        for row in 0..rows {
+            for col in 0..cols {
+                topo.routers.push(Router {
+                    coord: Some(Coord { col, row }),
+                    ports: vec![Port {
+                        label: PortLabel::Local(0),
+                        out_link: None,
+                        in_link: None,
+                    }],
+                });
+            }
+        }
+        let id = |col: u16, row: u16| NodeId((row as u32) * cols as u32 + col as u32);
+        // Horizontal links.
+        for row in 0..rows {
+            if simplified && row != 0 && row != rows - 1 {
+                continue;
+            }
+            for col in 0..cols - 1 {
+                let d = col_gap_delays[col as usize];
+                topo.connect(
+                    id(col, row),
+                    PortLabel::XPlus,
+                    id(col + 1, row),
+                    PortLabel::XMinus,
+                    d,
+                );
+                topo.connect(
+                    id(col + 1, row),
+                    PortLabel::XMinus,
+                    id(col, row),
+                    PortLabel::XPlus,
+                    d,
+                );
+            }
+        }
+        // Vertical links.
+        for row in 0..rows - 1 {
+            let d = row_gap_delays[row as usize];
+            for col in 0..cols {
+                topo.connect(
+                    id(col, row),
+                    PortLabel::YPlus,
+                    id(col, row + 1),
+                    PortLabel::YMinus,
+                    d,
+                );
+                topo.connect(
+                    id(col, row + 1),
+                    PortLabel::YMinus,
+                    id(col, row),
+                    PortLabel::YPlus,
+                    d,
+                );
+            }
+        }
+        topo
+    }
+
+    /// Builds a halo: router 0 is the hub (core location) with
+    /// `hub_local_slots` local slots; each of `spikes` spikes is a chain
+    /// of `spike_len` routers with one bank slot each.
+    ///
+    /// `spike_link_delays[j]` is the delay of the link between position
+    /// `j-1` and `j` of a spike (`j = 0` connects the hub to the first
+    /// bank); length must be `spike_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter mismatches or zero dimensions.
+    pub fn halo(
+        spikes: u16,
+        spike_len: u16,
+        spike_link_delays: &[u32],
+        hub_local_slots: u8,
+    ) -> Self {
+        assert!(
+            spikes >= 1 && spike_len >= 1,
+            "halo needs at least one spike of one router"
+        );
+        assert!(hub_local_slots >= 1, "hub needs at least one local slot");
+        assert_eq!(
+            spike_link_delays.len(),
+            spike_len as usize,
+            "need spike_len link delays"
+        );
+        assert!(
+            spike_link_delays.iter().all(|&d| d >= 1),
+            "link delays must be at least one cycle"
+        );
+
+        let mut topo = Topology {
+            kind: TopologyKind::Halo { spikes, spike_len },
+            routers: Vec::new(),
+            links: Vec::new(),
+        };
+        let hub_ports = (0..hub_local_slots)
+            .map(|s| Port {
+                label: PortLabel::Local(s),
+                out_link: None,
+                in_link: None,
+            })
+            .collect();
+        topo.routers.push(Router {
+            coord: None,
+            ports: hub_ports,
+        });
+        for s in 0..spikes {
+            for j in 0..spike_len {
+                let mut ports = vec![Port {
+                    label: PortLabel::Local(0),
+                    out_link: None,
+                    in_link: None,
+                }];
+                ports.push(Port {
+                    label: PortLabel::Up,
+                    out_link: None,
+                    in_link: None,
+                });
+                if j + 1 < spike_len {
+                    ports.push(Port {
+                        label: PortLabel::Down,
+                        out_link: None,
+                        in_link: None,
+                    });
+                }
+                topo.routers.push(Router { coord: None, ports });
+            }
+            // Wire the chain: hub -> s0 -> s1 -> ...
+            let base = 1 + (s as u32) * spike_len as u32;
+            let hub_port = PortLabel::Spike(s);
+            topo.routers[0].ports.push(Port {
+                label: hub_port,
+                out_link: None,
+                in_link: None,
+            });
+            topo.connect(
+                NodeId(0),
+                hub_port,
+                NodeId(base),
+                PortLabel::Up,
+                spike_link_delays[0],
+            );
+            topo.connect(
+                NodeId(base),
+                PortLabel::Up,
+                NodeId(0),
+                hub_port,
+                spike_link_delays[0],
+            );
+            for j in 1..spike_len as u32 {
+                let d = spike_link_delays[j as usize];
+                let up = NodeId(base + j - 1);
+                let down = NodeId(base + j);
+                topo.connect(up, PortLabel::Down, down, PortLabel::Up, d);
+                topo.connect(down, PortLabel::Up, up, PortLabel::Down, d);
+            }
+        }
+        topo
+    }
+
+    /// Adds a unidirectional link from `src`'s port labelled `src_label`
+    /// to `dst`'s port labelled `dst_label`; the ports are created if
+    /// missing.
+    fn connect(
+        &mut self,
+        src: NodeId,
+        src_label: PortLabel,
+        dst: NodeId,
+        dst_label: PortLabel,
+        delay: u32,
+    ) {
+        let link = LinkId(self.links.len() as u32);
+        let sp = self.ensure_port(src, src_label);
+        let dp = self.ensure_port(dst, dst_label);
+        self.routers[src.0 as usize].ports[sp.0 as usize].out_link = Some(link);
+        self.routers[dst.0 as usize].ports[dp.0 as usize].in_link = Some(link);
+        self.links.push(Link {
+            src,
+            src_port: sp,
+            dst,
+            dst_port: dp,
+            delay,
+        });
+    }
+
+    fn ensure_port(&mut self, node: NodeId, label: PortLabel) -> PortId {
+        let r = &mut self.routers[node.0 as usize];
+        if let Some(i) = r.ports.iter().position(|p| p.label == label) {
+            return PortId(i as u8);
+        }
+        r.ports.push(Port {
+            label,
+            out_link: None,
+            in_link: None,
+        });
+        PortId((r.ports.len() - 1) as u8)
+    }
+
+    /// Adds an extra local slot to `node` (e.g. to attach the core or
+    /// memory controller next to a bank) and returns its slot index.
+    pub fn add_local_slot(&mut self, node: NodeId) -> u8 {
+        let slot = self.routers[node.0 as usize].local_slots();
+        self.routers[node.0 as usize].ports.push(Port {
+            label: PortLabel::Local(slot),
+            out_link: None,
+            in_link: None,
+        });
+        slot
+    }
+
+    /// The topology family.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// True when the topology has no routers (never for built-in
+    /// constructors, which require at least 1×1).
+    pub fn is_empty(&self) -> bool {
+        self.routers.is_empty()
+    }
+
+    /// All routers, indexable by `NodeId`.
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// All links, indexable by `LinkId`.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Router accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.0 as usize]
+    }
+
+    /// Link accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn link(&self, link: LinkId) -> &Link {
+        &self.links[link.0 as usize]
+    }
+
+    /// Node at a mesh coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-mesh topology or out-of-range coords.
+    pub fn node_at(&self, col: u16, row: u16) -> NodeId {
+        let cols = match self.kind {
+            TopologyKind::Mesh { cols, rows } | TopologyKind::SimplifiedMesh { cols, rows } => {
+                assert!(col < cols && row < rows, "coordinate out of range");
+                cols
+            }
+            TopologyKind::Halo { .. } => panic!("node_at is only defined for meshes"),
+        };
+        NodeId((row as u32) * cols as u32 + col as u32)
+    }
+
+    /// Halo: node of bank `pos` (0 = closest to hub) on spike `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-halo topology or out-of-range args.
+    pub fn spike_node(&self, s: u16, pos: u16) -> NodeId {
+        match self.kind {
+            TopologyKind::Halo { spikes, spike_len } => {
+                assert!(s < spikes && pos < spike_len, "spike position out of range");
+                NodeId(1 + (s as u32) * spike_len as u32 + pos as u32)
+            }
+            _ => panic!("spike_node is only defined for halo topologies"),
+        }
+    }
+
+    /// Coordinate of a node (meshes only).
+    pub fn coord_of(&self, node: NodeId) -> Option<Coord> {
+        self.routers[node.0 as usize].coord
+    }
+
+    /// Total number of unidirectional links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// A copy of this topology with the given links removed (fault
+    /// analysis / link-pruning studies). Remaining links are renumbered;
+    /// ports that lose both directions disappear, local slots stay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id in `exclude` is out of range.
+    pub fn without_links(&self, exclude: &[LinkId]) -> Topology {
+        for l in exclude {
+            assert!((l.0 as usize) < self.links.len(), "no such link {l:?}");
+        }
+        let mut out = Topology {
+            kind: self.kind,
+            routers: self
+                .routers
+                .iter()
+                .map(|r| Router {
+                    coord: r.coord,
+                    ports: r
+                        .ports
+                        .iter()
+                        .filter(|p| matches!(p.label, PortLabel::Local(_)))
+                        .map(|p| Port {
+                            label: p.label,
+                            out_link: None,
+                            in_link: None,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            links: Vec::new(),
+        };
+        for (i, l) in self.links.iter().enumerate() {
+            if exclude.contains(&LinkId(i as u32)) {
+                continue;
+            }
+            let src_label = self.routers[l.src.0 as usize].ports[l.src_port.0 as usize].label;
+            let dst_label = self.routers[l.dst.0 as usize].ports[l.dst_port.0 as usize].label;
+            out.connect(l.src, src_label, l.dst, dst_label, l.delay);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(n: u16) -> Vec<u32> {
+        vec![1; n as usize]
+    }
+
+    #[test]
+    fn full_mesh_link_count() {
+        // n x n mesh: 2*2*n*(n-1) unidirectional links.
+        let t = Topology::mesh(4, 4, &unit(3), &unit(3));
+        assert_eq!(t.link_count(), 4 * 4 * 3);
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn simplified_mesh_removes_interior_horizontal_links() {
+        let full = Topology::mesh(8, 8, &unit(7), &unit(7));
+        let simp = Topology::simplified_mesh(8, 8, &unit(7), &unit(7));
+        // Removed: horizontal links of rows 1..=6 -> 6 rows * 7 gaps * 2 dirs.
+        assert_eq!(full.link_count() - simp.link_count(), 6 * 7 * 2);
+    }
+
+    #[test]
+    fn simplified_mesh_keeps_first_and_last_row() {
+        let t = Topology::simplified_mesh(4, 4, &unit(3), &unit(3));
+        let top_left = t.router(t.node_at(0, 0));
+        assert!(top_left.port_by_label(PortLabel::XPlus).is_some());
+        let bottom_left = t.router(t.node_at(0, 3));
+        assert!(bottom_left.port_by_label(PortLabel::XPlus).is_some());
+        let mid = t.router(t.node_at(1, 1));
+        assert!(mid.port_by_label(PortLabel::XPlus).is_none());
+        assert!(mid.port_by_label(PortLabel::YPlus).is_some());
+    }
+
+    #[test]
+    fn mesh_coords_roundtrip() {
+        let t = Topology::mesh(5, 3, &unit(4), &unit(2));
+        for row in 0..3 {
+            for col in 0..5 {
+                let n = t.node_at(col, row);
+                assert_eq!(t.coord_of(n), Some(Coord { col, row }));
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_interior_router_has_five_ports() {
+        let t = Topology::mesh(4, 4, &unit(3), &unit(3));
+        let mid = t.router(t.node_at(1, 1));
+        assert_eq!(mid.ports.len(), 5);
+        assert_eq!(mid.in_ports(), 5);
+        assert_eq!(mid.out_ports(), 5);
+        let corner = t.router(t.node_at(0, 0));
+        assert_eq!(corner.ports.len(), 3);
+    }
+
+    #[test]
+    fn simplified_interior_router_is_three_port() {
+        let t = Topology::simplified_mesh(8, 8, &unit(7), &unit(7));
+        let mid = t.router(t.node_at(3, 4));
+        assert_eq!(mid.ports.len(), 3); // local + Y+ + Y-
+    }
+
+    #[test]
+    fn mesh_link_delays_respected() {
+        let t = Topology::mesh(3, 2, &[2, 3], &[4]);
+        // Find the link from (0,0) to (1,0).
+        let n00 = t.node_at(0, 0);
+        let r = t.router(n00);
+        let p = r.port_by_label(PortLabel::XPlus).unwrap();
+        let l = t.link(r.ports[p.0 as usize].out_link.unwrap());
+        assert_eq!(l.delay, 2);
+        let pv = r.port_by_label(PortLabel::YPlus).unwrap();
+        let lv = t.link(r.ports[pv.0 as usize].out_link.unwrap());
+        assert_eq!(lv.delay, 4);
+    }
+
+    #[test]
+    fn halo_structure() {
+        let t = Topology::halo(4, 3, &[1, 1, 2], 2);
+        // 1 hub + 4*3 spike routers.
+        assert_eq!(t.len(), 13);
+        // Hub: 2 local slots + 4 spike ports.
+        assert_eq!(t.router(NodeId(0)).ports.len(), 6);
+        assert_eq!(t.router(NodeId(0)).local_slots(), 2);
+        // Links: per spike 3 bidirectional hops = 6 unidirectional.
+        assert_eq!(t.link_count(), 4 * 6);
+        // Chain end has no Down port.
+        let end = t.spike_node(0, 2);
+        assert!(t.router(end).port_by_label(PortLabel::Down).is_none());
+        assert!(t.router(end).port_by_label(PortLabel::Up).is_some());
+    }
+
+    #[test]
+    fn halo_spike_node_indexing() {
+        let t = Topology::halo(3, 4, &[1; 4], 1);
+        assert_eq!(t.spike_node(0, 0), NodeId(1));
+        assert_eq!(t.spike_node(1, 0), NodeId(5));
+        assert_eq!(t.spike_node(2, 3), NodeId(12));
+    }
+
+    #[test]
+    fn add_local_slot_assigns_next_index() {
+        let mut t = Topology::mesh(2, 2, &unit(1), &unit(1));
+        let n = t.node_at(1, 0);
+        assert_eq!(t.add_local_slot(n), 1);
+        assert_eq!(t.add_local_slot(n), 2);
+        assert_eq!(t.router(n).local_slots(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cols-1 horizontal delays")]
+    fn wrong_delay_slice_panics() {
+        let _ = Topology::mesh(4, 4, &[1, 1], &[1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinate out of range")]
+    fn out_of_range_coord_panics() {
+        let t = Topology::mesh(2, 2, &[1], &[1]);
+        let _ = t.node_at(2, 0);
+    }
+
+    #[test]
+    fn one_by_one_mesh_is_valid() {
+        let t = Topology::mesh(1, 1, &[], &[]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.link_count(), 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn without_links_removes_and_renumbers() {
+        let t = Topology::mesh(3, 3, &unit(2), &unit(2));
+        let total = t.link_count();
+        let cut = t.without_links(&[LinkId(0), LinkId(5)]);
+        assert_eq!(cut.link_count(), total - 2);
+        // Local slots survive on every router.
+        for r in cut.routers() {
+            assert_eq!(r.local_slots(), 1);
+        }
+    }
+
+    #[test]
+    fn without_links_preserves_delays_and_labels() {
+        let t = Topology::mesh(3, 2, &[2, 3], &[4]);
+        let cut = t.without_links(&[LinkId(0)]);
+        // Every surviving link still appears with its delay.
+        for l in cut.links() {
+            assert!(
+                t.links()
+                    .iter()
+                    .any(|o| o.src == l.src && o.dst == l.dst && o.delay == l.delay),
+                "link {l:?} not in the original"
+            );
+        }
+        // Port labels still resolve for routing.
+        let n = cut.node_at(0, 0);
+        assert!(cut.router(n).port_by_label(PortLabel::YPlus).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no such link")]
+    fn without_unknown_link_panics() {
+        let t = Topology::mesh(2, 2, &unit(1), &unit(1));
+        let _ = t.without_links(&[LinkId(99)]);
+    }
+
+    #[test]
+    fn links_are_paired_back_to_back() {
+        let t = Topology::mesh(3, 3, &unit(2), &unit(2));
+        for l in t.links() {
+            // The reverse link must exist with the same delay.
+            assert!(
+                t.links()
+                    .iter()
+                    .any(|r| r.src == l.dst && r.dst == l.src && r.delay == l.delay),
+                "missing reverse of {l:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Simplified Cacti-3.0-style cache-bank latency and area model.
+//!
+//! The paper "models the latency of the bank from Cacti 3.0" and extracts
+//! bank area "from Cacti model". We reproduce the observable outputs with
+//! an analytic model calibrated at 65 nm:
+//!
+//! * **Latency** — the underlying access time in picoseconds is stored at
+//!   the paper's four calibration capacities (Table 1) and interpolated
+//!   log-linearly for other capacities, then quantised to 5 GHz cycles.
+//!   This regenerates Table 1 exactly:
+//!
+//!   | bank | tag match | tag match + replacement |
+//!   |------|-----------|-------------------------|
+//!   | 64 KB  | 2 | 3 |
+//!   | 128 KB | 4 | 4 |
+//!   | 256 KB | 4 | 5 |
+//!   | 512 KB | 5 | 6 |
+//!
+//! * **Area** — `area(kb) = A_fixed + a·kb`: a fixed peripheral overhead
+//!   (decoder, sense amps, I/O) plus a per-kilobyte array cost. The fixed
+//!   term is what makes many small banks cost more silicon than few large
+//!   ones, which drives the paper's Table 4 (Design F's non-uniform banks
+//!   use less area than Design A's 256 uniform banks).
+
+use crate::tech::Technology;
+use crate::wire::WireModel;
+
+/// Calibration capacities (KB) from Table 1 of the paper.
+const CAL_KB: [f64; 4] = [64.0, 128.0, 256.0, 512.0];
+/// Tag-match access time (ps) at the calibration capacities.
+const CAL_TAG_PS: [f64; 4] = [390.0, 650.0, 780.0, 940.0];
+/// Tag-match + replacement access time (ps) at the calibration capacities.
+const CAL_REPL_PS: [f64; 4] = [560.0, 760.0, 900.0, 1150.0];
+
+/// Fixed per-bank peripheral area in mm² (decoder, sense amps, I/O).
+const BANK_FIXED_MM2: f64 = 0.146;
+/// Data/tag array area per KB in mm².
+const BANK_PER_KB_MM2: f64 = 0.01428;
+
+/// Latency pair for one bank size, in router-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BankTiming {
+    /// Cycles for a tag-match-only access (read probe that misses, or a
+    /// hit lookup before any data movement).
+    pub tag_match: u32,
+    /// Cycles for an access that also replaces/installs a block.
+    pub tag_match_replace: u32,
+}
+
+/// Analytic model of one cache bank of a given capacity.
+///
+/// ```
+/// use nucanet_timing::BankModel;
+/// let b = BankModel::new(256);
+/// assert_eq!(b.tag_match_cycles(), 4);
+/// assert_eq!(b.tag_match_replace_cycles(), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BankModel {
+    capacity_kb: u32,
+}
+
+/// Piecewise log-linear interpolation over the calibration points.
+fn interp_ps(kb: f64, table: &[f64; 4]) -> f64 {
+    let x = kb.log2();
+    let xs: Vec<f64> = CAL_KB.iter().map(|k| k.log2()).collect();
+    if x <= xs[0] {
+        // Extrapolate below with the first segment's slope, floored at a
+        // plausible minimum sense-amp time.
+        let slope = (table[1] - table[0]) / (xs[1] - xs[0]);
+        return (table[0] + slope * (x - xs[0])).max(100.0);
+    }
+    if x >= xs[3] {
+        let slope = (table[3] - table[2]) / (xs[3] - xs[2]);
+        return table[3] + slope * (x - xs[3]);
+    }
+    for i in 0..3 {
+        if x <= xs[i + 1] {
+            let f = (x - xs[i]) / (xs[i + 1] - xs[i]);
+            return table[i] + f * (table[i + 1] - table[i]);
+        }
+    }
+    unreachable!("log2 capacity not bracketed by calibration table")
+}
+
+impl BankModel {
+    /// Creates a model for a bank of `capacity_kb` kilobytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_kb` is zero.
+    pub fn new(capacity_kb: u32) -> Self {
+        assert!(capacity_kb > 0, "bank capacity must be non-zero");
+        BankModel { capacity_kb }
+    }
+
+    /// The bank capacity in kilobytes.
+    pub fn capacity_kb(&self) -> u32 {
+        self.capacity_kb
+    }
+
+    /// Raw tag-match access time in picoseconds.
+    pub fn tag_match_ps(&self) -> f64 {
+        interp_ps(self.capacity_kb as f64, &CAL_TAG_PS)
+    }
+
+    /// Raw tag-match + replacement access time in picoseconds.
+    pub fn tag_match_replace_ps(&self) -> f64 {
+        interp_ps(self.capacity_kb as f64, &CAL_REPL_PS)
+    }
+
+    /// Tag-match latency in cycles at the paper's 5 GHz clock.
+    pub fn tag_match_cycles(&self) -> u32 {
+        quantise(self.tag_match_ps(), 200.0)
+    }
+
+    /// Tag-match + replacement latency in cycles at 5 GHz.
+    pub fn tag_match_replace_cycles(&self) -> u32 {
+        quantise(self.tag_match_replace_ps(), 200.0)
+    }
+
+    /// Both latencies as a [`BankTiming`] at an arbitrary clock.
+    pub fn timing_at(&self, tech: &Technology) -> BankTiming {
+        let cyc = tech.cycle_ps();
+        BankTiming {
+            tag_match: quantise(self.tag_match_ps(), cyc),
+            tag_match_replace: quantise(self.tag_match_replace_ps(), cyc),
+        }
+    }
+
+    /// Silicon area of the bank in mm².
+    pub fn area_mm2(&self) -> f64 {
+        BANK_FIXED_MM2 + BANK_PER_KB_MM2 * self.capacity_kb as f64
+    }
+
+    /// Side length of the (square) bank tile in mm.
+    ///
+    /// The per-hop wire delay of a tile is
+    /// `WireModel::cycles_for_mm(tile_side_mm)`; with the paper's node
+    /// this yields Table 1's 1/2/2/3 cycles for 64/128/256/512 KB.
+    pub fn tile_side_mm(&self, _tech: &Technology) -> f64 {
+        self.area_mm2().sqrt()
+    }
+
+    /// Per-hop wire (link) delay in cycles for this bank's tile.
+    pub fn tile_wire_cycles(&self, tech: &Technology) -> u32 {
+        WireModel::new(tech).cycles_for_mm(self.tile_side_mm(tech))
+    }
+}
+
+fn quantise(ps: f64, cycle_ps: f64) -> u32 {
+    (ps / cycle_ps).ceil().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_tag_match_cycles() {
+        let expect = [(64, 2), (128, 4), (256, 4), (512, 5)];
+        for (kb, cyc) in expect {
+            assert_eq!(BankModel::new(kb).tag_match_cycles(), cyc, "{kb} KB");
+        }
+    }
+
+    #[test]
+    fn table1_replace_cycles() {
+        let expect = [(64, 3), (128, 4), (256, 5), (512, 6)];
+        for (kb, cyc) in expect {
+            assert_eq!(
+                BankModel::new(kb).tag_match_replace_cycles(),
+                cyc,
+                "{kb} KB"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_wire_delays() {
+        let tech = Technology::hpca07_65nm();
+        let expect = [(64, 1), (128, 2), (256, 2), (512, 3)];
+        for (kb, cyc) in expect {
+            assert_eq!(BankModel::new(kb).tile_wire_cycles(&tech), cyc, "{kb} KB");
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_capacity() {
+        let mut prev = 0.0;
+        for kb in [8, 16, 32, 64, 96, 128, 192, 256, 384, 512, 1024, 2048] {
+            let ps = BankModel::new(kb).tag_match_ps();
+            assert!(ps >= prev, "{kb} KB latency regressed");
+            prev = ps;
+        }
+    }
+
+    #[test]
+    fn replace_never_faster_than_tag_match() {
+        for kb in [16, 64, 100, 128, 200, 256, 300, 512, 1024] {
+            let b = BankModel::new(kb);
+            assert!(b.tag_match_replace_ps() >= b.tag_match_ps());
+            assert!(b.tag_match_replace_cycles() >= b.tag_match_cycles());
+        }
+    }
+
+    #[test]
+    fn area_linear_with_fixed_overhead() {
+        let a64 = BankModel::new(64).area_mm2();
+        let a128 = BankModel::new(128).area_mm2();
+        // Doubling capacity less than doubles area because of the fixed term.
+        assert!(a128 < 2.0 * a64);
+        assert!(a128 > a64);
+    }
+
+    #[test]
+    fn sixteen_mb_of_64kb_banks_matches_table4_scale() {
+        // Design A: 256 x 64 KB banks; Table 4 attributes ~271 mm^2 to banks.
+        let total: f64 = (0..256).map(|_| BankModel::new(64).area_mm2()).sum();
+        assert!((total - 271.0).abs() < 5.0, "got {total}");
+    }
+
+    #[test]
+    fn non_uniform_spike_uses_less_area_than_uniform() {
+        // One spike of Design F: 64+64+128+256+512 KB vs 16 x 64 KB.
+        let non_uniform: f64 = [64, 64, 128, 256, 512]
+            .iter()
+            .map(|&kb| BankModel::new(kb).area_mm2())
+            .sum();
+        let uniform: f64 = (0..16).map(|_| BankModel::new(64).area_mm2()).sum();
+        assert!(non_uniform < uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = BankModel::new(0);
+    }
+
+    #[test]
+    fn interpolation_between_calibration_points() {
+        // 192 KB sits between 128 and 256 KB.
+        let b = BankModel::new(192);
+        assert!(b.tag_match_ps() > BankModel::new(128).tag_match_ps());
+        assert!(b.tag_match_ps() < BankModel::new(256).tag_match_ps());
+    }
+
+    #[test]
+    fn extrapolation_is_sane() {
+        // Tiny banks are floored; huge banks keep growing.
+        assert!(BankModel::new(1).tag_match_ps() >= 100.0);
+        assert!(BankModel::new(4096).tag_match_ps() > BankModel::new(512).tag_match_ps());
+    }
+
+    #[test]
+    fn timing_at_slower_clock_needs_fewer_cycles() {
+        let slow = Technology {
+            clock_ghz: 1.0,
+            ..Technology::hpca07_65nm()
+        };
+        let t = BankModel::new(512).timing_at(&slow);
+        assert_eq!(t.tag_match, 1);
+        assert_eq!(t.tag_match_replace, 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dynamic energy models (the paper's §7 future work: "energy
+//! consumption analysis of the networked cache systems").
+//!
+//! Per-event dynamic energies at the 65 nm node:
+//!
+//! * **Link**: `E = C_w · V² · α` per wire per mm, times the flit width —
+//!   switching the distributed wire capacitance.
+//! * **Router**: buffer write + read energy (SRAM bit energy × flit
+//!   width) plus crossbar traversal (output-port wire capacitance).
+//! * **Bank**: Cacti-style `E(kb) = e0 + e1·√kb` — word/bit-line energy
+//!   grows with the array's physical dimensions.
+//! * **Off-chip memory**: a flat per-block cost dominated by I/O.
+//!
+//! Absolute joules are calibration-dependent; the model's value is in
+//! *relative* comparisons across designs (e.g. the halo's shorter paths
+//! versus the mesh), which only need the scaling shapes above.
+
+use crate::tech::Technology;
+
+/// Supply voltage assumed at 65 nm.
+pub const VDD: f64 = 1.1;
+/// Average switching activity on data wires.
+pub const ACTIVITY: f64 = 0.5;
+/// SRAM array energy per bit access, in picojoules.
+pub const SRAM_PJ_PER_BIT: f64 = 0.05;
+/// Crossbar effective capacitance per port-to-port traversal, in pF.
+pub const XBAR_PF_PER_PORT: f64 = 0.2;
+/// Off-chip access energy per 64-byte block, in picojoules (~10 nJ).
+pub const MEM_PJ_PER_BLOCK: f64 = 10_000.0;
+/// Bank access energy: fixed part, in pJ.
+const BANK_E0_PJ: f64 = 80.0;
+/// Bank access energy: per-√KB part, in pJ.
+const BANK_E1_PJ: f64 = 28.0;
+
+/// Per-event dynamic energy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    flit_bits: u32,
+    wire_c_ff_per_mm: f64,
+}
+
+impl EnergyModel {
+    /// Builds the model from technology parameters.
+    pub fn new(tech: &Technology) -> Self {
+        EnergyModel {
+            flit_bits: tech.flit_bits,
+            wire_c_ff_per_mm: tech.wire_c_ff_per_mm,
+        }
+    }
+
+    /// Energy to move one flit over `mm` of link, in pJ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mm` is negative or not finite.
+    pub fn link_pj(&self, mm: f64) -> f64 {
+        assert!(
+            mm.is_finite() && mm >= 0.0,
+            "link length must be non-negative"
+        );
+        // fF × V² = fJ; × 1e-3 → pJ.
+        self.flit_bits as f64 * self.wire_c_ff_per_mm * mm * VDD * VDD * ACTIVITY * 1e-3
+    }
+
+    /// Energy for one flit to traverse a router (buffer write + read +
+    /// crossbar), in pJ.
+    pub fn router_pj(&self) -> f64 {
+        let buffer = 2.0 * self.flit_bits as f64 * SRAM_PJ_PER_BIT;
+        let xbar = XBAR_PF_PER_PORT * 1e3 * VDD * VDD * ACTIVITY; // pF → fF
+        (buffer * 1e0) + xbar * 1e-3
+    }
+
+    /// Energy for one access to a bank of `kb` kilobytes, in pJ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kb` is zero.
+    pub fn bank_pj(&self, kb: u32) -> f64 {
+        assert!(kb > 0, "bank capacity must be non-zero");
+        BANK_E0_PJ + BANK_E1_PJ * (kb as f64).sqrt()
+    }
+
+    /// Energy for one off-chip block transfer, in pJ.
+    pub fn memory_pj(&self) -> f64 {
+        MEM_PJ_PER_BLOCK
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::new(&Technology::hpca07_65nm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::default()
+    }
+
+    #[test]
+    fn link_energy_linear_in_length() {
+        let m = model();
+        let e1 = m.link_pj(1.0);
+        let e2 = m.link_pj(2.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-9);
+        assert_eq!(m.link_pj(0.0), 0.0);
+    }
+
+    #[test]
+    fn link_energy_ballpark() {
+        // 128 wires × 250 fF/mm × 1.21 V² × 0.5 ≈ 19 pJ per flit-mm.
+        let e = model().link_pj(1.0);
+        assert!((10.0..40.0).contains(&e), "{e} pJ");
+    }
+
+    #[test]
+    fn router_energy_ballpark() {
+        // Published 65 nm routers burn ~10–30 pJ/flit.
+        let e = model().router_pj();
+        assert!((5.0..40.0).contains(&e), "{e} pJ");
+    }
+
+    #[test]
+    fn bank_energy_grows_sublinearly() {
+        let m = model();
+        let e64 = m.bank_pj(64);
+        let e256 = m.bank_pj(256);
+        assert!(e256 > e64);
+        assert!(e256 < 4.0 * e64, "energy grows like sqrt(capacity)");
+    }
+
+    #[test]
+    fn memory_dominates_on_chip_events() {
+        let m = model();
+        assert!(m.memory_pj() > 10.0 * m.bank_pj(512));
+        assert!(m.memory_pj() > 100.0 * m.router_pj());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bank_panics() {
+        let _ = model().bank_pj(0);
+    }
+}

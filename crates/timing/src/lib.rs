@@ -1,0 +1,43 @@
+//! Technology, timing, and area models for the `nucanet` simulator.
+//!
+//! This crate reproduces the modelling substrate of the HPCA'07 paper
+//! *"A Domain-Specific On-Chip Network Design for Large Scale Cache
+//! Systems"*:
+//!
+//! * [`tech`] — 65 nm technology parameters (ITRS'03-style wire R/C,
+//!   device intrinsic delay, 5 GHz clock, wire pitch, SRAM cell area).
+//! * [`wire`] — first-order RC global-wire delay under optimal repeater
+//!   insertion, and its conversion to router-clock cycles.
+//! * [`cacti`] — a simplified Cacti-3.0-style cache-bank latency and area
+//!   model, calibrated to the paper's Table 1 latencies.
+//! * [`area`] — analytic router (flit buffer + crossbar) and link area
+//!   models used by the paper's Table 4.
+//! * [`energy`] — per-event dynamic energy (link / router / bank /
+//!   memory), implementing the paper's §7 future-work energy analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use nucanet_timing::{Technology, BankModel, WireModel};
+//!
+//! let tech = Technology::hpca07_65nm();
+//! let wire = WireModel::new(&tech);
+//! let bank = BankModel::new(64); // a 64 KB bank
+//!
+//! // Table 1 of the paper: a 64 KB bank tag-matches in 2 cycles and its
+//! // tile is crossed by a global wire in 1 cycle at 5 GHz.
+//! assert_eq!(bank.tag_match_cycles(), 2);
+//! assert_eq!(wire.cycles_for_mm(bank.tile_side_mm(&tech)), 1);
+//! ```
+
+pub mod area;
+pub mod cacti;
+pub mod energy;
+pub mod tech;
+pub mod wire;
+
+pub use area::{LinkAreaModel, RouterAreaModel};
+pub use cacti::{BankModel, BankTiming};
+pub use energy::EnergyModel;
+pub use tech::Technology;
+pub use wire::WireModel;

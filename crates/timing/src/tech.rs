@@ -1,0 +1,126 @@
+//! Technology parameters.
+//!
+//! The paper evaluates at a 65 nm technology node with a 5 GHz core/router
+//! clock. Wire resistance and capacitance per unit length follow the
+//! ITRS 2003 global-wire projections; the device intrinsic delay is the
+//! `R0·C0` product that enters the optimal-repeater delay formula of
+//! Otten & Brayton (first-order RC model, reference \[22\] of the paper).
+
+/// Process/technology parameters used by every model in this crate.
+///
+/// Construct via [`Technology::hpca07_65nm`] for the paper's node, or
+/// use struct update syntax for sweeps:
+///
+/// ```
+/// use nucanet_timing::Technology;
+/// let slow = Technology { clock_ghz: 2.5, ..Technology::hpca07_65nm() };
+/// assert_eq!(slow.cycle_ps(), 400.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Feature size in nanometres (65 for the paper).
+    pub feature_nm: f64,
+    /// Router/core clock in GHz (5.0 in the paper).
+    pub clock_ghz: f64,
+    /// Global-wire resistance per millimetre, in ohms.
+    pub wire_r_ohm_per_mm: f64,
+    /// Global-wire capacitance per millimetre, in femtofarads.
+    pub wire_c_ff_per_mm: f64,
+    /// Device intrinsic delay `R0·C0` entering the repeated-wire delay
+    /// formula, in picoseconds.
+    pub device_tau_ps: f64,
+    /// Global-wire pitch in micrometres (1 µm in the paper's link-area
+    /// estimate).
+    pub wire_pitch_um: f64,
+    /// Effective SRAM storage area per bit, in µm², including peripheral
+    /// overhead. Used for router flit buffers.
+    pub sram_um2_per_bit: f64,
+    /// Width of one flit in bits (128 in Table 1).
+    pub flit_bits: u32,
+}
+
+impl Technology {
+    /// The 65 nm / 5 GHz operating point used throughout the paper.
+    ///
+    /// The wire constants are chosen so that the optimally repeated
+    /// global-wire delay is ≈164 ps/mm, which reproduces the paper's
+    /// Table 1 per-tile wire delays (1 cycle for a 64 KB tile, 2 for
+    /// 128/256 KB, 3 for 512 KB) at a 200 ps cycle.
+    pub fn hpca07_65nm() -> Self {
+        Technology {
+            feature_nm: 65.0,
+            clock_ghz: 5.0,
+            wire_r_ohm_per_mm: 3000.0,
+            wire_c_ff_per_mm: 250.0,
+            device_tau_ps: 9.0,
+            wire_pitch_um: 1.0,
+            sram_um2_per_bit: 5.0,
+            flit_bits: 128,
+        }
+    }
+
+    /// Clock period in picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_ghz` is not strictly positive.
+    pub fn cycle_ps(&self) -> f64 {
+        assert!(self.clock_ghz > 0.0, "clock frequency must be positive");
+        1000.0 / self.clock_ghz
+    }
+
+    /// Distributed wire RC product in ps per mm² (`R_w · C_w`).
+    pub fn wire_rc_ps_per_mm2(&self) -> f64 {
+        // ohm * fF = 1e-15 s = 1e-3 ps
+        self.wire_r_ohm_per_mm * self.wire_c_ff_per_mm * 1e-3
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::hpca07_65nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time_at_5ghz_is_200ps() {
+        let t = Technology::hpca07_65nm();
+        assert!((t.cycle_ps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_rc_units() {
+        let t = Technology::hpca07_65nm();
+        // 3000 ohm/mm * 250 fF/mm = 750 ps/mm^2
+        assert!((t.wire_rc_ps_per_mm2() - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_paper_node() {
+        assert_eq!(Technology::default(), Technology::hpca07_65nm());
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency must be positive")]
+    fn zero_clock_panics() {
+        let t = Technology {
+            clock_ghz: 0.0,
+            ..Technology::hpca07_65nm()
+        };
+        let _ = t.cycle_ps();
+    }
+
+    #[test]
+    fn struct_update_sweep() {
+        let t = Technology {
+            clock_ghz: 10.0,
+            ..Technology::hpca07_65nm()
+        };
+        assert!((t.cycle_ps() - 100.0).abs() < 1e-9);
+        assert_eq!(t.feature_nm, 65.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! First-order RC global-wire delay under optimal repeater insertion.
+//!
+//! The paper models global wires "from the first order RC model \[22\]
+//! under optimal repeater insertion at 65 nm technology". With repeaters
+//! inserted at the optimal spacing, the delay of a wire becomes linear in
+//! its length:
+//!
+//! ```text
+//! t(L) = 2 · sqrt(R0·C0 · R_w·C_w) · L
+//! ```
+//!
+//! where `R0·C0` is the driving device's intrinsic delay and `R_w·C_w`
+//! the distributed wire RC per unit length squared. Without repeaters the
+//! delay is quadratic, `t(L) = ½·R_w·C_w·L²`; the model exposes both so
+//! callers can see where repeaters start paying off.
+
+use crate::tech::Technology;
+
+/// Global-wire delay model for a given [`Technology`].
+///
+/// ```
+/// use nucanet_timing::{Technology, WireModel};
+/// let tech = Technology::hpca07_65nm();
+/// let wire = WireModel::new(&tech);
+/// // ≈164 ps/mm at the paper's node.
+/// assert!((wire.repeated_delay_ps_per_mm() - 164.3).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireModel {
+    cycle_ps: f64,
+    rw_cw_ps_per_mm2: f64,
+    device_tau_ps: f64,
+}
+
+impl WireModel {
+    /// Builds a wire model from technology parameters.
+    pub fn new(tech: &Technology) -> Self {
+        WireModel {
+            cycle_ps: tech.cycle_ps(),
+            rw_cw_ps_per_mm2: tech.wire_rc_ps_per_mm2(),
+            device_tau_ps: tech.device_tau_ps,
+        }
+    }
+
+    /// Delay per millimetre of an optimally repeated wire, in ps.
+    pub fn repeated_delay_ps_per_mm(&self) -> f64 {
+        2.0 * (self.device_tau_ps * self.rw_cw_ps_per_mm2).sqrt()
+    }
+
+    /// Delay of an optimally repeated wire of length `mm`, in ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mm` is negative or not finite.
+    pub fn repeated_delay_ps(&self, mm: f64) -> f64 {
+        assert!(
+            mm.is_finite() && mm >= 0.0,
+            "wire length must be non-negative"
+        );
+        self.repeated_delay_ps_per_mm() * mm
+    }
+
+    /// Delay of the same wire *without* repeaters (`½·R_w·C_w·L²`), in ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mm` is negative or not finite.
+    pub fn unrepeated_delay_ps(&self, mm: f64) -> f64 {
+        assert!(
+            mm.is_finite() && mm >= 0.0,
+            "wire length must be non-negative"
+        );
+        0.5 * self.rw_cw_ps_per_mm2 * mm * mm
+    }
+
+    /// Length above which repeater insertion wins, in mm.
+    pub fn repeater_breakeven_mm(&self) -> f64 {
+        // ½·RC·L² = 2·sqrt(τ·RC)·L  =>  L = 4·sqrt(τ/RC)
+        4.0 * (self.device_tau_ps / self.rw_cw_ps_per_mm2).sqrt()
+    }
+
+    /// Number of whole clock cycles needed to traverse `mm` of repeated
+    /// wire (at least 1 for any positive length; 0 for zero length).
+    ///
+    /// This is the per-hop link delay the NoC simulator charges for a
+    /// tile of a given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mm` is negative or not finite.
+    pub fn cycles_for_mm(&self, mm: f64) -> u32 {
+        let ps = self.repeated_delay_ps(mm);
+        if ps == 0.0 {
+            0
+        } else {
+            (ps / self.cycle_ps).ceil().max(1.0) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WireModel {
+        WireModel::new(&Technology::hpca07_65nm())
+    }
+
+    #[test]
+    fn repeated_delay_matches_calibration() {
+        // 2*sqrt(9 * 750) = 164.31 ps/mm
+        let m = model();
+        assert!((m.repeated_delay_ps_per_mm() - 164.3168).abs() < 1e-3);
+    }
+
+    #[test]
+    fn repeated_delay_is_linear() {
+        let m = model();
+        let d1 = m.repeated_delay_ps(1.0);
+        let d2 = m.repeated_delay_ps(2.0);
+        assert!((d2 - 2.0 * d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrepeated_delay_is_quadratic() {
+        let m = model();
+        let d1 = m.unrepeated_delay_ps(1.0);
+        let d2 = m.unrepeated_delay_ps(2.0);
+        assert!((d2 - 4.0 * d1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakeven_point_consistent() {
+        let m = model();
+        let l = m.repeater_breakeven_mm();
+        assert!((m.unrepeated_delay_ps(l) - m.repeated_delay_ps(l)).abs() < 1e-6);
+        // Below break-even the plain wire is faster.
+        assert!(m.unrepeated_delay_ps(l / 2.0) < m.repeated_delay_ps(l / 2.0));
+        // Above break-even the repeated wire is faster.
+        assert!(m.unrepeated_delay_ps(l * 2.0) > m.repeated_delay_ps(l * 2.0));
+    }
+
+    #[test]
+    fn zero_length_has_zero_cycles() {
+        assert_eq!(model().cycles_for_mm(0.0), 0);
+    }
+
+    #[test]
+    fn short_wire_is_one_cycle() {
+        // 1 mm -> 164 ps < 200 ps cycle.
+        assert_eq!(model().cycles_for_mm(1.0), 1);
+    }
+
+    #[test]
+    fn longer_wire_needs_more_cycles() {
+        let m = model();
+        // 2.73 mm -> 449 ps -> 3 cycles (512 KB tile per Table 1).
+        assert_eq!(m.cycles_for_mm(2.73), 3);
+        // 1.4 mm -> 230 ps -> 2 cycles (128 KB tile).
+        assert_eq!(m.cycles_for_mm(1.4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_length_panics() {
+        let _ = model().repeated_delay_ps(-1.0);
+    }
+
+    #[test]
+    fn cycles_monotone_in_length() {
+        let m = model();
+        let mut prev = 0;
+        for i in 0..60 {
+            let c = m.cycles_for_mm(i as f64 * 0.25);
+            assert!(c >= prev, "cycles must be monotone in wire length");
+            prev = c;
+        }
+    }
+}

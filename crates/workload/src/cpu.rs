@@ -1,0 +1,125 @@
+//! Analytic core/IPC model.
+//!
+//! The paper measures IPC with `sim-alpha` (an Alpha 21264 at 5 GHz)
+//! whose L2 accesses stall the pipeline for the simulated cache latency.
+//! We substitute the standard in-order-stall decomposition:
+//!
+//! ```text
+//! cycles = instructions / perfect_ipc
+//!        + Σ_access latency(access) × overlap
+//! ```
+//!
+//! `overlap` < 1 credits the out-of-order core with hiding part of each
+//! L2 access. Relative IPC across cache designs — what Figs. 8–9 report
+//! — depends only on the average L2 latency each design produces, which
+//! the full-system simulator measures in detail.
+
+use crate::profile::BenchmarkProfile;
+
+/// Default fraction of L2 latency that stalls the core.
+pub const DEFAULT_OVERLAP: f64 = 0.7;
+
+/// Converts measured L2 latencies into cycles and IPC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreModel {
+    /// IPC with a perfect L2 (Table 2).
+    pub perfect_ipc: f64,
+    /// L2 accesses per instruction (Table 2).
+    pub accesses_per_instr: f64,
+    /// Fraction of each L2 access latency the core cannot hide.
+    pub overlap: f64,
+}
+
+impl CoreModel {
+    /// Builds the model for a benchmark profile.
+    pub fn for_profile(p: &BenchmarkProfile) -> Self {
+        CoreModel {
+            perfect_ipc: p.perfect_l2_ipc,
+            accesses_per_instr: p.accesses_per_instr(),
+            overlap: DEFAULT_OVERLAP,
+        }
+    }
+
+    /// IPC when every L2 access takes `avg_latency` cycles on average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg_latency` is negative or not finite.
+    pub fn ipc(&self, avg_latency: f64) -> f64 {
+        assert!(
+            avg_latency.is_finite() && avg_latency >= 0.0,
+            "latency must be non-negative"
+        );
+        let cpi = 1.0 / self.perfect_ipc + self.accesses_per_instr * avg_latency * self.overlap;
+        1.0 / cpi
+    }
+
+    /// Cycles to execute `instructions` given a total of
+    /// `l2_stall_cycles` (already summed over accesses).
+    pub fn cycles(&self, instructions: u64, l2_stall_cycles: f64) -> f64 {
+        instructions as f64 / self.perfect_ipc + l2_stall_cycles * self.overlap
+    }
+
+    /// Relative IPC of latency `a` versus latency `b` (speedup of `a`).
+    pub fn speedup(&self, a: f64, b: f64) -> f64 {
+        self.ipc(a) / self.ipc(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BenchmarkProfile;
+
+    fn model(name: &str) -> CoreModel {
+        CoreModel::for_profile(&BenchmarkProfile::by_name(name).unwrap())
+    }
+
+    #[test]
+    fn zero_latency_gives_perfect_ipc() {
+        let m = model("art");
+        assert!((m.ipc(0.0) - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_decreases_with_latency() {
+        let m = model("mcf");
+        assert!(m.ipc(10.0) > m.ipc(50.0));
+        assert!(m.ipc(50.0) > m.ipc(200.0));
+    }
+
+    #[test]
+    fn access_intense_benchmarks_suffer_more() {
+        // mcf (0.181 acc/instr) loses relatively more IPC to a latency
+        // increase than mesa (0.003 acc/instr).
+        let mcf = model("mcf");
+        let mesa = model("mesa");
+        let degradation = |m: &CoreModel| m.ipc(100.0) / m.ipc(0.0);
+        assert!(degradation(&mcf) < degradation(&mesa));
+    }
+
+    #[test]
+    fn speedup_is_ratio() {
+        let m = model("gcc");
+        let s = m.speedup(30.0, 60.0);
+        assert!(s > 1.0);
+        assert!((s - m.ipc(30.0) / m.ipc(60.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_decomposition() {
+        let m = CoreModel {
+            perfect_ipc: 0.5,
+            accesses_per_instr: 0.1,
+            overlap: 1.0,
+        };
+        // 1000 instructions at CPI 2 = 2000 cycles + 300 stall cycles.
+        assert!((m.cycles(1_000, 300.0) - 2_300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_latency_panics() {
+        let _ = model("art").ipc(-1.0);
+    }
+}

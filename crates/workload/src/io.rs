@@ -1,0 +1,199 @@
+//! Trace file import/export.
+//!
+//! The on-disk format is one access per line, `addr,write`, where `addr`
+//! is hex (`0x…`) or decimal and `write` is `0`/`1`. Lines starting with
+//! `#` are comments. A `# warmup: N` header marks the first `N` accesses
+//! as warm-up. The format round-trips through [`write_trace`] /
+//! [`read_trace`] and matches what `nucanet trace` prints, so externally
+//! captured L2 traces can be replayed against any design.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::trace::{L2Access, Trace};
+
+/// Why a trace file failed to parse.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line (1-based line number and content).
+    Parse { line: usize, content: String },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            ReadTraceError::Parse { line, content } => {
+                write!(f, "trace parse error at line {line}: '{content}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Writes `trace` in the line format described in the module docs.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    writeln!(w, "# nucanet L2 trace: addr,write")?;
+    writeln!(w, "# warmup: {}", trace.warmup().len())?;
+    for a in trace.all() {
+        writeln!(w, "{:#010x},{}", a.addr, u8::from(a.write))?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`] (or hand-made in the same
+/// format).
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failures or malformed lines.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
+    let mut accesses = Vec::new();
+    let mut warmup = 0usize;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if let Some(n) = rest.trim().strip_prefix("warmup:") {
+                warmup = n.trim().parse().map_err(|_| ReadTraceError::Parse {
+                    line: i + 1,
+                    content: line.clone(),
+                })?;
+            }
+            continue;
+        }
+        let parse = || -> Option<L2Access> {
+            let (addr_s, write_s) = trimmed.split_once(',')?;
+            let addr_s = addr_s.trim();
+            let addr = if let Some(hex) = addr_s.strip_prefix("0x") {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                addr_s.parse().ok()?
+            };
+            let write = match write_s.trim() {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            Some(L2Access { addr, write })
+        };
+        match parse() {
+            Some(a) => accesses.push(a),
+            None => {
+                return Err(ReadTraceError::Parse {
+                    line: i + 1,
+                    content: line,
+                })
+            }
+        }
+    }
+    if warmup > accesses.len() {
+        return Err(ReadTraceError::Parse {
+            line: 0,
+            content: format!("warmup {warmup} exceeds {} accesses", accesses.len()),
+        });
+    }
+    Ok(Trace::new(accesses, warmup))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BenchmarkProfile;
+    use crate::synth::{SynthConfig, TraceGenerator};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut gen = TraceGenerator::new(
+            BenchmarkProfile::by_name("gcc").unwrap(),
+            SynthConfig {
+                seed: 3,
+                active_sets: 32,
+                ..Default::default()
+            },
+        );
+        let t = gen.generate(50, 200);
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn parses_decimal_and_comments() {
+        let text = "# a comment\n\n64,1\n0x80,0\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.all()[0],
+            L2Access {
+                addr: 64,
+                write: true
+            }
+        );
+        assert_eq!(
+            t.all()[1],
+            L2Access {
+                addr: 0x80,
+                write: false
+            }
+        );
+        assert_eq!(t.warmup().len(), 0);
+    }
+
+    #[test]
+    fn warmup_header_respected() {
+        let text = "# warmup: 1\n0x40,0\n0x80,1\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.warmup().len(), 1);
+        assert_eq!(t.measured_len(), 1);
+    }
+
+    #[test]
+    fn reports_bad_lines_with_numbers() {
+        let text = "0x40,0\nnot-a-line\n";
+        match read_trace(text.as_bytes()) {
+            Err(ReadTraceError::Parse { line: 2, .. }) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_write_flag() {
+        assert!(read_trace("0x40,yes\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_warmup() {
+        assert!(read_trace("# warmup: 5\n0x40,0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = read_trace("zzz\n".as_bytes()).unwrap_err();
+        assert!(e.to_string().contains("line 1"), "{e}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Synthetic L2 workloads and the analytic core model.
+//!
+//! The paper drives its cache simulator with L2 access streams produced
+//! by `sim-alpha` running SPEC2000. Lacking those binaries and traces,
+//! this crate regenerates statistically equivalent streams:
+//!
+//! * [`profile`] — the twelve benchmark profiles of Table 2 (instruction
+//!   counts, perfect-L2 IPC, read/write volumes) extended with locality
+//!   parameters calibrated so each benchmark reproduces its qualitative
+//!   L2 behaviour (`art` nearly miss-free, `applu`/`lucas` streaming,
+//!   `mcf` miss-heavy, …).
+//! * [`synth`] — a per-set stack-distance trace generator: each access
+//!   reuses the `d`-th most recently used block of a uniformly chosen
+//!   set, with `d` drawn from a Zipf-like distribution, or touches a
+//!   brand-new block. Stack-distance locality is exactly the property
+//!   that separates LRU from Promotion replacement, so the generated
+//!   streams exercise the paper's mechanisms the way SPEC2000 did.
+//! * [`trace`] — access records and containers.
+//! * [`cpu`] — the analytic in-order-stall IPC model used to convert
+//!   average L2 latencies into the relative IPCs of Figs. 8–9.
+//! * [`io`] — a plain-text trace format so externally captured L2
+//!   streams can be replayed against any design.
+//! * [`zipf`] — a small inverse-CDF Zipf sampler.
+//!
+//! # Example
+//!
+//! ```
+//! use nucanet_workload::{BenchmarkProfile, SynthConfig, TraceGenerator};
+//!
+//! let profile = BenchmarkProfile::by_name("art").unwrap();
+//! let mut gen = TraceGenerator::new(profile, SynthConfig { seed: 1, ..Default::default() });
+//! let trace = gen.generate(1_000, 4_000);
+//! assert_eq!(trace.measured().count(), 4_000);
+//! ```
+
+pub mod cpu;
+pub mod io;
+pub mod profile;
+pub mod synth;
+pub mod trace;
+pub mod zipf;
+
+pub use cpu::CoreModel;
+pub use io::{read_trace, write_trace, ReadTraceError};
+pub use profile::{BenchClass, BenchmarkProfile, LocalityParams, ALL_BENCHMARKS};
+pub use synth::{SynthConfig, TraceGenerator};
+pub use trace::{L2Access, Trace};
+pub use zipf::ZipfSampler;

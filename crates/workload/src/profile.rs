@@ -1,0 +1,352 @@
+//! Benchmark profiles (Table 2 of the paper).
+//!
+//! The observable columns — executed instructions, perfect-L2 IPC, L2
+//! read/write volumes — are transcribed from Table 2. The locality
+//! parameters are **calibrated**, not measured: they are chosen so the
+//! synthetic generator reproduces each benchmark's qualitative L2
+//! behaviour reported in the paper (`art` has "no cache miss except
+//! compulsory misses", `applu` and `lucas` are "low hit rate", etc.).
+
+/// Benchmark suite class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchClass {
+    /// SPEC2000 floating point.
+    Fp,
+    /// SPEC2000 integer.
+    Int,
+}
+
+/// Stack-distance locality knobs for the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalityParams {
+    /// Zipf exponent over per-set stack depths; higher = tighter reuse.
+    pub theta: f64,
+    /// Probability an access touches a brand-new block (compulsory).
+    pub p_new: f64,
+    /// Reference stack depth tracked per set (reuses beyond the cache's
+    /// associativity model capacity misses).
+    pub max_depth: usize,
+    /// Spatial run length: consecutive accesses sweep this many
+    /// consecutive sets before jumping (1 = no spatial locality;
+    /// streaming codes like `applu` sweep long runs).
+    pub burst: usize,
+}
+
+/// One SPEC2000 benchmark as characterised in Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (Table 2 spelling).
+    pub name: &'static str,
+    /// FP or INT.
+    pub class: BenchClass,
+    /// Instructions executed in the paper's measurement window.
+    pub instructions: u64,
+    /// IPC with a perfect (always-hit, zero-latency) L2.
+    pub perfect_l2_ipc: f64,
+    /// L2 read accesses in the window.
+    pub l2_reads: u64,
+    /// L2 write accesses in the window.
+    pub l2_writes: u64,
+    /// Calibrated locality for the synthetic generator.
+    pub locality: LocalityParams,
+}
+
+const M: u64 = 1_000_000;
+
+/// All twelve benchmarks of Table 2, in the paper's order.
+pub const ALL_BENCHMARKS: [BenchmarkProfile; 12] = [
+    BenchmarkProfile {
+        name: "applu",
+        class: BenchClass::Fp,
+        instructions: 500 * M,
+        perfect_l2_ipc: 0.43,
+        l2_reads: 9_444_000,
+        l2_writes: 4_428_000,
+        // "Low hit rate": streaming with little reuse.
+        locality: LocalityParams {
+            theta: 0.40,
+            p_new: 0.30,
+            max_depth: 64,
+            burst: 8,
+        },
+    },
+    BenchmarkProfile {
+        name: "apsi",
+        class: BenchClass::Fp,
+        instructions: 1_000 * M,
+        perfect_l2_ipc: 0.40,
+        l2_reads: 12_375_000,
+        l2_writes: 8_204_000,
+        locality: LocalityParams {
+            theta: 1.30,
+            p_new: 0.04,
+            max_depth: 64,
+            burst: 4,
+        },
+    },
+    BenchmarkProfile {
+        name: "art",
+        class: BenchClass::Fp,
+        instructions: 500 * M,
+        perfect_l2_ipc: 0.40,
+        l2_reads: 63_877_000,
+        l2_writes: 13_578_000,
+        // "No cache miss except compulsory misses during our simulation".
+        locality: LocalityParams {
+            theta: 2.40,
+            p_new: 0.0002,
+            max_depth: 24,
+            burst: 2,
+        },
+    },
+    BenchmarkProfile {
+        name: "galgel",
+        class: BenchClass::Fp,
+        instructions: 2_000 * M,
+        perfect_l2_ipc: 0.43,
+        l2_reads: 19_415_000,
+        l2_writes: 4_137_000,
+        locality: LocalityParams {
+            theta: 1.50,
+            p_new: 0.02,
+            max_depth: 64,
+            burst: 4,
+        },
+    },
+    BenchmarkProfile {
+        name: "lucas",
+        class: BenchClass::Fp,
+        instructions: 1_000 * M,
+        perfect_l2_ipc: 0.44,
+        l2_reads: 19_506_000,
+        l2_writes: 13_226_000,
+        // "Low hit rate" like applu.
+        locality: LocalityParams {
+            theta: 0.45,
+            p_new: 0.28,
+            max_depth: 64,
+            burst: 8,
+        },
+    },
+    BenchmarkProfile {
+        name: "mesa",
+        class: BenchClass::Fp,
+        instructions: 2_000 * M,
+        perfect_l2_ipc: 0.40,
+        l2_reads: 2_907_000,
+        l2_writes: 2_656_000,
+        locality: LocalityParams {
+            theta: 1.60,
+            p_new: 0.02,
+            max_depth: 64,
+            burst: 4,
+        },
+    },
+    BenchmarkProfile {
+        name: "bzip2",
+        class: BenchClass::Int,
+        instructions: 2_000 * M,
+        perfect_l2_ipc: 0.39,
+        l2_reads: 16_301_000,
+        l2_writes: 4_233_000,
+        locality: LocalityParams {
+            theta: 1.40,
+            p_new: 0.03,
+            max_depth: 64,
+            burst: 4,
+        },
+    },
+    BenchmarkProfile {
+        name: "gcc",
+        class: BenchClass::Int,
+        instructions: 500 * M,
+        perfect_l2_ipc: 0.29,
+        l2_reads: 26_201_000,
+        l2_writes: 14_827_000,
+        locality: LocalityParams {
+            theta: 1.00,
+            p_new: 0.06,
+            max_depth: 64,
+            burst: 2,
+        },
+    },
+    BenchmarkProfile {
+        name: "mcf",
+        class: BenchClass::Int,
+        instructions: 250 * M,
+        perfect_l2_ipc: 0.34,
+        l2_reads: 29_500_000,
+        l2_writes: 15_755_000,
+        // Pointer chasing over a huge working set.
+        locality: LocalityParams {
+            theta: 0.80,
+            p_new: 0.12,
+            max_depth: 64,
+            burst: 1,
+        },
+    },
+    BenchmarkProfile {
+        name: "parser",
+        class: BenchClass::Int,
+        instructions: 2_000 * M,
+        perfect_l2_ipc: 0.38,
+        l2_reads: 18_257_000,
+        l2_writes: 6_915_000,
+        locality: LocalityParams {
+            theta: 1.35,
+            p_new: 0.03,
+            max_depth: 64,
+            burst: 2,
+        },
+    },
+    BenchmarkProfile {
+        name: "twolf",
+        class: BenchClass::Int,
+        instructions: 1_000 * M,
+        perfect_l2_ipc: 0.38,
+        l2_reads: 20_283_000,
+        l2_writes: 7_653_000,
+        locality: LocalityParams {
+            theta: 1.25,
+            p_new: 0.04,
+            max_depth: 64,
+            burst: 2,
+        },
+    },
+    BenchmarkProfile {
+        name: "vpr",
+        class: BenchClass::Int,
+        instructions: 1_000 * M,
+        perfect_l2_ipc: 0.41,
+        l2_reads: 12_459_000,
+        l2_writes: 5_024_000,
+        locality: LocalityParams {
+            theta: 1.45,
+            p_new: 0.03,
+            max_depth: 64,
+            burst: 4,
+        },
+    },
+];
+
+impl BenchmarkProfile {
+    /// Looks a benchmark up by its Table 2 name.
+    pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+        ALL_BENCHMARKS.iter().copied().find(|b| b.name == name)
+    }
+
+    /// Total L2 accesses (reads + writes).
+    pub fn l2_accesses(&self) -> u64 {
+        self.l2_reads + self.l2_writes
+    }
+
+    /// L2 accesses per instruction (last column of Table 2).
+    pub fn accesses_per_instr(&self) -> f64 {
+        self.l2_accesses() as f64 / self.instructions as f64
+    }
+
+    /// Fraction of accesses that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        self.l2_writes as f64 / self.l2_accesses() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_benchmarks() {
+        assert_eq!(ALL_BENCHMARKS.len(), 12);
+        let fp = ALL_BENCHMARKS
+            .iter()
+            .filter(|b| b.class == BenchClass::Fp)
+            .count();
+        assert_eq!(fp, 6, "six FP and six INT benchmarks");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = ALL_BENCHMARKS.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn table2_access_per_instr_column() {
+        // Spot-check the derived column against the printed Table 2.
+        let expect = [
+            ("applu", 0.028),
+            ("apsi", 0.021),
+            ("art", 0.155),
+            ("galgel", 0.012),
+            ("lucas", 0.033),
+            ("mesa", 0.003),
+            ("bzip2", 0.010),
+            ("gcc", 0.082),
+            ("mcf", 0.181),
+            ("parser", 0.013),
+            ("twolf", 0.028),
+            ("vpr", 0.017),
+        ];
+        for (name, v) in expect {
+            let b = BenchmarkProfile::by_name(name).unwrap();
+            assert!(
+                (b.accesses_per_instr() - v).abs() < 0.0015,
+                "{name}: {} vs {v}",
+                b.accesses_per_instr()
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_misses_gracefully() {
+        assert!(BenchmarkProfile::by_name("quake").is_none());
+    }
+
+    #[test]
+    fn art_has_most_intense_access_rate() {
+        let max = ALL_BENCHMARKS
+            .iter()
+            .max_by(|a, b| a.accesses_per_instr().total_cmp(&b.accesses_per_instr()))
+            .unwrap();
+        assert_eq!(max.name, "mcf"); // 0.181 > art's 0.155
+        assert_eq!(
+            BenchmarkProfile::by_name("art").unwrap().l2_reads,
+            63_877_000,
+            "art has the largest read volume"
+        );
+    }
+
+    #[test]
+    fn locality_params_are_sane() {
+        for b in &ALL_BENCHMARKS {
+            assert!(b.locality.theta > 0.0, "{}", b.name);
+            assert!((0.0..1.0).contains(&b.locality.p_new), "{}", b.name);
+            assert!(b.locality.max_depth >= 16, "{}", b.name);
+            assert!(b.locality.burst >= 1, "{}", b.name);
+            assert!(
+                b.write_fraction() > 0.0 && b.write_fraction() < 1.0,
+                "{}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn streamers_sweep_longer_spatial_runs() {
+        let applu = BenchmarkProfile::by_name("applu").unwrap();
+        let mcf = BenchmarkProfile::by_name("mcf").unwrap();
+        assert!(applu.locality.burst > mcf.locality.burst);
+    }
+
+    #[test]
+    fn streaming_benchmarks_have_low_theta() {
+        let applu = BenchmarkProfile::by_name("applu").unwrap();
+        let art = BenchmarkProfile::by_name("art").unwrap();
+        assert!(applu.locality.theta < 1.0);
+        assert!(art.locality.theta > 2.0);
+        assert!(art.locality.p_new < 0.001);
+    }
+}

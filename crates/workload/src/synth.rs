@@ -1,0 +1,297 @@
+//! Per-set stack-distance trace generation.
+//!
+//! Each access (1) picks a set uniformly among `active_sets`, (2) with
+//! probability `p_new` touches a brand-new block of that set, otherwise
+//! (3) reuses the block at Zipf-distributed depth `d` of the generator's
+//! own per-set reference LRU stack, moving it to the front.
+//!
+//! Because the reference stacks are the generator's (not the simulated
+//! cache's), the same trace can be replayed against *any* replacement
+//! policy, and the resulting hit-rate differences between LRU and
+//! Promotion arise exactly as they would from a real program's reuse
+//! pattern.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::BenchmarkProfile;
+use crate::trace::{L2Access, Trace};
+use crate::zipf::ZipfSampler;
+
+/// Generator configuration independent of the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Number of distinct (column, index) sets the workload touches.
+    /// Scaled-down simulations keep this low so warm-up stays cheap;
+    /// the hit rate is set-count independent.
+    pub active_sets: u32,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+    /// Address-map geometry: bank-column bits (4 in the paper).
+    pub column_bits: u32,
+    /// Address-map geometry: per-bank index bits (10 in the paper).
+    pub index_bits: u32,
+    /// Address-map geometry: block offset bits (6 in the paper).
+    pub offset_bits: u32,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            active_sets: 512,
+            seed: 0xCAFE,
+            column_bits: 4,
+            index_bits: 10,
+            offset_bits: 6,
+        }
+    }
+}
+
+/// Deterministic synthetic trace generator for one benchmark profile.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    cfg: SynthConfig,
+    rng: StdRng,
+    depth_sampler: ZipfSampler,
+    /// Reference LRU stack of tags, per active set.
+    stacks: Vec<VecDeque<u32>>,
+    /// Next fresh tag, per active set.
+    next_tag: Vec<u32>,
+    /// Spatial run state: (current set, accesses left in the run).
+    burst_state: (u32, usize),
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.active_sets` is zero or exceeds the address-map
+    /// capacity, or if the tag field cannot hold the working set.
+    pub fn new(profile: BenchmarkProfile, cfg: SynthConfig) -> Self {
+        assert!(cfg.active_sets >= 1, "need at least one active set");
+        assert!(
+            cfg.active_sets <= 1 << (cfg.column_bits + cfg.index_bits),
+            "more active sets than the address map addresses"
+        );
+        let depth_sampler = ZipfSampler::new(profile.locality.max_depth, profile.locality.theta);
+        TraceGenerator {
+            rng: StdRng::seed_from_u64(cfg.seed ^ hash_name(profile.name)),
+            stacks: vec![VecDeque::new(); cfg.active_sets as usize],
+            next_tag: vec![0; cfg.active_sets as usize],
+            burst_state: (0, 0),
+            depth_sampler,
+            profile,
+            cfg,
+        }
+    }
+
+    /// The profile this generator models.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Generates `warmup + measured` accesses.
+    pub fn generate(&mut self, warmup: usize, measured: usize) -> Trace {
+        let total = warmup + measured;
+        let mut out = Vec::with_capacity(total);
+        for _ in 0..total {
+            out.push(self.next_access());
+        }
+        Trace::new(out, warmup)
+    }
+
+    /// Produces the next access in the stream.
+    pub fn next_access(&mut self) -> L2Access {
+        let loc = self.profile.locality;
+        // Spatial run: sweep consecutive sets for `burst` accesses, then
+        // jump to a fresh random set.
+        let set = {
+            let (cur, left) = self.burst_state;
+            if left == 0 {
+                let s = self.rng.gen_range(0..self.cfg.active_sets);
+                self.burst_state = (s, loc.burst.saturating_sub(1));
+                s
+            } else {
+                let s = (cur + 1) % self.cfg.active_sets;
+                self.burst_state = (s, left - 1);
+                s
+            }
+        } as usize;
+        let stack = &mut self.stacks[set];
+
+        let tag = if self.rng.gen_bool(loc.p_new) || stack.is_empty() {
+            self.fresh_tag(set)
+        } else {
+            let d = self.depth_sampler.sample(&mut self.rng);
+            if d < stack.len() {
+                stack.remove(d).expect("depth checked against len")
+            } else {
+                self.fresh_tag(set)
+            }
+        };
+        let stack = &mut self.stacks[set];
+        stack.push_front(tag);
+        if stack.len() > loc.max_depth {
+            stack.pop_back();
+        }
+
+        let write = self.rng.gen_bool(self.profile.write_fraction());
+        L2Access {
+            addr: self.compose(set as u32, tag),
+            write,
+        }
+    }
+
+    fn fresh_tag(&mut self, set: usize) -> u32 {
+        let t = self.next_tag[set];
+        self.next_tag[set] = t.wrapping_add(1);
+        let tag_bits = 32 - self.cfg.offset_bits - self.cfg.column_bits - self.cfg.index_bits;
+        t & ((1u32 << tag_bits) - 1)
+    }
+
+    /// Address layout identical to `nucanet_cache::AddressMap`: sets are
+    /// numbered column-major so consecutive set ids sweep the columns.
+    fn compose(&self, set: u32, tag: u32) -> u32 {
+        let column = set & ((1 << self.cfg.column_bits) - 1);
+        let index = set >> self.cfg.column_bits;
+        ((tag << self.cfg.index_bits | index) << self.cfg.column_bits | column)
+            << self.cfg.offset_bits
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so each benchmark gets a distinct deterministic stream.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{BenchmarkProfile, ALL_BENCHMARKS};
+    use std::collections::HashMap;
+
+    fn generator(name: &str, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(
+            BenchmarkProfile::by_name(name).unwrap(),
+            SynthConfig {
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t1 = generator("gcc", 5).generate(100, 400);
+        let t2 = generator("gcc", 5).generate(100, 400);
+        assert_eq!(t1, t2);
+        let t3 = generator("gcc", 6).generate(100, 400);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn different_benchmarks_differ_under_same_seed() {
+        let a = generator("gcc", 5).generate(0, 200);
+        let b = generator("mcf", 5).generate(0, 200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn addresses_are_block_aligned_and_within_active_sets() {
+        let cfg = SynthConfig {
+            active_sets: 128,
+            ..Default::default()
+        };
+        let mut g = TraceGenerator::new(BenchmarkProfile::by_name("vpr").unwrap(), cfg);
+        let t = g.generate(0, 2_000);
+        for a in t.all() {
+            assert_eq!(a.addr & 0x3F, 0, "block aligned");
+            let set = (a.addr >> 6) & ((1 << 14) - 1); // column+index bits
+            assert!(set < 128, "set {set} out of the active range");
+        }
+    }
+
+    #[test]
+    fn write_fraction_tracks_profile() {
+        let mut g = generator("lucas", 1); // write fraction ~0.40
+        let t = g.generate(0, 20_000);
+        let wf = t.write_fraction();
+        let want = BenchmarkProfile::by_name("lucas").unwrap().write_fraction();
+        assert!((wf - want).abs() < 0.02, "wf {wf} vs profile {want}");
+    }
+
+    #[test]
+    fn art_reuses_heavily_but_streamers_do_not() {
+        let reuse_fraction = |name: &str| {
+            let mut g = generator(name, 2);
+            let t = g.generate(2_000, 20_000);
+            let mut seen: HashMap<u32, u32> = HashMap::new();
+            let mut reused = 0;
+            for a in t.all() {
+                let c = seen.entry(a.addr).or_insert(0);
+                if *c > 0 {
+                    reused += 1;
+                }
+                *c += 1;
+            }
+            reused as f64 / t.len() as f64
+        };
+        let art = reuse_fraction("art");
+        let applu = reuse_fraction("applu");
+        // (The cold-start prefix keeps art below 1.0 here; steady-state
+        // behaviour is asserted via hit rates in the integration tests.)
+        assert!(art > 0.85, "art must reuse almost always, got {art}");
+        assert!(
+            applu < art - 0.2,
+            "applu must stream: applu {applu} vs art {art}"
+        );
+    }
+
+    #[test]
+    fn stack_depth_bounded() {
+        let mut g = generator("mesa", 3);
+        let _ = g.generate(0, 10_000);
+        for s in &g.stacks {
+            assert!(s.len() <= g.profile.locality.max_depth);
+        }
+    }
+
+    #[test]
+    fn all_benchmarks_generate_without_panic() {
+        for b in ALL_BENCHMARKS {
+            let mut g = TraceGenerator::new(b, SynthConfig::default());
+            let t = g.generate(100, 400);
+            assert_eq!(t.len(), 500, "{}", b.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one active set")]
+    fn zero_active_sets_panics() {
+        let _ = TraceGenerator::new(
+            BenchmarkProfile::by_name("art").unwrap(),
+            SynthConfig {
+                active_sets: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn fresh_tags_wrap_within_tag_field() {
+        let mut g = generator("applu", 4);
+        for _ in 0..1_000 {
+            let a = g.next_access();
+            assert!(a.addr >= 64 || a.addr == 0, "addr {:#x}", a.addr);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! L2 access trace records.
+
+/// One L2 access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct L2Access {
+    /// 32-bit physical address (block-aligned by the generator).
+    pub addr: u32,
+    /// Write (store) vs read (load).
+    pub write: bool,
+}
+
+/// A generated trace: a warm-up prefix followed by a measured window,
+/// mirroring the paper's fast-forward / warm-up / measure methodology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    accesses: Vec<L2Access>,
+    warmup: usize,
+}
+
+impl Trace {
+    /// Wraps raw accesses; the first `warmup` entries are warm-up only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` exceeds the trace length.
+    pub fn new(accesses: Vec<L2Access>, warmup: usize) -> Self {
+        assert!(warmup <= accesses.len(), "warm-up longer than the trace");
+        Trace { accesses, warmup }
+    }
+
+    /// All accesses including warm-up.
+    pub fn all(&self) -> &[L2Access] {
+        &self.accesses
+    }
+
+    /// The warm-up prefix.
+    pub fn warmup(&self) -> &[L2Access] {
+        &self.accesses[..self.warmup]
+    }
+
+    /// Iterator over the measured window.
+    pub fn measured(&self) -> impl Iterator<Item = &L2Access> {
+        self.accesses[self.warmup..].iter()
+    }
+
+    /// Length of the measured window.
+    pub fn measured_len(&self) -> usize {
+        self.accesses.len() - self.warmup
+    }
+
+    /// Total length including warm-up.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Fraction of writes in the measured window.
+    pub fn write_fraction(&self) -> f64 {
+        let m = self.measured_len();
+        if m == 0 {
+            return 0.0;
+        }
+        self.measured().filter(|a| a.write).count() as f64 / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(addr: u32, write: bool) -> L2Access {
+        L2Access { addr, write }
+    }
+
+    #[test]
+    fn splits_warmup_and_measured() {
+        let t = Trace::new(vec![acc(0, false), acc(64, true), acc(128, false)], 1);
+        assert_eq!(t.warmup().len(), 1);
+        assert_eq!(t.measured_len(), 2);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn write_fraction_over_measured_only() {
+        let t = Trace::new(vec![acc(0, true), acc(64, true), acc(128, false)], 1);
+        assert!((t.write_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-up longer")]
+    fn oversized_warmup_panics() {
+        let _ = Trace::new(vec![acc(0, false)], 2);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(vec![], 0);
+        assert!(t.is_empty());
+        assert_eq!(t.write_fraction(), 0.0);
+    }
+}

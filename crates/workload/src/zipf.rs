@@ -1,0 +1,137 @@
+//! Inverse-CDF Zipf sampling over a finite support.
+
+use rand::Rng;
+
+/// Samples `0..n` with probability ∝ `1/(k+1)^theta`.
+///
+/// ```
+/// use nucanet_workload::ZipfSampler;
+/// use rand::SeedableRng;
+/// let z = ZipfSampler::new(16, 1.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let v = z.sample(&mut rng);
+/// assert!(v < 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    /// Cumulative probabilities, `cdf[k] = P(X <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `0..n` with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "support must be non-empty");
+        assert!(theta.is_finite(), "theta must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of outcome `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point: first k with cdf[k] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_normalised_and_monotone() {
+        let z = ZipfSampler::new(32, 1.2);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        for w in z.cdf.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(10, 0.8);
+        let s: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_outcomes_dominate() {
+        let z = ZipfSampler::new(64, 1.5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 64];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(
+            counts[0] > 10_000,
+            "k=0 should carry ~39% mass, got {}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let flat = ZipfSampler::new(16, 0.5);
+        let steep = ZipfSampler::new(16, 2.0);
+        assert!(steep.pmf(0) > flat.pmf(0));
+        assert!(steep.pmf(15) < flat.pmf(15));
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(5, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

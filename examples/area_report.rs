@@ -1,0 +1,46 @@
+//! Area report (Table 4 extended to all six designs): bank / router /
+//! link breakdown, L2 area, chip bounding box, and die utilisation.
+//!
+//! ```text
+//! cargo run --release --example area_report
+//! ```
+
+use nucanet::area::{analyze, unused_area_mm2};
+use nucanet::config::ALL_DESIGNS;
+
+fn main() {
+    println!("Area analysis at 65 nm (extends the paper's Table 4 to all designs)\n");
+    println!(
+        "{:8} {:>7} {:>8} {:>7} {:>11} {:>11} {:>12} {:>9}",
+        "design", "bank%", "router%", "link%", "L2 [mm2]", "chip [mm2]", "unused [mm2]", "L2/chip"
+    );
+    println!("{}", "-".repeat(82));
+    for d in ALL_DESIGNS {
+        let a = analyze(d);
+        let (b, r, l) = a.breakdown.shares();
+        println!(
+            "{:8} {:>7.1} {:>8.1} {:>7.1} {:>11.2} {:>11.2} {:>12.2} {:>9.2}",
+            format!("{d:?}"),
+            100.0 * b,
+            100.0 * r,
+            100.0 * l,
+            a.breakdown.l2_mm2(),
+            a.chip_mm2,
+            unused_area_mm2(&a),
+            a.breakdown.l2_mm2() / a.chip_mm2,
+        );
+    }
+    println!("{}", "-".repeat(82));
+    println!("paper Table 4:  A 47.8/20.8/31.4  567.70 / 567.70");
+    println!("                B 58.4/13.0/28.6  464.60 / 521.99");
+    println!("                E 67.5/14.1/18.4  402.30 / 1602.22");
+    println!("                F 78.7/ 5.7/15.7  312.19 / 517.61");
+
+    let a = analyze(nucanet::Design::A);
+    let f = analyze(nucanet::Design::F);
+    let net = |x: &nucanet::DesignArea| x.breakdown.router_mm2 + x.breakdown.link_mm2;
+    println!(
+        "\nDesign F interconnect = {:.0}% of Design A's (paper abstract: 23%)",
+        100.0 * net(&f) / net(&a)
+    );
+}

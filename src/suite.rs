@@ -1,0 +1,68 @@
+//! `nucanet-suite` — shared helpers for the workspace-level examples
+//! and integration tests of the `nucanet` HPCA'07 reproduction.
+//!
+//! The actual library lives in the `nucanet` crate (and its substrate
+//! crates `nucanet-noc`, `nucanet-cache`, `nucanet-workload`,
+//! `nucanet-timing`); this package only hosts the runnable examples
+//! under `examples/` and the cross-crate tests under `tests/`.
+
+use nucanet::experiments::ExperimentScale;
+
+/// The scale used by integration tests: small enough for CI, large
+/// enough that warm caches dominate cold misses.
+pub fn test_scale() -> ExperimentScale {
+    ExperimentScale {
+        warmup: 6_000,
+        measured: 500,
+        active_sets: 64,
+        seed: 0xBEEF,
+    }
+}
+
+/// Deterministic LCG used by tests that need cheap pseudo-randomness
+/// without pulling `rand` into every test body.
+#[derive(Debug, Clone)]
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// Uniform value in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "range must be non-empty");
+        (self.next_u64() >> 16) % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg(1);
+        let mut b = Lcg(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut g = Lcg(7);
+        for _ in 0..100 {
+            assert!(g.below(13) < 13);
+        }
+    }
+}

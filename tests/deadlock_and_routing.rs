@@ -1,0 +1,212 @@
+//! Deadlock-freedom and routing properties across topologies.
+//!
+//! * The channel dependency graph of every (topology, routing) pair the
+//!   system uses is acyclic, for arbitrary mesh sizes (Dally–Seitz).
+//! * XYX admits a total channel enumeration and every routed path
+//!   follows strictly increasing channel numbers (the paper's Fig. 5).
+//! * Random traffic — unicast and path multicast — always drains
+//!   (empirical liveness; the network watchdog would panic otherwise).
+
+use nucanet_noc::deadlock::path_is_increasing;
+use nucanet_noc::{
+    ChannelDependencyGraph, Dest, Endpoint, Network, NodeId, Packet, RouterParams, RoutingSpec,
+    Topology,
+};
+use proptest::prelude::*;
+
+fn unit(n: u16) -> Vec<u32> {
+    vec![1; n as usize]
+}
+
+fn drain<P>(net: &mut Network<P>, max_steps: u64) {
+    let mut steps = 0;
+    while net.is_busy() || net.next_event_cycle().is_some() {
+        net.advance();
+        steps += 1;
+        assert!(
+            steps < max_steps,
+            "network failed to drain within {max_steps} steps"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn xyx_deadlock_free_on_any_simplified_mesh(cols in 2u16..9, rows in 2u16..9) {
+        let t = Topology::simplified_mesh(cols, rows, &unit(cols - 1), &unit(rows - 1));
+        let rt = RoutingSpec::Xyx.build(&t).unwrap();
+        let cdg = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+        prop_assert!(cdg.analyze().acyclic);
+        let order = cdg.enumeration().expect("XYX admits a channel enumeration");
+        for a in 0..t.len() as u32 {
+            for b in 0..t.len() as u32 {
+                if let Some(path) = rt.path(&t, NodeId(a), NodeId(b)) {
+                    prop_assert!(path_is_increasing(&order, &path));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_deadlock_free_on_any_mesh(cols in 2u16..9, rows in 2u16..9) {
+        let t = Topology::mesh(cols, rows, &unit(cols - 1), &unit(rows - 1));
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        prop_assert!(ChannelDependencyGraph::from_all_pairs(&t, &rt).analyze().acyclic);
+    }
+
+    #[test]
+    fn random_unicast_traffic_drains(
+        seed in 0u64..1_000,
+        n_packets in 1usize..120,
+    ) {
+        let t = Topology::mesh(5, 5, &unit(4), &unit(4));
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        let mut net: Network<u32> = Network::new(t, rt, RouterParams::default());
+        let mut x = seed.wrapping_add(1);
+        let mut injected = 0;
+        for i in 0..n_packets {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x >> 13) as u32 % 25;
+            let b = (x >> 37) as u32 % 25;
+            if a == b {
+                continue;
+            }
+            let flits = if x % 2 == 0 { 1 } else { 5 };
+            net.inject(Packet::new(
+                Endpoint::at(NodeId(a)),
+                Dest::unicast(Endpoint::at(NodeId(b))),
+                flits,
+                i as u32,
+            ));
+            injected += 1;
+        }
+        drain(&mut net, 100_000);
+        prop_assert_eq!(net.stats().packets_delivered, injected);
+    }
+
+    #[test]
+    fn random_column_multicasts_drain(seed in 0u64..1_000, bursts in 1usize..12) {
+        // Concurrent column multicasts stress the replica-VC mechanism.
+        let t = Topology::mesh(4, 8, &unit(3), &unit(7));
+        let rt = RoutingSpec::Xy.build(&t).unwrap();
+        let mut net: Network<u32> = Network::new(t, rt, RouterParams::default());
+        let src = Endpoint::at(net.topology().node_at(1, 0));
+        let mut x = seed.wrapping_add(7);
+        let mut expected = 0u64;
+        for _ in 0..bursts {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let col = (x >> 17) as u16 % 4;
+            let path: Vec<Endpoint> =
+                (0..8).map(|r| Endpoint::at(net.topology().node_at(col, r))).collect();
+            let flits = if x % 3 == 0 { 5 } else { 1 };
+            net.inject(Packet::new(src, Dest::multicast(path), flits, 0));
+            expected += 8;
+        }
+        drain(&mut net, 200_000);
+        prop_assert_eq!(net.stats().packets_delivered, expected);
+    }
+
+    #[test]
+    fn halo_traffic_drains(seed in 0u64..1_000) {
+        let t = Topology::halo(8, 5, &[1, 1, 2, 2, 3], 3);
+        let rt = RoutingSpec::ShortestPath.build(&t).unwrap();
+        let mut net: Network<u32> = Network::new(t, rt, RouterParams::default());
+        let hub = Endpoint { node: NodeId(0), slot: 0 };
+        let mut x = seed.wrapping_add(13);
+        let mut expected = 0u64;
+        for _ in 0..10 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let s = (x >> 11) as u16 % 8;
+            let path: Vec<Endpoint> =
+                (0..5).map(|p| Endpoint::at(net.topology().spike_node(s, p))).collect();
+            net.inject(Packet::new(hub, Dest::multicast(path), 1, 0));
+            expected += 5;
+            // And a reply coming back up.
+            let bank = Endpoint::at(net.topology().spike_node(s, ((x >> 29) % 5) as u16));
+            net.inject(Packet::new(bank, Dest::unicast(hub), 5, 1));
+            expected += 1;
+        }
+        drain(&mut net, 200_000);
+        prop_assert_eq!(net.stats().packets_delivered, expected);
+    }
+}
+
+#[test]
+fn xyx_enumeration_on_paper_sized_mesh() {
+    // The full 16x16 simplified mesh of Design B.
+    let t = Topology::simplified_mesh(16, 16, &unit(15), &unit(15));
+    let rt = RoutingSpec::Xyx.build(&t).unwrap();
+    let cdg = ChannelDependencyGraph::from_all_pairs(&t, &rt);
+    let report = cdg.analyze();
+    assert!(report.acyclic, "cycle witness: {:?}", report.cycle);
+    assert!(cdg.enumeration().is_some());
+}
+
+#[test]
+fn link_fault_analysis_shows_topology_resilience() {
+    let unit = |n: u16| vec![1u32; n as usize];
+    // Cut one vertical link in a full mesh.
+    let t = Topology::mesh(4, 4, &unit(3), &unit(3));
+    let victim = t
+        .links()
+        .iter()
+        .position(|l| {
+            let a = t.coord_of(l.src).unwrap();
+            let b = t.coord_of(l.dst).unwrap();
+            a.col == 1 && a.row == 1 && b.col == 1 && b.row == 2
+        })
+        .expect("vertical link exists") as u32;
+    let cut = t.without_links(&[nucanet_noc::LinkId(victim)]);
+
+    // Deterministic XY cannot route around the fault…
+    let xy = RoutingSpec::Xy.build(&cut).unwrap();
+    let broken = (0..16u32)
+        .flat_map(|a| (0..16u32).map(move |b| (a, b)))
+        .filter(|&(a, b)| !xy.is_routable(NodeId(a), NodeId(b)))
+        .count();
+    assert!(broken > 0, "XY must lose some routes to the fault");
+
+    // …while shortest-path re-routing keeps every pair connected.
+    let sp = RoutingSpec::ShortestPath.build(&cut).unwrap();
+    for a in 0..16u32 {
+        for b in 0..16u32 {
+            assert!(sp.is_routable(NodeId(a), NodeId(b)), "{a}->{b}");
+        }
+    }
+}
+
+#[test]
+fn halo_spikes_are_single_points_of_failure() {
+    // Cutting the first hop of a spike strands everything below it —
+    // the price of the halo's minimal link count.
+    let t = Topology::halo(4, 4, &[1; 4], 1);
+    let first_hop = t
+        .links()
+        .iter()
+        .position(|l| l.src == NodeId(0) && l.dst == t.spike_node(2, 0))
+        .expect("hub link exists") as u32;
+    let cut = t.without_links(&[nucanet_noc::LinkId(first_hop)]);
+    let sp = RoutingSpec::ShortestPath.build(&cut).unwrap();
+    for p in 0..4 {
+        assert!(
+            !sp.is_routable(NodeId(0), cut.spike_node(2, p)),
+            "spike 2 position {p} should be stranded"
+        );
+    }
+    // Other spikes are untouched.
+    assert!(sp.is_routable(NodeId(0), cut.spike_node(1, 3)));
+}
+
+#[test]
+fn design_d_non_uniform_mesh_is_deadlock_free() {
+    // Mixed link delays must not affect the CDG argument.
+    let t = Topology::simplified_mesh(16, 5, &[3; 15], &[1, 2, 2, 3]);
+    let rt = RoutingSpec::Xyx.build(&t).unwrap();
+    assert!(
+        ChannelDependencyGraph::from_all_pairs(&t, &rt)
+            .analyze()
+            .acyclic
+    );
+}

@@ -1,0 +1,217 @@
+//! End-to-end shape tests: the paper's qualitative conclusions must
+//! hold at test scale.
+
+use nucanet::experiments::{run_cell, ExperimentScale};
+use nucanet::{Design, Scheme};
+use nucanet_suite::test_scale;
+use nucanet_workload::{BenchmarkProfile, ALL_BENCHMARKS};
+
+fn cell(
+    design: Design,
+    scheme: Scheme,
+    bench: &str,
+    scale: ExperimentScale,
+) -> (nucanet::Metrics, f64) {
+    let profile = BenchmarkProfile::by_name(bench).expect("benchmark exists");
+    run_cell(design, scheme, &profile, scale)
+}
+
+#[test]
+fn fast_lru_beats_lru_and_promotion() {
+    // §6.1: Fast-LRU cuts average latency sharply in the unicast world.
+    let scale = test_scale();
+    for bench in ["gcc", "twolf", "parser"] {
+        let (lru, _) = cell(Design::A, Scheme::UnicastLru, bench, scale);
+        let (promo, _) = cell(Design::A, Scheme::UnicastPromotion, bench, scale);
+        let (fast, _) = cell(Design::A, Scheme::UnicastFastLru, bench, scale);
+        assert!(
+            fast.avg_latency() < lru.avg_latency(),
+            "{bench}: fastLRU {:.1} !< LRU {:.1}",
+            fast.avg_latency(),
+            lru.avg_latency()
+        );
+        assert!(
+            fast.avg_latency() < promo.avg_latency(),
+            "{bench}: fastLRU {:.1} !< promotion {:.1}",
+            fast.avg_latency(),
+            promo.avg_latency()
+        );
+    }
+}
+
+#[test]
+fn multicast_fast_lru_is_overall_best() {
+    let scale = test_scale();
+    for bench in ["mcf", "vpr"] {
+        let (best, best_ipc) = cell(Design::A, Scheme::MulticastFastLru, bench, scale);
+        for other in [
+            Scheme::UnicastPromotion,
+            Scheme::UnicastLru,
+            Scheme::MulticastPromotion,
+        ] {
+            let (m, ipc) = cell(Design::A, other, bench, scale);
+            assert!(
+                best.avg_latency() < m.avg_latency(),
+                "{bench}: mc-fastLRU {:.1} !< {other} {:.1}",
+                best.avg_latency(),
+                m.avg_latency()
+            );
+            assert!(best_ipc > ipc, "{bench}: IPC ordering vs {other}");
+        }
+    }
+}
+
+#[test]
+fn multicast_cuts_miss_latency() {
+    // Multicast detects a miss in parallel; unicast walks all 16 banks.
+    let scale = test_scale();
+    let (uni, _) = cell(Design::A, Scheme::UnicastFastLru, "applu", scale);
+    let (multi, _) = cell(Design::A, Scheme::MulticastFastLru, "applu", scale);
+    assert!(
+        multi.avg_miss_latency() < uni.avg_miss_latency(),
+        "multicast miss {:.1} !< unicast miss {:.1}",
+        multi.avg_miss_latency(),
+        uni.avg_miss_latency()
+    );
+}
+
+#[test]
+fn halo_beats_mesh_and_f_is_best() {
+    let scale = test_scale();
+    for bench in ["gcc", "twolf"] {
+        let (a, a_ipc) = cell(Design::A, Scheme::MulticastFastLru, bench, scale);
+        let (e, e_ipc) = cell(Design::E, Scheme::MulticastFastLru, bench, scale);
+        let (f, f_ipc) = cell(Design::F, Scheme::MulticastFastLru, bench, scale);
+        assert!(
+            e.avg_latency() < a.avg_latency(),
+            "{bench}: E {:.1} !< A {:.1}",
+            e.avg_latency(),
+            a.avg_latency()
+        );
+        assert!(
+            f.avg_latency() < e.avg_latency(),
+            "{bench}: F {:.1} !< E {:.1}",
+            f.avg_latency(),
+            e.avg_latency()
+        );
+        assert!(
+            f_ipc > e_ipc && e_ipc > a_ipc,
+            "{bench}: IPC ordering A<{a_ipc:.3} E<{e_ipc:.3} F<{f_ipc:.3}"
+        );
+    }
+}
+
+#[test]
+fn headline_f_fastlru_vs_a_promotion() {
+    // Abstract: "improves the average IPC by 38% over the mesh network
+    // design with Multicast Promotion". Require a solid double-digit win.
+    let scale = test_scale();
+    let mut gains = Vec::new();
+    for bench in ["gcc", "twolf", "mcf"] {
+        let (_, best) = cell(Design::F, Scheme::MulticastFastLru, bench, scale);
+        let (_, base) = cell(Design::A, Scheme::MulticastPromotion, bench, scale);
+        gains.push(best / base);
+    }
+    let avg = gains.iter().product::<f64>().powf(1.0 / gains.len() as f64);
+    assert!(avg > 1.15, "headline gain only {avg:.2}x (gains {gains:?})");
+}
+
+#[test]
+fn simplified_mesh_tracks_full_mesh() {
+    // §6.2: "Design B achieves almost the same performance as Design A
+    // despite the decreased bandwidth."
+    let scale = test_scale();
+    let (a, _) = cell(Design::A, Scheme::MulticastFastLru, "bzip2", scale);
+    let (b, _) = cell(Design::B, Scheme::MulticastFastLru, "bzip2", scale);
+    let ratio = b.avg_latency() / a.avg_latency();
+    assert!((0.85..1.15).contains(&ratio), "B/A latency ratio {ratio}");
+}
+
+#[test]
+fn network_dominates_latency_split() {
+    // Fig. 7's headline: the network share is the largest.
+    let scale = test_scale();
+    let (m, _) = cell(Design::A, Scheme::UnicastLru, "galgel", scale);
+    let (bank, net, mem) = m.latency_breakdown();
+    assert!(
+        net > bank && net > mem,
+        "split bank {bank:.2} net {net:.2} mem {mem:.2}"
+    );
+}
+
+#[test]
+fn lru_concentrates_hits_at_mru() {
+    // §6.1: LRU raises MRU-bank hits over promotion by 5–19%.
+    let scale = test_scale();
+    let (lru, _) = cell(Design::A, Scheme::UnicastLru, "vpr", scale);
+    let (promo, _) = cell(Design::A, Scheme::UnicastPromotion, "vpr", scale);
+    assert!(
+        lru.mru_concentration() > promo.mru_concentration(),
+        "LRU {:.3} !> promotion {:.3}",
+        lru.mru_concentration(),
+        promo.mru_concentration()
+    );
+}
+
+#[test]
+fn art_is_nearly_miss_free_and_streamers_are_not() {
+    let scale = ExperimentScale {
+        warmup: 20_000,
+        measured: 600,
+        active_sets: 64,
+        seed: 5,
+    };
+    let (art, _) = cell(Design::A, Scheme::MulticastFastLru, "art", scale);
+    let (applu, _) = cell(Design::A, Scheme::MulticastFastLru, "applu", scale);
+    assert!(art.hit_rate() > 0.93, "art hit rate {:.3}", art.hit_rate());
+    assert!(
+        applu.hit_rate() < 0.55,
+        "applu hit rate {:.3}",
+        applu.hit_rate()
+    );
+}
+
+#[test]
+fn every_benchmark_runs_on_every_design() {
+    // Smoke: the full Fig. 9 grid completes at miniature scale.
+    let scale = ExperimentScale {
+        warmup: 1_000,
+        measured: 60,
+        active_sets: 32,
+        seed: 2,
+    };
+    for b in &ALL_BENCHMARKS {
+        for d in nucanet::config::ALL_DESIGNS {
+            let (m, ipc) = run_cell(d, Scheme::MulticastFastLru, b, scale);
+            assert_eq!(m.accesses(), scale.measured, "{d:?}/{}", b.name);
+            assert!(ipc > 0.0 && ipc <= b.perfect_l2_ipc, "{d:?}/{}", b.name);
+        }
+    }
+}
+
+#[test]
+fn pipelined_router_ablation_hurts() {
+    // The single-cycle router is the point of §3.1.
+    let profile = BenchmarkProfile::by_name("gcc").expect("gcc exists");
+    let scale = test_scale();
+    let run_stages = |stages: u32| {
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.router = nucanet_noc::RouterParams::pipelined(stages);
+        let mut gen = nucanet_workload::TraceGenerator::new(
+            profile,
+            nucanet_workload::SynthConfig {
+                active_sets: scale.active_sets,
+                seed: scale.seed,
+                ..Default::default()
+            },
+        );
+        let trace = gen.generate(scale.warmup, scale.measured);
+        nucanet::CacheSystem::new(&cfg).run(&trace).avg_latency()
+    };
+    let single = run_stages(1);
+    let four = run_stages(4);
+    assert!(
+        four > single * 1.3,
+        "4-stage {four:.1} vs single-cycle {single:.1}"
+    );
+}

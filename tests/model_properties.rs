@@ -1,0 +1,133 @@
+//! Property tests over the timing, area, energy, and cache models:
+//! monotonicity, conservation, and dimensional sanity for arbitrary
+//! parameters — the invariants every calibration must preserve.
+
+use nucanet_cache::{AccessResult, BankSetModel, ReplacementPolicy};
+use nucanet_timing::{BankModel, EnergyModel, LinkAreaModel, RouterAreaModel, Technology, WireModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Larger banks are never faster, never smaller, never cheaper to
+    /// access energetically.
+    #[test]
+    fn bank_model_monotone(a in 1u32..2048, b in 1u32..2048) {
+        let (small, large) = (a.min(b), a.max(b));
+        let (ms, ml) = (BankModel::new(small), BankModel::new(large));
+        prop_assert!(ml.tag_match_ps() >= ms.tag_match_ps());
+        prop_assert!(ml.tag_match_replace_ps() >= ms.tag_match_replace_ps());
+        prop_assert!(ml.area_mm2() >= ms.area_mm2());
+        let e = EnergyModel::default();
+        prop_assert!(e.bank_pj(large) >= e.bank_pj(small));
+    }
+
+    /// Replacement access is never faster than a bare tag match.
+    #[test]
+    fn replace_at_least_tag_match(kb in 1u32..4096) {
+        let m = BankModel::new(kb);
+        prop_assert!(m.tag_match_replace_cycles() >= m.tag_match_cycles());
+    }
+
+    /// Wire delay in cycles is monotone in length and never zero for a
+    /// positive length.
+    #[test]
+    fn wire_cycles_monotone(l1 in 0.01f64..30.0, l2 in 0.01f64..30.0) {
+        let w = WireModel::new(&Technology::hpca07_65nm());
+        let (short, long) = (l1.min(l2), l1.max(l2));
+        prop_assert!(w.cycles_for_mm(long) >= w.cycles_for_mm(short));
+        prop_assert!(w.cycles_for_mm(short) >= 1);
+    }
+
+    /// A faster clock never needs fewer cycles for the same wire.
+    #[test]
+    fn faster_clock_needs_more_cycles(mm in 0.1f64..10.0, ghz in 1.0f64..10.0) {
+        let slow = Technology { clock_ghz: ghz, ..Technology::hpca07_65nm() };
+        let fast = Technology { clock_ghz: ghz * 2.0, ..Technology::hpca07_65nm() };
+        prop_assert!(
+            WireModel::new(&fast).cycles_for_mm(mm) >= WireModel::new(&slow).cycles_for_mm(mm)
+        );
+    }
+
+    /// Router area grows with every port added.
+    #[test]
+    fn router_area_monotone_in_ports(p in 1u32..20) {
+        let m = RouterAreaModel::new(&Technology::hpca07_65nm(), 4, 4);
+        prop_assert!(m.area_mm2(p + 1, p + 1) > m.area_mm2(p, p));
+    }
+
+    /// Link area is additive over segments.
+    #[test]
+    fn link_area_additive(a in 0.0f64..10.0, b in 0.0f64..10.0) {
+        let m = LinkAreaModel::new(&Technology::hpca07_65nm());
+        let whole = m.area_mm2(a + b, true);
+        let parts = m.area_mm2(a, true) + m.area_mm2(b, true);
+        prop_assert!((whole - parts).abs() < 1e-9);
+    }
+
+    /// A bank set never holds duplicate tags, never exceeds its
+    /// associativity, and hits report positions inside the stack.
+    #[test]
+    fn bank_set_invariants(
+        ways in 1usize..20,
+        ops in proptest::collection::vec((0u32..40, proptest::bool::ANY), 1..300),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [ReplacementPolicy::Promotion, ReplacementPolicy::Lru, ReplacementPolicy::FastLru]
+            [policy_idx];
+        let mut m = BankSetModel::new(ways, 1, policy);
+        for (tag, write) in ops {
+            match m.access(0, tag, write) {
+                AccessResult::Hit { position } => prop_assert!(position < ways),
+                AccessResult::Miss { .. } => {}
+            }
+            // Invariants after every step.
+            let mut tags: Vec<u32> = m.stack_of(0).iter().flatten().map(|b| b.tag).collect();
+            prop_assert!(tags.len() <= ways);
+            let n = tags.len();
+            tags.sort_unstable();
+            tags.dedup();
+            prop_assert_eq!(tags.len(), n, "duplicate tag in the stack");
+            // Holes only in the bottom suffix (contiguity invariant the
+            // distributed protocols rely on).
+            let stack = m.stack_of(0);
+            let first_hole = stack.iter().position(Option::is_none).unwrap_or(stack.len());
+            prop_assert!(
+                stack[first_hole..].iter().all(Option::is_none),
+                "hole in the middle of the stack"
+            );
+        }
+    }
+
+    /// A block that was written stays dirty until it is evicted.
+    #[test]
+    fn dirty_bit_is_sticky(reads in 1usize..30) {
+        let mut m = BankSetModel::new(8, 1, ReplacementPolicy::Lru);
+        m.access(0, 99, true); // dirty
+        for t in 0..reads as u32 {
+            m.access(0, t % 7, false);
+        }
+        if let Some(b) = m.stack_of(0).iter().flatten().find(|b| b.tag == 99) {
+            prop_assert!(b.dirty, "dirty bit lost while resident");
+        }
+    }
+
+    /// Promotion and LRU agree on *which* tags are resident after any
+    /// miss-only (no-reuse) sequence — they only ever differ in order
+    /// and in reuse handling.
+    #[test]
+    fn policies_agree_on_cold_sequences(n in 1usize..40) {
+        let mut lru = BankSetModel::new(16, 1, ReplacementPolicy::Lru);
+        let mut promo = BankSetModel::new(16, 1, ReplacementPolicy::Promotion);
+        for t in 0..n as u32 {
+            lru.access(0, t, false);
+            promo.access(0, t, false);
+        }
+        let set = |m: &BankSetModel| {
+            let mut v: Vec<u32> = m.stack_of(0).iter().flatten().map(|b| b.tag).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(set(&lru), set(&promo));
+    }
+}
