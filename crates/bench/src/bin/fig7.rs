@@ -5,15 +5,18 @@
 //! Paper values to compare against: network ≈ 65 % on average,
 //! bank ≈ 25 %, memory ≈ 10 %.
 
-use nucanet::experiments::fig7;
-use nucanet_bench::{pct, rule, scale_from_env};
+use nucanet::experiments::{fig7_cells, fig7_points};
+use nucanet_bench::{pct, rule, runner_from_env, scale_from_env, write_bench_json};
 
 fn main() {
     let scale = scale_from_env();
+    let runner = runner_from_env();
     println!("Figure 7 — latency distribution, Unicast LRU, Design A");
     println!(
-        "(scale: {} measured accesses, {} warm-up)",
-        scale.measured, scale.warmup
+        "(scale: {} measured accesses, {} warm-up, {} workers)",
+        scale.measured,
+        scale.warmup,
+        runner.workers()
     );
     rule(52);
     println!(
@@ -21,7 +24,9 @@ fn main() {
         "benchmark", "bank%", "net%", "mem%"
     );
     rule(52);
-    let rows = fig7(scale);
+    let points = fig7_points(scale);
+    let outcomes = runner.run(&points);
+    let rows = fig7_cells(&outcomes);
     let (mut b, mut n, mut m) = (0.0, 0.0, 0.0);
     for r in &rows {
         println!(
@@ -45,4 +50,8 @@ fn main() {
         pct(m / k)
     );
     println!("\npaper:      bank ~25%   network ~65%   memory ~10%");
+    match write_bench_json("fig7", &runner, &points, &outcomes) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_fig7.json: {e}"),
+    }
 }

@@ -8,19 +8,24 @@
 //! * Multicast Fast-LRU ≈ −46 % vs Unicast LRU, ≈ −27 % vs Unicast
 //!   Fast-LRU, ≈ −37 % vs Multicast Promotion (⇒ ≈ +20 % IPC).
 
-use nucanet::experiments::{fig8, geomean};
+use nucanet::experiments::{fig8_cells, fig8_points, geomean};
 use nucanet::Scheme;
-use nucanet_bench::{rule, scale_from_env};
+use nucanet_bench::{rule, runner_from_env, scale_from_env, write_bench_json};
 use nucanet_workload::ALL_BENCHMARKS;
 
 fn main() {
     let scale = scale_from_env();
+    let runner = runner_from_env();
     println!("Figure 8 — L2 access latency by scheme, Design A network");
     println!(
-        "(scale: {} measured accesses, {} warm-up)\n",
-        scale.measured, scale.warmup
+        "(scale: {} measured accesses, {} warm-up, {} workers)\n",
+        scale.measured,
+        scale.warmup,
+        runner.workers()
     );
-    let cells = fig8(scale);
+    let points = fig8_points(scale);
+    let outcomes = runner.run(&points);
+    let cells = fig8_cells(&outcomes);
 
     for (title, f) in [
         ("(a) average access latency [cycles]", 0usize),
@@ -106,4 +111,8 @@ fn main() {
         "  IPC, multicast fastLRU vs multicast promotion: {:+.1}%  (paper: +20%)",
         100.0 * (ipc_gain - 1.0)
     );
+    match write_bench_json("fig8", &runner, &points, &outcomes) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_fig8.json: {e}"),
+    }
 }

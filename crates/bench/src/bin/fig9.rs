@@ -6,19 +6,24 @@
 //! Promotion — the headline claim).
 
 use nucanet::config::ALL_DESIGNS;
-use nucanet::experiments::{fig9, geomean, normalize_fig9, run_cell, ExperimentScale};
+use nucanet::experiments::{cell_point, fig9_cells, fig9_points, geomean, normalize_fig9};
 use nucanet::{Design, Scheme};
-use nucanet_bench::{rule, scale_from_env};
-use nucanet_workload::{BenchmarkProfile, ALL_BENCHMARKS};
+use nucanet_bench::{rule, runner_from_env, scale_from_env, write_bench_json};
+use nucanet_workload::ALL_BENCHMARKS;
 
 fn main() {
     let scale = scale_from_env();
+    let runner = runner_from_env();
     println!("Figure 9 — normalized IPC by network design (Multicast Fast-LRU)");
     println!(
-        "(scale: {} measured accesses, {} warm-up)\n",
-        scale.measured, scale.warmup
+        "(scale: {} measured accesses, {} warm-up, {} workers)\n",
+        scale.measured,
+        scale.warmup,
+        runner.workers()
     );
-    let cells = fig9(scale);
+    let points = fig9_points(scale);
+    let outcomes = runner.run(&points);
+    let cells = fig9_cells(&outcomes);
     let normalized = normalize_fig9(&cells);
 
     rule(70);
@@ -54,14 +59,26 @@ fn main() {
     println!("\npaper:  A=1.00  B~1.00  C~0.86  D~0.88  E~1.12  F~1.13");
 
     // Headline: halo + Multicast Fast-LRU vs mesh + Multicast Promotion.
-    let headline = geomean(ALL_BENCHMARKS.iter().map(|b: &BenchmarkProfile| {
-        let (_, best) = run_cell(Design::F, Scheme::MulticastFastLru, b, scale);
-        let (_, base) = run_cell(Design::A, Scheme::MulticastPromotion, b, scale);
-        best / base
+    // The F / Multicast Fast-LRU side is already in `cells`; only the
+    // Design A Multicast Promotion baselines need extra runs.
+    let base_points: Vec<_> = ALL_BENCHMARKS
+        .iter()
+        .map(|b| cell_point(Design::A, Scheme::MulticastPromotion, b, scale))
+        .collect();
+    let base_outcomes = runner.run(&base_points);
+    let headline = geomean(ALL_BENCHMARKS.iter().zip(&base_outcomes).map(|(b, base)| {
+        let best = cells
+            .iter()
+            .find(|c| c.benchmark == b.name && c.design == Design::F)
+            .expect("Design F cell computed");
+        best.ipc / base.ipc
     }));
     println!(
         "\nheadline: Design F multicast fastLRU vs Design A multicast promotion: {:.2}x (paper: 1.38x)",
         headline
     );
-    let _ = ExperimentScale::default();
+    match write_bench_json("fig9", &runner, &points, &outcomes) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_fig9.json: {e}"),
+    }
 }

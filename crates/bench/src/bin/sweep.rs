@@ -7,83 +7,70 @@
 //! length: 4 MB (4 banks/set) → 32 MB (32 banks/set), comparing the
 //! 16×N mesh against the N-long halo under Multicast Fast-LRU.
 //!
+//! Points run in parallel on the [`nucanet::sweep`] engine
+//! (`NUCANET_WORKERS` selects the worker count; results are
+//! bit-identical for any value) and the machine-readable summary lands
+//! in `BENCH_sweep.json`.
+//!
 //! ```text
 //! cargo run --release -p nucanet-bench --bin sweep
 //! ```
 
-use nucanet::config::TopologyChoice;
-use nucanet::{CacheSystem, Design, Scheme, SystemConfig};
-use nucanet_bench::scale_from_env;
-use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, TraceGenerator};
+use std::time::Instant;
 
-fn config(topology: TopologyChoice, banks_per_set: usize) -> SystemConfig {
-    let mut cfg = Design::A.config(Scheme::MulticastFastLru);
-    cfg.topology = topology;
-    cfg.bank_kb = vec![64; banks_per_set];
-    cfg.bank_ways = vec![1; banks_per_set];
-    cfg.core_ports = if topology == TopologyChoice::Halo {
-        4
-    } else {
-        1
-    };
-    cfg.mem_extra_wire = if topology == TopologyChoice::Halo {
-        // The controller sits mid-die; the off-chip wire grows with the
-        // spike run (Design E uses 16 cycles at 16 banks).
-        banks_per_set as u32
-    } else {
-        0
-    };
-    cfg.name = format!(
-        "{} ({} MB)",
-        match topology {
-            TopologyChoice::Mesh => "16xN mesh",
-            TopologyChoice::SimplifiedMesh => "16xN simplified mesh",
-            TopologyChoice::Halo => "N-spike halo",
-        },
-        banks_per_set * 16 * 64 / 1024
-    );
-    cfg
-}
+use nucanet::sweep::capacity_points;
+use nucanet_bench::{runner_from_env, scale_from_env, write_bench_json};
+use nucanet_workload::BenchmarkProfile;
 
 fn main() {
     let scale = scale_from_env();
+    let runner = runner_from_env();
     let bench =
         BenchmarkProfile::by_name(&std::env::args().nth(1).unwrap_or_else(|| "twolf".into()))
             .expect("benchmark exists");
     println!(
-        "capacity sweep, {} ({} measured accesses, {} warm-up)\n",
-        bench.name, scale.measured, scale.warmup
+        "capacity sweep, {} ({} measured accesses, {} warm-up, {} workers)\n",
+        bench.name,
+        scale.measured,
+        scale.warmup,
+        runner.workers()
     );
+
+    let points = capacity_points(bench, scale);
+    let start = Instant::now();
+    let outcomes = runner.run(&points);
+    let wall = start.elapsed();
+
     println!(
         "{:>6} {:>7} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "MB", "banks", "mesh avg", "halo avg", "mesh IPC", "halo IPC", "halo/mesh"
     );
     println!("{}", "-".repeat(78));
-    for banks_per_set in [4usize, 8, 16, 32] {
+    // capacity_points interleaves (mesh, halo) per banks_per_set step.
+    for (i, banks_per_set) in [4usize, 8, 16, 32].into_iter().enumerate() {
         let mb = banks_per_set * 16 * 64 / 1024;
-        let run = |cfg: &SystemConfig| {
-            let mut gen = TraceGenerator::new(
-                bench,
-                SynthConfig {
-                    active_sets: scale.active_sets,
-                    seed: scale.seed,
-                    ..Default::default()
-                },
-            );
-            let trace = gen.generate(scale.warmup, scale.measured);
-            let mut sys = CacheSystem::new(cfg);
-            let m = sys.run(&trace);
-            let ipc = m.ipc(&CoreModel::for_profile(&bench));
-            (m.avg_latency(), ipc)
-        };
-        let (mesh_avg, mesh_ipc) = run(&config(TopologyChoice::Mesh, banks_per_set));
-        let (halo_avg, halo_ipc) = run(&config(TopologyChoice::Halo, banks_per_set));
+        let mesh = &outcomes[2 * i];
+        let halo = &outcomes[2 * i + 1];
         println!(
-            "{mb:>6} {banks_per_set:>7} {mesh_avg:>12.1} {halo_avg:>12.1} {mesh_ipc:>12.3} {halo_ipc:>12.3} {:>9.3}",
-            halo_ipc / mesh_ipc
+            "{mb:>6} {banks_per_set:>7} {:>12.1} {:>12.1} {:>12.3} {:>12.3} {:>9.3}",
+            mesh.metrics.avg_latency(),
+            halo.metrics.avg_latency(),
+            mesh.ipc,
+            halo.ipc,
+            halo.ipc / mesh.ipc
         );
     }
     println!("\nexpected shape: the halo's relative IPC advantage grows with the");
     println!("column length — longer mesh columns mean longer walks, while every");
     println!("halo MRU bank stays one hop from the hub.");
+
+    match write_bench_json("sweep", &runner, &points, &outcomes) {
+        Ok(path) => println!(
+            "\nwrote {} ({} points, wall {:.1}s)",
+            path.display(),
+            outcomes.len(),
+            wall.as_secs_f64()
+        ),
+        Err(e) => eprintln!("\nfailed to write BENCH_sweep.json: {e}"),
+    }
 }

@@ -16,7 +16,7 @@
 use nucanet::area::{table4, unused_area_mm2};
 use nucanet::config::ALL_DESIGNS;
 use nucanet::Scheme;
-use nucanet_bench::{pct, rule};
+use nucanet_bench::{pct, rule, runner_from_env};
 use nucanet_cache::AddressMap;
 use nucanet_noc::{LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_timing::{BankModel, Technology, WireModel};
@@ -200,19 +200,30 @@ fn census() {
     );
 
     // Replication-blocking rarity: quote §3.1 "blocking rarely happens".
+    // One sweep point per benchmark, fanned out over the parallel engine.
     let scale = nucanet::experiments::ExperimentScale::tiny();
-    let profile = nucanet_workload::BenchmarkProfile::by_name("gcc").expect("gcc exists");
-    let (m, _) = nucanet::experiments::run_cell(
-        nucanet::Design::A,
-        Scheme::MulticastFastLru,
-        &profile,
-        scale,
-    );
-    println!(
-        "multicast replication: {} replicas, {} blocked cycles over {} cycles (rarely blocks: {})",
-        m.net.replications,
-        m.net.replication_blocked_cycles,
-        m.cycles,
-        m.net.replication_blocked_cycles * 100 / m.cycles.max(1) < 5
-    );
+    let runner = runner_from_env();
+    let points: Vec<_> = ["gcc", "twolf", "vpr", "mcf"]
+        .iter()
+        .map(|name| {
+            let profile = nucanet_workload::BenchmarkProfile::by_name(name).expect("benchmark");
+            nucanet::experiments::cell_point(
+                nucanet::Design::A,
+                Scheme::MulticastFastLru,
+                &profile,
+                scale,
+            )
+        })
+        .collect();
+    for o in runner.run(&points) {
+        let m = &o.metrics;
+        println!(
+            "multicast replication [{}]: {} replicas, {} blocked cycles over {} cycles (rarely blocks: {})",
+            o.label,
+            m.net.replications,
+            m.net.replication_blocked_cycles,
+            m.cycles,
+            m.net.replication_blocked_cycles * 100 / m.cycles.max(1) < 5
+        );
+    }
 }

@@ -8,8 +8,15 @@
 //! * `NUCANET_WARMUP` — functional warm-up accesses (default 20000).
 //! * `NUCANET_SETS` — active cache sets in the workload (default 256).
 //! * `NUCANET_SEED` — workload seed (default 0xCAFE).
+//! * `NUCANET_WORKERS` — sweep worker threads (default: all cores).
+//!   Results are bit-identical for any value; see [`nucanet::sweep`].
+//! * `NUCANET_BENCH_DIR` — where `BENCH_*.json` files land (default:
+//!   the current directory).
+
+use std::path::PathBuf;
 
 use nucanet::experiments::ExperimentScale;
+use nucanet::sweep::{render_json, SweepOutcome, SweepPoint, SweepRunner};
 
 /// Reads the experiment scale from the environment (see crate docs).
 pub fn scale_from_env() -> ExperimentScale {
@@ -25,6 +32,35 @@ pub fn scale_from_env() -> ExperimentScale {
         active_sets: get("NUCANET_SETS", 256) as u32,
         seed: get("NUCANET_SEED", 0xCAFE),
     }
+}
+
+/// Builds the sweep runner from the environment: `NUCANET_WORKERS`
+/// worker threads, or every available core when unset (see crate docs).
+pub fn runner_from_env() -> SweepRunner {
+    match std::env::var("NUCANET_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => SweepRunner::with_workers(n),
+        None => SweepRunner::new(),
+    }
+}
+
+/// Writes `BENCH_<name>.json` (schema `nucanet/sweep-v1`) into
+/// `NUCANET_BENCH_DIR` (default: current directory) and returns the
+/// path written.
+pub fn write_bench_json(
+    name: &str,
+    runner: &SweepRunner,
+    points: &[SweepPoint],
+    outcomes: &[SweepOutcome],
+) -> std::io::Result<PathBuf> {
+    let dir = std::env::var("NUCANET_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, render_json(name, runner.workers(), points, outcomes))?;
+    Ok(path)
 }
 
 /// Formats a percentage with one decimal.

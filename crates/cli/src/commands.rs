@@ -6,6 +6,7 @@ use nucanet::config::ALL_DESIGNS;
 use nucanet::energy::energy_of_run;
 use nucanet::experiments::{run_cell, ExperimentScale};
 use nucanet::scheme::ALL_SCHEMES;
+use nucanet::sweep::{capacity_points, render_json, SweepRunner};
 use nucanet::{CacheSystem, Scheme};
 use nucanet_noc::{LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
@@ -27,13 +28,14 @@ pub fn run_command(args: &Args) -> Result<String, ParseError> {
         "area" => Ok(cmd_area()),
         "energy" => cmd_energy(args),
         "census" => Ok(cmd_census()),
+        "sweep" => cmd_sweep(args),
         "trace" => cmd_trace(args),
         "replay" => cmd_replay(args),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(ParseError::BadValue {
             key: "command".into(),
             value: other.into(),
-            expected: "run|compare|designs|area|energy|census|trace|replay|help",
+            expected: "run|compare|designs|area|energy|census|sweep|trace|replay|help",
         }),
     }
 }
@@ -51,6 +53,7 @@ pub fn help_text() -> String {
      \x20 area     Table 4 area analysis for every design\n\
      \x20 energy   per-access dynamic energy split (§7 extension)\n\
      \x20 census   link-utilisation analysis of the 16x16 mesh\n\
+     \x20 sweep    parallel mesh-vs-halo capacity sweep (4..32 MB)\n\
      \x20 trace    print a synthetic L2 trace (addr,write per line)\n\
      \x20 replay   run a trace file through a design (--file PATH)\n\
      \n\
@@ -62,6 +65,8 @@ pub fn help_text() -> String {
      \x20 --warmup N           warm-up accesses (default 20000)\n\
      \x20 --cores K            cores sharing the cache (run only, default 1)\n\
      \x20 --seed N             workload seed\n\
+     \x20 --workers N          sweep worker threads (default: all cores)\n\
+     \x20 --json PATH          sweep only: also write machine-readable JSON\n\
      \x20 --csv 1              emit CSV instead of aligned text\n"
         .into()
 }
@@ -246,6 +251,50 @@ fn cmd_census() -> String {
     )
 }
 
+fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
+    let bench = args.benchmark()?;
+    let scale = scale_of(args)?;
+    let workers = args.get_usize("workers", 0)?;
+    let runner = if workers == 0 {
+        SweepRunner::new()
+    } else {
+        SweepRunner::with_workers(workers)
+    };
+    let points = capacity_points(bench, scale);
+    let outcomes = runner.run(&points);
+    let mut t = Table::new(vec![
+        "point", "avg", "p50", "p95", "p99", "hitrate", "ipc",
+    ]);
+    for o in &outcomes {
+        let p = |q: f64| {
+            o.metrics
+                .latency_percentile(q)
+                .map_or_else(|| "-".into(), |v| v.to_string())
+        };
+        t.push(vec![
+            o.label.clone(),
+            format!("{:.1}", o.metrics.avg_latency()),
+            p(0.50),
+            p(0.95),
+            p(0.99),
+            format!("{:.3}", o.metrics.hit_rate()),
+            format!("{:.3}", o.ipc),
+        ]);
+    }
+    let mut out = render(args, t);
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, render_json("sweep", runner.workers(), &points, &outcomes)).map_err(
+            |e| ParseError::BadValue {
+                key: "json".into(),
+                value: format!("{path}: {e}"),
+                expected: "a writable path",
+            },
+        )?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
 fn cmd_trace(args: &Args) -> Result<String, ParseError> {
     let bench = args.benchmark()?;
     let n = args.get_usize("accesses", 1_000)?;
@@ -381,6 +430,30 @@ mod tests {
     fn census_mentions_the_claim() {
         let out = cmd_census();
         assert!(out.contains("never used"), "{out}");
+    }
+
+    #[test]
+    fn sweep_lists_all_capacities() {
+        let out = run("sweep --bench twolf --accesses 60 --warmup 1000 --sets 32 --workers 2");
+        for mb in ["4 MB", "8 MB", "16 MB", "32 MB"] {
+            assert!(out.contains(mb), "{out}");
+        }
+        assert!(out.contains("mesh"), "{out}");
+        assert!(out.contains("halo"), "{out}");
+    }
+
+    #[test]
+    fn sweep_writes_json() {
+        let path = std::env::temp_dir().join("nucanet_cli_sweep_test.json");
+        let out = run(&format!(
+            "sweep --bench art --accesses 40 --warmup 800 --sets 32 --workers 2 --json {}",
+            path.display()
+        ));
+        assert!(out.contains("wrote"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"nucanet/sweep-v1\""), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -12,6 +12,7 @@ use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, TraceGenerator,
 use crate::config::{Design, ALL_DESIGNS};
 use crate::metrics::Metrics;
 use crate::scheme::{Scheme, ALL_SCHEMES};
+use crate::sweep::{SweepOutcome, SweepPoint, SweepRunner};
 use crate::system::CacheSystem;
 
 /// How large a simulation to run.
@@ -74,6 +75,23 @@ pub fn run_cell(
     (metrics, ipc)
 }
 
+/// Builds the [`SweepPoint`] for one (design, scheme, benchmark) cell.
+/// Every figure runner below is a fan-out of these, so the serial and
+/// parallel paths simulate byte-identical configurations.
+pub fn cell_point(
+    design: Design,
+    scheme: Scheme,
+    profile: &BenchmarkProfile,
+    scale: ExperimentScale,
+) -> SweepPoint {
+    SweepPoint {
+        label: format!("{design:?}/{scheme}/{}", profile.name),
+        config: design.config(scheme),
+        profile: *profile,
+        scale,
+    }
+}
+
 /// One bar of Fig. 7: the latency split under Unicast LRU on Design A.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig7Row {
@@ -89,11 +107,30 @@ pub struct Fig7Row {
 
 /// Regenerates Fig. 7 (latency distribution, Unicast LRU, Design A).
 pub fn fig7(scale: ExperimentScale) -> Vec<Fig7Row> {
+    fig7_parallel(scale, &SweepRunner::with_workers(1))
+}
+
+/// [`fig7`] fanned out over `runner`'s workers. Identical output for
+/// any worker count (see the [`crate::sweep`] determinism contract).
+pub fn fig7_parallel(scale: ExperimentScale, runner: &SweepRunner) -> Vec<Fig7Row> {
+    fig7_cells(&runner.run(&fig7_points(scale)))
+}
+
+/// The sweep points behind Fig. 7, in [`fig7_cells`] order.
+pub fn fig7_points(scale: ExperimentScale) -> Vec<SweepPoint> {
     ALL_BENCHMARKS
         .iter()
-        .map(|b| {
-            let (m, _) = run_cell(Design::A, Scheme::UnicastLru, b, scale);
-            let (bank, network, memory) = m.latency_breakdown();
+        .map(|b| cell_point(Design::A, Scheme::UnicastLru, b, scale))
+        .collect()
+}
+
+/// Maps [`fig7_points`] outcomes back to figure rows.
+pub fn fig7_cells(outcomes: &[SweepOutcome]) -> Vec<Fig7Row> {
+    ALL_BENCHMARKS
+        .iter()
+        .zip(outcomes)
+        .map(|(b, o)| {
+            let (bank, network, memory) = o.metrics.latency_breakdown();
             Fig7Row {
                 benchmark: b.name,
                 bank,
@@ -125,22 +162,46 @@ pub struct Fig8Cell {
 
 /// Regenerates Fig. 8 (all five schemes on the Design A network).
 pub fn fig8(scale: ExperimentScale) -> Vec<Fig8Cell> {
-    let mut out = Vec::new();
+    fig8_parallel(scale, &SweepRunner::with_workers(1))
+}
+
+/// [`fig8`] fanned out over `runner`'s workers. Identical output for
+/// any worker count (see the [`crate::sweep`] determinism contract).
+pub fn fig8_parallel(scale: ExperimentScale, runner: &SweepRunner) -> Vec<Fig8Cell> {
+    fig8_cells(&runner.run(&fig8_points(scale)))
+}
+
+/// The sweep points behind Fig. 8, in [`fig8_cells`] order
+/// (benchmark-major, scheme-minor).
+pub fn fig8_points(scale: ExperimentScale) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
     for b in &ALL_BENCHMARKS {
         for scheme in ALL_SCHEMES {
-            let (m, ipc) = run_cell(Design::A, scheme, b, scale);
-            out.push(Fig8Cell {
-                benchmark: b.name,
+            points.push(cell_point(Design::A, scheme, b, scale));
+        }
+    }
+    points
+}
+
+/// Maps [`fig8_points`] outcomes back to figure cells.
+pub fn fig8_cells(outcomes: &[SweepOutcome]) -> Vec<Fig8Cell> {
+    let keys = ALL_BENCHMARKS
+        .iter()
+        .flat_map(|b| ALL_SCHEMES.into_iter().map(move |s| (b.name, s)));
+    keys.zip(outcomes)
+        .map(|((benchmark, scheme), o)| {
+            let m: &Metrics = &o.metrics;
+            Fig8Cell {
+                benchmark,
                 scheme,
                 avg_latency: m.avg_latency(),
                 hit_latency: m.avg_hit_latency(),
                 miss_latency: m.avg_miss_latency(),
                 hit_rate: m.hit_rate(),
-                ipc,
-            });
-        }
-    }
-    out
+                ipc: o.ipc,
+            }
+        })
+        .collect()
 }
 
 /// One bar of Fig. 9: a design's IPC for one benchmark.
@@ -158,19 +219,40 @@ pub struct Fig9Cell {
 
 /// Regenerates Fig. 9 (Designs A–F under Multicast Fast-LRU).
 pub fn fig9(scale: ExperimentScale) -> Vec<Fig9Cell> {
-    let mut out = Vec::new();
+    fig9_parallel(scale, &SweepRunner::with_workers(1))
+}
+
+/// [`fig9`] fanned out over `runner`'s workers. Identical output for
+/// any worker count (see the [`crate::sweep`] determinism contract).
+pub fn fig9_parallel(scale: ExperimentScale, runner: &SweepRunner) -> Vec<Fig9Cell> {
+    fig9_cells(&runner.run(&fig9_points(scale)))
+}
+
+/// The sweep points behind Fig. 9, in [`fig9_cells`] order
+/// (benchmark-major, design-minor).
+pub fn fig9_points(scale: ExperimentScale) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
     for b in &ALL_BENCHMARKS {
         for design in ALL_DESIGNS {
-            let (m, ipc) = run_cell(design, Scheme::MulticastFastLru, b, scale);
-            out.push(Fig9Cell {
-                benchmark: b.name,
-                design,
-                ipc,
-                avg_latency: m.avg_latency(),
-            });
+            points.push(cell_point(design, Scheme::MulticastFastLru, b, scale));
         }
     }
-    out
+    points
+}
+
+/// Maps [`fig9_points`] outcomes back to figure cells.
+pub fn fig9_cells(outcomes: &[SweepOutcome]) -> Vec<Fig9Cell> {
+    let keys = ALL_BENCHMARKS
+        .iter()
+        .flat_map(|b| ALL_DESIGNS.into_iter().map(move |d| (b.name, d)));
+    keys.zip(outcomes)
+        .map(|((benchmark, design), o)| Fig9Cell {
+            benchmark,
+            design,
+            ipc: o.ipc,
+            avg_latency: o.metrics.avg_latency(),
+        })
+        .collect()
 }
 
 /// Normalises Fig. 9 cells to Design A per benchmark (the paper's y-axis).

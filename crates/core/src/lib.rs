@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `nucanet` — a networked NUCA L2 cache system co-designed with its
 //! on-chip network, reproducing *"A Domain-Specific On-Chip Network
 //! Design for Large Scale Cache Systems"* (HPCA 2007).
@@ -23,6 +24,9 @@
 //!   power-gating estimate (the paper's §7 future work).
 //! * [`experiments`] — canned runners regenerating each table and
 //!   figure of the paper's evaluation.
+//! * [`sweep`] — the parallel experiment engine: fans independent
+//!   sweep points over scoped worker threads with bit-identical results
+//!   for any worker count, and renders `BENCH_*.json` summaries.
 //!
 //! # Quickstart
 //!
@@ -49,6 +53,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod msg;
 pub mod scheme;
+pub mod sweep;
 pub mod system;
 
 pub use area::{AreaBreakdown, DesignArea};
@@ -57,4 +62,5 @@ pub use energy::EnergyReport;
 pub use metrics::{AccessRecord, Metrics};
 pub use msg::CacheMsg;
 pub use scheme::Scheme;
+pub use sweep::{SweepOutcome, SweepPoint, SweepRunner};
 pub use system::CacheSystem;

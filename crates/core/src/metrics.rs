@@ -1,4 +1,21 @@
 //! Measurement results of a full-system run.
+//!
+//! Two capture modes are supported (see [`MetricsCapture`]):
+//!
+//! * **Full** keeps every [`AccessRecord`] in completion order, which the
+//!   protocol-equivalence tests need but costs memory linear in the
+//!   trace length.
+//! * **Streaming** keeps only constant-size aggregates — exact-recovery
+//!   latency histograms, running sums, and the per-position hit counts —
+//!   so arbitrarily long traces run in bounded memory.
+//!
+//! Every derived statistic ([`Metrics::avg_latency`],
+//! [`Metrics::latency_breakdown`], percentiles, …) is computed from the
+//! streaming aggregates, which are maintained in *both* modes, so the
+//! two modes produce bit-identical summary numbers for the same run.
+//! Partial results from parallel workers combine with [`Metrics::merge`].
+
+use std::collections::BTreeMap;
 
 use nucanet_noc::NetStats;
 use nucanet_workload::CoreModel;
@@ -22,10 +39,150 @@ pub struct AccessRecord {
     pub mem_cycles: u64,
 }
 
+/// Whether a run keeps every access record or only streaming aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsCapture {
+    /// Keep every [`AccessRecord`] (memory grows with trace length).
+    /// The default, and what the protocol-equivalence tests rely on.
+    #[default]
+    Full,
+    /// Keep only constant-size aggregates; [`Metrics::records`] stays
+    /// empty. Use for long traces and parallel sweeps.
+    Streaming,
+}
+
+/// Number of width-1 buckets [`LatencyHistogram`] keeps before falling
+/// back to the exact overflow map.
+pub const FINE_LATENCY_BUCKETS: usize = 4096;
+
+/// A latency histogram with *exact* percentile recovery.
+///
+/// Latencies below [`FINE_LATENCY_BUCKETS`] are counted in width-1
+/// buckets; rarer, larger values are counted exactly in a sorted
+/// overflow map. Memory is therefore bounded by the number of *distinct*
+/// latency values (≤ 4096 + distinct outliers), never by the number of
+/// recorded samples, and [`LatencyHistogram::percentile`] returns the
+/// same value a sort of all raw samples would.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyHistogram {
+    /// Width-1 buckets for values `0..FINE_LATENCY_BUCKETS`, grown on
+    /// demand and kept trimmed (the last element is always non-zero).
+    fine: Vec<u64>,
+    /// Exact counts for values `>= FINE_LATENCY_BUCKETS`.
+    overflow: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        if (value as usize) < FINE_LATENCY_BUCKETS {
+            let i = value as usize;
+            if self.fine.len() <= i {
+                self.fine.resize(i + 1, 0);
+            }
+            self.fine[i] += 1;
+        } else {
+            *self.overflow.entry(value).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of distinct values stored outside the fine bucket range —
+    /// the only part of the histogram whose footprint can grow, bounded
+    /// by distinct values ≥ [`FINE_LATENCY_BUCKETS`], never by sample
+    /// count.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The exact `q`-quantile (0 ≤ `q` ≤ 1) of the recorded samples: the
+    /// smallest recorded value `v` such that at least `ceil(q · count)`
+    /// samples are ≤ `v`. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (v, &c) in self.fine.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(v as u64);
+            }
+        }
+        for (&v, &c) in &self.overflow {
+            acc += c;
+            if acc >= target {
+                return Some(v);
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds `other`'s samples into `self`. Equivalent to having
+    /// recorded both sample streams into one histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if self.fine.len() < other.fine.len() {
+            self.fine.resize(other.fine.len(), 0);
+        }
+        for (i, &c) in other.fine.iter().enumerate() {
+            self.fine[i] += c;
+        }
+        for (&v, &c) in &other.overflow {
+            *self.overflow.entry(v).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
 /// Aggregated results of one simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Metrics {
-    /// Every measured access, in completion order.
+    /// Capture mode this measurement was taken under.
+    pub capture: MetricsCapture,
+    /// Every measured access in completion order — populated only under
+    /// [`MetricsCapture::Full`].
     pub records: Vec<AccessRecord>,
     /// Network statistics snapshot at the end of the run.
     pub net: NetStats,
@@ -34,96 +191,150 @@ pub struct Metrics {
     /// Bank positions per set (for the hit histogram).
     pub positions: usize,
     /// Bank array accesses, grouped by bank capacity in KB (for energy
-    /// accounting).
+    /// accounting), sorted by capacity.
     pub bank_ops_by_kb: Vec<(u32, u64)>,
     /// Off-chip block transfers (fetches + writebacks).
     pub mem_ops: u64,
+
+    // Streaming aggregates, maintained in both capture modes.
+    latency: LatencyHistogram,
+    hit_latency: LatencyHistogram,
+    miss_latency: LatencyHistogram,
+    writes: u64,
+    data_latency_sum: u64,
+    bank_path_sum: u64,
+    mem_cycles_sum: u64,
+    hits_by_position: Vec<u64>,
 }
 
 impl Metrics {
+    /// An empty measurement in `capture` mode for a system with
+    /// `positions` bank positions per set.
+    pub fn new(capture: MetricsCapture, positions: usize) -> Self {
+        Metrics {
+            capture,
+            positions,
+            hits_by_position: vec![0; positions.max(1)],
+            ..Default::default()
+        }
+    }
+
+    /// Folds one completed access into the aggregates (and, under
+    /// [`MetricsCapture::Full`], the record list).
+    pub fn record(&mut self, r: AccessRecord) {
+        self.latency.record(r.latency);
+        match r.hit_position {
+            Some(p) => {
+                self.hit_latency.record(r.latency);
+                if self.hits_by_position.len() <= p as usize {
+                    self.hits_by_position.resize(p as usize + 1, 0);
+                }
+                self.hits_by_position[p as usize] += 1;
+            }
+            None => self.miss_latency.record(r.latency),
+        }
+        if r.write {
+            self.writes += 1;
+        }
+        self.data_latency_sum += r.data_latency;
+        self.bank_path_sum += r.bank_cycles.min(r.latency);
+        self.mem_cycles_sum += r.mem_cycles;
+        if self.capture == MetricsCapture::Full {
+            self.records.push(r);
+        }
+    }
+
     /// Number of measured accesses.
     pub fn accesses(&self) -> usize {
-        self.records.len()
+        self.latency.count() as usize
+    }
+
+    /// Number of measured writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
     }
 
     /// Cache hit rate over the measured window.
     pub fn hit_rate(&self) -> f64 {
-        if self.records.is_empty() {
+        if self.latency.count() == 0 {
             return 0.0;
         }
-        let hits = self
-            .records
-            .iter()
-            .filter(|r| r.hit_position.is_some())
-            .count();
-        hits as f64 / self.records.len() as f64
+        self.hit_latency.count() as f64 / self.latency.count() as f64
     }
 
     /// Average access latency (Fig. 8a).
     pub fn avg_latency(&self) -> f64 {
-        avg(self.records.iter().map(|r| r.latency))
+        self.latency.mean()
     }
 
     /// Average data-arrival latency (request → block at the core).
     pub fn avg_data_latency(&self) -> f64 {
-        avg(self.records.iter().map(|r| r.data_latency))
+        if self.latency.count() == 0 {
+            0.0
+        } else {
+            self.data_latency_sum as f64 / self.latency.count() as f64
+        }
     }
 
     /// Average latency of hits only (Fig. 8b).
     pub fn avg_hit_latency(&self) -> f64 {
-        avg(self
-            .records
-            .iter()
-            .filter(|r| r.hit_position.is_some())
-            .map(|r| r.latency))
+        self.hit_latency.mean()
     }
 
     /// Average latency of misses only (Fig. 8c).
     pub fn avg_miss_latency(&self) -> f64 {
-        avg(self
-            .records
-            .iter()
-            .filter(|r| r.hit_position.is_none())
-            .map(|r| r.latency))
+        self.miss_latency.mean()
+    }
+
+    /// The full-operation latency histogram (exact percentiles).
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// The hit-only latency histogram.
+    pub fn hit_latency_histogram(&self) -> &LatencyHistogram {
+        &self.hit_latency
+    }
+
+    /// The miss-only latency histogram.
+    pub fn miss_latency_histogram(&self) -> &LatencyHistogram {
+        &self.miss_latency
+    }
+
+    /// Exact `q`-quantile of the access latency, or `None` when nothing
+    /// was measured. See [`LatencyHistogram::percentile`].
+    pub fn latency_percentile(&self, q: f64) -> Option<u64> {
+        self.latency.percentile(q)
     }
 
     /// Fig. 7's decomposition of the total latency into (bank, network,
     /// memory) fractions, each in [0, 1].
     pub fn latency_breakdown(&self) -> (f64, f64, f64) {
-        let total: u64 = self.records.iter().map(|r| r.latency).sum();
+        let total = self.latency.sum();
         if total == 0 {
             return (0.0, 0.0, 0.0);
         }
-        let bank: u64 = self
-            .records
-            .iter()
-            .map(|r| r.bank_cycles.min(r.latency))
-            .sum();
-        let mem: u64 = self.records.iter().map(|r| r.mem_cycles).sum();
-        let bank_f = bank as f64 / total as f64;
-        let mem_f = mem as f64 / total as f64;
+        let bank_f = self.bank_path_sum as f64 / total as f64;
+        let mem_f = self.mem_cycles_sum as f64 / total as f64;
         (bank_f, (1.0 - bank_f - mem_f).max(0.0), mem_f)
     }
 
     /// Hits per bank position (0 = MRU bank).
     pub fn hits_by_position(&self) -> Vec<u64> {
-        let mut h = vec![0u64; self.positions.max(1)];
-        for r in &self.records {
-            if let Some(p) = r.hit_position {
-                h[p as usize] += 1;
-            }
+        let mut h = self.hits_by_position.clone();
+        if h.len() < self.positions.max(1) {
+            h.resize(self.positions.max(1), 0);
         }
         h
     }
 
     /// Fraction of hits landing in the MRU bank.
     pub fn mru_concentration(&self) -> f64 {
-        let h = self.hits_by_position();
-        let total: u64 = h.iter().sum();
+        let total = self.hit_latency.count();
         if total == 0 {
             0.0
         } else {
-            h[0] as f64 / total as f64
+            self.hits_by_position.first().copied().unwrap_or(0) as f64 / total as f64
         }
     }
 
@@ -131,19 +342,56 @@ impl Metrics {
     pub fn ipc(&self, core: &CoreModel) -> f64 {
         core.ipc(self.avg_latency())
     }
-}
 
-fn avg(iter: impl Iterator<Item = u64>) -> f64 {
-    let mut n = 0u64;
-    let mut s = 0u64;
-    for v in iter {
-        n += 1;
-        s += v;
-    }
-    if n == 0 {
-        0.0
-    } else {
-        s as f64 / n as f64
+    /// Folds `other` into `self`, as if both measurement windows had
+    /// been recorded into one `Metrics`.
+    ///
+    /// Access-level aggregates (histograms, sums, hit counts) and event
+    /// counters (`bank_ops_by_kb`, `mem_ops`, network totals) add;
+    /// `cycles` and network peaks take the maximum, treating the inputs
+    /// as concurrent windows of one system (per-core partials of a CMP
+    /// run, or parallel workers over one partitioned trace).
+    ///
+    /// The aggregate combination is associative and commutative, so
+    /// workers may merge in any order and produce identical summaries;
+    /// under [`MetricsCapture::Full`] the concatenation order of
+    /// `records` follows the merge order. Merging a streaming metrics
+    /// into a full one demotes the result to streaming (the record list
+    /// would otherwise be silently incomplete).
+    pub fn merge(&mut self, other: &Metrics) {
+        match (self.capture, other.capture) {
+            (MetricsCapture::Full, MetricsCapture::Full) => {
+                self.records.extend_from_slice(&other.records);
+            }
+            _ => {
+                self.capture = MetricsCapture::Streaming;
+                self.records.clear();
+            }
+        }
+        self.latency.merge(&other.latency);
+        self.hit_latency.merge(&other.hit_latency);
+        self.miss_latency.merge(&other.miss_latency);
+        self.writes += other.writes;
+        self.data_latency_sum += other.data_latency_sum;
+        self.bank_path_sum += other.bank_path_sum;
+        self.mem_cycles_sum += other.mem_cycles_sum;
+        if self.hits_by_position.len() < other.hits_by_position.len() {
+            self.hits_by_position.resize(other.hits_by_position.len(), 0);
+        }
+        for (i, &c) in other.hits_by_position.iter().enumerate() {
+            self.hits_by_position[i] += c;
+        }
+        self.net.merge(&other.net);
+        self.cycles = self.cycles.max(other.cycles);
+        self.positions = self.positions.max(other.positions);
+        for &(kb, n) in &other.bank_ops_by_kb {
+            match self.bank_ops_by_kb.iter_mut().find(|(k, _)| *k == kb) {
+                Some((_, m)) => *m += n,
+                None => self.bank_ops_by_kb.push((kb, n)),
+            }
+        }
+        self.bank_ops_by_kb.sort_unstable_by_key(|&(kb, _)| kb);
+        self.mem_ops += other.mem_ops;
     }
 }
 
@@ -163,14 +411,12 @@ mod tests {
     }
 
     fn metrics(records: Vec<AccessRecord>) -> Metrics {
-        Metrics {
-            records,
-            net: NetStats::new(0),
-            cycles: 100,
-            positions: 16,
-            bank_ops_by_kb: vec![],
-            mem_ops: 0,
+        let mut m = Metrics::new(MetricsCapture::Full, 16);
+        m.cycles = 100;
+        for r in records {
+            m.record(r);
         }
+        m
     }
 
     #[test]
@@ -215,5 +461,146 @@ mod tests {
         assert_eq!(m.hit_rate(), 0.0);
         assert_eq!(m.latency_breakdown(), (0.0, 0.0, 0.0));
         assert_eq!(m.mru_concentration(), 0.0);
+        assert_eq!(m.latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn streaming_mode_matches_full_mode_summaries() {
+        let records = vec![
+            rec(Some(0), 10, 2, 0),
+            rec(None, 200, 10, 162),
+            rec(Some(3), 30, 8, 0),
+            rec(Some(1), 17, 3, 0),
+            rec(None, 251, 9, 170),
+        ];
+        let mut full = Metrics::new(MetricsCapture::Full, 16);
+        let mut streaming = Metrics::new(MetricsCapture::Streaming, 16);
+        for r in &records {
+            full.record(*r);
+            streaming.record(*r);
+        }
+        assert_eq!(full.records.len(), records.len());
+        assert!(streaming.records.is_empty(), "streaming keeps no records");
+        assert_eq!(full.avg_latency(), streaming.avg_latency());
+        assert_eq!(full.avg_hit_latency(), streaming.avg_hit_latency());
+        assert_eq!(full.avg_miss_latency(), streaming.avg_miss_latency());
+        assert_eq!(full.avg_data_latency(), streaming.avg_data_latency());
+        assert_eq!(full.latency_breakdown(), streaming.latency_breakdown());
+        assert_eq!(full.hits_by_position(), streaming.hits_by_position());
+        assert_eq!(
+            full.latency_percentile(0.95),
+            streaming.latency_percentile(0.95)
+        );
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = LatencyHistogram::new();
+        // Boundary values around the fine/overflow split.
+        for v in [
+            0,
+            1,
+            FINE_LATENCY_BUCKETS as u64 - 1,
+            FINE_LATENCY_BUCKETS as u64,
+            FINE_LATENCY_BUCKETS as u64 + 1,
+            1_000_000,
+        ] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(1.0), Some(1_000_000));
+        // Sorted samples: 0, 1, 4095, 4096, 4097, 1000000. The median
+        // lands on the last fine bucket, q=0.6 on the first overflow
+        // value — the exact boundary between the two representations.
+        assert_eq!(h.percentile(0.5), Some(FINE_LATENCY_BUCKETS as u64 - 1));
+        assert_eq!(h.percentile(0.6), Some(FINE_LATENCY_BUCKETS as u64));
+        assert_eq!(h.percentile(0.75), Some(FINE_LATENCY_BUCKETS as u64 + 1));
+    }
+
+    #[test]
+    fn percentiles_match_exact_order_statistics() {
+        // Deterministic pseudo-random sample set, checked against a sort.
+        let mut values = Vec::new();
+        let mut x: u64 = 0x1234_5678;
+        for _ in 0..5_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mostly small latencies with occasional large outliers,
+            // like a real run.
+            let v = if x % 100 == 0 {
+                5_000 + (x >> 32) % 50_000
+            } else {
+                (x >> 40) % 600
+            };
+            values.push(v);
+        }
+        let mut h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let k = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[k - 1];
+            assert_eq!(h.percentile(q), Some(exact), "q={q}");
+        }
+        assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let parts: Vec<Metrics> = (0..3)
+            .map(|k| {
+                let mut m = Metrics::new(MetricsCapture::Streaming, 16);
+                m.cycles = 100 + k;
+                m.mem_ops = k;
+                m.bank_ops_by_kb = vec![(64, k + 1), (128 + 32 * k as u32, 7)];
+                for i in 0..20u64 {
+                    m.record(rec(
+                        if i % 3 == 0 { None } else { Some((i % 16) as u8) },
+                        10 * k + i,
+                        2,
+                        if i % 3 == 0 { 162 } else { 0 },
+                    ));
+                }
+                m
+            })
+            .collect();
+
+        // Commutativity: a+b == b+a.
+        let mut ab = parts[0].clone();
+        ab.merge(&parts[1]);
+        let mut ba = parts[1].clone();
+        ba.merge(&parts[0]);
+        assert_eq!(ab, ba);
+
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut a_bc = parts[0].clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        // The merged aggregate equals recording all streams into one.
+        assert_eq!(ab_c.accesses(), 60);
+        assert_eq!(ab_c.mem_ops, 3);
+    }
+
+    #[test]
+    fn merging_streaming_into_full_demotes_capture() {
+        let mut full = metrics(vec![rec(Some(0), 10, 2, 0)]);
+        let mut streaming = Metrics::new(MetricsCapture::Streaming, 16);
+        streaming.record(rec(None, 200, 10, 162));
+        full.merge(&streaming);
+        assert_eq!(full.capture, MetricsCapture::Streaming);
+        assert!(full.records.is_empty());
+        assert_eq!(full.accesses(), 2);
+        assert!((full.avg_latency() - 105.0).abs() < 1e-9);
     }
 }

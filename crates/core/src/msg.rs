@@ -23,103 +23,174 @@ pub enum CacheMsg {
     /// names the controller interface all responses return to, so
     /// several cores can share the cache (the paper's §7 CMP direction).
     Request {
+        /// Transaction id (unique per outstanding access).
         txn: u32,
+        /// Set index within the column.
         index: u32,
+        /// Block tag to match.
         tag: u32,
+        /// Store (`true`) or load (`false`).
         write: bool,
+        /// Controller interface the responses return to.
         reply: Endpoint,
     },
     /// Core → bank 0 → bank 1 → … (unicast schemes). Fast-LRU attaches
     /// the previous bank's evicted block (`carry`), making the packet a
     /// block transfer.
     WalkRequest {
+        /// Transaction id.
         txn: u32,
+        /// Set index within the column.
         index: u32,
+        /// Block tag to match.
         tag: u32,
+        /// Store (`true`) or load (`false`).
         write: bool,
+        /// Fast-LRU: the upstream bank's evicted block riding along.
         carry: Option<Block>,
+        /// Bank service cycles accumulated so far (Fig. 7 accounting).
         acc_bank: u32,
+        /// Controller interface the responses return to.
         reply: Endpoint,
     },
     /// Hit bank → core: the requested block (or store acknowledgement).
     HitData {
+        /// Transaction id.
         txn: u32,
+        /// Stack position (0 = MRU bank) the hit was found at.
         position: u8,
+        /// Bank service cycles on the critical path.
         acc_bank: u32,
     },
     /// MRU bank → core after a memory fill: the new block forwarded.
     FillData {
+        /// Transaction id.
         txn: u32,
+        /// Whether installing the fill displaced a block and started a
+        /// push-down chain (a `Completion` will follow).
         chain_started: bool,
+        /// Bank service cycles on the critical path.
         acc_bank: u32,
+        /// Off-chip memory cycles on the critical path.
         acc_mem: u32,
     },
     /// Bank → core: tag mismatch at `position`. For multicast Fast-LRU
     /// the MRU bank's notification also says whether it started the
     /// eager eviction chain (`chain_started`).
     MissNotify {
+        /// Transaction id.
         txn: u32,
+        /// Stack position (0 = MRU bank) reporting the miss.
         position: u8,
+        /// Whether the MRU bank eagerly started the eviction chain.
         chain_started: bool,
+        /// Bank service cycles on the critical path.
         acc_bank: u32,
     },
     /// Chain-stop bank → core: the push-down chain finished. Carries
     /// the bank cycles the chain accumulated (Fig. 7 accounting).
-    Completion { txn: u32, acc_bank: u32 },
+    Completion {
+        /// Transaction id.
+        txn: u32,
+        /// Bank service cycles the chain accumulated.
+        acc_bank: u32,
+    },
     /// MRU bank → core: the hit block arrived in the MRU frame.
-    FillDone { txn: u32, acc_bank: u32 },
+    FillDone {
+        /// Transaction id.
+        txn: u32,
+        /// Bank service cycles on the critical path.
+        acc_bank: u32,
+    },
     /// Bank k → bank k+1: block pushed one position away from the core.
     EvictedBlock {
+        /// Transaction id.
         txn: u32,
+        /// Set index within the column.
         index: u32,
+        /// The block descending the stack.
         block: Block,
+        /// Bank service cycles accumulated by the chain so far.
         acc_bank: u32,
+        /// Controller interface the chain's `Completion` returns to.
         reply: Endpoint,
     },
     /// Hit bank → MRU bank: the hit block moving into the empty frame.
     MruFill {
+        /// Transaction id.
         txn: u32,
+        /// Set index within the column.
         index: u32,
+        /// The hit block ascending to the MRU frame.
         block: Block,
+        /// Bank service cycles accumulated so far.
         acc_bank: u32,
+        /// Controller interface the `FillDone` returns to.
         reply: Endpoint,
     },
     /// Promotion: hit bank → next-closer bank (the hit block ascends).
     SwapUp {
+        /// Transaction id.
         txn: u32,
+        /// Set index within the column.
         index: u32,
+        /// The hit block moving one position toward the core.
         block: Block,
+        /// Bank service cycles accumulated so far.
         acc_bank: u32,
+        /// Controller interface the swap's `Completion` returns to.
         reply: Endpoint,
     },
     /// Promotion: next-closer bank → hit bank (the displaced block).
     SwapBack {
+        /// Transaction id.
         txn: u32,
+        /// Set index within the column.
         index: u32,
+        /// The displaced block descending into the extraction hole.
         block: Block,
+        /// Bank service cycles accumulated so far.
         acc_bank: u32,
+        /// Controller interface the swap's `Completion` returns to.
         reply: Endpoint,
     },
     /// Core → memory: fetch a block after a cache miss.
     MemFetch {
+        /// Transaction id.
         txn: u32,
+        /// Column whose MRU bank receives the fill.
         column: u16,
+        /// Set index within the column.
         index: u32,
+        /// Block tag to fetch.
         tag: u32,
+        /// Store (`true`) — the fill installs dirty.
         write: bool,
+        /// Controller interface the `FillData` returns to.
         reply: Endpoint,
     },
     /// Memory → MRU bank: the fetched block.
     MemReply {
+        /// Transaction id.
         txn: u32,
+        /// Set index within the column.
         index: u32,
+        /// Tag of the fetched block.
         tag: u32,
+        /// Store (`true`) — the fill installs dirty.
         write: bool,
+        /// Off-chip memory cycles spent serving the fetch.
         acc_mem: u32,
+        /// Controller interface the `FillData` returns to.
         reply: Endpoint,
     },
     /// LRU bank → memory: dirty victim leaving the cache.
-    WriteBack { txn: u32, block: Block },
+    WriteBack {
+        /// Transaction id.
+        txn: u32,
+        /// The dirty victim block.
+        block: Block,
+    },
 }
 
 impl CacheMsg {

@@ -1,0 +1,449 @@
+//! Parallel experiment engine: fan independent simulation points out
+//! over OS threads with bit-identical results for any worker count.
+//!
+//! The paper's evaluation is a grid of configurations (scheme ×
+//! topology × bank partition × workload). Every grid point is an
+//! independent `(SystemConfig, workload)` simulation, so the sweep is
+//! embarrassingly parallel. [`SweepRunner`] runs a list of
+//! [`SweepPoint`]s over a [`std::thread::scope`] worker pool with an
+//! atomic work queue.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical regardless of worker count** because no
+//! simulation state is shared between points:
+//!
+//! * each point's trace generator is seeded solely from its own
+//!   [`ExperimentScale::seed`] (plus the benchmark-name hash inside
+//!   [`TraceGenerator`]), never from a shared RNG;
+//! * each worker constructs its own [`CacheSystem`] from the point's
+//!   [`SystemConfig`]; nothing about the simulation reads the thread id,
+//!   the claim order, or the clock;
+//! * outcomes are written into a slot indexed by the point's input
+//!   position, so the returned `Vec` order is the input order.
+//!
+//! Only the wall-clock fields ([`SweepOutcome::wall`]) vary from run to
+//! run. Callers who want decorrelated workloads across points can derive
+//! per-point seeds with [`derive_seed`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, TraceGenerator};
+
+use crate::config::{Design, SystemConfig, TopologyChoice};
+use crate::experiments::ExperimentScale;
+use crate::metrics::{Metrics, MetricsCapture};
+use crate::scheme::Scheme;
+use crate::system::CacheSystem;
+
+/// One independent simulation of the sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Human-readable point name (used in reports and JSON output).
+    pub label: String,
+    /// The full system configuration to simulate.
+    pub config: SystemConfig,
+    /// The synthetic workload profile driving the run.
+    pub profile: BenchmarkProfile,
+    /// Simulation scale, including the point's RNG seed.
+    pub scale: ExperimentScale,
+}
+
+impl SweepPoint {
+    /// Runs this point to completion in `capture` mode.
+    pub fn run(&self, capture: MetricsCapture) -> SweepOutcome {
+        let start = Instant::now();
+        let mut gen = TraceGenerator::new(
+            self.profile,
+            SynthConfig {
+                active_sets: self.scale.active_sets,
+                seed: self.scale.seed,
+                ..Default::default()
+            },
+        );
+        let trace = gen.generate(self.scale.warmup, self.scale.measured);
+        let mut sys = CacheSystem::new(&self.config);
+        sys.set_metrics_capture(capture);
+        let metrics = sys.run(&trace);
+        let ipc = metrics.ipc(&CoreModel::for_profile(&self.profile));
+        SweepOutcome {
+            label: self.label.clone(),
+            metrics,
+            ipc,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+/// The completed measurement of one [`SweepPoint`].
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The point's label, copied through for reporting.
+    pub label: String,
+    /// Full measurement of the run.
+    pub metrics: Metrics,
+    /// Modelled IPC under the point's benchmark core model.
+    pub ipc: f64,
+    /// Wall-clock time this point took (host-dependent; excluded from
+    /// the determinism contract).
+    pub wall: Duration,
+}
+
+/// Derives an independent per-point seed from a base seed, so sweep
+/// points that should be statistically decorrelated get distinct RNG
+/// streams while staying reproducible (SplitMix64 of `base + index`).
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Parallel sweep executor. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    workers: usize,
+    capture: MetricsCapture,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using every available core and streaming metrics
+    /// capture (the constant-memory mode sweeps should use).
+    pub fn new() -> Self {
+        SweepRunner {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            capture: MetricsCapture::Streaming,
+        }
+    }
+
+    /// A runner with an explicit worker count (`0` is clamped to 1).
+    pub fn with_workers(workers: usize) -> Self {
+        SweepRunner {
+            workers: workers.max(1),
+            ..Self::new()
+        }
+    }
+
+    /// Sets the metrics capture mode for every point.
+    pub fn capture(mut self, capture: MetricsCapture) -> Self {
+        self.capture = capture;
+        self
+    }
+
+    /// The worker count this runner will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every point and returns outcomes in input order.
+    ///
+    /// Points are claimed from an atomic queue, so long points do not
+    /// convoy behind short ones; results are independent of the claim
+    /// order (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point's simulation panics (the panic is propagated
+    /// at scope join).
+    pub fn run(&self, points: &[SweepPoint]) -> Vec<SweepOutcome> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.workers.min(points.len());
+        if workers == 1 {
+            return points.iter().map(|p| p.run(self.capture)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SweepOutcome>>> =
+            points.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = points.get(i) else { break };
+                    let outcome = point.run(self.capture);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every claimed point stores an outcome")
+            })
+            .collect()
+    }
+}
+
+/// Builds the capacity-scaling sweep the `sweep` binary and the CLI
+/// share: mesh vs halo under Multicast Fast-LRU as the column length
+/// grows (64 KB banks, 16 columns; 4 MB → 32 MB total capacity).
+pub fn capacity_points(profile: BenchmarkProfile, scale: ExperimentScale) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for banks_per_set in [4usize, 8, 16, 32] {
+        for topology in [TopologyChoice::Mesh, TopologyChoice::Halo] {
+            points.push(SweepPoint {
+                label: capacity_label(topology, banks_per_set),
+                config: capacity_config(topology, banks_per_set),
+                profile,
+                scale,
+            });
+        }
+    }
+    points
+}
+
+fn capacity_label(topology: TopologyChoice, banks_per_set: usize) -> String {
+    format!(
+        "{} ({} MB)",
+        match topology {
+            TopologyChoice::Mesh => "16xN mesh",
+            TopologyChoice::SimplifiedMesh => "16xN simplified mesh",
+            TopologyChoice::Halo => "N-spike halo",
+        },
+        banks_per_set * 16 * 64 / 1024
+    )
+}
+
+/// One configuration of the capacity sweep: `banks_per_set` 64 KB banks
+/// per column on the given topology, Multicast Fast-LRU everywhere.
+pub fn capacity_config(topology: TopologyChoice, banks_per_set: usize) -> SystemConfig {
+    let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+    cfg.topology = topology;
+    cfg.bank_kb = vec![64; banks_per_set];
+    cfg.bank_ways = vec![1; banks_per_set];
+    cfg.core_ports = if topology == TopologyChoice::Halo {
+        4
+    } else {
+        1
+    };
+    cfg.mem_extra_wire = if topology == TopologyChoice::Halo {
+        // The controller sits mid-die; the off-chip wire grows with the
+        // spike run (Design E uses 16 cycles at 16 banks).
+        banks_per_set as u32
+    } else {
+        0
+    };
+    cfg.name = capacity_label(topology, banks_per_set);
+    cfg
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders sweep outcomes as the machine-readable `BENCH_*.json`
+/// document (schema `nucanet/sweep-v1`): per point the configuration
+/// identity, wall time, simulated cycles, hit rate, mean latency and
+/// exact p50/p95/p99 latency percentiles, and modelled IPC.
+pub fn render_json(name: &str, workers: usize, points: &[SweepPoint], outcomes: &[SweepOutcome]) -> String {
+    assert_eq!(points.len(), outcomes.len(), "one outcome per point");
+    let total_wall: Duration = outcomes.iter().map(|o| o.wall).sum();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"nucanet/sweep-v1\",\n");
+    out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!(
+        "  \"cpu_time_ms\": {},\n",
+        total_wall.as_millis()
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, (p, o)) in points.iter().zip(outcomes).enumerate() {
+        let m = &o.metrics;
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"label\": \"{}\",\n",
+            json_escape(&o.label)
+        ));
+        out.push_str(&format!(
+            "      \"config\": \"{}\",\n",
+            json_escape(&p.config.name)
+        ));
+        out.push_str(&format!("      \"scheme\": \"{}\",\n", p.config.scheme.name()));
+        out.push_str(&format!(
+            "      \"topology\": \"{:?}\",\n",
+            p.config.topology
+        ));
+        out.push_str(&format!(
+            "      \"banks_per_set\": {},\n",
+            p.config.bank_kb.len()
+        ));
+        out.push_str(&format!("      \"columns\": {},\n", p.config.columns));
+        out.push_str(&format!(
+            "      \"capacity_kb\": {},\n",
+            p.config.capacity_bytes() / 1024
+        ));
+        out.push_str(&format!(
+            "      \"benchmark\": \"{}\",\n",
+            json_escape(p.profile.name)
+        ));
+        out.push_str(&format!("      \"warmup\": {},\n", p.scale.warmup));
+        out.push_str(&format!("      \"measured\": {},\n", p.scale.measured));
+        out.push_str(&format!("      \"seed\": {},\n", p.scale.seed));
+        out.push_str(&format!("      \"wall_ms\": {},\n", o.wall.as_millis()));
+        out.push_str(&format!("      \"sim_cycles\": {},\n", m.cycles));
+        out.push_str(&format!("      \"accesses\": {},\n", m.accesses()));
+        out.push_str(&format!(
+            "      \"hit_rate\": {},\n",
+            json_f64(m.hit_rate())
+        ));
+        out.push_str(&format!(
+            "      \"avg_latency\": {},\n",
+            json_f64(m.avg_latency())
+        ));
+        for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            match m.latency_percentile(q) {
+                Some(v) => out.push_str(&format!("      \"{key}\": {v},\n")),
+                None => out.push_str(&format!("      \"{key}\": null,\n")),
+            }
+        }
+        out.push_str(&format!("      \"ipc\": {}\n", json_f64(o.ipc)));
+        out.push_str(if i + 1 == outcomes.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_points(n: usize) -> Vec<SweepPoint> {
+        let profiles = ["gcc", "twolf", "vpr", "mcf"];
+        (0..n)
+            .map(|i| {
+                let profile =
+                    BenchmarkProfile::by_name(profiles[i % profiles.len()]).expect("profile");
+                let scheme = if i % 2 == 0 {
+                    Scheme::MulticastFastLru
+                } else {
+                    Scheme::UnicastLru
+                };
+                let scale = ExperimentScale {
+                    warmup: 600,
+                    measured: 120,
+                    active_sets: 32,
+                    seed: derive_seed(0xCAFE, i as u64),
+                };
+                SweepPoint {
+                    label: format!("point-{i}"),
+                    config: Design::A.config(scheme),
+                    profile,
+                    scale,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_keep_input_order() {
+        let points = tiny_points(4);
+        let outcomes = SweepRunner::with_workers(3).run(&points);
+        let labels: Vec<&str> = outcomes.iter().map(|o| o.label.as_str()).collect();
+        assert_eq!(labels, ["point-0", "point-1", "point-2", "point-3"]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let points = tiny_points(8);
+        let serial = SweepRunner::with_workers(1).run(&points);
+        let parallel = SweepRunner::with_workers(4).run(&points);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.metrics, p.metrics, "{}", s.label);
+            assert_eq!(s.ipc, p.ipc, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn streaming_capture_keeps_no_records() {
+        let points = tiny_points(2);
+        let outcomes = SweepRunner::with_workers(2)
+            .capture(MetricsCapture::Streaming)
+            .run(&points);
+        for o in &outcomes {
+            assert!(o.metrics.records.is_empty());
+            assert_eq!(o.metrics.accesses(), 120);
+            assert!(o.metrics.avg_latency() > 0.0);
+        }
+    }
+
+    #[test]
+    fn derive_seed_is_injective_enough() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(derive_seed(0xCAFE, i)));
+        }
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+    }
+
+    #[test]
+    fn capacity_points_cover_both_topologies() {
+        let profile = BenchmarkProfile::by_name("twolf").expect("twolf");
+        let points = capacity_points(profile, ExperimentScale::tiny());
+        assert_eq!(points.len(), 8);
+        assert!(points
+            .iter()
+            .any(|p| p.config.topology == TopologyChoice::Halo));
+        assert!(points
+            .iter()
+            .any(|p| p.config.topology == TopologyChoice::Mesh));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let points = tiny_points(2);
+        let outcomes = SweepRunner::with_workers(2).run(&points);
+        let json = render_json("unit", 2, &points, &outcomes);
+        assert!(json.contains("\"schema\": \"nucanet/sweep-v1\""));
+        assert!(json.contains("\"label\": \"point-0\""));
+        assert!(json.contains("\"p95\":"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

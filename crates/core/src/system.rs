@@ -13,7 +13,7 @@ use crate::agents::core_ctl::{CoreController, PendingAccess, SetLocks};
 use crate::agents::memory::MemoryAgent;
 use crate::agents::Outgoing;
 use crate::config::{SystemConfig, SystemLayout};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsCapture};
 use crate::msg::CacheMsg;
 
 /// Hard ceiling on simulated cycles; hitting it means the protocol or
@@ -61,6 +61,7 @@ pub struct CacheSystem {
     out_seq: u64,
     map: AddressMap,
     measured_cycles: u64,
+    capture: MetricsCapture,
 }
 
 impl CacheSystem {
@@ -191,7 +192,20 @@ impl CacheSystem {
             out_seq: 0,
             map,
             measured_cycles: 0,
+            capture: MetricsCapture::Full,
         }
+    }
+
+    /// Selects how future runs store per-access measurements: full
+    /// record capture (the default) or constant-memory streaming
+    /// aggregation. See [`MetricsCapture`].
+    pub fn set_metrics_capture(&mut self, capture: MetricsCapture) {
+        self.capture = capture;
+    }
+
+    /// The currently selected capture mode.
+    pub fn metrics_capture(&self) -> MetricsCapture {
+        self.capture
     }
 
     /// The system configuration.
@@ -304,14 +318,17 @@ impl CacheSystem {
                 write: a.write,
             });
         }
-        self.sim_loop();
+        let mut live = self.fresh_live_metrics();
+        self.sim_loop(&mut live);
         self.measured_cycles = self.net.cycle() - start_cycle;
-        let records = self
-            .cores
-            .iter_mut()
-            .flat_map(|c| c.take_completed())
-            .collect();
-        self.finish_metrics(records)
+        // Only core 0 was driven, but fold every core's window so a
+        // multi-core system behaves identically to the old path.
+        let mut m = live.remove(0);
+        for other in &live {
+            m.merge(other);
+        }
+        self.finalize_metrics(&mut m);
+        m
     }
 
     /// Runs per-core traces concurrently over the shared cache (CMP).
@@ -349,13 +366,13 @@ impl CacheSystem {
                 });
             }
         }
-        self.sim_loop();
+        let mut live = self.fresh_live_metrics();
+        self.sim_loop(&mut live);
         self.measured_cycles = self.net.cycle() - start_cycle;
-        let per_core: Vec<Vec<_>> = self.cores.iter_mut().map(|c| c.take_completed()).collect();
-        per_core
-            .into_iter()
-            .map(|records| self.finish_metrics(records))
-            .collect()
+        for m in &mut live {
+            self.finalize_metrics(m);
+        }
+        live
     }
 
     /// Number of cores sharing this cache.
@@ -363,7 +380,14 @@ impl CacheSystem {
         self.cores.len()
     }
 
-    fn sim_loop(&mut self) {
+    /// One empty live [`Metrics`] per core, in the selected capture mode.
+    fn fresh_live_metrics(&self) -> Vec<Metrics> {
+        (0..self.cores.len())
+            .map(|_| Metrics::new(self.capture, self.cfg.bank_kb.len()))
+            .collect()
+    }
+
+    fn sim_loop(&mut self, live: &mut [Metrics]) {
         loop {
             let now = self.net.cycle();
             assert!(now < MAX_CYCLES, "simulation exceeded {MAX_CYCLES} cycles");
@@ -391,6 +415,15 @@ impl CacheSystem {
             for i in 0..self.cores.len() {
                 for (src, o) in self.cores[i].try_admit(now) {
                     self.schedule(src, o);
+                }
+            }
+
+            // Stream completed accesses into the live metrics so the
+            // controllers' completion buffers stay bounded regardless of
+            // trace length (the streaming-capture contract).
+            for (i, c) in self.cores.iter_mut().enumerate() {
+                for r in c.take_completed() {
+                    live[i].record(r);
                 }
             }
 
@@ -441,7 +474,9 @@ impl CacheSystem {
         }
     }
 
-    fn finish_metrics(&self, records: Vec<crate::metrics::AccessRecord>) -> Metrics {
+    /// Attaches the system-wide counters (network snapshot, cycles, bank
+    /// and memory operation counts) to a finished live measurement.
+    fn finalize_metrics(&self, m: &mut Metrics) {
         // Bank energy accounting: ops grouped by bank capacity.
         let mut by_kb: Vec<(u32, u64)> = Vec::new();
         for b in &self.banks {
@@ -451,14 +486,11 @@ impl CacheSystem {
                 None => by_kb.push((kb, b.ops())),
             }
         }
-        Metrics {
-            records,
-            net: self.net.stats().clone(),
-            cycles: self.measured_cycles,
-            positions: self.cfg.bank_kb.len(),
-            bank_ops_by_kb: by_kb,
-            mem_ops: self.memory.fetches() + self.memory.writebacks(),
-        }
+        by_kb.sort_unstable_by_key(|&(kb, _)| kb);
+        m.net = self.net.stats().clone();
+        m.cycles = self.measured_cycles;
+        m.bank_ops_by_kb = by_kb;
+        m.mem_ops = self.memory.fetches() + self.memory.writebacks();
     }
 
     fn schedule(&mut self, src: Endpoint, out: Outgoing) {

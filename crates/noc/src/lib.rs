@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Flit-level on-chip network simulator for large-scale cache systems.
 //!
 //! This crate is the interconnect substrate of the HPCA'07 paper

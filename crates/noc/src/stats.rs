@@ -91,6 +91,34 @@ impl NetStats {
         unused as f64 / self.flits_per_link.len() as f64
     }
 
+    /// Folds `other` into `self`, treating the two as statistics of
+    /// concurrent windows of one system: traffic counters and histograms
+    /// add, while `cycles` and `peak_vc_occupancy` take the maximum.
+    /// The combination is associative and commutative, so partial
+    /// snapshots from parallel workers may merge in any order.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.packets_injected += other.packets_injected;
+        self.packets_delivered += other.packets_delivered;
+        if self.flits_per_link.len() < other.flits_per_link.len() {
+            self.flits_per_link.resize(other.flits_per_link.len(), 0);
+        }
+        for (i, &f) in other.flits_per_link.iter().enumerate() {
+            self.flits_per_link[i] += f;
+        }
+        self.flits_ejected += other.flits_ejected;
+        self.total_packet_latency += other.total_packet_latency;
+        self.replications += other.replications;
+        self.replication_blocked_cycles += other.replication_blocked_cycles;
+        if self.latency_buckets.len() < other.latency_buckets.len() {
+            self.latency_buckets.resize(other.latency_buckets.len(), 0);
+        }
+        for (i, &c) in other.latency_buckets.iter().enumerate() {
+            self.latency_buckets[i] += c;
+        }
+        self.peak_vc_occupancy = self.peak_vc_occupancy.max(other.peak_vc_occupancy);
+    }
+
     /// Mean flits per cycle per link (network load).
     pub fn mean_link_load(&self) -> f64 {
         if self.cycles == 0 || self.flits_per_link.is_empty() {
@@ -164,6 +192,35 @@ mod tests {
         assert_eq!(s.latency_quantile(0.8), Some(30));
         assert_eq!(s.latency_quantile(1.0), Some(100));
         assert_eq!(NetStats::new(0).latency_quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_combines_windows() {
+        let mut a = NetStats::new(2);
+        a.cycles = 100;
+        a.packets_injected = 3;
+        a.packets_delivered = 3;
+        a.flits_per_link = vec![5, 0];
+        a.record_latency(12);
+        a.peak_vc_occupancy = 2;
+        let mut b = NetStats::new(2);
+        b.cycles = 80;
+        b.packets_injected = 2;
+        b.packets_delivered = 1;
+        b.flits_per_link = vec![1, 7];
+        b.record_latency(33);
+        b.peak_vc_occupancy = 4;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab.cycles, 100);
+        assert_eq!(ab.packets_injected, 5);
+        assert_eq!(ab.flits_per_link, vec![6, 7]);
+        assert_eq!(ab.peak_vc_occupancy, 4);
+        assert_eq!(ab.latency_buckets[1] + ab.latency_buckets[3], 2);
     }
 
     #[test]

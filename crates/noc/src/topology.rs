@@ -104,13 +104,28 @@ pub struct Link {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TopologyKind {
     /// Full 2D mesh, `cols × rows`.
-    Mesh { cols: u16, rows: u16 },
+    Mesh {
+        /// Columns (x extent).
+        cols: u16,
+        /// Rows (y extent).
+        rows: u16,
+    },
     /// Design B/C/D mesh: horizontal links only in the first and last
     /// rows (requires XYX routing).
-    SimplifiedMesh { cols: u16, rows: u16 },
+    SimplifiedMesh {
+        /// Columns (x extent).
+        cols: u16,
+        /// Rows (y extent).
+        rows: u16,
+    },
     /// Halo: hub router 0 with `spikes` linear spikes of `spike_len`
     /// routers each.
-    Halo { spikes: u16, spike_len: u16 },
+    Halo {
+        /// Number of spikes radiating from the hub.
+        spikes: u16,
+        /// Routers per spike.
+        spike_len: u16,
+    },
 }
 
 /// An immutable network topology.

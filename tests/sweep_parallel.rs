@@ -1,0 +1,154 @@
+//! Integration tests for the parallel sweep engine: the determinism
+//! contract (bit-identical metrics for any worker count) and the
+//! constant-memory streaming capture mode, exercised over real
+//! end-to-end simulations rather than synthetic fixtures.
+
+use nucanet::experiments::{cell_point, fig7, fig7_parallel, ExperimentScale};
+use nucanet::metrics::MetricsCapture;
+use nucanet::sweep::{capacity_points, derive_seed, render_json, SweepPoint, SweepRunner};
+use nucanet::{Design, Scheme};
+use nucanet_workload::BenchmarkProfile;
+
+fn bench(name: &str) -> BenchmarkProfile {
+    BenchmarkProfile::by_name(name).expect("benchmark exists")
+}
+
+/// A grid of 8+ points spanning schemes, designs, and benchmarks, each
+/// with its own derived seed.
+fn grid() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for (i, (design, scheme, name)) in [
+        (Design::A, Scheme::UnicastLru, "gcc"),
+        (Design::A, Scheme::MulticastFastLru, "gcc"),
+        (Design::B, Scheme::UnicastFastLru, "twolf"),
+        (Design::C, Scheme::MulticastPromotion, "vpr"),
+        (Design::D, Scheme::UnicastPromotion, "mcf"),
+        (Design::E, Scheme::MulticastFastLru, "art"),
+        (Design::F, Scheme::MulticastFastLru, "mesa"),
+        (Design::A, Scheme::StaticNuca, "parser"),
+        (Design::E, Scheme::UnicastLru, "apsi"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let scale = ExperimentScale {
+            warmup: 800,
+            measured: 150,
+            active_sets: 32,
+            seed: derive_seed(0xCAFE, i as u64),
+        };
+        points.push(cell_point(design, scheme, &bench(name), scale));
+    }
+    points
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_bit_for_bit() {
+    let points = grid();
+    assert!(points.len() >= 8, "acceptance floor: at least 8 points");
+    let serial = SweepRunner::with_workers(1).run(&points);
+    for workers in [2, 4, 8] {
+        let parallel = SweepRunner::with_workers(workers).run(&points);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.label, p.label);
+            assert_eq!(
+                s.metrics, p.metrics,
+                "{}: metrics must not depend on worker count {workers}",
+                s.label
+            );
+            assert_eq!(s.ipc, p.ipc, "{}", s.label);
+        }
+    }
+}
+
+#[test]
+fn figure_runners_are_worker_count_invariant() {
+    let scale = ExperimentScale {
+        warmup: 600,
+        measured: 100,
+        active_sets: 32,
+        seed: 0xCAFE,
+    };
+    let serial = fig7(scale);
+    let parallel = fig7_parallel(scale, &SweepRunner::with_workers(4));
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn streaming_capture_matches_full_capture_summaries() {
+    let points = grid();
+    let full = SweepRunner::with_workers(4)
+        .capture(MetricsCapture::Full)
+        .run(&points);
+    let streaming = SweepRunner::with_workers(4)
+        .capture(MetricsCapture::Streaming)
+        .run(&points);
+    for (f, s) in full.iter().zip(&streaming) {
+        assert!(!f.metrics.records.is_empty(), "{}", f.label);
+        assert!(
+            s.metrics.records.is_empty(),
+            "{}: streaming must not retain records",
+            s.label
+        );
+        assert_eq!(f.metrics.accesses(), s.metrics.accesses());
+        assert_eq!(f.metrics.hit_rate(), s.metrics.hit_rate());
+        assert_eq!(f.metrics.avg_latency(), s.metrics.avg_latency());
+        assert_eq!(f.metrics.avg_hit_latency(), s.metrics.avg_hit_latency());
+        assert_eq!(f.metrics.avg_miss_latency(), s.metrics.avg_miss_latency());
+        assert_eq!(f.metrics.latency_breakdown(), s.metrics.latency_breakdown());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(
+                f.metrics.latency_percentile(q),
+                s.metrics.latency_percentile(q),
+                "{} p{q}",
+                f.label
+            );
+        }
+        assert_eq!(f.metrics.net, s.metrics.net);
+        assert_eq!(f.metrics.cycles, s.metrics.cycles);
+        assert_eq!(f.ipc, s.ipc);
+    }
+}
+
+#[test]
+fn streaming_memory_is_constant_in_trace_length() {
+    // The streaming histogram's footprint is bounded by the number of
+    // *distinct* latency values, not by the number of samples: running
+    // 8x more accesses must not retain any per-access state.
+    let mk = |measured: usize| {
+        let scale = ExperimentScale {
+            warmup: 800,
+            measured,
+            active_sets: 32,
+            seed: 0xCAFE,
+        };
+        cell_point(Design::A, Scheme::MulticastFastLru, &bench("twolf"), scale)
+    };
+    let runner = SweepRunner::with_workers(1).capture(MetricsCapture::Streaming);
+    let short = &runner.run(&[mk(200)])[0];
+    let long = &runner.run(&[mk(1600)])[0];
+    assert_eq!(long.metrics.accesses(), 1600);
+    assert!(short.metrics.records.is_empty());
+    assert!(long.metrics.records.is_empty());
+    // Distinct observed latencies stay within the same fixed-size
+    // histogram; the overflow map is the only growable part and is
+    // bounded by distinct values > 4096 cycles (none at this scale).
+    assert!(long.metrics.latency_histogram().overflow_len() <= 4096);
+}
+
+#[test]
+fn capacity_sweep_renders_json_for_every_point() {
+    let scale = ExperimentScale {
+        warmup: 500,
+        measured: 80,
+        active_sets: 32,
+        seed: 0xCAFE,
+    };
+    let points = capacity_points(bench("art"), scale);
+    let runner = SweepRunner::with_workers(4);
+    let outcomes = runner.run(&points);
+    let json = render_json("sweep", runner.workers(), &points, &outcomes);
+    assert_eq!(json.matches("\"label\":").count(), points.len());
+    assert_eq!(json.matches("\"sim_cycles\":").count(), points.len());
+    assert_eq!(json.matches("\"p99\":").count(), points.len());
+}

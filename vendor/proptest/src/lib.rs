@@ -1,0 +1,300 @@
+//! Offline, deterministic stand-in for the subset of the `proptest` API
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors its external dependencies as minimal local crates (see
+//! `vendor/` in the repository root). This crate supports the property
+//! tests under `tests/`:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(...)]` header and `arg in strategy` bindings,
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * strategies: integer and float ranges, tuples of strategies,
+//!   [`collection::vec`], and [`bool::ANY`].
+//!
+//! Differences from upstream: sampling is fully deterministic (seeded
+//! from the test name, so failures reproduce exactly), and there is no
+//! shrinking — a failing case panics with the sampled values instead.
+
+use std::ops::Range;
+
+/// How many cases [`proptest!`] runs per property.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic test-case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from `name` (typically the property
+    /// function's name) so every test gets an independent, reproducible
+    /// stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Sources of random test values.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for producing random values of one type.
+    pub trait Strategy {
+        /// The value type this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+}
+
+use strategy::Strategy;
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Produces vectors whose elements come from `element` and whose
+    /// length is drawn uniformly from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy producing `true`/`false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    /// The any-boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-import surface tests use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Asserts a property-test condition, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that samples its arguments `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @cfg ($cfg) $($rest)* }
+    };
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    let __case_ctx = format!(
+                        "proptest case {}/{} of {}: {:?}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        ($(&$arg,)*)
+                    );
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(e) = __outcome {
+                        eprintln!("{__case_ctx}");
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = Strategy::sample(&(3u32..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::sample(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::TestRng::deterministic("vec");
+        let s = crate::collection::vec((0u32..4, crate::bool::ANY), 2..7);
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|(x, _)| *x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+        #[allow(clippy::needless_range_loop)]
+        fn macro_binds_arguments(a in 1u32..5, flags in crate::collection::vec(crate::bool::ANY, 0..4)) {
+            prop_assert!(a >= 1 && a < 5);
+            prop_assert_eq!(flags.len() < 4, true);
+        }
+    }
+}

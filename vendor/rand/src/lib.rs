@@ -1,0 +1,255 @@
+//! Offline, deterministic stand-in for the subset of the `rand` 0.8 API
+//! this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the three external crates it depends on as minimal local
+//! implementations (see `vendor/` in the repository root). This crate
+//! provides:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen`, `gen_range` and `gen_bool`,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`], implemented as xoshiro256++ seeded via SplitMix64.
+//!
+//! The generator is fully deterministic for a given seed, which is all
+//! the simulator requires (the workspace never asks for OS entropy).
+//! Streams differ from upstream `rand`'s `StdRng` (ChaCha12), so absolute
+//! sampled values are not comparable across implementations — only
+//! statistical shape and reproducibility are.
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Values that can be drawn uniformly from the generator's full range
+/// (the stand-in for `rand`'s `Standard` distribution).
+pub trait UniformValue {
+    /// Draws one value from `rng`.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformValue for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformValue for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl UniformValue for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformValue for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformValue for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integers that can be drawn uniformly from a half-open range.
+pub trait UniformInt: Copy {
+    /// Draws one value from `range` using `rng`.
+    fn draw_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn draw_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u128).wrapping_sub(range.start as u128) as u128;
+                // Widening modulo; the bias is ~2^-64 and irrelevant for
+                // simulation workloads.
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as u128).wrapping_add(v) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            fn draw_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (range.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws one uniformly distributed value (`f64` in `[0, 1)`, full
+    /// range for integers).
+    fn gen<T: UniformValue>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Draws one value uniformly from the half-open `range`.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::draw_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ with SplitMix64
+    /// seeding. Deterministic, fast, and statistically solid for
+    /// simulation use.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut c = StdRng::seed_from_u64(10);
+        let va: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen::<u64>()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let s = rng.gen_range(-3i32..4);
+            assert!((-3..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(sample(&mut rng) < 1.0);
+    }
+}
