@@ -207,7 +207,7 @@ fn run_with_cfg(
     );
     let trace = gen.generate(scale.warmup, scale.measured);
     let mut sys = nucanet::CacheSystem::new(cfg);
-    let metrics = sys.run(&trace);
+    let metrics = sys.run(&trace).expect("benchmark harness injects no faults");
     let ipc = metrics.ipc(&CoreModel::for_profile(profile));
     (metrics, ipc)
 }

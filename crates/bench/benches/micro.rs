@@ -39,7 +39,7 @@ fn bench_network_random_traffic(c: &mut Criterion) {
                 ));
             }
             while net.is_busy() || net.next_event_cycle().is_some() {
-                net.advance();
+                net.advance().expect("no faults injected");
             }
             net.stats().packets_delivered
         })
@@ -63,7 +63,7 @@ fn bench_multicast_column(c: &mut Criterion) {
                     0,
                 ));
                 while net.is_busy() || net.next_event_cycle().is_some() {
-                    net.advance();
+                    net.advance().expect("no faults injected");
                 }
             }
             net.stats().packets_delivered
@@ -121,7 +121,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     );
                     let trace = gen.generate(scale.warmup, scale.measured);
                     let mut sys = CacheSystem::new(&Design::A.config(scheme));
-                    sys.run(&trace).avg_latency()
+                    sys.run(&trace).expect("no faults injected").avg_latency()
                 })
             },
         );

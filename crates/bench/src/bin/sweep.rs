@@ -10,7 +10,10 @@
 //! Points run in parallel on the [`nucanet::sweep`] engine
 //! (`NUCANET_WORKERS` selects the worker count; results are
 //! bit-identical for any value) and the machine-readable summary lands
-//! in `BENCH_sweep.json`.
+//! in `BENCH_sweep.json`. Set `NUCANET_FAULTS` (and optionally
+//! `NUCANET_FAULT_REPAIR`) to inject link faults per point; a point
+//! whose faults partition its topology fails alone with a structured
+//! error while the rest of the sweep completes.
 //!
 //! ```text
 //! cargo run --release -p nucanet-bench --bin sweep
@@ -19,12 +22,13 @@
 use std::time::Instant;
 
 use nucanet::sweep::capacity_points;
-use nucanet_bench::{runner_from_env, scale_from_env, write_bench_json};
+use nucanet_bench::{faults_from_env, runner_from_env, scale_from_env, write_bench_json_results};
 use nucanet_workload::BenchmarkProfile;
 
 fn main() {
     let scale = scale_from_env();
     let runner = runner_from_env();
+    let faults = faults_from_env();
     let bench =
         BenchmarkProfile::by_name(&std::env::args().nth(1).unwrap_or_else(|| "twolf".into()))
             .expect("benchmark exists");
@@ -36,9 +40,14 @@ fn main() {
         runner.workers()
     );
 
-    let points = capacity_points(bench, scale);
+    let mut points = capacity_points(bench, scale);
+    if let Some(fc) = &faults {
+        for p in &mut points {
+            p.config.faults = Some(fc.clone());
+        }
+    }
     let start = Instant::now();
-    let outcomes = runner.run(&points);
+    let results = runner.try_run(&points);
     let wall = start.elapsed();
 
     println!(
@@ -49,26 +58,48 @@ fn main() {
     // capacity_points interleaves (mesh, halo) per banks_per_set step.
     for (i, banks_per_set) in [4usize, 8, 16, 32].into_iter().enumerate() {
         let mb = banks_per_set * 16 * 64 / 1024;
-        let mesh = &outcomes[2 * i];
-        let halo = &outcomes[2 * i + 1];
+        match (&results[2 * i], &results[2 * i + 1]) {
+            (Ok(mesh), Ok(halo)) => println!(
+                "{mb:>6} {banks_per_set:>7} {:>12.1} {:>12.1} {:>12.3} {:>12.3} {:>9.3}",
+                mesh.metrics.avg_latency(),
+                halo.metrics.avg_latency(),
+                mesh.ipc,
+                halo.ipc,
+                halo.ipc / mesh.ipc
+            ),
+            (mesh, halo) => {
+                let cell = |r: &Result<_, nucanet::PointFailure>| match r {
+                    Ok(_) => "ok".to_string(),
+                    Err(f) => format!("error: {}", f.error.kind()),
+                };
+                println!(
+                    "{mb:>6} {banks_per_set:>7} {:>12} {:>12} (point failed; see below)",
+                    cell(mesh),
+                    cell(halo)
+                );
+            }
+        }
+    }
+    let failures: Vec<_> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    for f in &failures {
+        println!("point '{}' failed: {}", f.label, f.error);
+    }
+    if !failures.is_empty() {
         println!(
-            "{mb:>6} {banks_per_set:>7} {:>12.1} {:>12.1} {:>12.3} {:>12.3} {:>9.3}",
-            mesh.metrics.avg_latency(),
-            halo.metrics.avg_latency(),
-            mesh.ipc,
-            halo.ipc,
-            halo.ipc / mesh.ipc
+            "{}/{} points failed; surviving results above (degraded sweep)",
+            failures.len(),
+            results.len()
         );
     }
     println!("\nexpected shape: the halo's relative IPC advantage grows with the");
     println!("column length — longer mesh columns mean longer walks, while every");
     println!("halo MRU bank stays one hop from the hub.");
 
-    match write_bench_json("sweep", &runner, &points, &outcomes) {
+    match write_bench_json_results("sweep", &runner, &points, &results) {
         Ok(path) => println!(
             "\nwrote {} ({} points, wall {:.1}s)",
             path.display(),
-            outcomes.len(),
+            results.len(),
             wall.as_secs_f64()
         ),
         Err(e) => eprintln!("\nfailed to write BENCH_sweep.json: {e}"),

@@ -10,60 +10,150 @@
 //! * `NUCANET_SEED` — workload seed (default 0xCAFE).
 //! * `NUCANET_WORKERS` — sweep worker threads (default: all cores).
 //!   Results are bit-identical for any value; see [`nucanet::sweep`].
+//! * `NUCANET_FAULTS` — random link faults injected per sweep point
+//!   (default 0; `sweep` binary only).
+//! * `NUCANET_FAULT_REPAIR` — cycles after which each injected fault is
+//!   repaired (default: never — faults are permanent).
 //! * `NUCANET_BENCH_DIR` — where `BENCH_*.json` files land (default:
 //!   the current directory).
+//!
+//! Numeric variables accept decimal or `0x`-prefixed hex. A malformed
+//! value aborts the run with a clear message instead of silently falling
+//! back to the default (a typo in `NUCANET_MEASURED` must not quietly
+//! produce a tiny run that looks like a paper-scale one).
 
 use std::path::PathBuf;
 
 use nucanet::experiments::ExperimentScale;
-use nucanet::sweep::{render_json, SweepOutcome, SweepPoint, SweepRunner};
+use nucanet::sweep::{
+    render_json_results, write_atomically, PointFailure, SweepOutcome, SweepPoint, SweepRunner,
+};
+use nucanet::FaultConfig;
+
+/// Parses a numeric environment value: decimal, or hex with a `0x`/`0X`
+/// prefix. Returns a message naming the offending value on failure.
+pub fn parse_env_u64(value: &str) -> Result<u64, String> {
+    let v = value.trim();
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("'{value}' is not an unsigned integer (decimal or 0x-hex)"))
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(v) => match parse_env_u64(&v) {
+            Ok(n) => n,
+            Err(e) => panic!("bad {key}: {e}"),
+        },
+    }
+}
 
 /// Reads the experiment scale from the environment (see crate docs).
+///
+/// # Panics
+///
+/// Panics with a clear message if a set variable is not a valid decimal
+/// or `0x`-hex unsigned integer — malformed values are rejected, never
+/// silently replaced by the default.
+#[must_use]
 pub fn scale_from_env() -> ExperimentScale {
-    let get = |k: &str, d: u64| -> u64 {
-        std::env::var(k)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(d)
-    };
     ExperimentScale {
-        warmup: get("NUCANET_WARMUP", 20_000) as usize,
-        measured: get("NUCANET_MEASURED", 4_000) as usize,
-        active_sets: get("NUCANET_SETS", 256) as u32,
-        seed: get("NUCANET_SEED", 0xCAFE),
+        warmup: env_u64("NUCANET_WARMUP", 20_000) as usize,
+        measured: env_u64("NUCANET_MEASURED", 4_000) as usize,
+        active_sets: env_u64("NUCANET_SETS", 256) as u32,
+        seed: env_u64("NUCANET_SEED", 0xCAFE),
     }
 }
 
 /// Builds the sweep runner from the environment: `NUCANET_WORKERS`
 /// worker threads, or every available core when unset (see crate docs).
+///
+/// # Panics
+///
+/// Panics if `NUCANET_WORKERS` is set but malformed.
+#[must_use]
 pub fn runner_from_env() -> SweepRunner {
-    match std::env::var("NUCANET_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) => SweepRunner::with_workers(n),
-        None => SweepRunner::new(),
+    match std::env::var("NUCANET_WORKERS") {
+        Err(_) => SweepRunner::new(),
+        Ok(v) => match parse_env_u64(&v) {
+            Ok(n) => SweepRunner::with_workers(n as usize),
+            Err(e) => panic!("bad NUCANET_WORKERS: {e}"),
+        },
     }
 }
 
-/// Writes `BENCH_<name>.json` (schema `nucanet/sweep-v1`) into
+/// Reads the fault-injection knobs from the environment: `NUCANET_FAULTS`
+/// random link faults per sweep point, each repaired after
+/// `NUCANET_FAULT_REPAIR` cycles (permanent when unset). Returns `None`
+/// when no faults are requested. The fault seed is re-derived per sweep
+/// point, so results stay bit-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if either variable is set but malformed.
+#[must_use]
+pub fn faults_from_env() -> Option<FaultConfig> {
+    let count = env_u64("NUCANET_FAULTS", 0);
+    if count == 0 {
+        return None;
+    }
+    let repair = match env_u64("NUCANET_FAULT_REPAIR", 0) {
+        0 => None,
+        c => Some(c),
+    };
+    Some(FaultConfig::random(count as u32, (1, 1_000), repair))
+}
+
+/// Writes `BENCH_<name>.json` (schema `nucanet/sweep-v2`) into
 /// `NUCANET_BENCH_DIR` (default: current directory) and returns the
-/// path written.
+/// path written. For all-successful runs; see
+/// [`write_bench_json_results`] for fault-isolating sweeps. The write
+/// is atomic (temp file + rename), so a crash mid-write never leaves a
+/// truncated JSON behind.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or renaming the temp file.
 pub fn write_bench_json(
     name: &str,
     runner: &SweepRunner,
     points: &[SweepPoint],
     outcomes: &[SweepOutcome],
 ) -> std::io::Result<PathBuf> {
+    let results: Vec<Result<SweepOutcome, PointFailure>> =
+        outcomes.iter().cloned().map(Ok).collect();
+    write_bench_json_results(name, runner, points, &results)
+}
+
+/// Like [`write_bench_json`] but for [`SweepRunner::try_run`] results:
+/// failed points appear as structured `"error"` entries and flip the
+/// document's `"degraded"` flag.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or renaming the temp file.
+pub fn write_bench_json_results(
+    name: &str,
+    runner: &SweepRunner,
+    points: &[SweepPoint],
+    results: &[Result<SweepOutcome, PointFailure>],
+) -> std::io::Result<PathBuf> {
     let dir = std::env::var("NUCANET_BENCH_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("."));
     let path = dir.join(format!("BENCH_{name}.json"));
-    std::fs::write(&path, render_json(name, runner.workers(), points, outcomes))?;
+    write_atomically(
+        &path,
+        &render_json_results(name, runner.workers(), points, results),
+    )?;
     Ok(path)
 }
 
 /// Formats a percentage with one decimal.
+#[must_use]
 pub fn pct(x: f64) -> String {
     format!("{:5.1}", 100.0 * x)
 }
@@ -84,6 +174,23 @@ mod tests {
         let s = scale_from_env();
         assert!(s.measured > 0);
         assert!(s.warmup > 0);
+    }
+
+    #[test]
+    fn env_numbers_parse_decimal_and_hex() {
+        assert_eq!(parse_env_u64("4000"), Ok(4_000));
+        assert_eq!(parse_env_u64(" 12 "), Ok(12));
+        assert_eq!(parse_env_u64("0xCAFE"), Ok(0xCAFE));
+        assert_eq!(parse_env_u64("0Xcafe"), Ok(0xCAFE));
+        assert_eq!(parse_env_u64("0"), Ok(0));
+    }
+
+    #[test]
+    fn env_numbers_reject_garbage() {
+        for bad in ["", "40k", "4e3", "-1", "0x", "0xZZ", "40 00"] {
+            let e = parse_env_u64(bad).unwrap_err();
+            assert!(e.contains("not an unsigned integer"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum ParseError {
         value: String,
         expected: &'static str,
     },
+    /// The command parsed fine but the simulation itself aborted (for
+    /// example an injected fault partitioned the network and tripped
+    /// the watchdog).
+    SimulationFailed(String),
 }
 
 impl fmt::Display for ParseError {
@@ -44,6 +48,7 @@ impl fmt::Display for ParseError {
             } => {
                 write!(f, "bad value '{value}' for --{key}; expected {expected}")
             }
+            ParseError::SimulationFailed(msg) => write!(f, "simulation failed: {msg}"),
         }
     }
 }

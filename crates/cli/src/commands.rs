@@ -6,8 +6,8 @@ use nucanet::config::ALL_DESIGNS;
 use nucanet::energy::energy_of_run;
 use nucanet::experiments::{run_cell, ExperimentScale};
 use nucanet::scheme::ALL_SCHEMES;
-use nucanet::sweep::{capacity_points, render_json, SweepRunner};
-use nucanet::{CacheSystem, Scheme};
+use nucanet::sweep::{capacity_points, render_json_results, write_atomically, SweepRunner};
+use nucanet::{CacheSystem, FaultConfig, Scheme};
 use nucanet_noc::{LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
 
@@ -67,7 +67,12 @@ pub fn help_text() -> String {
      \x20 --seed N             workload seed\n\
      \x20 --workers N          sweep worker threads (default: all cores)\n\
      \x20 --json PATH          sweep only: also write machine-readable JSON\n\
-     \x20 --csv 1              emit CSV instead of aligned text\n"
+     \x20 --faults N           sweep only: inject N random link faults per point\n\
+     \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
+     \x20 --csv 1              emit CSV instead of aligned text\n\
+     \n\
+     A sweep point whose faults partition the network fails alone\n\
+     (watchdog error in the table and JSON); the other points complete.\n"
         .into()
 }
 
@@ -112,7 +117,9 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
             gen.generate(scale.warmup, scale.measured)
         })
         .collect();
-    let ms = sys.run_cmp(&traces);
+    let ms = sys
+        .run_cmp(&traces)
+        .map_err(|e| ParseError::SimulationFailed(e.to_string()))?;
     let mut out = format!("{design:?} / {scheme} / {} x{cores} cores\n", bench.name);
     for (i, m) in ms.iter().enumerate() {
         out.push_str(&format!("core {i}: {}\n", metrics_line(m)));
@@ -251,45 +258,96 @@ fn cmd_census() -> String {
     )
 }
 
+/// Cycle window in which `--faults` places random link failures. Warm-up
+/// is functional (no cycles), so even the smallest sweep point simulates
+/// well past this window and every scheduled fault actually lands.
+const FAULT_WINDOW: (u64, u64) = (1, 1_000);
+
 fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
     let bench = args.benchmark()?;
     let scale = scale_of(args)?;
     let workers = args.get_usize("workers", 0)?;
+    let faults = args.get_usize("faults", 0)?;
+    let repair = args.get_usize("fault-repair", 0)?;
     let runner = if workers == 0 {
         SweepRunner::new()
     } else {
         SweepRunner::with_workers(workers)
     };
-    let points = capacity_points(bench, scale);
-    let outcomes = runner.run(&points);
+    let mut points = capacity_points(bench, scale);
+    if faults > 0 {
+        let fc = FaultConfig::random(
+            faults as u32,
+            FAULT_WINDOW,
+            (repair > 0).then_some(repair as u64),
+        );
+        for p in &mut points {
+            p.config.faults = Some(fc.clone());
+        }
+    }
+    let results = runner.try_run(&points);
     let mut t = Table::new(vec![
-        "point", "avg", "p50", "p95", "p99", "hitrate", "ipc",
+        "point", "avg", "p50", "p95", "p99", "hitrate", "ipc", "status",
     ]);
-    for o in &outcomes {
-        let p = |q: f64| {
-            o.metrics
-                .latency_percentile(q)
-                .map_or_else(|| "-".into(), |v| v.to_string())
-        };
-        t.push(vec![
-            o.label.clone(),
-            format!("{:.1}", o.metrics.avg_latency()),
-            p(0.50),
-            p(0.95),
-            p(0.99),
-            format!("{:.3}", o.metrics.hit_rate()),
-            format!("{:.3}", o.ipc),
-        ]);
+    let mut failures = Vec::new();
+    for r in &results {
+        match r {
+            Ok(o) => {
+                let p = |q: f64| {
+                    o.metrics
+                        .latency_percentile(q)
+                        .map_or_else(|| "-".into(), |v| v.to_string())
+                };
+                let status = if o.metrics.net.link_down_events > 0 {
+                    format!("ok ({} faults)", o.metrics.net.link_down_events)
+                } else {
+                    "ok".into()
+                };
+                t.push(vec![
+                    o.label.clone(),
+                    format!("{:.1}", o.metrics.avg_latency()),
+                    p(0.50),
+                    p(0.95),
+                    p(0.99),
+                    format!("{:.3}", o.metrics.hit_rate()),
+                    format!("{:.3}", o.ipc),
+                    status,
+                ]);
+            }
+            Err(f) => {
+                let dash = || "-".to_string();
+                t.push(vec![
+                    f.label.clone(),
+                    dash(),
+                    dash(),
+                    dash(),
+                    dash(),
+                    dash(),
+                    dash(),
+                    format!("error: {}", f.error.kind()),
+                ]);
+                failures.push(f);
+            }
+        }
     }
     let mut out = render(args, t);
+    for f in &failures {
+        out.push_str(&format!("point '{}' failed: {}\n", f.label, f.error));
+    }
+    if !failures.is_empty() {
+        out.push_str(&format!(
+            "{}/{} points failed; surviving results are reported above (degraded sweep)\n",
+            failures.len(),
+            results.len()
+        ));
+    }
     if let Some(path) = args.get("json") {
-        std::fs::write(path, render_json("sweep", runner.workers(), &points, &outcomes)).map_err(
-            |e| ParseError::BadValue {
-                key: "json".into(),
-                value: format!("{path}: {e}"),
-                expected: "a writable path",
-            },
-        )?;
+        let json = render_json_results("sweep", runner.workers(), &points, &results);
+        write_atomically(std::path::Path::new(path), &json).map_err(|e| ParseError::BadValue {
+            key: "json".into(),
+            value: format!("{path}: {e}"),
+            expected: "a writable path",
+        })?;
         out.push_str(&format!("wrote {path}\n"));
     }
     Ok(out)
@@ -334,7 +392,9 @@ fn cmd_replay(args: &Args) -> Result<String, ParseError> {
         }
     })?;
     let mut sys = CacheSystem::new(&design.config(scheme));
-    let m = sys.run(&trace);
+    let m = sys
+        .run(&trace)
+        .map_err(|e| ParseError::SimulationFailed(e.to_string()))?;
     Ok(format!(
         "{design:?} / {scheme} / {path}\n{}\n",
         metrics_line(&m)
@@ -451,9 +511,22 @@ mod tests {
         ));
         assert!(out.contains("wrote"), "{out}");
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"schema\": \"nucanet/sweep-v1\""), "{json}");
+        assert!(json.contains("\"schema\": \"nucanet/sweep-v2\""), "{json}");
         assert!(json.contains("\"p99\":"), "{json}");
+        assert!(json.contains("\"errors\": 0"), "{json}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_with_repaired_faults_completes() {
+        // Transient faults (repaired after 300 cycles) drain and reroute;
+        // every point should still finish and report its fault count.
+        let out = run(
+            "sweep --bench art --accesses 40 --warmup 800 --sets 32 --workers 2 \
+             --faults 2 --fault-repair 300",
+        );
+        assert!(out.contains("ok (2 faults)"), "{out}");
+        assert!(!out.contains("failed"), "{out}");
     }
 
     #[test]

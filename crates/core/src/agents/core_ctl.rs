@@ -78,6 +78,7 @@ struct Txn {
     tag: u32,
     write: bool,
     issued_at: u64,
+    retries_left: u8,
     data_done: Option<u64>,
     hit_position: Option<u8>,
     miss_count: u8,
@@ -111,6 +112,16 @@ pub struct CoreController {
     /// How deep into the queue admission may look (an MSHR-like window).
     admission_scan: usize,
     completed: Vec<AccessRecord>,
+    /// Cancel-and-retry deadline in cycles since admission, if any.
+    timeout: Option<u64>,
+    /// Retries granted to each access before it is dropped.
+    retry_budget: u8,
+    /// Ids of cancelled transactions whose packets may still be in
+    /// flight; their late replies are dropped instead of panicking.
+    /// Grows with the number of timeouts, which a finite trace bounds.
+    stale: HashSet<u32>,
+    timeouts: u64,
+    retries: u64,
 }
 
 impl CoreController {
@@ -151,7 +162,89 @@ impl CoreController {
             max_outstanding: max_outstanding.max(1),
             admission_scan: 16,
             completed: Vec::new(),
+            timeout: None,
+            retry_budget: 0,
+            stale: HashSet::new(),
+            timeouts: 0,
+            retries: 0,
         }
+    }
+
+    /// Arms the cancel-and-retry path: a transaction older than
+    /// `timeout` cycles is cancelled and, while it has retries left,
+    /// reissued as a fresh transaction. `None` disarms it.
+    pub fn set_request_timeout(&mut self, timeout: Option<u64>, retries: u8) {
+        self.timeout = timeout;
+        self.retry_budget = retries;
+    }
+
+    /// Accesses dropped after exhausting their retries.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Retry attempts issued so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The earliest cycle at which an in-flight transaction can expire,
+    /// if the timeout path is armed and anything is outstanding.
+    pub fn next_expiry(&self) -> Option<u64> {
+        let to = self.timeout?;
+        self.txns
+            .values()
+            .map(|t| t.issued_at.saturating_add(to))
+            .min()
+    }
+
+    /// Cancels transactions stranded past the timeout (e.g. by a link
+    /// fault). A cancelled transaction with retries left is reissued
+    /// immediately as a fresh transaction (same bank-set lock); one out
+    /// of retries releases its lock and is counted as timed out — it
+    /// produces no [`AccessRecord`]. Late replies to cancelled ids are
+    /// silently dropped by [`CoreController::handle`].
+    ///
+    /// Expired ids are processed in sorted order so the emitted retry
+    /// packets are deterministic.
+    pub fn expire_stranded(&mut self, now: u64) -> Vec<(Endpoint, Outgoing)> {
+        let Some(to) = self.timeout else {
+            return Vec::new();
+        };
+        let mut expired: Vec<u32> = self
+            .txns
+            .iter()
+            .filter(|(_, t)| now >= t.issued_at.saturating_add(to))
+            .map(|(&id, _)| id)
+            .collect();
+        if expired.is_empty() {
+            return Vec::new();
+        }
+        expired.sort_unstable();
+        let mut out = Vec::new();
+        for id in expired {
+            let t = self.txns.remove(&id).expect("id came from the map");
+            self.stale.insert(id);
+            let a = PendingAccess {
+                column: t.column,
+                index: t.index,
+                tag: t.tag,
+                write: t.write,
+            };
+            if t.retries_left > 0 {
+                // The retry inherits the cancelled transaction's set
+                // lock, so no competing access can slip in between.
+                self.retries += 1;
+                let txn = self.next_txn;
+                self.next_txn += 1;
+                let src = self.port_for(a.column);
+                out.push((src, self.issue(txn, a, now, t.retries_left - 1)));
+            } else {
+                self.timeouts += 1;
+                self.locks.borrow_mut().unlock(a.column, a.index);
+            }
+        }
+        out
     }
 
     /// Offsets this controller's transaction ids so several controllers
@@ -219,6 +312,12 @@ impl CoreController {
         let txn = self.next_txn;
         self.next_txn += 1;
         self.locks.borrow_mut().lock(a.column, a.index);
+        self.issue(txn, a, now, self.retry_budget)
+    }
+
+    /// Registers transaction `txn` for `a` (the set lock must already be
+    /// held) and builds its request packet.
+    fn issue(&mut self, txn: u32, a: PendingAccess, now: u64, retries_left: u8) -> Outgoing {
         self.txns.insert(
             txn,
             Txn {
@@ -227,6 +326,7 @@ impl CoreController {
                 tag: a.tag,
                 write: a.write,
                 issued_at: now,
+                retries_left,
                 data_done: None,
                 hit_position: None,
                 miss_count: 0,
@@ -287,6 +387,8 @@ impl CoreController {
     }
 
     /// Handles a message addressed to the core; may emit a memory fetch.
+    /// Late replies to transactions cancelled by the timeout path are
+    /// dropped.
     ///
     /// # Panics
     ///
@@ -296,6 +398,9 @@ impl CoreController {
         let id = msg.txn();
         let positions = self.positions;
         let scheme = self.scheme;
+        if !self.txns.contains_key(&id) && self.stale.contains(&id) {
+            return Vec::new();
+        }
         let t = self
             .txns
             .get_mut(&id)
@@ -428,9 +533,14 @@ impl CoreController {
     }
 
     /// Debug dump of stuck transactions (used by the system watchdog).
+    /// Sorted by id so the dump is deterministic (it ends up in
+    /// [`nucanet_noc::SimError::Wedged`], which sweeps serialise).
     pub fn debug_stuck(&self) -> String {
+        let mut ids: Vec<u32> = self.txns.keys().copied().collect();
+        ids.sort_unstable();
         let mut s = String::new();
-        for (id, t) in &self.txns {
+        for id in ids {
+            let t = &self.txns[&id];
             s.push_str(&format!(
                 "txn {id}: col {} idx {} data={:?} notifies={} misses={} \
                  exp_c={} c={:?} exp_f={} f={:?}\n",
@@ -782,6 +892,73 @@ mod tests {
         }
         let out = c.try_admit(0);
         assert_eq!(out.len(), 4, "max_outstanding = 4");
+    }
+
+    #[test]
+    fn timeout_reissues_with_fresh_txn_id() {
+        let mut c = controller(Scheme::MulticastFastLru);
+        c.set_request_timeout(Some(100), 1);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        assert_eq!(c.next_expiry(), Some(100));
+        assert!(c.expire_stranded(99).is_empty(), "not yet due");
+        let out = c.expire_stranded(100);
+        assert_eq!(out.len(), 1, "one retry request");
+        assert_eq!(c.retries(), 1);
+        assert_eq!(c.timeouts(), 0);
+        assert!(
+            matches!(out[0].1.msg, CacheMsg::Request { txn: 1, .. }),
+            "retry uses a fresh txn id"
+        );
+        // The original id's late replies are dropped, the retry's land.
+        assert!(c
+            .handle(
+                &CacheMsg::HitData {
+                    txn: 0,
+                    position: 0,
+                    acc_bank: 2,
+                },
+                120,
+            )
+            .is_empty());
+        assert_eq!(c.outstanding(), 1, "stale reply did not retire anything");
+        for _ in 0..4 {
+            c.handle(
+                &CacheMsg::HitData {
+                    txn: 1,
+                    position: 0,
+                    acc_bank: 2,
+                },
+                150,
+            );
+        }
+        assert!(c.is_done());
+        let rec = c.take_completed();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].latency, 50, "latency counts from the retry");
+    }
+
+    #[test]
+    fn exhausted_retries_drop_the_access_and_unlock() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.set_request_timeout(Some(10), 0);
+        c.push_access(acc(0, 1, 2));
+        c.push_access(acc(0, 1, 3)); // same set, blocked behind the first
+        let _ = c.try_admit(0);
+        assert!(c.expire_stranded(10).is_empty(), "no retries left");
+        assert_eq!(c.timeouts(), 1);
+        assert_eq!(c.outstanding(), 0);
+        let out = c.try_admit(11);
+        assert_eq!(out.len(), 1, "dropped access released its set lock");
+    }
+
+    #[test]
+    fn timeout_disarmed_by_default() {
+        let mut c = controller(Scheme::UnicastLru);
+        c.push_access(acc(0, 1, 2));
+        let _ = c.try_admit(0);
+        assert_eq!(c.next_expiry(), None);
+        assert!(c.expire_stranded(u64::MAX).is_empty());
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! run any [`Scheme`]. Link delays come from bank geometry via the
 //! Cacti/wire models (Table 1's 1/2/2/3 cycles per tile).
 
-use nucanet_noc::{Endpoint, RouterParams, RoutingSpec, Topology};
+use nucanet_noc::{
+    Endpoint, FaultEvent, FaultSchedule, LinkId, RouterParams, RoutingSpec, Topology,
+};
 use nucanet_timing::{BankModel, BankTiming, Technology};
 
 use crate::scheme::Scheme;
@@ -58,6 +60,81 @@ pub struct SystemConfig {
     pub per_column_limit: u8,
     /// Technology node.
     pub tech: Technology,
+    /// Cancel-and-retry deadline for an in-flight request, in cycles
+    /// since admission. `None` (the default) waits forever and leaves
+    /// stranded traffic to the network watchdog.
+    pub request_timeout: Option<u64>,
+    /// Retries granted to a timed-out request before it is dropped and
+    /// counted as timed out. Only meaningful with `request_timeout`.
+    pub request_retries: u8,
+    /// Optional link-fault injection, applied when the system is built.
+    pub faults: Option<FaultConfig>,
+}
+
+/// Link-fault injection settings for a [`SystemConfig`].
+///
+/// The resulting [`FaultSchedule`] is a pure function of this struct and
+/// the topology's link count, so runs are reproducible from the
+/// configuration alone. Sweep points override [`FaultConfig::seed`] with
+/// a value derived from their own RNG stream, keeping fault-injected
+/// sweeps bit-identical across worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the randomly placed faults.
+    pub seed: u64,
+    /// Number of seeded-random link-down events.
+    pub random_faults: u32,
+    /// Half-open cycle window the random faults fall in.
+    pub window: (u64, u64),
+    /// When set, every random fault heals this many cycles after it
+    /// strikes; `None` makes random faults permanent.
+    pub repair_after: Option<u64>,
+    /// Explicit events (targeted tests), merged with the random ones.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultConfig {
+    /// `count` random faults in `window`, healing after `repair_after`.
+    pub fn random(count: u32, window: (u64, u64), repair_after: Option<u64>) -> Self {
+        FaultConfig {
+            seed: 0,
+            random_faults: count,
+            window,
+            repair_after,
+            events: Vec::new(),
+        }
+    }
+
+    /// A single permanent failure of `link` at `cycle`.
+    pub fn permanent(link: LinkId, cycle: u64) -> Self {
+        FaultConfig {
+            seed: 0,
+            random_faults: 0,
+            window: (0, 1),
+            repair_after: None,
+            events: vec![FaultEvent {
+                cycle,
+                link,
+                up: false,
+            }],
+        }
+    }
+
+    /// Materialises the schedule for a topology with `link_count` links.
+    pub fn schedule(&self, link_count: usize) -> FaultSchedule {
+        let mut events = self.events.clone();
+        if self.random_faults > 0 {
+            let random = FaultSchedule::random(
+                self.seed,
+                link_count,
+                self.random_faults,
+                self.window,
+                self.repair_after,
+            );
+            events.extend_from_slice(random.events());
+        }
+        FaultSchedule::new(events)
+    }
 }
 
 /// Table 3's six network designs.
@@ -125,6 +202,9 @@ impl Design {
             max_outstanding: 4,
             per_column_limit: 2,
             tech: Technology::hpca07_65nm(),
+            request_timeout: None,
+            request_retries: 0,
+            faults: None,
         }
     }
 
@@ -535,6 +615,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fault_config_schedule_is_pure() {
+        let mut fc = FaultConfig::random(3, (10, 500), Some(40));
+        fc.seed = 0xF00D;
+        fc.events.push(FaultEvent {
+            cycle: 7,
+            link: LinkId(2),
+            up: false,
+        });
+        let a = fc.schedule(24);
+        let b = fc.schedule(24);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7, "explicit event + 3 faults + 3 repairs");
+        assert_eq!(a.events()[0].cycle, 7, "explicit event merged in order");
+        let mut other = fc.clone();
+        other.seed = 0xBEEF;
+        assert_ne!(a, other.schedule(24));
+    }
+
+    #[test]
+    fn fault_config_permanent_is_single_event() {
+        let s = FaultConfig::permanent(LinkId(5), 100).schedule(24);
+        assert_eq!(s.len(), 1);
+        assert!(!s.events()[0].up);
     }
 
     #[test]

@@ -53,6 +53,11 @@ impl ExperimentScale {
 
 /// Runs one (design, scheme, benchmark) cell and returns its metrics
 /// plus the modelled IPC.
+///
+/// # Panics
+///
+/// Panics when the simulation errors (canned experiments inject no
+/// faults, so an error here is a protocol or network bug).
 pub fn run_cell(
     design: Design,
     scheme: Scheme,
@@ -70,7 +75,9 @@ pub fn run_cell(
     );
     let trace = gen.generate(scale.warmup, scale.measured);
     let mut sys = CacheSystem::new(&cfg);
-    let metrics = sys.run(&trace);
+    let metrics = sys
+        .run(&trace)
+        .unwrap_or_else(|e| panic!("{design:?}/{scheme}/{}: {e}", profile.name));
     let ipc = metrics.ipc(&CoreModel::for_profile(profile));
     (metrics, ipc)
 }

@@ -40,7 +40,7 @@
 //! let trace = gen.generate(2_000, 300);
 //!
 //! let mut sys = CacheSystem::new(&cfg);
-//! let metrics = sys.run(&trace);
+//! let metrics = sys.run(&trace).expect("healthy run");
 //! assert_eq!(metrics.accesses(), 300);
 //! assert!(metrics.avg_latency() > 0.0);
 //! ```
@@ -57,10 +57,10 @@ pub mod sweep;
 pub mod system;
 
 pub use area::{AreaBreakdown, DesignArea};
-pub use config::{Design, SystemConfig, SystemLayout, TopologyChoice};
+pub use config::{Design, FaultConfig, SystemConfig, SystemLayout, TopologyChoice};
 pub use energy::EnergyReport;
 pub use metrics::{AccessRecord, Metrics};
 pub use msg::CacheMsg;
 pub use scheme::Scheme;
-pub use sweep::{SweepOutcome, SweepPoint, SweepRunner};
+pub use sweep::{PointError, PointFailure, SweepOutcome, SweepPoint, SweepRunner};
 pub use system::CacheSystem;

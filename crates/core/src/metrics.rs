@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 
+use nucanet_noc::stats::nearest_rank;
 use nucanet_noc::NetStats;
 use nucanet_workload::CoreModel;
 
@@ -133,15 +134,21 @@ impl LatencyHistogram {
     /// smallest recorded value `v` such that at least `ceil(q · count)`
     /// samples are ≤ `v`. Returns `None` when empty.
     ///
+    /// The rank is computed in integer arithmetic (see
+    /// [`nearest_rank`]), so decimal quantiles hit the exact
+    /// order-statistic even where `ceil` on the f64 product would round
+    /// the wrong way (e.g. `q = 0.07` of 100 samples) and for counts
+    /// beyond 2⁵³.
+    ///
     /// # Panics
     ///
     /// Panics when `q` is outside `[0, 1]`.
     pub fn percentile(&self, q: f64) -> Option<u64> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.count == 0 {
+            assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
             return None;
         }
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let target = nearest_rank(q, self.count);
         let mut acc = 0u64;
         for (v, &c) in self.fine.iter().enumerate() {
             acc += c;
@@ -195,6 +202,11 @@ pub struct Metrics {
     pub bank_ops_by_kb: Vec<(u32, u64)>,
     /// Off-chip block transfers (fetches + writebacks).
     pub mem_ops: u64,
+    /// Accesses cancelled by the request timeout after exhausting their
+    /// retries (dropped, not recorded in the latency aggregates).
+    pub timed_out_accesses: u64,
+    /// Retry attempts issued by the request-timeout path.
+    pub retried_accesses: u64,
 
     // Streaming aggregates, maintained in both capture modes.
     latency: LatencyHistogram,
@@ -392,6 +404,8 @@ impl Metrics {
         }
         self.bank_ops_by_kb.sort_unstable_by_key(|&(kb, _)| kb);
         self.mem_ops += other.mem_ops;
+        self.timed_out_accesses += other.timed_out_accesses;
+        self.retried_accesses += other.retried_accesses;
     }
 }
 
@@ -530,7 +544,7 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             // Mostly small latencies with occasional large outliers,
             // like a real run.
-            let v = if x % 100 == 0 {
+            let v = if x.is_multiple_of(100) {
                 5_000 + (x >> 32) % 50_000
             } else {
                 (x >> 40) % 600
@@ -549,6 +563,32 @@ mod tests {
             assert_eq!(h.percentile(q), Some(exact), "q={q}");
         }
         assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn percentile_rank_is_integer_exact() {
+        // 100 distinct samples 0..100. The 7th percentile is the 7th
+        // order statistic (value 6): ceil(0.07 · 100) = 7 in exact
+        // arithmetic, but the f64 product is 7.000000000000001, which
+        // `ceil` used to round up to rank 8 (value 7).
+        let mut h = LatencyHistogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.07), Some(6));
+
+        // Every whole-percent quantile matches the rank computed on the
+        // sorted raw samples with integer arithmetic.
+        let sorted: Vec<u64> = (0..100).collect();
+        for pct in 1..=100u64 {
+            let q = pct as f64 / 100.0;
+            let rank = pct; // ceil(pct/100 · 100) exactly
+            assert_eq!(
+                h.percentile(q),
+                Some(sorted[rank as usize - 1]),
+                "q={q}"
+            );
+        }
     }
 
     #[test]

@@ -26,10 +26,15 @@
 //! run. Callers who want decorrelated workloads across points can derive
 //! per-point seeds with [`derive_seed`].
 
+use std::fmt;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use nucanet_noc::SimError;
 use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, TraceGenerator};
 
 use crate::config::{Design, SystemConfig, TopologyChoice};
@@ -51,9 +56,32 @@ pub struct SweepPoint {
     pub scale: ExperimentScale,
 }
 
+/// Stream index mixed into [`derive_seed`] when a sweep point derives
+/// its fault-schedule seed, keeping the fault stream decorrelated from
+/// the trace stream that uses the raw point seed.
+const FAULT_SEED_STREAM: u64 = 0xFA17;
+
 impl SweepPoint {
     /// Runs this point to completion in `capture` mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the simulation fails (see [`SweepPoint::try_run`] for
+    /// the error-isolating variant).
     pub fn run(&self, capture: MetricsCapture) -> SweepOutcome {
+        self.try_run(capture)
+            .unwrap_or_else(|f| panic!("sweep point '{}' failed: {}", f.label, f.error))
+    }
+
+    /// Runs this point, reporting simulation failure as a structured
+    /// [`PointFailure`] instead of aborting.
+    ///
+    /// When the point's configuration carries a
+    /// [`crate::config::FaultConfig`], its seed is re-derived from the
+    /// point's own RNG stream ([`ExperimentScale::seed`], with the
+    /// configured seed mixed in as the stream index), so fault-injected
+    /// sweeps stay bit-identical regardless of worker count.
+    pub fn try_run(&self, capture: MetricsCapture) -> Result<SweepOutcome, PointFailure> {
         let start = Instant::now();
         let mut gen = TraceGenerator::new(
             self.profile,
@@ -64,17 +92,89 @@ impl SweepPoint {
             },
         );
         let trace = gen.generate(self.scale.warmup, self.scale.measured);
-        let mut sys = CacheSystem::new(&self.config);
-        sys.set_metrics_capture(capture);
-        let metrics = sys.run(&trace);
-        let ipc = metrics.ipc(&CoreModel::for_profile(&self.profile));
-        SweepOutcome {
+        let mut cfg = self.config.clone();
+        if let Some(fc) = cfg.faults.as_mut() {
+            fc.seed = derive_seed(self.scale.seed, FAULT_SEED_STREAM.wrapping_add(fc.seed));
+        }
+        let sim = catch_unwind(AssertUnwindSafe(|| {
+            let mut sys = CacheSystem::new(&cfg);
+            sys.set_metrics_capture(capture);
+            sys.run(&trace)
+        }));
+        let error = match sim {
+            Ok(Ok(metrics)) => {
+                let ipc = metrics.ipc(&CoreModel::for_profile(&self.profile));
+                return Ok(SweepOutcome {
+                    label: self.label.clone(),
+                    metrics,
+                    ipc,
+                    wall: start.elapsed(),
+                });
+            }
+            Ok(Err(e)) => PointError::Sim(e),
+            Err(payload) => PointError::Panic(panic_message(&payload)),
+        };
+        Err(PointFailure {
             label: self.label.clone(),
-            metrics,
-            ipc,
+            error,
             wall: start.elapsed(),
+        })
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Why one sweep point failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointError {
+    /// The simulation surfaced a structured error (watchdog, wedge,
+    /// cycle ceiling).
+    Sim(SimError),
+    /// The point panicked; the payload message is preserved.
+    Panic(String),
+}
+
+impl PointError {
+    /// Short machine-readable kind tag used in the JSON report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PointError::Sim(SimError::Watchdog { .. }) => "watchdog",
+            PointError::Sim(SimError::CycleLimit { .. }) => "cycle_limit",
+            PointError::Sim(SimError::Wedged { .. }) => "wedged",
+            PointError::Panic(_) => "panic",
         }
     }
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::Sim(e) => write!(f, "{e}"),
+            PointError::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+/// The failure record of one [`SweepPoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointFailure {
+    /// The point's label, copied through for reporting.
+    pub label: String,
+    /// What went wrong.
+    pub error: PointError,
+    /// Wall-clock time spent before the failure (host-dependent).
+    pub wall: Duration,
 }
 
 /// The completed measurement of one [`SweepPoint`].
@@ -156,26 +256,40 @@ impl SweepRunner {
     ///
     /// # Panics
     ///
-    /// Panics if any point's simulation panics (the panic is propagated
-    /// at scope join).
+    /// Panics on the first failed point. Use [`SweepRunner::try_run`]
+    /// when one bad point must not kill the rest of the sweep.
     pub fn run(&self, points: &[SweepPoint]) -> Vec<SweepOutcome> {
+        self.try_run(points)
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|f| panic!("sweep point '{}' failed: {}", f.label, f.error))
+            })
+            .collect()
+    }
+
+    /// Runs every point, isolating failures: a point that returns a
+    /// [`nucanet_noc::SimError`] or panics is reported as a
+    /// [`PointFailure`] in its input-order slot while every other point
+    /// still runs to completion. Successful outcomes are bit-identical
+    /// to [`SweepRunner::run`]'s for any worker count.
+    pub fn try_run(&self, points: &[SweepPoint]) -> Vec<Result<SweepOutcome, PointFailure>> {
         if points.is_empty() {
             return Vec::new();
         }
         let workers = self.workers.min(points.len());
         if workers == 1 {
-            return points.iter().map(|p| p.run(self.capture)).collect();
+            return points.iter().map(|p| p.try_run(self.capture)).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<SweepOutcome>>> =
-            points.iter().map(|_| Mutex::new(None)).collect();
+        type Slot = Mutex<Option<Result<SweepOutcome, PointFailure>>>;
+        let slots: Vec<Slot> = points.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(point) = points.get(i) else { break };
-                    let outcome = point.run(self.capture);
-                    *slots[i].lock().expect("slot lock poisoned") = Some(outcome);
+                    let result = point.try_run(self.capture);
+                    *slots[i].lock().expect("slot lock poisoned") = Some(result);
                 });
             }
         });
@@ -184,7 +298,7 @@ impl SweepRunner {
             .map(|slot| {
                 slot.into_inner()
                     .expect("slot lock poisoned")
-                    .expect("every claimed point stores an outcome")
+                    .expect("every claimed point stores a result")
             })
             .collect()
     }
@@ -268,29 +382,61 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Renders sweep outcomes as the machine-readable `BENCH_*.json`
-/// document (schema `nucanet/sweep-v1`): per point the configuration
+/// document (schema `nucanet/sweep-v2`): per point the configuration
 /// identity, wall time, simulated cycles, hit rate, mean latency and
-/// exact p50/p95/p99 latency percentiles, and modelled IPC.
-pub fn render_json(name: &str, workers: usize, points: &[SweepPoint], outcomes: &[SweepOutcome]) -> String {
-    assert_eq!(points.len(), outcomes.len(), "one outcome per point");
-    let total_wall: Duration = outcomes.iter().map(|o| o.wall).sum();
+/// exact p50/p95/p99 latency percentiles, modelled IPC, and the fault /
+/// degradation counters. Equivalent to [`render_json_results`] with
+/// every point successful.
+pub fn render_json(
+    name: &str,
+    workers: usize,
+    points: &[SweepPoint],
+    outcomes: &[SweepOutcome],
+) -> String {
+    let results: Vec<Result<SweepOutcome, PointFailure>> =
+        outcomes.iter().cloned().map(Ok).collect();
+    render_json_results(name, workers, points, &results)
+}
+
+/// Renders a fault-isolating sweep ([`SweepRunner::try_run`]) as schema
+/// `nucanet/sweep-v2`. Failed points keep their configuration identity
+/// and carry an `"error"` object (`kind` + `message`) instead of the
+/// measurement fields; the document header reports the failure count
+/// under `"errors"` and sets `"degraded"` when any point failed.
+pub fn render_json_results(
+    name: &str,
+    workers: usize,
+    points: &[SweepPoint],
+    results: &[Result<SweepOutcome, PointFailure>],
+) -> String {
+    assert_eq!(points.len(), results.len(), "one result per point");
+    let total_wall: Duration = results
+        .iter()
+        .map(|r| match r {
+            Ok(o) => o.wall,
+            Err(f) => f.wall,
+        })
+        .sum();
+    let errors = results.iter().filter(|r| r.is_err()).count();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"nucanet/sweep-v1\",\n");
+    out.push_str("  \"schema\": \"nucanet/sweep-v2\",\n");
     out.push_str(&format!("  \"name\": \"{}\",\n", json_escape(name)));
     out.push_str(&format!("  \"workers\": {workers},\n"));
     out.push_str(&format!(
         "  \"cpu_time_ms\": {},\n",
         total_wall.as_millis()
     ));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"degraded\": {},\n", errors > 0));
     out.push_str("  \"points\": [\n");
-    for (i, (p, o)) in points.iter().zip(outcomes).enumerate() {
-        let m = &o.metrics;
+    for (i, (p, r)) in points.iter().zip(results).enumerate() {
         out.push_str("    {\n");
-        out.push_str(&format!(
-            "      \"label\": \"{}\",\n",
-            json_escape(&o.label)
-        ));
+        let label = match r {
+            Ok(o) => &o.label,
+            Err(f) => &f.label,
+        };
+        out.push_str(&format!("      \"label\": \"{}\",\n", json_escape(label)));
         out.push_str(&format!(
             "      \"config\": \"{}\",\n",
             json_escape(&p.config.name)
@@ -316,25 +462,59 @@ pub fn render_json(name: &str, workers: usize, points: &[SweepPoint], outcomes: 
         out.push_str(&format!("      \"warmup\": {},\n", p.scale.warmup));
         out.push_str(&format!("      \"measured\": {},\n", p.scale.measured));
         out.push_str(&format!("      \"seed\": {},\n", p.scale.seed));
-        out.push_str(&format!("      \"wall_ms\": {},\n", o.wall.as_millis()));
-        out.push_str(&format!("      \"sim_cycles\": {},\n", m.cycles));
-        out.push_str(&format!("      \"accesses\": {},\n", m.accesses()));
-        out.push_str(&format!(
-            "      \"hit_rate\": {},\n",
-            json_f64(m.hit_rate())
-        ));
-        out.push_str(&format!(
-            "      \"avg_latency\": {},\n",
-            json_f64(m.avg_latency())
-        ));
-        for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
-            match m.latency_percentile(q) {
-                Some(v) => out.push_str(&format!("      \"{key}\": {v},\n")),
-                None => out.push_str(&format!("      \"{key}\": null,\n")),
+        match r {
+            Ok(o) => {
+                let m = &o.metrics;
+                out.push_str(&format!("      \"wall_ms\": {},\n", o.wall.as_millis()));
+                out.push_str(&format!("      \"sim_cycles\": {},\n", m.cycles));
+                out.push_str(&format!("      \"accesses\": {},\n", m.accesses()));
+                out.push_str(&format!(
+                    "      \"hit_rate\": {},\n",
+                    json_f64(m.hit_rate())
+                ));
+                out.push_str(&format!(
+                    "      \"avg_latency\": {},\n",
+                    json_f64(m.avg_latency())
+                ));
+                for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                    match m.latency_percentile(q) {
+                        Some(v) => out.push_str(&format!("      \"{key}\": {v},\n")),
+                        None => out.push_str(&format!("      \"{key}\": null,\n")),
+                    }
+                }
+                out.push_str(&format!(
+                    "      \"link_down_events\": {},\n",
+                    m.net.link_down_events
+                ));
+                out.push_str(&format!(
+                    "      \"packets_rerouted\": {},\n",
+                    m.net.packets_rerouted
+                ));
+                out.push_str(&format!(
+                    "      \"retried_accesses\": {},\n",
+                    m.retried_accesses
+                ));
+                out.push_str(&format!(
+                    "      \"timed_out_accesses\": {},\n",
+                    m.timed_out_accesses
+                ));
+                out.push_str(&format!("      \"ipc\": {}\n", json_f64(o.ipc)));
+            }
+            Err(f) => {
+                out.push_str(&format!("      \"wall_ms\": {},\n", f.wall.as_millis()));
+                out.push_str("      \"error\": {\n");
+                out.push_str(&format!(
+                    "        \"kind\": \"{}\",\n",
+                    f.error.kind()
+                ));
+                out.push_str(&format!(
+                    "        \"message\": \"{}\"\n",
+                    json_escape(&f.error.to_string())
+                ));
+                out.push_str("      }\n");
             }
         }
-        out.push_str(&format!("      \"ipc\": {}\n", json_f64(o.ipc)));
-        out.push_str(if i + 1 == outcomes.len() {
+        out.push_str(if i + 1 == results.len() {
             "    }\n"
         } else {
             "    },\n"
@@ -343,6 +523,27 @@ pub fn render_json(name: &str, workers: usize, points: &[SweepPoint], outcomes: 
     out.push_str("  ]\n");
     out.push_str("}\n");
     out
+}
+
+/// Writes `contents` to `path` atomically: the bytes go to a temporary
+/// sibling file (same directory, so the rename cannot cross file
+/// systems) which is then renamed over the target. A crash mid-write
+/// leaves either the old file or the new one, never a truncated mix.
+pub fn write_atomically(path: &Path, contents: &str) -> io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 #[cfg(test)]
@@ -436,14 +637,120 @@ mod tests {
         let points = tiny_points(2);
         let outcomes = SweepRunner::with_workers(2).run(&points);
         let json = render_json("unit", 2, &points, &outcomes);
-        assert!(json.contains("\"schema\": \"nucanet/sweep-v1\""));
+        assert!(json.contains("\"schema\": \"nucanet/sweep-v2\""));
         assert!(json.contains("\"label\": \"point-0\""));
         assert!(json.contains("\"p95\":"));
+        assert!(json.contains("\"errors\": 0"));
+        assert!(json.contains("\"degraded\": false"));
+        assert!(json.contains("\"packets_rerouted\": 0"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "balanced braces"
         );
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    /// A point whose network is cut by a permanent link fault at cycle 0.
+    /// XY routing cannot detour, so the point must end in a watchdog
+    /// error.
+    fn cut_point(label: &str) -> SweepPoint {
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.router.watchdog_cycles = 2_000;
+        let layout = cfg.build_layout();
+        // The vertical link leaving the column-0 MRU bank: every
+        // multicast to column 0 must cross it.
+        let n = layout.topo.node_at(0, 0);
+        let r = layout.topo.router(n);
+        let p = r
+            .port_by_label(nucanet_noc::PortLabel::YPlus)
+            .expect("mesh corner has a Y+ port");
+        let link = r.ports[p.0 as usize].out_link.expect("port has a link");
+        cfg.faults = Some(crate::config::FaultConfig::permanent(link, 0));
+        SweepPoint {
+            label: label.to_string(),
+            config: cfg,
+            profile: BenchmarkProfile::by_name("gcc").expect("profile"),
+            scale: ExperimentScale {
+                warmup: 600,
+                measured: 200,
+                active_sets: 64,
+                seed: 0xCAFE,
+            },
+        }
+    }
+
+    #[test]
+    fn faulted_point_fails_alone_and_the_sweep_completes() {
+        let mut points = tiny_points(3);
+        points.insert(1, cut_point("cut"));
+        let results = SweepRunner::with_workers(2).try_run(&points);
+        assert_eq!(results.len(), 4);
+        match &results[1] {
+            Err(PointFailure {
+                label,
+                error: PointError::Sim(SimError::Watchdog { blocked_heads, .. }),
+                ..
+            }) => {
+                assert_eq!(label, "cut");
+                assert!(*blocked_heads >= 1, "the cut head is visible");
+            }
+            other => panic!("expected a watchdog failure, got {other:?}"),
+        }
+        for (i, r) in results.iter().enumerate() {
+            if i != 1 {
+                let o = r.as_ref().expect("healthy points complete");
+                assert!(o.metrics.accesses() > 0);
+            }
+        }
+        let json = render_json_results("unit", 2, &points, &results);
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"degraded\": true"));
+        assert!(json.contains("\"kind\": \"watchdog\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn run_panics_on_a_failed_point() {
+        let p = cut_point("cut");
+        let err = p
+            .try_run(MetricsCapture::Streaming)
+            .expect_err("the cut point must fail");
+        assert_eq!(err.error.kind(), "watchdog");
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _ = SweepRunner::with_workers(1).run(std::slice::from_ref(&p));
+        }));
+        assert!(caught.is_err(), "run() propagates the failure as a panic");
+    }
+
+    #[test]
+    fn fault_seed_follows_the_point_stream() {
+        // Same point, same seed → identical structured failure; the
+        // derived fault seed must not depend on anything outside the
+        // point (wall time is excluded from the contract).
+        let a = cut_point("cut")
+            .try_run(MetricsCapture::Streaming)
+            .expect_err("cut point fails");
+        let b = cut_point("cut")
+            .try_run(MetricsCapture::Streaming)
+            .expect_err("cut point fails");
+        assert_eq!(a.error, b.error);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("nucanet-sweep-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("BENCH_unit.json");
+        write_atomically(&path, "first").expect("first write");
+        write_atomically(&path, "second").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("readable"), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir listing")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "no temp files remain: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -5,7 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 
 use nucanet_cache::{AddressMap, BankSetModel, Block};
-use nucanet_noc::{Endpoint, Network, Packet};
+use nucanet_noc::{Endpoint, FaultSchedule, Network, Packet, SimError};
 use nucanet_workload::{L2Access, Trace};
 
 use crate::agents::bank::{BankAgent, BankCtx};
@@ -173,10 +173,16 @@ impl CacheSystem {
             // Disjoint txn id spaces so banks can track requests across
             // cores.
             ctl.set_txn_base((i as u32) << 24);
+            ctl.set_request_timeout(cfg.request_timeout, cfg.request_retries);
             for e in ifaces {
                 core_of_endpoint.insert(*e, i);
             }
             cores.push(ctl);
+        }
+
+        let mut net = net;
+        if let Some(fc) = &cfg.faults {
+            net.set_fault_schedule(fc.schedule(layout.topo.link_count()));
         }
 
         CacheSystem {
@@ -295,7 +301,15 @@ impl CacheSystem {
 
     /// Runs a full trace: functional warm-up, then the timed measured
     /// window. Returns the measurement.
-    pub fn run(&mut self, trace: &Trace) -> Metrics {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the simulation cannot make progress:
+    /// a network watchdog trip (e.g. a permanent link fault partitions
+    /// the topology), a wedge with outstanding transactions, or the
+    /// `MAX_CYCLES` safety bound. The system is left in an undefined
+    /// mid-simulation state after an error; discard it.
+    pub fn run(&mut self, trace: &Trace) -> Result<Metrics, SimError> {
         self.warm(trace.warmup());
         let measured: Vec<L2Access> = trace.measured().copied().collect();
         self.run_timed(&measured)
@@ -303,11 +317,10 @@ impl CacheSystem {
 
     /// Runs `accesses` through the timed simulation (no warm-up).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the simulation exceeds the `MAX_CYCLES` safety bound or
-    /// wedges with in-flight transactions and no scheduled work.
-    pub fn run_timed(&mut self, accesses: &[L2Access]) -> Metrics {
+    /// See [`CacheSystem::run`].
+    pub fn run_timed(&mut self, accesses: &[L2Access]) -> Result<Metrics, SimError> {
         let start_cycle = self.net.cycle();
         for a in accesses {
             let b = self.map.decompose(a.addr);
@@ -319,7 +332,7 @@ impl CacheSystem {
             });
         }
         let mut live = self.fresh_live_metrics();
-        self.sim_loop(&mut live);
+        self.sim_loop(&mut live)?;
         self.measured_cycles = self.net.cycle() - start_cycle;
         // Only core 0 was driven, but fold every core's window so a
         // multi-core system behaves identically to the old path.
@@ -328,7 +341,7 @@ impl CacheSystem {
             m.merge(other);
         }
         self.finalize_metrics(&mut m);
-        m
+        Ok(m)
     }
 
     /// Runs per-core traces concurrently over the shared cache (CMP).
@@ -337,10 +350,14 @@ impl CacheSystem {
     /// network/energy counters, which are system-wide, ride on every
     /// entry).
     ///
+    /// # Errors
+    ///
+    /// See [`CacheSystem::run`].
+    ///
     /// # Panics
     ///
     /// Panics if `traces.len()` differs from the core count.
-    pub fn run_cmp(&mut self, traces: &[Trace]) -> Vec<Metrics> {
+    pub fn run_cmp(&mut self, traces: &[Trace]) -> Result<Vec<Metrics>, SimError> {
         assert_eq!(traces.len(), self.cores.len(), "one trace per core");
         // Interleave warm-ups round-robin so every core's working set is
         // resident.
@@ -367,12 +384,12 @@ impl CacheSystem {
             }
         }
         let mut live = self.fresh_live_metrics();
-        self.sim_loop(&mut live);
+        self.sim_loop(&mut live)?;
         self.measured_cycles = self.net.cycle() - start_cycle;
         for m in &mut live {
             self.finalize_metrics(m);
         }
-        live
+        Ok(live)
     }
 
     /// Number of cores sharing this cache.
@@ -387,10 +404,12 @@ impl CacheSystem {
             .collect()
     }
 
-    fn sim_loop(&mut self, live: &mut [Metrics]) {
+    fn sim_loop(&mut self, live: &mut [Metrics]) -> Result<(), SimError> {
         loop {
             let now = self.net.cycle();
-            assert!(now < MAX_CYCLES, "simulation exceeded {MAX_CYCLES} cycles");
+            if now >= MAX_CYCLES {
+                return Err(SimError::CycleLimit { limit: MAX_CYCLES });
+            }
 
             // Dispatch deliveries to agents.
             for d in self.net.drain_all_delivered() {
@@ -411,8 +430,12 @@ impl CacheSystem {
                 }
             }
 
-            // Admit new transactions (every core).
+            // Cancel and retry requests stranded past the timeout (e.g.
+            // by a link fault), then admit new transactions (every core).
             for i in 0..self.cores.len() {
+                for (src, o) in self.cores[i].expire_stranded(now) {
+                    self.schedule(src, o);
+                }
                 for (src, o) in self.cores[i].try_admit(now) {
                     self.schedule(src, o);
                 }
@@ -446,32 +469,44 @@ impl CacheSystem {
 
             // Advance time.
             if self.net.is_busy() {
-                self.net.step();
+                self.net.step()?;
             } else {
                 let t1 = self.net.next_event_cycle();
                 let t2 = self.outputs.peek().map(|e| e.when);
-                let next = match (t1, t2) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => panic!(
-                        "system wedged at cycle {now} with {} outstanding txns:\n{}",
-                        self.cores
-                            .iter()
-                            .map(CoreController::outstanding)
-                            .sum::<usize>(),
-                        self.cores
-                            .iter()
-                            .map(CoreController::debug_stuck)
-                            .collect::<String>()
-                    ),
+                // A pending retry deadline is scheduled work too: without
+                // it a system idled by a fault would be declared wedged
+                // before the timeout path gets a chance to fire.
+                let t3 = self
+                    .cores
+                    .iter()
+                    .filter_map(|c| c.next_expiry())
+                    .min()
+                    .map(|t| t.max(now + 1));
+                let next = match [t1, t2, t3].into_iter().flatten().min() {
+                    Some(n) => n,
+                    None => {
+                        return Err(SimError::Wedged {
+                            cycle: now,
+                            outstanding: self
+                                .cores
+                                .iter()
+                                .map(CoreController::outstanding)
+                                .sum::<usize>(),
+                            detail: self
+                                .cores
+                                .iter()
+                                .map(CoreController::debug_stuck)
+                                .collect::<String>(),
+                        });
+                    }
                 };
                 if next > now + 1 {
                     self.net.skip_to(next - 1);
                 }
-                self.net.step();
+                self.net.step()?;
             }
         }
+        Ok(())
     }
 
     /// Attaches the system-wide counters (network snapshot, cycles, bank
@@ -491,6 +526,19 @@ impl CacheSystem {
         m.cycles = self.measured_cycles;
         m.bank_ops_by_kb = by_kb;
         m.mem_ops = self.memory.fetches() + self.memory.writebacks();
+        // Timeout/retry counters are system-wide like the network stats:
+        // they ride on every per-core entry of a CMP measurement.
+        m.timed_out_accesses = self.cores.iter().map(CoreController::timeouts).sum();
+        m.retried_accesses = self.cores.iter().map(CoreController::retries).sum();
+    }
+
+    /// Installs a link [`FaultSchedule`] on the underlying network.
+    ///
+    /// Replaces any schedule derived from the configuration's
+    /// [`crate::config::FaultConfig`]. See [`Network::set_fault_schedule`]
+    /// for validation and determinism notes.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        self.net.set_fault_schedule(schedule);
     }
 
     fn schedule(&mut self, src: Endpoint, out: Outgoing) {
@@ -539,7 +587,7 @@ mod tests {
         for scheme in ALL_SCHEMES {
             let mut sys = CacheSystem::new(&Design::A.config(scheme));
             let map = sys.map();
-            let m = sys.run_timed(&[access(map, 3, 5, 9, false)]);
+            let m = sys.run_timed(&[access(map, 3, 5, 9, false)]).unwrap();
             assert_eq!(m.accesses(), 1, "{scheme}");
             assert_eq!(m.records[0].hit_position, None, "{scheme}: cold miss");
             assert!(
@@ -547,7 +595,7 @@ mod tests {
                 "{scheme}: memory on the path"
             );
 
-            let m2 = sys.run_timed(&[access(map, 3, 5, 9, false)]);
+            let m2 = sys.run_timed(&[access(map, 3, 5, 9, false)]).unwrap();
             assert_eq!(m2.records[0].hit_position, Some(0), "{scheme}: now MRU hit");
             assert!(m2.records[0].mem_cycles == 0, "{scheme}");
             assert!(
@@ -584,7 +632,7 @@ mod tests {
                 .iter()
                 .map(|&(c, i, t, w)| access(map, c, i, t, w))
                 .collect();
-            let metrics = sys.run_timed(&accesses);
+            let metrics = sys.run_timed(&accesses).unwrap();
 
             // Replay on the functional model and compare hit positions.
             let mut expected_hits = Vec::new();
@@ -636,8 +684,8 @@ mod tests {
                 access(map, 0, 0, 1, false),
                 access(map, 0, 0, 2, false),
                 access(map, 0, 0, 3, false),
-            ]);
-            let m = sys.run_timed(&[access(map, 0, 0, 1, false)]);
+            ]).unwrap();
+            let m = sys.run_timed(&[access(map, 0, 0, 1, false)]).unwrap();
             assert_eq!(m.records[0].hit_position, Some(2), "{scheme}");
             let stack = sys.column_stack(0, 0);
             assert_eq!(stack[0].tag, 1, "{scheme}: hit block now MRU");
@@ -653,9 +701,9 @@ mod tests {
                 access(map, 0, 0, 1, false),
                 access(map, 0, 0, 2, false),
                 access(map, 0, 0, 3, false),
-            ]);
+            ]).unwrap();
             // Stack: 3,2,1. Hit tag 1 at position 2 → swaps to position 1.
-            let m = sys.run_timed(&[access(map, 0, 0, 1, false)]);
+            let m = sys.run_timed(&[access(map, 0, 0, 1, false)]).unwrap();
             assert_eq!(m.records[0].hit_position, Some(2), "{scheme}");
             let stack = sys.column_stack(0, 0);
             assert_eq!(
@@ -675,7 +723,7 @@ mod tests {
         for t in 1..=16u32 {
             seq.push(access(map, 0, 0, t, false));
         }
-        sys.run_timed(&seq);
+        sys.run_timed(&seq).unwrap();
         assert_eq!(
             sys.memory.writebacks(),
             1,
@@ -692,7 +740,7 @@ mod tests {
         let run = |scheme: Scheme| {
             let mut sys = CacheSystem::new(&Design::A.config(scheme));
             sys.warm(&warm);
-            let m = sys.run_timed(&[access(map, 0, 0, 15, false)]);
+            let m = sys.run_timed(&[access(map, 0, 0, 15, false)]).unwrap();
             assert_eq!(m.records[0].hit_position, Some(15), "{scheme}: deepest hit");
             m.records[0].latency
         };
@@ -714,7 +762,7 @@ mod tests {
         for i in 0..40u32 {
             seq.push(access(map, i % 16, i / 16, i, false));
         }
-        let m = sys.run_timed(&seq);
+        let m = sys.run_timed(&seq).unwrap();
         assert_eq!(m.accesses(), 40);
     }
 
@@ -727,7 +775,7 @@ mod tests {
                 access(map, 2, 1, 5, false),
                 access(map, 2, 1, 5, false),
                 access(map, 9, 3, 7, true),
-            ]);
+            ]).unwrap();
             assert_eq!(m.accesses(), 3, "{scheme}");
             assert_eq!(
                 m.records
@@ -744,7 +792,7 @@ mod tests {
         let mut sys = CacheSystem::new(&Design::A.config(Scheme::MulticastFastLru));
         sys.enable_event_log(4096);
         let map = sys.map();
-        sys.run_timed(&[access(map, 3, 1, 5, false)]);
+        sys.run_timed(&[access(map, 3, 1, 5, false)]).unwrap();
         let log = sys.take_event_log().expect("enabled above");
         // A cold miss multicasts a request (16 deliveries), collects 16
         // notifications, fetches memory, fills, forwards — plenty of
@@ -771,7 +819,7 @@ mod tests {
         let mut sys = CacheSystem::new(&Design::A.config(Scheme::MulticastFastLru));
         let map = sys.map();
         sys.warm(&[access(map, 1, 2, 3, false)]);
-        let m = sys.run_timed(&[access(map, 1, 2, 3, false)]);
+        let m = sys.run_timed(&[access(map, 1, 2, 3, false)]).unwrap();
         assert_eq!(
             m.records[0].hit_position,
             Some(0),
@@ -784,9 +832,9 @@ mod tests {
         let mut sys = CacheSystem::new(&Design::A.config(Scheme::StaticNuca));
         let map = sys.map();
         // index 5 -> home bank position 5 on a 16-bank column.
-        let m = sys.run_timed(&[access(map, 2, 5, 9, false)]);
+        let m = sys.run_timed(&[access(map, 2, 5, 9, false)]).unwrap();
         assert_eq!(m.records[0].hit_position, None, "cold miss");
-        let m2 = sys.run_timed(&[access(map, 2, 5, 9, false)]);
+        let m2 = sys.run_timed(&[access(map, 2, 5, 9, false)]).unwrap();
         assert_eq!(
             m2.records[0].hit_position,
             Some(5),
@@ -812,14 +860,14 @@ mod tests {
         for t in 1..16u32 {
             seq.push(access(map, 0, 3, t, false));
         }
-        let m = sys.run_timed(&seq);
+        let m = sys.run_timed(&seq).unwrap();
         assert_eq!(m.accesses(), 16);
         assert_eq!(sys.memory.writebacks(), 0, "all 16 ways fit");
         // Re-touch them all: every one hits at the home bank.
-        let m2 = sys.run_timed(&seq);
+        let m2 = sys.run_timed(&seq).unwrap();
         assert_eq!(m2.hit_rate(), 1.0);
         // The 17th evicts the LRU way (tag 0, dirty).
-        sys.run_timed(&[access(map, 0, 3, 99, false)]);
+        sys.run_timed(&[access(map, 0, 3, 99, false)]).unwrap();
         assert_eq!(sys.memory.writebacks(), 1, "dirty LRU way written back");
     }
 
@@ -830,9 +878,9 @@ mod tests {
         // Warm two blocks whose homes are near (index 0 -> pos 0) and
         // far (index 15 -> pos 15).
         sys.warm(&[access(map, 0, 0, 1, false), access(map, 0, 15, 1, false)]);
-        let m = sys.run_timed(&[access(map, 0, 0, 1, false)]);
+        let m = sys.run_timed(&[access(map, 0, 0, 1, false)]).unwrap();
         let near = m.records[0].latency;
-        let m = sys.run_timed(&[access(map, 0, 15, 1, false)]);
+        let m = sys.run_timed(&[access(map, 0, 15, 1, false)]).unwrap();
         let far = m.records[0].latency;
         assert!(
             far > near + 10,
@@ -850,7 +898,7 @@ mod tests {
         let run = |scheme: Scheme| {
             let mut sys = CacheSystem::new(&Design::A.config(scheme));
             sys.warm(&seq[..8]);
-            sys.run_timed(&seq).avg_latency()
+            sys.run_timed(&seq).unwrap().avg_latency()
         };
         let dynamic = run(Scheme::MulticastFastLru);
         let stat = run(Scheme::StaticNuca);
@@ -871,7 +919,7 @@ mod tests {
             vec![access(map, 2, 0, 3, false), access(map, 3, 0, 4, false)],
             0,
         );
-        let ms = sys.run_cmp(&[t0, t1]);
+        let ms = sys.run_cmp(&[t0, t1]).unwrap();
         assert_eq!(ms.len(), 2);
         assert_eq!(ms[0].accesses(), 2);
         assert_eq!(ms[1].accesses(), 2);
@@ -896,7 +944,7 @@ mod tests {
             (10..20).map(|k| access(map, 0, 0, k, false)).collect(),
             0,
         );
-        let ms = sys.run_cmp(&[t0, t1]);
+        let ms = sys.run_cmp(&[t0, t1]).unwrap();
         assert_eq!(ms[0].accesses() + ms[1].accesses(), 20);
         let stack = sys.column_stack(0, 0);
         assert_eq!(stack.len(), 16, "16-way set is exactly full");
@@ -921,7 +969,7 @@ mod tests {
                 )
             })
             .collect();
-        let ms = sys.run_cmp(&traces);
+        let ms = sys.run_cmp(&traces).unwrap();
         for (i, m) in ms.iter().enumerate() {
             assert_eq!(m.accesses(), 2, "core {i}");
             // The second access re-touches the block the first fetched.
@@ -942,7 +990,7 @@ mod tests {
 
         let mut solo = CacheSystem::new(&cfg);
         solo.warm(&seq[..8]);
-        let solo_m = solo.run_timed(&seq);
+        let solo_m = solo.run_timed(&seq).unwrap();
 
         let mut duo = CacheSystem::with_cores(&cfg, 2);
         duo.warm(&seq[..8]);
@@ -951,7 +999,7 @@ mod tests {
         let ms = duo.run_cmp(&[
             nucanet_workload::Trace::new(half, 0),
             nucanet_workload::Trace::new(other, 0),
-        ]);
+        ]).unwrap();
         let duo_avg = (ms[0].avg_latency() * ms[0].accesses() as f64
             + ms[1].avg_latency() * ms[1].accesses() as f64)
             / 30.0;
@@ -970,7 +1018,7 @@ mod tests {
         for t in 0..20u32 {
             seq.push(access(map, 0, 0, t % 6, false));
         }
-        let m = sys.run_timed(&seq);
+        let m = sys.run_timed(&seq).unwrap();
         let (bank, net, mem) = m.latency_breakdown();
         assert!(bank > 0.0);
         assert!(net > 0.0, "network share must be visible");

@@ -1,0 +1,109 @@
+//! Structured simulation errors.
+//!
+//! A [`SimError`] replaces the hard aborts the simulator historically
+//! used (watchdog `panic!`, cycle-limit `assert!`, "system wedged"
+//! `panic!`). Errors propagate through the `Result`-based
+//! [`crate::Network::step`] API up to the system driver, where a sweep
+//! can record them per point instead of losing the whole run.
+
+use std::fmt;
+
+/// Why a simulation could not make further progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The network watchdog saw flits buffered with no forward progress
+    /// for the configured number of cycles — a deadlock, a protocol bug,
+    /// or traffic stranded by a permanent link fault.
+    Watchdog {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Progress-free cycles that triggered it (`watchdog_cycles`).
+        stalled_for: u64,
+        /// Flits buffered across all routers at that point.
+        buffered_flits: usize,
+        /// Routers still holding work.
+        busy_routers: usize,
+        /// Input VCs holding flits with no allocated route (heads
+        /// waiting on routing, e.g. cut off by a fault).
+        blocked_heads: usize,
+        /// Links down under the fault schedule when the watchdog fired.
+        faults_active: u64,
+    },
+    /// The system driver hit its absolute cycle ceiling.
+    CycleLimit {
+        /// The ceiling that was reached.
+        limit: u64,
+    },
+    /// The system had outstanding transactions but neither buffered
+    /// network work nor any scheduled event — nothing can ever happen.
+    Wedged {
+        /// Cycle at which the system wedged.
+        cycle: u64,
+        /// Transactions still outstanding across all cores.
+        outstanding: usize,
+        /// Human-readable dump of the stuck transactions.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Watchdog {
+                cycle,
+                stalled_for,
+                buffered_flits,
+                busy_routers,
+                blocked_heads,
+                faults_active,
+            } => write!(
+                f,
+                "network watchdog: no forward progress for {stalled_for} cycles at cycle \
+                 {cycle} ({buffered_flits} flits buffered in {busy_routers} routers, \
+                 {blocked_heads} unrouted heads, {faults_active} links down) — deadlock, \
+                 protocol bug, or traffic stranded by a fault"
+            ),
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded the cycle ceiling ({limit} cycles)")
+            }
+            SimError::Wedged {
+                cycle,
+                outstanding,
+                detail,
+            } => write!(
+                f,
+                "system wedged at cycle {cycle} with {outstanding} outstanding txns:\n{detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_display_mentions_the_stall() {
+        let e = SimError::Watchdog {
+            cycle: 1000,
+            stalled_for: 200,
+            buffered_flits: 7,
+            busy_routers: 2,
+            blocked_heads: 1,
+            faults_active: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("watchdog"), "{s}");
+        assert!(s.contains("200 cycles"), "{s}");
+        assert!(s.contains("1 links down"), "{s}");
+    }
+
+    #[test]
+    fn errors_compare_structurally() {
+        let a = SimError::CycleLimit { limit: 10 };
+        assert_eq!(a, SimError::CycleLimit { limit: 10 });
+        assert_ne!(a, SimError::CycleLimit { limit: 11 });
+    }
+}

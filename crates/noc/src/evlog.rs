@@ -6,7 +6,7 @@
 
 use std::collections::VecDeque;
 
-use crate::ids::{Endpoint, NodeId};
+use crate::ids::{Endpoint, LinkId, NodeId};
 use crate::packet::PacketId;
 
 /// One logged event.
@@ -48,6 +48,15 @@ pub enum NetEvent {
         /// Router where the head stalled.
         node: NodeId,
     },
+    /// A link changed state under the fault schedule.
+    LinkState {
+        /// Cycle the change applied.
+        cycle: u64,
+        /// The affected link.
+        link: LinkId,
+        /// `true` = repaired, `false` = failed.
+        up: bool,
+    },
 }
 
 impl NetEvent {
@@ -57,7 +66,8 @@ impl NetEvent {
             NetEvent::Inject { cycle, .. }
             | NetEvent::Deliver { cycle, .. }
             | NetEvent::Replicate { cycle, .. }
-            | NetEvent::ReplicaBlocked { cycle, .. } => cycle,
+            | NetEvent::ReplicaBlocked { cycle, .. }
+            | NetEvent::LinkState { cycle, .. } => cycle,
         }
     }
 }
@@ -122,7 +132,7 @@ impl EventLog {
                 NetEvent::Inject { packet: p, .. }
                 | NetEvent::Deliver { packet: p, .. }
                 | NetEvent::Replicate { packet: p, .. } => *p == packet,
-                NetEvent::ReplicaBlocked { .. } => false,
+                NetEvent::ReplicaBlocked { .. } | NetEvent::LinkState { .. } => false,
             })
             .copied()
             .collect()

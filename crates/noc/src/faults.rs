@@ -1,0 +1,199 @@
+//! Deterministic link-fault injection.
+//!
+//! A [`FaultSchedule`] is a sorted list of link down/up events at fixed
+//! cycles. The [`crate::Network`] applies due events at the start of each
+//! stepped cycle and rebuilds its routing table over the surviving links
+//! (`LinkId`s are preserved, so per-link statistics stay comparable).
+//!
+//! Schedules are plain data: they can be written out explicitly for
+//! targeted tests, or generated from a seed with [`FaultSchedule::random`]
+//! so that a sweep point's faults derive from the point's own RNG stream
+//! and results stay bit-identical regardless of worker count.
+//!
+//! The fault model is *fail-stop with draining*: flits already on a wire
+//! or mid-packet over a failed link complete (wormhole streams cannot be
+//! cut without corrupting flow control), but no new packet may allocate
+//! the link. Heads with no remaining route wait in place for a repair —
+//! or for the watchdog, which surfaces a permanent partition as a
+//! structured [`crate::SimError::Watchdog`].
+
+use crate::ids::LinkId;
+
+/// One scheduled link state change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the change applies (start of that cycle).
+    pub cycle: u64,
+    /// The affected link.
+    pub link: LinkId,
+    /// `true` = link repaired, `false` = link failed.
+    pub up: bool,
+}
+
+/// A deterministic, cycle-ordered schedule of link faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from arbitrary events; they are sorted by
+    /// `(cycle, link, up)` so iteration order is deterministic.
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| (e.cycle, e.link.0, e.up));
+        FaultSchedule { events }
+    }
+
+    /// A single link that fails at `cycle` and never recovers.
+    pub fn permanent(link: LinkId, cycle: u64) -> Self {
+        FaultSchedule::new(vec![FaultEvent {
+            cycle,
+            link,
+            up: false,
+        }])
+    }
+
+    /// A single link that fails at `down` and recovers at `up`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `up > down`.
+    pub fn transient(link: LinkId, down: u64, up: u64) -> Self {
+        assert!(up > down, "repair must come after the fault");
+        FaultSchedule::new(vec![
+            FaultEvent {
+                cycle: down,
+                link,
+                up: false,
+            },
+            FaultEvent {
+                cycle: up,
+                link,
+                up: true,
+            },
+        ])
+    }
+
+    /// Generates `faults` link-down events at seeded-random links and
+    /// cycles within `window` (half-open). When `repair_after` is set,
+    /// each link recovers that many cycles after failing. The output is
+    /// a pure function of the arguments, so a sweep point seeding this
+    /// from its own RNG stream is bit-identical for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link_count` is zero (no links to fail) or the window
+    /// is empty.
+    pub fn random(
+        seed: u64,
+        link_count: usize,
+        faults: u32,
+        window: (u64, u64),
+        repair_after: Option<u64>,
+    ) -> Self {
+        assert!(link_count > 0, "cannot inject faults without links");
+        assert!(window.1 > window.0, "fault window must be non-empty");
+        let span = window.1 - window.0;
+        let mut events = Vec::new();
+        for k in 0..faults as u64 {
+            let link = LinkId((splitmix64(seed, 2 * k) % link_count as u64) as u32);
+            let cycle = window.0 + splitmix64(seed, 2 * k + 1) % span;
+            events.push(FaultEvent {
+                cycle,
+                link,
+                up: false,
+            });
+            if let Some(r) = repair_after {
+                events.push(FaultEvent {
+                    cycle: cycle + r,
+                    link,
+                    up: true,
+                });
+            }
+        }
+        FaultSchedule::new(events)
+    }
+
+    /// The events, sorted by cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Whether the schedule holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// SplitMix64 of `seed + index·φ` — the same mixer the sweep engine uses
+/// for per-point seed derivation, kept dependency-free.
+fn splitmix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sort_by_cycle() {
+        let s = FaultSchedule::new(vec![
+            FaultEvent {
+                cycle: 50,
+                link: LinkId(1),
+                up: true,
+            },
+            FaultEvent {
+                cycle: 10,
+                link: LinkId(1),
+                up: false,
+            },
+        ]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.events()[0].up);
+        assert!(s.events()[1].up);
+    }
+
+    #[test]
+    fn transient_orders_down_then_up() {
+        let s = FaultSchedule::transient(LinkId(3), 100, 200);
+        assert_eq!(s.events()[0].cycle, 100);
+        assert!(!s.events()[0].up);
+        assert_eq!(s.events()[1].cycle, 200);
+        assert!(s.events()[1].up);
+    }
+
+    #[test]
+    #[should_panic(expected = "repair must come after")]
+    fn transient_rejects_inverted_window() {
+        let _ = FaultSchedule::transient(LinkId(0), 200, 100);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_in_window() {
+        let a = FaultSchedule::random(0xCAFE, 24, 5, (100, 1000), Some(50));
+        let b = FaultSchedule::random(0xCAFE, 24, 5, (100, 1000), Some(50));
+        assert_eq!(a, b, "same arguments must give the same schedule");
+        assert_eq!(a.len(), 10, "each fault pairs with a repair");
+        for e in a.events() {
+            assert!((e.link.0 as usize) < 24);
+            assert!(e.cycle >= 100 && e.cycle < 1050);
+        }
+        let c = FaultSchedule::random(0xBEEF, 24, 5, (100, 1000), Some(50));
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(FaultSchedule::default().is_empty());
+        assert!(!FaultSchedule::permanent(LinkId(0), 5).is_empty());
+    }
+}

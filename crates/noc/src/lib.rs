@@ -23,6 +23,10 @@
 //! * [`census`] — link-utilisation census reproducing the paper's
 //!   observation that a large fraction of mesh links is never used by
 //!   cache traffic.
+//! * [`faults`]/[`error`] — deterministic link fault injection
+//!   ([`FaultSchedule`]) with routing-table recomputation around failed
+//!   links, and the structured [`SimError`] that `Network::step` returns
+//!   instead of aborting on deadlock.
 //!
 //! # Quickstart
 //!
@@ -38,7 +42,7 @@
 //! let dst = Endpoint { node: NodeId(15), slot: 0 };
 //! net.inject(Packet::new(src, Dest::unicast(dst), 5, ()));
 //! while net.is_busy() || net.next_event_cycle().is_some() {
-//!     net.advance();
+//!     net.advance().expect("no deadlock in this tiny run");
 //! }
 //! let got = net.drain_delivered(NodeId(15));
 //! assert_eq!(got.len(), 1);
@@ -46,7 +50,9 @@
 
 pub mod census;
 pub mod deadlock;
+pub mod error;
 pub mod evlog;
+pub mod faults;
 pub mod ids;
 pub mod network;
 pub mod packet;
@@ -58,7 +64,9 @@ pub mod topology;
 
 pub use census::LinkCensus;
 pub use deadlock::{ChannelDependencyGraph, DeadlockReport};
+pub use error::SimError;
 pub use evlog::{EventLog, NetEvent};
+pub use faults::{FaultEvent, FaultSchedule};
 pub use ids::{Coord, Endpoint, LinkId, NodeId, PortId};
 pub use network::{Delivered, Network};
 pub use packet::{Dest, Packet, PacketId};

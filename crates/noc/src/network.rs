@@ -19,12 +19,20 @@
 //! With `router_stages = 1` a flit can enter and leave a router in the
 //! same cycle, reproducing the paper's single-cycle router; larger
 //! values model a conventional pipeline for ablations.
+//!
+//! A [`FaultSchedule`] (see [`crate::faults`]) can take links down and
+//! up at fixed cycles. Each state change rebuilds the routing table over
+//! the surviving links; heads that lose every path wait in place for a
+//! repair, and a permanent partition eventually surfaces as a
+//! [`SimError::Watchdog`] from [`Network::step`] instead of a panic.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 
+use crate::error::SimError;
 use crate::evlog::{EventLog, NetEvent};
+use crate::faults::FaultSchedule;
 use crate::ids::{Endpoint, LinkId, NodeId, PortId};
 use crate::packet::{FlitRef, Packet, PacketId};
 use crate::params::RouterParams;
@@ -106,6 +114,16 @@ pub struct Network<P> {
     last_progress: u64,
     /// Optional debugging event log (disabled by default).
     evlog: Option<EventLog>,
+    /// Scheduled link faults (empty by default) and the cursor of the
+    /// next event still to apply.
+    faults: FaultSchedule,
+    next_fault: usize,
+    /// Per-link up/down state under the fault schedule.
+    link_up: Vec<bool>,
+    /// The fault-free routing table, kept from the first fault rebuild
+    /// onward so injection checks and reroute accounting can compare
+    /// against the intact topology. `None` until a fault applies.
+    base_table: Option<RoutingTable>,
 }
 
 impl<P> Network<P> {
@@ -144,9 +162,89 @@ impl<P> Network<P> {
             pending_flag: vec![false; n],
             delivered: VecDeque::new(),
             last_progress: 0,
+            faults: FaultSchedule::default(),
+            next_fault: 0,
+            link_up: vec![true; n_links],
+            base_table: None,
             topo,
             table,
             params,
+        }
+    }
+
+    /// Installs a fault schedule. Events at or before the current cycle
+    /// apply on the next [`Network::step`]. Replaces any earlier
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an event names a link the topology does not have.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        for e in schedule.events() {
+            assert!(
+                (e.link.0 as usize) < self.topo.link_count(),
+                "fault schedule names nonexistent link {:?}",
+                e.link
+            );
+        }
+        self.faults = schedule;
+        self.next_fault = 0;
+    }
+
+    /// Whether `link` is currently up under the fault schedule.
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.0 as usize]
+    }
+
+    /// The routing table of the intact topology (ignoring faults).
+    fn pristine_table(&self) -> &RoutingTable {
+        self.base_table.as_ref().unwrap_or(&self.table)
+    }
+
+    /// Applies fault events due at the current cycle and rebuilds the
+    /// routing table around the surviving links.
+    fn apply_due_faults(&mut self) {
+        let mut changed = false;
+        while let Some(&ev) = self.faults.events().get(self.next_fault) {
+            if ev.cycle > self.cycle {
+                break;
+            }
+            self.next_fault += 1;
+            let slot = ev.link.0 as usize;
+            if self.link_up[slot] == ev.up {
+                continue;
+            }
+            self.link_up[slot] = ev.up;
+            changed = true;
+            if ev.up {
+                self.stats.link_up_events += 1;
+            } else {
+                self.stats.link_down_events += 1;
+            }
+            self.log(NetEvent::LinkState {
+                cycle: self.cycle,
+                link: ev.link,
+                up: ev.up,
+            });
+        }
+        if changed {
+            if self.base_table.is_none() {
+                self.base_table = Some(self.table.clone());
+            }
+            self.table = self
+                .table
+                .spec()
+                .build_masked(&self.topo, &self.link_up)
+                .expect("the spec already built a table for this topology");
+            // The topology changed: give stranded traffic a fresh
+            // watchdog window to drain over the new routes, and wake
+            // every router holding flits so blocked heads retry routing.
+            self.last_progress = self.cycle;
+            for i in 0..self.routers.len() {
+                if self.routers[i].has_work() {
+                    self.mark_pending(NodeId(i as u32));
+                }
+            }
         }
     }
 
@@ -202,8 +300,10 @@ impl<P> Network<P> {
     /// # Panics
     ///
     /// Panics when the source or a destination endpoint does not exist,
-    /// when a destination is unroutable, or when a multicast list visits
-    /// the same router twice in a row.
+    /// when a destination is unroutable on the *intact* topology (a
+    /// protocol bug — a route cut only by an active fault is accepted;
+    /// the head waits for a repair), or when a multicast list visits the
+    /// same router twice in a row.
     pub fn inject(&mut self, mut packet: Packet<P>) -> PacketId {
         let src = packet.src;
         let sp = self
@@ -223,7 +323,7 @@ impl<P> Network<P> {
                 "multicast list must not visit router {prev} twice in a row"
             );
             assert!(
-                self.table.is_routable(prev, e.node),
+                self.pristine_table().is_routable(prev, e.node),
                 "no route from {prev} to {} under {:?}",
                 e.node,
                 self.table.spec()
@@ -295,7 +395,11 @@ impl<P> Network<P> {
     /// once when routers have work, otherwise fast-forwards to just
     /// before the next scheduled event and steps into it. With neither
     /// work nor events, simply advances the clock one cycle.
-    pub fn advance(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`Network::step`].
+    pub fn advance(&mut self) -> Result<(), SimError> {
         if !self.is_busy() {
             if let Some(w) = self.next_event_cycle() {
                 if w > self.cycle + 1 {
@@ -303,7 +407,7 @@ impl<P> Network<P> {
                 }
             }
         }
-        self.step();
+        self.step()
     }
 
     /// Drains every delivery produced so far, in delivery order.
@@ -327,16 +431,20 @@ impl<P> Network<P> {
         out
     }
 
-    /// Advances the simulation by one cycle.
+    /// Advances the simulation by one cycle, applying any fault-schedule
+    /// events that fall due first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the watchdog detects no forward progress for
-    /// `params.watchdog_cycles` cycles while flits are buffered
-    /// (a deadlock or a protocol bug).
-    pub fn step(&mut self) {
+    /// Returns [`SimError::Watchdog`] when the watchdog detects no
+    /// forward progress for `params.watchdog_cycles` cycles while flits
+    /// are buffered (a deadlock, a protocol bug, or traffic stranded by
+    /// a permanent fault). The network state is left intact for
+    /// inspection; further stepping keeps returning the error.
+    pub fn step(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        self.apply_due_faults();
         self.deliver_events();
         // Deterministic processing order.
         let mut work = std::mem::take(&mut self.pending);
@@ -349,16 +457,16 @@ impl<P> Network<P> {
         }
         // Watchdog.
         if self.is_busy() && self.cycle - self.last_progress > self.params.watchdog_cycles {
-            let buffered: usize = self.routers.iter().map(|r| r.buffered_flits()).sum();
-            panic!(
-                "network watchdog: no forward progress for {} cycles at cycle {} \
-                 ({} flits buffered in {} routers) — deadlock or protocol bug",
-                self.params.watchdog_cycles,
-                self.cycle,
-                buffered,
-                self.pending.len()
-            );
+            return Err(SimError::Watchdog {
+                cycle: self.cycle,
+                stalled_for: self.params.watchdog_cycles,
+                buffered_flits: self.routers.iter().map(|r| r.buffered_flits()).sum(),
+                busy_routers: self.pending.len(),
+                blocked_heads: self.routers.iter().map(|r| r.blocked_heads()).sum(),
+                faults_active: self.stats.faults_active(),
+            });
         }
+        Ok(())
     }
 
     fn deliver_events(&mut self) {
@@ -552,15 +660,20 @@ impl<P> Network<P> {
                             }
                         }
                         // Primary continues toward the next endpoint.
-                        let out = self.table.next_hop(node, next.node).unwrap_or_else(|| {
-                            panic!("no route from {node} to {} for multicast", next.node)
-                        });
+                        let Some(out) = self.table.next_hop(node, next.node) else {
+                            // Every path to the next endpoint is cut by a
+                            // fault; the head waits for a repair (or the
+                            // watchdog).
+                            self.stats.route_blocked_cycles += 1;
+                            continue;
+                        };
                         if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize) {
                             r.inputs[p].vcs[v].route = Some(OutRoute {
                                 port: out.0,
                                 vc: ovc,
                                 eject: false,
                             });
+                            self.note_reroute(node, next.node, out);
                         }
                     } else {
                         r.inputs[p].vcs[v].route = Some(OutRoute {
@@ -570,20 +683,30 @@ impl<P> Network<P> {
                         });
                     }
                 } else {
-                    let out = self.table.next_hop(node, target.node).unwrap_or_else(|| {
-                        panic!(
-                            "no route from {node} to {} (packet {:?})",
-                            target.node, front.pkt.id
-                        )
-                    });
+                    let Some(out) = self.table.next_hop(node, target.node) else {
+                        // Fault cut every path toward the target; wait.
+                        self.stats.route_blocked_cycles += 1;
+                        continue;
+                    };
                     if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize) {
                         r.inputs[p].vcs[v].route = Some(OutRoute {
                             port: out.0,
                             vc: ovc,
                             eject: false,
                         });
+                        self.note_reroute(node, target.node, out);
                     }
                 }
+            }
+        }
+    }
+
+    /// Counts a route allocation that deviates from the fault-free
+    /// table (the packet is detouring around a failed link).
+    fn note_reroute(&mut self, node: NodeId, toward: NodeId, used: PortId) {
+        if let Some(base) = &self.base_table {
+            if base.next_hop(node, toward) != Some(used) {
+                self.stats.packets_rerouted += 1;
             }
         }
     }
@@ -804,7 +927,7 @@ mod tests {
     fn run_until_idle<P>(net: &mut Network<P>, max: u64) {
         let mut steps = 0;
         while net.is_busy() || net.next_event_cycle().is_some() {
-            net.advance();
+            net.advance().expect("network reported a simulation error");
             steps += 1;
             assert!(steps < max, "network did not go idle in {max} steps");
         }
@@ -1175,6 +1298,115 @@ mod tests {
         let total: u64 = net.stats().latency_buckets.iter().sum();
         assert_eq!(total, 5);
         assert!(net.stats().latency_quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn shortest_path_traffic_reroutes_around_failed_link() {
+        let topo = Topology::mesh(4, 4, &unit(3), &unit(3));
+        let table = RoutingSpec::ShortestPath.build(&topo).unwrap();
+        let mut net: Network<u32> = Network::new(topo, table, RouterParams::default());
+        let src = Endpoint::at(net.topology().node_at(0, 0));
+        let dst = Endpoint::at(net.topology().node_at(3, 0));
+        let cut = net
+            .routing()
+            .path(net.topology(), src.node, dst.node)
+            .unwrap()[1];
+        net.set_fault_schedule(FaultSchedule::permanent(cut, 1));
+        net.inject(Packet::new(src, Dest::unicast(dst), 1, 7u32));
+        run_until_idle(&mut net, 200);
+        let got = net.drain_delivered(dst.node);
+        assert_eq!(got.len(), 1, "the packet must arrive over a detour");
+        let s = net.stats();
+        assert_eq!(s.flits_per_link[cut.0 as usize], 0, "failed link unused");
+        assert!(s.packets_rerouted >= 1, "detour must be counted");
+        assert_eq!(s.link_down_events, 1);
+        assert_eq!(s.faults_active(), 1);
+        assert!(!net.link_is_up(cut));
+    }
+
+    #[test]
+    fn permanent_fault_surfaces_as_watchdog_error() {
+        // XY has a single path per pair: cutting it strands the head, and
+        // a tiny watchdog turns that into a structured error, not a panic.
+        let topo = Topology::mesh(4, 1, &unit(3), &[]);
+        let table = RoutingSpec::Xy.build(&topo).unwrap();
+        let params = RouterParams {
+            watchdog_cycles: 200,
+            ..RouterParams::hpca07()
+        };
+        let mut net: Network<u32> = Network::new(topo, table, params);
+        let src = Endpoint::at(net.topology().node_at(0, 0));
+        let dst = Endpoint::at(net.topology().node_at(3, 0));
+        let cut = net
+            .routing()
+            .path(net.topology(), src.node, dst.node)
+            .unwrap()[0];
+        net.set_fault_schedule(FaultSchedule::permanent(cut, 1));
+        net.inject(Packet::new(src, Dest::unicast(dst), 1, 0u32));
+        let err = loop {
+            match net.step() {
+                Ok(()) => assert!(net.cycle() < 10_000, "watchdog never fired"),
+                Err(e) => break e,
+            }
+        };
+        match err {
+            SimError::Watchdog {
+                faults_active,
+                blocked_heads,
+                buffered_flits,
+                ..
+            } => {
+                assert_eq!(faults_active, 1);
+                assert!(blocked_heads >= 1, "the stuck head must be visible");
+                assert!(buffered_flits >= 1);
+            }
+            other => panic!("expected a watchdog error, got {other:?}"),
+        }
+        assert!(net.stats().route_blocked_cycles > 0);
+    }
+
+    #[test]
+    fn transient_fault_heals_and_traffic_completes() {
+        let topo = Topology::mesh(4, 1, &unit(3), &[]);
+        let table = RoutingSpec::Xy.build(&topo).unwrap();
+        let mut net: Network<u32> = Network::new(topo, table, RouterParams::default());
+        let src = Endpoint::at(net.topology().node_at(0, 0));
+        let dst = Endpoint::at(net.topology().node_at(3, 0));
+        let cut = net
+            .routing()
+            .path(net.topology(), src.node, dst.node)
+            .unwrap()[0];
+        net.set_fault_schedule(FaultSchedule::transient(cut, 1, 60));
+        net.inject(Packet::new(src, Dest::unicast(dst), 1, 0u32));
+        run_until_idle(&mut net, 500);
+        let got = net.drain_delivered(dst.node);
+        assert_eq!(got.len(), 1, "delivery resumes after the repair");
+        assert!(got[0].cycle >= 60, "cannot arrive before the link is back");
+        let s = net.stats();
+        assert_eq!(s.link_down_events, 1);
+        assert_eq!(s.link_up_events, 1);
+        assert_eq!(s.faults_active(), 0);
+        assert!(s.route_blocked_cycles > 0, "the head waited for the repair");
+        assert_eq!(s.packets_rerouted, 0, "XY offers no detour, only waiting");
+    }
+
+    #[test]
+    fn fault_events_while_idle_apply_before_later_traffic() {
+        let topo = Topology::mesh(4, 4, &unit(3), &unit(3));
+        let table = RoutingSpec::ShortestPath.build(&topo).unwrap();
+        let mut net: Network<u32> = Network::new(topo, table, RouterParams::default());
+        let src = Endpoint::at(net.topology().node_at(0, 0));
+        let dst = Endpoint::at(net.topology().node_at(3, 0));
+        let cut = net
+            .routing()
+            .path(net.topology(), src.node, dst.node)
+            .unwrap()[0];
+        net.set_fault_schedule(FaultSchedule::permanent(cut, 10));
+        net.skip_to(100);
+        net.inject(Packet::new(src, Dest::unicast(dst), 1, 0u32));
+        run_until_idle(&mut net, 200);
+        assert_eq!(net.drain_delivered(dst.node).len(), 1);
+        assert_eq!(net.stats().flits_per_link[cut.0 as usize], 0);
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct RouterParams {
     /// conventional pipelined router for ablation studies.
     pub router_stages: u32,
     /// Cycles of no forward progress after which [`crate::Network::step`]
-    /// panics, treating the network as deadlocked. Safety net for tests.
+    /// returns [`crate::SimError::Watchdog`], treating the network as
+    /// deadlocked. The clock restarts whenever a fault-schedule event
+    /// applies, so transient outages shorter than this recover; set it
+    /// above the longest expected outage when injecting faults.
     pub watchdog_cycles: u64,
 }
 

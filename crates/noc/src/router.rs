@@ -167,6 +167,16 @@ impl<P> RouterState<P> {
             .map(|p| p.vcs.iter().map(|v| v.buf.len()).sum::<usize>())
             .sum()
     }
+
+    /// Input VCs holding flits but no allocated route — heads waiting on
+    /// routing, e.g. cut off by a link fault (diagnostics).
+    pub fn blocked_heads(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .filter(|v| !v.buf.is_empty() && v.route.is_none())
+            .count()
+    }
 }
 
 #[cfg(test)]

@@ -62,13 +62,41 @@ pub struct RoutingTable {
 }
 
 impl RoutingSpec {
-    /// Builds the routing table for `topo`.
+    /// Builds the routing table for `topo` with every link usable.
     ///
     /// # Errors
     ///
     /// Returns [`BuildRoutingError::NotAMesh`] when a coordinate-based
     /// algorithm is requested for a topology without coordinates.
     pub fn build(self, topo: &Topology) -> Result<RoutingTable, BuildRoutingError> {
+        self.build_masked(topo, &vec![true; topo.link_count()])
+    }
+
+    /// Builds the routing table for `topo` using only links marked `true`
+    /// in `link_up` (indexed by `LinkId`). The topology itself is not
+    /// modified, so `LinkId`s — and everything indexed by them, like
+    /// per-link statistics — stay stable across rebuilds. Pairs that the
+    /// degraded algorithm cannot connect simply become unroutable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildRoutingError::NotAMesh`] when a coordinate-based
+    /// algorithm is requested for a topology without coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link_up.len()` does not match the topology's link
+    /// count.
+    pub fn build_masked(
+        self,
+        topo: &Topology,
+        link_up: &[bool],
+    ) -> Result<RoutingTable, BuildRoutingError> {
+        assert_eq!(
+            link_up.len(),
+            topo.link_count(),
+            "link mask must cover every link"
+        );
         let n = topo.len();
         let mut next = vec![None; n * n];
         match self {
@@ -87,8 +115,11 @@ impl RoutingSpec {
                         let label = self.mesh_port(topo, NodeId(cur as u32), NodeId(dst as u32));
                         next[cur * n + dst] = label.and_then(|l| {
                             let r = topo.router(NodeId(cur as u32));
-                            r.port_by_label(l)
-                                .filter(|p| r.ports[p.0 as usize].out_link.is_some())
+                            r.port_by_label(l).filter(|p| {
+                                r.ports[p.0 as usize]
+                                    .out_link
+                                    .is_some_and(|lk| link_up[lk.0 as usize])
+                            })
                         });
                     }
                 }
@@ -103,7 +134,7 @@ impl RoutingSpec {
                     while let Some(v) = q.pop_front() {
                         // Links arriving at v come from upstream routers u.
                         for (li, l) in topo.links().iter().enumerate() {
-                            if l.dst.0 as usize != v {
+                            if !link_up[li] || l.dst.0 as usize != v {
                                 continue;
                             }
                             let u = l.src.0 as usize;
@@ -421,6 +452,53 @@ mod tests {
                 assert!(rt.is_routable(NodeId(a), NodeId(b)));
             }
         }
+    }
+
+    #[test]
+    fn masked_build_with_all_links_up_matches_build() {
+        let t = mesh4();
+        let up = vec![true; t.link_count()];
+        for spec in [RoutingSpec::Xy, RoutingSpec::Xyx, RoutingSpec::ShortestPath] {
+            assert_eq!(spec.build(&t), spec.build_masked(&t, &up));
+        }
+    }
+
+    #[test]
+    fn shortest_path_routes_around_a_failed_link() {
+        let t = mesh4();
+        let full = RoutingSpec::ShortestPath.build(&t).unwrap();
+        let (src, dst) = (t.node_at(0, 0), t.node_at(3, 0));
+        let cut = full.path(&t, src, dst).unwrap()[1];
+        let mut up = vec![true; t.link_count()];
+        up[cut.0 as usize] = false;
+        let degraded = RoutingSpec::ShortestPath.build_masked(&t, &up).unwrap();
+        assert!(degraded.is_routable(src, dst));
+        let detour = degraded.path(&t, src, dst).unwrap();
+        assert!(!detour.contains(&cut), "path may not use the failed link");
+        assert_eq!(detour.len(), 5, "one detour around a row link adds 2 hops");
+    }
+
+    #[test]
+    fn xy_cannot_route_around_its_dimension_order() {
+        // XY has exactly one path per pair: cutting any link on it makes
+        // the pair unroutable (heads must wait for a repair).
+        let t = mesh4();
+        let full = RoutingSpec::Xy.build(&t).unwrap();
+        let (src, dst) = (t.node_at(0, 0), t.node_at(3, 0));
+        let cut = full.path(&t, src, dst).unwrap()[0];
+        let mut up = vec![true; t.link_count()];
+        up[cut.0 as usize] = false;
+        let degraded = RoutingSpec::Xy.build_masked(&t, &up).unwrap();
+        assert!(!degraded.is_routable(src, dst));
+        // Pairs avoiding the cut link still route.
+        assert!(degraded.is_routable(t.node_at(0, 1), t.node_at(3, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "link mask must cover")]
+    fn masked_build_rejects_short_mask() {
+        let t = mesh4();
+        let _ = RoutingSpec::Xy.build_masked(&t, &[true; 3]);
     }
 
     #[test]

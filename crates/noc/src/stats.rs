@@ -28,6 +28,16 @@ pub struct NetStats {
     /// Highest number of flits simultaneously buffered in any single
     /// input VC observed during the run.
     pub peak_vc_occupancy: u8,
+    /// Link-down events applied from the fault schedule.
+    pub link_down_events: u64,
+    /// Link-up (repair) events applied from the fault schedule.
+    pub link_up_events: u64,
+    /// Route allocations that deviated from the fault-free routing table
+    /// because of an active fault (one count per packet per router).
+    pub packets_rerouted: u64,
+    /// Cycles head flits spent waiting with no route to their next
+    /// endpoint (a fault cut every path the algorithm would use).
+    pub route_blocked_cycles: u64,
 }
 
 /// Number of histogram buckets in [`NetStats::latency_buckets`].
@@ -61,7 +71,7 @@ impl NetStats {
         if total == 0 {
             return None;
         }
-        let target = (quantile * total as f64).ceil() as u64;
+        let target = nearest_rank(quantile, total);
         let mut acc = 0;
         for (i, &c) in self.latency_buckets.iter().enumerate() {
             acc += c;
@@ -117,6 +127,16 @@ impl NetStats {
             self.latency_buckets[i] += c;
         }
         self.peak_vc_occupancy = self.peak_vc_occupancy.max(other.peak_vc_occupancy);
+        self.link_down_events += other.link_down_events;
+        self.link_up_events += other.link_up_events;
+        self.packets_rerouted += other.packets_rerouted;
+        self.route_blocked_cycles += other.route_blocked_cycles;
+    }
+
+    /// Links currently down under the fault schedule (down events minus
+    /// repairs). Additive merging keeps this meaningful across windows.
+    pub fn faults_active(&self) -> u64 {
+        self.link_down_events.saturating_sub(self.link_up_events)
     }
 
     /// Mean flits per cycle per link (network load).
@@ -129,9 +149,57 @@ impl NetStats {
     }
 }
 
+/// Nearest-rank index (1-based) for quantile `q` over `count` samples:
+/// `ceil(q·count)`, clamped to `[1, count]`; `0` when `count` is zero.
+///
+/// The rank is computed in integer arithmetic: `q` is snapped once to a
+/// parts-per-billion integer (which represents every decimal quantile —
+/// 0.5, 0.95, 0.999, … — exactly), then multiplied out in 128-bit
+/// integers. A plain `(q * count as f64).ceil()` can misrank at bucket
+/// edges: `0.07_f64 * 100.0` rounds up to `7.000…001`, so its ceiling
+/// claims rank 8 where the 7th-smallest sample is the true answer.
+///
+/// # Panics
+///
+/// Panics when `q` is outside `[0, 1]`.
+pub fn nearest_rank(q: f64, count: u64) -> u64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if count == 0 {
+        return 0;
+    }
+    const PPB: u128 = 1_000_000_000;
+    let scaled = (q * PPB as f64).round() as u128;
+    let rank = (count as u128 * scaled).div_ceil(PPB) as u64;
+    rank.clamp(1, count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nearest_rank_is_exact_at_bucket_edges() {
+        // The f64 formulation got these wrong: 0.07 * 100 = 7.000…001.
+        assert_eq!(nearest_rank(0.07, 100), 7);
+        assert_eq!(nearest_rank(0.95, 20), 19);
+        assert_eq!(nearest_rank(0.95, 5000), 4750);
+        // Exactly-representable quantiles behave as expected.
+        assert_eq!(nearest_rank(0.5, 6), 3);
+        assert_eq!(nearest_rank(0.75, 6), 5);
+        // Clamping and edge quantiles.
+        assert_eq!(nearest_rank(0.0, 10), 1);
+        assert_eq!(nearest_rank(1.0, 10), 10);
+        assert_eq!(nearest_rank(0.5, 0), 0);
+        // Counts far beyond f64's 2^53 integer range stay exact.
+        assert_eq!(nearest_rank(0.5, u64::MAX), u64::MAX / 2 + 1);
+        assert_eq!(nearest_rank(1.0, u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn nearest_rank_rejects_out_of_range() {
+        let _ = nearest_rank(1.5, 10);
+    }
 
     #[test]
     fn zeroed_on_new() {

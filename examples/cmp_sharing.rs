@@ -38,7 +38,7 @@ fn main() {
                 gen.generate(10_000, 1_500)
             })
             .collect();
-        let ms = sys.run_cmp(&traces);
+        let ms = sys.run_cmp(&traces).expect("no faults injected");
 
         println!("{}:", cfg.name);
         for (i, m) in ms.iter().enumerate() {

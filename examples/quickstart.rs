@@ -48,7 +48,7 @@ fn main() {
     // 3. Simulate: functional warm-up, then the timed window over the
     //    flit-level network.
     let mut sys = CacheSystem::new(&cfg);
-    let m = sys.run(&trace);
+    let m = sys.run(&trace).expect("no faults injected");
 
     // 4. Report.
     let (bank, net, mem) = m.latency_breakdown();

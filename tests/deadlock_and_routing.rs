@@ -21,7 +21,7 @@ fn unit(n: u16) -> Vec<u32> {
 fn drain<P>(net: &mut Network<P>, max_steps: u64) {
     let mut steps = 0;
     while net.is_busy() || net.next_event_cycle().is_some() {
-        net.advance();
+        net.advance().expect("no faults injected");
         steps += 1;
         assert!(
             steps < max_steps,
@@ -31,7 +31,7 @@ fn drain<P>(net: &mut Network<P>, max_steps: u64) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]
     fn xyx_deadlock_free_on_any_simplified_mesh(cols in 2u16..9, rows in 2u16..9) {

@@ -206,7 +206,7 @@ fn pipelined_router_ablation_hurts() {
             },
         );
         let trace = gen.generate(scale.warmup, scale.measured);
-        nucanet::CacheSystem::new(&cfg).run(&trace).avg_latency()
+        nucanet::CacheSystem::new(&cfg).run(&trace).expect("no faults injected").avg_latency()
     };
     let single = run_stages(1);
     let four = run_stages(4);

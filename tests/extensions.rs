@@ -27,7 +27,7 @@ fn cmp_two_cores_complete_mixed_workloads() {
         let mut sys = CacheSystem::with_cores(&cfg, 2);
         let t0 = trace_for("gcc", 1, 3_000, 250);
         let t1 = trace_for("twolf", 2, 3_000, 250);
-        let ms = sys.run_cmp(&[t0, t1]);
+        let ms = sys.run_cmp(&[t0, t1]).expect("no faults injected");
         assert_eq!(ms.len(), 2, "{design:?}");
         assert_eq!(ms[0].accesses(), 250, "{design:?}");
         assert_eq!(ms[1].accesses(), 250, "{design:?}");
@@ -50,7 +50,7 @@ fn cmp_four_cores_on_the_halo() {
     let traces: Vec<Trace> = (0..4)
         .map(|i| trace_for(["gcc", "vpr", "mcf", "mesa"][i], 10 + i as u64, 2_000, 150))
         .collect();
-    let ms = sys.run_cmp(&traces);
+    let ms = sys.run_cmp(&traces).expect("no faults injected");
     assert!(ms.iter().all(|m| m.accesses() == 150));
 }
 
@@ -62,12 +62,12 @@ fn cmp_doubles_throughput_on_disjoint_workloads() {
     let t0 = trace_for("twolf", 5, 4_000, 400);
 
     let mut solo = CacheSystem::new(&cfg);
-    let m_solo = solo.run(&t0.clone());
+    let m_solo = solo.run(&t0.clone()).expect("no faults injected");
     let solo_cycles = m_solo.cycles;
 
     let mut duo = CacheSystem::with_cores(&cfg, 2);
     let t1 = trace_for("twolf", 6, 4_000, 400);
-    let ms = duo.run_cmp(&[t0, t1]);
+    let ms = duo.run_cmp(&[t0, t1]).expect("no faults injected");
     let duo_cycles = ms[0].cycles;
     assert!(
         (duo_cycles as f64) < 1.7 * solo_cycles as f64,

@@ -7,7 +7,7 @@ use nucanet_timing::{BankModel, EnergyModel, LinkAreaModel, RouterAreaModel, Tec
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Larger banks are never faster, never smaller, never cheaper to
     /// access energetically.

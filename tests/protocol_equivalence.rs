@@ -38,7 +38,7 @@ fn check_equivalence(design: Design, scheme: Scheme, seq: &[(u32, u32, u32, bool
             write: w,
         })
         .collect();
-    let metrics = sys.run_timed(&accesses);
+    let metrics = sys.run_timed(&accesses).expect("no faults injected");
     assert_eq!(metrics.accesses(), seq.len());
     assert_eq!(metrics.positions, positions);
 
@@ -131,7 +131,7 @@ fn single_set_fill_and_thrash() {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Random short bursts agree with the functional model for every
     /// scheme on the mesh and for Fast-LRU on the halo.

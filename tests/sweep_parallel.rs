@@ -6,7 +6,7 @@
 use nucanet::experiments::{cell_point, fig7, fig7_parallel, ExperimentScale};
 use nucanet::metrics::MetricsCapture;
 use nucanet::sweep::{capacity_points, derive_seed, render_json, SweepPoint, SweepRunner};
-use nucanet::{Design, Scheme};
+use nucanet::{Design, FaultConfig, Scheme};
 use nucanet_workload::BenchmarkProfile;
 
 fn bench(name: &str) -> BenchmarkProfile {
@@ -57,6 +57,87 @@ fn one_worker_and_many_workers_agree_bit_for_bit() {
                 s.label
             );
             assert_eq!(s.ipc, p.ipc, "{}", s.label);
+        }
+    }
+}
+
+/// A point whose mesh is cut by a permanent link fault: XY routing
+/// cannot detour around the severed column-0 exit, so the point ends in
+/// a watchdog error no matter which worker runs it.
+fn cut_point() -> SweepPoint {
+    let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+    cfg.router.watchdog_cycles = 2_000;
+    let layout = cfg.build_layout();
+    let n = layout.topo.node_at(0, 0);
+    let r = layout.topo.router(n);
+    let p = r
+        .port_by_label(nucanet_noc::PortLabel::YPlus)
+        .expect("mesh corner has a Y+ port");
+    let link = r.ports[p.0 as usize].out_link.expect("port has a link");
+    cfg.faults = Some(FaultConfig::permanent(link, 0));
+    SweepPoint {
+        label: "cut".to_string(),
+        config: cfg,
+        profile: bench("gcc"),
+        scale: ExperimentScale {
+            warmup: 600,
+            measured: 200,
+            active_sets: 64,
+            seed: 0xCAFE,
+        },
+    }
+}
+
+#[test]
+fn fault_injected_sweeps_are_worker_count_invariant() {
+    // The acceptance bar for the fault model: injected faults (transient
+    // on every grid point, one permanent partition) must not perturb the
+    // determinism contract — metrics, fault counters, and even the
+    // failure diagnostics are bit-identical for any worker count.
+    let mut points = grid();
+    for p in &mut points {
+        p.config.faults = Some(FaultConfig::random(2, (1, 1_000), Some(400)));
+    }
+    points.push(cut_point());
+    let baseline = SweepRunner::with_workers(1).try_run(&points);
+    assert!(
+        baseline.last().unwrap().is_err(),
+        "the partitioned point must fail"
+    );
+    assert!(
+        baseline.iter().filter(|r| r.is_ok()).count() >= 8,
+        "every repairable point must survive"
+    );
+    assert!(
+        baseline
+            .iter()
+            .flatten()
+            .any(|o| o.metrics.net.link_down_events > 0),
+        "injected faults must actually land during simulation"
+    );
+    for workers in [2, 4, 8] {
+        let parallel = SweepRunner::with_workers(workers).try_run(&points);
+        for (s, p) in baseline.iter().zip(&parallel) {
+            match (s, p) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(
+                        a.metrics, b.metrics,
+                        "{}: faulted metrics must not depend on worker count {workers}",
+                        a.label
+                    );
+                    assert_eq!(a.ipc, b.ipc, "{}", a.label);
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(
+                        a.error, b.error,
+                        "{}: failure diagnostics must not depend on worker count {workers}",
+                        a.label
+                    );
+                }
+                _ => panic!("success/failure split changed with worker count {workers}"),
+            }
         }
     }
 }

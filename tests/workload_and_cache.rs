@@ -154,7 +154,7 @@ impl NaiveLru {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The production cache model agrees with a naive LRU oracle on
     /// hit/miss outcomes for random streams.

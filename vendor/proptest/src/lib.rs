@@ -31,6 +31,14 @@ impl Default for ProptestConfig {
     }
 }
 
+impl ProptestConfig {
+    /// A config running `cases` samples per property (upstream's
+    /// constructor of the same name).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
 /// Deterministic test-case generator (SplitMix64).
 #[derive(Debug, Clone)]
 pub struct TestRng {
@@ -290,10 +298,10 @@ mod tests {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig::with_cases(8))]
         #[allow(clippy::needless_range_loop)]
         fn macro_binds_arguments(a in 1u32..5, flags in crate::collection::vec(crate::bool::ANY, 0..4)) {
-            prop_assert!(a >= 1 && a < 5);
+            prop_assert!((1..5).contains(&a));
             prop_assert_eq!(flags.len() < 4, true);
         }
     }
