@@ -1,0 +1,93 @@
+//! Measures cycle-kernel throughput (cycles/sec, flit-hops/sec) on the
+//! Fig. 7 mesh and Design E halo, and records the perf trajectory in
+//! `BENCH_perf.json` (schema `nucanet/perf-v1`).
+//!
+//! Environment:
+//!
+//! * `NUCANET_PERF_PACKETS` — packets per configuration (default
+//!   20000; CI uses a smaller count).
+//! * `NUCANET_PERF_REPEATS` — runs per configuration, keeping the
+//!   fastest (default 3). The simulation is deterministic, so repeats
+//!   differ only in wall time; the minimum is the least-noisy estimate
+//!   of kernel speed.
+//! * `NUCANET_PERF_MIN_RATIO` — when set (e.g. `0.33`), exit nonzero
+//!   if cycles/sec falls below `ratio × baseline` on any config with a
+//!   recorded baseline: the CI smoke-perf regression floor.
+//! * `NUCANET_BENCH_DIR` — where `BENCH_perf.json` lands.
+
+use std::path::PathBuf;
+
+use nucanet::sweep::write_atomically;
+use nucanet_bench::perf::{baseline_for, halo_throughput, mesh_throughput, render_perf_json};
+use nucanet_bench::parse_env_u64;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(v) => match parse_env_u64(&v) {
+            Ok(n) => n,
+            Err(e) => panic!("bad {key}: {e}"),
+        },
+    }
+}
+
+fn best_of<F: Fn() -> nucanet_bench::perf::PerfSample>(repeats: u64, run: F) -> nucanet_bench::perf::PerfSample {
+    (0..repeats.max(1))
+        .map(|_| run())
+        .min_by_key(|s| s.wall)
+        .expect("at least one repeat")
+}
+
+fn main() {
+    let packets = env_u64("NUCANET_PERF_PACKETS", 20_000);
+    let repeats = env_u64("NUCANET_PERF_REPEATS", 3);
+    println!("cycle-kernel throughput ({packets} packets per config, best of {repeats})");
+    let samples = vec![
+        best_of(repeats, || mesh_throughput(packets)),
+        best_of(repeats, || halo_throughput(packets)),
+    ];
+    let mut floor_violated = false;
+    let min_ratio: Option<f64> = std::env::var("NUCANET_PERF_MIN_RATIO")
+        .ok()
+        .map(|v| v.parse().expect("NUCANET_PERF_MIN_RATIO must be a float"));
+    for s in &samples {
+        print!(
+            "{:10}  {:>12.0} cycles/s  {:>12.0} flit-hops/s  ({} cycles, {} ms)",
+            s.config,
+            s.cycles_per_sec(),
+            s.flit_hops_per_sec(),
+            s.cycles,
+            s.wall.as_millis()
+        );
+        match baseline_for(s.config) {
+            Some(b) if b.cycles_per_sec.is_finite() => {
+                let ratio = s.cycles_per_sec() / b.cycles_per_sec;
+                println!("  {ratio:.2}x vs baseline");
+                if let Some(floor) = min_ratio {
+                    if ratio < floor {
+                        eprintln!(
+                            "PERF REGRESSION: {} at {ratio:.2}x of baseline (floor {floor})",
+                            s.config
+                        );
+                        floor_violated = true;
+                    }
+                }
+            }
+            _ => println!("  (no baseline recorded)"),
+        }
+    }
+    let dir = std::env::var("NUCANET_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let path = dir.join("BENCH_perf.json");
+    match write_atomically(&path, &render_perf_json(&samples)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if floor_violated {
+        std::process::exit(2);
+    }
+}

@@ -22,6 +22,8 @@
 //! back to the default (a typo in `NUCANET_MEASURED` must not quietly
 //! produce a tiny run that looks like a paper-scale one).
 
+pub mod perf;
+
 use std::path::PathBuf;
 
 use nucanet::experiments::ExperimentScale;

@@ -1,0 +1,293 @@
+//! Simulator throughput self-measurement: the tracked perf trajectory.
+//!
+//! The paper's figures come from sweeping millions of simulated cycles,
+//! so the cycle kernel's speed bounds every experiment. This module
+//! times the flit-level [`Network`] on the two topologies the headline
+//! results use — the Fig. 7 16×16 mesh (Design A) and the 16-spike
+//! halo of Design E — and reports **cycles/sec** and **flit-hops/sec**.
+//!
+//! The `perf` binary writes the measurements next to a baked-in
+//! baseline (recorded before the allocation-free kernel rewrite of
+//! PR 3) into `BENCH_perf.json`, so every future PR extends a perf
+//! trajectory instead of guessing. Absolute numbers are
+//! machine-dependent; the CI smoke-perf job therefore only fails on a
+//! catastrophic (>3×) regression against the same-machine baseline
+//! ratio, while local runs show the real speedup.
+//!
+//! Traffic is generated from a fixed-seed LCG, so a sample simulates
+//! the exact same cycles on every run and machine — wall time is the
+//! only thing that varies.
+
+use std::time::{Duration, Instant};
+
+use nucanet_noc::{
+    Dest, Endpoint, Network, NodeId, Packet, RouterParams, RoutingSpec, Topology,
+};
+
+/// One timed throughput measurement of the cycle kernel.
+#[derive(Debug, Clone)]
+pub struct PerfSample {
+    /// Which configuration was measured (`"fig7-mesh"` / `"halo"`).
+    pub config: &'static str,
+    /// Wall-clock time spent inside the simulation loop.
+    pub wall: Duration,
+    /// Simulated cycles stepped.
+    pub cycles: u64,
+    /// Total flit link traversals (sum over links of flits carried).
+    pub flit_hops: u64,
+    /// Packets injected and delivered.
+    pub packets: u64,
+}
+
+impl PerfSample {
+    /// Simulated cycles per wall-clock second.
+    #[must_use]
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Flit link traversals per wall-clock second.
+    #[must_use]
+    pub fn flit_hops_per_sec(&self) -> f64 {
+        self.flit_hops as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Reference numbers a later run is compared against.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfBaseline {
+    /// Configuration the baseline was recorded on.
+    pub config: &'static str,
+    /// Cycles/sec of the pre-rewrite kernel.
+    pub cycles_per_sec: f64,
+    /// Flit-hops/sec of the pre-rewrite kernel.
+    pub flit_hops_per_sec: f64,
+}
+
+/// Pre-PR-3 kernel throughput (BinaryHeap events, per-cycle `Vec`
+/// allocations in the router loop), recorded with the default packet
+/// count on the development container. Later PRs append to the
+/// trajectory by comparing `BENCH_perf.json` files, not by editing
+/// these constants.
+pub const BASELINES: [PerfBaseline; 2] = [
+    PerfBaseline {
+        config: "fig7-mesh",
+        cycles_per_sec: 28_400.0,
+        flit_hops_per_sec: 1_790_000.0,
+    },
+    PerfBaseline {
+        config: "halo",
+        cycles_per_sec: 212_000.0,
+        flit_hops_per_sec: 1_630_000.0,
+    },
+];
+
+/// The baseline recorded for `config`, if any.
+#[must_use]
+pub fn baseline_for(config: &str) -> Option<PerfBaseline> {
+    BASELINES.iter().find(|b| b.config == config).copied()
+}
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 16
+}
+
+fn drain<P>(net: &mut Network<P>) {
+    while net.is_busy() || net.next_event_cycle().is_some() {
+        net.advance().expect("perf traffic cannot deadlock");
+        net.drain_all_delivered();
+    }
+}
+
+/// Times random unicast traffic on the Fig. 7 16×16 full mesh
+/// (Design A geometry, XY routing, Table 1 router parameters).
+///
+/// Injects `packets` packets in bursts of 64 (mixing 1-flit requests
+/// and 5-flit block transfers like the cache protocol does) and steps
+/// the network until every burst drains.
+#[must_use]
+pub fn mesh_throughput(packets: u64) -> PerfSample {
+    let topo = Topology::mesh(16, 16, &[1; 15], &[1; 15]);
+    let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+    let mut net: Network<u64> = Network::new(topo, table, RouterParams::hpca07());
+    let mut x: u64 = 0x9E3779B97F4A7C15;
+    let start = Instant::now();
+    let mut injected = 0u64;
+    while injected < packets {
+        let burst = 64.min(packets - injected);
+        for _ in 0..burst {
+            let r = lcg(&mut x);
+            let a = (r % 256) as u32;
+            let mut b = ((r >> 8) % 256) as u32;
+            if a == b {
+                b = (b + 1) % 256;
+            }
+            let flits = if r & 0x10000 == 0 { 1 } else { 5 };
+            net.inject(Packet::new(
+                Endpoint::at(NodeId(a)),
+                Dest::unicast(Endpoint::at(NodeId(b))),
+                flits,
+                injected,
+            ));
+            injected += 1;
+        }
+        drain(&mut net);
+    }
+    let wall = start.elapsed();
+    PerfSample {
+        config: "fig7-mesh",
+        wall,
+        cycles: net.stats().cycles,
+        flit_hops: net.stats().total_flit_hops(),
+        packets: net.stats().packets_delivered,
+    }
+}
+
+/// Times hub-to-spike traffic on the Design E halo (16 spikes of 16
+/// banks, shortest-path routing): alternating unicast requests to
+/// random banks and full-spike path multicasts, the pattern the
+/// paper's concurrent tag-match produces.
+#[must_use]
+pub fn halo_throughput(packets: u64) -> PerfSample {
+    let topo = Topology::halo(16, 16, &[1; 16], 2);
+    let table = RoutingSpec::ShortestPath.build(&topo).expect("halo routes");
+    let spike_paths: Vec<Vec<Endpoint>> = (0..16)
+        .map(|s| (0..16).map(|p| Endpoint::at(topo.spike_node(s, p))).collect())
+        .collect();
+    let mut net: Network<u64> = Network::new(topo, table, RouterParams::hpca07());
+    let hub = Endpoint {
+        node: NodeId(0),
+        slot: 1,
+    };
+    let mut x: u64 = 0x6A09E667F3BCC909;
+    let start = Instant::now();
+    let mut injected = 0u64;
+    while injected < packets {
+        let burst = 16.min(packets - injected);
+        for _ in 0..burst {
+            let r = lcg(&mut x);
+            let s = (r % 16) as u16;
+            if r & 0x1000 == 0 {
+                // Concurrent tag-match: multicast down the whole spike.
+                net.inject(Packet::new(
+                    hub,
+                    Dest::multicast(spike_paths[s as usize].clone()),
+                    1,
+                    injected,
+                ));
+            } else {
+                // Block transfer to one bank.
+                let p = ((r >> 8) % 16) as u16;
+                net.inject(Packet::new(
+                    hub,
+                    Dest::unicast(Endpoint::at(net.topology().spike_node(s, p))),
+                    5,
+                    injected,
+                ));
+            }
+            injected += 1;
+        }
+        drain(&mut net);
+    }
+    let wall = start.elapsed();
+    PerfSample {
+        config: "halo",
+        wall,
+        cycles: net.stats().cycles,
+        flit_hops: net.stats().total_flit_hops(),
+        packets: net.stats().packets_delivered,
+    }
+}
+
+/// Renders samples plus the baked-in baseline as the
+/// `nucanet/perf-v1` JSON document written to `BENCH_perf.json`.
+#[must_use]
+pub fn render_perf_json(samples: &[PerfSample]) -> String {
+    fn f(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.1}")
+        } else {
+            "null".into()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"nucanet/perf-v1\",\n");
+    out.push_str("  \"name\": \"perf\",\n");
+    out.push_str("  \"runs\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let base = baseline_for(s.config);
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"config\": \"{}\",\n", s.config));
+        out.push_str(&format!("      \"wall_ms\": {},\n", s.wall.as_millis()));
+        out.push_str(&format!("      \"sim_cycles\": {},\n", s.cycles));
+        out.push_str(&format!("      \"flit_hops\": {},\n", s.flit_hops));
+        out.push_str(&format!("      \"packets\": {},\n", s.packets));
+        out.push_str(&format!(
+            "      \"cycles_per_sec\": {},\n",
+            f(s.cycles_per_sec())
+        ));
+        out.push_str(&format!(
+            "      \"flit_hops_per_sec\": {},\n",
+            f(s.flit_hops_per_sec())
+        ));
+        match base {
+            Some(b) if b.cycles_per_sec.is_finite() => {
+                out.push_str(&format!(
+                    "      \"baseline_cycles_per_sec\": {},\n",
+                    f(b.cycles_per_sec)
+                ));
+                out.push_str(&format!(
+                    "      \"speedup_vs_baseline\": {}\n",
+                    f(s.cycles_per_sec() / b.cycles_per_sec)
+                ));
+            }
+            _ => {
+                out.push_str("      \"baseline_cycles_per_sec\": null,\n");
+                out.push_str("      \"speedup_vs_baseline\": null\n");
+            }
+        }
+        out.push_str(if i + 1 == samples.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_simulate_deterministic_cycles() {
+        let a = mesh_throughput(200);
+        let b = mesh_throughput(200);
+        assert_eq!(a.cycles, b.cycles, "same traffic, same cycles");
+        assert_eq!(a.flit_hops, b.flit_hops);
+        assert_eq!(a.packets, 200);
+    }
+
+    #[test]
+    fn halo_sample_delivers_multicasts() {
+        let s = halo_throughput(64);
+        // Spike multicasts deliver to 16 banks each, so deliveries
+        // exceed injections.
+        assert!(s.packets > 64, "deliveries {}", s.packets);
+        assert!(s.flit_hops > 0);
+    }
+
+    #[test]
+    fn json_names_both_configs() {
+        let json = render_perf_json(&[mesh_throughput(50), halo_throughput(50)]);
+        assert!(json.contains("\"fig7-mesh\""));
+        assert!(json.contains("\"halo\""));
+        assert!(json.contains("nucanet/perf-v1"));
+    }
+}

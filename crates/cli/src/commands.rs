@@ -8,6 +8,7 @@ use nucanet::experiments::{run_cell, ExperimentScale};
 use nucanet::scheme::ALL_SCHEMES;
 use nucanet::sweep::{capacity_points, render_json_results, write_atomically, SweepRunner};
 use nucanet::{CacheSystem, FaultConfig, Scheme};
+use nucanet_bench::perf::{baseline_for, halo_throughput, mesh_throughput, render_perf_json};
 use nucanet_noc::{LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
 
@@ -29,13 +30,14 @@ pub fn run_command(args: &Args) -> Result<String, ParseError> {
         "energy" => cmd_energy(args),
         "census" => Ok(cmd_census()),
         "sweep" => cmd_sweep(args),
+        "perf" => cmd_perf(args),
         "trace" => cmd_trace(args),
         "replay" => cmd_replay(args),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(ParseError::BadValue {
             key: "command".into(),
             value: other.into(),
-            expected: "run|compare|designs|area|energy|census|sweep|trace|replay|help",
+            expected: "run|compare|designs|area|energy|census|sweep|perf|trace|replay|help",
         }),
     }
 }
@@ -54,6 +56,7 @@ pub fn help_text() -> String {
      \x20 energy   per-access dynamic energy split (§7 extension)\n\
      \x20 census   link-utilisation analysis of the 16x16 mesh\n\
      \x20 sweep    parallel mesh-vs-halo capacity sweep (4..32 MB)\n\
+     \x20 perf     cycle-kernel throughput on the Fig. 7 mesh and halo\n\
      \x20 trace    print a synthetic L2 trace (addr,write per line)\n\
      \x20 replay   run a trace file through a design (--file PATH)\n\
      \n\
@@ -66,7 +69,7 @@ pub fn help_text() -> String {
      \x20 --cores K            cores sharing the cache (run only, default 1)\n\
      \x20 --seed N             workload seed\n\
      \x20 --workers N          sweep worker threads (default: all cores)\n\
-     \x20 --json PATH          sweep only: also write machine-readable JSON\n\
+     \x20 --json PATH          sweep/perf: also write machine-readable JSON\n\
      \x20 --faults N           sweep only: inject N random link faults per point\n\
      \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
      \x20 --csv 1              emit CSV instead of aligned text\n\
@@ -353,6 +356,47 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
     Ok(out)
 }
 
+fn cmd_perf(args: &Args) -> Result<String, ParseError> {
+    let packets = args.get_usize("packets", 5_000)? as u64;
+    let repeats = args.get_usize("repeats", 1)?.max(1);
+    let best = |run: fn(u64) -> nucanet_bench::perf::PerfSample| {
+        (0..repeats)
+            .map(|_| run(packets))
+            .min_by_key(|s| s.wall)
+            .expect("repeats >= 1")
+    };
+    let samples = vec![best(mesh_throughput), best(halo_throughput)];
+    let mut out = format!("cycle-kernel throughput ({packets} packets, best of {repeats})\n");
+    for s in &samples {
+        out.push_str(&format!(
+            "{:10} {:>12.0} cycles/s {:>12.0} flit-hops/s ({} cycles, {} ms)",
+            s.config,
+            s.cycles_per_sec(),
+            s.flit_hops_per_sec(),
+            s.cycles,
+            s.wall.as_millis()
+        ));
+        match baseline_for(s.config) {
+            Some(b) if b.cycles_per_sec.is_finite() => out.push_str(&format!(
+                "  {:.2}x vs baseline\n",
+                s.cycles_per_sec() / b.cycles_per_sec
+            )),
+            _ => out.push('\n'),
+        }
+    }
+    if let Some(path) = args.get("json") {
+        write_atomically(std::path::Path::new(path), &render_perf_json(&samples)).map_err(
+            |e| ParseError::BadValue {
+                key: "json".into(),
+                value: format!("{path}: {e}"),
+                expected: "a writable path",
+            },
+        )?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
 fn cmd_trace(args: &Args) -> Result<String, ParseError> {
     let bench = args.benchmark()?;
     let n = args.get_usize("accesses", 1_000)?;
@@ -427,10 +471,22 @@ mod tests {
     fn help_lists_all_commands() {
         let h = help_text();
         for cmd in [
-            "run", "compare", "designs", "area", "energy", "census", "trace",
+            "run", "compare", "designs", "area", "energy", "census", "sweep", "perf", "trace",
         ] {
             assert!(h.contains(cmd), "help must mention {cmd}");
         }
+    }
+
+    #[test]
+    fn perf_reports_throughput_and_writes_json() {
+        let path = std::env::temp_dir().join("nucanet_cli_perf_test.json");
+        let out = run(&format!("perf --packets 300 --json {}", path.display()));
+        assert!(out.contains("fig7-mesh"), "{out}");
+        assert!(out.contains("cycles/s"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"nucanet/perf-v1\""), "{json}");
+        assert!(json.contains("\"halo\""), "{json}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

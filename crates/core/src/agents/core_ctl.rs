@@ -101,8 +101,10 @@ pub struct CoreController {
     /// `c % endpoints.len()` for both injection and replies.
     pub endpoints: Vec<Endpoint>,
     memory: Endpoint,
-    /// Bank endpoints per column, MRU first.
-    columns: Vec<Vec<Endpoint>>,
+    /// Bank endpoints per column, MRU first. Reference-counted so each
+    /// multicast request shares the list with the network instead of
+    /// copying it per packet.
+    columns: Vec<Rc<[Endpoint]>>,
     positions: u8,
     queue: VecDeque<PendingAccess>,
     txns: HashMap<u32, Txn>,
@@ -149,6 +151,7 @@ impl CoreController {
             columns.iter().all(|c| c.len() == positions as usize),
             "ragged columns"
         );
+        let columns = columns.into_iter().map(Rc::from).collect();
         CoreController {
             scheme,
             endpoints,
@@ -360,7 +363,7 @@ impl CoreController {
         if self.scheme.is_multicast() {
             Outgoing {
                 ready: now,
-                dest: Dest::multicast(self.columns[a.column as usize].clone()),
+                dest: Dest::multicast_shared(Rc::clone(&self.columns[a.column as usize])),
                 msg: CacheMsg::Request {
                     txn,
                     index: a.index,

@@ -1,0 +1,286 @@
+//! Bucketed event wheel (calendar queue) for bounded-delay scheduling.
+//!
+//! Every in-flight delay in the simulator — link traversal, pipeline
+//! stages, credit return — is a small constant fixed at network
+//! construction, so a comparison-based priority queue is overkill for
+//! the cycle kernel. The [`EventWheel`] keeps one FIFO bucket per cycle
+//! in a window of `horizon + 1` cycles and indexes it with
+//! `when % (horizon + 1)`: scheduling and draining are O(1) per event
+//! with no comparisons and, in steady state, no allocations (buckets
+//! and the drain buffer retain their capacity).
+//!
+//! # Ordering contract
+//!
+//! Events due the same cycle drain in **scheduling order** (the bucket
+//! is a FIFO). This is exactly the `(when, seq)` order the previous
+//! `BinaryHeap` implementation produced with a monotone sequence
+//! number, so replacing the heap preserves bit-identical simulation
+//! results; a property test checks the equivalence against a reference
+//! heap.
+//!
+//! # Window invariant
+//!
+//! All pending events live in `(now, now + horizon]`, which spans at
+//! most `horizon` distinct cycles — strictly fewer than the
+//! `horizon + 1` buckets — so two pending events can never collide in
+//! a bucket with different due cycles. [`EventWheel::schedule`] rejects
+//! events outside the window.
+
+/// A calendar queue over a bounded scheduling horizon. `T` is the event
+/// payload; due cycles are `u64` simulation cycles.
+#[derive(Debug)]
+pub struct EventWheel<T> {
+    /// `buckets[when % buckets.len()]` holds `(when, item)` pairs, all
+    /// with the same `when`, in scheduling (FIFO) order.
+    buckets: Vec<Vec<(u64, T)>>,
+    /// Recycled drain buffer handed out by [`EventWheel::take_due`].
+    spare: Vec<(u64, T)>,
+    len: usize,
+    horizon: u64,
+}
+
+impl<T> EventWheel<T> {
+    /// Creates a wheel able to schedule up to `horizon` cycles ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `horizon` is zero (nothing could ever be scheduled:
+    /// events are always due strictly in the future).
+    #[must_use]
+    pub fn new(horizon: u64) -> Self {
+        assert!(horizon >= 1, "a zero-horizon wheel cannot hold events");
+        let slots = usize::try_from(horizon + 1).expect("horizon fits a usize");
+        EventWheel {
+            buckets: (0..slots).map(|_| Vec::new()).collect(),
+            spare: Vec::new(),
+            len: 0,
+            horizon,
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The scheduling horizon this wheel was built for.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Schedules `item` for cycle `when`, given the current cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `now < when <= now + horizon` — delays outside the
+    /// window indicate a mis-sized wheel, which would silently corrupt
+    /// event order if admitted.
+    pub fn schedule(&mut self, now: u64, when: u64, item: T) {
+        assert!(
+            when > now && when - now <= self.horizon,
+            "event at cycle {when} outside wheel window ({now}, {}]",
+            now + self.horizon
+        );
+        let idx = (when % self.buckets.len() as u64) as usize;
+        self.buckets[idx].push((when, item));
+        self.len += 1;
+    }
+
+    /// The earliest cycle any pending event is due, or `None` when the
+    /// wheel is empty. O(horizon), used only on idle fast-forward.
+    #[must_use]
+    pub fn next_cycle(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        self.buckets
+            .iter()
+            .filter_map(|b| b.first().map(|&(when, _)| when))
+            .min()
+    }
+
+    /// Removes and returns every event due at cycle `now`, in scheduling
+    /// order. The returned buffer should be handed back via
+    /// [`EventWheel::recycle`] after processing so its capacity is
+    /// reused instead of reallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket holds an event not due at `now` — the
+    /// caller skipped a cycle that still had work, which the simulator
+    /// never does ([`crate::Network::skip_to`] refuses to jump past a
+    /// scheduled event).
+    #[must_use]
+    pub fn take_due(&mut self, now: u64) -> Vec<(u64, T)> {
+        let idx = (now % self.buckets.len() as u64) as usize;
+        let batch = std::mem::replace(&mut self.buckets[idx], std::mem::take(&mut self.spare));
+        assert!(
+            batch.iter().all(|&(when, _)| when == now),
+            "wheel bucket for cycle {now} holds an event from another cycle"
+        );
+        self.len -= batch.len();
+        batch
+    }
+
+    /// Returns a drained buffer from [`EventWheel::take_due`] so the
+    /// next drain reuses its capacity.
+    pub fn recycle(&mut self, mut batch: Vec<(u64, T)>) {
+        batch.clear();
+        // Keep the larger buffer: bucket and drain capacities ping-pong.
+        if batch.capacity() > self.spare.capacity() {
+            self.spare = batch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn drains_in_cycle_then_fifo_order() {
+        let mut w = EventWheel::new(4);
+        w.schedule(0, 2, "a");
+        w.schedule(0, 1, "b");
+        w.schedule(0, 2, "c");
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.next_cycle(), Some(1));
+        let due1 = w.take_due(1);
+        assert_eq!(due1.iter().map(|&(_, x)| x).collect::<Vec<_>>(), ["b"]);
+        w.recycle(due1);
+        let due2 = w.take_due(2);
+        assert_eq!(
+            due2.iter().map(|&(_, x)| x).collect::<Vec<_>>(),
+            ["a", "c"],
+            "same-cycle events keep scheduling order"
+        );
+        w.recycle(due2);
+        assert!(w.is_empty());
+        assert_eq!(w.next_cycle(), None);
+    }
+
+    #[test]
+    fn wraps_around_the_window() {
+        let mut w = EventWheel::new(3);
+        for now in 0..50u64 {
+            w.schedule(now, now + 3, now);
+            let due = w.take_due(now + 1);
+            if now >= 2 {
+                assert_eq!(due.len(), 1);
+                assert_eq!(due[0], (now + 1, now - 2));
+            }
+            w.recycle(due);
+        }
+    }
+
+    #[test]
+    fn steady_state_is_allocation_free_by_capacity() {
+        // Capacity reuse: after a warm-up round, bucket and drain
+        // buffers stop growing.
+        let mut w = EventWheel::new(2);
+        for now in 0..10u64 {
+            for k in 0..8 {
+                w.schedule(now, now + 1 + (k % 2), k);
+            }
+            let due = w.take_due(now + 1);
+            w.recycle(due);
+        }
+        let caps: Vec<usize> = w.buckets.iter().map(Vec::capacity).collect();
+        for now in 10..20u64 {
+            for k in 0..8 {
+                w.schedule(now, now + 1 + (k % 2), k);
+            }
+            let due = w.take_due(now + 1);
+            w.recycle(due);
+        }
+        let caps_after: Vec<usize> = w.buckets.iter().map(Vec::capacity).collect();
+        assert_eq!(caps, caps_after, "bucket capacities must stabilise");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside wheel window")]
+    fn rejects_past_events() {
+        let mut w = EventWheel::new(4);
+        w.schedule(5, 5, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside wheel window")]
+    fn rejects_beyond_horizon() {
+        let mut w = EventWheel::new(4);
+        w.schedule(0, 5, ());
+        w.schedule(0, 6, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-horizon")]
+    fn rejects_zero_horizon() {
+        let _ = EventWheel::<()>::new(0);
+    }
+
+    proptest! {
+        /// The wheel yields events in exactly the order the old
+        /// `BinaryHeap<(when, seq)>` implementation did, for random
+        /// bounded-delay schedules interleaved with draining.
+        #[test]
+        fn matches_reference_heap_order(
+            delays in proptest::collection::vec((1u64..7, 0u32..4), 1..120)
+        ) {
+            let horizon = 6;
+            let mut wheel = EventWheel::new(horizon);
+            // Reference: min-heap on (when, seq) — the previous
+            // implementation's comparator.
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq: u64 = 0;
+            let mut wheel_order: Vec<(u64, u64)> = Vec::new();
+            let mut heap_order: Vec<(u64, u64)> = Vec::new();
+            let mut now: u64 = 0;
+            for &(delay, burst) in &delays {
+                // Schedule a burst, then advance one cycle and drain.
+                for _ in 0..=burst {
+                    wheel.schedule(now, now + delay, seq);
+                    heap.push(Reverse((now + delay, seq)));
+                    seq += 1;
+                }
+                now += 1;
+                let due = wheel.take_due(now);
+                for &(when, id) in &due {
+                    wheel_order.push((when, id));
+                }
+                wheel.recycle(due);
+                while let Some(&Reverse((when, id))) = heap.peek() {
+                    if when > now { break; }
+                    heap.pop();
+                    heap_order.push((when, id));
+                }
+                prop_assert_eq!(&wheel_order, &heap_order);
+            }
+            // Drain everything left.
+            while !wheel.is_empty() {
+                now += 1;
+                let due = wheel.take_due(now);
+                for &(when, id) in &due {
+                    wheel_order.push((when, id));
+                }
+                wheel.recycle(due);
+                while let Some(&Reverse((when, id))) = heap.peek() {
+                    if when > now { break; }
+                    heap.pop();
+                    heap_order.push((when, id));
+                }
+            }
+            prop_assert_eq!(wheel_order, heap_order);
+        }
+    }
+}

@@ -51,6 +51,7 @@
 pub mod census;
 pub mod deadlock;
 pub mod error;
+pub mod event_wheel;
 pub mod evlog;
 pub mod faults;
 pub mod ids;
@@ -65,6 +66,7 @@ pub mod topology;
 pub use census::LinkCensus;
 pub use deadlock::{ChannelDependencyGraph, DeadlockReport};
 pub use error::SimError;
+pub use event_wheel::EventWheel;
 pub use evlog::{EventLog, NetEvent};
 pub use faults::{FaultEvent, FaultSchedule};
 pub use ids::{Coord, Endpoint, LinkId, NodeId, PortId};

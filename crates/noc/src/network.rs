@@ -26,23 +26,23 @@
 //! repair, and a permanent partition eventually surfaces as a
 //! [`SimError::Watchdog`] from [`Network::step`] instead of a panic.
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::error::SimError;
+use crate::event_wheel::EventWheel;
 use crate::evlog::{EventLog, NetEvent};
 use crate::faults::FaultSchedule;
 use crate::ids::{Endpoint, LinkId, NodeId, PortId};
 use crate::packet::{FlitRef, Packet, PacketId};
 use crate::params::RouterParams;
-use crate::router::{OutRoute, RouterState, Split};
+use crate::router::{OutRoute, RouterScratch, RouterState, Split};
 use crate::routing::RoutingTable;
 use crate::stats::NetStats;
 use crate::topology::{PortLabel, Topology};
 
 /// A packet handed to a local sink.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Delivered<P> {
     /// The packet (shared with any other multicast deliveries).
     pub packet: Rc<Packet<P>>,
@@ -50,6 +50,18 @@ pub struct Delivered<P> {
     pub endpoint: Endpoint,
     /// Cycle the tail flit was ejected.
     pub cycle: u64,
+}
+
+// Manual impl: `derive(Clone)` would demand `P: Clone`, but cloning
+// only bumps the `Rc` and copies plain fields.
+impl<P> Clone for Delivered<P> {
+    fn clone(&self) -> Self {
+        Delivered {
+            packet: Rc::clone(&self.packet),
+            endpoint: self.endpoint,
+            cycle: self.cycle,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -64,39 +76,21 @@ enum EvKind<P> {
     Credit { link: LinkId, vc: u8 },
 }
 
-#[derive(Debug)]
-struct Ev<P> {
-    when: u64,
-    seq: u64,
-    kind: EvKind<P>,
-}
-
-impl<P> PartialEq for Ev<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.when == other.when && self.seq == other.seq
-    }
-}
-impl<P> Eq for Ev<P> {}
-impl<P> PartialOrd for Ev<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P> Ord for Ev<P> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.when, other.seq).cmp(&(self.when, self.seq))
-    }
-}
-
 /// Cycle-driven network of single-cycle multicasting wormhole routers.
 pub struct Network<P> {
     topo: Topology,
     table: RoutingTable,
     params: RouterParams,
     routers: Vec<RouterState<P>>,
-    events: BinaryHeap<Ev<P>>,
-    ev_seq: u64,
+    /// In-flight flits and returning credits, bucketed by due cycle.
+    /// Every delay is a small constant fixed at construction, so a
+    /// calendar queue replaces the comparison-based heap; FIFO buckets
+    /// preserve the old `(when, seq)` heap order exactly.
+    events: EventWheel<EvKind<P>>,
+    /// Reusable per-cycle temporaries of the router loop (switch
+    /// allocation candidates, winners, the sorted worklist). Owned
+    /// here so `step` performs no steady-state allocations.
+    scratch: RouterScratch,
     cycle: u64,
     next_packet: u64,
     /// Routers that may have work this coming cycle.
@@ -148,14 +142,21 @@ impl<P> Network<P> {
             .collect();
         let n = topo.len();
         let n_links = topo.link_count();
+        // Bound the event horizon: the longest link traversal (wire
+        // delay plus extra pipeline stages) or the credit return,
+        // whichever scheduling delay is larger.
+        let max_link_delay = topo.links().iter().map(|l| l.delay).max().unwrap_or(1);
+        let horizon = u64::from((max_link_delay + params.router_stages - 1).max(1))
+            .max(u64::from(params.credit_delay));
+        let max_ports = topo.routers().iter().map(|r| r.ports.len()).max().unwrap_or(0);
         Network {
             stats: NetStats::new(n_links),
             evlog: None,
             reserved: vec![false; n_links * params.vcs_per_port as usize],
             inflight: vec![0; n_links * params.vcs_per_port as usize],
             routers,
-            events: BinaryHeap::new(),
-            ev_seq: 0,
+            events: EventWheel::new(horizon),
+            scratch: RouterScratch::for_max_ports(max_ports),
             cycle: 0,
             next_packet: 0,
             pending: Vec::new(),
@@ -228,14 +229,22 @@ impl<P> Network<P> {
             });
         }
         if changed {
-            if self.base_table.is_none() {
-                self.base_table = Some(self.table.clone());
-            }
-            self.table = self
+            let rebuilt = self
                 .table
                 .spec()
                 .build_masked(&self.topo, &self.link_up)
                 .expect("the spec already built a table for this topology");
+            let pristine = std::mem::replace(&mut self.table, rebuilt);
+            // Invariant: `base_table` is written exactly once — at the
+            // first fault event, when `self.table` still is the intact
+            // table and is being replaced anyway, so the snapshot is a
+            // move, never a clone. Later rebuilds (repairs included)
+            // leave it untouched; `pristine_table` keeps serving the
+            // fault-free view for injection checks and reroute
+            // accounting.
+            if self.base_table.is_none() {
+                self.base_table = Some(pristine);
+            }
             // The topology changed: give stranded traffic a fresh
             // watchdog window to drain over the new routes, and wake
             // every router holding flits so blocked heads retry routing.
@@ -368,7 +377,7 @@ impl<P> Network<P> {
     /// When idle, the cycle of the next scheduled event (in-flight flit
     /// or credit), if any.
     pub fn next_event_cycle(&self) -> Option<u64> {
-        self.events.peek().map(|e| e.when)
+        self.events.next_cycle()
     }
 
     /// Fast-forwards the clock to `cycle` while the network is idle.
@@ -416,18 +425,18 @@ impl<P> Network<P> {
     }
 
     /// Drains deliveries for one router (helper for small tests; large
-    /// drivers should use [`Network::drain_all_delivered`]).
+    /// drivers should use [`Network::drain_all_delivered`]). Single
+    /// in-place pass; delivery order is preserved on both sides.
     pub fn drain_delivered(&mut self, node: NodeId) -> Vec<Delivered<P>> {
         let mut out = Vec::new();
-        let mut keep = VecDeque::new();
-        while let Some(d) = self.delivered.pop_front() {
+        self.delivered.retain(|d| {
             if d.endpoint.node == node {
-                out.push(d);
+                out.push(d.clone());
+                false
             } else {
-                keep.push_back(d);
+                true
             }
-        }
-        self.delivered = keep;
+        });
         out
     }
 
@@ -446,15 +455,25 @@ impl<P> Network<P> {
         self.stats.cycles = self.cycle;
         self.apply_due_faults();
         self.deliver_events();
-        // Deterministic processing order.
-        let mut work = std::mem::take(&mut self.pending);
+        // Deterministic processing order. The pending list and the
+        // scratch worklist ping-pong so both keep their capacity:
+        // `mark_pending` refills `self.pending` (now the recycled
+        // buffer) while we iterate this cycle's sorted list.
+        let mut work = std::mem::replace(&mut self.pending, std::mem::take(&mut self.scratch.work));
         work.sort_unstable();
         for &i in &work {
             self.pending_flag[i as usize] = false;
         }
+        // Split borrow: take the router array out of `self` once for the
+        // whole loop; helpers receive it as an explicit slice. Nothing
+        // below may touch `self.routers` (it is empty) until restored.
+        let mut routers = std::mem::take(&mut self.routers);
         for &i in &work {
-            self.process_router(i);
+            self.process_router(i, &mut routers);
         }
+        self.routers = routers;
+        work.clear();
+        self.scratch.work = work;
         // Watchdog.
         if self.is_busy() && self.cycle - self.last_progress > self.params.watchdog_cycles {
             return Err(SimError::Watchdog {
@@ -470,12 +489,12 @@ impl<P> Network<P> {
     }
 
     fn deliver_events(&mut self) {
-        while let Some(ev) = self.events.peek() {
-            if ev.when > self.cycle {
-                break;
-            }
-            let ev = self.events.pop().expect("peeked event must pop");
-            match ev.kind {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut batch = self.events.take_due(self.cycle);
+        for (_when, kind) in batch.drain(..) {
+            match kind {
                 EvKind::Arrive { link, vc, flit } => {
                     let l = *self.topo.link(link);
                     let slot = link.0 as usize * self.params.vcs_per_port as usize + vc as usize;
@@ -508,6 +527,7 @@ impl<P> Network<P> {
                 }
             }
         }
+        self.events.recycle(batch);
     }
 
     fn mark_pending(&mut self, node: NodeId) {
@@ -525,94 +545,118 @@ impl<P> Network<P> {
     }
 
     fn schedule(&mut self, when: u64, kind: EvKind<P>) {
-        let seq = self.ev_seq;
-        self.ev_seq += 1;
-        self.events.push(Ev { when, seq, kind });
+        self.events.schedule(self.cycle, when, kind);
     }
 
     /// One router's routing / VC allocation / switch allocation /
     /// traversal for the current cycle.
-    fn process_router(&mut self, idx: u32) {
+    ///
+    /// `routers` is the full router array, split-borrowed out of `self`
+    /// by [`Network::step`] for the duration of the router loop. All
+    /// per-cycle temporaries live in `self.scratch` (cleared, never
+    /// reallocated), so steady-state processing is allocation-free.
+    fn process_router(&mut self, idx: u32, routers: &mut [RouterState<P>]) {
         let node = NodeId(idx);
-        let mut r = std::mem::take(&mut self.routers[idx as usize]);
+        let ri = idx as usize;
 
-        self.allocate_routes(node, &mut r);
+        self.allocate_routes(node, routers);
 
         // Phase A: each input port nominates one sendable VC.
-        let n_ports = r.inputs.len();
-        let mut nominee: Vec<Option<u8>> = vec![None; n_ports];
-        #[allow(clippy::needless_range_loop)] // p indexes two parallel arrays
+        let n_ports = routers[ri].inputs.len();
+        self.scratch.nominee[..n_ports].fill(None);
         for p in 0..n_ports {
-            let n_vcs = r.inputs[p].vcs.len() as u8;
-            let start = r.rr_in[p];
+            let n_vcs = routers[ri].inputs[p].vcs.len() as u8;
+            let start = routers[ri].rr_in[p];
             for k in 0..n_vcs {
                 let v = (start + k) % n_vcs;
-                if self.vc_sendable(&r, p, v as usize) {
-                    nominee[p] = Some(v);
+                if self.vc_sendable(&routers[ri], p, v as usize) {
+                    self.scratch.nominee[p] = Some(v);
                     break;
                 }
             }
         }
 
         // Phase B: each output port grants one nominating input port.
-        let mut winners: Vec<(usize, u8)> = Vec::new();
-        for o in 0..r.outputs.len() {
-            let requesting: Vec<usize> = (0..n_ports)
-                .filter(|&p| {
-                    nominee[p].is_some_and(|v| {
-                        r.inputs[p].vcs[v as usize]
-                            .route
-                            .is_some_and(|rt| rt.port as usize == o)
-                    })
-                })
-                .collect();
-            if requesting.is_empty() {
+        debug_assert!(self.scratch.winners.is_empty());
+        for o in 0..routers[ri].outputs.len() {
+            self.scratch.requesting.clear();
+            for p in 0..n_ports {
+                let Some(v) = self.scratch.nominee[p] else {
+                    continue;
+                };
+                let routed_here = routers[ri].inputs[p].vcs[v as usize]
+                    .route
+                    .is_some_and(|rt| rt.port as usize == o);
+                if routed_here {
+                    self.scratch.requesting.push(p as u8);
+                }
+            }
+            if self.scratch.requesting.is_empty() {
                 continue;
             }
-            let start = r.outputs[o].rr as usize;
-            let pick = *requesting
+            let start = routers[ri].outputs[o].rr;
+            let pick = self
+                .scratch
+                .requesting
                 .iter()
-                .find(|&&p| p >= start)
-                .unwrap_or(&requesting[0]);
-            r.outputs[o].rr = (pick as u8).wrapping_add(1) % n_ports.max(1) as u8;
-            winners.push((pick, nominee[pick].expect("requesting port has nominee")));
+                .copied()
+                .find(|&p| p >= start)
+                .unwrap_or(self.scratch.requesting[0]);
+            routers[ri].outputs[o].rr = pick.wrapping_add(1) % n_ports.max(1) as u8;
+            let v = self.scratch.nominee[pick as usize].expect("requesting port has nominee");
+            self.scratch.winners.push((pick, v));
         }
 
-        // Traversal.
-        for (p, v) in winners {
-            self.traverse(node, &mut r, p, v as usize);
-            r.rr_in[p] = (v + 1) % r.inputs[p].vcs.len().max(1) as u8;
+        // Traversal. The winners buffer moves out and back so `traverse`
+        // (which needs `&mut self`) can run while we walk it; a Vec move
+        // allocates nothing.
+        let winners = std::mem::take(&mut self.scratch.winners);
+        for &(p, v) in &winners {
+            let (p, v) = (p as usize, v as usize);
+            self.traverse(node, &mut routers[ri], p, v);
+            let r = &mut routers[ri];
+            r.rr_in[p] = (v as u8 + 1) % r.inputs[p].vcs.len().max(1) as u8;
             self.last_progress = self.cycle;
         }
+        self.scratch.winners = winners;
+        self.scratch.winners.clear();
 
-        if r.has_work() {
+        if routers[ri].has_work() {
             self.mark_pending(node);
         }
-        self.routers[idx as usize] = r;
     }
 
     /// Routing and VC allocation for head flits at VC fronts.
-    fn allocate_routes(&mut self, node: NodeId, r: &mut RouterState<P>) {
-        for p in 0..r.inputs.len() {
-            for v in 0..r.inputs[p].vcs.len() {
-                if r.inputs[p].vcs[v].route.is_some() {
-                    continue;
-                }
-                let Some(front) = r.inputs[p].vcs[v].buf.front() else {
-                    continue;
-                };
-                assert!(
-                    front.is_head(),
-                    "non-head flit at front of unrouted VC: packet {:?} seq {}",
-                    front.pkt.id,
-                    front.seq
-                );
-                let target = front.target();
-                let has_more = front.has_more_targets();
-                let next_target = if has_more {
-                    Some(front.pkt.dest.endpoints()[front.dest_idx as usize + 1])
-                } else {
-                    None
+    ///
+    /// Receives the split-borrowed router array (see
+    /// [`Network::process_router`]); the replica-VC search reads the
+    /// upstream neighbours from the same slice.
+    fn allocate_routes(&mut self, node: NodeId, routers: &mut [RouterState<P>]) {
+        let ri = node.0 as usize;
+        for p in 0..routers[ri].inputs.len() {
+            for v in 0..routers[ri].inputs[p].vcs.len() {
+                // Copy the head's routing facts out before any `&mut`
+                // helper call needs the router slice.
+                let (target, next_target, split_is_none) = {
+                    let vc = &routers[ri].inputs[p].vcs[v];
+                    if vc.route.is_some() {
+                        continue;
+                    }
+                    let Some(front) = vc.buf.front() else {
+                        continue;
+                    };
+                    assert!(
+                        front.is_head(),
+                        "non-head flit at front of unrouted VC: packet {:?} seq {}",
+                        front.pkt.id,
+                        front.seq
+                    );
+                    let next_target = if front.has_more_targets() {
+                        Some(front.pkt.dest.endpoints()[front.dest_idx as usize + 1])
+                    } else {
+                        None
+                    };
+                    (front.target(), next_target, vc.split.is_none())
                 };
 
                 if target.node == node {
@@ -622,27 +666,24 @@ impl<P> Network<P> {
                         .0;
                     if let Some(next) = next_target {
                         // Multicast split: reserve a replica VC first.
-                        if r.inputs[p].vcs[v].split.is_none() {
-                            match self.find_replica_vc(node, r, p) {
+                        if split_is_none {
+                            match self.find_replica_vc(node, routers, p) {
                                 Some((rp, rv)) => {
+                                    let r = &mut routers[ri];
                                     r.inputs[rp].vcs[rv].replica_role = true;
                                     r.inputs[rp].vcs[rv].route = Some(OutRoute {
                                         port: eject_port,
                                         vc: 0,
                                         eject: true,
                                     });
-                                    self.reserve_remote(node, rp, rv, true);
                                     r.inputs[p].vcs[v].split = Some(Split {
                                         port: rp as u8,
                                         vc: rv as u8,
                                     });
+                                    let pkt_id =
+                                        r.inputs[p].vcs[v].buf.front().expect("head present").pkt.id;
+                                    self.reserve_remote(node, rp, rv, true);
                                     self.stats.replications += 1;
-                                    let pkt_id = r.inputs[p].vcs[v]
-                                        .buf
-                                        .front()
-                                        .expect("head present")
-                                        .pkt
-                                        .id;
                                     self.log(NetEvent::Replicate {
                                         cycle: self.cycle,
                                         packet: pkt_id,
@@ -667,8 +708,9 @@ impl<P> Network<P> {
                             self.stats.route_blocked_cycles += 1;
                             continue;
                         };
-                        if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize) {
-                            r.inputs[p].vcs[v].route = Some(OutRoute {
+                        if let Some(ovc) = self.claim_out_vc(node, &mut routers[ri], out.0 as usize)
+                        {
+                            routers[ri].inputs[p].vcs[v].route = Some(OutRoute {
                                 port: out.0,
                                 vc: ovc,
                                 eject: false,
@@ -676,7 +718,7 @@ impl<P> Network<P> {
                             self.note_reroute(node, next.node, out);
                         }
                     } else {
-                        r.inputs[p].vcs[v].route = Some(OutRoute {
+                        routers[ri].inputs[p].vcs[v].route = Some(OutRoute {
                             port: eject_port,
                             vc: 0,
                             eject: true,
@@ -688,8 +730,8 @@ impl<P> Network<P> {
                         self.stats.route_blocked_cycles += 1;
                         continue;
                     };
-                    if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize) {
-                        r.inputs[p].vcs[v].route = Some(OutRoute {
+                    if let Some(ovc) = self.claim_out_vc(node, &mut routers[ri], out.0 as usize) {
+                        routers[ri].inputs[p].vcs[v].route = Some(OutRoute {
                             port: out.0,
                             vc: ovc,
                             eject: false,
@@ -730,12 +772,17 @@ impl<P> Network<P> {
 
     /// Finds a free VC in a *different, less-utilised* input physical
     /// channel for multicast replication.
+    ///
+    /// Reads the local router *and* its upstream neighbours from the
+    /// split-borrowed `routers` slice, so it stays correct while
+    /// `self.routers` is taken out during the router loop.
     fn find_replica_vc(
         &self,
         node: NodeId,
-        r: &RouterState<P>,
+        routers: &[RouterState<P>],
         primary_port: usize,
     ) -> Option<(usize, usize)> {
+        let r = &routers[node.0 as usize];
         let mut best: Option<(u64, usize, usize)> = None;
         for p in 0..r.inputs.len() {
             if p == primary_port || r.inputs[p].is_local {
@@ -747,7 +794,7 @@ impl<P> Network<P> {
             // The upstream side must not have allocated the VC, and no
             // flits may still be on the wire toward it.
             let l = self.topo.link(in_link);
-            let upstream = &self.routers[l.src.0 as usize];
+            let upstream = &routers[l.src.0 as usize];
             let vcs = self.params.vcs_per_port as usize;
             for v in 0..r.inputs[p].vcs.len() {
                 if !r.inputs[p].vcs[v].is_free() {

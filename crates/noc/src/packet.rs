@@ -42,7 +42,13 @@ pub enum Dest {
     /// leaving a replica at each (the paper's column multicast used for
     /// concurrent tag-match). Consecutive endpoints must lie further
     /// along the routing path.
-    Multicast(Vec<Endpoint>),
+    ///
+    /// The endpoint list is reference-counted so a protocol agent that
+    /// multicasts down the same column repeatedly (the common case)
+    /// shares one allocation across every packet: cloning a `Dest` —
+    /// and replicating flits inside the network — never copies the
+    /// list.
+    Multicast(Rc<[Endpoint]>),
 }
 
 impl Dest {
@@ -57,6 +63,16 @@ impl Dest {
     ///
     /// Panics if `path` is empty.
     pub fn multicast(path: Vec<Endpoint>) -> Self {
+        Self::multicast_shared(path.into())
+    }
+
+    /// Path multicast over an already-shared endpoint list: repeated
+    /// senders keep one list alive and `Rc::clone` it per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is empty.
+    pub fn multicast_shared(path: Rc<[Endpoint]>) -> Self {
         assert!(
             !path.is_empty(),
             "multicast destination list cannot be empty"

@@ -53,9 +53,15 @@ pub(crate) struct InputVc<P> {
 }
 
 impl<P> InputVc<P> {
-    pub fn new() -> Self {
+    /// Creates an idle VC with its flit buffer pre-sized to `depth`:
+    /// credit flow control bounds network VCs to `depth` flits, so a
+    /// pre-sized buffer never reallocates in steady state. (Local
+    /// injection queues may still grow past `depth` — they are
+    /// unbounded source queues filled by `inject`, outside the cycle
+    /// kernel.)
+    pub fn new(depth: u8) -> Self {
         InputVc {
-            buf: VecDeque::new(),
+            buf: VecDeque::with_capacity(depth as usize),
             route: None,
             split: None,
             replica_role: false,
@@ -107,6 +113,39 @@ pub(crate) struct RouterState<P> {
     pub rr_in: Vec<u8>,
 }
 
+/// Reusable per-cycle temporaries for the router loop, owned by the
+/// network so the cycle kernel never allocates in steady state. Every
+/// buffer is sized once (to the widest router) and *cleared*, not
+/// reallocated, between routers.
+#[derive(Debug)]
+pub(crate) struct RouterScratch {
+    /// Phase A result: the VC each input port nominates, `None` when
+    /// the port has nothing sendable. Only `[..n_ports]` is meaningful
+    /// for the router being processed.
+    pub nominee: Vec<Option<u8>>,
+    /// Input ports requesting the output port currently arbitrated
+    /// (ascending order, rebuilt per output).
+    pub requesting: Vec<u8>,
+    /// Switch-allocation winners of the current router: `(input port,
+    /// input VC)` pairs, in output-port order.
+    pub winners: Vec<(u8, u8)>,
+    /// This cycle's sorted router worklist; swapped with the network's
+    /// pending list so both keep their capacity across cycles.
+    pub work: Vec<u32>,
+}
+
+impl RouterScratch {
+    /// Builds scratch buffers for routers with up to `max_ports` ports.
+    pub fn for_max_ports(max_ports: usize) -> Self {
+        RouterScratch {
+            nominee: vec![None; max_ports],
+            requesting: Vec::with_capacity(max_ports),
+            winners: Vec::with_capacity(max_ports),
+            work: Vec::new(),
+        }
+    }
+}
+
 impl<P> Default for RouterState<P> {
     fn default() -> Self {
         RouterState {
@@ -121,11 +160,10 @@ impl<P> RouterState<P> {
     /// Builds state for a router with the given port shapes.
     pub fn build(ports: &[(bool, bool)], vcs_per_port: u8, vc_depth: u8) -> Self {
         // ports: (is_local, has_out_link)
-        let _ = vc_depth;
         let inputs = ports
             .iter()
             .map(|&(is_local, _)| InputPort {
-                vcs: (0..vcs_per_port).map(|_| InputVc::new()).collect(),
+                vcs: (0..vcs_per_port).map(|_| InputVc::new(vc_depth)).collect(),
                 is_local,
                 util: 0,
             })
@@ -202,13 +240,13 @@ mod tests {
 
     #[test]
     fn fresh_vc_is_free() {
-        let vc: InputVc<()> = InputVc::new();
+        let vc: InputVc<()> = InputVc::new(4);
         assert!(vc.is_free());
     }
 
     #[test]
     fn vc_with_route_is_not_free() {
-        let mut vc: InputVc<()> = InputVc::new();
+        let mut vc: InputVc<()> = InputVc::new(4);
         vc.route = Some(OutRoute {
             port: 1,
             vc: 0,
@@ -219,7 +257,7 @@ mod tests {
 
     #[test]
     fn replica_role_vc_is_not_free() {
-        let mut vc: InputVc<()> = InputVc::new();
+        let mut vc: InputVc<()> = InputVc::new(4);
         vc.replica_role = true;
         assert!(!vc.is_free());
     }

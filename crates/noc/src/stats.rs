@@ -139,13 +139,18 @@ impl NetStats {
         self.link_down_events.saturating_sub(self.link_up_events)
     }
 
+    /// Total flits × links traversed — the simulated-work measure the
+    /// throughput benchmark reports per wall-clock second.
+    pub fn total_flit_hops(&self) -> u64 {
+        self.flits_per_link.iter().sum()
+    }
+
     /// Mean flits per cycle per link (network load).
     pub fn mean_link_load(&self) -> f64 {
         if self.cycles == 0 || self.flits_per_link.is_empty() {
             return 0.0;
         }
-        let total: u64 = self.flits_per_link.iter().sum();
-        total as f64 / (self.cycles as f64 * self.flits_per_link.len() as f64)
+        self.total_flit_hops() as f64 / (self.cycles as f64 * self.flits_per_link.len() as f64)
     }
 }
 
@@ -236,6 +241,7 @@ mod tests {
             ..Default::default()
         };
         assert!((s.mean_link_load() - 1.0).abs() < 1e-12);
+        assert_eq!(s.total_flit_hops(), 20);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! constant-memory streaming capture mode, exercised over real
 //! end-to-end simulations rather than synthetic fixtures.
 
-use nucanet::experiments::{cell_point, fig7, fig7_parallel, ExperimentScale};
+use nucanet::experiments::{cell_point, fig7, fig7_parallel, fig7_points, ExperimentScale};
 use nucanet::metrics::MetricsCapture;
 use nucanet::sweep::{capacity_points, derive_seed, render_json, SweepPoint, SweepRunner};
 use nucanet::{Design, FaultConfig, Scheme};
@@ -153,6 +153,32 @@ fn figure_runners_are_worker_count_invariant() {
     let serial = fig7(scale);
     let parallel = fig7_parallel(scale, &SweepRunner::with_workers(4));
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn fig7_repeat_runs_are_bit_identical() {
+    // Guards the event-wheel ordering contract: two runs of the same
+    // Fig. 7 points must agree on every metric, down to the last bit —
+    // not just on aggregate figures.
+    let scale = ExperimentScale {
+        warmup: 600,
+        measured: 100,
+        active_sets: 32,
+        seed: 0xCAFE,
+    };
+    let points = fig7_points(scale);
+    let a = SweepRunner::with_workers(1).run(&points);
+    let b = SweepRunner::with_workers(2).run(&points);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(
+            x.metrics, y.metrics,
+            "{}: stats must be bit-identical across repeat runs",
+            x.label
+        );
+        assert_eq!(x.ipc.to_bits(), y.ipc.to_bits(), "{}", x.label);
+    }
 }
 
 #[test]
