@@ -6,7 +6,7 @@
 //! bank ≈ 25 %, memory ≈ 10 %.
 
 use nucanet::experiments::{fig7_cells, fig7_points};
-use nucanet_bench::{pct, rule, runner_from_env, scale_from_env, write_bench_json};
+use nucanet_bench::{apply_env_check, pct, rule, runner_from_env, scale_from_env, write_bench_json};
 
 fn main() {
     let scale = scale_from_env();
@@ -24,7 +24,8 @@ fn main() {
         "benchmark", "bank%", "net%", "mem%"
     );
     rule(52);
-    let points = fig7_points(scale);
+    let mut points = fig7_points(scale);
+    apply_env_check(&mut points);
     let outcomes = runner.run(&points);
     let rows = fig7_cells(&outcomes);
     let (mut b, mut n, mut m) = (0.0, 0.0, 0.0);

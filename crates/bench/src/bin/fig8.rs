@@ -10,7 +10,7 @@
 
 use nucanet::experiments::{fig8_cells, fig8_points, geomean};
 use nucanet::Scheme;
-use nucanet_bench::{rule, runner_from_env, scale_from_env, write_bench_json};
+use nucanet_bench::{apply_env_check, rule, runner_from_env, scale_from_env, write_bench_json};
 use nucanet_workload::ALL_BENCHMARKS;
 
 fn main() {
@@ -23,7 +23,8 @@ fn main() {
         scale.warmup,
         runner.workers()
     );
-    let points = fig8_points(scale);
+    let mut points = fig8_points(scale);
+    apply_env_check(&mut points);
     let outcomes = runner.run(&points);
     let cells = fig8_cells(&outcomes);
 

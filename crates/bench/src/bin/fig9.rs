@@ -8,7 +8,7 @@
 use nucanet::config::ALL_DESIGNS;
 use nucanet::experiments::{cell_point, fig9_cells, fig9_points, geomean, normalize_fig9};
 use nucanet::{Design, Scheme};
-use nucanet_bench::{rule, runner_from_env, scale_from_env, write_bench_json};
+use nucanet_bench::{apply_env_check, rule, runner_from_env, scale_from_env, write_bench_json};
 use nucanet_workload::ALL_BENCHMARKS;
 
 fn main() {
@@ -21,7 +21,8 @@ fn main() {
         scale.warmup,
         runner.workers()
     );
-    let points = fig9_points(scale);
+    let mut points = fig9_points(scale);
+    apply_env_check(&mut points);
     let outcomes = runner.run(&points);
     let cells = fig9_cells(&outcomes);
     let normalized = normalize_fig9(&cells);

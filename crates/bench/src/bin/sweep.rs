@@ -22,7 +22,9 @@
 use std::time::Instant;
 
 use nucanet::sweep::capacity_points;
-use nucanet_bench::{faults_from_env, runner_from_env, scale_from_env, write_bench_json_results};
+use nucanet_bench::{
+    apply_env_check, faults_from_env, runner_from_env, scale_from_env, write_bench_json_results,
+};
 use nucanet_workload::BenchmarkProfile;
 
 fn main() {
@@ -41,6 +43,7 @@ fn main() {
     );
 
     let mut points = capacity_points(bench, scale);
+    apply_env_check(&mut points);
     if let Some(fc) = &faults {
         for p in &mut points {
             p.config.faults = Some(fc.clone());

@@ -14,6 +14,9 @@
 //!   (default 0; `sweep` binary only).
 //! * `NUCANET_FAULT_REPAIR` — cycles after which each injected fault is
 //!   repaired (default: never — faults are permanent).
+//! * `NUCANET_CHECK` — non-zero enables the network's runtime invariant
+//!   checker on every point (default 0: the checker audits each cycle
+//!   and would distort throughput numbers; CI smoke runs set it).
 //! * `NUCANET_BENCH_DIR` — where `BENCH_*.json` files land (default:
 //!   the current directory).
 //!
@@ -107,6 +110,21 @@ pub fn faults_from_env() -> Option<FaultConfig> {
         c => Some(c),
     };
     Some(FaultConfig::random(count as u32, (1, 1_000), repair))
+}
+
+/// Applies `NUCANET_CHECK` to a point list: non-zero turns the runtime
+/// invariant checker on for every point. Call after building the points
+/// and before running them.
+///
+/// # Panics
+///
+/// Panics if `NUCANET_CHECK` is set but malformed.
+pub fn apply_env_check(points: &mut [SweepPoint]) {
+    if env_u64("NUCANET_CHECK", 0) != 0 {
+        for p in points {
+            p.config.check_invariants = true;
+        }
+    }
 }
 
 /// Writes `BENCH_<name>.json` (schema `nucanet/sweep-v2`) into

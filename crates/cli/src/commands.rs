@@ -4,12 +4,12 @@
 use nucanet::area::{analyze, unused_area_mm2};
 use nucanet::config::ALL_DESIGNS;
 use nucanet::energy::energy_of_run;
-use nucanet::experiments::{run_cell, ExperimentScale};
+use nucanet::experiments::{run_cell, run_config, ExperimentScale};
 use nucanet::scheme::ALL_SCHEMES;
 use nucanet::sweep::{capacity_points, render_json_results, write_atomically, SweepRunner};
 use nucanet::{CacheSystem, FaultConfig, Scheme};
 use nucanet_bench::perf::{baseline_for, halo_throughput, mesh_throughput, render_perf_json};
-use nucanet_noc::{LinkCensus, NodeId, RoutingSpec, Topology};
+use nucanet_noc::{run_fuzz, FuzzOptions, LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
 
 use crate::args::{Args, ParseError};
@@ -31,13 +31,14 @@ pub fn run_command(args: &Args) -> Result<String, ParseError> {
         "census" => Ok(cmd_census()),
         "sweep" => cmd_sweep(args),
         "perf" => cmd_perf(args),
+        "fuzz" => cmd_fuzz(args),
         "trace" => cmd_trace(args),
         "replay" => cmd_replay(args),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(ParseError::BadValue {
             key: "command".into(),
             value: other.into(),
-            expected: "run|compare|designs|area|energy|census|sweep|perf|trace|replay|help",
+            expected: "run|compare|designs|area|energy|census|sweep|perf|fuzz|trace|replay|help",
         }),
     }
 }
@@ -57,6 +58,7 @@ pub fn help_text() -> String {
      \x20 census   link-utilisation analysis of the 16x16 mesh\n\
      \x20 sweep    parallel mesh-vs-halo capacity sweep (4..32 MB)\n\
      \x20 perf     cycle-kernel throughput on the Fig. 7 mesh and halo\n\
+     \x20 fuzz     differential fuzz: fast simulator vs golden model\n\
      \x20 trace    print a synthetic L2 trace (addr,write per line)\n\
      \x20 replay   run a trace file through a design (--file PATH)\n\
      \n\
@@ -72,6 +74,8 @@ pub fn help_text() -> String {
      \x20 --json PATH          sweep/perf: also write machine-readable JSON\n\
      \x20 --faults N           sweep only: inject N random link faults per point\n\
      \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
+     \x20 --check 1            run/sweep: enable the runtime invariant checker\n\
+     \x20 --iters N            fuzz: scenarios to run (default 200)\n\
      \x20 --csv 1              emit CSV instead of aligned text\n\
      \n\
      A sweep point whose faults partition the network fails alone\n\
@@ -94,18 +98,24 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
     let bench = args.benchmark()?;
     let scale = scale_of(args)?;
     let cores = args.get_usize("cores", 1)?.max(1) as u8;
+    let check = args.get("check") == Some("1");
 
     if cores == 1 {
-        let (m, ipc) = run_cell(design, scheme, &bench, scale);
+        let mut cfg = design.config(scheme);
+        cfg.check_invariants = check;
+        let (m, ipc) = run_config(&cfg, &bench, scale)
+            .map_err(|e| ParseError::SimulationFailed(e.to_string()))?;
+        let note = if check { "\ninvariants checked: ok" } else { "" };
         return Ok(format!(
-            "{design:?} / {scheme} / {}\n{}\nIPC {ipc:.3} (perfect-L2 {:.2})\n",
+            "{design:?} / {scheme} / {}\n{}\nIPC {ipc:.3} (perfect-L2 {:.2}){note}\n",
             bench.name,
             metrics_line(&m),
             bench.perfect_l2_ipc
         ));
     }
     // CMP: every core runs the same profile with a different seed.
-    let cfg = design.config(scheme);
+    let mut cfg = design.config(scheme);
+    cfg.check_invariants = check;
     let mut sys = CacheSystem::with_cores(&cfg, cores);
     let traces: Vec<Trace> = (0..cores)
         .map(|i| {
@@ -278,6 +288,11 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
         SweepRunner::with_workers(workers)
     };
     let mut points = capacity_points(bench, scale);
+    if args.get("check") == Some("1") {
+        for p in &mut points {
+            p.config.check_invariants = true;
+        }
+    }
     if faults > 0 {
         let fc = FaultConfig::random(
             faults as u32,
@@ -397,6 +412,49 @@ fn cmd_perf(args: &Args) -> Result<String, ParseError> {
     Ok(out)
 }
 
+/// Differential fuzzing: seeded random scenarios through the fast
+/// wormhole simulator (twice, for determinism) and the store-and-forward
+/// golden model, comparing delivered-packet multisets. On failure the
+/// collapsed seed is printed and written to `FUZZ_FAILURE.json` so CI
+/// can upload it as an artifact.
+fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
+    let opts = FuzzOptions {
+        iters: args.get_usize("iters", 200)? as u64,
+        seed: args.get_usize("seed", 0xA11CE)? as u64,
+        // The checker defaults ON for fuzzing; `--check 0` disables it.
+        check: args.get("check") != Some("0"),
+        max_cycles: args.get_usize("max-cycles", 50_000)? as u64,
+    };
+    let report = run_fuzz(&opts);
+    if let Some(f) = &report.failure {
+        let json = format!(
+            "{{\n  \"schema\": \"nucanet/fuzz-failure-v1\",\n  \"iter\": {},\n  \
+             \"seed\": {},\n  \"detail\": \"{}\"\n}}\n",
+            f.iter,
+            f.seed,
+            f.detail
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        );
+        write_atomically(std::path::Path::new("FUZZ_FAILURE.json"), &json).ok();
+        return Err(ParseError::SimulationFailed(format!(
+            "fuzz iteration {} failed (replay: nucanet fuzz --iters 1 --seed {}): {}",
+            f.iter, f.seed, f.detail
+        )));
+    }
+    Ok(format!(
+        "fuzz: {} iterations clean (checker {})\n\
+         {} packets injected, {} deliveries, {} multicasts, {} fault events\n",
+        report.iters_run,
+        if opts.check { "on" } else { "off" },
+        report.packets,
+        report.deliveries,
+        report.multicasts,
+        report.fault_events
+    ))
+}
+
 fn cmd_trace(args: &Args) -> Result<String, ParseError> {
     let bench = args.benchmark()?;
     let n = args.get_usize("accesses", 1_000)?;
@@ -471,10 +529,31 @@ mod tests {
     fn help_lists_all_commands() {
         let h = help_text();
         for cmd in [
-            "run", "compare", "designs", "area", "energy", "census", "sweep", "perf", "trace",
+            "run", "compare", "designs", "area", "energy", "census", "sweep", "perf", "fuzz",
+            "trace",
         ] {
             assert!(h.contains(cmd), "help must mention {cmd}");
         }
+    }
+
+    #[test]
+    fn fuzz_short_campaign_is_clean() {
+        let out = run("fuzz --iters 10 --seed 99");
+        assert!(out.contains("10 iterations clean"), "{out}");
+        assert!(out.contains("checker on"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_checker_can_be_disabled() {
+        let out = run("fuzz --iters 3 --seed 4 --check 0");
+        assert!(out.contains("checker off"), "{out}");
+    }
+
+    #[test]
+    fn run_with_checker_reports_clean_invariants() {
+        let out =
+            run("run --bench art --accesses 60 --warmup 1000 --sets 32 --check 1");
+        assert!(out.contains("invariants checked: ok"), "{out}");
     }
 
     #[test]

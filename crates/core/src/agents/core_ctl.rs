@@ -124,6 +124,7 @@ pub struct CoreController {
     stale: HashSet<u32>,
     timeouts: u64,
     retries: u64,
+    stale_drops: u64,
 }
 
 impl CoreController {
@@ -170,6 +171,7 @@ impl CoreController {
             stale: HashSet::new(),
             timeouts: 0,
             retries: 0,
+            stale_drops: 0,
         }
     }
 
@@ -189,6 +191,14 @@ impl CoreController {
     /// Retry attempts issued so far.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Late replies discarded because their transaction had already
+    /// been cancelled by the timeout path. The driver watches this
+    /// counter to report each drop into the network event log, so
+    /// invariant-violation and debugging traces carry the causal entry.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
     }
 
     /// The earliest cycle at which an in-flight transaction can expire,
@@ -402,6 +412,7 @@ impl CoreController {
         let positions = self.positions;
         let scheme = self.scheme;
         if !self.txns.contains_key(&id) && self.stale.contains(&id) {
+            self.stale_drops += 1;
             return Vec::new();
         }
         let t = self

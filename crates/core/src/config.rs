@@ -69,6 +69,11 @@ pub struct SystemConfig {
     pub request_retries: u8,
     /// Optional link-fault injection, applied when the system is built.
     pub faults: Option<FaultConfig>,
+    /// Enable the network's runtime invariant checker (see
+    /// `nucanet_noc::check`). Off by default: the checker audits every
+    /// cycle and is meant for debugging and CI smoke runs, not for
+    /// performance sweeps.
+    pub check_invariants: bool,
 }
 
 /// Link-fault injection settings for a [`SystemConfig`].
@@ -205,6 +210,7 @@ impl Design {
             request_timeout: None,
             request_retries: 0,
             faults: None,
+            check_invariants: false,
         }
     }
 

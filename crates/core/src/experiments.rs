@@ -65,6 +65,23 @@ pub fn run_cell(
     scale: ExperimentScale,
 ) -> (Metrics, f64) {
     let cfg = design.config(scheme);
+    run_config(&cfg, profile, scale)
+        .unwrap_or_else(|e| panic!("{design:?}/{scheme}/{}: {e}", profile.name))
+}
+
+/// Runs one cell over an explicit configuration — the hook the CLI and
+/// harnesses use to toggle knobs [`Design::config`] leaves at their
+/// defaults (e.g. `check_invariants`), and to observe errors instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Propagates the [`nucanet_noc::SimError`] of the run.
+pub fn run_config(
+    cfg: &crate::config::SystemConfig,
+    profile: &BenchmarkProfile,
+    scale: ExperimentScale,
+) -> Result<(Metrics, f64), nucanet_noc::SimError> {
     let mut gen = TraceGenerator::new(
         *profile,
         SynthConfig {
@@ -74,12 +91,10 @@ pub fn run_cell(
         },
     );
     let trace = gen.generate(scale.warmup, scale.measured);
-    let mut sys = CacheSystem::new(&cfg);
-    let metrics = sys
-        .run(&trace)
-        .unwrap_or_else(|e| panic!("{design:?}/{scheme}/{}: {e}", profile.name));
+    let mut sys = CacheSystem::new(cfg);
+    let metrics = sys.run(&trace)?;
     let ipc = metrics.ipc(&CoreModel::for_profile(profile));
-    (metrics, ipc)
+    Ok((metrics, ipc))
 }
 
 /// Builds the [`SweepPoint`] for one (design, scheme, benchmark) cell.

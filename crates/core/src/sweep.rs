@@ -150,6 +150,7 @@ impl PointError {
             PointError::Sim(SimError::Watchdog { .. }) => "watchdog",
             PointError::Sim(SimError::CycleLimit { .. }) => "cycle_limit",
             PointError::Sim(SimError::Wedged { .. }) => "wedged",
+            PointError::Sim(SimError::Invariant(_)) => "invariant",
             PointError::Panic(_) => "panic",
         }
     }

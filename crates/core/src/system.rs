@@ -5,7 +5,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 
 use nucanet_cache::{AddressMap, BankSetModel, Block};
-use nucanet_noc::{Endpoint, FaultSchedule, Network, Packet, SimError};
+use nucanet_noc::{Endpoint, FaultSchedule, NetEvent, Network, Packet, SimError};
 use nucanet_workload::{L2Access, Trace};
 
 use crate::agents::bank::{BankAgent, BankCtx};
@@ -184,6 +184,9 @@ impl CacheSystem {
         if let Some(fc) = &cfg.faults {
             net.set_fault_schedule(fc.schedule(layout.topo.link_count()));
         }
+        if cfg.check_invariants {
+            net.enable_invariant_checker();
+        }
 
         CacheSystem {
             cfg: cfg.clone(),
@@ -242,6 +245,13 @@ impl CacheSystem {
     /// Takes the network event log, disabling further logging.
     pub fn take_event_log(&mut self) -> Option<nucanet_noc::EventLog> {
         self.net.take_event_log()
+    }
+
+    /// The network's runtime invariant checker, when
+    /// [`SystemConfig::check_invariants`](crate::config::SystemConfig::check_invariants)
+    /// enabled it.
+    pub fn invariant_checker(&self) -> Option<&nucanet_noc::InvariantChecker> {
+        self.net.invariant_checker()
     }
 
     /// Warm-accesses the cache *functionally* (no timing): contents are
@@ -414,7 +424,16 @@ impl CacheSystem {
             // Dispatch deliveries to agents.
             for d in self.net.drain_all_delivered() {
                 let outs = if let Some(&i) = self.core_of_endpoint.get(&d.endpoint) {
-                    self.cores[i].handle(&d.packet.payload, now)
+                    let drops_before = self.cores[i].stale_drops();
+                    let outs = self.cores[i].handle(&d.packet.payload, now);
+                    if self.cores[i].stale_drops() > drops_before {
+                        self.net.log_event(NetEvent::Drop {
+                            cycle: now,
+                            packet: d.packet.id,
+                            node: d.endpoint.node,
+                        });
+                    }
+                    outs
                 } else if d.endpoint == self.layout.memory {
                     self.memory.handle(&d.packet.payload, now)
                 } else {

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::check::InvariantViolation;
+
 /// Why a simulation could not make further progress.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -44,6 +46,11 @@ pub enum SimError {
         /// Human-readable dump of the stuck transactions.
         detail: String,
     },
+    /// The runtime invariant checker (see [`crate::check`]) caught the
+    /// simulator violating one of its own correctness properties — a
+    /// simulator bug, not a property of the simulated workload. Boxed:
+    /// the report carries recent event-log history.
+    Invariant(Box<InvariantViolation>),
 }
 
 impl fmt::Display for SimError {
@@ -74,6 +81,7 @@ impl fmt::Display for SimError {
                 f,
                 "system wedged at cycle {cycle} with {outstanding} outstanding txns:\n{detail}"
             ),
+            SimError::Invariant(v) => write!(f, "simulator invariant violated: {v}"),
         }
     }
 }

@@ -130,6 +130,13 @@ impl<T> EventWheel<T> {
         batch
     }
 
+    /// Iterates over every pending `(when, item)` pair, in no
+    /// particular order. Used by the invariant checker to recount the
+    /// wire independently of the kernel's own in-flight bookkeeping.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, T)> {
+        self.buckets.iter().flat_map(|b| b.iter())
+    }
+
     /// Returns a drained buffer from [`EventWheel::take_due`] so the
     /// next drain reuses its capacity.
     pub fn recycle(&mut self, mut batch: Vec<(u64, T)>) {

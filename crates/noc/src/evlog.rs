@@ -57,6 +57,19 @@ pub enum NetEvent {
         /// `true` = repaired, `false` = failed.
         up: bool,
     },
+    /// A delivered packet was dropped by the protocol layer (e.g. a
+    /// stale reply to a transaction already cancelled by the timeout
+    /// path). The network itself never drops flits; drivers report
+    /// drops via [`crate::Network::log_event`] so invariant-violation
+    /// reports include the causal entry.
+    Drop {
+        /// Cycle of the drop.
+        cycle: u64,
+        /// Which packet was discarded.
+        packet: PacketId,
+        /// Router whose local sink discarded it.
+        node: NodeId,
+    },
 }
 
 impl NetEvent {
@@ -67,7 +80,8 @@ impl NetEvent {
             | NetEvent::Deliver { cycle, .. }
             | NetEvent::Replicate { cycle, .. }
             | NetEvent::ReplicaBlocked { cycle, .. }
-            | NetEvent::LinkState { cycle, .. } => cycle,
+            | NetEvent::LinkState { cycle, .. }
+            | NetEvent::Drop { cycle, .. } => cycle,
         }
     }
 }
@@ -124,6 +138,14 @@ impl EventLog {
         self.dropped
     }
 
+    /// The `n` most recent events, oldest first (fewer when the log
+    /// holds fewer). Violation reports attach this tail as causal
+    /// context.
+    pub fn recent(&self, n: usize) -> Vec<NetEvent> {
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip).copied().collect()
+    }
+
     /// Retained events concerning one packet, oldest first.
     pub fn for_packet(&self, packet: PacketId) -> Vec<NetEvent> {
         self.events
@@ -131,7 +153,8 @@ impl EventLog {
             .filter(|e| match e {
                 NetEvent::Inject { packet: p, .. }
                 | NetEvent::Deliver { packet: p, .. }
-                | NetEvent::Replicate { packet: p, .. } => *p == packet,
+                | NetEvent::Replicate { packet: p, .. }
+                | NetEvent::Drop { packet: p, .. } => *p == packet,
                 NetEvent::ReplicaBlocked { .. } | NetEvent::LinkState { .. } => false,
             })
             .copied()
@@ -194,5 +217,43 @@ mod tests {
         let log = EventLog::new(4);
         assert!(log.is_empty());
         assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_events_are_recorded_and_attributed() {
+        // A violation report that misses the protocol-level drop of the
+        // packet under suspicion is useless; the ring must both retain
+        // the Drop entry and surface it in the per-packet view.
+        let mut log = EventLog::new(8);
+        log.push(inject(1, 7));
+        log.push(NetEvent::Drop {
+            cycle: 4,
+            packet: PacketId(7),
+            node: NodeId(2),
+        });
+        log.push(inject(5, 8));
+        let evs = log.for_packet(PacketId(7));
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(
+            evs[1],
+            NetEvent::Drop {
+                cycle: 4,
+                node: NodeId(2),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn recent_returns_the_tail() {
+        let mut log = EventLog::new(4);
+        for i in 0..6 {
+            log.push(inject(i, i));
+        }
+        let tail = log.recent(2);
+        assert_eq!(tail.iter().map(NetEvent::cycle).collect::<Vec<_>>(), [4, 5]);
+        // Asking for more than retained yields everything retained.
+        assert_eq!(log.recent(100).len(), 4);
+        assert!(EventLog::new(3).recent(2).is_empty());
     }
 }

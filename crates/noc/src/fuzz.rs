@@ -1,0 +1,446 @@
+//! Seeded differential fuzzing against the golden reference model.
+//!
+//! Each iteration derives a scenario — topology, routing spec, packet
+//! plan, transient fault schedule — from a seed, then runs it three
+//! ways:
+//!
+//! 1. the fast wormhole simulator, with the [`crate::check`] invariant
+//!    checker enabled when requested,
+//! 2. the fast simulator **again**, asserting bit-identical delivery
+//!    sequences (cycle, packet, endpoint) — the determinism property,
+//! 3. the [`crate::golden`] store-and-forward reference, asserting the
+//!    two models deliver the same `(packet, endpoint)` **multiset**.
+//!
+//! Order across the two models is *not* compared: wormhole virtual
+//! channels legitimately interleave packets that a store-and-forward
+//! model serializes. Delivery order is instead pinned by the
+//! determinism check in (2). All faults generated here are transient
+//! and repaired, so both models must deliver everything.
+//!
+//! Reproduction: iteration `i` of `(seed, iters)` is exactly iteration
+//! `0` of `(seed + i, 1)` — a failure report carries that collapsed
+//! seed so one CLI invocation (`nucanet fuzz --iters 1 --seed <s>`)
+//! replays the failing scenario.
+
+use crate::error::SimError;
+use crate::faults::{FaultEvent, FaultSchedule};
+use crate::golden::{GoldenPacket, GoldenSim};
+use crate::ids::{Endpoint, LinkId, NodeId};
+use crate::network::Network;
+use crate::packet::{Dest, Packet, PacketId};
+use crate::params::RouterParams;
+use crate::routing::RoutingSpec;
+use crate::topology::Topology;
+
+/// Knobs for a fuzzing campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Scenarios to run.
+    pub iters: u64,
+    /// Base seed; each iteration derives its own stream from it.
+    pub seed: u64,
+    /// Enable the runtime invariant checker inside the fast simulator.
+    pub check: bool,
+    /// Per-scenario cycle budget for the fast simulator before the
+    /// iteration is declared a failure.
+    pub max_cycles: u64,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            iters: 200,
+            seed: 0xA11CE,
+            check: true,
+            max_cycles: 50_000,
+        }
+    }
+}
+
+/// A failing iteration, with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzFailure {
+    /// Zero-based index of the failing iteration.
+    pub iter: u64,
+    /// Collapsed seed: `fuzz --iters 1 --seed <this>` replays it.
+    pub seed: u64,
+    /// What went wrong (invariant violation, delivery mismatch, …).
+    pub detail: String,
+}
+
+/// Aggregate outcome of a fuzzing campaign.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Iterations completed (including the failing one, if any).
+    pub iters_run: u64,
+    /// Packets injected across all iterations.
+    pub packets: u64,
+    /// Deliveries observed by the fast simulator.
+    pub deliveries: u64,
+    /// Multicast packets among `packets`.
+    pub multicasts: u64,
+    /// Fault events exercised across all iterations.
+    pub fault_events: u64,
+    /// The first failure, if any; the campaign stops there.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// splitmix64 stream, seeded once, used for all scenario decisions.
+#[derive(Debug)]
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`. Modulo bias is irrelevant for fuzzing.
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next() % n
+    }
+}
+
+/// One planned packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Plan {
+    src: Endpoint,
+    dests: Vec<Endpoint>,
+    flits: u32,
+    at: u64,
+}
+
+/// One generated scenario.
+#[derive(Debug)]
+struct Scenario {
+    topo: Topology,
+    spec: RoutingSpec,
+    plans: Vec<Plan>,
+    faults: Vec<FaultEvent>,
+}
+
+fn gen_scenario(seed: u64) -> Scenario {
+    let mut rng = Rng(seed);
+    let shape = rng.below(4);
+    let (topo, spec) = match shape {
+        0 | 1 => {
+            let cols = 2 + rng.below(4) as u16;
+            let rows = 2 + rng.below(3) as u16;
+            let cg: Vec<u32> = (1..cols).map(|_| 1 + rng.below(3) as u32).collect();
+            let rg: Vec<u32> = (1..rows).map(|_| 1 + rng.below(3) as u32).collect();
+            let spec = if shape == 0 { RoutingSpec::Xy } else { RoutingSpec::Xyx };
+            (Topology::mesh(cols, rows, &cg, &rg), spec)
+        }
+        2 => {
+            let cols = 3 + rng.below(3) as u16;
+            let rows = 3 + rng.below(2) as u16;
+            let cg: Vec<u32> = (1..cols).map(|_| 1 + rng.below(3) as u32).collect();
+            let rg: Vec<u32> = (1..rows).map(|_| 1 + rng.below(3) as u32).collect();
+            (
+                Topology::simplified_mesh(cols, rows, &cg, &rg),
+                RoutingSpec::Xyx,
+            )
+        }
+        _ => {
+            let spikes = 3 + rng.below(3) as u16;
+            let spike_len = 1 + rng.below(3) as u16;
+            let delays: Vec<u32> = (0..spike_len).map(|_| 1 + rng.below(3) as u32).collect();
+            (
+                Topology::halo(spikes, spike_len, &delays, 1),
+                RoutingSpec::ShortestPath,
+            )
+        }
+    };
+    // Not every pair is routable (XYX on a simplified mesh cannot turn
+    // X-wards in a middle row), and `Network::inject` asserts pristine
+    // routability — so plan only traffic the spec can actually carry.
+    let table = spec.build(&topo).expect("fuzz topologies are routable");
+    let nodes = topo.routers().len() as u64;
+    let n_packets = 5 + rng.below(36);
+    let mut plans = Vec::with_capacity(n_packets as usize);
+    for _ in 0..n_packets {
+        let src = Endpoint::at(NodeId(rng.below(nodes) as u32));
+        let want_multicast = rng.below(4) == 0;
+        let chain: Option<Vec<Endpoint>> = if want_multicast {
+            // Path multicast along a natural chain of the topology.
+            let c = match topo.kind() {
+                crate::topology::TopologyKind::Mesh { cols, rows }
+                | crate::topology::TopologyKind::SimplifiedMesh { cols, rows } => {
+                    let col = rng.below(cols as u64) as u16;
+                    (0..rows)
+                        .map(|r| Endpoint::at(topo.node_at(col, r)))
+                        .collect()
+                }
+                crate::topology::TopologyKind::Halo { spikes, spike_len } => {
+                    let s = rng.below(spikes as u64) as u16;
+                    (0..spike_len)
+                        .map(|p| Endpoint::at(topo.spike_node(s, p)))
+                        .collect::<Vec<_>>()
+                }
+            };
+            // Keep the chain only when every segment is routable and no
+            // two consecutive stops share a router (inject asserts both).
+            let mut prev = src.node;
+            let ok = c.iter().enumerate().all(|(i, e)| {
+                let fine = (i == 0 || e.node != prev) && table.is_routable(prev, e.node);
+                prev = e.node;
+                fine
+            });
+            if ok {
+                Some(c)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let dests = if let Some(c) = chain {
+            c
+        } else {
+            let mut d = rng.below(nodes) as u32;
+            let mut tries = 0;
+            while NodeId(d) == src.node || !table.is_routable(src.node, NodeId(d)) {
+                tries += 1;
+                if tries > 64 {
+                    d = (0..nodes as u32)
+                        .find(|&x| NodeId(x) != src.node && table.is_routable(src.node, NodeId(x)))
+                        .expect("every fuzz router reaches at least one peer");
+                    break;
+                }
+                d = rng.below(nodes) as u32;
+            }
+            vec![Endpoint::at(NodeId(d))]
+        };
+        plans.push(Plan {
+            src,
+            dests,
+            flits: 1 + rng.below(8) as u32,
+            at: rng.below(200),
+        });
+    }
+    let n_faults = rng.below(3);
+    let mut faults = Vec::new();
+    for _ in 0..n_faults {
+        let link = LinkId(rng.below(topo.link_count() as u64) as u32);
+        let down = 1 + rng.below(40);
+        let up = down + 1 + rng.below(40);
+        faults.push(FaultEvent {
+            cycle: down,
+            link,
+            up: false,
+        });
+        faults.push(FaultEvent {
+            cycle: up,
+            link,
+            up: true,
+        });
+    }
+    Scenario {
+        topo,
+        spec,
+        plans,
+        faults,
+    }
+}
+
+/// What one fast-simulator run produced, in delivery order.
+type FastDeliveries = Vec<(u64, PacketId, Endpoint)>;
+
+fn fast_run(sc: &Scenario, check: bool, max_cycles: u64) -> Result<(Vec<PacketId>, FastDeliveries), String> {
+    let table = sc
+        .spec
+        .build(&sc.topo)
+        .map_err(|e| format!("routing build failed: {e:?}"))?;
+    let mut net: Network<u64> = Network::new(sc.topo.clone(), table, RouterParams::hpca07());
+    if check {
+        net.enable_invariant_checker();
+    }
+    net.set_fault_schedule(FaultSchedule::new(sc.faults.clone()));
+    let mut order: Vec<usize> = (0..sc.plans.len()).collect();
+    order.sort_by_key(|&i| sc.plans[i].at);
+    let mut ids = vec![PacketId(0); sc.plans.len()];
+    let mut next = 0usize;
+    let mut out: FastDeliveries = Vec::new();
+    loop {
+        while next < order.len() && sc.plans[order[next]].at <= net.cycle() {
+            let p = &sc.plans[order[next]];
+            let dest = if p.dests.len() == 1 {
+                Dest::unicast(p.dests[0])
+            } else {
+                Dest::multicast(p.dests.clone())
+            };
+            ids[order[next]] = net.inject(Packet::new(p.src, dest, p.flits, order[next] as u64));
+            next += 1;
+        }
+        if next == order.len() && !net.is_busy() && net.next_event_cycle().is_none() {
+            break;
+        }
+        if net.cycle() > max_cycles {
+            return Err(format!(
+                "fast simulator did not drain within {max_cycles} cycles"
+            ));
+        }
+        net.step().map_err(|e| format!("fast simulator error: {e}"))?;
+        for d in net.drain_all_delivered() {
+            out.push((d.cycle, d.packet.id, d.endpoint));
+        }
+    }
+    Ok((ids, out))
+}
+
+fn golden_run(sc: &Scenario, ids: &[PacketId], max_cycles: u64) -> Result<Vec<(u64, Endpoint)>, String> {
+    let table = sc
+        .spec
+        .build(&sc.topo)
+        .map_err(|e| format!("routing build failed: {e:?}"))?;
+    let mut sim = GoldenSim::new(sc.topo.clone(), table);
+    sim.set_fault_schedule(FaultSchedule::new(sc.faults.clone()));
+    let packets: Vec<GoldenPacket> = sc
+        .plans
+        .iter()
+        .zip(ids)
+        .map(|(p, &id)| GoldenPacket {
+            id,
+            src: p.src,
+            dests: p.dests.clone(),
+            flits: p.flits,
+            inject_at: p.at,
+        })
+        .collect();
+    // Store-and-forward is slower per hop; give it a wider budget.
+    let got = sim
+        .run(&packets, max_cycles.saturating_mul(4))
+        .map_err(|e| format!("golden simulator error: {e}"))?;
+    Ok(got.iter().map(|d| (d.id.0, d.endpoint)).collect())
+}
+
+/// Runs one scenario end to end; `Ok` carries `(packets, deliveries,
+/// multicasts, fault events)` counters for the campaign report.
+fn run_one(seed: u64, check: bool, max_cycles: u64) -> Result<(u64, u64, u64, u64), String> {
+    let sc = gen_scenario(seed);
+    let (ids, first) = fast_run(&sc, check, max_cycles)?;
+    let (ids2, second) = fast_run(&sc, check, max_cycles)?;
+    if ids != ids2 || first != second {
+        return Err(format!(
+            "fast simulator is nondeterministic: run 1 delivered {} entries, run 2 {}",
+            first.len(),
+            second.len()
+        ));
+    }
+    let mut fast_set: Vec<(u64, Endpoint)> = first.iter().map(|&(_, id, e)| (id.0, e)).collect();
+    fast_set.sort_unstable();
+    let mut golden_set = golden_run(&sc, &ids, max_cycles)?;
+    golden_set.sort_unstable();
+    if fast_set != golden_set {
+        let only_fast: Vec<_> = fast_set
+            .iter()
+            .filter(|x| !golden_set.contains(x))
+            .collect();
+        let only_golden: Vec<_> = golden_set
+            .iter()
+            .filter(|x| !fast_set.contains(x))
+            .collect();
+        return Err(format!(
+            "delivery multisets diverge: fast={} golden={} entries; \
+             only-fast={only_fast:?} only-golden={only_golden:?}",
+            fast_set.len(),
+            golden_set.len()
+        ));
+    }
+    let multicasts = sc.plans.iter().filter(|p| p.dests.len() > 1).count() as u64;
+    Ok((
+        sc.plans.len() as u64,
+        first.len() as u64,
+        multicasts,
+        sc.faults.len() as u64,
+    ))
+}
+
+/// Runs a fuzzing campaign and stops at the first failure.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for iter in 0..opts.iters {
+        let seed = opts.seed.wrapping_add(iter);
+        report.iters_run += 1;
+        match run_one(seed, opts.check, opts.max_cycles) {
+            Ok((packets, deliveries, multicasts, faults)) => {
+                report.packets += packets;
+                report.deliveries += deliveries;
+                report.multicasts += multicasts;
+                report.fault_events += faults;
+            }
+            Err(detail) => {
+                report.failure = Some(FuzzFailure { iter, seed, detail });
+                return report;
+            }
+        }
+    }
+    report
+}
+
+/// Convenience: formats one `SimError` chain for failure reports.
+pub fn describe_error(e: &SimError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_generation_is_deterministic() {
+        let a = gen_scenario(42);
+        let b = gen_scenario(42);
+        assert_eq!(a.plans, b.plans);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.spec, b.spec);
+    }
+
+    #[test]
+    fn seeds_vary_the_scenario() {
+        let a = gen_scenario(1);
+        let b = gen_scenario(2);
+        assert!(a.plans != b.plans || a.faults != b.faults || a.spec != b.spec);
+    }
+
+    #[test]
+    fn short_campaign_is_clean_with_checker_on() {
+        let report = run_fuzz(&FuzzOptions {
+            iters: 30,
+            seed: 7,
+            check: true,
+            max_cycles: 50_000,
+        });
+        assert!(
+            report.failure.is_none(),
+            "fuzz failure: {:?}",
+            report.failure
+        );
+        assert_eq!(report.iters_run, 30);
+        assert!(report.packets > 0);
+        assert!(report.deliveries >= report.packets);
+        assert!(report.multicasts > 0, "generator never produced a multicast");
+        assert!(report.fault_events > 0, "generator never produced a fault");
+    }
+
+    #[test]
+    fn collapsed_seed_replays_the_same_iteration() {
+        // Iteration i of (seed, iters) must equal iteration 0 of
+        // (seed + i, 1) — the reproduction contract in the module docs.
+        let base = 1000u64;
+        let i = 5u64;
+        let a = gen_scenario(base.wrapping_add(i));
+        let direct = run_fuzz(&FuzzOptions {
+            iters: 1,
+            seed: base + i,
+            check: false,
+            max_cycles: 50_000,
+        });
+        assert!(direct.failure.is_none());
+        assert_eq!(direct.packets, a.plans.len() as u64);
+    }
+}

@@ -1,0 +1,342 @@
+//! A deliberately simple store-and-forward reference simulator.
+//!
+//! The fast simulator in [`crate::network`] is a wormhole network with
+//! single-cycle routers, credit flow control, hybrid multicast
+//! replication, and an allocation-free cycle kernel — lots of machinery
+//! that buys speed and fidelity but can hide bugs. [`GoldenSim`] is the
+//! differential-testing counterweight: packets move **whole** (no
+//! flit-level pipelining), one hop per wake-up, with **no contention**
+//! (every link has infinite capacity) — so short that it is obviously
+//! correct. It shares the fast simulator's routing tables, topology,
+//! and fault semantics (masked-table rebuild on every link state
+//! change, heads waiting in place when a fault cuts every route).
+//!
+//! What carries over between the two models — and what the fuzz
+//! harness in [`crate::fuzz`] compares — is the **delivered-packet
+//! multiset**: which `(packet, endpoint)` pairs get delivered. Delivery
+//! *cycles* differ by design (store-and-forward is slower), and
+//! per-endpoint delivery *order* is contention-dependent, so order is
+//! checked as a determinism property of the fast simulator instead
+//! (two runs must agree bit-for-bit; see `docs/TESTING.md`).
+
+use crate::error::SimError;
+use crate::faults::FaultSchedule;
+use crate::ids::Endpoint;
+use crate::packet::PacketId;
+use crate::routing::RoutingTable;
+use crate::topology::Topology;
+
+/// A packet for the reference simulator: pure header, no payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenPacket {
+    /// Identifier to match against the fast simulator's assignment.
+    pub id: PacketId,
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoints, in visiting order.
+    pub dests: Vec<Endpoint>,
+    /// Length in flits (serialization delay per hop).
+    pub flits: u32,
+    /// Cycle the packet enters the network.
+    pub inject_at: u64,
+}
+
+/// One delivery produced by the reference simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GoldenDelivery {
+    /// Which packet.
+    pub id: PacketId,
+    /// Which endpoint received its copy.
+    pub endpoint: Endpoint,
+    /// Cycle of delivery (store-and-forward timing; not comparable to
+    /// the fast simulator's cycles).
+    pub cycle: u64,
+}
+
+#[derive(Debug)]
+struct PkState {
+    node: crate::ids::NodeId,
+    ready_at: u64,
+    dest_i: usize,
+    done: bool,
+}
+
+/// Store-and-forward, contention-free reference simulator over the
+/// same topology, routing table, and fault schedule as the fast
+/// simulator.
+#[derive(Debug)]
+pub struct GoldenSim {
+    topo: Topology,
+    table: RoutingTable,
+    faults: FaultSchedule,
+    link_up: Vec<bool>,
+}
+
+impl GoldenSim {
+    /// Builds a reference simulator over `topo` with `table`.
+    pub fn new(topo: Topology, table: RoutingTable) -> Self {
+        let n_links = topo.link_count();
+        GoldenSim {
+            topo,
+            table,
+            faults: FaultSchedule::default(),
+            link_up: vec![true; n_links],
+        }
+    }
+
+    /// Installs a fault schedule (same semantics as
+    /// [`crate::Network::set_fault_schedule`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when an event names a link the topology does not have.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        for e in schedule.events() {
+            assert!(
+                (e.link.0 as usize) < self.topo.link_count(),
+                "fault schedule names nonexistent link {:?}",
+                e.link
+            );
+        }
+        self.faults = schedule;
+    }
+
+    /// Applies fault events due at `now`; returns the cursor after the
+    /// last applied event. Mirrors the fast simulator: no-op events are
+    /// skipped, and any state change rebuilds a masked routing table.
+    fn apply_faults(&mut self, cursor: usize, now: u64) -> usize {
+        let mut cursor = cursor;
+        let mut changed = false;
+        while let Some(&ev) = self.faults.events().get(cursor) {
+            if ev.cycle > now {
+                break;
+            }
+            cursor += 1;
+            let slot = ev.link.0 as usize;
+            if self.link_up[slot] == ev.up {
+                continue;
+            }
+            self.link_up[slot] = ev.up;
+            changed = true;
+        }
+        if changed {
+            self.table = self
+                .table
+                .spec()
+                .build_masked(&self.topo, &self.link_up)
+                .expect("the spec already built a table for this topology");
+        }
+        cursor
+    }
+
+    /// Runs `packets` to completion and returns every delivery.
+    ///
+    /// One action per wake-up: a packet at its current target's router
+    /// delivers (and re-arms for the next endpoint one cycle later);
+    /// otherwise it takes one hop, arriving `link delay + flits` cycles
+    /// later (store-and-forward serialization). A packet whose next hop
+    /// is cut by a fault waits in place for a repair.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] past `max_cycles`;
+    /// [`SimError::Wedged`] when packets are stranded with no route and
+    /// no future fault event can ever restore one.
+    pub fn run(
+        &mut self,
+        packets: &[GoldenPacket],
+        max_cycles: u64,
+    ) -> Result<Vec<GoldenDelivery>, SimError> {
+        let mut live: Vec<PkState> = packets
+            .iter()
+            .map(|p| {
+                assert!(!p.dests.is_empty(), "packet without destinations");
+                PkState {
+                    node: p.src.node,
+                    ready_at: p.inject_at,
+                    dest_i: 0,
+                    done: false,
+                }
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        let mut now = 0u64;
+        loop {
+            if live.iter().all(|p| p.done) {
+                return Ok(out);
+            }
+            if now > max_cycles {
+                return Err(SimError::CycleLimit { limit: max_cycles });
+            }
+            cursor = self.apply_faults(cursor, now);
+            let mut blocked = 0usize;
+            for (i, p) in live.iter_mut().enumerate() {
+                if p.done || p.ready_at > now {
+                    continue;
+                }
+                let pk = &packets[i];
+                let target = pk.dests[p.dest_i];
+                if target.node == p.node {
+                    out.push(GoldenDelivery {
+                        id: pk.id,
+                        endpoint: target,
+                        cycle: now,
+                    });
+                    p.dest_i += 1;
+                    if p.dest_i == pk.dests.len() {
+                        p.done = true;
+                    } else {
+                        p.ready_at = now + 1;
+                    }
+                } else if let Some(port) = self.table.next_hop(p.node, target.node) {
+                    let link = self.topo.router(p.node).ports[port.0 as usize]
+                        .out_link
+                        .expect("routed port must have a link");
+                    let l = self.topo.link(link);
+                    p.node = l.dst;
+                    p.ready_at = now + u64::from(l.delay) + u64::from(pk.flits);
+                } else {
+                    blocked += 1;
+                }
+            }
+            // Advance to the next cycle anything can change. Blocked
+            // packets can only move on a fault event.
+            let next_fault = self.faults.events().get(cursor).map(|e| e.cycle.max(now + 1));
+            let next_ready = live
+                .iter()
+                .filter(|p| !p.done && p.ready_at > now)
+                .map(|p| p.ready_at)
+                .min();
+            now = match (blocked > 0, next_fault, next_ready) {
+                (true, Some(f), r) => f.min(r.unwrap_or(u64::MAX)),
+                (true, None, _) => {
+                    return Err(SimError::Wedged {
+                        cycle: now,
+                        outstanding: blocked,
+                        detail: "packets stranded with no route and no future repair".into(),
+                    });
+                }
+                (false, f, r) => match (f, r) {
+                    (Some(f), Some(r)) => f.min(r),
+                    (Some(f), None) => f,
+                    (None, Some(r)) => r,
+                    (None, None) => now + 1, // re-armed deliveries handled above
+                },
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LinkId, NodeId};
+    use crate::routing::RoutingSpec;
+
+    fn mesh_sim(cols: u16, rows: u16) -> GoldenSim {
+        let topo = Topology::mesh(cols, rows, &vec![1; cols as usize - 1], &vec![1; rows as usize - 1]);
+        let table = RoutingSpec::Xy.build(&topo).unwrap();
+        GoldenSim::new(topo, table)
+    }
+
+    fn ep(sim: &GoldenSim, col: u16, row: u16) -> Endpoint {
+        Endpoint::at(sim.topo.node_at(col, row))
+    }
+
+    #[test]
+    fn unicast_delivers_once() {
+        let mut sim = mesh_sim(4, 4);
+        let p = GoldenPacket {
+            id: PacketId(0),
+            src: ep(&sim, 0, 0),
+            dests: vec![ep(&sim, 3, 2)],
+            flits: 5,
+            inject_at: 0,
+        };
+        let got = sim.run(std::slice::from_ref(&p), 10_000).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].endpoint, p.dests[0]);
+        // 5 hops × (1 delay + 5 flits) = 30 cycles store-and-forward.
+        assert_eq!(got[0].cycle, 30);
+    }
+
+    #[test]
+    fn multicast_visits_every_endpoint_once() {
+        let mut sim = mesh_sim(4, 4);
+        let dests: Vec<Endpoint> = (0..4).map(|r| ep(&sim, 2, r)).collect();
+        let p = GoldenPacket {
+            id: PacketId(3),
+            src: ep(&sim, 0, 0),
+            dests: dests.clone(),
+            flits: 1,
+            inject_at: 5,
+        };
+        let got = sim.run(&[p], 10_000).unwrap();
+        assert_eq!(got.len(), 4);
+        let mut seen: Vec<Endpoint> = got.iter().map(|d| d.endpoint).collect();
+        seen.sort();
+        let mut want = dests;
+        want.sort();
+        assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn transient_fault_delays_but_delivers() {
+        // 2x1 mesh: one forward link; fail it before injection, repair
+        // at cycle 50 — the packet must wait and then arrive.
+        let topo = Topology::mesh(2, 1, &[1], &[]);
+        let table = RoutingSpec::Xy.build(&topo).unwrap();
+        let fwd = (0..topo.link_count() as u32)
+            .map(LinkId)
+            .find(|&l| topo.link(l).src == NodeId(0))
+            .unwrap();
+        let mut sim = GoldenSim::new(topo, table);
+        sim.set_fault_schedule(FaultSchedule::transient(fwd, 0, 50));
+        let p = GoldenPacket {
+            id: PacketId(0),
+            src: Endpoint::at(NodeId(0)),
+            dests: vec![Endpoint::at(NodeId(1))],
+            flits: 1,
+            inject_at: 1,
+        };
+        let got = sim.run(&[p], 10_000).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].cycle >= 50, "delivered at {}", got[0].cycle);
+    }
+
+    #[test]
+    fn permanent_partition_reports_wedged() {
+        let topo = Topology::mesh(2, 1, &[1], &[]);
+        let table = RoutingSpec::Xy.build(&topo).unwrap();
+        let fwd = (0..topo.link_count() as u32)
+            .map(LinkId)
+            .find(|&l| topo.link(l).src == NodeId(0))
+            .unwrap();
+        let mut sim = GoldenSim::new(topo, table);
+        sim.set_fault_schedule(FaultSchedule::permanent(fwd, 0));
+        let p = GoldenPacket {
+            id: PacketId(0),
+            src: Endpoint::at(NodeId(0)),
+            dests: vec![Endpoint::at(NodeId(1))],
+            flits: 1,
+            inject_at: 1,
+        };
+        let err = sim.run(&[p], 10_000).unwrap_err();
+        assert!(matches!(err, SimError::Wedged { .. }), "{err}");
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let mut sim = mesh_sim(2, 2);
+        let p = GoldenPacket {
+            id: PacketId(0),
+            src: ep(&sim, 0, 0),
+            dests: vec![ep(&sim, 1, 1)],
+            flits: 1,
+            inject_at: 100,
+        };
+        let err = sim.run(&[p], 10).unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 10 });
+    }
+}

@@ -27,6 +27,13 @@
 //!   ([`FaultSchedule`]) with routing-table recomputation around failed
 //!   links, and the structured [`SimError`] that `Network::step` returns
 //!   instead of aborting on deadlock.
+//! * [`check`] — an opt-in runtime invariant checker (flit conservation,
+//!   credit accounting, in-order wormhole delivery, exactly-once
+//!   multicast, increasing channel enumeration) with zero cost while
+//!   disabled.
+//! * [`golden`]/[`fuzz`] — a deliberately simple store-and-forward
+//!   reference simulator and the seeded differential harness that
+//!   checks the fast simulator against it.
 //!
 //! # Quickstart
 //!
@@ -49,11 +56,14 @@
 //! ```
 
 pub mod census;
+pub mod check;
 pub mod deadlock;
 pub mod error;
 pub mod event_wheel;
 pub mod evlog;
 pub mod faults;
+pub mod fuzz;
+pub mod golden;
 pub mod ids;
 pub mod network;
 pub mod packet;
@@ -64,8 +74,11 @@ pub mod stats;
 pub mod topology;
 
 pub use census::LinkCensus;
+pub use check::{InvariantChecker, InvariantKind, InvariantViolation};
 pub use deadlock::{ChannelDependencyGraph, DeadlockReport};
 pub use error::SimError;
+pub use fuzz::{run_fuzz, FuzzFailure, FuzzOptions, FuzzReport};
+pub use golden::{GoldenDelivery, GoldenPacket, GoldenSim};
 pub use event_wheel::EventWheel;
 pub use evlog::{EventLog, NetEvent};
 pub use faults::{FaultEvent, FaultSchedule};

@@ -29,6 +29,8 @@
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::check::InvariantChecker;
+use crate::deadlock::ChannelDependencyGraph;
 use crate::error::SimError;
 use crate::event_wheel::EventWheel;
 use crate::evlog::{EventLog, NetEvent};
@@ -108,6 +110,10 @@ pub struct Network<P> {
     last_progress: u64,
     /// Optional debugging event log (disabled by default).
     evlog: Option<EventLog>,
+    /// Optional runtime invariant checker (disabled by default; see
+    /// [`crate::check`]). The disabled path is one branch per hook so
+    /// the kernel stays allocation-free.
+    checker: Option<InvariantChecker>,
     /// Scheduled link faults (empty by default) and the cursor of the
     /// next event still to apply.
     faults: FaultSchedule,
@@ -152,6 +158,7 @@ impl<P> Network<P> {
         Network {
             stats: NetStats::new(n_links),
             evlog: None,
+            checker: None,
             reserved: vec![false; n_links * params.vcs_per_port as usize],
             inflight: vec![0; n_links * params.vcs_per_port as usize],
             routers,
@@ -245,6 +252,11 @@ impl<P> Network<P> {
             if self.base_table.is_none() {
                 self.base_table = Some(pristine);
             }
+            if let Some(checker) = &mut self.checker {
+                let order =
+                    ChannelDependencyGraph::from_all_pairs(&self.topo, &self.table).enumeration();
+                checker.on_table_rebuilt(order);
+            }
             // The topology changed: give stranded traffic a fresh
             // watchdog window to drain over the new routes, and wake
             // every router holding flits so blocked heads retry routing.
@@ -294,6 +306,46 @@ impl<P> Network<P> {
     /// Takes the event log, disabling further logging.
     pub fn take_event_log(&mut self) -> Option<EventLog> {
         self.evlog.take()
+    }
+
+    /// Appends an externally observed event (e.g. a protocol-level
+    /// packet drop) to the event log, so invariant-violation reports
+    /// include the causal entry. No-op while logging is disabled.
+    pub fn log_event(&mut self, ev: NetEvent) {
+        self.log(ev);
+    }
+
+    /// Enables per-cycle invariant checking (see [`crate::check`]).
+    /// Also enables a small event log when none is active, so violation
+    /// reports carry recent history. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when traffic was already injected: the checker must
+    /// observe every packet from injection onward.
+    pub fn enable_invariant_checker(&mut self) {
+        assert_eq!(
+            self.next_packet, 0,
+            "enable the invariant checker before injecting traffic"
+        );
+        if self.checker.is_some() {
+            return;
+        }
+        if self.evlog.is_none() {
+            self.enable_event_log(64);
+        }
+        let order = ChannelDependencyGraph::from_all_pairs(&self.topo, &self.table).enumeration();
+        self.checker = Some(InvariantChecker::new(order));
+    }
+
+    /// The invariant checker, when enabled.
+    pub fn invariant_checker(&self) -> Option<&InvariantChecker> {
+        self.checker.as_ref()
+    }
+
+    /// Takes the invariant checker, disabling further checking.
+    pub fn take_invariant_checker(&mut self) -> Option<InvariantChecker> {
+        self.checker.take()
     }
 
     fn log(&mut self, ev: NetEvent) {
@@ -346,6 +398,9 @@ impl<P> Network<P> {
         let id = packet.id;
         let flits = packet.flits;
         let pkt = Rc::new(packet);
+        if let Some(c) = &mut self.checker {
+            c.on_inject(id, flits, pkt.dest.endpoints());
+        }
         // Pick the least-occupied injection VC so distinct packets can
         // interleave across VCs of the local port.
         let port = &mut self.routers[src.node.0 as usize].inputs[sp.0 as usize];
@@ -474,6 +529,14 @@ impl<P> Network<P> {
         self.routers = routers;
         work.clear();
         self.scratch.work = work;
+        self.audit_invariants();
+        if let Some(v) = self
+            .checker
+            .as_ref()
+            .and_then(|c| c.violations().first())
+        {
+            return Err(SimError::Invariant(Box::new(v.clone())));
+        }
         // Watchdog.
         if self.is_busy() && self.cycle - self.last_progress > self.params.watchdog_cycles {
             return Err(SimError::Watchdog {
@@ -867,6 +930,9 @@ impl<P> Network<P> {
             r.inputs[s.port as usize].vcs[s.vc as usize]
                 .buf
                 .push_back(flit.clone());
+            if let Some(c) = &mut self.checker {
+                c.on_replica_copy();
+            }
         }
 
         let mut out = flit;
@@ -876,6 +942,9 @@ impl<P> Network<P> {
 
         if route.eject {
             self.stats.flits_ejected += 1;
+            if let Some(c) = &mut self.checker {
+                c.on_eject(out.pkt.id, out.seq, out.dest_idx, out.target(), is_tail);
+            }
             if is_tail {
                 let endpoint = out.target();
                 self.stats.packets_delivered += 1;
@@ -898,6 +967,11 @@ impl<P> Network<P> {
                 .out_link
                 .expect("net route must have a link");
             self.stats.flits_per_link[link.0 as usize] += 1;
+            if out.is_head() {
+                if let Some(c) = &mut self.checker {
+                    c.on_link_send(out.pkt.id, out.dest_idx, link);
+                }
+            }
             let st = &mut r.outputs[route.port as usize].vcs[route.vc as usize];
             assert!(st.credits > 0, "sent without credit");
             st.credits -= 1;
@@ -940,6 +1014,57 @@ impl<P> Network<P> {
                 self.reserve_remote(node, p, v, false);
             }
         }
+    }
+
+    /// End-of-step invariant audit (no-op unless the checker is on):
+    /// recounts the wire from the event wheel, audits per-(link, VC)
+    /// credit conservation and global flit conservation, runs the
+    /// exactly-once delivery audit when the network is quiescent, and
+    /// seals this cycle's findings with recent event-log history. Lives
+    /// here rather than in [`crate::check`] because it reads the
+    /// network's private state ([`EvKind`] included).
+    fn audit_invariants(&mut self) {
+        if self.checker.is_none() {
+            return;
+        }
+        let mut c = self.checker.take().expect("checked above");
+        let vcs = self.params.vcs_per_port as usize;
+        c.begin_wire(self.topo.link_count() * vcs);
+        for ev in self.events.iter() {
+            match &ev.1 {
+                EvKind::Arrive { link, vc, .. } => {
+                    c.wire_flit(link.0 as usize * vcs + *vc as usize);
+                }
+                EvKind::Credit { link, vc } => {
+                    c.wire_credit(link.0 as usize * vcs + *vc as usize);
+                }
+            }
+        }
+        for (li, l) in self.topo.links().iter().enumerate() {
+            let up = &self.routers[l.src.0 as usize].outputs[l.src_port.0 as usize];
+            let down = &self.routers[l.dst.0 as usize].inputs[l.dst_port.0 as usize];
+            for v in 0..vcs {
+                let slot = li * vcs + v;
+                let dvc = &down.vcs[v];
+                c.check_slot(
+                    LinkId(li as u32),
+                    v as u8,
+                    slot,
+                    up.vcs[v].credits,
+                    dvc.buf.len() as u32,
+                    dvc.replica_role,
+                    self.inflight[slot],
+                    self.params.vc_depth,
+                );
+            }
+        }
+        let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
+        c.check_conservation(buffered, self.stats.flits_ejected);
+        if self.pending.is_empty() && self.events.is_empty() {
+            c.audit_quiescent();
+        }
+        c.seal(self.cycle, self.evlog.as_ref());
+        self.checker = Some(c);
     }
 }
 

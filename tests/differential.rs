@@ -1,0 +1,55 @@
+//! Differential harness: the fast wormhole simulator against the
+//! store-and-forward golden model, over seeded random scenarios.
+//!
+//! These are the tier-1 entry points for the fuzzing machinery in
+//! `nucanet_noc::fuzz` (the `nucanet fuzz` subcommand runs the same
+//! campaigns from the command line, and CI runs a larger nightly one).
+//! Every iteration checks three properties:
+//!
+//! 1. the fast simulator is deterministic (two runs, bit-identical
+//!    delivery sequences),
+//! 2. fast and golden deliver the same `(packet, endpoint)` multiset,
+//! 3. with the runtime invariant checker enabled, no per-cycle
+//!    invariant (flit conservation, credit accounting, flit order,
+//!    exactly-once multicast, channel enumeration) is violated.
+
+use nucanet_noc::{run_fuzz, FuzzOptions};
+
+#[test]
+fn two_hundred_seeded_scenarios_match_the_golden_model() {
+    let report = run_fuzz(&FuzzOptions {
+        iters: 200,
+        seed: 0xD1FF,
+        check: true,
+        max_cycles: 50_000,
+    });
+    assert!(
+        report.failure.is_none(),
+        "differential fuzz failed: {:?}",
+        report.failure
+    );
+    assert_eq!(report.iters_run, 200);
+    // The campaign must actually exercise the interesting machinery:
+    // multicast replication, fault rebuilds, and plenty of traffic.
+    assert!(report.packets >= 200 * 5, "{report:?}");
+    assert!(report.deliveries >= report.packets, "{report:?}");
+    assert!(report.multicasts > 50, "{report:?}");
+    assert!(report.fault_events > 50, "{report:?}");
+}
+
+#[test]
+fn campaigns_are_reproducible() {
+    let opts = FuzzOptions {
+        iters: 20,
+        seed: 42,
+        check: false,
+        max_cycles: 50_000,
+    };
+    let a = run_fuzz(&opts);
+    let b = run_fuzz(&opts);
+    assert!(a.failure.is_none() && b.failure.is_none());
+    assert_eq!(a.packets, b.packets);
+    assert_eq!(a.deliveries, b.deliveries);
+    assert_eq!(a.multicasts, b.multicasts);
+    assert_eq!(a.fault_events, b.fault_events);
+}

@@ -1,0 +1,154 @@
+//! Golden regression suite for the figure pipelines.
+//!
+//! Each test runs a reduced-scale slice of a paper figure and compares a
+//! summary of *integer* counters (accesses, latency sums, hit counts,
+//! network totals — nothing float-formatted) byte-for-byte against a
+//! committed JSON snapshot in `tests/golden/`. The simulator is fully
+//! deterministic, so any diff is a real behaviour change: either a bug,
+//! or an intended model change that must be re-blessed.
+//!
+//! To regenerate the snapshots after an intended change:
+//!
+//! ```text
+//! NUCANET_BLESS=1 cargo test --test golden_figures
+//! ```
+//!
+//! and commit the rewritten files together with the change that caused
+//! them, explaining the delta in the commit message.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use nucanet::config::{Design, ALL_DESIGNS};
+use nucanet::experiments::{run_cell, ExperimentScale};
+use nucanet::scheme::{Scheme, ALL_SCHEMES};
+use nucanet_workload::BenchmarkProfile;
+
+/// The scale every golden cell runs at. Small enough that the three
+/// suites together stay in test-suite territory, large enough that the
+/// caches warm up and the network sees real contention.
+fn golden_scale() -> ExperimentScale {
+    ExperimentScale::tiny()
+}
+
+fn bench(name: &str) -> BenchmarkProfile {
+    BenchmarkProfile::by_name(name).expect("benchmark exists")
+}
+
+/// Renders one (design, scheme, benchmark) cell as a JSON object of
+/// integer counters, on a single line for readable diffs.
+fn render_cell(design: Design, scheme: Scheme, bench_name: &str) -> String {
+    let (m, _ipc) = run_cell(design, scheme, &bench(bench_name), golden_scale());
+    let lat = m.latency_histogram();
+    format!(
+        concat!(
+            "{{\"label\": \"{design:?}/{scheme}/{bench}\", ",
+            "\"accesses\": {accesses}, \"writes\": {writes}, ",
+            "\"hits\": {hits}, \"mru_hits\": {mru_hits}, ",
+            "\"latency_sum\": {lat_sum}, \"latency_max\": {lat_max}, ",
+            "\"mem_ops\": {mem_ops}, \"cycles\": {cycles}, ",
+            "\"net_injected\": {injected}, \"net_delivered\": {delivered}, ",
+            "\"net_flits_ejected\": {ejected}, \"net_latency_sum\": {net_lat}}}"
+        ),
+        design = design,
+        scheme = scheme,
+        bench = bench_name,
+        accesses = m.accesses(),
+        writes = m.writes(),
+        hits = m.hit_latency_histogram().count(),
+        mru_hits = m.hits_by_position()[0],
+        lat_sum = lat.sum(),
+        lat_max = lat.max(),
+        mem_ops = m.mem_ops,
+        cycles = m.cycles,
+        injected = m.net.packets_injected,
+        delivered = m.net.packets_delivered,
+        ejected = m.net.flits_ejected,
+        net_lat = m.net.total_packet_latency,
+    )
+}
+
+/// Renders a whole figure snapshot document.
+fn render_figure(name: &str, cells: &[(Design, Scheme, &str)]) -> String {
+    let s = golden_scale();
+    let mut out = String::new();
+    writeln!(out, "{{").unwrap();
+    writeln!(out, "  \"schema\": \"nucanet/golden-figure-v1\",").unwrap();
+    writeln!(out, "  \"figure\": \"{name}\",").unwrap();
+    writeln!(
+        out,
+        "  \"scale\": {{\"warmup\": {}, \"measured\": {}, \"active_sets\": {}, \"seed\": {}}},",
+        s.warmup, s.measured, s.active_sets, s.seed
+    )
+    .unwrap();
+    writeln!(out, "  \"cells\": [").unwrap();
+    for (i, &(d, sch, b)) in cells.iter().enumerate() {
+        let sep = if i + 1 < cells.len() { "," } else { "" };
+        writeln!(out, "    {}{sep}", render_cell(d, sch, b)).unwrap();
+    }
+    writeln!(out, "  ]").unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compares the rendered snapshot against the committed golden file, or
+/// rewrites the file when `NUCANET_BLESS=1` is set.
+fn check_golden(name: &str, cells: &[(Design, Scheme, &str)]) {
+    let rendered = render_figure(name, cells);
+    let path = golden_path(name);
+    if std::env::var("NUCANET_BLESS").map(|v| v != "0").unwrap_or(false) {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, &rendered).expect("write golden snapshot");
+        println!("blessed {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run NUCANET_BLESS=1 cargo test --test golden_figures",
+            path.display()
+        )
+    });
+    assert!(
+        rendered == committed,
+        "golden snapshot {} is stale.\n--- committed ---\n{committed}\n--- rendered ---\n{rendered}\n\
+         If the change is intended, re-bless with:\n  NUCANET_BLESS=1 cargo test --test golden_figures",
+        path.display()
+    );
+}
+
+#[test]
+fn fig7_summary_counters_are_pinned() {
+    // Fig. 7 slice: Unicast LRU on Design A across three benchmarks
+    // with very different hit profiles.
+    let cells: Vec<_> = ["gcc", "twolf", "art"]
+        .into_iter()
+        .map(|b| (Design::A, Scheme::UnicastLru, b))
+        .collect();
+    check_golden("fig7", &cells);
+}
+
+#[test]
+fn fig8_summary_counters_are_pinned() {
+    // Fig. 8 slice: every search/replacement scheme on Design A, gcc.
+    let cells: Vec<_> = ALL_SCHEMES
+        .into_iter()
+        .map(|s| (Design::A, s, "gcc"))
+        .collect();
+    check_golden("fig8", &cells);
+}
+
+#[test]
+fn fig9_summary_counters_are_pinned() {
+    // Fig. 9 slice: every network design under Multicast Fast-LRU, twolf.
+    let cells: Vec<_> = ALL_DESIGNS
+        .into_iter()
+        .map(|d| (d, Scheme::MulticastFastLru, "twolf"))
+        .collect();
+    check_golden("fig9", &cells);
+}

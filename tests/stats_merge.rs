@@ -1,0 +1,208 @@
+//! Property tests for the merge algebra of [`NetStats`] and
+//! [`Metrics`].
+//!
+//! The parallel sweep engine depends on these laws: workers record
+//! disjoint windows and the collector folds them together in whatever
+//! order threads finish, so the fold must be associative (and, for the
+//! streaming aggregates, commutative) or worker count would change the
+//! reported numbers. The laws are asserted on *full structural
+//! equality*, not just on a few summary statistics.
+
+use nucanet::metrics::{AccessRecord, Metrics, MetricsCapture, FINE_LATENCY_BUCKETS};
+use nucanet_noc::NetStats;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = AccessRecord> {
+    (
+        proptest::bool::ANY,
+        proptest::option::of(0u8..16),
+        // Latencies straddle the fine/overflow histogram boundary so the
+        // merge of the exact-overflow map is exercised too.
+        0u64..(2 * FINE_LATENCY_BUCKETS as u64),
+        0u64..5_000,
+        0u64..60,
+        0u64..400,
+    )
+        .prop_map(
+            |(write, hit_position, latency, data_latency, bank_cycles, mem_cycles)| AccessRecord {
+                write,
+                hit_position,
+                latency,
+                data_latency,
+                bank_cycles,
+                mem_cycles,
+            },
+        )
+}
+
+fn arb_netstats() -> impl Strategy<Value = NetStats> {
+    (
+        (
+            0u64..10_000,
+            0u64..500,
+            0u64..500,
+            proptest::collection::vec(0u64..100, 0..8),
+            0u64..1_000,
+        ),
+        (
+            0u64..10_000,
+            0u64..50,
+            0u64..200,
+            proptest::collection::vec(0u64..50, 0..16),
+            0u64..256,
+        ),
+        (0u64..10, 0u64..10, 0u64..50, 0u64..500),
+    )
+        .prop_map(
+            |(
+                (cycles, packets_injected, packets_delivered, flits_per_link, flits_ejected),
+                (
+                    total_packet_latency,
+                    replications,
+                    replication_blocked_cycles,
+                    latency_buckets,
+                    peak_vc_occupancy,
+                ),
+                (link_down_events, link_up_events, packets_rerouted, route_blocked_cycles),
+            )| NetStats {
+                cycles,
+                packets_injected,
+                packets_delivered,
+                flits_per_link,
+                flits_ejected,
+                total_packet_latency,
+                replications,
+                replication_blocked_cycles,
+                latency_buckets,
+                peak_vc_occupancy: peak_vc_occupancy as u8,
+                link_down_events,
+                link_up_events,
+                packets_rerouted,
+                route_blocked_cycles,
+            },
+        )
+}
+
+/// Builds a metrics window from a record stream, with a couple of
+/// counter fields that only merge (never record) can populate.
+fn window(capture: MetricsCapture, records: &[AccessRecord], salt: u64) -> Metrics {
+    let mut m = Metrics::new(capture, 16);
+    m.cycles = 1_000 + salt;
+    m.mem_ops = salt;
+    m.timed_out_accesses = salt % 3;
+    m.retried_accesses = salt % 5;
+    m.bank_ops_by_kb = vec![(64, salt + 1), (64 + 64 * (salt as u32 % 3), 7)];
+    m.bank_ops_by_kb.sort_unstable_by_key(|&(kb, _)| kb);
+    m.bank_ops_by_kb.dedup_by(|a, b| {
+        if a.0 == b.0 {
+            b.1 += a.1;
+            true
+        } else {
+            false
+        }
+    });
+    for &r in records {
+        m.record(r);
+    }
+    m
+}
+
+fn merged(a: &Metrics, b: &Metrics) -> Metrics {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+fn merged_stats(a: &NetStats, b: &NetStats) -> NetStats {
+    let mut s = a.clone();
+    s.merge(b);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn netstats_merge_is_commutative(a in arb_netstats(), b in arb_netstats()) {
+        prop_assert_eq!(merged_stats(&a, &b), merged_stats(&b, &a));
+    }
+
+    fn netstats_merge_is_associative(
+        a in arb_netstats(),
+        b in arb_netstats(),
+        c in arb_netstats(),
+    ) {
+        prop_assert_eq!(
+            merged_stats(&merged_stats(&a, &b), &c),
+            merged_stats(&a, &merged_stats(&b, &c))
+        );
+    }
+
+    fn netstats_default_is_a_merge_identity(a in arb_netstats()) {
+        prop_assert_eq!(merged_stats(&a, &NetStats::default()), a.clone());
+        prop_assert_eq!(merged_stats(&NetStats::default(), &a), a);
+    }
+
+    fn metrics_merge_is_associative_under_full_capture(
+        ra in proptest::collection::vec(arb_record(), 0..30),
+        rb in proptest::collection::vec(arb_record(), 0..30),
+        rc in proptest::collection::vec(arb_record(), 0..30),
+    ) {
+        let (a, b, c) = (
+            window(MetricsCapture::Full, &ra, 1),
+            window(MetricsCapture::Full, &rb, 2),
+            window(MetricsCapture::Full, &rc, 3),
+        );
+        // Record concatenation is associative, so the law holds even
+        // with the full record lists included in the comparison.
+        prop_assert_eq!(merged(&merged(&a, &b), &c), merged(&a, &merged(&b, &c)));
+    }
+
+    fn metrics_merge_is_commutative_under_streaming(
+        ra in proptest::collection::vec(arb_record(), 0..30),
+        rb in proptest::collection::vec(arb_record(), 0..30),
+    ) {
+        // Streaming keeps no record list, so the only order-sensitive
+        // field is gone and the merge is fully commutative.
+        let a = window(MetricsCapture::Streaming, &ra, 1);
+        let b = window(MetricsCapture::Streaming, &rb, 2);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    fn metrics_merge_matches_sequential_recording(
+        records in proptest::collection::vec(arb_record(), 1..60),
+        cut in 0usize..1_000_000,
+    ) {
+        // Splitting a stream into two windows and merging must equal
+        // recording the whole stream into one Metrics.
+        let k = cut % (records.len() + 1);
+        let combined = merged(
+            &window(MetricsCapture::Full, &records[..k], 0),
+            &window(MetricsCapture::Full, &records[k..], 0),
+        );
+        let mut sequential = window(MetricsCapture::Full, &records, 0);
+        // `window` fills the non-record counters per window, so the
+        // sequential reference carries one window's worth of bank ops
+        // where the merge summed two; align it.
+        sequential.bank_ops_by_kb.iter_mut().for_each(|(_, n)| *n *= 2);
+        prop_assert_eq!(combined.records.as_slice(), records.as_slice());
+        prop_assert_eq!(combined, sequential);
+    }
+
+    fn metrics_summaries_are_merge_order_independent(
+        ra in proptest::collection::vec(arb_record(), 1..30),
+        rb in proptest::collection::vec(arb_record(), 1..30),
+    ) {
+        // Even under Full capture (where the record lists differ by
+        // order), every derived summary statistic is order-independent.
+        let a = window(MetricsCapture::Full, &ra, 1);
+        let b = window(MetricsCapture::Full, &rb, 2);
+        let (ab, ba) = (merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(ab.accesses(), ba.accesses());
+        prop_assert_eq!(ab.avg_latency(), ba.avg_latency());
+        prop_assert_eq!(ab.avg_hit_latency(), ba.avg_hit_latency());
+        prop_assert_eq!(ab.avg_miss_latency(), ba.avg_miss_latency());
+        prop_assert_eq!(ab.latency_breakdown(), ba.latency_breakdown());
+        prop_assert_eq!(ab.hits_by_position(), ba.hits_by_position());
+        prop_assert_eq!(ab.latency_percentile(0.95), ba.latency_percentile(0.95));
+    }
+}

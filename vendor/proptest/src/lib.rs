@@ -10,7 +10,8 @@
 //!   `#![proptest_config(...)]` header and `arg in strategy` bindings,
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
 //! * strategies: integer and float ranges, tuples of strategies,
-//!   [`collection::vec`], and [`bool::ANY`].
+//!   [`collection::vec`], [`option::of`], [`bool::ANY`], and the
+//!   [`strategy::Strategy::prop_map`] combinator.
 //!
 //! Differences from upstream: sampling is fully deterministic (seeded
 //! from the test name, so failures reproduce exactly), and there is no
@@ -83,6 +84,34 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every drawn value with `f` (upstream's
+        /// `Strategy::prop_map` combinator).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, map: f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.sample(rng))
+        }
     }
 }
 
@@ -149,7 +178,15 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+impl_tuple_strategy!(
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H)
+);
 
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
@@ -175,6 +212,35 @@ pub mod collection {
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
             let n = self.len.clone().sample(rng);
             (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Optional-value strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `Option<S::Value>` (see [`of`]).
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Produces `Some` of the inner strategy's value or `None`, each
+    /// with probability ½ (upstream's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
         }
     }
 }
@@ -295,6 +361,33 @@ mod tests {
             assert!((2..7).contains(&v.len()));
             assert!(v.iter().all(|(x, _)| *x < 4));
         }
+    }
+
+    #[test]
+    fn prop_map_transforms_samples() {
+        let mut rng = crate::TestRng::deterministic("map");
+        let s = (1u32..5).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn option_of_yields_both_variants() {
+        let mut rng = crate::TestRng::deterministic("opt");
+        let s = crate::option::of(0u8..4);
+        let (mut some, mut none) = (0, 0);
+        for _ in 0..200 {
+            match Strategy::sample(&s, &mut rng) {
+                Some(v) => {
+                    assert!(v < 4);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 50 && none > 50, "some={some} none={none}");
     }
 
     proptest! {
