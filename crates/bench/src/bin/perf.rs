@@ -1,6 +1,7 @@
 //! Measures cycle-kernel throughput (cycles/sec, flit-hops/sec) on the
-//! Fig. 7 mesh and Design E halo, and records the perf trajectory in
-//! `BENCH_perf.json` (schema `nucanet/perf-v1`).
+//! Fig. 7 mesh and Design E halo — burst-and-drain plus closed-loop
+//! saturation shapes — and records the perf trajectory in
+//! `BENCH_perf.json` (schema `nucanet/perf-v2`).
 //!
 //! Environment:
 //!
@@ -10,6 +11,9 @@
 //!   fastest (default 3). The simulation is deterministic, so repeats
 //!   differ only in wall time; the minimum is the least-noisy estimate
 //!   of kernel speed.
+//! * `NUCANET_SIM_THREADS` — cycle-kernel threads (default 1: serial;
+//!   0 auto-detects). Simulated results are bit-identical for any
+//!   value; only wall time and the phase breakdown change.
 //! * `NUCANET_PERF_MIN_RATIO` — when set (e.g. `0.33`), exit nonzero
 //!   if cycles/sec falls below `ratio × baseline` on any config with a
 //!   recorded baseline: the CI smoke-perf regression floor.
@@ -18,8 +22,11 @@
 use std::path::PathBuf;
 
 use nucanet::sweep::write_atomically;
-use nucanet_bench::perf::{baseline_for, halo_throughput, mesh_throughput, render_perf_json};
-use nucanet_bench::parse_env_u64;
+use nucanet_bench::perf::{
+    baseline_for, halo_sat_throughput, halo_throughput, mesh_sat_throughput, mesh_throughput,
+    render_perf_json,
+};
+use nucanet_bench::{parse_env_u64, sim_threads_from_env};
 
 fn env_u64(key: &str, default: u64) -> u64 {
     match std::env::var(key) {
@@ -31,7 +38,10 @@ fn env_u64(key: &str, default: u64) -> u64 {
     }
 }
 
-fn best_of<F: Fn() -> nucanet_bench::perf::PerfSample>(repeats: u64, run: F) -> nucanet_bench::perf::PerfSample {
+fn best_of<F: Fn() -> nucanet_bench::perf::PerfSample>(
+    repeats: u64,
+    run: F,
+) -> nucanet_bench::perf::PerfSample {
     (0..repeats.max(1))
         .map(|_| run())
         .min_by_key(|s| s.wall)
@@ -41,10 +51,15 @@ fn best_of<F: Fn() -> nucanet_bench::perf::PerfSample>(repeats: u64, run: F) -> 
 fn main() {
     let packets = env_u64("NUCANET_PERF_PACKETS", 20_000);
     let repeats = env_u64("NUCANET_PERF_REPEATS", 3);
-    println!("cycle-kernel throughput ({packets} packets per config, best of {repeats})");
+    let threads = sim_threads_from_env();
+    println!(
+        "cycle-kernel throughput ({packets} packets per config, best of {repeats}, sim-threads {threads})"
+    );
     let samples = vec![
-        best_of(repeats, || mesh_throughput(packets)),
-        best_of(repeats, || halo_throughput(packets)),
+        best_of(repeats, || mesh_throughput(packets, threads)),
+        best_of(repeats, || halo_throughput(packets, threads)),
+        best_of(repeats, || mesh_sat_throughput(packets, threads)),
+        best_of(repeats, || halo_sat_throughput(packets, threads)),
     ];
     let mut floor_violated = false;
     let min_ratio: Option<f64> = std::env::var("NUCANET_PERF_MIN_RATIO")
@@ -52,12 +67,13 @@ fn main() {
         .map(|v| v.parse().expect("NUCANET_PERF_MIN_RATIO must be a float"));
     for s in &samples {
         print!(
-            "{:10}  {:>12.0} cycles/s  {:>12.0} flit-hops/s  ({} cycles, {} ms)",
+            "{:10}  {:>12.0} cycles/s  {:>12.0} flit-hops/s  ({} cycles, {} ms, {} thr)",
             s.config,
             s.cycles_per_sec(),
             s.flit_hops_per_sec(),
             s.cycles,
-            s.wall.as_millis()
+            s.wall.as_millis(),
+            s.threads
         );
         match baseline_for(s.config) {
             Some(b) if b.cycles_per_sec.is_finite() => {

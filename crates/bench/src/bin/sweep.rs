@@ -23,7 +23,8 @@ use std::time::Instant;
 
 use nucanet::sweep::capacity_points;
 use nucanet_bench::{
-    apply_env_check, faults_from_env, runner_from_env, scale_from_env, write_bench_json_results,
+    apply_env_check, apply_env_sim_threads, faults_from_env, runner_from_env, scale_from_env,
+    write_bench_json_results,
 };
 use nucanet_workload::BenchmarkProfile;
 
@@ -44,6 +45,7 @@ fn main() {
 
     let mut points = capacity_points(bench, scale);
     apply_env_check(&mut points);
+    apply_env_sim_threads(&mut points);
     if let Some(fc) = &faults {
         for p in &mut points {
             p.config.faults = Some(fc.clone());

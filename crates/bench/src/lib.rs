@@ -10,6 +10,11 @@
 //! * `NUCANET_SEED` — workload seed (default 0xCAFE).
 //! * `NUCANET_WORKERS` — sweep worker threads (default: all cores).
 //!   Results are bit-identical for any value; see [`nucanet::sweep`].
+//! * `NUCANET_SIM_THREADS` — cycle-kernel threads inside each simulated
+//!   network (default 1: the serial kernel; 0 auto-detects the core
+//!   count). Bit-identical for any value; the sweep runner budgets
+//!   this against `NUCANET_WORKERS` so the two levels of parallelism
+//!   never oversubscribe the host.
 //! * `NUCANET_FAULTS` — random link faults injected per sweep point
 //!   (default 0; `sweep` binary only).
 //! * `NUCANET_FAULT_REPAIR` — cycles after which each injected fault is
@@ -87,6 +92,29 @@ pub fn runner_from_env() -> SweepRunner {
             Ok(n) => SweepRunner::with_workers(n as usize),
             Err(e) => panic!("bad NUCANET_WORKERS: {e}"),
         },
+    }
+}
+
+/// Reads `NUCANET_SIM_THREADS` — the cycle-kernel thread count for each
+/// simulated network (see crate docs). Defaults to 1 (serial kernel);
+/// `0` asks the network to auto-detect the host's core count. Results
+/// are bit-identical for any value.
+///
+/// # Panics
+///
+/// Panics if `NUCANET_SIM_THREADS` is set but malformed.
+#[must_use]
+pub fn sim_threads_from_env() -> u32 {
+    env_u64("NUCANET_SIM_THREADS", 1) as u32
+}
+
+/// Applies [`sim_threads_from_env`] to a point list, so sweep binaries
+/// pick up `NUCANET_SIM_THREADS` uniformly. Call after building the
+/// points and before running them.
+pub fn apply_env_sim_threads(points: &mut [SweepPoint]) {
+    let threads = sim_threads_from_env();
+    for p in points {
+        p.config.router.sim_threads = threads;
     }
 }
 

@@ -2,9 +2,25 @@
 //!
 //! The paper's figures come from sweeping millions of simulated cycles,
 //! so the cycle kernel's speed bounds every experiment. This module
-//! times the flit-level [`Network`] on the two topologies the headline
+//! times the flit-level [`Network`] on the topologies the headline
 //! results use — the Fig. 7 16×16 mesh (Design A) and the 16-spike
 //! halo of Design E — and reports **cycles/sec** and **flit-hops/sec**.
+//!
+//! Two traffic shapes per topology:
+//!
+//! * the original **burst-and-drain** configs (`"fig7-mesh"`,
+//!   `"halo"`), which alternate between saturated and draining phases
+//!   like the cache protocol's request/response exchange;
+//! * the **closed-loop saturation** configs (`"mesh-sat"`,
+//!   `"halo-sat"`), which keep a fixed window of packets in flight so
+//!   nearly every router is active every cycle — the regime the
+//!   two-phase threaded kernel targets, since a full worklist is what
+//!   the compute phase shards.
+//!
+//! Every measurement function takes a `sim_threads` argument
+//! ([`nucanet_noc::RouterParams::sim_threads`]); the simulation is
+//! bit-identical for any value, so threads change only the wall time
+//! and the [`PerfSample`] phase breakdown.
 //!
 //! The `perf` binary writes the measurements next to a baked-in
 //! baseline (recorded before the allocation-free kernel rewrite of
@@ -27,8 +43,11 @@ use nucanet_noc::{
 /// One timed throughput measurement of the cycle kernel.
 #[derive(Debug, Clone)]
 pub struct PerfSample {
-    /// Which configuration was measured (`"fig7-mesh"` / `"halo"`).
+    /// Which configuration was measured (`"fig7-mesh"`, `"halo"`,
+    /// `"mesh-sat"`, `"halo-sat"`).
     pub config: &'static str,
+    /// Cycle-kernel threads the network resolved to (1 = serial).
+    pub threads: usize,
     /// Wall-clock time spent inside the simulation loop.
     pub wall: Duration,
     /// Simulated cycles stepped.
@@ -37,6 +56,14 @@ pub struct PerfSample {
     pub flit_hops: u64,
     /// Packets injected and delivered.
     pub packets: u64,
+    /// Cycles that ran the sharded two-phase kernel.
+    pub parallel_cycles: u64,
+    /// Cycles that ran the classic serial kernel.
+    pub serial_cycles: u64,
+    /// Wall nanoseconds inside the parallel compute phase.
+    pub compute_ns: u64,
+    /// Wall nanoseconds inside the serial commit phase.
+    pub commit_ns: u64,
 }
 
 impl PerfSample {
@@ -68,7 +95,9 @@ pub struct PerfBaseline {
 /// allocations in the router loop), recorded with the default packet
 /// count on the development container. Later PRs append to the
 /// trajectory by comparing `BENCH_perf.json` files, not by editing
-/// these constants.
+/// these constants — the saturation configs added with the two-phase
+/// kernel therefore have no baked-in baseline and are gated purely
+/// through the committed `BENCH_perf*.json` trajectory.
 pub const BASELINES: [PerfBaseline; 2] = [
     PerfBaseline {
         config: "fig7-mesh",
@@ -95,6 +124,13 @@ fn lcg(x: &mut u64) -> u64 {
     *x >> 16
 }
 
+fn params(sim_threads: u32) -> RouterParams {
+    RouterParams {
+        sim_threads,
+        ..RouterParams::hpca07()
+    }
+}
+
 fn drain<P>(net: &mut Network<P>) {
     while net.is_busy() || net.next_event_cycle().is_some() {
         net.advance().expect("perf traffic cannot deadlock");
@@ -102,17 +138,35 @@ fn drain<P>(net: &mut Network<P>) {
     }
 }
 
+/// Finalises a measurement from the network's own counters.
+fn sample<P>(config: &'static str, net: &Network<P>, wall: Duration) -> PerfSample {
+    let phase = net.phase_stats();
+    PerfSample {
+        config,
+        threads: net.sim_threads(),
+        wall,
+        cycles: net.stats().cycles,
+        flit_hops: net.stats().total_flit_hops(),
+        packets: net.stats().packets_delivered,
+        parallel_cycles: phase.parallel_cycles,
+        serial_cycles: phase.serial_cycles,
+        compute_ns: phase.compute_ns,
+        commit_ns: phase.commit_ns,
+    }
+}
+
 /// Times random unicast traffic on the Fig. 7 16×16 full mesh
-/// (Design A geometry, XY routing, Table 1 router parameters).
+/// (Design A geometry, XY routing, Table 1 router parameters) with
+/// `sim_threads` cycle-kernel threads.
 ///
 /// Injects `packets` packets in bursts of 64 (mixing 1-flit requests
 /// and 5-flit block transfers like the cache protocol does) and steps
 /// the network until every burst drains.
 #[must_use]
-pub fn mesh_throughput(packets: u64) -> PerfSample {
+pub fn mesh_throughput(packets: u64, sim_threads: u32) -> PerfSample {
     let topo = Topology::mesh(16, 16, &[1; 15], &[1; 15]);
     let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
-    let mut net: Network<u64> = Network::new(topo, table, RouterParams::hpca07());
+    let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
     let mut x: u64 = 0x9E3779B97F4A7C15;
     let start = Instant::now();
     let mut injected = 0u64;
@@ -136,28 +190,22 @@ pub fn mesh_throughput(packets: u64) -> PerfSample {
         }
         drain(&mut net);
     }
-    let wall = start.elapsed();
-    PerfSample {
-        config: "fig7-mesh",
-        wall,
-        cycles: net.stats().cycles,
-        flit_hops: net.stats().total_flit_hops(),
-        packets: net.stats().packets_delivered,
-    }
+    sample("fig7-mesh", &net, start.elapsed())
 }
 
 /// Times hub-to-spike traffic on the Design E halo (16 spikes of 16
-/// banks, shortest-path routing): alternating unicast requests to
-/// random banks and full-spike path multicasts, the pattern the
-/// paper's concurrent tag-match produces.
+/// banks, shortest-path routing) with `sim_threads` cycle-kernel
+/// threads: alternating unicast requests to random banks and
+/// full-spike path multicasts, the pattern the paper's concurrent
+/// tag-match produces.
 #[must_use]
-pub fn halo_throughput(packets: u64) -> PerfSample {
+pub fn halo_throughput(packets: u64, sim_threads: u32) -> PerfSample {
     let topo = Topology::halo(16, 16, &[1; 16], 2);
     let table = RoutingSpec::ShortestPath.build(&topo).expect("halo routes");
     let spike_paths: Vec<Vec<Endpoint>> = (0..16)
         .map(|s| (0..16).map(|p| Endpoint::at(topo.spike_node(s, p))).collect())
         .collect();
-    let mut net: Network<u64> = Network::new(topo, table, RouterParams::hpca07());
+    let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
     let hub = Endpoint {
         node: NodeId(0),
         slot: 1,
@@ -192,18 +240,124 @@ pub fn halo_throughput(packets: u64) -> PerfSample {
         }
         drain(&mut net);
     }
-    let wall = start.elapsed();
-    PerfSample {
-        config: "halo",
-        wall,
-        cycles: net.stats().cycles,
-        flit_hops: net.stats().total_flit_hops(),
-        packets: net.stats().packets_delivered,
+    sample("halo", &net, start.elapsed())
+}
+
+/// Packets kept in flight by the closed-loop mesh measurement. Large
+/// enough that most of the 256 routers are busy every cycle.
+const MESH_SAT_WINDOW: u64 = 512;
+
+/// Packets kept in flight by the closed-loop halo measurement. The hub
+/// is the single injector, so the window models the cache controller's
+/// outstanding-transaction budget rather than per-node sources.
+const HALO_SAT_WINDOW: u64 = 64;
+
+/// Times the 16×16 mesh at saturation with `sim_threads` cycle-kernel
+/// threads: a closed loop keeps a 512-packet window of random unicasts
+/// in flight (refilling as deliveries complete) until `packets` have
+/// been injected, then drains. Nearly every router stays on the
+/// worklist every cycle — the regime the sharded compute phase targets.
+#[must_use]
+pub fn mesh_sat_throughput(packets: u64, sim_threads: u32) -> PerfSample {
+    let topo = Topology::mesh(16, 16, &[1; 15], &[1; 15]);
+    let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+    let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
+    let mut x: u64 = 0x243F6A8885A308D3;
+    let mut injected = 0u64;
+    let mut completed = 0u64;
+    let mut inbox = Vec::new();
+    let start = Instant::now();
+    while completed < packets {
+        while injected < packets && injected - completed < MESH_SAT_WINDOW {
+            let r = lcg(&mut x);
+            let a = (r % 256) as u32;
+            let mut b = ((r >> 8) % 256) as u32;
+            if a == b {
+                b = (b + 1) % 256;
+            }
+            let flits = if r & 0x10000 == 0 { 1 } else { 5 };
+            net.inject(Packet::new(
+                Endpoint::at(NodeId(a)),
+                Dest::unicast(Endpoint::at(NodeId(b))),
+                flits,
+                injected,
+            ));
+            injected += 1;
+        }
+        net.advance().expect("perf traffic cannot deadlock");
+        net.drain_all_delivered_into(&mut inbox);
+        completed += inbox.drain(..).count() as u64;
     }
+    sample("mesh-sat", &net, start.elapsed())
+}
+
+/// Times the Design E halo at saturation with `sim_threads`
+/// cycle-kernel threads: a closed loop keeps a 64-transaction window
+/// in flight from the hub — the usual mix of unicast block transfers
+/// and full-spike tag-match multicasts — counting a multicast complete
+/// only when all 16 spike banks received it.
+#[must_use]
+pub fn halo_sat_throughput(packets: u64, sim_threads: u32) -> PerfSample {
+    let topo = Topology::halo(16, 16, &[1; 16], 2);
+    let table = RoutingSpec::ShortestPath.build(&topo).expect("halo routes");
+    let spike_paths: Vec<Vec<Endpoint>> = (0..16)
+        .map(|s| (0..16).map(|p| Endpoint::at(topo.spike_node(s, p))).collect())
+        .collect();
+    let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
+    let hub = Endpoint {
+        node: NodeId(0),
+        slot: 1,
+    };
+    let mut x: u64 = 0xB7E151628AED2A6A;
+    let mut injected = 0u64;
+    let mut completed = 0u64;
+    // Endpoint deliveries still owed per injected packet (multicasts
+    // owe one per spike bank).
+    let mut owed: Vec<u16> = Vec::new();
+    let mut inbox: Vec<nucanet_noc::Delivered<u64>> = Vec::new();
+    let start = Instant::now();
+    while completed < packets {
+        while injected < packets && injected - completed < HALO_SAT_WINDOW {
+            let r = lcg(&mut x);
+            let s = (r % 16) as u16;
+            if r & 0x1000 == 0 {
+                net.inject(Packet::new(
+                    hub,
+                    Dest::multicast(spike_paths[s as usize].clone()),
+                    1,
+                    injected,
+                ));
+                owed.push(16);
+            } else {
+                let p = ((r >> 8) % 16) as u16;
+                net.inject(Packet::new(
+                    hub,
+                    Dest::unicast(Endpoint::at(net.topology().spike_node(s, p))),
+                    5,
+                    injected,
+                ));
+                owed.push(1);
+            }
+            injected += 1;
+        }
+        net.advance().expect("perf traffic cannot deadlock");
+        net.drain_all_delivered_into(&mut inbox);
+        for d in inbox.drain(..) {
+            let slot = &mut owed[d.packet.payload as usize];
+            *slot -= 1;
+            if *slot == 0 {
+                completed += 1;
+            }
+        }
+    }
+    sample("halo-sat", &net, start.elapsed())
 }
 
 /// Renders samples plus the baked-in baseline as the
-/// `nucanet/perf-v1` JSON document written to `BENCH_perf.json`.
+/// `nucanet/perf-v2` JSON document written to `BENCH_perf.json`:
+/// v1's throughput fields plus the cycle-kernel thread count, the
+/// host's core count, and the two-phase breakdown
+/// (parallel/serial cycles, compute/commit wall nanoseconds).
 #[must_use]
 pub fn render_perf_json(samples: &[PerfSample]) -> String {
     fn f(x: f64) -> String {
@@ -213,19 +367,31 @@ pub fn render_perf_json(samples: &[PerfSample]) -> String {
             "null".into()
         }
     }
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"nucanet/perf-v1\",\n");
+    out.push_str("  \"schema\": \"nucanet/perf-v2\",\n");
     out.push_str("  \"name\": \"perf\",\n");
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str("  \"runs\": [\n");
     for (i, s) in samples.iter().enumerate() {
         let base = baseline_for(s.config);
         out.push_str("    {\n");
         out.push_str(&format!("      \"config\": \"{}\",\n", s.config));
+        out.push_str(&format!("      \"threads\": {},\n", s.threads));
         out.push_str(&format!("      \"wall_ms\": {},\n", s.wall.as_millis()));
         out.push_str(&format!("      \"sim_cycles\": {},\n", s.cycles));
         out.push_str(&format!("      \"flit_hops\": {},\n", s.flit_hops));
         out.push_str(&format!("      \"packets\": {},\n", s.packets));
+        out.push_str(&format!(
+            "      \"parallel_cycles\": {},\n",
+            s.parallel_cycles
+        ));
+        out.push_str(&format!("      \"serial_cycles\": {},\n", s.serial_cycles));
+        out.push_str(&format!("      \"compute_ns\": {},\n", s.compute_ns));
+        out.push_str(&format!("      \"commit_ns\": {},\n", s.commit_ns));
         out.push_str(&format!(
             "      \"cycles_per_sec\": {},\n",
             f(s.cycles_per_sec())
@@ -267,16 +433,30 @@ mod tests {
 
     #[test]
     fn samples_simulate_deterministic_cycles() {
-        let a = mesh_throughput(200);
-        let b = mesh_throughput(200);
+        let a = mesh_throughput(200, 1);
+        let b = mesh_throughput(200, 1);
         assert_eq!(a.cycles, b.cycles, "same traffic, same cycles");
         assert_eq!(a.flit_hops, b.flit_hops);
         assert_eq!(a.packets, 200);
+        assert_eq!(a.threads, 1);
+        assert_eq!(a.parallel_cycles, 0, "serial run never shards");
+    }
+
+    #[test]
+    fn thread_count_changes_only_wall_time() {
+        for run in [mesh_throughput, halo_throughput, mesh_sat_throughput] {
+            let serial = run(200, 1);
+            let threaded = run(200, 2);
+            assert_eq!(serial.cycles, threaded.cycles, "{}", serial.config);
+            assert_eq!(serial.flit_hops, threaded.flit_hops, "{}", serial.config);
+            assert_eq!(serial.packets, threaded.packets, "{}", serial.config);
+            assert_eq!(threaded.threads, 2);
+        }
     }
 
     #[test]
     fn halo_sample_delivers_multicasts() {
-        let s = halo_throughput(64);
+        let s = halo_throughput(64, 1);
         // Spike multicasts deliver to 16 banks each, so deliveries
         // exceed injections.
         assert!(s.packets > 64, "deliveries {}", s.packets);
@@ -284,10 +464,37 @@ mod tests {
     }
 
     #[test]
-    fn json_names_both_configs() {
-        let json = render_perf_json(&[mesh_throughput(50), halo_throughput(50)]);
+    fn saturation_configs_complete_their_window() {
+        let m = mesh_sat_throughput(300, 1);
+        assert_eq!(m.packets, 300, "every unicast delivered");
+        let h = halo_sat_throughput(100, 2);
+        // Multicasts fan out, so endpoint deliveries exceed the 100
+        // completed transactions.
+        assert!(h.packets >= 100, "deliveries {}", h.packets);
+        assert_eq!(h.config, "halo-sat");
+        assert_eq!(
+            halo_sat_throughput(100, 1).cycles,
+            h.cycles,
+            "saturation loop is bit-identical across thread counts"
+        );
+    }
+
+    #[test]
+    fn json_names_all_configs() {
+        let json = render_perf_json(&[
+            mesh_throughput(50, 1),
+            halo_throughput(50, 1),
+            mesh_sat_throughput(50, 1),
+            halo_sat_throughput(50, 1),
+        ]);
         assert!(json.contains("\"fig7-mesh\""));
         assert!(json.contains("\"halo\""));
-        assert!(json.contains("nucanet/perf-v1"));
+        assert!(json.contains("\"mesh-sat\""));
+        assert!(json.contains("\"halo-sat\""));
+        assert!(json.contains("nucanet/perf-v2"));
+        assert!(json.contains("\"threads\": 1"));
+        assert!(json.contains("\"host_cores\":"));
+        assert!(json.contains("\"compute_ns\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

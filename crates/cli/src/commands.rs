@@ -8,7 +8,10 @@ use nucanet::experiments::{run_cell, run_config, ExperimentScale};
 use nucanet::scheme::ALL_SCHEMES;
 use nucanet::sweep::{capacity_points, render_json_results, write_atomically, SweepRunner};
 use nucanet::{CacheSystem, FaultConfig, Scheme};
-use nucanet_bench::perf::{baseline_for, halo_throughput, mesh_throughput, render_perf_json};
+use nucanet_bench::perf::{
+    baseline_for, halo_sat_throughput, halo_throughput, mesh_sat_throughput, mesh_throughput,
+    render_perf_json,
+};
 use nucanet_noc::{run_fuzz, FuzzOptions, LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
 
@@ -71,6 +74,9 @@ pub fn help_text() -> String {
      \x20 --cores K            cores sharing the cache (run only, default 1)\n\
      \x20 --seed N             workload seed\n\
      \x20 --workers N          sweep worker threads (default: all cores)\n\
+     \x20 --sim-threads N      cycle-kernel threads per simulated network\n\
+     \x20                      (default: NUCANET_SIM_THREADS or 1; 0 = auto;\n\
+     \x20                      results are bit-identical for any value)\n\
      \x20 --json PATH          sweep/perf: also write machine-readable JSON\n\
      \x20 --faults N           sweep only: inject N random link faults per point\n\
      \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
@@ -81,6 +87,18 @@ pub fn help_text() -> String {
      A sweep point whose faults partition the network fails alone\n\
      (watchdog error in the table and JSON); the other points complete.\n"
         .into()
+}
+
+/// Cycle-kernel thread count: `--sim-threads N` when given, else the
+/// `NUCANET_SIM_THREADS` environment variable, else 1 (serial kernel).
+/// `0` auto-detects the host's core count. Simulated results are
+/// bit-identical for every value.
+fn sim_threads_of(args: &Args) -> Result<u32, ParseError> {
+    if args.get("sim-threads").is_some() {
+        Ok(args.get_usize("sim-threads", 1)? as u32)
+    } else {
+        Ok(nucanet_bench::sim_threads_from_env())
+    }
 }
 
 fn scale_of(args: &Args) -> Result<ExperimentScale, ParseError> {
@@ -99,10 +117,12 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
     let scale = scale_of(args)?;
     let cores = args.get_usize("cores", 1)?.max(1) as u8;
     let check = args.get("check") == Some("1");
+    let sim_threads = sim_threads_of(args)?;
 
     if cores == 1 {
         let mut cfg = design.config(scheme);
         cfg.check_invariants = check;
+        cfg.router.sim_threads = sim_threads;
         let (m, ipc) = run_config(&cfg, &bench, scale)
             .map_err(|e| ParseError::SimulationFailed(e.to_string()))?;
         let note = if check { "\ninvariants checked: ok" } else { "" };
@@ -116,6 +136,7 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
     // CMP: every core runs the same profile with a different seed.
     let mut cfg = design.config(scheme);
     cfg.check_invariants = check;
+    cfg.router.sim_threads = sim_threads;
     let mut sys = CacheSystem::with_cores(&cfg, cores);
     let traces: Vec<Trace> = (0..cores)
         .map(|i| {
@@ -288,6 +309,10 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
         SweepRunner::with_workers(workers)
     };
     let mut points = capacity_points(bench, scale);
+    let sim_threads = sim_threads_of(args)?;
+    for p in &mut points {
+        p.config.router.sim_threads = sim_threads;
+    }
     if args.get("check") == Some("1") {
         for p in &mut points {
             p.config.check_invariants = true;
@@ -374,22 +399,31 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
 fn cmd_perf(args: &Args) -> Result<String, ParseError> {
     let packets = args.get_usize("packets", 5_000)? as u64;
     let repeats = args.get_usize("repeats", 1)?.max(1);
-    let best = |run: fn(u64) -> nucanet_bench::perf::PerfSample| {
+    let threads = sim_threads_of(args)?;
+    let best = |run: fn(u64, u32) -> nucanet_bench::perf::PerfSample| {
         (0..repeats)
-            .map(|_| run(packets))
+            .map(|_| run(packets, threads))
             .min_by_key(|s| s.wall)
             .expect("repeats >= 1")
     };
-    let samples = vec![best(mesh_throughput), best(halo_throughput)];
-    let mut out = format!("cycle-kernel throughput ({packets} packets, best of {repeats})\n");
+    let samples = vec![
+        best(mesh_throughput),
+        best(halo_throughput),
+        best(mesh_sat_throughput),
+        best(halo_sat_throughput),
+    ];
+    let mut out = format!(
+        "cycle-kernel throughput ({packets} packets, best of {repeats}, sim-threads {threads})\n"
+    );
     for s in &samples {
         out.push_str(&format!(
-            "{:10} {:>12.0} cycles/s {:>12.0} flit-hops/s ({} cycles, {} ms)",
+            "{:10} {:>12.0} cycles/s {:>12.0} flit-hops/s ({} cycles, {} ms, {} thr)",
             s.config,
             s.cycles_per_sec(),
             s.flit_hops_per_sec(),
             s.cycles,
-            s.wall.as_millis()
+            s.wall.as_millis(),
+            s.threads
         ));
         match baseline_for(s.config) {
             Some(b) if b.cycles_per_sec.is_finite() => out.push_str(&format!(
@@ -424,6 +458,7 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
         // The checker defaults ON for fuzzing; `--check 0` disables it.
         check: args.get("check") != Some("0"),
         max_cycles: args.get_usize("max-cycles", 50_000)? as u64,
+        sim_threads: sim_threads_of(args)?,
     };
     let report = run_fuzz(&opts);
     if let Some(f) = &report.failure {
@@ -561,11 +596,26 @@ mod tests {
         let path = std::env::temp_dir().join("nucanet_cli_perf_test.json");
         let out = run(&format!("perf --packets 300 --json {}", path.display()));
         assert!(out.contains("fig7-mesh"), "{out}");
+        assert!(out.contains("mesh-sat"), "{out}");
         assert!(out.contains("cycles/s"), "{out}");
         let json = std::fs::read_to_string(&path).unwrap();
-        assert!(json.contains("\"schema\": \"nucanet/perf-v1\""), "{json}");
+        assert!(json.contains("\"schema\": \"nucanet/perf-v2\""), "{json}");
         assert!(json.contains("\"halo\""), "{json}");
+        assert!(json.contains("\"halo-sat\""), "{json}");
+        assert!(json.contains("\"threads\": 1"), "{json}");
+        assert!(json.contains("\"compute_ns\":"), "{json}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_is_bit_identical_across_sim_threads() {
+        // The run command prints only simulated metrics (no wall time),
+        // so its whole output must match between the serial and the
+        // threaded cycle kernel.
+        let serial = run("run --bench art --accesses 60 --warmup 1000 --sets 32 --sim-threads 1");
+        let threaded =
+            run("run --bench art --accesses 60 --warmup 1000 --sets 32 --sim-threads 4");
+        assert_eq!(serial, threaded);
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub struct SystemConfig {
     pub columns: u16,
     /// Replacement/communication scheme.
     pub scheme: Scheme,
-    /// Router microarchitecture.
+    /// Router microarchitecture. Also carries the host-side
+    /// [`RouterParams::sim_threads`] knob (cycle-kernel threads); any
+    /// value simulates the same machine bit-identically, and the sweep
+    /// runner budgets it against its own worker count.
     pub router: RouterParams,
     /// Off-chip memory: base latency in cycles (130 in Table 1).
     pub mem_base_cycles: u32,

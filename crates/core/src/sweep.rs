@@ -25,6 +25,14 @@
 //! Only the wall-clock fields ([`SweepOutcome::wall`]) vary from run to
 //! run. Callers who want decorrelated workloads across points can derive
 //! per-point seeds with [`derive_seed`].
+//!
+//! Points may themselves run a multi-threaded cycle kernel
+//! ([`nucanet_noc::RouterParams::sim_threads`]). Since the kernel is
+//! bit-identical for every thread count, this composes freely with the
+//! sweep's own parallelism; the runner only *budgets* the two levels
+//! against each other, clamping its worker count so `workers ×
+//! sim_threads` does not oversubscribe the host (oversubscription
+//! cannot change results, it just thrashes the scheduler).
 
 use std::fmt;
 use std::io;
@@ -277,7 +285,11 @@ impl SweepRunner {
         if points.is_empty() {
             return Vec::new();
         }
-        let workers = self.workers.min(points.len());
+        let sim_threads = points.iter().map(point_sim_threads).max().unwrap_or(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = budget_workers(self.workers, sim_threads, cores).min(points.len());
         if workers == 1 {
             return points.iter().map(|p| p.try_run(self.capture)).collect();
         }
@@ -302,6 +314,29 @@ impl SweepRunner {
                     .expect("every claimed point stores a result")
             })
             .collect()
+    }
+}
+
+/// Cycle-kernel threads one point's network will use, resolving the
+/// `0` = auto-detect setting the way `Network::new` does.
+fn point_sim_threads(p: &SweepPoint) -> usize {
+    match p.config.router.sim_threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        t => t as usize,
+    }
+}
+
+/// Sweep workers to actually spawn: the configured count, clamped so
+/// `workers × sim_threads` stays within the host's `cores` when points
+/// run a multi-threaded cycle kernel. Purely a scheduling decision —
+/// results are bit-identical for any worker count (module docs).
+fn budget_workers(configured: usize, sim_threads: usize, cores: usize) -> usize {
+    if sim_threads <= 1 {
+        configured
+    } else {
+        configured.min((cores / sim_threads).max(1))
     }
 }
 
@@ -594,6 +629,35 @@ mod tests {
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.metrics, p.metrics, "{}", s.label);
             assert_eq!(s.ipc, p.ipc, "{}", s.label);
+        }
+    }
+
+    #[test]
+    fn worker_budget_respects_sim_threads() {
+        // Serial kernels: the sweep keeps whatever was configured.
+        assert_eq!(budget_workers(8, 1, 4), 8);
+        // Threaded kernels share the cores: 16 cores / 4 sim threads
+        // leaves room for 4 sweep workers.
+        assert_eq!(budget_workers(8, 4, 16), 4);
+        // Never below one worker, even on a starved host.
+        assert_eq!(budget_workers(8, 4, 2), 1);
+        assert_eq!(budget_workers(1, 8, 1), 1);
+    }
+
+    #[test]
+    fn sim_threaded_points_match_serial_points() {
+        // The same grid with a 2-thread cycle kernel must produce
+        // bit-identical metrics: the kernel's determinism contract,
+        // checked through the whole cache system.
+        let serial = SweepRunner::with_workers(2).run(&tiny_points(3));
+        let mut points = tiny_points(3);
+        for p in &mut points {
+            p.config.router.sim_threads = 2;
+        }
+        let threaded = SweepRunner::with_workers(2).run(&points);
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert_eq!(s.metrics, t.metrics, "{}", s.label);
+            assert_eq!(s.ipc, t.ipc, "{}", s.label);
         }
     }
 

@@ -415,6 +415,10 @@ impl CacheSystem {
     }
 
     fn sim_loop(&mut self, live: &mut [Metrics]) -> Result<(), SimError> {
+        // Deliveries are moved (not cloned) into this buffer, which keeps
+        // its capacity across iterations so the dispatch loop stops
+        // allocating once the system reaches steady state.
+        let mut inbox = Vec::new();
         loop {
             let now = self.net.cycle();
             if now >= MAX_CYCLES {
@@ -422,7 +426,8 @@ impl CacheSystem {
             }
 
             // Dispatch deliveries to agents.
-            for d in self.net.drain_all_delivered() {
+            self.net.drain_all_delivered_into(&mut inbox);
+            for d in inbox.drain(..) {
                 let outs = if let Some(&i) = self.core_of_endpoint.get(&d.endpoint) {
                     let drops_before = self.cores[i].stale_drops();
                     let outs = self.cores[i].handle(&d.packet.payload, now);

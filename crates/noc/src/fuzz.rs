@@ -44,6 +44,11 @@ pub struct FuzzOptions {
     /// Per-scenario cycle budget for the fast simulator before the
     /// iteration is declared a failure.
     pub max_cycles: u64,
+    /// Compute threads for the fast simulator's cycle kernel (`1` =
+    /// serial, `0` = auto). Results are bit-identical for any value, so
+    /// fuzzing with `sim_threads > 1` differentially tests the
+    /// two-phase kernel against the golden model.
+    pub sim_threads: u32,
 }
 
 impl Default for FuzzOptions {
@@ -53,6 +58,7 @@ impl Default for FuzzOptions {
             seed: 0xA11CE,
             check: true,
             max_cycles: 50_000,
+            sim_threads: 1,
         }
     }
 }
@@ -250,12 +256,21 @@ fn gen_scenario(seed: u64) -> Scenario {
 /// What one fast-simulator run produced, in delivery order.
 type FastDeliveries = Vec<(u64, PacketId, Endpoint)>;
 
-fn fast_run(sc: &Scenario, check: bool, max_cycles: u64) -> Result<(Vec<PacketId>, FastDeliveries), String> {
+fn fast_run(
+    sc: &Scenario,
+    check: bool,
+    max_cycles: u64,
+    sim_threads: u32,
+) -> Result<(Vec<PacketId>, FastDeliveries), String> {
     let table = sc
         .spec
         .build(&sc.topo)
         .map_err(|e| format!("routing build failed: {e:?}"))?;
-    let mut net: Network<u64> = Network::new(sc.topo.clone(), table, RouterParams::hpca07());
+    let params = RouterParams {
+        sim_threads,
+        ..RouterParams::hpca07()
+    };
+    let mut net: Network<u64> = Network::new(sc.topo.clone(), table, params);
     if check {
         net.enable_invariant_checker();
     }
@@ -320,10 +335,15 @@ fn golden_run(sc: &Scenario, ids: &[PacketId], max_cycles: u64) -> Result<Vec<(u
 
 /// Runs one scenario end to end; `Ok` carries `(packets, deliveries,
 /// multicasts, fault events)` counters for the campaign report.
-fn run_one(seed: u64, check: bool, max_cycles: u64) -> Result<(u64, u64, u64, u64), String> {
+fn run_one(
+    seed: u64,
+    check: bool,
+    max_cycles: u64,
+    sim_threads: u32,
+) -> Result<(u64, u64, u64, u64), String> {
     let sc = gen_scenario(seed);
-    let (ids, first) = fast_run(&sc, check, max_cycles)?;
-    let (ids2, second) = fast_run(&sc, check, max_cycles)?;
+    let (ids, first) = fast_run(&sc, check, max_cycles, sim_threads)?;
+    let (ids2, second) = fast_run(&sc, check, max_cycles, sim_threads)?;
     if ids != ids2 || first != second {
         return Err(format!(
             "fast simulator is nondeterministic: run 1 delivered {} entries, run 2 {}",
@@ -366,7 +386,7 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     for iter in 0..opts.iters {
         let seed = opts.seed.wrapping_add(iter);
         report.iters_run += 1;
-        match run_one(seed, opts.check, opts.max_cycles) {
+        match run_one(seed, opts.check, opts.max_cycles, opts.sim_threads) {
             Ok((packets, deliveries, multicasts, faults)) => {
                 report.packets += packets;
                 report.deliveries += deliveries;
@@ -414,6 +434,7 @@ mod tests {
             seed: 7,
             check: true,
             max_cycles: 50_000,
+            sim_threads: 1,
         });
         assert!(
             report.failure.is_none(),
@@ -428,6 +449,24 @@ mod tests {
     }
 
     #[test]
+    fn short_campaign_is_clean_with_four_sim_threads() {
+        // Same seeds as the serial campaign above: the two-phase kernel
+        // must clear the checker and match the golden model too.
+        let report = run_fuzz(&FuzzOptions {
+            iters: 15,
+            seed: 7,
+            check: true,
+            max_cycles: 50_000,
+            sim_threads: 4,
+        });
+        assert!(
+            report.failure.is_none(),
+            "fuzz failure with 4 sim threads: {:?}",
+            report.failure
+        );
+    }
+
+    #[test]
     fn collapsed_seed_replays_the_same_iteration() {
         // Iteration i of (seed, iters) must equal iteration 0 of
         // (seed + i, 1) — the reproduction contract in the module docs.
@@ -439,6 +478,7 @@ mod tests {
             seed: base + i,
             check: false,
             max_cycles: 50_000,
+            sim_threads: 1,
         });
         assert!(direct.failure.is_none());
         assert_eq!(direct.packets, a.plans.len() as u64);

@@ -67,6 +67,7 @@ pub mod golden;
 pub mod ids;
 pub mod network;
 pub mod packet;
+mod par;
 pub mod params;
 pub mod router;
 pub mod routing;
@@ -83,7 +84,7 @@ pub use event_wheel::EventWheel;
 pub use evlog::{EventLog, NetEvent};
 pub use faults::{FaultEvent, FaultSchedule};
 pub use ids::{Coord, Endpoint, LinkId, NodeId, PortId};
-pub use network::{Delivered, Network};
+pub use network::{Delivered, Network, PhaseStats};
 pub use packet::{Dest, Packet, PacketId};
 pub use params::RouterParams;
 pub use routing::{RoutingSpec, RoutingTable};

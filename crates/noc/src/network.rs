@@ -28,6 +28,8 @@
 
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use crate::check::InvariantChecker;
 use crate::deadlock::ChannelDependencyGraph;
@@ -37,11 +39,38 @@ use crate::evlog::{EventLog, NetEvent};
 use crate::faults::FaultSchedule;
 use crate::ids::{Endpoint, LinkId, NodeId, PortId};
 use crate::packet::{FlitRef, Packet, PacketId};
+use crate::par::SimPool;
 use crate::params::RouterParams;
-use crate::router::{OutRoute, RouterScratch, RouterState, Split};
+use crate::router::{
+    ComputeScratch, OutRoute, RouteIntent, RouterIntent, RouterScratch, RouterState, Split,
+};
 use crate::routing::RoutingTable;
 use crate::stats::NetStats;
 use crate::topology::{PortLabel, Topology};
+
+/// Fewest active routers in a cycle for which the parallel compute
+/// phase pays for its dispatch overhead; smaller worklists take the
+/// serial kernel. Purely a wall-clock heuristic — both kernels are
+/// bit-identical, so switching per cycle cannot change results. Kept
+/// low so correctness campaigns on small topologies (the fuzzer's
+/// meshes) still exercise the two-phase path with `sim_threads > 1`.
+const MIN_PAR_WORK: usize = 8;
+
+/// Wall-clock breakdown of the two-phase cycle kernel. Lives outside
+/// [`NetStats`] on purpose: stats are part of the bit-identity
+/// determinism contract, and wall-clock timings must never be.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseStats {
+    /// Cycles that ran the parallel two-phase kernel.
+    pub parallel_cycles: u64,
+    /// Cycles that ran the classic serial kernel (thread count 1, or a
+    /// worklist too small to shard).
+    pub serial_cycles: u64,
+    /// Nanoseconds spent in the sharded compute phase.
+    pub compute_ns: u64,
+    /// Nanoseconds spent in the serial commit phase.
+    pub commit_ns: u64,
+}
 
 /// A packet handed to a local sink.
 #[derive(Debug)]
@@ -124,6 +153,27 @@ pub struct Network<P> {
     /// onward so injection checks and reroute accounting can compare
     /// against the intact topology. `None` until a fault applies.
     base_table: Option<RoutingTable>,
+    /// Resolved compute-thread count (`params.sim_threads`, with `0`
+    /// replaced by the host's available parallelism).
+    sim_threads: usize,
+    /// Persistent compute-phase worker pool, created on the first cycle
+    /// that shards (never for `sim_threads == 1`).
+    pool: Option<SimPool>,
+    /// Per-router compute-phase intents, indexed by router id.
+    intents: Vec<RouterIntent>,
+    /// Routers whose compute pass bailed (multicast split needs live
+    /// replica reservation) and re-run the serial kernel at commit.
+    deferred: Vec<bool>,
+    /// One compute scratch per pool worker (sized with the pool).
+    compute_scratch: Vec<ComputeScratch>,
+    /// `reserved` slots flipped during the current commit pass; a later
+    /// router whose snapshot covered a flipped slot discards its intent
+    /// and recomputes serially.
+    res_dirty: Vec<bool>,
+    res_dirty_list: Vec<u32>,
+    /// Widest router (ports), for sizing per-worker scratch.
+    max_ports: usize,
+    phase: PhaseStats,
 }
 
 impl<P> Network<P> {
@@ -155,6 +205,12 @@ impl<P> Network<P> {
         let horizon = u64::from((max_link_delay + params.router_stages - 1).max(1))
             .max(u64::from(params.credit_delay));
         let max_ports = topo.routers().iter().map(|r| r.ports.len()).max().unwrap_or(0);
+        let sim_threads = match params.sim_threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            t => t as usize,
+        };
         Network {
             stats: NetStats::new(n_links),
             evlog: None,
@@ -174,6 +230,15 @@ impl<P> Network<P> {
             next_fault: 0,
             link_up: vec![true; n_links],
             base_table: None,
+            sim_threads,
+            pool: None,
+            intents: (0..n).map(|_| RouterIntent::default()).collect(),
+            deferred: vec![false; n],
+            compute_scratch: Vec::new(),
+            res_dirty: vec![false; n_links * params.vcs_per_port as usize],
+            res_dirty_list: Vec::new(),
+            max_ports,
+            phase: PhaseStats::default(),
             topo,
             table,
             params,
@@ -287,6 +352,19 @@ impl<P> Network<P> {
     /// Statistics collected so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Wall-clock breakdown of the two-phase kernel. Unlike
+    /// [`Network::stats`], this is *not* deterministic — it reports how
+    /// much host time each phase took, never simulation results.
+    pub fn phase_stats(&self) -> PhaseStats {
+        self.phase
+    }
+
+    /// The resolved compute-thread count (after `sim_threads == 0`
+    /// auto-detection). `1` means the serial kernel.
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
     }
 
     /// Current simulation cycle.
@@ -479,20 +557,36 @@ impl<P> Network<P> {
         self.delivered.drain(..).collect()
     }
 
+    /// Like [`Network::drain_all_delivered`], but appends into a
+    /// caller-owned buffer so a driver loop can reuse one allocation
+    /// across calls.
+    pub fn drain_all_delivered_into(&mut self, out: &mut Vec<Delivered<P>>) {
+        out.extend(self.delivered.drain(..));
+    }
+
     /// Drains deliveries for one router (helper for small tests; large
-    /// drivers should use [`Network::drain_all_delivered`]). Single
-    /// in-place pass; delivery order is preserved on both sides.
+    /// drivers should use [`Network::drain_all_delivered`]). Delivery
+    /// order is preserved on both sides.
     pub fn drain_delivered(&mut self, node: NodeId) -> Vec<Delivered<P>> {
         let mut out = Vec::new();
-        self.delivered.retain(|d| {
-            if d.endpoint.node == node {
-                out.push(d.clone());
-                false
-            } else {
-                true
-            }
-        });
+        self.drain_delivered_into(node, &mut out);
         out
+    }
+
+    /// Appends deliveries for `node` into `out`; reusable-buffer variant
+    /// of [`Network::drain_delivered`]. A single rotation pass *moves*
+    /// each matched delivery out (no `Rc` clone): every entry is popped
+    /// from the front exactly once and either kept or pushed back, so
+    /// both the drained and the remaining sequences keep their order.
+    pub fn drain_delivered_into(&mut self, node: NodeId, out: &mut Vec<Delivered<P>>) {
+        for _ in 0..self.delivered.len() {
+            let d = self.delivered.pop_front().expect("iterating current length");
+            if d.endpoint.node == node {
+                out.push(d);
+            } else {
+                self.delivered.push_back(d);
+            }
+        }
     }
 
     /// Advances the simulation by one cycle, applying any fault-schedule
@@ -519,14 +613,27 @@ impl<P> Network<P> {
         for &i in &work {
             self.pending_flag[i as usize] = false;
         }
-        // Split borrow: take the router array out of `self` once for the
-        // whole loop; helpers receive it as an explicit slice. Nothing
-        // below may touch `self.routers` (it is empty) until restored.
-        let mut routers = std::mem::take(&mut self.routers);
-        for &i in &work {
-            self.process_router(i, &mut routers);
+        // Reset last cycle's commit-time reservation dirty set.
+        for &s in &self.res_dirty_list {
+            self.res_dirty[s as usize] = false;
         }
-        self.routers = routers;
+        self.res_dirty_list.clear();
+        if self.sim_threads > 1 && work.len() >= MIN_PAR_WORK {
+            self.step_two_phase(&work);
+        } else {
+            // Classic serial kernel — also the reference semantics the
+            // two-phase kernel must reproduce bit-for-bit.
+            self.phase.serial_cycles += 1;
+            // Split borrow: take the router array out of `self` once for
+            // the whole loop; helpers receive it as an explicit slice.
+            // Nothing below may touch `self.routers` (it is empty) until
+            // restored.
+            let mut routers = std::mem::take(&mut self.routers);
+            for &i in &work {
+                self.process_router(i, &mut routers);
+            }
+            self.routers = routers;
+        }
         work.clear();
         self.scratch.work = work;
         self.audit_invariants();
@@ -684,6 +791,150 @@ impl<P> Network<P> {
         self.scratch.winners = winners;
         self.scratch.winners.clear();
 
+        if routers[ri].has_work() {
+            self.mark_pending(node);
+        }
+    }
+
+    /// The two-phase cycle kernel: a sharded, read-only **compute**
+    /// pass records each active router's decisions as intents, then a
+    /// serial **commit** pass applies them in sorted worklist order.
+    ///
+    /// # Why this is bit-identical to the serial kernel
+    ///
+    /// In the serial kernel, the only *cross-router* state a router's
+    /// turn reads that an earlier router's turn may have written in the
+    /// same cycle is (a) the remote-reservation bitmap `reserved`
+    /// (consulted by output-VC allocation) and (b) upstream output-VC
+    /// ownership plus wire occupancy (consulted only by the multicast
+    /// replica-VC search). Buffers and credits of *other* routers
+    /// cannot change mid-cycle: every flit arrival and credit return is
+    /// scheduled at least one cycle ahead. The compute pass therefore
+    /// works from a true snapshot, with those two channels handled as:
+    ///
+    /// * A router whose cycle needs the replica-VC search (a multicast
+    ///   head splitting now) **defers**: its compute records nothing
+    ///   and the commit pass runs the full serial [`Network::process_router`]
+    ///   at its worklist turn. Because compute writes no live state,
+    ///   the state a deferred router sees at its turn is exactly what
+    ///   the serial kernel would have shown it — earlier routers fully
+    ///   committed, later ones untouched.
+    /// * A commit that flips a `reserved` slot (replica reserve or
+    ///   release) marks it dirty; a later router whose output links
+    ///   cover a dirty slot discards its intent and recomputes
+    ///   serially at its turn ([`Network::intent_invalidated`]).
+    ///
+    /// Everything else an intent carries — routes, output-VC claims,
+    /// round-robin pointers, switch winners — derives from the router's
+    /// *own* state, which only its own turn mutates, and the commit
+    /// replays those mutations in the serial order.
+    fn step_two_phase(&mut self, work: &[u32]) {
+        self.phase.parallel_cycles += 1;
+        if self.pool.is_none() {
+            let pool = SimPool::new(self.sim_threads);
+            self.compute_scratch = (0..pool.threads())
+                .map(|_| ComputeScratch::for_max_ports(self.max_ports))
+                .collect();
+            self.pool = Some(pool);
+        }
+
+        // Compute phase: shard the worklist across the pool.
+        let t_compute = Instant::now();
+        {
+            let intents = self.intents.as_mut_ptr();
+            let deferred = self.deferred.as_mut_ptr();
+            let scratch = self.compute_scratch.as_mut_ptr();
+            let job = ComputeJob {
+                ctx: ComputeCtx {
+                    topo: &self.topo,
+                    table: &self.table,
+                    base: self.base_table.as_ref(),
+                    params: &self.params,
+                    reserved: &self.reserved,
+                    routers: &self.routers,
+                },
+                work,
+                intents,
+                deferred,
+                scratch,
+                next: AtomicUsize::new(0),
+            };
+            let pool = self.pool.as_ref().expect("created above");
+            // SAFETY: `compute_shim::<P>` only *reads* the shared
+            // snapshot in `ctx` (plain fields and `Rc` targets; it
+            // never clones, drops, or mutates an `Rc` and never touches
+            // the `P` payload), and writes only disjoint slots:
+            // `intents[i]` / `deferred[i]` for distinct router ids
+            // claimed through the shared `next` counter, and
+            // `scratch[w]` for the worker's own index. `run` blocks
+            // until every worker finished, so the stack-borrowed `job`
+            // outlives all use.
+            unsafe { pool.run(compute_shim::<P>, (&raw const job).cast()) };
+        }
+        self.phase.compute_ns += t_compute.elapsed().as_nanos() as u64;
+
+        // Commit phase: serial, in worklist order.
+        let t_commit = Instant::now();
+        let mut routers = std::mem::take(&mut self.routers);
+        let intents = std::mem::take(&mut self.intents);
+        for &i in work {
+            if self.deferred[i as usize] || self.intent_invalidated(i) {
+                // Live serial processing — exact by construction.
+                self.process_router(i, &mut routers);
+            } else {
+                self.commit_intent(i, &intents[i as usize], &mut routers);
+            }
+        }
+        self.intents = intents;
+        self.routers = routers;
+        self.phase.commit_ns += t_commit.elapsed().as_nanos() as u64;
+    }
+
+    /// Whether commit-time `reserved` flips touched a slot router
+    /// `idx`'s compute snapshot may have read — the VCs of its output
+    /// links. Almost always decided by the empty-list fast path.
+    fn intent_invalidated(&self, idx: u32) -> bool {
+        if self.res_dirty_list.is_empty() {
+            return false;
+        }
+        let vcs = self.params.vcs_per_port as usize;
+        self.topo
+            .router(NodeId(idx))
+            .ports
+            .iter()
+            .filter_map(|p| p.out_link)
+            .any(|l| {
+                let base = l.0 as usize * vcs;
+                self.res_dirty[base..base + vcs].iter().any(|&d| d)
+            })
+    }
+
+    /// Applies one router's compute-phase intent: exactly the writes,
+    /// in the same order, that [`Network::process_router`] would have
+    /// performed at this worklist turn.
+    fn commit_intent(&mut self, idx: u32, intent: &RouterIntent, routers: &mut [RouterState<P>]) {
+        let node = NodeId(idx);
+        let ri = idx as usize;
+        self.stats.route_blocked_cycles += u64::from(intent.route_blocked);
+        for rt in &intent.routes {
+            let r = &mut routers[ri];
+            r.inputs[rt.port as usize].vcs[rt.vc as usize].route = Some(rt.route);
+            if !rt.route.eject {
+                r.outputs[rt.route.port as usize].vcs[rt.route.vc as usize].owner = true;
+            }
+            if rt.rerouted {
+                self.stats.packets_rerouted += 1;
+            }
+        }
+        for &(o, rr) in &intent.rr_out {
+            routers[ri].outputs[o as usize].rr = rr;
+        }
+        for &(p, v) in &intent.winners {
+            self.traverse(node, &mut routers[ri], p as usize, v as usize);
+            let r = &mut routers[ri];
+            r.rr_in[p as usize] = (v + 1) % r.inputs[p as usize].vcs.len().max(1) as u8;
+            self.last_progress = self.cycle;
+        }
         if routers[ri].has_work() {
             self.mark_pending(node);
         }
@@ -889,7 +1140,18 @@ impl<P> Network<P> {
     fn reserve_remote(&mut self, node: NodeId, port: usize, vc: usize, on: bool) {
         if let Some(in_link) = self.topo.router(node).ports[port].in_link {
             let vcs = self.params.vcs_per_port as usize;
-            self.reserved[in_link.0 as usize * vcs + vc] = on;
+            let slot = in_link.0 as usize * vcs + vc;
+            if self.reserved[slot] != on {
+                self.reserved[slot] = on;
+                // Invalidation breadcrumb for the two-phase commit: a
+                // later router whose compute snapshot covered this slot
+                // must recompute serially (`intent_invalidated`). The
+                // set resets at the top of every `step`.
+                if !self.res_dirty[slot] {
+                    self.res_dirty[slot] = true;
+                    self.res_dirty_list.push(slot as u32);
+                }
+            }
         }
     }
 
@@ -1065,6 +1327,286 @@ impl<P> Network<P> {
         }
         c.seal(self.cycle, self.evlog.as_ref());
         self.checker = Some(c);
+    }
+}
+
+/// Read-only snapshot handed to compute workers: immutable borrows
+/// only. Everything the compute phase *writes* is per-router
+/// (`intents`, `deferred`) or per-worker (`scratch`) and reached
+/// through the raw pointers in [`ComputeJob`].
+struct ComputeCtx<'a, P> {
+    topo: &'a Topology,
+    table: &'a RoutingTable,
+    base: Option<&'a RoutingTable>,
+    params: &'a RouterParams,
+    reserved: &'a [bool],
+    routers: &'a [RouterState<P>],
+}
+
+impl<P> ComputeCtx<'_, P> {
+    /// Serial-equivalent decision pass for one router, recorded into
+    /// `intent`. Returns `true` when the router must defer to the
+    /// serial commit pass (a multicast head needs the live replica-VC
+    /// search and reservation); the intent is then meaningless.
+    ///
+    /// Mirrors [`Network::allocate_routes`] plus the two switch
+    /// allocation phases of [`Network::process_router`], decision for
+    /// decision — any change to one must be mirrored in the other.
+    fn compute_router(
+        &self,
+        idx: u32,
+        intent: &mut RouterIntent,
+        scratch: &mut ComputeScratch,
+    ) -> bool {
+        intent.clear();
+        let node = NodeId(idx);
+        let r = &self.routers[idx as usize];
+
+        // Routing + VC allocation, as intents.
+        for p in 0..r.inputs.len() {
+            for v in 0..r.inputs[p].vcs.len() {
+                let vc = &r.inputs[p].vcs[v];
+                if vc.route.is_some() {
+                    continue;
+                }
+                let Some(front) = vc.buf.front() else { continue };
+                assert!(
+                    front.is_head(),
+                    "non-head flit at front of unrouted VC: packet {:?} seq {}",
+                    front.pkt.id,
+                    front.seq
+                );
+                let target = front.target();
+                let next_target = if front.has_more_targets() {
+                    Some(front.pkt.dest.endpoints()[front.dest_idx as usize + 1])
+                } else {
+                    None
+                };
+                if target.node == node {
+                    if let Some(next) = next_target {
+                        if vc.split.is_none() {
+                            // Multicast split this cycle: defer.
+                            return true;
+                        }
+                        // Split already placed; the primary continues
+                        // toward the next endpoint.
+                        let Some(out) = self.table.next_hop(node, next.node) else {
+                            intent.route_blocked += 1;
+                            continue;
+                        };
+                        if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize, intent) {
+                            intent.routes.push(RouteIntent {
+                                port: p as u8,
+                                vc: v as u8,
+                                route: OutRoute {
+                                    port: out.0,
+                                    vc: ovc,
+                                    eject: false,
+                                },
+                                rerouted: self.is_reroute(node, next.node, out),
+                            });
+                        }
+                    } else {
+                        let eject_port = self
+                            .topo
+                            .router(node)
+                            .port_by_label(PortLabel::Local(target.slot))
+                            .unwrap_or_else(|| panic!("endpoint {target} vanished"))
+                            .0;
+                        intent.routes.push(RouteIntent {
+                            port: p as u8,
+                            vc: v as u8,
+                            route: OutRoute {
+                                port: eject_port,
+                                vc: 0,
+                                eject: true,
+                            },
+                            rerouted: false,
+                        });
+                    }
+                } else {
+                    let Some(out) = self.table.next_hop(node, target.node) else {
+                        intent.route_blocked += 1;
+                        continue;
+                    };
+                    if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize, intent) {
+                        intent.routes.push(RouteIntent {
+                            port: p as u8,
+                            vc: v as u8,
+                            route: OutRoute {
+                                port: out.0,
+                                vc: ovc,
+                                eject: false,
+                            },
+                            rerouted: self.is_reroute(node, target.node, out),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Phase A: each input port nominates one sendable VC.
+        let n_ports = r.inputs.len();
+        scratch.nominee[..n_ports].fill(None);
+        for p in 0..n_ports {
+            let n_vcs = r.inputs[p].vcs.len() as u8;
+            let start = r.rr_in[p];
+            for k in 0..n_vcs {
+                let v = (start + k) % n_vcs;
+                if self.vc_sendable(r, p, v as usize, intent) {
+                    scratch.nominee[p] = Some(v);
+                    break;
+                }
+            }
+        }
+
+        // Phase B: each output port grants one nominating input port.
+        for o in 0..r.outputs.len() {
+            scratch.requesting.clear();
+            for p in 0..n_ports {
+                let Some(v) = scratch.nominee[p] else {
+                    continue;
+                };
+                let routed_here = self
+                    .effective_route(r, p, v as usize, intent)
+                    .is_some_and(|rt| rt.port as usize == o);
+                if routed_here {
+                    scratch.requesting.push(p as u8);
+                }
+            }
+            if scratch.requesting.is_empty() {
+                continue;
+            }
+            let start = r.outputs[o].rr;
+            let pick = scratch
+                .requesting
+                .iter()
+                .copied()
+                .find(|&p| p >= start)
+                .unwrap_or(scratch.requesting[0]);
+            intent
+                .rr_out
+                .push((o as u8, pick.wrapping_add(1) % n_ports.max(1) as u8));
+            let v = scratch.nominee[pick as usize].expect("requesting port has nominee");
+            intent.winners.push((pick, v));
+        }
+        false
+    }
+
+    /// The route VC (`p`, `v`) will hold once this router's intent
+    /// commits: the live route, or the one recorded this cycle.
+    fn effective_route(
+        &self,
+        r: &RouterState<P>,
+        p: usize,
+        v: usize,
+        intent: &RouterIntent,
+    ) -> Option<OutRoute> {
+        if let Some(rt) = r.inputs[p].vcs[v].route {
+            return Some(rt);
+        }
+        intent
+            .routes
+            .iter()
+            .find(|x| x.port as usize == p && x.vc as usize == v)
+            .map(|x| x.route)
+    }
+
+    /// Intent-aware mirror of [`Network::vc_sendable`].
+    fn vc_sendable(&self, r: &RouterState<P>, p: usize, v: usize, intent: &RouterIntent) -> bool {
+        let vc = &r.inputs[p].vcs[v];
+        if vc.buf.is_empty() {
+            return false;
+        }
+        let Some(route) = self.effective_route(r, p, v, intent) else {
+            return false;
+        };
+        if let Some(s) = vc.split {
+            let replica = &r.inputs[s.port as usize].vcs[s.vc as usize];
+            if replica.buf.len() >= self.params.vc_depth as usize {
+                return false;
+            }
+        }
+        if route.eject {
+            true
+        } else {
+            r.outputs[route.port as usize].vcs[route.vc as usize].credits > 0
+        }
+    }
+
+    /// Intent-aware mirror of [`Network::claim_out_vc`]: also skips VCs
+    /// this intent already claimed, reproducing the serial kernel's
+    /// first-free scan over in-cycle allocations.
+    fn claim_out_vc(
+        &self,
+        node: NodeId,
+        r: &RouterState<P>,
+        o: usize,
+        intent: &RouterIntent,
+    ) -> Option<u8> {
+        let link = self.topo.router(node).ports[o]
+            .out_link
+            .unwrap_or_else(|| panic!("output port {o} of {node} has no link"));
+        let vcs = self.params.vcs_per_port as usize;
+        for v in 0..vcs {
+            if self.reserved[link.0 as usize * vcs + v] || r.outputs[o].vcs[v].owner {
+                continue;
+            }
+            let claimed = intent
+                .routes
+                .iter()
+                .any(|x| !x.route.eject && x.route.port as usize == o && x.route.vc as usize == v);
+            if !claimed {
+                return Some(v as u8);
+            }
+        }
+        None
+    }
+
+    /// Mirror of [`Network::note_reroute`], returning the verdict
+    /// instead of bumping the counter.
+    fn is_reroute(&self, node: NodeId, toward: NodeId, used: PortId) -> bool {
+        self.base
+            .is_some_and(|b| b.next_hop(node, toward) != Some(used))
+    }
+}
+
+/// One cycle's compute-phase job, shared by every pool worker.
+struct ComputeJob<'a, P> {
+    ctx: ComputeCtx<'a, P>,
+    work: &'a [u32],
+    intents: *mut RouterIntent,
+    deferred: *mut bool,
+    scratch: *mut ComputeScratch,
+    /// Next unclaimed worklist position (handed out in chunks).
+    next: AtomicUsize,
+}
+
+/// Worklist items claimed per `next` bump — amortizes the shared
+/// counter without hurting balance (per-router work is fine-grained).
+const COMPUTE_CHUNK: usize = 8;
+
+/// Type-erased pool entry point; see the SAFETY note at the call site
+/// in [`Network::step_two_phase`].
+unsafe fn compute_shim<P>(data: *const (), worker: usize) {
+    // SAFETY: `data` points at the caller's `ComputeJob`, which
+    // `SimPool::run` keeps alive until every worker finished.
+    let job = unsafe { &*data.cast::<ComputeJob<'_, P>>() };
+    // SAFETY: each worker dereferences only its own scratch slot.
+    let scratch = unsafe { &mut *job.scratch.add(worker) };
+    loop {
+        let base = job.next.fetch_add(COMPUTE_CHUNK, Ordering::Relaxed);
+        if base >= job.work.len() {
+            return;
+        }
+        let end = (base + COMPUTE_CHUNK).min(job.work.len());
+        for &idx in &job.work[base..end] {
+            // SAFETY: worklist entries are unique router ids, so each
+            // intent/deferred slot is written by exactly one worker.
+            let intent = unsafe { &mut *job.intents.add(idx as usize) };
+            let deferred = unsafe { &mut *job.deferred.add(idx as usize) };
+            *deferred = job.ctx.compute_router(idx, intent, scratch);
+        }
     }
 }
 
@@ -1605,5 +2147,114 @@ mod tests {
         }
         run_until_idle(&mut net, 50_000);
         assert_eq!(net.stats().packets_delivered, expected);
+    }
+
+    /// Drives a mixed unicast/multicast load (seeded) on an 8×8 mesh
+    /// with the given thread count and returns the full delivered
+    /// sequence plus final stats.
+    fn threaded_run(threads: u32) -> (Vec<(PacketId, Endpoint, u64)>, NetStats) {
+        use rand::{Rng, SeedableRng};
+        let topo = Topology::mesh(8, 8, &[1; 7], &[1; 7]);
+        let table = RoutingSpec::Xy.build(&topo).unwrap();
+        let params = RouterParams {
+            sim_threads: threads,
+            ..RouterParams::hpca07()
+        };
+        let mut net: Network<u32> = Network::new(topo, table, params);
+        net.enable_invariant_checker();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for i in 0..400u32 {
+            let src = Endpoint::at(net.topology().node_at(rng.gen_range(0..8), 0));
+            if rng.gen_bool(0.3) {
+                let col = rng.gen_range(0..8);
+                let path: Vec<Endpoint> = (0..8)
+                    .map(|r| Endpoint::at(net.topology().node_at(col, r)))
+                    .collect();
+                net.inject(Packet::new(src, Dest::multicast(path), 1, i));
+            } else {
+                let dst = Endpoint::at(
+                    net.topology()
+                        .node_at(rng.gen_range(0..8), rng.gen_range(1..8)),
+                );
+                net.inject(Packet::new(src, Dest::unicast(dst), 5, i));
+            }
+        }
+        run_until_idle(&mut net, 100_000);
+        let seq = net
+            .drain_all_delivered()
+            .iter()
+            .map(|d| (d.packet.id, d.endpoint, d.cycle))
+            .collect();
+        (seq, net.stats().clone())
+    }
+
+    #[test]
+    fn two_phase_kernel_is_bit_identical_to_serial() {
+        let (serial_seq, serial_stats) = threaded_run(1);
+        for threads in [2u32, 4] {
+            let (seq, stats) = threaded_run(threads);
+            assert_eq!(seq, serial_seq, "{threads} threads: delivery order");
+            assert_eq!(stats, serial_stats, "{threads} threads: stats");
+        }
+    }
+
+    #[test]
+    fn two_phase_kernel_actually_shards() {
+        use rand::{Rng, SeedableRng};
+        let topo = Topology::mesh(8, 8, &[1; 7], &[1; 7]);
+        let table = RoutingSpec::Xy.build(&topo).unwrap();
+        let params = RouterParams {
+            sim_threads: 4,
+            ..RouterParams::hpca07()
+        };
+        let mut net: Network<u32> = Network::new(topo, table, params);
+        assert_eq!(net.sim_threads(), 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for i in 0..300u32 {
+            let src = Endpoint::at(NodeId(rng.gen_range(0..64)));
+            let mut d = rng.gen_range(0..64);
+            if d == src.node.0 {
+                d = (d + 1) % 64;
+            }
+            net.inject(Packet::new(
+                src,
+                Dest::unicast(Endpoint::at(NodeId(d))),
+                3,
+                i,
+            ));
+        }
+        run_until_idle(&mut net, 100_000);
+        let phase = net.phase_stats();
+        assert!(
+            phase.parallel_cycles > 0,
+            "a saturated 64-router mesh must shard some cycles"
+        );
+    }
+
+    #[test]
+    fn drain_delivered_moves_and_preserves_order_both_sides() {
+        let mut net = mesh_net(4, 1);
+        let a = Endpoint::at(net.topology().node_at(2, 0));
+        let b = Endpoint::at(net.topology().node_at(3, 0));
+        let src = Endpoint::at(net.topology().node_at(0, 0));
+        for i in 0..6u32 {
+            let dst = if i % 2 == 0 { a } else { b };
+            net.inject(Packet::new(src, Dest::unicast(dst), 1, i));
+        }
+        run_until_idle(&mut net, 2_000);
+        let mut to_a = Vec::new();
+        net.drain_delivered_into(a.node, &mut to_a);
+        assert_eq!(to_a.len(), 3);
+        assert!(to_a.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        // Each delivery's Rc is now uniquely held by the drained buffer
+        // (plus nothing else): the drain moved, it did not clone.
+        for d in &to_a {
+            assert_eq!(Rc::strong_count(&d.packet), 1, "delivery was cloned");
+        }
+        // The remaining deque kept b's deliveries in order; a second
+        // drain into the same buffer appends.
+        net.drain_delivered_into(b.node, &mut to_a);
+        assert_eq!(to_a.len(), 6);
+        assert!(net.drain_all_delivered().is_empty());
     }
 }

@@ -1,0 +1,246 @@
+//! A tiny persistent worker pool for the two-phase cycle kernel.
+//!
+//! The compute phase of [`crate::Network::step`] runs once per simulated
+//! cycle, which at steady state is a few microseconds of work. Spawning
+//! OS threads per cycle (even via `std::thread::scope`) costs more than
+//! the phase itself, so the network keeps one [`SimPool`] alive across
+//! cycles and re-dispatches the same type-erased job to it every cycle.
+//! No external crates: the pool is a `Mutex`/`Condvar` park bench plus
+//! three atomics (vendored-only policy, same as the sweep engine).
+//!
+//! # Dispatch protocol
+//!
+//! Publishing a job stores the job cell, then bumps the `seq` counter
+//! (release) and notifies the condvar *after* taking the mutex, so a
+//! worker either observes the new `seq` before parking or is already
+//! inside `Condvar::wait` and receives the wakeup — the classic
+//! lost-wakeup-free handoff. Workers spin briefly (with
+//! [`std::thread::yield_now`], so oversubscribed or single-core hosts
+//! degrade to scheduling, not busy-burn) before parking.
+//!
+//! [`SimPool::run`] executes the job on the calling thread as worker 0
+//! and blocks until every spawned worker finished, so jobs may safely
+//! borrow the caller's stack (the raw `data` pointer never outlives the
+//! call).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased job: `f(data, worker_index)`. The shim function is
+/// monomorphized by the caller and knows the concrete type behind
+/// `data`.
+#[derive(Clone, Copy)]
+struct Job {
+    f: unsafe fn(*const (), usize),
+    data: *const (),
+}
+
+// SAFETY: the pointer is only dereferenced through `f`, which the
+// caller guarantees is safe to run from multiple threads at once on
+// this `data` (see `SimPool::run`). The pool itself never reads it.
+unsafe impl Send for Job {}
+
+struct Shared {
+    /// Monotone job counter; a change publishes a new job (or shutdown).
+    seq: AtomicU64,
+    /// Spawned workers still running the current job.
+    remaining: AtomicUsize,
+    shutdown: AtomicBool,
+    /// A worker's job invocation panicked (the panic is re-raised on
+    /// the dispatching thread so it cannot pass silently, and
+    /// `remaining` still reaches zero so `run` never hangs).
+    panicked: AtomicBool,
+    job: Mutex<Option<Job>>,
+    park: Condvar,
+}
+
+/// Persistent pool of `threads - 1` spawned workers; the dispatching
+/// thread acts as worker 0.
+pub(crate) struct SimPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl SimPool {
+    /// Creates a pool that runs jobs on `threads` threads total
+    /// (including the caller). `threads` must be at least 2 — a
+    /// one-thread "pool" is the caller alone, which needs no pool.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a pool needs at least one spawned worker");
+        let shared = Arc::new(Shared {
+            seq: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            job: Mutex::new(None),
+            park: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("nucanet-sim-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("spawning a sim worker thread")
+            })
+            .collect();
+        SimPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total threads this pool runs jobs on (spawned workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(data, worker)` once per thread (worker indices
+    /// `0..threads`), executing worker 0 on the calling thread, and
+    /// returns when every invocation finished.
+    ///
+    /// # Safety
+    ///
+    /// `f(data, w)` must be safe to run concurrently from `threads`
+    /// threads with distinct `w`, and `data` must stay valid for the
+    /// whole call (it does: `run` blocks until all workers are done).
+    pub unsafe fn run(&self, f: unsafe fn(*const (), usize), data: *const ()) {
+        let spawned = self.handles.len();
+        debug_assert!(spawned > 0);
+        self.shared.remaining.store(spawned, Ordering::Relaxed);
+        {
+            let mut slot = self.shared.job.lock().expect("sim pool mutex");
+            *slot = Some(Job { f, data });
+            self.shared.seq.fetch_add(1, Ordering::Release);
+        }
+        self.shared.park.notify_all();
+        // Worker 0: the calling thread. Catch a panic so we still wait
+        // for the spawned workers before unwinding — they borrow `data`
+        // from this stack frame.
+        // SAFETY: forwarded from the caller's contract.
+        let r0 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { f(data, 0) }));
+        // Wait for the spawned workers. Spin with yields: the job is
+        // microseconds long, and yielding keeps single-core hosts live.
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        if let Err(payload) = r0 {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(
+            !self.shared.panicked.swap(false, Ordering::Relaxed),
+            "a sim worker thread panicked"
+        );
+    }
+}
+
+impl Drop for SimPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        {
+            let _guard = self.shared.job.lock().expect("sim pool mutex");
+            self.shared.seq.fetch_add(1, Ordering::Release);
+        }
+        self.shared.park.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut last_seq = 0u64;
+    loop {
+        // Brief spin before parking: back-to-back cycles re-dispatch
+        // within microseconds, and a parked thread costs a syscall to
+        // wake. `yield_now` keeps this fair when cores are scarce.
+        let mut seq = shared.seq.load(Ordering::Acquire);
+        let mut spins = 0u32;
+        while seq == last_seq && spins < 64 {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+            spins += 1;
+            seq = shared.seq.load(Ordering::Acquire);
+        }
+        if seq == last_seq {
+            let mut guard = shared.job.lock().expect("sim pool mutex");
+            loop {
+                seq = shared.seq.load(Ordering::Acquire);
+                if seq != last_seq {
+                    break;
+                }
+                guard = shared.park.wait(guard).expect("sim pool condvar");
+            }
+        }
+        last_seq = seq;
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let job = shared
+            .job
+            .lock()
+            .expect("sim pool mutex")
+            .expect("a published seq always carries a job");
+        // SAFETY: `SimPool::run` keeps `data` alive until `remaining`
+        // reaches zero, which happens only after this call returns.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            (job.f)(job.data, worker)
+        }));
+        if r.is_err() {
+            shared.panicked.store(true, Ordering::Relaxed);
+        }
+        shared.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_worker_and_survives_reuse() {
+        let pool = SimPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        struct Data {
+            hits: [AtomicUsize; 4],
+        }
+        unsafe fn shim(data: *const (), worker: usize) {
+            // SAFETY: `data` points at the `Data` on the caller's stack,
+            // alive for the whole `run` call; each worker touches only
+            // its own slot.
+            let d = unsafe { &*(data as *const Data) };
+            d.hits[worker].fetch_add(1, Ordering::Relaxed);
+        }
+        let data = Data {
+            hits: [
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+                AtomicUsize::new(0),
+            ],
+        };
+        for round in 1..=5usize {
+            // SAFETY: `shim` only does disjoint atomic writes.
+            unsafe { pool.run(shim, (&raw const data).cast()) };
+            for h in &data.hits {
+                assert_eq!(h.load(Ordering::Relaxed), round);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = SimPool::new(2);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one spawned worker")]
+    fn rejects_single_thread_pool() {
+        let _ = SimPool::new(1);
+    }
+}

@@ -32,6 +32,13 @@ pub struct RouterParams {
     /// applies, so transient outages shorter than this recover; set it
     /// above the longest expected outage when injecting faults.
     pub watchdog_cycles: u64,
+    /// Worker threads for the two-phase cycle kernel's compute phase.
+    /// `1` (the default) runs the classic serial kernel; `0` means
+    /// auto-detect ([`std::thread::available_parallelism`]). Results are
+    /// bit-identical for every value — the compute phase is read-only
+    /// over shared state and the commit phase replays intents in sorted
+    /// worklist order — so this is purely a wall-clock knob.
+    pub sim_threads: u32,
 }
 
 impl RouterParams {
@@ -43,6 +50,7 @@ impl RouterParams {
             credit_delay: 1,
             router_stages: 1,
             watchdog_cycles: 200_000,
+            sim_threads: 1,
         }
     }
 
@@ -89,6 +97,7 @@ mod tests {
         assert_eq!(p.vc_depth, 4);
         assert_eq!(p.credit_delay, 1);
         assert_eq!(p.router_stages, 1);
+        assert_eq!(p.sim_threads, 1, "serial kernel by default");
     }
 
     #[test]

@@ -146,6 +146,70 @@ impl RouterScratch {
     }
 }
 
+/// One route / VC-allocation decision computed for an input VC during
+/// the parallel compute phase of the two-phase cycle kernel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RouteIntent {
+    /// Input port of the VC being routed.
+    pub port: u8,
+    /// Input VC index within that port.
+    pub vc: u8,
+    /// The route to install. `eject == false` implies an ownership claim
+    /// on the named output VC at commit time.
+    pub route: OutRoute,
+    /// The allocation deviates from the fault-free table (commit bumps
+    /// `packets_rerouted`).
+    pub rerouted: bool,
+}
+
+/// Everything one router decided during the compute phase, to be applied
+/// verbatim — or discarded — by the serial commit pass. All buffers are
+/// cleared and reused across cycles, never reallocated in steady state.
+#[derive(Debug, Default)]
+pub(crate) struct RouterIntent {
+    /// Routes (and implied output-VC claims) for unrouted VC fronts.
+    pub routes: Vec<RouteIntent>,
+    /// New output-side round-robin pointers: `(output port, pointer)`.
+    pub rr_out: Vec<(u8, u8)>,
+    /// Switch-allocation winners `(input port, input VC)` in output-port
+    /// order, exactly as the serial kernel would have produced them.
+    pub winners: Vec<(u8, u8)>,
+    /// Heads that found every path cut by a fault this cycle (commit
+    /// adds this to `route_blocked_cycles`).
+    pub route_blocked: u32,
+}
+
+impl RouterIntent {
+    /// Empties the intent for reuse without dropping buffer capacity.
+    pub fn clear(&mut self) {
+        self.routes.clear();
+        self.rr_out.clear();
+        self.winners.clear();
+        self.route_blocked = 0;
+    }
+}
+
+/// Per-worker temporaries of the compute phase — the read-only analogue
+/// of [`RouterScratch`]. Each compute worker owns one, so workers never
+/// share mutable buffers.
+#[derive(Debug)]
+pub(crate) struct ComputeScratch {
+    /// Phase A nominations (see [`RouterScratch::nominee`]).
+    pub nominee: Vec<Option<u8>>,
+    /// Requesting ports for the output currently arbitrated.
+    pub requesting: Vec<u8>,
+}
+
+impl ComputeScratch {
+    /// Builds scratch sized for routers with up to `max_ports` ports.
+    pub fn for_max_ports(max_ports: usize) -> Self {
+        ComputeScratch {
+            nominee: vec![None; max_ports],
+            requesting: Vec::with_capacity(max_ports),
+        }
+    }
+}
+
 impl<P> Default for RouterState<P> {
     fn default() -> Self {
         RouterState {

@@ -22,6 +22,7 @@ fn two_hundred_seeded_scenarios_match_the_golden_model() {
         seed: 0xD1FF,
         check: true,
         max_cycles: 50_000,
+        sim_threads: 1,
     });
     assert!(
         report.failure.is_none(),
@@ -44,6 +45,7 @@ fn campaigns_are_reproducible() {
         seed: 42,
         check: false,
         max_cycles: 50_000,
+        sim_threads: 1,
     };
     let a = run_fuzz(&opts);
     let b = run_fuzz(&opts);

@@ -1,0 +1,196 @@
+//! Integration tests for the two-phase threaded cycle kernel: the
+//! determinism contract (bit-identical delivered sequences, statistics,
+//! and system-level metrics for any `sim_threads` value) exercised over
+//! real end-to-end simulations, with fault schedules and the runtime
+//! invariant checker on.
+
+use nucanet::experiments::ExperimentScale;
+use nucanet::sweep::derive_seed;
+use nucanet::{CacheSystem, Design, FaultConfig, Metrics, Scheme};
+use nucanet_noc::{
+    Dest, Endpoint, FaultEvent, FaultSchedule, FuzzOptions, LinkId, Network, NetStats, NodeId,
+    Packet, PacketId, RouterParams, RoutingSpec, Topology,
+};
+use nucanet_workload::{BenchmarkProfile, SynthConfig, TraceGenerator};
+
+/// One network-level campaign: Fig. 7 mesh geometry under XY routing
+/// with a transient fault schedule, the invariant checker on, and a mix
+/// of unicasts and column multicasts. Returns the full delivered
+/// sequence and the final statistics.
+fn mesh_campaign(sim_threads: u32) -> (Vec<(PacketId, Endpoint, u64)>, NetStats) {
+    let topo = Topology::mesh(8, 8, &[1; 7], &[1; 7]);
+    let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+    let params = RouterParams {
+        sim_threads,
+        ..RouterParams::hpca07()
+    };
+    let mut net: Network<u64> = Network::new(topo, table, params);
+    net.enable_invariant_checker();
+    // Two transient link faults: the kernel must agree on every reroute
+    // and every blocked cycle, not just on the happy path.
+    net.set_fault_schedule(FaultSchedule::new(vec![
+        FaultEvent {
+            cycle: 40,
+            link: LinkId(3),
+            up: false,
+        },
+        FaultEvent {
+            cycle: 220,
+            link: LinkId(3),
+            up: true,
+        },
+        FaultEvent {
+            cycle: 90,
+            link: LinkId(17),
+            up: false,
+        },
+        FaultEvent {
+            cycle: 260,
+            link: LinkId(17),
+            up: true,
+        },
+    ]));
+    let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+    let mut lcg = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 16
+    };
+    let mut delivered = Vec::new();
+    let mut inbox = Vec::new();
+    for wave in 0..6u64 {
+        for i in 0..80u64 {
+            let r = lcg();
+            let a = (r % 64) as u32;
+            let mut b = ((r >> 8) % 64) as u32;
+            if a == b {
+                b = (b + 1) % 64;
+            }
+            if r & 0x4000 == 0 {
+                // Column multicast: the path-multicast split machinery
+                // (the part the compute phase defers) must stay covered.
+                let col = (b % 8) as u16;
+                let path: Vec<Endpoint> = (0..8)
+                    .map(|row| Endpoint::at(net.topology().node_at(col, row)))
+                    .collect();
+                net.inject(Packet::new(
+                    Endpoint::at(NodeId(a)),
+                    Dest::multicast(path),
+                    1,
+                    wave * 100 + i,
+                ));
+            } else {
+                let flits = if r & 0x10000 == 0 { 1 } else { 5 };
+                net.inject(Packet::new(
+                    Endpoint::at(NodeId(a)),
+                    Dest::unicast(Endpoint::at(NodeId(b))),
+                    flits,
+                    wave * 100 + i,
+                ));
+            }
+        }
+        while net.is_busy() || net.next_event_cycle().is_some() {
+            net.advance().expect("campaign traffic cannot deadlock");
+            net.drain_all_delivered_into(&mut inbox);
+            for d in inbox.drain(..) {
+                delivered.push((d.packet.id, d.endpoint, net.cycle()));
+            }
+        }
+    }
+    let checker = net.take_invariant_checker().expect("checker was enabled");
+    assert!(
+        checker.violations().is_empty(),
+        "sim_threads={sim_threads}: {:?}",
+        checker.violations()
+    );
+    (delivered, net.stats().clone())
+}
+
+#[test]
+fn faulted_checked_campaign_is_bit_identical_for_every_thread_count() {
+    let (serial_seq, serial_stats) = mesh_campaign(1);
+    assert!(
+        serial_seq.len() > 400,
+        "campaign must deliver real traffic, got {}",
+        serial_seq.len()
+    );
+    assert!(
+        serial_stats.link_down_events > 0,
+        "the fault schedule must actually fire"
+    );
+    for threads in [2, 4, 8] {
+        let (seq, stats) = mesh_campaign(threads);
+        assert_eq!(
+            serial_seq, seq,
+            "delivered sequence must not depend on sim_threads={threads}"
+        );
+        assert_eq!(
+            serial_stats, stats,
+            "statistics must not depend on sim_threads={threads}"
+        );
+    }
+}
+
+/// Runs one (design, scheme) cell end to end with the given kernel
+/// thread count, checker on, and returns its metrics.
+fn cell_metrics(design: Design, scheme: Scheme, sim_threads: u32) -> Metrics {
+    let mut cfg = design.config(scheme);
+    cfg.check_invariants = true;
+    cfg.router.sim_threads = sim_threads;
+    // A transient fault exercises reroute + retry paths through the
+    // whole cache system, not just the network.
+    cfg.faults = Some(FaultConfig::random(1, (50, 400), Some(300)));
+    let bench = BenchmarkProfile::by_name("twolf").expect("benchmark exists");
+    let scale = ExperimentScale {
+        warmup: 800,
+        measured: 150,
+        active_sets: 32,
+        seed: derive_seed(0xFEED, 0),
+    };
+    let mut gen = TraceGenerator::new(
+        bench,
+        SynthConfig {
+            active_sets: scale.active_sets,
+            seed: scale.seed,
+            ..Default::default()
+        },
+    );
+    let trace = gen.generate(scale.warmup, scale.measured);
+    let mut sys = CacheSystem::new(&cfg);
+    sys.run(&trace).expect("cell completes")
+}
+
+#[test]
+fn cache_system_metrics_are_bit_identical_for_every_thread_count() {
+    for (design, scheme) in [
+        (Design::A, Scheme::MulticastFastLru),
+        (Design::E, Scheme::MulticastFastLru),
+    ] {
+        let serial = cell_metrics(design, scheme, 1);
+        for threads in [2, 4, 8] {
+            let threaded = cell_metrics(design, scheme, threads);
+            assert_eq!(
+                serial, threaded,
+                "{design:?}/{scheme}: metrics must not depend on sim_threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_fuzz_passes_with_four_sim_threads() {
+    let report = nucanet_noc::run_fuzz(&FuzzOptions {
+        iters: 25,
+        seed: 0xD1FF,
+        check: true,
+        max_cycles: 50_000,
+        sim_threads: 4,
+    });
+    assert!(
+        report.failure.is_none(),
+        "fuzz failure under sim_threads=4: {:?}",
+        report.failure
+    );
+    assert!(report.deliveries > 0);
+}
