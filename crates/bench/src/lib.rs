@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Shared harness utilities for the table/figure regeneration targets.
 //!
 //! Every binary and the `figures` bench read their simulation scale from

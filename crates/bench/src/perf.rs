@@ -23,12 +23,16 @@
 //! and the [`PerfSample`] phase breakdown.
 //!
 //! The `perf` binary writes the measurements next to a baked-in
-//! baseline (recorded before the allocation-free kernel rewrite of
-//! PR 3) into `BENCH_perf.json`, so every future PR extends a perf
-//! trajectory instead of guessing. Absolute numbers are
-//! machine-dependent; the CI smoke-perf job therefore only fails on a
-//! catastrophic (>3×) regression against the same-machine baseline
-//! ratio, while local runs show the real speedup.
+//! baseline (the serial SoA-slab kernel, re-recorded when the
+//! structure-of-arrays rewrite landed) into `BENCH_perf.json`, so
+//! every future PR extends a perf trajectory instead of guessing.
+//! Absolute numbers are machine-dependent; the CI smoke-perf job
+//! therefore only fails on a catastrophic (>3×) regression against the
+//! same-machine baseline ratio, while local runs show the real
+//! speedup. Committed snapshots compare across PRs via
+//! [`parse_trajectory`] / `nucanet perf --baseline PATH`, which
+//! refuses to mix documents from different schema versions
+//! ([`PERF_SCHEMA`]).
 //!
 //! Traffic is generated from a fixed-seed LCG, so a sample simulates
 //! the exact same cycles on every run and machine — wall time is the
@@ -39,6 +43,16 @@ use std::time::{Duration, Instant};
 use nucanet_noc::{
     Dest, Endpoint, Network, NodeId, Packet, RouterParams, RoutingSpec, Topology,
 };
+
+/// The schema identifier this harness emits in `BENCH_perf.json`.
+///
+/// `nucanet/perf-v1` documents (written before the two-phase kernel)
+/// lack the thread count, `host_cores`, and the phase breakdown, and
+/// their `wall_ms` was measured by a different harness loop — numbers
+/// across schemas do not line up. [`parse_trajectory`] therefore
+/// refuses to read any document whose schema is not exactly this
+/// constant.
+pub const PERF_SCHEMA: &str = "nucanet/perf-v2";
 
 /// One timed throughput measurement of the cycle kernel.
 #[derive(Debug, Clone)]
@@ -91,23 +105,25 @@ pub struct PerfBaseline {
     pub flit_hops_per_sec: f64,
 }
 
-/// Pre-PR-3 kernel throughput (BinaryHeap events, per-cycle `Vec`
-/// allocations in the router loop), recorded with the default packet
-/// count on the development container. Later PRs append to the
-/// trajectory by comparing `BENCH_perf.json` files, not by editing
-/// these constants — the saturation configs added with the two-phase
-/// kernel therefore have no baked-in baseline and are gated purely
-/// through the committed `BENCH_perf*.json` trajectory.
+/// Serial (1-thread) throughput of the SoA-slab two-phase kernel,
+/// re-recorded on the development container when the structure-of-arrays
+/// rewrite and the sharded commit phase landed (8000 packets, best of
+/// 3). These gate the CI smoke-perf regression floor; the historical
+/// pre-rewrite numbers live in `perf/BENCH_perf_baseline.json`. Later
+/// PRs append to the trajectory by comparing `BENCH_perf*.json` files
+/// (`nucanet perf --baseline PATH`), not by editing these constants —
+/// the closed-loop saturation configs have no baked-in baseline and are
+/// gated purely through the committed `BENCH_perf*.json` trajectory.
 pub const BASELINES: [PerfBaseline; 2] = [
     PerfBaseline {
         config: "fig7-mesh",
-        cycles_per_sec: 28_400.0,
-        flit_hops_per_sec: 1_790_000.0,
+        cycles_per_sec: 31_500.0,
+        flit_hops_per_sec: 2_020_000.0,
     },
     PerfBaseline {
         config: "halo",
-        cycles_per_sec: 212_000.0,
-        flit_hops_per_sec: 1_630_000.0,
+        cycles_per_sec: 209_000.0,
+        flit_hops_per_sec: 1_600_000.0,
     },
 ];
 
@@ -115,6 +131,100 @@ pub const BASELINES: [PerfBaseline; 2] = [
 #[must_use]
 pub fn baseline_for(config: &str) -> Option<PerfBaseline> {
     BASELINES.iter().find(|b| b.config == config).copied()
+}
+
+/// One run read back out of a committed `BENCH_perf*.json` trajectory
+/// snapshot by [`parse_trajectory`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRun {
+    /// Configuration name (`"fig7-mesh"`, `"halo"`, `"mesh-sat"`,
+    /// `"halo-sat"`).
+    pub config: String,
+    /// Cycle-kernel threads the recorded run used.
+    pub threads: usize,
+    /// Throughput the run recorded.
+    pub cycles_per_sec: f64,
+}
+
+/// Extracts a `"key": "value"` string field from a rendered document.
+fn str_field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts a `"key": number` field from a rendered document.
+fn num_field(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = json.find(&pat)? + pat.len();
+    let rest = &json[start..];
+    let end = rest
+        .find([',', '\n', '}'])
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Parses a previously written `BENCH_perf*.json` document back into
+/// its runs so a fresh measurement can be compared against it.
+///
+/// Refuses any document whose `"schema"` is not [`PERF_SCHEMA`]: a
+/// perf-v1 file was measured by a different harness loop and lacks the
+/// fields a comparison needs, so mixing schemas would silently compare
+/// numbers that do not mean the same thing. The returned error says
+/// which schema the file records and how to proceed (re-record the
+/// reference with the current binary).
+///
+/// # Errors
+///
+/// Returns a human-readable message when the document has no schema
+/// field, records a different schema, or contains a malformed run.
+///
+/// ```
+/// use nucanet_bench::perf::parse_trajectory;
+///
+/// let v1 = "{\n  \"schema\": \"nucanet/perf-v1\",\n  \"runs\": []\n}\n";
+/// let err = parse_trajectory(v1).unwrap_err();
+/// assert!(err.contains("nucanet/perf-v1"), "{err}");
+/// assert!(err.contains("re-record"), "{err}");
+/// ```
+pub fn parse_trajectory(json: &str) -> Result<Vec<TrajectoryRun>, String> {
+    let schema = str_field(json, "schema")
+        .ok_or_else(|| "not a BENCH_perf document: no \"schema\" field".to_string())?;
+    if schema != PERF_SCHEMA {
+        return Err(format!(
+            "refusing to compare across perf schemas: the file records \
+             \"{schema}\" but this binary emits \"{PERF_SCHEMA}\"; runs in \
+             different schemas were measured by different harness loops and \
+             their numbers do not line up — re-record the reference with the \
+             current binary (see docs/PERFORMANCE.md)"
+        ));
+    }
+    // Within a run object the fields render in a fixed order with
+    // "config" first, so each run is the slice between consecutive
+    // "config" keys.
+    let mut starts: Vec<usize> = json.match_indices("\"config\":").map(|(i, _)| i).collect();
+    starts.push(json.len());
+    let mut runs = Vec::new();
+    for w in starts.windows(2) {
+        let obj = &json[w[0]..w[1]];
+        let (Some(config), Some(threads), Some(cycles_per_sec)) = (
+            str_field(obj, "config"),
+            num_field(obj, "threads"),
+            num_field(obj, "cycles_per_sec"),
+        ) else {
+            return Err(format!(
+                "malformed run entry in BENCH_perf document (run {})",
+                runs.len()
+            ));
+        };
+        runs.push(TrajectoryRun {
+            config: config.to_string(),
+            threads: threads as usize,
+            cycles_per_sec,
+        });
+    }
+    Ok(runs)
 }
 
 fn lcg(x: &mut u64) -> u64 {
@@ -162,6 +272,17 @@ fn sample<P>(config: &'static str, net: &Network<P>, wall: Duration) -> PerfSamp
 /// Injects `packets` packets in bursts of 64 (mixing 1-flit requests
 /// and 5-flit block transfers like the cache protocol does) and steps
 /// the network until every burst drains.
+///
+/// ```
+/// use nucanet_bench::perf::mesh_throughput;
+///
+/// // Fixed-seed traffic: the simulated cycle count is identical on
+/// // every run and machine; only the wall time varies.
+/// let s = mesh_throughput(100, 1);
+/// assert_eq!(s.packets, 100);
+/// assert_eq!(s.cycles, mesh_throughput(100, 2).cycles);
+/// assert!(s.cycles_per_sec() > 0.0);
+/// ```
 #[must_use]
 pub fn mesh_throughput(packets: u64, sim_threads: u32) -> PerfSample {
     let topo = Topology::mesh(16, 16, &[1; 15], &[1; 15]);
@@ -372,7 +493,7 @@ pub fn render_perf_json(samples: &[PerfSample]) -> String {
         .unwrap_or(1);
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"nucanet/perf-v2\",\n");
+    out.push_str(&format!("  \"schema\": \"{PERF_SCHEMA}\",\n"));
     out.push_str("  \"name\": \"perf\",\n");
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
     out.push_str("  \"runs\": [\n");
@@ -477,6 +598,41 @@ mod tests {
             h.cycles,
             "saturation loop is bit-identical across thread counts"
         );
+    }
+
+    #[test]
+    fn trajectory_roundtrips_through_the_renderer() {
+        let samples = [mesh_throughput(50, 1), halo_throughput(50, 2)];
+        let runs = parse_trajectory(&render_perf_json(&samples)).expect("own output parses");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].config, "fig7-mesh");
+        assert_eq!(runs[0].threads, 1);
+        assert_eq!(runs[1].config, "halo");
+        assert_eq!(runs[1].threads, 2);
+        for (run, s) in runs.iter().zip(&samples) {
+            // The renderer rounds to one decimal; the parse must agree
+            // to that precision.
+            assert!(
+                (run.cycles_per_sec - s.cycles_per_sec()).abs() <= 0.05 + 1e-9,
+                "{} {} vs {}",
+                run.config,
+                run.cycles_per_sec,
+                s.cycles_per_sec()
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_refuses_other_schemas() {
+        let v1 = "{\n  \"schema\": \"nucanet/perf-v1\",\n  \"runs\": [\n    {\n      \
+                  \"config\": \"fig7-mesh\",\n      \"cycles_per_sec\": 28400.0\n    }\n  ]\n}\n";
+        let err = parse_trajectory(v1).unwrap_err();
+        assert!(err.contains("nucanet/perf-v1"), "{err}");
+        assert!(err.contains(PERF_SCHEMA), "{err}");
+        assert!(err.contains("re-record"), "{err}");
+
+        let e2 = parse_trajectory("{\n  \"name\": \"perf\"\n}\n").unwrap_err();
+        assert!(e2.contains("no \"schema\" field"), "{e2}");
     }
 
     #[test]

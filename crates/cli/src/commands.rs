@@ -10,7 +10,7 @@ use nucanet::sweep::{capacity_points, render_json_results, write_atomically, Swe
 use nucanet::{CacheSystem, FaultConfig, Scheme};
 use nucanet_bench::perf::{
     baseline_for, halo_sat_throughput, halo_throughput, mesh_sat_throughput, mesh_throughput,
-    render_perf_json,
+    parse_trajectory, render_perf_json,
 };
 use nucanet_noc::{run_fuzz, FuzzOptions, LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
@@ -78,6 +78,8 @@ pub fn help_text() -> String {
      \x20                      (default: NUCANET_SIM_THREADS or 1; 0 = auto;\n\
      \x20                      results are bit-identical for any value)\n\
      \x20 --json PATH          sweep/perf: also write machine-readable JSON\n\
+     \x20 --baseline PATH      perf only: compare against a recorded BENCH_perf*.json\n\
+     \x20                      (files from a different perf schema are refused)\n\
      \x20 --faults N           sweep only: inject N random link faults per point\n\
      \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
      \x20 --check 1            run/sweep: enable the runtime invariant checker\n\
@@ -433,6 +435,36 @@ fn cmd_perf(args: &Args) -> Result<String, ParseError> {
             _ => out.push('\n'),
         }
     }
+    if let Some(path) = args.get("baseline") {
+        // Compare against a previously recorded BENCH_perf*.json. The
+        // parse refuses cross-schema files (perf-v1 vs perf-v2) with a
+        // clear message rather than comparing numbers that were
+        // measured by different harness loops.
+        let text =
+            std::fs::read_to_string(path).map_err(|e| ParseError::BadValue {
+                key: "baseline".into(),
+                value: format!("{path}: {e}"),
+                expected: "a readable BENCH_perf JSON file",
+            })?;
+        let runs = parse_trajectory(&text).map_err(|e| ParseError::BadValue {
+            key: "baseline".into(),
+            value: format!("{path}: {e}"),
+            expected: "a nucanet/perf-v2 BENCH_perf document",
+        })?;
+        out.push_str(&format!("vs {path}:\n"));
+        for s in &samples {
+            match runs.iter().find(|r| r.config == s.config) {
+                Some(r) if r.cycles_per_sec > 0.0 => out.push_str(&format!(
+                    "{:10} {:>6.2}x (recorded {:.0} cycles/s at {} thr)\n",
+                    s.config,
+                    s.cycles_per_sec() / r.cycles_per_sec,
+                    r.cycles_per_sec,
+                    r.threads
+                )),
+                _ => out.push_str(&format!("{:10} (not in baseline file)\n", s.config)),
+            }
+        }
+    }
     if let Some(path) = args.get("json") {
         write_atomically(std::path::Path::new(path), &render_perf_json(&samples)).map_err(
             |e| ParseError::BadValue {
@@ -604,6 +636,40 @@ mod tests {
         assert!(json.contains("\"halo-sat\""), "{json}");
         assert!(json.contains("\"threads\": 1"), "{json}");
         assert!(json.contains("\"compute_ns\":"), "{json}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn perf_compares_against_a_recorded_trajectory() {
+        let path = std::env::temp_dir().join("nucanet_cli_perf_baseline_ok.json");
+        // Record once, then compare a fresh run against the recording:
+        // the simulated cycles are deterministic, so every config must
+        // be present with a finite ratio.
+        run(&format!("perf --packets 200 --json {}", path.display()));
+        let out = run(&format!("perf --packets 200 --baseline {}", path.display()));
+        assert!(out.contains(&format!("vs {}", path.display())), "{out}");
+        assert!(out.contains("x (recorded"), "{out}");
+        assert!(!out.contains("not in baseline file"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn perf_refuses_cross_schema_baselines() {
+        let path = std::env::temp_dir().join("nucanet_cli_perf_baseline_v1.json");
+        std::fs::write(
+            &path,
+            "{\n  \"schema\": \"nucanet/perf-v1\",\n  \"runs\": []\n}\n",
+        )
+        .unwrap();
+        let args = Args::parse(
+            format!("perf --packets 100 --baseline {}", path.display())
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let err = run_command(&args).unwrap_err().to_string();
+        assert!(err.contains("nucanet/perf-v1"), "{err}");
+        assert!(err.contains("re-record"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -9,6 +9,7 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use nucanet_noc::{Dest, Endpoint};
 
@@ -101,10 +102,11 @@ pub struct CoreController {
     /// `c % endpoints.len()` for both injection and replies.
     pub endpoints: Vec<Endpoint>,
     memory: Endpoint,
-    /// Bank endpoints per column, MRU first. Reference-counted so each
-    /// multicast request shares the list with the network instead of
-    /// copying it per packet.
-    columns: Vec<Rc<[Endpoint]>>,
+    /// Bank endpoints per column, MRU first. Reference-counted (`Arc`,
+    /// matching [`Dest::multicast_shared`]) so each multicast request
+    /// shares the list with the network instead of copying it per
+    /// packet.
+    columns: Vec<Arc<[Endpoint]>>,
     positions: u8,
     queue: VecDeque<PendingAccess>,
     txns: HashMap<u32, Txn>,
@@ -152,7 +154,7 @@ impl CoreController {
             columns.iter().all(|c| c.len() == positions as usize),
             "ragged columns"
         );
-        let columns = columns.into_iter().map(Rc::from).collect();
+        let columns = columns.into_iter().map(Arc::from).collect();
         CoreController {
             scheme,
             endpoints,
@@ -373,7 +375,7 @@ impl CoreController {
         if self.scheme.is_multicast() {
             Outgoing {
                 ready: now,
-                dest: Dest::multicast_shared(Rc::clone(&self.columns[a.column as usize])),
+                dest: Dest::multicast_shared(Arc::clone(&self.columns[a.column as usize])),
                 msg: CacheMsg::Request {
                     txn,
                     index: a.index,

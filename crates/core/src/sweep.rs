@@ -214,6 +214,29 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 
 /// Parallel sweep executor. See the module docs for the determinism
 /// contract.
+///
+/// ```
+/// use nucanet::experiments::ExperimentScale;
+/// use nucanet::sweep::{capacity_points, SweepRunner};
+/// use nucanet_workload::BenchmarkProfile;
+///
+/// let scale = ExperimentScale {
+///     warmup: 300,
+///     measured: 30,
+///     active_sets: 16,
+///     seed: 7,
+/// };
+/// let points = capacity_points(BenchmarkProfile::by_name("art").unwrap(), scale);
+/// let two = SweepRunner::with_workers(2).run(&points[..2]);
+/// let one = SweepRunner::with_workers(1).run(&points[..2]);
+/// // Outcomes arrive in input order and, wall time aside, are
+/// // bit-identical for any worker count.
+/// assert_eq!(two.len(), 2);
+/// for (a, b) in one.iter().zip(&two) {
+///     assert_eq!(a.label, b.label);
+///     assert_eq!(a.metrics, b.metrics);
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct SweepRunner {
     workers: usize,

@@ -57,6 +57,7 @@
 
 pub mod census;
 pub mod check;
+mod commit;
 pub mod deadlock;
 pub mod error;
 pub mod event_wheel;

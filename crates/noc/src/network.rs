@@ -27,11 +27,12 @@
 //! [`SimError::Watchdog`] from [`Network::step`] instead of a panic.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::check::InvariantChecker;
+use crate::commit::{apply_intent, apply_winner, commit_shim, CommitJob, Effect, Mailbox, SlabPtrs};
 use crate::deadlock::ChannelDependencyGraph;
 use crate::error::SimError;
 use crate::event_wheel::EventWheel;
@@ -42,7 +43,7 @@ use crate::packet::{FlitRef, Packet, PacketId};
 use crate::par::SimPool;
 use crate::params::RouterParams;
 use crate::router::{
-    ComputeScratch, OutRoute, RouteIntent, RouterIntent, RouterScratch, RouterState, Split,
+    ComputeScratch, NetSlabs, OutRoute, RouteIntent, RouterIntent, RouterScratch, Split,
 };
 use crate::routing::RoutingTable;
 use crate::stats::NetStats;
@@ -68,7 +69,8 @@ pub struct PhaseStats {
     pub serial_cycles: u64,
     /// Nanoseconds spent in the sharded compute phase.
     pub compute_ns: u64,
-    /// Nanoseconds spent in the serial commit phase.
+    /// Nanoseconds spent in the commit phase (the sharded apply plus
+    /// the deterministic merge, or the serial fallback).
     pub commit_ns: u64,
 }
 
@@ -76,7 +78,7 @@ pub struct PhaseStats {
 #[derive(Debug)]
 pub struct Delivered<P> {
     /// The packet (shared with any other multicast deliveries).
-    pub packet: Rc<Packet<P>>,
+    pub packet: Arc<Packet<P>>,
     /// Which endpoint received it.
     pub endpoint: Endpoint,
     /// Cycle the tail flit was ejected.
@@ -84,11 +86,11 @@ pub struct Delivered<P> {
 }
 
 // Manual impl: `derive(Clone)` would demand `P: Clone`, but cloning
-// only bumps the `Rc` and copies plain fields.
+// only bumps the `Arc` and copies plain fields.
 impl<P> Clone for Delivered<P> {
     fn clone(&self) -> Self {
         Delivered {
-            packet: Rc::clone(&self.packet),
+            packet: Arc::clone(&self.packet),
             endpoint: self.endpoint,
             cycle: self.cycle,
         }
@@ -112,7 +114,12 @@ pub struct Network<P> {
     topo: Topology,
     table: RoutingTable,
     params: RouterParams,
-    routers: Vec<RouterState<P>>,
+    /// All router microarchitectural state, as structure-of-arrays
+    /// slabs: each router's VC buffers, routes, credits, and round-robin
+    /// pointers occupy a contiguous index range of flat arrays (see
+    /// [`NetSlabs`]), so the compute phase streams contiguous memory
+    /// and the sharded commit can hand workers disjoint ranges.
+    slabs: NetSlabs<P>,
     /// In-flight flits and returning credits, bucketed by due cycle.
     /// Every delay is a small constant fixed at construction, so a
     /// calendar queue replaces the comparison-based heap; FIFO buckets
@@ -173,6 +180,12 @@ pub struct Network<P> {
     res_dirty_list: Vec<u32>,
     /// Widest router (ports), for sizing per-worker scratch.
     max_ports: usize,
+    /// Effect mailbox for live router processing and the serial commit
+    /// fallback (reused each cycle, so it stops allocating once warm).
+    live_mb: Mailbox<P>,
+    /// Per-worker effect mailboxes for the sharded commit (sized with
+    /// the pool).
+    commit_mb: Vec<Mailbox<P>>,
     phase: PhaseStats,
 }
 
@@ -184,18 +197,7 @@ impl<P> Network<P> {
     /// Panics if `params` are invalid.
     pub fn new(topo: Topology, table: RoutingTable, params: RouterParams) -> Self {
         params.validate();
-        let routers = topo
-            .routers()
-            .iter()
-            .map(|r| {
-                let shape: Vec<(bool, bool)> = r
-                    .ports
-                    .iter()
-                    .map(|p| (matches!(p.label, PortLabel::Local(_)), p.out_link.is_some()))
-                    .collect();
-                RouterState::build(&shape, params.vcs_per_port, params.vc_depth)
-            })
-            .collect();
+        let slabs = NetSlabs::build(&topo, params.vcs_per_port, params.vc_depth);
         let n = topo.len();
         let n_links = topo.link_count();
         // Bound the event horizon: the longest link traversal (wire
@@ -217,7 +219,7 @@ impl<P> Network<P> {
             checker: None,
             reserved: vec![false; n_links * params.vcs_per_port as usize],
             inflight: vec![0; n_links * params.vcs_per_port as usize],
-            routers,
+            slabs,
             events: EventWheel::new(horizon),
             scratch: RouterScratch::for_max_ports(max_ports),
             cycle: 0,
@@ -232,12 +234,23 @@ impl<P> Network<P> {
             base_table: None,
             sim_threads,
             pool: None,
-            intents: (0..n).map(|_| RouterIntent::default()).collect(),
+            intents: (0..n)
+                .map(|_| RouterIntent::for_ports(max_ports, params.vcs_per_port as usize))
+                .collect(),
             deferred: vec![false; n],
             compute_scratch: Vec::new(),
             res_dirty: vec![false; n_links * params.vcs_per_port as usize],
-            res_dirty_list: Vec::new(),
+            // Pre-sized to its hard bound (one entry per distinct
+            // (link, VC) slot) so the commit pre-scan never allocates.
+            res_dirty_list: Vec::with_capacity(n_links * params.vcs_per_port as usize),
             max_ports,
+            // A winner produces at most 4 effects (replica copy,
+            // ejection or link departure, credit return, reservation
+            // release), and one router commits at most one winner per
+            // port — the mailbox bound for live/serial-commit use,
+            // where effects drain after every position.
+            live_mb: VecDeque::with_capacity(max_ports * 4),
+            commit_mb: Vec::new(),
             phase: PhaseStats::default(),
             topo,
             table,
@@ -326,8 +339,8 @@ impl<P> Network<P> {
             // watchdog window to drain over the new routes, and wake
             // every router holding flits so blocked heads retry routing.
             self.last_progress = self.cycle;
-            for i in 0..self.routers.len() {
-                if self.routers[i].has_work() {
+            for i in 0..self.slabs.n_routers() {
+                if self.slabs.has_work(i) {
                     self.mark_pending(NodeId(i as u32));
                 }
             }
@@ -475,19 +488,19 @@ impl<P> Network<P> {
         self.stats.packets_injected += 1;
         let id = packet.id;
         let flits = packet.flits;
-        let pkt = Rc::new(packet);
+        let pkt = Arc::new(packet);
         if let Some(c) = &mut self.checker {
             c.on_inject(id, flits, pkt.dest.endpoints());
         }
         // Pick the least-occupied injection VC so distinct packets can
         // interleave across VCs of the local port.
-        let port = &mut self.routers[src.node.0 as usize].inputs[sp.0 as usize];
-        let vc_idx = (0..port.vcs.len())
-            .min_by_key(|&v| port.vcs[v].buf.len())
+        let base = self.slabs.vc_slot(src.node.0 as usize, sp.0 as usize, 0);
+        let vc_idx = (0..self.slabs.vcs)
+            .min_by_key(|&v| self.slabs.buf[base + v].len())
             .expect("local ports always have VCs");
         for seq in 0..flits {
-            port.vcs[vc_idx].buf.push_back(FlitRef {
-                pkt: Rc::clone(&pkt),
+            self.slabs.buf[base + vc_idx].push_back(FlitRef {
+                pkt: Arc::clone(&pkt),
                 seq,
                 dest_idx: 0,
             });
@@ -575,7 +588,7 @@ impl<P> Network<P> {
 
     /// Appends deliveries for `node` into `out`; reusable-buffer variant
     /// of [`Network::drain_delivered`]. A single rotation pass *moves*
-    /// each matched delivery out (no `Rc` clone): every entry is popped
+    /// each matched delivery out (no `Arc` clone): every entry is popped
     /// from the front exactly once and either kept or pushed back, so
     /// both the drained and the remaining sequences keep their order.
     pub fn drain_delivered_into(&mut self, node: NodeId, out: &mut Vec<Delivered<P>>) {
@@ -624,15 +637,15 @@ impl<P> Network<P> {
             // Classic serial kernel — also the reference semantics the
             // two-phase kernel must reproduce bit-for-bit.
             self.phase.serial_cycles += 1;
-            // Split borrow: take the router array out of `self` once for
-            // the whole loop; helpers receive it as an explicit slice.
-            // Nothing below may touch `self.routers` (it is empty) until
+            // Split borrow: take the slabs out of `self` once for the
+            // whole loop; helpers receive them as an explicit argument.
+            // Nothing below may touch `self.slabs` (it is empty) until
             // restored.
-            let mut routers = std::mem::take(&mut self.routers);
+            let mut slabs = std::mem::take(&mut self.slabs);
             for &i in &work {
-                self.process_router(i, &mut routers);
+                self.process_router(i, &mut slabs);
             }
-            self.routers = routers;
+            self.slabs = slabs;
         }
         work.clear();
         self.scratch.work = work;
@@ -649,9 +662,9 @@ impl<P> Network<P> {
             return Err(SimError::Watchdog {
                 cycle: self.cycle,
                 stalled_for: self.params.watchdog_cycles,
-                buffered_flits: self.routers.iter().map(|r| r.buffered_flits()).sum(),
+                buffered_flits: self.slabs.buffered_flits_total() as usize,
                 busy_routers: self.pending.len(),
-                blocked_heads: self.routers.iter().map(|r| r.blocked_heads()).sum(),
+                blocked_heads: self.slabs.blocked_heads_total(),
                 faults_active: self.stats.faults_active(),
             });
         }
@@ -669,9 +682,11 @@ impl<P> Network<P> {
                     let l = *self.topo.link(link);
                     let slot = link.0 as usize * self.params.vcs_per_port as usize + vc as usize;
                     self.inflight[slot] -= 1;
-                    let port = &mut self.routers[l.dst.0 as usize].inputs[l.dst_port.0 as usize];
-                    port.util += 1;
-                    let buf = &mut port.vcs[vc as usize].buf;
+                    let ps = self
+                        .slabs
+                        .port_slot(l.dst.0 as usize, l.dst_port.0 as usize);
+                    self.slabs.util[ps] += 1;
+                    let buf = &mut self.slabs.buf[ps * self.slabs.vcs + vc as usize];
                     assert!(
                         buf.len() < self.params.vc_depth as usize,
                         "VC overflow at {} port {:?} vc {vc}: credit protocol violated",
@@ -687,10 +702,12 @@ impl<P> Network<P> {
                 }
                 EvKind::Credit { link, vc } => {
                     let l = *self.topo.link(link);
-                    let out = &mut self.routers[l.src.0 as usize].outputs[l.src_port.0 as usize];
-                    out.vcs[vc as usize].credits += 1;
+                    let oslot =
+                        self.slabs
+                            .vc_slot(l.src.0 as usize, l.src_port.0 as usize, vc as usize);
+                    self.slabs.out_credits[oslot] += 1;
                     assert!(
-                        out.vcs[vc as usize].credits <= self.params.vc_depth,
+                        self.slabs.out_credits[oslot] <= self.params.vc_depth,
                         "credit overflow on {link:?} vc {vc}"
                     );
                     self.mark_pending(l.src);
@@ -721,25 +738,26 @@ impl<P> Network<P> {
     /// One router's routing / VC allocation / switch allocation /
     /// traversal for the current cycle.
     ///
-    /// `routers` is the full router array, split-borrowed out of `self`
-    /// by [`Network::step`] for the duration of the router loop. All
-    /// per-cycle temporaries live in `self.scratch` (cleared, never
-    /// reallocated), so steady-state processing is allocation-free.
-    fn process_router(&mut self, idx: u32, routers: &mut [RouterState<P>]) {
+    /// `slabs` is the full SoA state, split-borrowed out of `self` by
+    /// [`Network::step`] (or the commit loop) for the duration of the
+    /// router loop. All per-cycle temporaries live in `self.scratch`
+    /// and `self.live_mb` (cleared, never reallocated), so steady-state
+    /// processing is allocation-free.
+    fn process_router(&mut self, idx: u32, slabs: &mut NetSlabs<P>) {
         let node = NodeId(idx);
         let ri = idx as usize;
 
-        self.allocate_routes(node, routers);
+        self.allocate_routes(node, slabs);
 
         // Phase A: each input port nominates one sendable VC.
-        let n_ports = routers[ri].inputs.len();
+        let n_ports = slabs.n_ports(ri);
+        let n_vcs = slabs.vcs as u8;
         self.scratch.nominee[..n_ports].fill(None);
         for p in 0..n_ports {
-            let n_vcs = routers[ri].inputs[p].vcs.len() as u8;
-            let start = routers[ri].rr_in[p];
+            let start = slabs.rr_in[slabs.port_slot(ri, p)];
             for k in 0..n_vcs {
                 let v = (start + k) % n_vcs;
-                if self.vc_sendable(&routers[ri], p, v as usize) {
+                if self.vc_sendable(slabs, ri, p, v as usize) {
                     self.scratch.nominee[p] = Some(v);
                     break;
                 }
@@ -748,14 +766,13 @@ impl<P> Network<P> {
 
         // Phase B: each output port grants one nominating input port.
         debug_assert!(self.scratch.winners.is_empty());
-        for o in 0..routers[ri].outputs.len() {
+        for o in 0..n_ports {
             self.scratch.requesting.clear();
             for p in 0..n_ports {
                 let Some(v) = self.scratch.nominee[p] else {
                     continue;
                 };
-                let routed_here = routers[ri].inputs[p].vcs[v as usize]
-                    .route
+                let routed_here = slabs.route[slabs.vc_slot(ri, p, v as usize)]
                     .is_some_and(|rt| rt.port as usize == o);
                 if routed_here {
                     self.scratch.requesting.push(p as u8);
@@ -764,7 +781,8 @@ impl<P> Network<P> {
             if self.scratch.requesting.is_empty() {
                 continue;
             }
-            let start = routers[ri].outputs[o].rr;
+            let ps_o = slabs.port_slot(ri, o);
+            let start = slabs.out_rr[ps_o];
             let pick = self
                 .scratch
                 .requesting
@@ -772,33 +790,59 @@ impl<P> Network<P> {
                 .copied()
                 .find(|&p| p >= start)
                 .unwrap_or(self.scratch.requesting[0]);
-            routers[ri].outputs[o].rr = pick.wrapping_add(1) % n_ports.max(1) as u8;
+            slabs.out_rr[ps_o] = pick.wrapping_add(1) % n_ports.max(1) as u8;
             let v = self.scratch.nominee[pick as usize].expect("requesting port has nominee");
             self.scratch.winners.push((pick, v));
         }
 
-        // Traversal. The winners buffer moves out and back so `traverse`
-        // (which needs `&mut self`) can run while we walk it; a Vec move
+        // Traversal: apply each winner through the shared commit-path
+        // implementation, collecting global effects into the (reused)
+        // live mailbox, then drain it immediately — effect order within
+        // one router is exactly the serial order. The winners buffer
+        // moves out and back so `self` stays borrowable; a Vec move
         // allocates nothing.
         let winners = std::mem::take(&mut self.scratch.winners);
-        for &(p, v) in &winners {
-            let (p, v) = (p as usize, v as usize);
-            self.traverse(node, &mut routers[ri], p, v);
-            let r = &mut routers[ri];
-            r.rr_in[p] = (v as u8 + 1) % r.inputs[p].vcs.len().max(1) as u8;
-            self.last_progress = self.cycle;
+        let mut mb = std::mem::take(&mut self.live_mb);
+        debug_assert!(mb.is_empty());
+        {
+            let view = SlabPtrs::new(slabs);
+            for &(p, v) in &winners {
+                // SAFETY: `slabs` is exclusively borrowed here and the
+                // view is used single-threaded, so the "caller owns the
+                // router" contract holds trivially.
+                unsafe {
+                    apply_winner(
+                        &view,
+                        &self.topo,
+                        &self.params,
+                        self.cycle,
+                        node,
+                        p as usize,
+                        v as usize,
+                        0,
+                        &mut mb,
+                    );
+                }
+                self.last_progress = self.cycle;
+            }
         }
+        while let Some((_, eff)) = mb.pop_front() {
+            self.apply_effect(eff);
+        }
+        self.live_mb = mb;
         self.scratch.winners = winners;
         self.scratch.winners.clear();
 
-        if routers[ri].has_work() {
+        if slabs.has_work(ri) {
             self.mark_pending(node);
         }
     }
 
     /// The two-phase cycle kernel: a sharded, read-only **compute**
     /// pass records each active router's decisions as intents, then a
-    /// serial **commit** pass applies them in sorted worklist order.
+    /// **commit** pass applies them in sorted worklist order — itself
+    /// sharded by router ownership, with cross-router effects routed
+    /// through per-worker mailboxes and merged in worklist order.
     ///
     /// # Why this is bit-identical to the serial kernel
     ///
@@ -835,6 +879,15 @@ impl<P> Network<P> {
             self.compute_scratch = (0..pool.threads())
                 .map(|_| ComputeScratch::for_max_ports(self.max_ports))
                 .collect();
+            // Hard bound per worker: its share of the worklist times
+            // the per-router effect maximum (4 per winner, one winner
+            // per port), so sharded commits never grow a mailbox.
+            let mb_cap = (self.slabs.n_routers() * self.max_ports * 4)
+                .div_ceil(pool.threads().max(1))
+                + self.max_ports * 4;
+            self.commit_mb = (0..pool.threads())
+                .map(|_| Mailbox::with_capacity(mb_cap))
+                .collect();
             self.pool = Some(pool);
         }
 
@@ -851,7 +904,7 @@ impl<P> Network<P> {
                     base: self.base_table.as_ref(),
                     params: &self.params,
                     reserved: &self.reserved,
-                    routers: &self.routers,
+                    slabs: &self.slabs,
                 },
                 work,
                 intents,
@@ -861,8 +914,8 @@ impl<P> Network<P> {
             };
             let pool = self.pool.as_ref().expect("created above");
             // SAFETY: `compute_shim::<P>` only *reads* the shared
-            // snapshot in `ctx` (plain fields and `Rc` targets; it
-            // never clones, drops, or mutates an `Rc` and never touches
+            // snapshot in `ctx` (plain fields and `Arc` targets; it
+            // never clones, drops, or mutates an `Arc` and never touches
             // the `P` payload), and writes only disjoint slots:
             // `intents[i]` / `deferred[i]` for distinct router ids
             // claimed through the shared `next` counter, and
@@ -873,21 +926,211 @@ impl<P> Network<P> {
         }
         self.phase.compute_ns += t_compute.elapsed().as_nanos() as u64;
 
-        // Commit phase: serial, in worklist order.
+        // Commit phase: split the worklist into *runs* of committable
+        // routers separated by *barriers* (deferred or invalidated
+        // routers, which re-run the live serial kernel with all earlier
+        // effects merged). Each run is applied by the pool — workers own
+        // disjoint routers and record global effects in per-worker
+        // mailboxes — then merged in worklist order, so the sequence of
+        // global writes is exactly the serial kernel's.
+        //
+        // The pre-scan marks each valid intent's predicted reservation
+        // releases dirty *before* extending the run past later routers
+        // (check-then-mark: a router checks its own invalidation before
+        // its releases are marked, just as the serial kernel flips
+        // `reserved` only after that router's own decisions are done).
+        // Predictions are exact — winners apply unconditionally, and a
+        // replica VC's tail-at-front status is own-router state no
+        // earlier commit can change — so the dirty set a later router
+        // sees matches the serial kernel's flip-for-flip.
         let t_commit = Instant::now();
-        let mut routers = std::mem::take(&mut self.routers);
+        let mut slabs = std::mem::take(&mut self.slabs);
         let intents = std::mem::take(&mut self.intents);
-        for &i in work {
-            if self.deferred[i as usize] || self.intent_invalidated(i) {
-                // Live serial processing — exact by construction.
-                self.process_router(i, &mut routers);
-            } else {
-                self.commit_intent(i, &intents[i as usize], &mut routers);
+        let mut pos = 0;
+        while pos < work.len() {
+            let lo = pos;
+            while pos < work.len() {
+                let idx = work[pos];
+                if self.deferred[idx as usize] || self.intent_invalidated(idx) {
+                    break;
+                }
+                for &slot in &intents[idx as usize].releases {
+                    if !self.res_dirty[slot as usize] {
+                        self.res_dirty[slot as usize] = true;
+                        self.res_dirty_list.push(slot);
+                    }
+                }
+                pos += 1;
+            }
+            if pos > lo {
+                self.commit_run(&work[lo..pos], &intents, &mut slabs);
+            }
+            if pos < work.len() {
+                // Barrier: live serial processing — exact by
+                // construction, with every earlier effect applied.
+                self.process_router(work[pos], &mut slabs);
+                pos += 1;
             }
         }
         self.intents = intents;
-        self.routers = routers;
+        self.slabs = slabs;
         self.phase.commit_ns += t_commit.elapsed().as_nanos() as u64;
+    }
+
+    /// Commits one run of valid intents: sharded across the pool when
+    /// the run is large enough, serial otherwise, followed by the
+    /// in-order mailbox merge. Either way the global write sequence is
+    /// the serial kernel's.
+    fn commit_run(&mut self, run: &[u32], intents: &[RouterIntent], slabs: &mut NetSlabs<P>) {
+        let threads = self.sim_threads;
+        if run.len() >= MIN_PAR_WORK && threads > 1 {
+            {
+                let job = CommitJob {
+                    slabs: SlabPtrs::new(slabs),
+                    topo: &self.topo,
+                    params: &self.params,
+                    intents: intents.as_ptr(),
+                    run,
+                    cycle: self.cycle,
+                    mailboxes: self.commit_mb.as_mut_ptr(),
+                    stride: threads,
+                };
+                let pool = self.pool.as_ref().expect("pool exists in two-phase path");
+                // SAFETY: workers own disjoint routers (static
+                // round-robin over run positions), and every slab write
+                // in `apply_intent`/`apply_winner` stays inside the
+                // owner's contiguous slot ranges; `mailboxes[w]` is
+                // touched only by worker `w`. Shared state (`topo`,
+                // `params`, `intents`) is read-only. Flits are moved or
+                // `Arc`-cloned (atomic), never dropped, on workers —
+                // the last drop and any `P` access happen on this
+                // thread during the merge. `run` blocks until every
+                // worker finished, so the stack-borrowed `job` outlives
+                // all use, and its Acquire/Release handshake orders the
+                // workers' writes before the merge reads them.
+                unsafe { pool.run(commit_shim::<P>, (&raw const job).cast()) };
+            }
+            for (off, &idx) in run.iter().enumerate() {
+                let w = off % threads;
+                let mut mb = std::mem::take(&mut self.commit_mb[w]);
+                self.merge_position(idx, &intents[idx as usize], &mut mb, off as u32, slabs);
+                self.commit_mb[w] = mb;
+            }
+        } else {
+            let mut mb = std::mem::take(&mut self.live_mb);
+            debug_assert!(mb.is_empty());
+            for &idx in run {
+                {
+                    let view = SlabPtrs::new(slabs);
+                    // SAFETY: single-threaded use of the view under an
+                    // exclusive borrow of `slabs`.
+                    unsafe {
+                        apply_intent(
+                            &view,
+                            &self.topo,
+                            &self.params,
+                            self.cycle,
+                            idx,
+                            &intents[idx as usize],
+                            0,
+                            &mut mb,
+                        );
+                    }
+                }
+                self.merge_position(idx, &intents[idx as usize], &mut mb, 0, slabs);
+            }
+            self.live_mb = mb;
+        }
+    }
+
+    /// Merges one committed router's global consequences, in the exact
+    /// serial order: stats preamble (blocked-route cycles, reroute
+    /// counts), this position's effects from `mb`, then the progress /
+    /// re-scheduling postamble.
+    fn merge_position(
+        &mut self,
+        idx: u32,
+        intent: &RouterIntent,
+        mb: &mut Mailbox<P>,
+        pos: u32,
+        slabs: &NetSlabs<P>,
+    ) {
+        self.stats.route_blocked_cycles += u64::from(intent.route_blocked);
+        for rt in &intent.routes {
+            if rt.rerouted {
+                self.stats.packets_rerouted += 1;
+            }
+        }
+        while mb.front().is_some_and(|&(t, _)| t == pos) {
+            let (_, eff) = mb.pop_front().expect("checked front");
+            self.apply_effect(eff);
+        }
+        if !intent.winners.is_empty() {
+            self.last_progress = self.cycle;
+        }
+        if slabs.has_work(idx as usize) {
+            self.mark_pending(NodeId(idx));
+        }
+    }
+
+    /// Applies one recorded commit effect to global state. Called in
+    /// the deterministic merge order, so every observable sequence
+    /// (event wheel, delivered queue, stats, checker, event log)
+    /// matches the serial kernel's.
+    fn apply_effect(&mut self, eff: Effect<P>) {
+        match eff {
+            Effect::Arrive {
+                when,
+                link,
+                vc,
+                flit,
+            } => {
+                self.stats.flits_per_link[link.0 as usize] += 1;
+                if flit.is_head() {
+                    if let Some(c) = &mut self.checker {
+                        c.on_link_send(flit.pkt.id, flit.dest_idx, link);
+                    }
+                }
+                self.inflight
+                    [link.0 as usize * self.params.vcs_per_port as usize + vc as usize] += 1;
+                self.schedule(when, EvKind::Arrive { link, vc, flit });
+            }
+            Effect::Credit { when, link, vc } => {
+                self.schedule(when, EvKind::Credit { link, vc });
+            }
+            Effect::Eject { flit } => {
+                let is_tail = flit.is_tail();
+                self.stats.flits_ejected += 1;
+                if let Some(c) = &mut self.checker {
+                    c.on_eject(flit.pkt.id, flit.seq, flit.dest_idx, flit.target(), is_tail);
+                }
+                if is_tail {
+                    let endpoint = flit.target();
+                    self.stats.packets_delivered += 1;
+                    let latency = self.cycle - flit.pkt.injected_at;
+                    self.stats.total_packet_latency += latency;
+                    self.stats.record_latency(latency);
+                    self.log(NetEvent::Deliver {
+                        cycle: self.cycle,
+                        packet: flit.pkt.id,
+                        endpoint,
+                    });
+                    self.delivered.push_back(Delivered {
+                        packet: flit.pkt,
+                        endpoint,
+                        cycle: self.cycle,
+                    });
+                }
+            }
+            Effect::ReplicaCopy => {
+                if let Some(c) = &mut self.checker {
+                    c.on_replica_copy();
+                }
+            }
+            Effect::Release { node, port, vc } => {
+                self.reserve_remote(node, port as usize, vc as usize, false);
+            }
+        }
     }
 
     /// Whether commit-time `reserved` flips touched a slot router
@@ -909,54 +1152,23 @@ impl<P> Network<P> {
             })
     }
 
-    /// Applies one router's compute-phase intent: exactly the writes,
-    /// in the same order, that [`Network::process_router`] would have
-    /// performed at this worklist turn.
-    fn commit_intent(&mut self, idx: u32, intent: &RouterIntent, routers: &mut [RouterState<P>]) {
-        let node = NodeId(idx);
-        let ri = idx as usize;
-        self.stats.route_blocked_cycles += u64::from(intent.route_blocked);
-        for rt in &intent.routes {
-            let r = &mut routers[ri];
-            r.inputs[rt.port as usize].vcs[rt.vc as usize].route = Some(rt.route);
-            if !rt.route.eject {
-                r.outputs[rt.route.port as usize].vcs[rt.route.vc as usize].owner = true;
-            }
-            if rt.rerouted {
-                self.stats.packets_rerouted += 1;
-            }
-        }
-        for &(o, rr) in &intent.rr_out {
-            routers[ri].outputs[o as usize].rr = rr;
-        }
-        for &(p, v) in &intent.winners {
-            self.traverse(node, &mut routers[ri], p as usize, v as usize);
-            let r = &mut routers[ri];
-            r.rr_in[p as usize] = (v + 1) % r.inputs[p as usize].vcs.len().max(1) as u8;
-            self.last_progress = self.cycle;
-        }
-        if routers[ri].has_work() {
-            self.mark_pending(node);
-        }
-    }
-
     /// Routing and VC allocation for head flits at VC fronts.
     ///
-    /// Receives the split-borrowed router array (see
+    /// Receives the split-borrowed slabs (see
     /// [`Network::process_router`]); the replica-VC search reads the
-    /// upstream neighbours from the same slice.
-    fn allocate_routes(&mut self, node: NodeId, routers: &mut [RouterState<P>]) {
+    /// upstream neighbours' output state from the same slabs.
+    fn allocate_routes(&mut self, node: NodeId, slabs: &mut NetSlabs<P>) {
         let ri = node.0 as usize;
-        for p in 0..routers[ri].inputs.len() {
-            for v in 0..routers[ri].inputs[p].vcs.len() {
+        for p in 0..slabs.n_ports(ri) {
+            for v in 0..slabs.vcs {
+                let slot = slabs.vc_slot(ri, p, v);
                 // Copy the head's routing facts out before any `&mut`
-                // helper call needs the router slice.
+                // helper call needs the slabs.
                 let (target, next_target, split_is_none) = {
-                    let vc = &routers[ri].inputs[p].vcs[v];
-                    if vc.route.is_some() {
+                    if slabs.route[slot].is_some() {
                         continue;
                     }
-                    let Some(front) = vc.buf.front() else {
+                    let Some(front) = slabs.buf[slot].front() else {
                         continue;
                     };
                     assert!(
@@ -970,7 +1182,7 @@ impl<P> Network<P> {
                     } else {
                         None
                     };
-                    (front.target(), next_target, vc.split.is_none())
+                    (front.target(), next_target, slabs.split[slot].is_none())
                 };
 
                 if target.node == node {
@@ -981,21 +1193,21 @@ impl<P> Network<P> {
                     if let Some(next) = next_target {
                         // Multicast split: reserve a replica VC first.
                         if split_is_none {
-                            match self.find_replica_vc(node, routers, p) {
+                            match self.find_replica_vc(node, slabs, p) {
                                 Some((rp, rv)) => {
-                                    let r = &mut routers[ri];
-                                    r.inputs[rp].vcs[rv].replica_role = true;
-                                    r.inputs[rp].vcs[rv].route = Some(OutRoute {
+                                    let rslot = slabs.vc_slot(ri, rp, rv);
+                                    slabs.replica_role[rslot] = true;
+                                    slabs.route[rslot] = Some(OutRoute {
                                         port: eject_port,
                                         vc: 0,
                                         eject: true,
                                     });
-                                    r.inputs[p].vcs[v].split = Some(Split {
+                                    slabs.split[slot] = Some(Split {
                                         port: rp as u8,
                                         vc: rv as u8,
                                     });
                                     let pkt_id =
-                                        r.inputs[p].vcs[v].buf.front().expect("head present").pkt.id;
+                                        slabs.buf[slot].front().expect("head present").pkt.id;
                                     self.reserve_remote(node, rp, rv, true);
                                     self.stats.replications += 1;
                                     self.log(NetEvent::Replicate {
@@ -1022,9 +1234,8 @@ impl<P> Network<P> {
                             self.stats.route_blocked_cycles += 1;
                             continue;
                         };
-                        if let Some(ovc) = self.claim_out_vc(node, &mut routers[ri], out.0 as usize)
-                        {
-                            routers[ri].inputs[p].vcs[v].route = Some(OutRoute {
+                        if let Some(ovc) = self.claim_out_vc(node, slabs, out.0 as usize) {
+                            slabs.route[slot] = Some(OutRoute {
                                 port: out.0,
                                 vc: ovc,
                                 eject: false,
@@ -1032,7 +1243,7 @@ impl<P> Network<P> {
                             self.note_reroute(node, next.node, out);
                         }
                     } else {
-                        routers[ri].inputs[p].vcs[v].route = Some(OutRoute {
+                        slabs.route[slot] = Some(OutRoute {
                             port: eject_port,
                             vc: 0,
                             eject: true,
@@ -1044,8 +1255,8 @@ impl<P> Network<P> {
                         self.stats.route_blocked_cycles += 1;
                         continue;
                     };
-                    if let Some(ovc) = self.claim_out_vc(node, &mut routers[ri], out.0 as usize) {
-                        routers[ri].inputs[p].vcs[v].route = Some(OutRoute {
+                    if let Some(ovc) = self.claim_out_vc(node, slabs, out.0 as usize) {
+                        slabs.route[slot] = Some(OutRoute {
                             port: out.0,
                             vc: ovc,
                             eject: false,
@@ -1068,16 +1279,16 @@ impl<P> Network<P> {
     }
 
     /// Claims a free downstream VC on output port `o`; returns its index.
-    fn claim_out_vc(&mut self, node: NodeId, r: &mut RouterState<P>, o: usize) -> Option<u8> {
+    fn claim_out_vc(&mut self, node: NodeId, slabs: &mut NetSlabs<P>, o: usize) -> Option<u8> {
         let link = self.topo.router(node).ports[o]
             .out_link
             .unwrap_or_else(|| panic!("output port {o} of {node} has no link"));
         let vcs = self.params.vcs_per_port as usize;
+        let base = slabs.vc_slot(node.0 as usize, o, 0);
         for v in 0..vcs {
             let reserved = self.reserved[link.0 as usize * vcs + v];
-            let st = &mut r.outputs[o].vcs[v];
-            if !st.owner && !reserved {
-                st.owner = true;
+            if !slabs.out_owner[base + v] && !reserved {
+                slabs.out_owner[base + v] = true;
                 return Some(v as u8);
             }
         }
@@ -1088,18 +1299,19 @@ impl<P> Network<P> {
     /// channel for multicast replication.
     ///
     /// Reads the local router *and* its upstream neighbours from the
-    /// split-borrowed `routers` slice, so it stays correct while
-    /// `self.routers` is taken out during the router loop.
+    /// split-borrowed `slabs`, so it stays correct while `self.slabs`
+    /// is taken out during the router loop.
     fn find_replica_vc(
         &self,
         node: NodeId,
-        routers: &[RouterState<P>],
+        slabs: &NetSlabs<P>,
         primary_port: usize,
     ) -> Option<(usize, usize)> {
-        let r = &routers[node.0 as usize];
+        let ri = node.0 as usize;
         let mut best: Option<(u64, usize, usize)> = None;
-        for p in 0..r.inputs.len() {
-            if p == primary_port || r.inputs[p].is_local {
+        for p in 0..slabs.n_ports(ri) {
+            let ps = slabs.port_slot(ri, p);
+            if p == primary_port || slabs.is_local[ps] {
                 continue;
             }
             let Some(in_link) = self.topo.router(node).ports[p].in_link else {
@@ -1108,24 +1320,19 @@ impl<P> Network<P> {
             // The upstream side must not have allocated the VC, and no
             // flits may still be on the wire toward it.
             let l = self.topo.link(in_link);
-            let upstream = &routers[l.src.0 as usize];
             let vcs = self.params.vcs_per_port as usize;
-            for v in 0..r.inputs[p].vcs.len() {
-                if !r.inputs[p].vcs[v].is_free() {
+            let up_base = slabs.vc_slot(l.src.0 as usize, l.src_port.0 as usize, 0);
+            for v in 0..slabs.vcs {
+                if !slabs.vc_is_free(ps * vcs + v) {
                     continue;
                 }
                 if self.inflight[in_link.0 as usize * vcs + v] > 0 {
                     continue;
                 }
-                let up_owner = upstream
-                    .outputs
-                    .get(l.src_port.0 as usize)
-                    .map(|op| op.vcs[v].owner)
-                    .unwrap_or(false);
-                if up_owner {
+                if slabs.out_owner[up_base + v] {
                     continue;
                 }
-                let util = r.inputs[p].util;
+                let util = slabs.util[ps];
                 if best.is_none_or(|(bu, _, _)| util < bu) {
                     best = Some((util, p, v));
                 }
@@ -1155,126 +1362,27 @@ impl<P> Network<P> {
         }
     }
 
-    /// Whether input VC (`p`, `v`) can send a flit this cycle.
-    fn vc_sendable(&self, r: &RouterState<P>, p: usize, v: usize) -> bool {
-        let vc = &r.inputs[p].vcs[v];
-        if vc.buf.is_empty() {
+    /// Whether input VC (`p`, `v`) of router `ri` can send a flit this
+    /// cycle.
+    fn vc_sendable(&self, slabs: &NetSlabs<P>, ri: usize, p: usize, v: usize) -> bool {
+        let slot = slabs.vc_slot(ri, p, v);
+        if slabs.buf[slot].is_empty() {
             return false;
         }
-        let Some(route) = vc.route else { return false };
+        let Some(route) = slabs.route[slot] else {
+            return false;
+        };
         // Multicast primary also writes into the replica VC: need space.
-        if let Some(s) = vc.split {
-            let replica = &r.inputs[s.port as usize].vcs[s.vc as usize];
-            if replica.buf.len() >= self.params.vc_depth as usize {
+        if let Some(s) = slabs.split[slot] {
+            let rslot = slabs.vc_slot(ri, s.port as usize, s.vc as usize);
+            if slabs.buf[rslot].len() >= self.params.vc_depth as usize {
                 return false;
             }
         }
         if route.eject {
             true
         } else {
-            r.outputs[route.port as usize].vcs[route.vc as usize].credits > 0
-        }
-    }
-
-    /// Moves one flit out of input VC (`p`, `v`).
-    fn traverse(&mut self, node: NodeId, r: &mut RouterState<P>, p: usize, v: usize) {
-        let route = r.inputs[p].vcs[v].route.expect("winner must be routed");
-        let split = r.inputs[p].vcs[v].split;
-        let flit = r.inputs[p].vcs[v]
-            .buf
-            .pop_front()
-            .expect("winner must have a flit");
-        let is_tail = flit.is_tail();
-        let via_link = !r.inputs[p].is_local && !r.inputs[p].vcs[v].replica_role;
-
-        // Replica copy (multicast): same flit, targeting this router.
-        if let Some(s) = split {
-            r.inputs[s.port as usize].vcs[s.vc as usize]
-                .buf
-                .push_back(flit.clone());
-            if let Some(c) = &mut self.checker {
-                c.on_replica_copy();
-            }
-        }
-
-        let mut out = flit;
-        if split.is_some() {
-            out.dest_idx += 1; // the continuing copy heads to the next endpoint
-        }
-
-        if route.eject {
-            self.stats.flits_ejected += 1;
-            if let Some(c) = &mut self.checker {
-                c.on_eject(out.pkt.id, out.seq, out.dest_idx, out.target(), is_tail);
-            }
-            if is_tail {
-                let endpoint = out.target();
-                self.stats.packets_delivered += 1;
-                let latency = self.cycle - out.pkt.injected_at;
-                self.stats.total_packet_latency += latency;
-                self.stats.record_latency(latency);
-                self.log(NetEvent::Deliver {
-                    cycle: self.cycle,
-                    packet: out.pkt.id,
-                    endpoint,
-                });
-                self.delivered.push_back(Delivered {
-                    packet: out.pkt,
-                    endpoint,
-                    cycle: self.cycle,
-                });
-            }
-        } else {
-            let link = self.topo.router(node).ports[route.port as usize]
-                .out_link
-                .expect("net route must have a link");
-            self.stats.flits_per_link[link.0 as usize] += 1;
-            if out.is_head() {
-                if let Some(c) = &mut self.checker {
-                    c.on_link_send(out.pkt.id, out.dest_idx, link);
-                }
-            }
-            let st = &mut r.outputs[route.port as usize].vcs[route.vc as usize];
-            assert!(st.credits > 0, "sent without credit");
-            st.credits -= 1;
-            let delay = self.topo.link(link).delay + (self.params.router_stages - 1);
-            let when = self.cycle + delay.max(1) as u64;
-            self.inflight
-                [link.0 as usize * self.params.vcs_per_port as usize + route.vc as usize] += 1;
-            self.schedule(
-                when,
-                EvKind::Arrive {
-                    link,
-                    vc: route.vc,
-                    flit: out,
-                },
-            );
-        }
-
-        // Credit return for flits that arrived over our input link.
-        if via_link {
-            if let Some(in_link) = self.topo.router(node).ports[p].in_link {
-                self.schedule(
-                    self.cycle + self.params.credit_delay as u64,
-                    EvKind::Credit {
-                        link: in_link,
-                        vc: v as u8,
-                    },
-                );
-            }
-        }
-
-        if is_tail {
-            let was_replica = r.inputs[p].vcs[v].replica_role;
-            if !route.eject {
-                r.outputs[route.port as usize].vcs[route.vc as usize].owner = false;
-            }
-            r.inputs[p].vcs[v].route = None;
-            r.inputs[p].vcs[v].split = None;
-            if was_replica {
-                r.inputs[p].vcs[v].replica_role = false;
-                self.reserve_remote(node, p, v, false);
-            }
+            slabs.out_credits[slabs.vc_slot(ri, route.port as usize, route.vc as usize)] > 0
         }
     }
 
@@ -1303,24 +1411,27 @@ impl<P> Network<P> {
             }
         }
         for (li, l) in self.topo.links().iter().enumerate() {
-            let up = &self.routers[l.src.0 as usize].outputs[l.src_port.0 as usize];
-            let down = &self.routers[l.dst.0 as usize].inputs[l.dst_port.0 as usize];
+            let up_base = self
+                .slabs
+                .vc_slot(l.src.0 as usize, l.src_port.0 as usize, 0);
+            let down_base = self
+                .slabs
+                .vc_slot(l.dst.0 as usize, l.dst_port.0 as usize, 0);
             for v in 0..vcs {
                 let slot = li * vcs + v;
-                let dvc = &down.vcs[v];
                 c.check_slot(
                     LinkId(li as u32),
                     v as u8,
                     slot,
-                    up.vcs[v].credits,
-                    dvc.buf.len() as u32,
-                    dvc.replica_role,
+                    self.slabs.out_credits[up_base + v],
+                    self.slabs.buf[down_base + v].len() as u32,
+                    self.slabs.replica_role[down_base + v],
                     self.inflight[slot],
                     self.params.vc_depth,
                 );
             }
         }
-        let buffered: u64 = self.routers.iter().map(|r| r.buffered_flits() as u64).sum();
+        let buffered = self.slabs.buffered_flits_total();
         c.check_conservation(buffered, self.stats.flits_ejected);
         if self.pending.is_empty() && self.events.is_empty() {
             c.audit_quiescent();
@@ -1340,7 +1451,7 @@ struct ComputeCtx<'a, P> {
     base: Option<&'a RoutingTable>,
     params: &'a RouterParams,
     reserved: &'a [bool],
-    routers: &'a [RouterState<P>],
+    slabs: &'a NetSlabs<P>,
 }
 
 impl<P> ComputeCtx<'_, P> {
@@ -1360,16 +1471,19 @@ impl<P> ComputeCtx<'_, P> {
     ) -> bool {
         intent.clear();
         let node = NodeId(idx);
-        let r = &self.routers[idx as usize];
+        let s = self.slabs;
+        let ri = idx as usize;
 
         // Routing + VC allocation, as intents.
-        for p in 0..r.inputs.len() {
-            for v in 0..r.inputs[p].vcs.len() {
-                let vc = &r.inputs[p].vcs[v];
-                if vc.route.is_some() {
+        for p in 0..s.n_ports(ri) {
+            for v in 0..s.vcs {
+                let slot = s.vc_slot(ri, p, v);
+                if s.route[slot].is_some() {
                     continue;
                 }
-                let Some(front) = vc.buf.front() else { continue };
+                let Some(front) = s.buf[slot].front() else {
+                    continue;
+                };
                 assert!(
                     front.is_head(),
                     "non-head flit at front of unrouted VC: packet {:?} seq {}",
@@ -1384,7 +1498,7 @@ impl<P> ComputeCtx<'_, P> {
                 };
                 if target.node == node {
                     if let Some(next) = next_target {
-                        if vc.split.is_none() {
+                        if s.split[slot].is_none() {
                             // Multicast split this cycle: defer.
                             return true;
                         }
@@ -1394,7 +1508,7 @@ impl<P> ComputeCtx<'_, P> {
                             intent.route_blocked += 1;
                             continue;
                         };
-                        if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize, intent) {
+                        if let Some(ovc) = self.claim_out_vc(node, out.0 as usize, intent) {
                             intent.routes.push(RouteIntent {
                                 port: p as u8,
                                 vc: v as u8,
@@ -1429,7 +1543,7 @@ impl<P> ComputeCtx<'_, P> {
                         intent.route_blocked += 1;
                         continue;
                     };
-                    if let Some(ovc) = self.claim_out_vc(node, r, out.0 as usize, intent) {
+                    if let Some(ovc) = self.claim_out_vc(node, out.0 as usize, intent) {
                         intent.routes.push(RouteIntent {
                             port: p as u8,
                             vc: v as u8,
@@ -1446,14 +1560,14 @@ impl<P> ComputeCtx<'_, P> {
         }
 
         // Phase A: each input port nominates one sendable VC.
-        let n_ports = r.inputs.len();
+        let n_ports = s.n_ports(ri);
+        let n_vcs = s.vcs as u8;
         scratch.nominee[..n_ports].fill(None);
         for p in 0..n_ports {
-            let n_vcs = r.inputs[p].vcs.len() as u8;
-            let start = r.rr_in[p];
+            let start = s.rr_in[s.port_slot(ri, p)];
             for k in 0..n_vcs {
                 let v = (start + k) % n_vcs;
-                if self.vc_sendable(r, p, v as usize, intent) {
+                if self.vc_sendable(ri, p, v as usize, intent) {
                     scratch.nominee[p] = Some(v);
                     break;
                 }
@@ -1461,14 +1575,14 @@ impl<P> ComputeCtx<'_, P> {
         }
 
         // Phase B: each output port grants one nominating input port.
-        for o in 0..r.outputs.len() {
+        for o in 0..n_ports {
             scratch.requesting.clear();
             for p in 0..n_ports {
                 let Some(v) = scratch.nominee[p] else {
                     continue;
                 };
                 let routed_here = self
-                    .effective_route(r, p, v as usize, intent)
+                    .effective_route(ri, p, v as usize, intent)
                     .is_some_and(|rt| rt.port as usize == o);
                 if routed_here {
                     scratch.requesting.push(p as u8);
@@ -1477,7 +1591,7 @@ impl<P> ComputeCtx<'_, P> {
             if scratch.requesting.is_empty() {
                 continue;
             }
-            let start = r.outputs[o].rr;
+            let start = s.out_rr[s.port_slot(ri, o)];
             let pick = scratch
                 .requesting
                 .iter()
@@ -1489,20 +1603,35 @@ impl<P> ComputeCtx<'_, P> {
                 .push((o as u8, pick.wrapping_add(1) % n_ports.max(1) as u8));
             let v = scratch.nominee[pick as usize].expect("requesting port has nominee");
             intent.winners.push((pick, v));
+            // Predict the replica-reservation release this winner will
+            // perform: a replica VC whose front flit is the tail frees
+            // its input link's reservation when committed. Exact, not
+            // conservative — the winner applies unconditionally, and
+            // both `replica_role` and the buffer front are own-router
+            // state that only this router's turn mutates.
+            let wslot = s.vc_slot(ri, pick as usize, v as usize);
+            if s.replica_role[wslot] && s.buf[wslot].front().is_some_and(|f| f.is_tail()) {
+                if let Some(in_link) = self.topo.router(node).ports[pick as usize].in_link {
+                    intent
+                        .releases
+                        .push(in_link.0 * u32::from(self.params.vcs_per_port) + u32::from(v));
+                }
+            }
         }
         false
     }
 
-    /// The route VC (`p`, `v`) will hold once this router's intent
-    /// commits: the live route, or the one recorded this cycle.
+    /// The route VC (`p`, `v`) of router `ri` will hold once this
+    /// router's intent commits: the live route, or the one recorded
+    /// this cycle.
     fn effective_route(
         &self,
-        r: &RouterState<P>,
+        ri: usize,
         p: usize,
         v: usize,
         intent: &RouterIntent,
     ) -> Option<OutRoute> {
-        if let Some(rt) = r.inputs[p].vcs[v].route {
+        if let Some(rt) = self.slabs.route[self.slabs.vc_slot(ri, p, v)] {
             return Some(rt);
         }
         intent
@@ -1513,43 +1642,39 @@ impl<P> ComputeCtx<'_, P> {
     }
 
     /// Intent-aware mirror of [`Network::vc_sendable`].
-    fn vc_sendable(&self, r: &RouterState<P>, p: usize, v: usize, intent: &RouterIntent) -> bool {
-        let vc = &r.inputs[p].vcs[v];
-        if vc.buf.is_empty() {
+    fn vc_sendable(&self, ri: usize, p: usize, v: usize, intent: &RouterIntent) -> bool {
+        let s = self.slabs;
+        let slot = s.vc_slot(ri, p, v);
+        if s.buf[slot].is_empty() {
             return false;
         }
-        let Some(route) = self.effective_route(r, p, v, intent) else {
+        let Some(route) = self.effective_route(ri, p, v, intent) else {
             return false;
         };
-        if let Some(s) = vc.split {
-            let replica = &r.inputs[s.port as usize].vcs[s.vc as usize];
-            if replica.buf.len() >= self.params.vc_depth as usize {
+        if let Some(sp) = s.split[slot] {
+            let rslot = s.vc_slot(ri, sp.port as usize, sp.vc as usize);
+            if s.buf[rslot].len() >= self.params.vc_depth as usize {
                 return false;
             }
         }
         if route.eject {
             true
         } else {
-            r.outputs[route.port as usize].vcs[route.vc as usize].credits > 0
+            s.out_credits[s.vc_slot(ri, route.port as usize, route.vc as usize)] > 0
         }
     }
 
     /// Intent-aware mirror of [`Network::claim_out_vc`]: also skips VCs
     /// this intent already claimed, reproducing the serial kernel's
     /// first-free scan over in-cycle allocations.
-    fn claim_out_vc(
-        &self,
-        node: NodeId,
-        r: &RouterState<P>,
-        o: usize,
-        intent: &RouterIntent,
-    ) -> Option<u8> {
+    fn claim_out_vc(&self, node: NodeId, o: usize, intent: &RouterIntent) -> Option<u8> {
         let link = self.topo.router(node).ports[o]
             .out_link
             .unwrap_or_else(|| panic!("output port {o} of {node} has no link"));
         let vcs = self.params.vcs_per_port as usize;
+        let base = self.slabs.vc_slot(node.0 as usize, o, 0);
         for v in 0..vcs {
-            if self.reserved[link.0 as usize * vcs + v] || r.outputs[o].vcs[v].owner {
+            if self.reserved[link.0 as usize * vcs + v] || self.slabs.out_owner[base + v] {
                 continue;
             }
             let claimed = intent
@@ -1614,7 +1739,7 @@ impl<P: std::fmt::Debug> std::fmt::Debug for Network<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Network")
             .field("cycle", &self.cycle)
-            .field("routers", &self.routers.len())
+            .field("routers", &self.slabs.n_routers())
             .field("pending", &self.pending.len())
             .field("events", &self.events.len())
             .field("delivered", &self.delivered.len())
@@ -2246,10 +2371,10 @@ mod tests {
         net.drain_delivered_into(a.node, &mut to_a);
         assert_eq!(to_a.len(), 3);
         assert!(to_a.windows(2).all(|w| w[0].cycle <= w[1].cycle));
-        // Each delivery's Rc is now uniquely held by the drained buffer
+        // Each delivery's Arc is now uniquely held by the drained buffer
         // (plus nothing else): the drain moved, it did not clone.
         for d in &to_a {
-            assert_eq!(Rc::strong_count(&d.packet), 1, "delivery was cloned");
+            assert_eq!(Arc::strong_count(&d.packet), 1, "delivery was cloned");
         }
         // The remaining deque kept b's deliveries in order; a second
         // drain into the same buffer appends.

@@ -5,7 +5,7 @@
 //! carrying a 64-byte block (plus address and wormhole overhead) is five
 //! flits.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ids::Endpoint;
 
@@ -47,8 +47,10 @@ pub enum Dest {
     /// multicasts down the same column repeatedly (the common case)
     /// shares one allocation across every packet: cloning a `Dest` —
     /// and replicating flits inside the network — never copies the
-    /// list.
-    Multicast(Rc<[Endpoint]>),
+    /// list. The count is atomic (`Arc`) because the sharded commit
+    /// phase of the cycle kernel clones and drops flit references from
+    /// several worker threads at once.
+    Multicast(Arc<[Endpoint]>),
 }
 
 impl Dest {
@@ -67,12 +69,12 @@ impl Dest {
     }
 
     /// Path multicast over an already-shared endpoint list: repeated
-    /// senders keep one list alive and `Rc::clone` it per packet.
+    /// senders keep one list alive and `Arc::clone` it per packet.
     ///
     /// # Panics
     ///
     /// Panics if `path` is empty.
-    pub fn multicast_shared(path: Rc<[Endpoint]>) -> Self {
+    pub fn multicast_shared(path: Arc<[Endpoint]>) -> Self {
         assert!(
             !path.is_empty(),
             "multicast destination list cannot be empty"
@@ -131,10 +133,13 @@ impl<P> Packet<P> {
     }
 }
 
-/// One flit in flight. Flits of a packet share the packet body via `Rc`.
+/// One flit in flight. Flits of a packet share the packet body via
+/// `Arc`: flits of one packet live in several routers at once, and the
+/// sharded commit phase clones and drops them from different worker
+/// threads, so the count must be atomic.
 #[derive(Debug)]
 pub(crate) struct FlitRef<P> {
-    pub pkt: Rc<Packet<P>>,
+    pub pkt: Arc<Packet<P>>,
     /// Position within the packet: 0 = head, `flits - 1` = tail.
     pub seq: u32,
     /// Index into `pkt.dest.endpoints()` of the next endpoint this copy
@@ -143,11 +148,11 @@ pub(crate) struct FlitRef<P> {
 }
 
 // Manual impl: `P` itself need not be `Clone` — flits share the packet
-// body through the `Rc`.
+// body through the `Arc`.
 impl<P> Clone for FlitRef<P> {
     fn clone(&self) -> Self {
         FlitRef {
-            pkt: Rc::clone(&self.pkt),
+            pkt: Arc::clone(&self.pkt),
             seq: self.seq,
             dest_idx: self.dest_idx,
         }
@@ -228,19 +233,19 @@ mod tests {
 
     #[test]
     fn flitref_head_tail() {
-        let pkt = Rc::new(Packet::new(
+        let pkt = Arc::new(Packet::new(
             Endpoint::at(NodeId(0)),
             Dest::unicast(Endpoint::at(NodeId(1))),
             3,
             (),
         ));
         let head = FlitRef {
-            pkt: Rc::clone(&pkt),
+            pkt: Arc::clone(&pkt),
             seq: 0,
             dest_idx: 0,
         };
         let mid = FlitRef {
-            pkt: Rc::clone(&pkt),
+            pkt: Arc::clone(&pkt),
             seq: 1,
             dest_idx: 0,
         };

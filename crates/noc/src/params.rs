@@ -32,12 +32,15 @@ pub struct RouterParams {
     /// applies, so transient outages shorter than this recover; set it
     /// above the longest expected outage when injecting faults.
     pub watchdog_cycles: u64,
-    /// Worker threads for the two-phase cycle kernel's compute phase.
-    /// `1` (the default) runs the classic serial kernel; `0` means
-    /// auto-detect ([`std::thread::available_parallelism`]). Results are
-    /// bit-identical for every value — the compute phase is read-only
-    /// over shared state and the commit phase replays intents in sorted
-    /// worklist order — so this is purely a wall-clock knob.
+    /// Worker threads for the two-phase cycle kernel. `1` (the default)
+    /// runs the classic serial kernel; `0` means auto-detect
+    /// ([`std::thread::available_parallelism`]). Results are
+    /// bit-identical for every value: the compute phase is read-only
+    /// over shared state, and the sharded commit phase routes every
+    /// cross-router effect through per-worker mailboxes that the main
+    /// thread merges in sorted worklist order — exactly the order the
+    /// serial kernel visits routers — so this is purely a wall-clock
+    /// knob.
     pub sim_threads: u32,
 }
 

@@ -1,10 +1,18 @@
-//! Per-router microarchitectural state.
+//! Router microarchitectural state, stored structure-of-arrays.
 //!
 //! Each router has one *input unit* per port (a set of virtual channels
 //! with flit FIFOs) and one *output unit* per port (per-VC ownership and
 //! credit state mirroring the downstream input buffer). Local ports act
 //! as injection queues on the input side and ejection sinks on the
 //! output side.
+//!
+//! Since the SoA refactor the per-router structs are gone: every field
+//! lives in one flat slab (`NetSlabs`) indexed by a global *port slot*
+//! (`port_base[router] + port`) or *VC slot* (`port_slot * vcs + vc`).
+//! The hot cycle kernel — serial, compute phase, and sharded commit —
+//! walks contiguous arrays instead of chasing one heap box per router,
+//! and the parallel phases can hand out disjoint raw-pointer views per
+//! worker without per-router snapshot copies.
 //!
 //! Multicast replication follows §3.1 of the paper: when a path-multicast
 //! head must both eject locally and continue, the router reserves a free
@@ -16,6 +24,7 @@
 use std::collections::VecDeque;
 
 use crate::packet::FlitRef;
+use crate::topology::{PortLabel, Topology};
 
 /// Where an input VC's current packet is headed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,80 +46,196 @@ pub(crate) struct Split {
     pub vc: u8,
 }
 
-/// One virtual channel of an input unit.
+/// Structure-of-arrays storage for every router's microarchitectural
+/// state.
+///
+/// # Layout
+///
+/// `port_base` is a prefix sum over router port counts: router `r` owns
+/// global ports `port_base[r] .. port_base[r + 1]`, and every port has
+/// exactly `vcs` virtual channels, so
+///
+/// * **port slot** of `(r, p)` = `port_base[r] + p`, indexing the
+///   per-port arrays (`is_local`, `has_out`, `util`, `rr_in`, `out_rr`);
+/// * **VC slot** of `(r, p, v)` = `port_slot * vcs + v`, indexing the
+///   per-VC arrays (`buf`, `route`, `split`, `replica_role` on the
+///   input side; `out_owner`, `out_credits` on the output side).
+///
+/// A router's entire state is therefore one contiguous range per array,
+/// which is what lets the cycle kernel's compute phase read a true
+/// shared snapshot and the sharded commit phase write disjoint ranges
+/// from different workers.
 #[derive(Debug)]
-pub(crate) struct InputVc<P> {
-    pub buf: VecDeque<FlitRef<P>>,
-    /// Allocated output for the packet currently traversing this VC.
-    pub route: Option<OutRoute>,
-    /// Multicast replication target, when this VC carries a primary
+pub(crate) struct NetSlabs<P> {
+    /// Prefix sum of port counts; `port_base.len() == n_routers + 1`.
+    pub port_base: Vec<u32>,
+    /// Virtual channels per port (uniform across the network).
+    pub vcs: usize,
+    // ---- input side, indexed by VC slot ----
+    /// Flit FIFO of each input VC.
+    pub buf: Vec<VecDeque<FlitRef<P>>>,
+    /// Allocated output for the packet currently traversing each VC.
+    pub route: Vec<Option<OutRoute>>,
+    /// Multicast replication target, when a VC carries a primary
     /// multicast stream that still has further endpoints.
-    pub split: Option<Split>,
-    /// True while this VC stores locally written replica flits. Such
-    /// flits did not arrive over the link, so ejecting them returns no
+    pub split: Vec<Option<Split>>,
+    /// True while a VC stores locally written replica flits. Such flits
+    /// did not arrive over the link, so ejecting them returns no
     /// upstream credit.
-    pub replica_role: bool,
+    pub replica_role: Vec<bool>,
+    // ---- output side, indexed by VC slot (valid iff `has_out`) ----
+    /// Output VC allocated to a packet (set at head, cleared at tail).
+    pub out_owner: Vec<bool>,
+    /// Free downstream buffer slots we may still consume.
+    pub out_credits: Vec<u8>,
+    // ---- per port, indexed by port slot ----
+    /// Local ports hold injection queues (unbounded source queues).
+    pub is_local: Vec<bool>,
+    /// Whether the port has an outgoing link (local ejection sinks have
+    /// no sender-side credit state). Consulted when seeding credits and
+    /// by structural tests; the kernel itself reads routes instead.
+    #[allow(dead_code)]
+    pub has_out: Vec<bool>,
+    /// Flits received over the link; the replica selector prefers the
+    /// least-utilised physical channel (§3.1).
+    pub util: Vec<u64>,
+    /// Round-robin pointer over VCs (switch-allocation phase A).
+    pub rr_in: Vec<u8>,
+    /// Round-robin pointer over input ports (switch-allocation phase B),
+    /// one per output port.
+    pub out_rr: Vec<u8>,
 }
 
-impl<P> InputVc<P> {
-    /// Creates an idle VC with its flit buffer pre-sized to `depth`:
-    /// credit flow control bounds network VCs to `depth` flits, so a
-    /// pre-sized buffer never reallocates in steady state. (Local
-    /// injection queues may still grow past `depth` — they are
-    /// unbounded source queues filled by `inject`, outside the cycle
-    /// kernel.)
-    pub fn new(depth: u8) -> Self {
-        InputVc {
-            buf: VecDeque::with_capacity(depth as usize),
-            route: None,
-            split: None,
-            replica_role: false,
+// Manual impl: `mem::take` during the router loop needs a default, and
+// `derive(Default)` would demand `P: Default`.
+impl<P> Default for NetSlabs<P> {
+    fn default() -> Self {
+        NetSlabs {
+            port_base: Vec::new(),
+            vcs: 0,
+            buf: Vec::new(),
+            route: Vec::new(),
+            split: Vec::new(),
+            replica_role: Vec::new(),
+            out_owner: Vec::new(),
+            out_credits: Vec::new(),
+            is_local: Vec::new(),
+            has_out: Vec::new(),
+            util: Vec::new(),
+            rr_in: Vec::new(),
+            out_rr: Vec::new(),
+        }
+    }
+}
+
+impl<P> NetSlabs<P> {
+    /// Builds the slabs for `topo` with `vcs_per_port` VCs of depth
+    /// `vc_depth` on every port. Network VC buffers are pre-sized to
+    /// `vc_depth`: credit flow control bounds them to that many flits,
+    /// so they never reallocate in steady state. (Local injection
+    /// queues may still grow past the depth — they are unbounded source
+    /// queues filled by `inject`, outside the cycle kernel.)
+    pub fn build(topo: &Topology, vcs_per_port: u8, vc_depth: u8) -> Self {
+        let vcs = vcs_per_port as usize;
+        let mut port_base = Vec::with_capacity(topo.len() + 1);
+        let mut total_ports = 0u32;
+        port_base.push(0);
+        for r in topo.routers() {
+            total_ports += r.ports.len() as u32;
+            port_base.push(total_ports);
+        }
+        let n_ports = total_ports as usize;
+        let n_slots = n_ports * vcs;
+        let mut is_local = Vec::with_capacity(n_ports);
+        let mut has_out = Vec::with_capacity(n_ports);
+        for r in topo.routers() {
+            for p in &r.ports {
+                is_local.push(matches!(p.label, PortLabel::Local(_)));
+                has_out.push(p.out_link.is_some());
+            }
+        }
+        let mut out_credits = vec![0u8; n_slots];
+        for (ps, &h) in has_out.iter().enumerate() {
+            if h {
+                out_credits[ps * vcs..(ps + 1) * vcs].fill(vc_depth);
+            }
+        }
+        NetSlabs {
+            port_base,
+            vcs,
+            buf: (0..n_slots)
+                .map(|_| VecDeque::with_capacity(vc_depth as usize))
+                .collect(),
+            route: vec![None; n_slots],
+            split: vec![None; n_slots],
+            replica_role: vec![false; n_slots],
+            out_owner: vec![false; n_slots],
+            out_credits,
+            is_local,
+            has_out,
+            util: vec![0; n_ports],
+            rr_in: vec![0; n_ports],
+            out_rr: vec![0; n_ports],
         }
     }
 
-    /// A VC is free for replica reservation when it is completely idle.
-    pub fn is_free(&self) -> bool {
-        self.buf.is_empty() && self.route.is_none() && !self.replica_role
+    /// Number of routers.
+    #[inline]
+    pub fn n_routers(&self) -> usize {
+        self.port_base.len().saturating_sub(1)
     }
-}
 
-/// Input unit of one port.
-#[derive(Debug)]
-pub(crate) struct InputPort<P> {
-    pub vcs: Vec<InputVc<P>>,
-    /// Local ports hold injection queues (unbounded source queues).
-    pub is_local: bool,
-    /// Flits received over the link; the replica selector prefers the
-    /// least-utilised physical channel (§3.1).
-    pub util: u64,
-}
+    /// Number of ports of router `r`.
+    #[inline]
+    pub fn n_ports(&self, r: usize) -> usize {
+        (self.port_base[r + 1] - self.port_base[r]) as usize
+    }
 
-/// Sender-side state for one VC of an outgoing link.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct OutVcState {
-    /// Allocated to a packet (set at head, cleared at tail).
-    pub owner: bool,
-    /// Free downstream buffer slots we may still consume.
-    pub credits: u8,
-}
+    /// Global port slot of `(r, p)`.
+    #[inline]
+    pub fn port_slot(&self, r: usize, p: usize) -> usize {
+        self.port_base[r] as usize + p
+    }
 
-/// Output unit of one port.
-#[derive(Debug)]
-pub(crate) struct OutputPort {
-    /// Per-VC sender-side state; present only for ports with an
-    /// outgoing link (local ejection sinks need none).
-    pub vcs: Vec<OutVcState>,
-    /// Round-robin pointer over input ports for switch allocation.
-    pub rr: u8,
-}
+    /// Global VC slot of `(r, p, v)`.
+    #[inline]
+    pub fn vc_slot(&self, r: usize, p: usize, v: usize) -> usize {
+        self.port_slot(r, p) * self.vcs + v
+    }
 
-/// Full microarchitectural state of one router.
-#[derive(Debug)]
-pub(crate) struct RouterState<P> {
-    pub inputs: Vec<InputPort<P>>,
-    pub outputs: Vec<OutputPort>,
-    /// Round-robin pointer over VCs, per input port.
-    pub rr_in: Vec<u8>,
+    /// The contiguous VC-slot range owned by router `r`.
+    #[inline]
+    pub fn vc_range(&self, r: usize) -> std::ops::Range<usize> {
+        let lo = self.port_base[r] as usize * self.vcs;
+        let hi = self.port_base[r + 1] as usize * self.vcs;
+        lo..hi
+    }
+
+    /// An input VC is free for replica reservation when it is completely
+    /// idle.
+    #[inline]
+    pub fn vc_is_free(&self, slot: usize) -> bool {
+        self.buf[slot].is_empty() && self.route[slot].is_none() && !self.replica_role[slot]
+    }
+
+    /// Whether any input VC of router `r` holds flits (the router must
+    /// stay scheduled).
+    pub fn has_work(&self, r: usize) -> bool {
+        self.vc_range(r).any(|s| !self.buf[s].is_empty())
+    }
+
+    /// Total buffered flits across the network (diagnostics).
+    pub fn buffered_flits_total(&self) -> u64 {
+        self.buf.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Input VCs holding flits but no allocated route — heads waiting on
+    /// routing, e.g. cut off by a link fault (diagnostics).
+    pub fn blocked_heads_total(&self) -> usize {
+        (0..self.buf.len())
+            .filter(|&s| !self.buf[s].is_empty() && self.route[s].is_none())
+            .count()
+    }
 }
 
 /// Reusable per-cycle temporaries for the router loop, owned by the
@@ -163,7 +288,7 @@ pub(crate) struct RouteIntent {
 }
 
 /// Everything one router decided during the compute phase, to be applied
-/// verbatim — or discarded — by the serial commit pass. All buffers are
+/// verbatim — or discarded — by the commit pass. All buffers are
 /// cleared and reused across cycles, never reallocated in steady state.
 #[derive(Debug, Default)]
 pub(crate) struct RouterIntent {
@@ -177,15 +302,38 @@ pub(crate) struct RouterIntent {
     /// Heads that found every path cut by a fault this cycle (commit
     /// adds this to `route_blocked_cycles`).
     pub route_blocked: u32,
+    /// Remote-reservation slots (`link.0 * vcs + vc`) this intent's
+    /// winners will release when they commit (a replica VC's tail
+    /// leaving). Predicted exactly during compute — winners apply
+    /// unconditionally — so the commit pre-scan can mark them dirty
+    /// *before* the run executes and invalidate any later intent whose
+    /// snapshot covered one of these slots, just as the serial commit
+    /// would have.
+    pub releases: Vec<u32>,
 }
 
 impl RouterIntent {
+    /// An intent pre-sized for a router with up to `ports` ports and
+    /// `vcs` VCs per port, so no buffer ever grows during simulation:
+    /// at most one route per input VC, and one winner / round-robin
+    /// update / release per port.
+    pub fn for_ports(ports: usize, vcs: usize) -> Self {
+        RouterIntent {
+            routes: Vec::with_capacity(ports * vcs),
+            rr_out: Vec::with_capacity(ports),
+            winners: Vec::with_capacity(ports),
+            route_blocked: 0,
+            releases: Vec::with_capacity(ports),
+        }
+    }
+
     /// Empties the intent for reuse without dropping buffer capacity.
     pub fn clear(&mut self) {
         self.routes.clear();
         self.rr_out.clear();
         self.winners.clear();
         self.route_blocked = 0;
+        self.releases.clear();
     }
 }
 
@@ -210,119 +358,76 @@ impl ComputeScratch {
     }
 }
 
-impl<P> Default for RouterState<P> {
-    fn default() -> Self {
-        RouterState {
-            inputs: Vec::new(),
-            outputs: Vec::new(),
-            rr_in: Vec::new(),
-        }
-    }
-}
-
-impl<P> RouterState<P> {
-    /// Builds state for a router with the given port shapes.
-    pub fn build(ports: &[(bool, bool)], vcs_per_port: u8, vc_depth: u8) -> Self {
-        // ports: (is_local, has_out_link)
-        let inputs = ports
-            .iter()
-            .map(|&(is_local, _)| InputPort {
-                vcs: (0..vcs_per_port).map(|_| InputVc::new(vc_depth)).collect(),
-                is_local,
-                util: 0,
-            })
-            .collect();
-        let outputs = ports
-            .iter()
-            .map(|&(_, has_link)| OutputPort {
-                vcs: if has_link {
-                    (0..vcs_per_port)
-                        .map(|_| OutVcState {
-                            owner: false,
-                            credits: vc_depth,
-                        })
-                        .collect()
-                } else {
-                    Vec::new()
-                },
-                rr: 0,
-            })
-            .collect();
-        RouterState {
-            inputs,
-            outputs,
-            rr_in: vec![0; ports.len()],
-        }
-    }
-
-    /// Whether any input VC holds flits (router must stay scheduled).
-    pub fn has_work(&self) -> bool {
-        self.inputs
-            .iter()
-            .any(|p| p.vcs.iter().any(|v| !v.buf.is_empty()))
-    }
-
-    /// Total buffered flits (diagnostics).
-    pub fn buffered_flits(&self) -> usize {
-        self.inputs
-            .iter()
-            .map(|p| p.vcs.iter().map(|v| v.buf.len()).sum::<usize>())
-            .sum()
-    }
-
-    /// Input VCs holding flits but no allocated route — heads waiting on
-    /// routing, e.g. cut off by a link fault (diagnostics).
-    pub fn blocked_heads(&self) -> usize {
-        self.inputs
-            .iter()
-            .flat_map(|p| p.vcs.iter())
-            .filter(|v| !v.buf.is_empty() && v.route.is_none())
-            .count()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routing::RoutingSpec;
 
     #[test]
     fn build_shapes_ports() {
-        let r: RouterState<()> = RouterState::build(&[(true, false), (false, true)], 4, 4);
-        assert_eq!(r.inputs.len(), 2);
-        assert!(r.inputs[0].is_local);
-        assert!(!r.inputs[1].is_local);
-        assert_eq!(r.inputs[1].vcs.len(), 4);
+        // 2×1 mesh: each router has one local port and one link port.
+        let topo = Topology::mesh(2, 1, &[1], &[]);
+        let _ = RoutingSpec::Xy.build(&topo).unwrap();
+        let s: NetSlabs<()> = NetSlabs::build(&topo, 4, 4);
+        assert_eq!(s.n_routers(), 2);
+        assert_eq!(s.n_ports(0), 2);
+        let local = (0..s.n_ports(0))
+            .find(|&p| s.is_local[s.port_slot(0, p)])
+            .expect("router 0 has a local port");
+        let link = (0..s.n_ports(0))
+            .find(|&p| !s.is_local[s.port_slot(0, p)])
+            .expect("router 0 has a link port");
         assert!(
-            r.outputs[0].vcs.is_empty(),
-            "local output has no credit state"
+            !s.has_out[s.port_slot(0, local)] || s.out_credits[s.vc_slot(0, local, 0)] == 4,
+            "local ports without an out-link carry no credit state"
         );
-        assert_eq!(r.outputs[1].vcs.len(), 4);
-        assert_eq!(r.outputs[1].vcs[0].credits, 4);
-        assert!(!r.has_work());
-        assert_eq!(r.buffered_flits(), 0);
+        assert!(s.has_out[s.port_slot(0, link)]);
+        assert_eq!(s.out_credits[s.vc_slot(0, link, 0)], 4);
+        assert_eq!(s.vcs, 4);
+        assert!(!s.has_work(0));
+        assert_eq!(s.buffered_flits_total(), 0);
+    }
+
+    #[test]
+    fn slots_are_contiguous_per_router() {
+        let topo = Topology::mesh(3, 3, &[1; 2], &[1; 2]);
+        let s: NetSlabs<()> = NetSlabs::build(&topo, 4, 4);
+        for r in 0..s.n_routers() {
+            let range = s.vc_range(r);
+            assert_eq!(range.start, s.vc_slot(r, 0, 0));
+            assert_eq!(range.end - range.start, s.n_ports(r) * s.vcs);
+        }
+        // Ranges tile the slab exactly.
+        assert_eq!(s.vc_range(s.n_routers() - 1).end, s.buf.len());
     }
 
     #[test]
     fn fresh_vc_is_free() {
-        let vc: InputVc<()> = InputVc::new(4);
-        assert!(vc.is_free());
+        let topo = Topology::mesh(2, 1, &[1], &[]);
+        let s: NetSlabs<()> = NetSlabs::build(&topo, 4, 4);
+        assert!(s.vc_is_free(s.vc_slot(0, 0, 0)));
     }
 
     #[test]
     fn vc_with_route_is_not_free() {
-        let mut vc: InputVc<()> = InputVc::new(4);
-        vc.route = Some(OutRoute {
+        let topo = Topology::mesh(2, 1, &[1], &[]);
+        let mut s: NetSlabs<()> = NetSlabs::build(&topo, 4, 4);
+        let slot = s.vc_slot(0, 0, 0);
+        s.route[slot] = Some(OutRoute {
             port: 1,
             vc: 0,
             eject: false,
         });
-        assert!(!vc.is_free());
+        assert!(!s.vc_is_free(slot));
+        assert_eq!(s.blocked_heads_total(), 0, "no flit buffered yet");
     }
 
     #[test]
     fn replica_role_vc_is_not_free() {
-        let mut vc: InputVc<()> = InputVc::new(4);
-        vc.replica_role = true;
-        assert!(!vc.is_free());
+        let topo = Topology::mesh(2, 1, &[1], &[]);
+        let mut s: NetSlabs<()> = NetSlabs::build(&topo, 4, 4);
+        let slot = s.vc_slot(1, 0, 2);
+        s.replica_role[slot] = true;
+        assert!(!s.vc_is_free(slot));
     }
 }

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Technology, timing, and area models for the `nucanet` simulator.
 //!
 //! This crate reproduces the modelling substrate of the HPCA'07 paper

@@ -17,8 +17,13 @@ use crate::trace::{L2Access, Trace};
 pub enum ReadTraceError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A malformed line (1-based line number and content).
-    Parse { line: usize, content: String },
+    /// A malformed line.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The line as read, for the error message.
+        content: String,
+    },
 }
 
 impl fmt::Display for ReadTraceError {

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Synthetic L2 workloads and the analytic core model.
 //!
 //! The paper drives its cache simulator with L2 access streams produced

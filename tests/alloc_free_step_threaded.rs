@@ -1,11 +1,16 @@
-//! Proves the cycle kernel is allocation-free in steady state.
+//! Proves the *sharded* two-phase cycle kernel (SoA slabs, parallel
+//! compute + sharded commit) is allocation-free in steady state, just
+//! like the serial kernel (`alloc_free_step.rs`).
 //!
-//! A counting global allocator wraps the system allocator; after a
-//! warm-up phase grows every buffer (VC queues, wheel buckets, scratch
-//! vectors, the pending/work ping-pong pair) to its high-water mark,
-//! stepping the network to idle must not allocate at all. This test
-//! lives in its own integration-test binary because the
-//! `#[global_allocator]` is process-wide.
+//! The counting global allocator observes every thread in the process,
+//! pool workers included. Warm-up grows each internal buffer to its
+//! high-water mark — including the per-worker intent vectors and
+//! commit mailboxes, whose contents are deterministic because commit
+//! ownership is a static round-robin over worklist positions — after
+//! which stepping to idle must not allocate on any thread. This lives
+//! in its own integration-test binary because the `#[global_allocator]`
+//! is process-wide and the counter must not see another test's
+//! allocations.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,10 +48,9 @@ fn lcg(x: &mut u64) -> u64 {
     *x >> 16
 }
 
-/// One burst of mixed unicast/multicast traffic shaped like the Fig. 7
-/// runs: requests, block transfers, and column multicasts on the
-/// 16×16 mesh. The packets are pre-built outside the measured window;
-/// only `inject` + `step` run while counting.
+/// Same traffic shape as the serial alloc-free test: mixed unicasts,
+/// block transfers, and column multicasts on the 16×16 mesh, enough
+/// active routers per cycle to keep the kernel on the sharded path.
 fn burst(net: &mut Network<u32>, seed: &mut u64) -> Vec<Packet<u32>> {
     let n = 256u64;
     let mut out = Vec::new();
@@ -68,7 +72,6 @@ fn burst(net: &mut Network<u32>, seed: &mut u64) -> Vec<Packet<u32>> {
             a as u32,
         ));
     }
-    // A few column multicasts exercise the replication path.
     for _ in 0..4 {
         let col = (lcg(seed) % 16) as u16;
         let src = NodeId((lcg(seed) % 256) as u32);
@@ -97,22 +100,32 @@ fn run_burst(net: &mut Network<u32>, packets: Vec<Packet<u32>>) {
 }
 
 #[test]
-fn steady_state_step_does_not_allocate() {
+fn steady_state_sharded_step_does_not_allocate() {
     let topo = Topology::mesh(16, 16, &[1; 15], &[1; 15]);
     let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
-    let mut net: Network<u32> = Network::new(topo, table, RouterParams::hpca07());
+    let params = RouterParams {
+        sim_threads: 4,
+        ..RouterParams::hpca07()
+    };
+    let mut net: Network<u32> = Network::new(topo, table, params);
+    assert_eq!(net.sim_threads(), 4);
     let mut seed = 0x9E3779B97F4A7C15u64;
 
-    // Warm-up: grow every internal buffer to its high-water mark.
+    // Warm-up: spins up the worker pool and grows every buffer —
+    // intents, per-worker scratch, commit mailboxes — to its
+    // high-water mark.
     for _ in 0..12 {
         let packets = burst(&mut net, &mut seed);
         run_burst(&mut net, packets);
     }
+    let phase = net.phase_stats();
+    assert!(
+        phase.parallel_cycles > 0,
+        "warm-up must exercise the sharded kernel"
+    );
 
-    // Measured window. Packet construction allocates (Arc bodies,
-    // multicast lists), so pre-build the burst before snapshotting the
-    // counter; `inject` itself allocates the per-packet `Arc` and is
-    // excluded too by injecting before the snapshot.
+    // Measured window: pre-build and inject before snapshotting the
+    // counter (packet construction and `inject` allocate by design).
     let packets = burst(&mut net, &mut seed);
     for p in packets {
         net.inject(p);
@@ -127,7 +140,7 @@ fn steady_state_step_does_not_allocate() {
     assert_eq!(
         after - before,
         0,
-        "Network::step allocated {} times in steady state",
+        "sharded Network::step allocated {} times in steady state",
         after - before
     );
 }

@@ -132,6 +132,117 @@ fn faulted_checked_campaign_is_bit_identical_for_every_thread_count() {
     }
 }
 
+/// A campaign engineered to stress the *sharded* commit phase's
+/// run/barrier machinery: every wave floods the mesh with column
+/// multicasts from staggered sources, so fresh multicast splits
+/// (deferred routers — commit barriers) land between runs of
+/// committable routers at many different worklist offsets, while
+/// replica-reservation releases (the commit-time `reserved` flips the
+/// pre-scan must predict) fire continuously. A fault pulse in the
+/// middle of the hot region forces reroutes through the same cycles.
+/// Returns the delivered sequence and final statistics.
+fn shard_boundary_campaign(sim_threads: u32) -> (Vec<(PacketId, Endpoint, u64)>, NetStats) {
+    let topo = Topology::mesh(8, 8, &[1; 7], &[1; 7]);
+    let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+    let params = RouterParams {
+        sim_threads,
+        ..RouterParams::hpca07()
+    };
+    let mut net: Network<u64> = Network::new(topo, table, params);
+    net.enable_invariant_checker();
+    // A short down/up pulse on a central link while the multicast storm
+    // is in flight: the repair lands while replica reservations from
+    // the same cycles are still being released.
+    net.set_fault_schedule(FaultSchedule::new(vec![
+        FaultEvent {
+            cycle: 60,
+            link: LinkId(40),
+            up: false,
+        },
+        FaultEvent {
+            cycle: 140,
+            link: LinkId(40),
+            up: true,
+        },
+    ]));
+    let mut delivered = Vec::new();
+    let mut inbox = Vec::new();
+    for wave in 0..4u64 {
+        // Every column gets a path multicast per wave, each from a
+        // different source row, so splits happen at routers spread
+        // across the sorted worklist — including positions adjacent to
+        // the static round-robin shard boundaries.
+        for col in 0..8u16 {
+            let src_row = ((wave + u64::from(col)) % 8) as u16;
+            let src = net.topology().node_at((col + 3) % 8, src_row);
+            let path: Vec<Endpoint> = (0..8)
+                .map(|row| Endpoint::at(net.topology().node_at(col, row)))
+                .collect();
+            net.inject(Packet::new(
+                Endpoint::at(src),
+                Dest::multicast(path),
+                3,
+                wave * 100 + u64::from(col),
+            ));
+        }
+        // Background unicasts keep the non-multicast runs long enough
+        // to shard (>= the kernel's minimum parallel worklist).
+        for i in 0..32u64 {
+            let a = ((wave * 13 + i * 5) % 64) as u32;
+            let b = (u64::from(a) + 17 + (i % 7) * 9) as u32 % 64;
+            net.inject(Packet::new(
+                Endpoint::at(NodeId(a)),
+                Dest::unicast(Endpoint::at(NodeId(b))),
+                if i % 3 == 0 { 5 } else { 1 },
+                wave * 1000 + i,
+            ));
+        }
+        while net.is_busy() || net.next_event_cycle().is_some() {
+            net.advance().expect("campaign traffic cannot deadlock");
+            net.drain_all_delivered_into(&mut inbox);
+            for d in inbox.drain(..) {
+                delivered.push((d.packet.id, d.endpoint, net.cycle()));
+            }
+        }
+    }
+    let checker = net.take_invariant_checker().expect("checker was enabled");
+    assert!(
+        checker.violations().is_empty(),
+        "sim_threads={sim_threads}: {:?}",
+        checker.violations()
+    );
+    (delivered, net.stats().clone())
+}
+
+#[test]
+fn shard_boundary_multicast_fault_campaign_is_bit_identical() {
+    let (serial_seq, serial_stats) = shard_boundary_campaign(1);
+    assert!(
+        serial_seq.len() > 300,
+        "campaign must deliver real multicast traffic, got {}",
+        serial_seq.len()
+    );
+    assert!(
+        serial_stats.replications > 0,
+        "the multicast storm must actually split"
+    );
+    assert!(
+        serial_stats.link_down_events > 0,
+        "the fault pulse must actually fire"
+    );
+    for threads in [2, 4, 8] {
+        let (seq, stats) = shard_boundary_campaign(threads);
+        assert_eq!(
+            serial_seq, seq,
+            "delivered sequence must not depend on sim_threads={threads}"
+        );
+        assert_eq!(
+            serial_stats, stats,
+            "statistics must not depend on sim_threads={threads}"
+        );
+    }
+}
+
 /// Runs one (design, scheme) cell end to end with the given kernel
 /// thread count, checker on, and returns its metrics.
 fn cell_metrics(design: Design, scheme: Scheme, sim_threads: u32) -> Metrics {
