@@ -14,6 +14,8 @@
 //! * `NUCANET_SIM_THREADS` — cycle-kernel threads (default 1: serial;
 //!   0 auto-detects). Simulated results are bit-identical for any
 //!   value; only wall time and the phase breakdown change.
+//! * `NUCANET_PERF_CORES` — injector endpoints driving the 32×32
+//!   `mesh-giant` closed loop (default 4).
 //! * `NUCANET_PERF_MIN_RATIO` — when set (e.g. `0.33`), exit nonzero
 //!   if cycles/sec falls below `ratio × baseline` on any config with a
 //!   recorded baseline: the CI smoke-perf regression floor.
@@ -23,8 +25,8 @@ use std::path::PathBuf;
 
 use nucanet::sweep::write_atomically;
 use nucanet_bench::perf::{
-    baseline_for, halo_sat_throughput, halo_throughput, mesh_sat_throughput, mesh_throughput,
-    render_perf_json,
+    baseline_for, giant_sat_throughput, halo_sat_throughput, halo_throughput,
+    mesh_sat_throughput, mesh_throughput, render_perf_json,
 };
 use nucanet_bench::{parse_env_u64, sim_threads_from_env};
 
@@ -55,11 +57,13 @@ fn main() {
     println!(
         "cycle-kernel throughput ({packets} packets per config, best of {repeats}, sim-threads {threads})"
     );
+    let cores = env_u64("NUCANET_PERF_CORES", 4) as u16;
     let samples = vec![
         best_of(repeats, || mesh_throughput(packets, threads)),
         best_of(repeats, || halo_throughput(packets, threads)),
         best_of(repeats, || mesh_sat_throughput(packets, threads)),
         best_of(repeats, || halo_sat_throughput(packets, threads)),
+        best_of(repeats, || giant_sat_throughput(packets, threads, cores)),
     ];
     let mut floor_violated = false;
     let min_ratio: Option<f64> = std::env::var("NUCANET_PERF_MIN_RATIO")

@@ -15,7 +15,11 @@
 //!   `"halo-sat"`), which keep a fixed window of packets in flight so
 //!   nearly every router is active every cycle — the regime the
 //!   two-phase threaded kernel targets, since a full worklist is what
-//!   the compute phase shards.
+//!   the compute phase shards;
+//! * the **giant-topology** config (`"mesh-giant"`), a 32×32 mesh
+//!   (1024 routers) driven closed-loop from N injector endpoints with
+//!   thousands of outstanding packets — the scale the O(links) routing
+//!   builder unlocks.
 //!
 //! Every measurement function takes a `sim_threads` argument
 //! ([`nucanet_noc::RouterParams::sim_threads`]); the simulation is
@@ -58,7 +62,7 @@ pub const PERF_SCHEMA: &str = "nucanet/perf-v2";
 #[derive(Debug, Clone)]
 pub struct PerfSample {
     /// Which configuration was measured (`"fig7-mesh"`, `"halo"`,
-    /// `"mesh-sat"`, `"halo-sat"`).
+    /// `"mesh-sat"`, `"halo-sat"`, `"mesh-giant"`).
     pub config: &'static str,
     /// Cycle-kernel threads the network resolved to (1 = serial).
     pub threads: usize,
@@ -373,6 +377,11 @@ const MESH_SAT_WINDOW: u64 = 512;
 /// outstanding-transaction budget rather than per-node sources.
 const HALO_SAT_WINDOW: u64 = 64;
 
+/// Packets kept in flight by the giant-mesh closed loop: thousands of
+/// outstanding transactions across 1024 routers, the regime the
+/// giant-topology CMP mode targets.
+const GIANT_SAT_WINDOW: u64 = 2048;
+
 /// Times the 16×16 mesh at saturation with `sim_threads` cycle-kernel
 /// threads: a closed loop keeps a 512-packet window of random unicasts
 /// in flight (refilling as deliveries complete) until `packets` have
@@ -472,6 +481,59 @@ pub fn halo_sat_throughput(packets: u64, sim_threads: u32) -> PerfSample {
         }
     }
     sample("halo-sat", &net, start.elapsed())
+}
+
+/// Times a 32×32 mesh (1024 routers) at saturation with `sim_threads`
+/// cycle-kernel threads: `cores` injector endpoints spread across the
+/// top row keep a shared 2048-packet window of random unicasts in
+/// flight until `packets` transactions complete, then the loop drains.
+/// Table construction for the 1024-router mesh happens inside the
+/// measured region, so this config also smoke-tests the O(links)
+/// routing builder at giant scale.
+///
+/// ```
+/// use nucanet_bench::perf::giant_sat_throughput;
+///
+/// let s = giant_sat_throughput(64, 1, 4);
+/// assert_eq!(s.packets, 64);
+/// assert_eq!(s.config, "mesh-giant");
+/// ```
+#[must_use]
+pub fn giant_sat_throughput(packets: u64, sim_threads: u32, cores: u16) -> PerfSample {
+    let cores = cores.max(1);
+    let topo = Topology::mesh(32, 32, &[1; 31], &[1; 31]);
+    let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+    let srcs: Vec<Endpoint> = (0..cores)
+        .map(|i| Endpoint::at(topo.node_at((i as u32 * 32 / cores as u32) as u16, 0)))
+        .collect();
+    let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
+    let mut x: u64 = 0x452821E638D01377;
+    let mut injected = 0u64;
+    let mut completed = 0u64;
+    let mut inbox = Vec::new();
+    let start = Instant::now();
+    while completed < packets {
+        while injected < packets && injected - completed < GIANT_SAT_WINDOW {
+            let src = srcs[(injected % cores as u64) as usize];
+            let r = lcg(&mut x);
+            let mut b = (r % 1024) as u32;
+            if NodeId(b) == src.node {
+                b = (b + 1) % 1024;
+            }
+            let flits = if r & 0x10000 == 0 { 1 } else { 5 };
+            net.inject(Packet::new(
+                src,
+                Dest::unicast(Endpoint::at(NodeId(b))),
+                flits,
+                injected,
+            ));
+            injected += 1;
+        }
+        net.advance().expect("perf traffic cannot deadlock");
+        net.drain_all_delivered_into(&mut inbox);
+        completed += inbox.drain(..).count() as u64;
+    }
+    sample("mesh-giant", &net, start.elapsed())
 }
 
 /// Renders samples plus the baked-in baseline as the
@@ -598,6 +660,19 @@ mod tests {
             h.cycles,
             "saturation loop is bit-identical across thread counts"
         );
+    }
+
+    #[test]
+    fn giant_config_is_bit_identical_across_threads_and_sources() {
+        let serial = giant_sat_throughput(150, 1, 4);
+        let threaded = giant_sat_throughput(150, 4, 4);
+        assert_eq!(serial.cycles, threaded.cycles);
+        assert_eq!(serial.flit_hops, threaded.flit_hops);
+        assert_eq!(serial.packets, 150);
+        // More sources change the traffic (different scenario), but the
+        // run stays deterministic for a fixed source count.
+        let eight = giant_sat_throughput(150, 1, 8);
+        assert_eq!(eight.cycles, giant_sat_throughput(150, 2, 8).cycles);
     }
 
     #[test]

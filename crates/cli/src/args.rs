@@ -33,6 +33,9 @@ pub enum ParseError {
     /// example an injected fault partitioned the network and tripped
     /// the watchdog).
     SimulationFailed(String),
+    /// The options parsed but describe a machine the layout builder
+    /// cannot realise (for example more cores than attachment points).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for ParseError {
@@ -49,6 +52,7 @@ impl fmt::Display for ParseError {
                 write!(f, "bad value '{value}' for --{key}; expected {expected}")
             }
             ParseError::SimulationFailed(msg) => write!(f, "simulation failed: {msg}"),
+            ParseError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

@@ -9,8 +9,8 @@ use nucanet::scheme::ALL_SCHEMES;
 use nucanet::sweep::{capacity_points, render_json_results, write_atomically, SweepRunner};
 use nucanet::{CacheSystem, FaultConfig, Scheme};
 use nucanet_bench::perf::{
-    baseline_for, halo_sat_throughput, halo_throughput, mesh_sat_throughput, mesh_throughput,
-    parse_trajectory, render_perf_json,
+    baseline_for, giant_sat_throughput, halo_sat_throughput, halo_throughput,
+    mesh_sat_throughput, mesh_throughput, parse_trajectory, render_perf_json,
 };
 use nucanet_noc::{run_fuzz, FuzzOptions, LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
@@ -71,7 +71,8 @@ pub fn help_text() -> String {
      \x20 --bench NAME         Table 2 benchmark (default gcc)\n\
      \x20 --accesses N         measured accesses (default 2000)\n\
      \x20 --warmup N           warm-up accesses (default 20000)\n\
-     \x20 --cores K            cores sharing the cache (run only, default 1)\n\
+     \x20 --cores K            cores sharing the cache (run/sweep: closed-loop\n\
+     \x20                      CMP mode; perf: mesh-giant injectors; default 1)\n\
      \x20 --seed N             workload seed\n\
      \x20 --workers N          sweep worker threads (default: all cores)\n\
      \x20 --sim-threads N      cycle-kernel threads per simulated network\n\
@@ -84,6 +85,8 @@ pub fn help_text() -> String {
      \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
      \x20 --check 1            run/sweep: enable the runtime invariant checker\n\
      \x20 --iters N            fuzz: scenarios to run (default 200)\n\
+     \x20 --cmp-iters N        fuzz: CMP determinism scenarios, 2-4 cores\n\
+     \x20                      across sim-thread counts (default 10)\n\
      \x20 --csv 1              emit CSV instead of aligned text\n\
      \n\
      A sweep point whose faults partition the network fails alone\n\
@@ -103,6 +106,18 @@ fn sim_threads_of(args: &Args) -> Result<u32, ParseError> {
     }
 }
 
+/// `--cores K`: the CMP core count (default 1). Zero and values beyond
+/// the topology's attachment points are *configuration* errors reported
+/// by the layout builder, so only the integer range is checked here.
+fn cores_of(args: &Args) -> Result<u16, ParseError> {
+    let raw = args.get_usize("cores", 1)?;
+    u16::try_from(raw).map_err(|_| ParseError::BadValue {
+        key: "cores".into(),
+        value: raw.to_string(),
+        expected: "a core count that fits in 16 bits",
+    })
+}
+
 fn scale_of(args: &Args) -> Result<ExperimentScale, ParseError> {
     Ok(ExperimentScale {
         warmup: args.get_usize("warmup", 20_000)?,
@@ -117,7 +132,7 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
     let scheme = args.scheme()?;
     let bench = args.benchmark()?;
     let scale = scale_of(args)?;
-    let cores = args.get_usize("cores", 1)?.max(1) as u8;
+    let cores = cores_of(args)?;
     let check = args.get("check") == Some("1");
     let sim_threads = sim_threads_of(args)?;
 
@@ -139,7 +154,8 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
     let mut cfg = design.config(scheme);
     cfg.check_invariants = check;
     cfg.router.sim_threads = sim_threads;
-    let mut sys = CacheSystem::with_cores(&cfg, cores);
+    let mut sys = CacheSystem::try_with_cores(&cfg, cores)
+        .map_err(|e| ParseError::InvalidConfig(e.to_string()))?;
     let traces: Vec<Trace> = (0..cores)
         .map(|i| {
             let mut gen = TraceGenerator::new(
@@ -305,6 +321,7 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
     let workers = args.get_usize("workers", 0)?;
     let faults = args.get_usize("faults", 0)?;
     let repair = args.get_usize("fault-repair", 0)?;
+    let cores = cores_of(args)?.max(1);
     let runner = if workers == 0 {
         SweepRunner::new()
     } else {
@@ -314,6 +331,12 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
     let sim_threads = sim_threads_of(args)?;
     for p in &mut points {
         p.config.router.sim_threads = sim_threads;
+        // CMP sweep: every point runs the closed-loop N-core mode with
+        // per-core derived traces (bit-identical for any worker count).
+        p.config.cores = cores;
+        if cores > 1 {
+            p.label = format!("{} x{cores} cores", p.label);
+        }
     }
     if args.get("check") == Some("1") {
         for p in &mut points {
@@ -402,17 +425,19 @@ fn cmd_perf(args: &Args) -> Result<String, ParseError> {
     let packets = args.get_usize("packets", 5_000)? as u64;
     let repeats = args.get_usize("repeats", 1)?.max(1);
     let threads = sim_threads_of(args)?;
-    let best = |run: fn(u64, u32) -> nucanet_bench::perf::PerfSample| {
+    let cores = cores_of(args)?.max(1);
+    let best = |run: &dyn Fn() -> nucanet_bench::perf::PerfSample| {
         (0..repeats)
-            .map(|_| run(packets, threads))
+            .map(|_| run())
             .min_by_key(|s| s.wall)
             .expect("repeats >= 1")
     };
     let samples = vec![
-        best(mesh_throughput),
-        best(halo_throughput),
-        best(mesh_sat_throughput),
-        best(halo_sat_throughput),
+        best(&|| mesh_throughput(packets, threads)),
+        best(&|| halo_throughput(packets, threads)),
+        best(&|| mesh_sat_throughput(packets, threads)),
+        best(&|| halo_sat_throughput(packets, threads)),
+        best(&|| giant_sat_throughput(packets, threads, cores)),
     ];
     let mut out = format!(
         "cycle-kernel throughput ({packets} packets, best of {repeats}, sim-threads {threads})\n"
@@ -492,6 +517,11 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
         max_cycles: args.get_usize("max-cycles", 50_000)? as u64,
         sim_threads: sim_threads_of(args)?,
     };
+    let cmp_opts = nucanet::CmpFuzzOptions {
+        iters: args.get_usize("cmp-iters", 10)? as u64,
+        seed: args.get_usize("seed", 0xA11CE)? as u64,
+        accesses: 40,
+    };
     let report = run_fuzz(&opts);
     if let Some(f) = &report.failure {
         let json = format!(
@@ -510,15 +540,26 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
             f.iter, f.seed, f.detail
         )));
     }
+    // Layer above the network: closed-loop CMP runs (2-4 cores) must be
+    // bit-identical across cycle-kernel thread counts.
+    let cmp_clean = nucanet::run_cmp_fuzz(&cmp_opts).map_err(|f| {
+        ParseError::SimulationFailed(format!(
+            "cmp fuzz iteration {} failed (replay: nucanet fuzz --iters 0 \
+             --cmp-iters 1 --seed {}): {}",
+            f.iter, f.seed, f.detail
+        ))
+    })?;
     Ok(format!(
         "fuzz: {} iterations clean (checker {})\n\
-         {} packets injected, {} deliveries, {} multicasts, {} fault events\n",
+         {} packets injected, {} deliveries, {} multicasts, {} fault events\n\
+         cmp fuzz: {} scenarios clean (2-4 cores, sim-threads 1 vs 4)\n",
         report.iters_run,
         if opts.check { "on" } else { "off" },
         report.packets,
         report.deliveries,
         report.multicasts,
-        report.fault_events
+        report.fault_events,
+        cmp_clean
     ))
 }
 

@@ -135,9 +135,10 @@ pub fn analyze(design: Design) -> DesignArea {
             }
             widths.iter().cloned().fold(0.0, f64::max) * height
         }
-        TopologyKind::Halo { .. } => {
+        TopologyKind::Halo { .. } | TopologyKind::MultiHubHalo { .. } => {
             // Spikes radiate from the central core; die side = core +
-            // two spike runs.
+            // two spike runs. Multi-hub halos use the same per-hub
+            // footprint estimate (Table 3 only covers single hubs).
             let spike_router = router_area_of.get(1).copied().unwrap_or(0.0);
             let run: f64 = (0..positions)
                 .map(|p| (bank_models[p].area_mm2() + spike_router).sqrt())

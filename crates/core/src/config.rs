@@ -22,7 +22,54 @@ pub enum TopologyChoice {
     SimplifiedMesh,
     /// Halo: hub + spikes, shortest-path routing (Designs E, F).
     Halo,
+    /// Multi-hub halo: a ring of `hubs` hubs, each carrying an equal
+    /// share of the bank sets as spikes; shortest-path routing. The
+    /// giant-scale CMP direction of §7 — cores spread across hubs.
+    MultiHubHalo {
+        /// Number of hubs on the ring; must divide the column count.
+        hubs: u16,
+    },
 }
+
+/// A configuration the layout builder cannot realise, reported instead
+/// of panicking so the CLI can surface it as a normal error message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// CMP mode needs at least one core.
+    ZeroCores,
+    /// More cores than the topology has attachment points.
+    TooManyCores {
+        /// Requested core count.
+        cores: u16,
+        /// Maximum the topology supports (its column count).
+        limit: u16,
+    },
+    /// A multi-hub halo needs the hubs to share the bank sets evenly.
+    HubsDontDivideColumns {
+        /// Configured hub count.
+        hubs: u16,
+        /// Configured column count.
+        columns: u16,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroCores => write!(f, "need at least one core"),
+            ConfigError::TooManyCores { cores, limit } => write!(
+                f,
+                "{cores} cores exceed the {limit} attachment points of this topology"
+            ),
+            ConfigError::HubsDontDivideColumns { hubs, columns } => write!(
+                f,
+                "{hubs} hubs cannot evenly share {columns} bank sets"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +102,13 @@ pub struct SystemConfig {
     /// Number of network interfaces the cache controller exposes. The
     /// paper's halo assumes "the cache controller can support multiple
     /// ports/interfaces to the networked cache" (§4); meshes use one.
-    pub core_ports: u8,
+    pub core_ports: u16,
+    /// Number of cores sharing the cache (the paper's §7 CMP
+    /// direction). 1 is the paper's single-core machine;
+    /// [`crate::CacheSystem::new`] honours this, giving every core its
+    /// own controller and network attachment, and the sweep engine runs
+    /// the closed-loop CMP mode with per-core derived traces.
+    pub cores: u16,
     /// Maximum concurrently outstanding transactions at the core.
     pub max_outstanding: usize,
     /// Maximum concurrent transactions per bank set (the paper's 2-entry
@@ -207,6 +260,7 @@ impl Design {
             mem_per_8b_cycles: 4,
             mem_extra_wire,
             core_ports,
+            cores: 1,
             max_outstanding: 4,
             per_column_limit: 2,
             tech: Technology::hpca07_65nm(),
@@ -282,21 +336,31 @@ impl SystemConfig {
     /// layout plus each core's interface list.
     ///
     /// Meshes spread the cores across the top row; halos give each core
-    /// its own hub slot (memory moves to the slot after them).
+    /// its own hub slot (memory moves to the slot after them); multi-hub
+    /// halos deal the cores round-robin across the hub ring.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_cores` is zero or exceeds the column count.
-    pub fn build_cmp_layout(&self, n_cores: u8) -> (SystemLayout, Vec<Vec<Endpoint>>) {
-        assert!(n_cores >= 1, "need at least one core");
-        assert!(
-            (n_cores as u16) <= self.columns,
-            "more cores than columns is not supported"
-        );
+    /// Returns a [`ConfigError`] when `n_cores` is zero or exceeds the
+    /// column count, or when a multi-hub geometry is inconsistent.
+    pub fn build_cmp_layout(
+        &self,
+        n_cores: u16,
+    ) -> Result<(SystemLayout, Vec<Vec<Endpoint>>), ConfigError> {
+        if n_cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        if n_cores > self.columns {
+            return Err(ConfigError::TooManyCores {
+                cores: n_cores,
+                limit: self.columns,
+            });
+        }
+        self.check_geometry()?;
         if n_cores == 1 {
             let layout = self.build_layout();
             let ifaces = vec![layout.core_ports.clone()];
-            return (layout, ifaces);
+            return Ok((layout, ifaces));
         }
         match self.topology {
             TopologyChoice::Mesh | TopologyChoice::SimplifiedMesh => {
@@ -312,9 +376,9 @@ impl SystemConfig {
                     ifaces.push(vec![Endpoint { node, slot }]);
                 }
                 layout.core_ports = ifaces.iter().flatten().copied().collect();
-                (layout, ifaces)
+                Ok((layout, ifaces))
             }
-            TopologyChoice::Halo => {
+            TopologyChoice::Halo | TopologyChoice::MultiHubHalo { .. } => {
                 // One hub slot per core; reuse the core_ports slots and
                 // grow them if there are more cores than ports.
                 let mut cfg = self.clone();
@@ -323,9 +387,23 @@ impl SystemConfig {
                 let ifaces = (0..n_cores)
                     .map(|i| vec![layout.core_ports[i as usize]])
                     .collect();
-                (layout, ifaces)
+                Ok((layout, ifaces))
             }
         }
+    }
+
+    /// Geometry checks that are configuration errors rather than bugs
+    /// (a multi-hub halo whose hubs cannot share the columns evenly).
+    fn check_geometry(&self) -> Result<(), ConfigError> {
+        if let TopologyChoice::MultiHubHalo { hubs } = self.topology {
+            if hubs == 0 || !(self.columns).is_multiple_of(hubs) {
+                return Err(ConfigError::HubsDontDivideColumns {
+                    hubs,
+                    columns: self.columns,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Validates the configuration.
@@ -353,6 +431,7 @@ impl SystemConfig {
             self.core_ports >= 1,
             "the controller needs at least one interface"
         );
+        assert!(self.cores >= 1, "need at least one core");
         self.router.validate();
     }
 
@@ -475,6 +554,64 @@ impl SystemConfig {
                         node: hub,
                         slot: self.core_ports,
                     },
+                    banks,
+                    by_column,
+                }
+            }
+            TopologyChoice::MultiHubHalo { hubs } => {
+                // Hubs share the bank sets evenly; controller interface
+                // `i` sits on hub `i % hubs` so CMP cores spread over
+                // the ring. The ring link spans the widest tile, like a
+                // mesh's horizontal pitch. Memory stays on hub 0.
+                self.check_geometry()
+                    .unwrap_or_else(|e| panic!("invalid multi-hub geometry: {e}"));
+                let spikes_per_hub = self.columns / hubs;
+                let ring_delay = *wire_cycles.iter().max().expect("at least one bank");
+                let per_hub = self.core_ports.div_ceil(hubs);
+                // Every hub carries the same slot count; the last slot
+                // on hub 0 is the memory controller's.
+                let slots_per_hub = per_hub + 1;
+                let topo = Topology::multi_hub_halo(
+                    hubs,
+                    spikes_per_hub,
+                    positions,
+                    &wire_cycles,
+                    ring_delay,
+                    slots_per_hub,
+                );
+                let mut banks = Vec::new();
+                let mut by_column = vec![Vec::new(); self.columns as usize];
+                for h in 0..hubs {
+                    for s in 0..spikes_per_hub {
+                        let c = (h * spikes_per_hub + s) as usize;
+                        for p in 0..positions {
+                            by_column[c].push(banks.len());
+                            banks.push(BankPlace {
+                                endpoint: Endpoint::at(topo.hub_spike_node(h, s, p)),
+                                column: c as u16,
+                                position: p as u8,
+                                ways: self.bank_ways[p as usize],
+                                kb: self.bank_kb[p as usize],
+                                timing: timings[p as usize],
+                            });
+                        }
+                    }
+                }
+                let core_ports: Vec<Endpoint> = (0..self.core_ports)
+                    .map(|i| Endpoint {
+                        node: topo.hub_node(i % hubs),
+                        slot: i / hubs,
+                    })
+                    .collect();
+                SystemLayout {
+                    routing: RoutingSpec::ShortestPath,
+                    core: core_ports[0],
+                    memory: Endpoint {
+                        node: topo.hub_node(0),
+                        slot: slots_per_hub - 1,
+                    },
+                    topo,
+                    core_ports,
                     banks,
                     by_column,
                 }

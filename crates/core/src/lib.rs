@@ -47,6 +47,7 @@
 
 pub mod agents;
 pub mod area;
+pub mod cmpfuzz;
 pub mod config;
 pub mod energy;
 pub mod experiments;
@@ -57,7 +58,8 @@ pub mod sweep;
 pub mod system;
 
 pub use area::{AreaBreakdown, DesignArea};
-pub use config::{Design, FaultConfig, SystemConfig, SystemLayout, TopologyChoice};
+pub use cmpfuzz::{run_cmp_fuzz, CmpFuzzFailure, CmpFuzzOptions};
+pub use config::{ConfigError, Design, FaultConfig, SystemConfig, SystemLayout, TopologyChoice};
 pub use energy::EnergyReport;
 pub use metrics::{AccessRecord, Metrics};
 pub use msg::CacheMsg;

@@ -43,7 +43,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use nucanet_noc::SimError;
-use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, TraceGenerator};
+use nucanet_workload::{BenchmarkProfile, CoreModel, SynthConfig, Trace, TraceGenerator};
 
 use crate::config::{Design, SystemConfig, TopologyChoice};
 use crate::experiments::ExperimentScale;
@@ -69,6 +69,11 @@ pub struct SweepPoint {
 /// the trace stream that uses the raw point seed.
 const FAULT_SEED_STREAM: u64 = 0xFA17;
 
+/// Stream index mixed into [`derive_seed`] for the per-core traces of a
+/// CMP point (core 0 keeps the raw point seed so single-core points are
+/// byte-for-byte unchanged).
+const CORE_SEED_STREAM: u64 = 0xC04E;
+
 impl SweepPoint {
     /// Runs this point to completion in `capture` mode.
     ///
@@ -91,15 +96,26 @@ impl SweepPoint {
     /// sweeps stay bit-identical regardless of worker count.
     pub fn try_run(&self, capture: MetricsCapture) -> Result<SweepOutcome, PointFailure> {
         let start = Instant::now();
-        let mut gen = TraceGenerator::new(
-            self.profile,
-            SynthConfig {
-                active_sets: self.scale.active_sets,
-                seed: self.scale.seed,
-                ..Default::default()
-            },
-        );
-        let trace = gen.generate(self.scale.warmup, self.scale.measured);
+        let n_cores = self.config.cores.max(1);
+        let mut traces: Vec<Trace> = Vec::with_capacity(n_cores as usize);
+        for i in 0..n_cores {
+            // Core 0 keeps the raw point seed so single-core points are
+            // unchanged; later cores get decorrelated derived streams.
+            let seed = if i == 0 {
+                self.scale.seed
+            } else {
+                derive_seed(self.scale.seed, CORE_SEED_STREAM.wrapping_add(i as u64))
+            };
+            let mut gen = TraceGenerator::new(
+                self.profile,
+                SynthConfig {
+                    active_sets: self.scale.active_sets,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            traces.push(gen.generate(self.scale.warmup, self.scale.measured));
+        }
         let mut cfg = self.config.clone();
         if let Some(fc) = cfg.faults.as_mut() {
             fc.seed = derive_seed(self.scale.seed, FAULT_SEED_STREAM.wrapping_add(fc.seed));
@@ -107,7 +123,20 @@ impl SweepPoint {
         let sim = catch_unwind(AssertUnwindSafe(|| {
             let mut sys = CacheSystem::new(&cfg);
             sys.set_metrics_capture(capture);
-            sys.run(&trace)
+            if n_cores == 1 {
+                sys.run(&traces[0])
+            } else {
+                // Closed-loop CMP point: every core drives its own
+                // trace; the point's result is the merged aggregate.
+                sys.run_cmp(&traces).map(|per_core| {
+                    let mut it = per_core.into_iter();
+                    let mut merged = it.next().expect("at least one core");
+                    for m in it {
+                        merged.merge(&m);
+                    }
+                    merged
+                })
+            }
         }));
         let error = match sim {
             Ok(Ok(metrics)) => {
@@ -388,6 +417,7 @@ fn capacity_label(topology: TopologyChoice, banks_per_set: usize) -> String {
             TopologyChoice::Mesh => "16xN mesh",
             TopologyChoice::SimplifiedMesh => "16xN simplified mesh",
             TopologyChoice::Halo => "N-spike halo",
+            TopologyChoice::MultiHubHalo { .. } => "multi-hub halo",
         },
         banks_per_set * 16 * 64 / 1024
     )

@@ -12,7 +12,7 @@ use crate::agents::bank::{BankAgent, BankCtx};
 use crate::agents::core_ctl::{CoreController, PendingAccess, SetLocks};
 use crate::agents::memory::MemoryAgent;
 use crate::agents::Outgoing;
-use crate::config::{SystemConfig, SystemLayout};
+use crate::config::{ConfigError, SystemConfig, SystemLayout};
 use crate::metrics::{Metrics, MetricsCapture};
 use crate::msg::CacheMsg;
 
@@ -65,14 +65,15 @@ pub struct CacheSystem {
 }
 
 impl CacheSystem {
-    /// Builds the system described by `cfg`.
+    /// Builds the system described by `cfg`, honouring
+    /// [`SystemConfig::cores`].
     ///
     /// # Panics
     ///
     /// Panics when the configuration is invalid or the column count is
     /// not a power of two (the address map needs whole column bits).
     pub fn new(cfg: &SystemConfig) -> Self {
-        Self::with_cores(cfg, 1)
+        Self::with_cores(cfg, cfg.cores)
     }
 
     /// Builds the system with `n_cores` cores sharing the cache (the
@@ -82,9 +83,27 @@ impl CacheSystem {
     /// # Panics
     ///
     /// Panics on invalid configurations (see [`CacheSystem::new`]) or
-    /// when `n_cores` exceeds the column count.
-    pub fn with_cores(cfg: &SystemConfig, n_cores: u8) -> Self {
-        let (layout, core_ifaces) = cfg.build_cmp_layout(n_cores);
+    /// when `n_cores` is zero or exceeds the column count — use
+    /// [`CacheSystem::try_with_cores`] to get those as typed errors.
+    pub fn with_cores(cfg: &SystemConfig, n_cores: u16) -> Self {
+        Self::try_with_cores(cfg, n_cores).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`CacheSystem::with_cores`]: core-count and
+    /// geometry problems come back as a [`ConfigError`] instead of a
+    /// panic, so callers like the CLI can report them cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when `n_cores` is zero or exceeds the
+    /// column count, or the multi-hub geometry is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on invalid configurations that are programming
+    /// errors (see [`CacheSystem::new`]).
+    pub fn try_with_cores(cfg: &SystemConfig, n_cores: u16) -> Result<Self, ConfigError> {
+        let (layout, core_ifaces) = cfg.build_cmp_layout(n_cores)?;
         let table = layout
             .routing
             .build(&layout.topo)
@@ -171,8 +190,11 @@ impl CacheSystem {
                 Rc::clone(&locks),
             );
             // Disjoint txn id spaces so banks can track requests across
-            // cores.
-            ctl.set_txn_base((i as u32) << 24);
+            // cores. Partition the u32 space by stride rather than a
+            // fixed shift so thousands of cores still get distinct,
+            // roomy id ranges.
+            let stride = u32::MAX / core_ifaces.len().max(1) as u32;
+            ctl.set_txn_base(i as u32 * stride);
             ctl.set_request_timeout(cfg.request_timeout, cfg.request_retries);
             for e in ifaces {
                 core_of_endpoint.insert(*e, i);
@@ -188,8 +210,12 @@ impl CacheSystem {
             net.enable_invariant_checker();
         }
 
-        CacheSystem {
-            cfg: cfg.clone(),
+        // Record the realised core count so `config()` reflects the
+        // built machine even when `n_cores` overrode `cfg.cores`.
+        let mut cfg = cfg.clone();
+        cfg.cores = n_cores;
+        Ok(CacheSystem {
+            cfg,
             layout,
             net,
             banks,
@@ -202,7 +228,7 @@ impl CacheSystem {
             map,
             measured_cycles: 0,
             capture: MetricsCapture::Full,
-        }
+        })
     }
 
     /// Selects how future runs store per-access measurements: full

@@ -131,7 +131,7 @@ struct Scenario {
 
 fn gen_scenario(seed: u64) -> Scenario {
     let mut rng = Rng(seed);
-    let shape = rng.below(4);
+    let shape = rng.below(5);
     let (topo, spec) = match shape {
         0 | 1 => {
             let cols = 2 + rng.below(4) as u16;
@@ -151,12 +151,23 @@ fn gen_scenario(seed: u64) -> Scenario {
                 RoutingSpec::Xyx,
             )
         }
-        _ => {
+        3 => {
             let spikes = 3 + rng.below(3) as u16;
             let spike_len = 1 + rng.below(3) as u16;
             let delays: Vec<u32> = (0..spike_len).map(|_| 1 + rng.below(3) as u32).collect();
             (
                 Topology::halo(spikes, spike_len, &delays, 1),
+                RoutingSpec::ShortestPath,
+            )
+        }
+        _ => {
+            let hubs = 2 + rng.below(3) as u16;
+            let spikes = 1 + rng.below(3) as u16;
+            let spike_len = 1 + rng.below(2) as u16;
+            let delays: Vec<u32> = (0..spike_len).map(|_| 1 + rng.below(3) as u32).collect();
+            let ring_delay = 1 + rng.below(2) as u32;
+            (
+                Topology::multi_hub_halo(hubs, spikes, spike_len, &delays, ring_delay, 1),
                 RoutingSpec::ShortestPath,
             )
         }
@@ -185,6 +196,17 @@ fn gen_scenario(seed: u64) -> Scenario {
                     let s = rng.below(spikes as u64) as u16;
                     (0..spike_len)
                         .map(|p| Endpoint::at(topo.spike_node(s, p)))
+                        .collect::<Vec<_>>()
+                }
+                crate::topology::TopologyKind::MultiHubHalo {
+                    hubs,
+                    spikes,
+                    spike_len,
+                } => {
+                    let h = rng.below(hubs as u64) as u16;
+                    let s = rng.below(spikes as u64) as u16;
+                    (0..spike_len)
+                        .map(|p| Endpoint::at(topo.hub_spike_node(h, s, p)))
                         .collect::<Vec<_>>()
                 }
             };

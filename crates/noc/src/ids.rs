@@ -11,8 +11,12 @@ pub struct NodeId(pub u32);
 pub struct LinkId(pub u32);
 
 /// Index of a port within one router's port array.
+///
+/// Wide enough (`u16`) for a multi-hub halo hub carrying hundreds of
+/// spike ports; topology constructors reject routers that would
+/// overflow it instead of silently aliasing ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct PortId(pub u8);
+pub struct PortId(pub u16);
 
 /// A network attachment point: a local slot of a router.
 ///
@@ -23,7 +27,7 @@ pub struct Endpoint {
     /// The router the endpoint hangs off.
     pub node: NodeId,
     /// Which of the router's local slots (0-based).
-    pub slot: u8,
+    pub slot: u16,
 }
 
 impl Endpoint {

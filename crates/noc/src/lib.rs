@@ -88,6 +88,6 @@ pub use ids::{Coord, Endpoint, LinkId, NodeId, PortId};
 pub use network::{Delivered, Network, PhaseStats};
 pub use packet::{Dest, Packet, PacketId};
 pub use params::RouterParams;
-pub use routing::{RoutingSpec, RoutingTable};
+pub use routing::{BuildRoutingError, RoutingBuilder, RoutingSpec, RoutingTable};
 pub use stats::NetStats;
 pub use topology::{PortLabel, Topology, TopologyKind};

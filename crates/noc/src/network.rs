@@ -45,7 +45,7 @@ use crate::params::RouterParams;
 use crate::router::{
     ComputeScratch, NetSlabs, OutRoute, RouteIntent, RouterIntent, RouterScratch, Split,
 };
-use crate::routing::RoutingTable;
+use crate::routing::{RoutingBuilder, RoutingTable};
 use crate::stats::NetStats;
 use crate::topology::{PortLabel, Topology};
 
@@ -160,6 +160,10 @@ pub struct Network<P> {
     /// onward so injection checks and reroute accounting can compare
     /// against the intact topology. `None` until a fault applies.
     base_table: Option<RoutingTable>,
+    /// Masked-rebuild state (reverse adjacency index + dense scratch),
+    /// created at the first fault event and reused for every later
+    /// rebuild so fault recomputation stops reallocating O(n²).
+    rebuilder: Option<RoutingBuilder>,
     /// Resolved compute-thread count (`params.sim_threads`, with `0`
     /// replaced by the host's available parallelism).
     sim_threads: usize,
@@ -232,6 +236,7 @@ impl<P> Network<P> {
             next_fault: 0,
             link_up: vec![true; n_links],
             base_table: None,
+            rebuilder: None,
             sim_threads,
             pool: None,
             intents: (0..n)
@@ -314,21 +319,28 @@ impl<P> Network<P> {
             });
         }
         if changed {
-            let rebuilt = self
-                .table
-                .spec()
-                .build_masked(&self.topo, &self.link_up)
-                .expect("the spec already built a table for this topology");
-            let pristine = std::mem::replace(&mut self.table, rebuilt);
+            if self.rebuilder.is_none() {
+                self.rebuilder = Some(
+                    RoutingBuilder::new(self.table.spec(), &self.topo)
+                        .expect("the spec already built a table for this topology"),
+                );
+            }
+            let rebuilder = self.rebuilder.as_mut().expect("created above");
             // Invariant: `base_table` is written exactly once — at the
             // first fault event, when `self.table` still is the intact
-            // table and is being replaced anyway, so the snapshot is a
-            // move, never a clone. Later rebuilds (repairs included)
-            // leave it untouched; `pristine_table` keeps serving the
-            // fault-free view for injection checks and reroute
-            // accounting.
+            // table. That first rebuild goes into a fresh allocation so
+            // the intact table can move into `base_table` unchanged;
+            // every later rebuild (repairs included) reuses the current
+            // degraded table's storage and the builder's scratch, so
+            // steady-state fault recomputation allocates nothing.
+            // `pristine_table` keeps serving the fault-free view for
+            // injection checks and reroute accounting.
             if self.base_table.is_none() {
+                let rebuilt = rebuilder.build(&self.topo, &self.link_up);
+                let pristine = std::mem::replace(&mut self.table, rebuilt);
                 self.base_table = Some(pristine);
+            } else {
+                rebuilder.rebuild_into(&self.topo, &self.link_up, &mut self.table);
             }
             if let Some(checker) = &mut self.checker {
                 let order =
@@ -724,7 +736,7 @@ impl<P> Network<P> {
         }
     }
 
-    fn local_port(&self, node: NodeId, slot: u8) -> Option<PortId> {
+    fn local_port(&self, node: NodeId, slot: u16) -> Option<PortId> {
         if node.0 as usize >= self.topo.len() {
             return None;
         }
@@ -1198,7 +1210,7 @@ impl<P> Network<P> {
                                     let rslot = slabs.vc_slot(ri, rp, rv);
                                     slabs.replica_role[rslot] = true;
                                     slabs.route[rslot] = Some(OutRoute {
-                                        port: eject_port,
+                                        port: eject_port as u8,
                                         vc: 0,
                                         eject: true,
                                     });
@@ -1236,7 +1248,7 @@ impl<P> Network<P> {
                         };
                         if let Some(ovc) = self.claim_out_vc(node, slabs, out.0 as usize) {
                             slabs.route[slot] = Some(OutRoute {
-                                port: out.0,
+                                port: out.0 as u8,
                                 vc: ovc,
                                 eject: false,
                             });
@@ -1244,7 +1256,7 @@ impl<P> Network<P> {
                         }
                     } else {
                         slabs.route[slot] = Some(OutRoute {
-                            port: eject_port,
+                            port: eject_port as u8,
                             vc: 0,
                             eject: true,
                         });
@@ -1257,7 +1269,7 @@ impl<P> Network<P> {
                     };
                     if let Some(ovc) = self.claim_out_vc(node, slabs, out.0 as usize) {
                         slabs.route[slot] = Some(OutRoute {
-                            port: out.0,
+                            port: out.0 as u8,
                             vc: ovc,
                             eject: false,
                         });
@@ -1513,7 +1525,7 @@ impl<P> ComputeCtx<'_, P> {
                                 port: p as u8,
                                 vc: v as u8,
                                 route: OutRoute {
-                                    port: out.0,
+                                    port: out.0 as u8,
                                     vc: ovc,
                                     eject: false,
                                 },
@@ -1531,7 +1543,7 @@ impl<P> ComputeCtx<'_, P> {
                             port: p as u8,
                             vc: v as u8,
                             route: OutRoute {
-                                port: eject_port,
+                                port: eject_port as u8,
                                 vc: 0,
                                 eject: true,
                             },
@@ -1548,7 +1560,7 @@ impl<P> ComputeCtx<'_, P> {
                             port: p as u8,
                             vc: v as u8,
                             route: OutRoute {
-                                port: out.0,
+                                port: out.0 as u8,
                                 vc: ovc,
                                 eject: false,
                             },

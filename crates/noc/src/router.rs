@@ -140,7 +140,18 @@ impl<P> NetSlabs<P> {
         let mut port_base = Vec::with_capacity(topo.len() + 1);
         let mut total_ports = 0u32;
         port_base.push(0);
-        for r in topo.routers() {
+        for (ri, r) in topo.routers().iter().enumerate() {
+            // The cycle kernel packs per-router port indices into `u8`
+            // fields (`RouteTarget`, round-robin state); a wider router
+            // must fail loudly here rather than alias ports. Topology
+            // and routing-table construction (`PortId` is `u16`) handle
+            // wider routers fine — only simulation has this cap.
+            assert!(
+                r.ports.len() <= u8::MAX as usize,
+                "router {ri} has {} ports; the cycle kernel supports at most {}",
+                r.ports.len(),
+                u8::MAX
+            );
             total_ports += r.ports.len() as u32;
             port_base.push(total_ports);
         }

@@ -92,86 +92,8 @@ impl RoutingSpec {
         topo: &Topology,
         link_up: &[bool],
     ) -> Result<RoutingTable, BuildRoutingError> {
-        assert_eq!(
-            link_up.len(),
-            topo.link_count(),
-            "link mask must cover every link"
-        );
-        let n = topo.len();
-        let mut next = vec![None; n * n];
-        match self {
-            RoutingSpec::Xy | RoutingSpec::Xyx => {
-                if !matches!(
-                    topo.kind(),
-                    TopologyKind::Mesh { .. } | TopologyKind::SimplifiedMesh { .. }
-                ) {
-                    return Err(BuildRoutingError::NotAMesh);
-                }
-                for cur in 0..n {
-                    for dst in 0..n {
-                        if cur == dst {
-                            continue;
-                        }
-                        let label = self.mesh_port(topo, NodeId(cur as u32), NodeId(dst as u32));
-                        next[cur * n + dst] = label.and_then(|l| {
-                            let r = topo.router(NodeId(cur as u32));
-                            r.port_by_label(l).filter(|p| {
-                                r.ports[p.0 as usize]
-                                    .out_link
-                                    .is_some_and(|lk| link_up[lk.0 as usize])
-                            })
-                        });
-                    }
-                }
-            }
-            RoutingSpec::ShortestPath => {
-                // BFS from every destination over reversed links.
-                for dst in 0..n {
-                    let mut dist = vec![u32::MAX; n];
-                    let mut q = VecDeque::new();
-                    dist[dst] = 0;
-                    q.push_back(dst);
-                    while let Some(v) = q.pop_front() {
-                        // Links arriving at v come from upstream routers u.
-                        for (li, l) in topo.links().iter().enumerate() {
-                            if !link_up[li] || l.dst.0 as usize != v {
-                                continue;
-                            }
-                            let u = l.src.0 as usize;
-                            if dist[u] == u32::MAX {
-                                dist[u] = dist[v] + 1;
-                                q.push_back(u);
-                                next[u * n + dst] = Some(l.src_port);
-                            } else if dist[u] == dist[v] + 1 {
-                                // Deterministic tie-break: lowest LinkId wins.
-                                let cur = next[u * n + dst];
-                                let better = match cur {
-                                    None => true,
-                                    Some(p) => {
-                                        let cur_link = topo.router(NodeId(u as u32)).ports
-                                            [p.0 as usize]
-                                            .out_link
-                                            .expect("routed port must have an out link");
-                                        LinkId(li as u32) < cur_link
-                                    }
-                                };
-                                if better {
-                                    next[u * n + dst] = Some(l.src_port);
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let mut table = RoutingTable {
-            n,
-            next,
-            reachable: vec![false; n * n],
-            spec: self,
-        };
-        table.compute_reachability(topo);
-        Ok(table)
+        let mut builder = RoutingBuilder::new(self, topo)?;
+        Ok(builder.build(topo, link_up))
     }
 
     /// Mesh port label per hop for XY / XYX.
@@ -207,36 +129,279 @@ impl RoutingSpec {
     }
 }
 
-impl RoutingTable {
-    fn compute_reachability(&mut self, topo: &Topology) {
+/// Reusable routing-table construction state: the topology's reverse
+/// adjacency index (CSR over incoming links, ascending `LinkId` within
+/// each node) plus dense per-destination scratch, so masked rebuilds
+/// under fault events are O(links) per destination and allocation-free
+/// after the first build.
+///
+/// The produced tables are bit-identical to a from-scratch
+/// [`RoutingSpec::build_masked`]: the BFS relaxes each node's incoming
+/// links in ascending `LinkId` order and keeps the lowest-`LinkId`
+/// candidate among equal-distance predecessors, which is exactly the
+/// old full-link-scan builder's deterministic tie-break.
+#[derive(Debug, Clone)]
+pub struct RoutingBuilder {
+    spec: RoutingSpec,
+    n: usize,
+    n_links: usize,
+    /// CSR offsets: node `v`'s incoming links are
+    /// `rev_links[rev_head[v]..rev_head[v + 1]]`.
+    rev_head: Vec<u32>,
+    /// Incoming link ids, grouped by destination node, ascending.
+    rev_links: Vec<u32>,
+    /// Per link: `(src node, src port)`, avoiding a topology chase in
+    /// the BFS inner loop.
+    link_src: Vec<(u32, PortId)>,
+    /// Per link: destination node, for the reachability chain walk.
+    link_dst: Vec<u32>,
+    /// Mesh only: each node's `[X+, X−, Y+, Y−]` ports with their
+    /// outgoing links, precomputed so the per-pair fill does no label
+    /// scans.
+    dir: Vec<[Option<(PortId, u32)>; 4]>,
+    /// Per node: the out-link behind `next[u * n + dst]`, kept while a
+    /// destination's BFS runs (tie-break comparisons) and reused by the
+    /// reachability walk as the successor pointer.
+    via: Vec<u32>,
+    dist: Vec<u32>,
+    queue: VecDeque<u32>,
+    /// Reachability chain-walk state per node: 0 unknown, 1 reaches the
+    /// destination, 2 dead-ends or loops, 3 on the current walk.
+    state: Vec<u8>,
+    walk: Vec<u32>,
+}
+
+/// Sentinel for "no link" in dense `u32` link-id scratch.
+const NO_LINK: u32 = u32::MAX;
+
+impl RoutingBuilder {
+    /// Prepares a builder for `spec` over `topo`: builds the reverse
+    /// adjacency index (O(links)) and sizes the dense scratch. The
+    /// builder may then produce any number of masked tables for this
+    /// topology without rescanning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildRoutingError::NotAMesh`] when a coordinate-based
+    /// algorithm is requested for a topology without coordinates.
+    pub fn new(spec: RoutingSpec, topo: &Topology) -> Result<Self, BuildRoutingError> {
+        let n = topo.len();
+        let n_links = topo.link_count();
+        if matches!(spec, RoutingSpec::Xy | RoutingSpec::Xyx)
+            && !matches!(
+                topo.kind(),
+                TopologyKind::Mesh { .. } | TopologyKind::SimplifiedMesh { .. }
+            )
+        {
+            return Err(BuildRoutingError::NotAMesh);
+        }
+        // Counting sort of link ids by destination node keeps each CSR
+        // bucket in ascending LinkId order (stable, single pass).
+        let mut counts = vec![0u32; n + 1];
+        for l in topo.links() {
+            counts[l.dst.0 as usize + 1] += 1;
+        }
+        for v in 0..n {
+            counts[v + 1] += counts[v];
+        }
+        let rev_head = counts.clone();
+        let mut rev_links = vec![0u32; n_links];
+        let mut cursor = counts;
+        let mut link_src = Vec::with_capacity(n_links);
+        let mut link_dst = Vec::with_capacity(n_links);
+        for (li, l) in topo.links().iter().enumerate() {
+            let v = l.dst.0 as usize;
+            rev_links[cursor[v] as usize] = li as u32;
+            cursor[v] += 1;
+            link_src.push((l.src.0, l.src_port));
+            link_dst.push(l.dst.0);
+        }
+        let dir = if matches!(spec, RoutingSpec::Xy | RoutingSpec::Xyx) {
+            topo.routers()
+                .iter()
+                .map(|r| {
+                    let mut d = [None; 4];
+                    for (label, slot) in [
+                        (PortLabel::XPlus, 0),
+                        (PortLabel::XMinus, 1),
+                        (PortLabel::YPlus, 2),
+                        (PortLabel::YMinus, 3),
+                    ] {
+                        d[slot] = r.port_by_label(label).and_then(|p| {
+                            r.ports[p.0 as usize].out_link.map(|lk| (p, lk.0))
+                        });
+                    }
+                    d
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(RoutingBuilder {
+            spec,
+            n,
+            n_links,
+            rev_head,
+            rev_links,
+            link_src,
+            link_dst,
+            dir,
+            via: vec![NO_LINK; n],
+            dist: vec![u32::MAX; n],
+            queue: VecDeque::with_capacity(n),
+            state: vec![0; n],
+            walk: Vec::with_capacity(n),
+        })
+    }
+
+    /// Builds a fresh table for the given link mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `link_up.len()` does not match the topology's link
+    /// count or the builder was prepared for a different topology.
+    pub fn build(&mut self, topo: &Topology, link_up: &[bool]) -> RoutingTable {
+        let mut table = RoutingTable {
+            n: self.n,
+            next: vec![None; self.n * self.n],
+            reachable: vec![false; self.n * self.n],
+            spec: self.spec,
+        };
+        self.rebuild_into(topo, link_up, &mut table);
+        table
+    }
+
+    /// Rebuilds `table` in place for the given link mask, reusing both
+    /// the table's storage and the builder's scratch — the steady-state
+    /// path for fault-driven recomputation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on topology/mask/table size mismatches or when `table`
+    /// was built from a different spec.
+    pub fn rebuild_into(&mut self, topo: &Topology, link_up: &[bool], table: &mut RoutingTable) {
+        assert_eq!(
+            link_up.len(),
+            topo.link_count(),
+            "link mask must cover every link"
+        );
+        assert_eq!(topo.len(), self.n, "builder prepared for another topology");
+        assert_eq!(self.n_links, topo.link_count(), "topology changed links");
+        assert_eq!(table.n, self.n, "table sized for another topology");
+        assert_eq!(table.spec, self.spec, "table built from another spec");
         let n = self.n;
-        for src in 0..n {
-            'dst: for dst in 0..n {
-                if src == dst {
-                    self.reachable[src * n + dst] = true;
-                    continue;
+        table.next.fill(None);
+        table.reachable.fill(false);
+        match self.spec {
+            RoutingSpec::Xy | RoutingSpec::Xyx => {
+                for cur in 0..n {
+                    for dst in 0..n {
+                        if cur == dst {
+                            continue;
+                        }
+                        let label = self
+                            .spec
+                            .mesh_port(topo, NodeId(cur as u32), NodeId(dst as u32));
+                        table.next[cur * n + dst] = label.and_then(|l| {
+                            let slot = match l {
+                                PortLabel::XPlus => 0,
+                                PortLabel::XMinus => 1,
+                                PortLabel::YPlus => 2,
+                                PortLabel::YMinus => 3,
+                                _ => unreachable!("mesh routing uses direction ports"),
+                            };
+                            self.dir[cur][slot]
+                                .filter(|&(_, lk)| link_up[lk as usize])
+                                .map(|(p, _)| p)
+                        });
+                    }
                 }
-                let mut cur = src;
-                for _ in 0..=n {
-                    match self.next[cur * n + dst] {
-                        None => continue 'dst,
-                        Some(p) => {
-                            let link = topo.router(NodeId(cur as u32)).ports[p.0 as usize]
-                                .out_link
-                                .expect("routing table port has no out link");
-                            cur = topo.link(link).dst.0 as usize;
-                            if cur == dst {
-                                self.reachable[src * n + dst] = true;
-                                continue 'dst;
+            }
+            RoutingSpec::ShortestPath => {
+                // BFS from every destination over the reverse adjacency
+                // index; each pass touches every live link once.
+                for dst in 0..n {
+                    self.dist.fill(u32::MAX);
+                    self.queue.clear();
+                    self.dist[dst] = 0;
+                    self.queue.push_back(dst as u32);
+                    while let Some(v) = self.queue.pop_front() {
+                        let v = v as usize;
+                        let d_next = self.dist[v] + 1;
+                        let lo = self.rev_head[v] as usize;
+                        let hi = self.rev_head[v + 1] as usize;
+                        for &li in &self.rev_links[lo..hi] {
+                            if !link_up[li as usize] {
+                                continue;
+                            }
+                            let (u, port) = self.link_src[li as usize];
+                            let u = u as usize;
+                            if self.dist[u] == u32::MAX {
+                                self.dist[u] = d_next;
+                                self.queue.push_back(u as u32);
+                                table.next[u * n + dst] = Some(port);
+                                self.via[u] = li;
+                            } else if self.dist[u] == d_next && li < self.via[u] {
+                                // Deterministic tie-break: lowest LinkId
+                                // wins (as in the original builder).
+                                table.next[u * n + dst] = Some(port);
+                                self.via[u] = li;
                             }
                         }
                     }
                 }
-                // Path longer than n hops: treat as a routing loop.
             }
         }
+        self.compute_reachability(topo, table);
     }
 
+    /// Fills `table.reachable` by walking each destination's next-hop
+    /// chains with memoization: every node is classified once per
+    /// destination (reaches it, dead-ends, or loops), so the pass is
+    /// O(n) per destination instead of the old O(n²) per-pair walk.
+    /// Chains that revisit a node are routing loops and stay
+    /// unreachable, exactly like the old bounded walk.
+    fn compute_reachability(&mut self, topo: &Topology, table: &mut RoutingTable) {
+        let n = self.n;
+        for dst in 0..n {
+            self.state.fill(0);
+            self.state[dst] = 1;
+            for src in 0..n {
+                if self.state[src] != 0 {
+                    table.reachable[src * n + dst] = self.state[src] == 1;
+                    continue;
+                }
+                self.walk.clear();
+                let mut cur = src;
+                let verdict = loop {
+                    match self.state[cur] {
+                        1 => break 1,
+                        2 | 3 => break 2, // dead end or a loop closed
+                        _ => {}
+                    }
+                    self.state[cur] = 3;
+                    self.walk.push(cur as u32);
+                    match table.next[cur * n + dst] {
+                        None => break 2,
+                        Some(p) => {
+                            let link = topo.router(NodeId(cur as u32)).ports[p.0 as usize]
+                                .out_link
+                                .expect("routing table port has no out link");
+                            cur = self.link_dst[link.0 as usize] as usize;
+                        }
+                    }
+                };
+                for &u in &self.walk {
+                    self.state[u as usize] = verdict;
+                }
+                table.reachable[src * n + dst] = verdict == 1;
+            }
+            table.reachable[dst * n + dst] = true;
+        }
+    }
+}
+
+impl RoutingTable {
     /// Output port at `cur` toward `dst`; `None` when `cur == dst` or
     /// the algorithm provides no route.
     pub fn next_hop(&self, cur: NodeId, dst: NodeId) -> Option<PortId> {
@@ -499,6 +664,182 @@ mod tests {
     fn masked_build_rejects_short_mask() {
         let t = mesh4();
         let _ = RoutingSpec::Xy.build_masked(&t, &[true; 3]);
+    }
+
+    /// The pre-rework builder, kept verbatim as a reference: full link
+    /// rescan on every BFS pop and the per-pair bounded chain walk for
+    /// reachability. The production [`RoutingBuilder`] must match it
+    /// bit for bit.
+    fn reference_build_masked(spec: RoutingSpec, topo: &Topology, link_up: &[bool]) -> RoutingTable {
+        assert_eq!(link_up.len(), topo.link_count());
+        let n = topo.len();
+        let mut next = vec![None; n * n];
+        match spec {
+            RoutingSpec::Xy | RoutingSpec::Xyx => {
+                for cur in 0..n {
+                    for dst in 0..n {
+                        if cur == dst {
+                            continue;
+                        }
+                        let label = spec.mesh_port(topo, NodeId(cur as u32), NodeId(dst as u32));
+                        next[cur * n + dst] = label.and_then(|l| {
+                            let r = topo.router(NodeId(cur as u32));
+                            r.port_by_label(l).filter(|p| {
+                                r.ports[p.0 as usize]
+                                    .out_link
+                                    .is_some_and(|lk| link_up[lk.0 as usize])
+                            })
+                        });
+                    }
+                }
+            }
+            RoutingSpec::ShortestPath => {
+                for dst in 0..n {
+                    let mut dist = vec![u32::MAX; n];
+                    let mut q = VecDeque::new();
+                    dist[dst] = 0;
+                    q.push_back(dst);
+                    while let Some(v) = q.pop_front() {
+                        for (li, l) in topo.links().iter().enumerate() {
+                            if !link_up[li] || l.dst.0 as usize != v {
+                                continue;
+                            }
+                            let u = l.src.0 as usize;
+                            if dist[u] == u32::MAX {
+                                dist[u] = dist[v] + 1;
+                                q.push_back(u);
+                                next[u * n + dst] = Some(l.src_port);
+                            } else if dist[u] == dist[v] + 1 {
+                                let better = match next[u * n + dst] {
+                                    None => true,
+                                    Some(p) => {
+                                        let cur_link = topo.router(NodeId(u as u32)).ports
+                                            [p.0 as usize]
+                                            .out_link
+                                            .expect("routed port must have an out link");
+                                        LinkId(li as u32) < cur_link
+                                    }
+                                };
+                                if better {
+                                    next[u * n + dst] = Some(l.src_port);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut reachable = vec![false; n * n];
+        for src in 0..n {
+            'dst: for dst in 0..n {
+                if src == dst {
+                    reachable[src * n + dst] = true;
+                    continue;
+                }
+                let mut cur = src;
+                for _ in 0..=n {
+                    match next[cur * n + dst] {
+                        None => continue 'dst,
+                        Some(p) => {
+                            let link = topo.router(NodeId(cur as u32)).ports[p.0 as usize]
+                                .out_link
+                                .expect("routing table port has no out link");
+                            cur = topo.link(link).dst.0 as usize;
+                            if cur == dst {
+                                reachable[src * n + dst] = true;
+                                continue 'dst;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        RoutingTable {
+            n,
+            next,
+            reachable,
+            spec,
+        }
+    }
+
+    /// A deterministic sprinkling of down links for masked comparisons.
+    fn masked(topo: &Topology, stride: usize) -> Vec<bool> {
+        (0..topo.link_count()).map(|i| i % stride != 0).collect()
+    }
+
+    #[test]
+    fn builder_is_bit_identical_to_the_reference_builder() {
+        let cases: Vec<(Topology, Vec<RoutingSpec>)> = vec![
+            (
+                Topology::mesh(4, 4, &unit(3), &unit(3)),
+                vec![RoutingSpec::Xy, RoutingSpec::Xyx, RoutingSpec::ShortestPath],
+            ),
+            (
+                Topology::simplified_mesh(5, 4, &unit(4), &unit(3)),
+                vec![RoutingSpec::Xyx, RoutingSpec::ShortestPath],
+            ),
+            (
+                Topology::halo(4, 3, &[1, 2, 1], 2),
+                vec![RoutingSpec::ShortestPath],
+            ),
+            (
+                Topology::multi_hub_halo(3, 2, 2, &[1, 2], 2, 2),
+                vec![RoutingSpec::ShortestPath],
+            ),
+        ];
+        for (topo, specs) in &cases {
+            for &spec in specs {
+                let all_up = vec![true; topo.link_count()];
+                for mask in [all_up, masked(topo, 5), masked(topo, 3)] {
+                    let fast = spec.build_masked(topo, &mask).unwrap();
+                    let reference = reference_build_masked(spec, topo, &mask);
+                    assert_eq!(
+                        fast,
+                        reference,
+                        "{spec:?} diverges from the reference on {:?}",
+                        topo.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_into_reuses_scratch_without_changing_results() {
+        let t = mesh4();
+        let mut builder = RoutingBuilder::new(RoutingSpec::ShortestPath, &t).unwrap();
+        let mut table = builder.build(&t, &vec![true; t.link_count()]);
+        // Walk through several masks with one builder + one table; each
+        // in-place rebuild must equal a from-scratch build.
+        for stride in [7, 4, 3, 9] {
+            let mask = masked(&t, stride);
+            builder.rebuild_into(&t, &mask, &mut table);
+            let fresh = RoutingSpec::ShortestPath.build_masked(&t, &mask).unwrap();
+            assert_eq!(table, fresh, "stride {stride}");
+        }
+        // And back to fully up: identical to the pristine build.
+        let up = vec![true; t.link_count()];
+        builder.rebuild_into(&t, &up, &mut table);
+        assert_eq!(table, RoutingSpec::ShortestPath.build(&t).unwrap());
+    }
+
+    #[test]
+    fn shortest_path_covers_the_multi_hub_halo() {
+        let t = Topology::multi_hub_halo(4, 3, 2, &[1, 1], 2, 2);
+        let rt = RoutingSpec::ShortestPath.build(&t).unwrap();
+        let n = t.len() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                assert!(rt.is_routable(NodeId(a), NodeId(b)), "n{a}->n{b}");
+            }
+        }
+        // Same-hub spikes meet at their hub: bank -> hub -> bank.
+        assert_eq!(
+            rt.hops(&t, t.hub_spike_node(1, 0, 0), t.hub_spike_node(1, 2, 0)),
+            Some(2)
+        );
+        // Opposite hubs are two ring hops apart.
+        assert_eq!(rt.hops(&t, t.hub_node(0), t.hub_node(2)), Some(2));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::ids::{Coord, LinkId, NodeId, PortId};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortLabel {
     /// Local attachment slot (bank / core / memory controller).
-    Local(u8),
+    Local(u16),
     /// Mesh: toward higher column numbers (east).
     XPlus,
     /// Mesh: toward lower column numbers (west).
@@ -27,6 +27,10 @@ pub enum PortLabel {
     Up,
     /// Halo spike router: away from the hub.
     Down,
+    /// Multi-hub halo hub: ring link toward the next hub (clockwise).
+    RingNext,
+    /// Multi-hub halo hub: ring link toward the previous hub.
+    RingPrev,
 }
 
 /// One router port.
@@ -56,15 +60,17 @@ impl Router {
         self.ports
             .iter()
             .position(|p| p.label == label)
-            .map(|i| PortId(i as u8))
+            .map(|i| PortId(u16::try_from(i).expect("router exceeds PortId range")))
     }
 
     /// Number of local attachment slots.
-    pub fn local_slots(&self) -> u8 {
-        self.ports
+    pub fn local_slots(&self) -> u16 {
+        let n = self
+            .ports
             .iter()
             .filter(|p| matches!(p.label, PortLabel::Local(_)))
-            .count() as u8
+            .count();
+        u16::try_from(n).expect("router exceeds the local-slot range")
     }
 
     /// Number of ports with an incoming link plus local slots — the
@@ -122,6 +128,16 @@ pub enum TopologyKind {
     /// routers each.
     Halo {
         /// Number of spikes radiating from the hub.
+        spikes: u16,
+        /// Routers per spike.
+        spike_len: u16,
+    },
+    /// Multi-hub halo: `hubs` hub routers on a bidirectional ring, each
+    /// carrying its own set of `spikes` spikes of `spike_len` routers.
+    MultiHubHalo {
+        /// Hub routers on the ring.
+        hubs: u16,
+        /// Spikes per hub.
         spikes: u16,
         /// Routers per spike.
         spike_len: u16,
@@ -276,7 +292,7 @@ impl Topology {
         spikes: u16,
         spike_len: u16,
         spike_link_delays: &[u32],
-        hub_local_slots: u8,
+        hub_local_slots: u16,
     ) -> Self {
         assert!(
             spikes >= 1 && spike_len >= 1,
@@ -363,6 +379,118 @@ impl Topology {
         topo
     }
 
+    /// Builds a multi-hub halo: `hubs` hub routers joined in a
+    /// bidirectional ring (skipped when `hubs == 1`), each carrying its
+    /// own set of `spikes` spikes of `spike_len` routers. Hubs come
+    /// first (`NodeId(0..hubs)`), then the spike routers grouped by hub;
+    /// see [`Topology::hub_node`] and [`Topology::hub_spike_node`].
+    ///
+    /// `spike_link_delays` works as in [`Topology::halo`] and applies to
+    /// every hub's spikes; `ring_delay` is the hub-to-hub link delay.
+    /// Every hub gets `hub_local_slots` local slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameter mismatches or zero dimensions.
+    pub fn multi_hub_halo(
+        hubs: u16,
+        spikes: u16,
+        spike_len: u16,
+        spike_link_delays: &[u32],
+        ring_delay: u32,
+        hub_local_slots: u16,
+    ) -> Self {
+        assert!(hubs >= 1, "need at least one hub");
+        assert!(
+            spikes >= 1 && spike_len >= 1,
+            "halo needs at least one spike of one router"
+        );
+        assert!(hub_local_slots >= 1, "hub needs at least one local slot");
+        assert_eq!(
+            spike_link_delays.len(),
+            spike_len as usize,
+            "need spike_len link delays"
+        );
+        assert!(
+            spike_link_delays.iter().all(|&d| d >= 1) && ring_delay >= 1,
+            "link delays must be at least one cycle"
+        );
+
+        let mut topo = Topology {
+            kind: TopologyKind::MultiHubHalo {
+                hubs,
+                spikes,
+                spike_len,
+            },
+            routers: Vec::new(),
+            links: Vec::new(),
+        };
+        for _ in 0..hubs {
+            topo.routers.push(Router {
+                coord: None,
+                ports: (0..hub_local_slots)
+                    .map(|s| Port {
+                        label: PortLabel::Local(s),
+                        out_link: None,
+                        in_link: None,
+                    })
+                    .collect(),
+            });
+        }
+        for h in 0..hubs {
+            let hub = NodeId(h as u32);
+            for s in 0..spikes {
+                let base = topo.routers.len() as u32;
+                for j in 0..spike_len {
+                    let mut ports = vec![
+                        Port {
+                            label: PortLabel::Local(0),
+                            out_link: None,
+                            in_link: None,
+                        },
+                        Port {
+                            label: PortLabel::Up,
+                            out_link: None,
+                            in_link: None,
+                        },
+                    ];
+                    if j + 1 < spike_len {
+                        ports.push(Port {
+                            label: PortLabel::Down,
+                            out_link: None,
+                            in_link: None,
+                        });
+                    }
+                    topo.routers.push(Router { coord: None, ports });
+                }
+                let hub_port = PortLabel::Spike(s);
+                topo.connect(hub, hub_port, NodeId(base), PortLabel::Up, spike_link_delays[0]);
+                topo.connect(NodeId(base), PortLabel::Up, hub, hub_port, spike_link_delays[0]);
+                for j in 1..spike_len as u32 {
+                    let d = spike_link_delays[j as usize];
+                    let up = NodeId(base + j - 1);
+                    let down = NodeId(base + j);
+                    topo.connect(up, PortLabel::Down, down, PortLabel::Up, d);
+                    topo.connect(down, PortLabel::Up, up, PortLabel::Down, d);
+                }
+            }
+        }
+        // The hub ring (both directions); a 2-hub ring still gets two
+        // distinct port pairs, and a single hub needs no ring at all.
+        if hubs >= 2 {
+            for h in 0..hubs {
+                let a = NodeId(h as u32);
+                let b = NodeId(((h + 1) % hubs) as u32);
+                if a == b {
+                    continue;
+                }
+                topo.connect(a, PortLabel::RingNext, b, PortLabel::RingPrev, ring_delay);
+                topo.connect(b, PortLabel::RingPrev, a, PortLabel::RingNext, ring_delay);
+            }
+        }
+        topo
+    }
+
     /// Adds a unidirectional link from `src`'s port labelled `src_label`
     /// to `dst`'s port labelled `dst_label`; the ports are created if
     /// missing.
@@ -391,19 +519,19 @@ impl Topology {
     fn ensure_port(&mut self, node: NodeId, label: PortLabel) -> PortId {
         let r = &mut self.routers[node.0 as usize];
         if let Some(i) = r.ports.iter().position(|p| p.label == label) {
-            return PortId(i as u8);
+            return PortId(u16::try_from(i).expect("router exceeds PortId range"));
         }
         r.ports.push(Port {
             label,
             out_link: None,
             in_link: None,
         });
-        PortId((r.ports.len() - 1) as u8)
+        PortId(u16::try_from(r.ports.len() - 1).expect("router exceeds PortId range"))
     }
 
     /// Adds an extra local slot to `node` (e.g. to attach the core or
     /// memory controller next to a bank) and returns its slot index.
-    pub fn add_local_slot(&mut self, node: NodeId) -> u8 {
+    pub fn add_local_slot(&mut self, node: NodeId) -> u16 {
         let slot = self.routers[node.0 as usize].local_slots();
         self.routers[node.0 as usize].ports.push(Port {
             label: PortLabel::Local(slot),
@@ -468,7 +596,9 @@ impl Topology {
                 assert!(col < cols && row < rows, "coordinate out of range");
                 cols
             }
-            TopologyKind::Halo { .. } => panic!("node_at is only defined for meshes"),
+            TopologyKind::Halo { .. } | TopologyKind::MultiHubHalo { .. } => {
+                panic!("node_at is only defined for meshes")
+            }
         };
         NodeId((row as u32) * cols as u32 + col as u32)
     }
@@ -485,6 +615,45 @@ impl Topology {
                 NodeId(1 + (s as u32) * spike_len as u32 + pos as u32)
             }
             _ => panic!("spike_node is only defined for halo topologies"),
+        }
+    }
+
+    /// Multi-hub halo: node of hub `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on another topology kind or out of range.
+    pub fn hub_node(&self, h: u16) -> NodeId {
+        match self.kind {
+            TopologyKind::MultiHubHalo { hubs, .. } => {
+                assert!(h < hubs, "hub index out of range");
+                NodeId(h as u32)
+            }
+            _ => panic!("hub_node is only defined for multi-hub halos"),
+        }
+    }
+
+    /// Multi-hub halo: node of bank `pos` (0 = closest to the hub) on
+    /// spike `s` of hub `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on another topology kind or out of range.
+    pub fn hub_spike_node(&self, h: u16, s: u16, pos: u16) -> NodeId {
+        match self.kind {
+            TopologyKind::MultiHubHalo {
+                hubs,
+                spikes,
+                spike_len,
+            } => {
+                assert!(
+                    h < hubs && s < spikes && pos < spike_len,
+                    "spike position out of range"
+                );
+                let spike = (h as u32) * spikes as u32 + s as u32;
+                NodeId(hubs as u32 + spike * spike_len as u32 + pos as u32)
+            }
+            _ => panic!("hub_spike_node is only defined for multi-hub halos"),
         }
     }
 

@@ -11,7 +11,7 @@ use nucanet::{CacheSystem, Design, Scheme};
 use nucanet_workload::{BenchmarkProfile, SynthConfig, TraceGenerator};
 
 fn main() {
-    let n_cores: u8 = std::env::args()
+    let n_cores: u16 = std::env::args()
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(2);

@@ -1,0 +1,247 @@
+//! Giant-topology construction and CMP determinism tests.
+//!
+//! The routing-table builder is O(links) per destination with dense
+//! scratch reuse, so a 32×32 mesh (1024 routers, ~4k links) must build
+//! its topology, its full next-hop tables, and a masked rebuild in
+//! milliseconds — asserted here with a generous wall-clock bound so the
+//! test fails loudly if construction ever regresses to the old
+//! superlinear scan. The CMP half pins the determinism contract at
+//! scale: `run_cmp` is bit-identical for any `sim_threads` value and
+//! any sweep worker count.
+
+use std::time::Instant;
+
+use nucanet::experiments::ExperimentScale;
+use nucanet::sweep::{SweepPoint, SweepRunner};
+use nucanet::{CacheSystem, Design, Scheme, SystemConfig, TopologyChoice};
+use nucanet_noc::{NodeId, RoutingSpec, Topology};
+use nucanet_workload::{BenchmarkProfile, SynthConfig, Trace, TraceGenerator};
+
+/// Wall-clock ceiling for one giant construction step. The release-mode
+/// CI gate asserts "well under a second"; debug builds are slower, so
+/// the bound scales with the build profile while still catching any
+/// return of the O(V·E)-per-destination builder (which took minutes at
+/// this size).
+fn budget_ms() -> u128 {
+    if cfg!(debug_assertions) {
+        20_000
+    } else {
+        1_000
+    }
+}
+
+/// Asserts full pairwise routability on a pristine table.
+fn assert_all_routable(topo: &Topology, table: &nucanet_noc::RoutingTable) {
+    let n = topo.routers().len() as u32;
+    for src in 0..n {
+        for dst in 0..n {
+            assert!(
+                table.is_routable(NodeId(src), NodeId(dst)),
+                "{src}->{dst} must route on the pristine topology"
+            );
+        }
+    }
+}
+
+#[test]
+fn mesh_32x32_builds_tables_and_rebuilds_in_milliseconds() {
+    let t0 = Instant::now();
+    let topo = Topology::mesh(32, 32, &[1; 31], &[1; 31]);
+    let built_topo = t0.elapsed();
+    assert_eq!(topo.routers().len(), 1024);
+
+    let t1 = Instant::now();
+    let table = RoutingSpec::ShortestPath.build(&topo).expect("mesh routes");
+    let built_table = t1.elapsed();
+    assert_all_routable(&topo, &table);
+
+    // Masked rebuild: drop every 17th link and rebuild the table the
+    // way fault recomputation does.
+    let mut link_up = vec![true; topo.link_count()];
+    for (i, up) in link_up.iter_mut().enumerate() {
+        if i % 17 == 0 {
+            *up = false;
+        }
+    }
+    let t2 = Instant::now();
+    let mut builder =
+        nucanet_noc::RoutingBuilder::new(RoutingSpec::ShortestPath, &topo).expect("mesh");
+    let degraded = builder.build(&topo, &link_up);
+    let rebuilt = t2.elapsed();
+
+    // Routability invariants on the degraded table: next-hop edges must
+    // only use up links and reachability must match what next[] encodes.
+    let n = topo.routers().len() as u32;
+    let mut reachable_pairs = 0u64;
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            if let Some(p) = degraded.next_hop(NodeId(src), NodeId(dst)) {
+                let link = topo.router(NodeId(src)).ports[p.0 as usize]
+                    .out_link
+                    .expect("routed port has a link");
+                assert!(link_up[link.0 as usize], "route over a downed link");
+            }
+            if degraded.is_routable(NodeId(src), NodeId(dst)) {
+                reachable_pairs += 1;
+            }
+        }
+    }
+    assert!(
+        reachable_pairs > 0,
+        "a 1-in-17 link mask cannot kill every pair"
+    );
+
+    for (what, d) in [
+        ("topology", built_topo),
+        ("tables", built_table),
+        ("masked rebuild", rebuilt),
+    ] {
+        assert!(
+            d.as_millis() < budget_ms(),
+            "32x32 {what} took {} ms (budget {} ms)",
+            d.as_millis(),
+            budget_ms()
+        );
+    }
+}
+
+#[test]
+fn four_hub_halo_builds_and_survives_a_masked_rebuild() {
+    let t0 = Instant::now();
+    // 4 hubs on a ring, 8 spikes each of length 16: 516 routers.
+    let topo = Topology::multi_hub_halo(4, 8, 16, &[1; 16], 2, 3);
+    let table = RoutingSpec::ShortestPath.build(&topo).expect("halo routes");
+    assert_eq!(topo.routers().len(), 4 + 4 * 8 * 16);
+    assert_all_routable(&topo, &table);
+    assert!(
+        t0.elapsed().as_millis() < budget_ms(),
+        "4-hub halo construction took {} ms",
+        t0.elapsed().as_millis()
+    );
+
+    // Cut one spike's first link: only that spike's routers lose
+    // reachability; the ring keeps every hub and other spike connected.
+    let hub = topo.hub_node(1);
+    let first = topo.hub_spike_node(1, 3, 0);
+    let mut link_up = vec![true; topo.link_count()];
+    for (i, l) in topo.links().iter().enumerate() {
+        if (l.src == hub && l.dst == first) || (l.src == first && l.dst == hub) {
+            link_up[i] = false;
+        }
+    }
+    let mut builder =
+        nucanet_noc::RoutingBuilder::new(RoutingSpec::ShortestPath, &topo).expect("halo");
+    let degraded = builder.build(&topo, &link_up);
+    assert!(!degraded.is_routable(topo.hub_node(0), first));
+    assert!(!degraded.is_routable(first, topo.hub_node(0)));
+    assert!(degraded.is_routable(topo.hub_node(0), topo.hub_node(2)));
+    assert!(degraded.is_routable(
+        topo.hub_spike_node(0, 0, 15),
+        topo.hub_spike_node(3, 7, 15)
+    ));
+    // Downstream routers of the cut spike still talk to each other.
+    assert!(degraded.is_routable(
+        topo.hub_spike_node(1, 3, 0),
+        topo.hub_spike_node(1, 3, 15)
+    ));
+}
+
+/// A 32-column mesh config carrying one 64 KB bank per position: the
+/// giant closed-loop CMP machine (1024 banks).
+fn giant_config(cores: u16, sim_threads: u32) -> SystemConfig {
+    let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+    cfg.name = "mesh-giant".into();
+    cfg.columns = 32;
+    cfg.bank_kb = vec![64; 32];
+    cfg.bank_ways = vec![1; 32];
+    cfg.cores = cores;
+    cfg.router.sim_threads = sim_threads;
+    cfg
+}
+
+fn giant_traces(cores: u16) -> Vec<Trace> {
+    let profile = BenchmarkProfile::by_name("gcc").expect("profile");
+    (0..cores)
+        .map(|i| {
+            let mut gen = TraceGenerator::new(
+                profile,
+                SynthConfig {
+                    active_sets: 64,
+                    seed: 0x61A_u64.wrapping_add(i as u64),
+                    ..Default::default()
+                },
+            );
+            gen.generate(500, 60)
+        })
+        .collect()
+}
+
+#[test]
+fn giant_cmp_run_is_bit_identical_across_sim_threads() {
+    let cores = 8;
+    let traces = giant_traces(cores);
+    let mut results = Vec::new();
+    for sim_threads in [1u32, 4] {
+        let mut sys = CacheSystem::new(&giant_config(cores, sim_threads));
+        assert_eq!(sys.core_count(), cores as usize);
+        results.push(sys.run_cmp(&traces).expect("giant CMP run completes"));
+    }
+    assert_eq!(
+        results[0], results[1],
+        "per-core metrics must not depend on sim_threads"
+    );
+}
+
+#[test]
+fn giant_cmp_sweep_is_bit_identical_across_worker_counts() {
+    let scale = ExperimentScale {
+        warmup: 400,
+        measured: 50,
+        active_sets: 64,
+        seed: 11,
+    };
+    let profile = BenchmarkProfile::by_name("gcc").expect("profile");
+    let points: Vec<SweepPoint> = [2u16, 4]
+        .into_iter()
+        .map(|cores| SweepPoint {
+            label: format!("giant x{cores}"),
+            config: giant_config(cores, 1),
+            profile,
+            scale,
+        })
+        .collect();
+    let one = SweepRunner::with_workers(1).run(&points);
+    let four = SweepRunner::with_workers(4).run(&points);
+    assert_eq!(one.len(), four.len());
+    for (a, b) in one.iter().zip(&four) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.metrics, b.metrics, "{}", a.label);
+    }
+}
+
+#[test]
+fn multi_hub_cmp_layout_spreads_cores_over_hubs() {
+    let mut cfg = Design::F.config(Scheme::MulticastFastLru);
+    cfg.topology = TopologyChoice::MultiHubHalo { hubs: 4 };
+    cfg.cores = 8;
+    let sys = CacheSystem::new(&cfg);
+    let layout = sys.layout();
+    // 8 interfaces over 4 hubs: two per hub, none colliding with the
+    // memory controller's slot.
+    assert_eq!(layout.core_ports.len(), 8);
+    for h in 0..4u32 {
+        let on_hub = layout
+            .core_ports
+            .iter()
+            .filter(|e| e.node == NodeId(h))
+            .count();
+        assert_eq!(on_hub, 2, "hub {h}");
+    }
+    assert!(layout
+        .core_ports
+        .iter()
+        .all(|e| *e != layout.memory));
+}
