@@ -19,6 +19,16 @@
 //! * `NUCANET_PERF_MIN_RATIO` — when set (e.g. `0.33`), exit nonzero
 //!   if cycles/sec falls below `ratio × baseline` on any config with a
 //!   recorded baseline: the CI smoke-perf regression floor.
+//! * `NUCANET_PERF_SWEEP_POINTS` — points in the screening-sweep
+//!   throughput measurement (default 1000; `0` skips it). The sweep
+//!   runs twice — fresh (per-point construction) and warm (structural
+//!   cache + reusable arenas) — and both land in the `points_per_sec`
+//!   section of `BENCH_perf.json`.
+//! * `NUCANET_PERF_SWEEP_WORKERS` — sweep worker threads for the
+//!   measurement (default 1: the per-worker speedup, uncontended).
+//! * `NUCANET_PERF_SWEEP_MIN_SPEEDUP` — when set (e.g. `1.2`), exit
+//!   nonzero if warm points/sec falls below `value × fresh points/sec`:
+//!   the warm path's same-machine relative regression floor.
 //! * `NUCANET_BENCH_DIR` — where `BENCH_perf.json` lands.
 
 use std::path::PathBuf;
@@ -26,7 +36,8 @@ use std::path::PathBuf;
 use nucanet::sweep::write_atomically;
 use nucanet_bench::perf::{
     baseline_for, giant_sat_throughput, halo_sat_throughput, halo_throughput,
-    mesh_sat_throughput, mesh_throughput, render_perf_json,
+    mesh_sat_throughput, mesh_throughput, render_perf_json_with_sweep, screening_points,
+    sweep_throughput, warm_speedup, SweepPerfSample,
 };
 use nucanet_bench::{parse_env_u64, sim_threads_from_env};
 
@@ -96,11 +107,47 @@ fn main() {
             _ => println!("  (no baseline recorded)"),
         }
     }
+    let sweep_points = env_u64("NUCANET_PERF_SWEEP_POINTS", 1_000);
+    let sweep_workers = env_u64("NUCANET_PERF_SWEEP_WORKERS", 1).max(1) as usize;
+    let mut sweep_samples: Vec<SweepPerfSample> = Vec::new();
+    if sweep_points > 0 {
+        let points = screening_points(sweep_points);
+        println!(
+            "\nsweep throughput ({sweep_points} screening points, {sweep_workers} workers, best of {repeats})"
+        );
+        for warm in [false, true] {
+            let s = (0..repeats.max(1))
+                .map(|_| sweep_throughput(&points, sweep_workers, warm))
+                .min_by_key(|s| s.wall)
+                .expect("at least one repeat");
+            println!(
+                "{:10}  {:>12.1} points/s  ({} points, {} ms, {} workers)",
+                s.mode,
+                s.points_per_sec(),
+                s.points,
+                s.wall.as_millis(),
+                s.workers
+            );
+            sweep_samples.push(s);
+        }
+        if let Some(x) = warm_speedup(&sweep_samples) {
+            println!("warm speedup: {x:.2}x fresh points/sec");
+            if let Ok(v) = std::env::var("NUCANET_PERF_SWEEP_MIN_SPEEDUP") {
+                let floor: f64 = v.parse().expect("NUCANET_PERF_SWEEP_MIN_SPEEDUP must be a float");
+                if x < floor {
+                    eprintln!(
+                        "PERF REGRESSION: warm sweep at {x:.2}x of fresh (floor {floor})"
+                    );
+                    floor_violated = true;
+                }
+            }
+        }
+    }
     let dir = std::env::var("NUCANET_BENCH_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("."));
     let path = dir.join("BENCH_perf.json");
-    match write_atomically(&path, &render_perf_json(&samples)) {
+    match write_atomically(&path, &render_perf_json_with_sweep(&samples, &sweep_samples)) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => {
             eprintln!("failed to write {}: {e}", path.display());

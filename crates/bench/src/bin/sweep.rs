@@ -48,7 +48,7 @@ fn main() {
     apply_env_sim_threads(&mut points);
     if let Some(fc) = &faults {
         for p in &mut points {
-            p.config.faults = Some(fc.clone());
+            std::sync::Arc::make_mut(&mut p.config).faults = Some(fc.clone());
         }
     }
     let start = Instant::now();

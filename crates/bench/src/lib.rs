@@ -115,7 +115,7 @@ pub fn sim_threads_from_env() -> u32 {
 pub fn apply_env_sim_threads(points: &mut [SweepPoint]) {
     let threads = sim_threads_from_env();
     for p in points {
-        p.config.router.sim_threads = threads;
+        std::sync::Arc::make_mut(&mut p.config).router.sim_threads = threads;
     }
 }
 
@@ -151,7 +151,7 @@ pub fn faults_from_env() -> Option<FaultConfig> {
 pub fn apply_env_check(points: &mut [SweepPoint]) {
     if env_u64("NUCANET_CHECK", 0) != 0 {
         for p in points {
-            p.config.check_invariants = true;
+            std::sync::Arc::make_mut(&mut p.config).check_invariants = true;
         }
     }
 }

@@ -44,9 +44,14 @@
 
 use std::time::{Duration, Instant};
 
+use nucanet::experiments::ExperimentScale;
+use nucanet::metrics::MetricsCapture;
+use nucanet::sweep::{derive_seed, SweepPoint, SweepRunner};
+use nucanet::{Design, Scheme};
 use nucanet_noc::{
     Dest, Endpoint, Network, NodeId, Packet, RouterParams, RoutingSpec, Topology,
 };
+use nucanet_workload::BenchmarkProfile;
 
 /// The schema identifier this harness emits in `BENCH_perf.json`.
 ///
@@ -536,6 +541,80 @@ pub fn giant_sat_throughput(packets: u64, sim_threads: u32, cores: u16) -> PerfS
     sample("mesh-giant", &net, start.elapsed())
 }
 
+/// One timed sweep-engine measurement: a screening sweep of
+/// structurally identical points run end to end through
+/// [`SweepRunner`], either warm (structural cache + per-worker arenas,
+/// the default path) or fresh (`reuse(false)`: every point builds its
+/// simulator from scratch, the pre-warm behaviour).
+#[derive(Debug, Clone)]
+pub struct SweepPerfSample {
+    /// `"warm"` (arena reuse) or `"fresh"` (per-point construction).
+    pub mode: &'static str,
+    /// Sweep worker threads used.
+    pub workers: usize,
+    /// Points evaluated.
+    pub points: u64,
+    /// Wall-clock time for the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepPerfSample {
+    /// Sweep points evaluated per wall-clock second.
+    #[must_use]
+    pub fn points_per_sec(&self) -> f64 {
+        self.points as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Builds an `n`-point screening sweep: every point is the Design A
+/// Multicast Fast-LRU machine (one shared `Arc<SystemConfig>`), with
+/// the benchmark and workload seed rotating per point. Screening runs
+/// triage thousands of candidate points with small traces, so per-point
+/// construction — not simulation — dominates the fresh path; this is
+/// the regime the warm-evaluation path exists for.
+#[must_use]
+pub fn screening_points(n: u64) -> Vec<SweepPoint> {
+    const BENCHES: [&str; 8] = [
+        "gcc", "twolf", "vpr", "art", "mesa", "parser", "mcf", "apsi",
+    ];
+    let config: std::sync::Arc<_> = Design::A.config(Scheme::MulticastFastLru).into();
+    (0..n)
+        .map(|i| SweepPoint {
+            label: format!("screen-{i}").into(),
+            config: config.clone(),
+            profile: BenchmarkProfile::by_name(BENCHES[(i % 8) as usize]).expect("profile"),
+            scale: ExperimentScale {
+                warmup: 40,
+                measured: 10,
+                active_sets: 32,
+                seed: derive_seed(0x5C4EE4, i),
+            },
+        })
+        .collect()
+}
+
+/// Times one full sweep over `points` with `workers` worker threads,
+/// warm (`reuse = true`) or fresh. Streaming capture keeps the metrics
+/// footprint constant, the screening regime. The simulated results are
+/// bit-identical between the two modes (and for any worker count); only
+/// wall time differs.
+#[must_use]
+pub fn sweep_throughput(points: &[SweepPoint], workers: usize, warm: bool) -> SweepPerfSample {
+    let runner = SweepRunner::with_workers(workers)
+        .capture(MetricsCapture::Streaming)
+        .reuse(warm);
+    let start = Instant::now();
+    let outcomes = runner.run(points);
+    let wall = start.elapsed();
+    assert_eq!(outcomes.len(), points.len());
+    SweepPerfSample {
+        mode: if warm { "warm" } else { "fresh" },
+        workers,
+        points: points.len() as u64,
+        wall,
+    }
+}
+
 /// Renders samples plus the baked-in baseline as the
 /// `nucanet/perf-v2` JSON document written to `BENCH_perf.json`:
 /// v1's throughput fields plus the cycle-kernel thread count, the
@@ -543,6 +622,18 @@ pub fn giant_sat_throughput(packets: u64, sim_threads: u32, cores: u16) -> PerfS
 /// (parallel/serial cycles, compute/commit wall nanoseconds).
 #[must_use]
 pub fn render_perf_json(samples: &[PerfSample]) -> String {
+    render_perf_json_with_sweep(samples, &[])
+}
+
+/// Like [`render_perf_json`] but also emits a `"points_per_sec"`
+/// section recording sweep-engine throughput (one entry per
+/// [`SweepPerfSample`]) and, when both a warm and a fresh run at the
+/// same worker count are present, a `"warm_speedup"` summary field.
+/// The section deliberately avoids the `"config":` token so
+/// [`parse_trajectory`]'s run splitter is unaffected; an empty `sweep`
+/// slice renders the exact [`render_perf_json`] document.
+#[must_use]
+pub fn render_perf_json_with_sweep(samples: &[PerfSample], sweep: &[SweepPerfSample]) -> String {
     fn f(x: f64) -> String {
         if x.is_finite() {
             format!("{x:.1}")
@@ -605,9 +696,49 @@ pub fn render_perf_json(samples: &[PerfSample]) -> String {
             "    },\n"
         });
     }
-    out.push_str("  ]\n");
+    if sweep.is_empty() {
+        out.push_str("  ]\n");
+    } else {
+        out.push_str("  ],\n");
+        out.push_str("  \"points_per_sec\": [\n");
+        for (i, s) in sweep.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"mode\": \"{}\",\n", s.mode));
+            out.push_str(&format!("      \"workers\": {},\n", s.workers));
+            out.push_str(&format!("      \"points\": {},\n", s.points));
+            out.push_str(&format!("      \"wall_ms\": {},\n", s.wall.as_millis()));
+            out.push_str(&format!(
+                "      \"points_per_sec\": {}\n",
+                f(s.points_per_sec())
+            ));
+            out.push_str(if i + 1 == sweep.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        let speedup = warm_speedup(sweep);
+        match speedup {
+            Some(x) => {
+                out.push_str("  ],\n");
+                out.push_str(&format!("  \"warm_speedup\": {}\n", f(x)));
+            }
+            None => out.push_str("  ]\n"),
+        }
+    }
     out.push_str("}\n");
     out
+}
+
+/// Warm-over-fresh points/sec ratio when the slice holds both modes at
+/// the same worker count; `None` otherwise.
+#[must_use]
+pub fn warm_speedup(sweep: &[SweepPerfSample]) -> Option<f64> {
+    let warm = sweep.iter().find(|s| s.mode == "warm")?;
+    let fresh = sweep
+        .iter()
+        .find(|s| s.mode == "fresh" && s.workers == warm.workers)?;
+    Some(warm.points_per_sec() / fresh.points_per_sec().max(1e-9))
 }
 
 #[cfg(test)]
@@ -708,6 +839,41 @@ mod tests {
 
         let e2 = parse_trajectory("{\n  \"name\": \"perf\"\n}\n").unwrap_err();
         assert!(e2.contains("no \"schema\" field"), "{e2}");
+    }
+
+    #[test]
+    fn sweep_section_renders_and_keeps_the_trajectory_parseable() {
+        let points = screening_points(6);
+        let fresh = sweep_throughput(&points, 1, false);
+        let warm = sweep_throughput(&points, 1, true);
+        assert_eq!(fresh.points, 6);
+        assert_eq!(warm.mode, "warm");
+        assert!(warm.points_per_sec() > 0.0);
+        let sweep = [fresh, warm];
+        assert!(warm_speedup(&sweep).is_some());
+        let json = render_perf_json_with_sweep(&[mesh_throughput(50, 1)], &sweep);
+        assert!(json.contains("\"points_per_sec\": ["), "{json}");
+        assert!(json.contains("\"mode\": \"warm\""), "{json}");
+        assert!(json.contains("\"warm_speedup\":"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The section must not disturb the cycles/sec trajectory parser.
+        let runs = parse_trajectory(&json).expect("sweep section leaves runs parseable");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].config, "fig7-mesh");
+    }
+
+    #[test]
+    fn screening_points_share_one_structure() {
+        let points = screening_points(16);
+        assert_eq!(points.len(), 16);
+        for p in &points[1..] {
+            assert!(
+                std::sync::Arc::ptr_eq(&p.config, &points[0].config),
+                "screening points must share one Arc'd config"
+            );
+        }
+        // Seeds differ per point, so the workload is not 16 repeats.
+        assert_ne!(points[0].scale.seed, points[1].scale.seed);
     }
 
     #[test]

@@ -149,6 +149,15 @@ impl Bank {
         self.frames[set].extend_from_slice(frames);
     }
 
+    /// Empties every frame in place, returning the bank to its
+    /// just-constructed state without touching the frame storage: the
+    /// warm-reset path's way of reusing a bank across sweep points.
+    pub fn clear(&mut self) {
+        for set in &mut self.frames {
+            set.fill(None);
+        }
+    }
+
     /// All blocks of `set` in recency order (holes skipped).
     pub fn blocks(&self, set: usize) -> Vec<Block> {
         self.frames[set].iter().flatten().copied().collect()

@@ -10,7 +10,8 @@ use nucanet::sweep::{capacity_points, render_json_results, write_atomically, Swe
 use nucanet::{CacheSystem, FaultConfig, Scheme};
 use nucanet_bench::perf::{
     baseline_for, giant_sat_throughput, halo_sat_throughput, halo_throughput,
-    mesh_sat_throughput, mesh_throughput, parse_trajectory, render_perf_json,
+    mesh_sat_throughput, mesh_throughput, parse_trajectory, render_perf_json_with_sweep,
+    screening_points, sweep_throughput, warm_speedup, SweepPerfSample,
 };
 use nucanet_noc::{run_fuzz, FuzzOptions, LinkCensus, NodeId, RoutingSpec, Topology};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
@@ -80,6 +81,8 @@ pub fn help_text() -> String {
      \x20                      results are bit-identical for any value)\n\
      \x20 --json PATH          sweep/perf: also write machine-readable JSON\n\
      \x20 --baseline PATH      perf only: compare against a recorded BENCH_perf*.json\n\
+     \x20 --sweep-points N     perf only: also time an N-point screening sweep\n\
+     \x20                      fresh vs warm (arena reuse), reporting points/sec\n\
      \x20                      (files from a different perf schema are refused)\n\
      \x20 --faults N           sweep only: inject N random link faults per point\n\
      \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
@@ -87,6 +90,10 @@ pub fn help_text() -> String {
      \x20 --iters N            fuzz: scenarios to run (default 200)\n\
      \x20 --cmp-iters N        fuzz: CMP determinism scenarios, 2-4 cores\n\
      \x20                      across sim-thread counts (default 10)\n\
+     \x20 --warm-iters N       fuzz: reset-and-replay scenarios — each runs\n\
+     \x20                      fresh, then again on the same network after\n\
+     \x20                      reset(), asserting bit-identical deliveries\n\
+     \x20                      and counters (default 0)\n\
      \x20 --csv 1              emit CSV instead of aligned text\n\
      \n\
      A sweep point whose faults partition the network fails alone\n\
@@ -330,17 +337,18 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
     let mut points = capacity_points(bench, scale);
     let sim_threads = sim_threads_of(args)?;
     for p in &mut points {
-        p.config.router.sim_threads = sim_threads;
+        let cfg = std::sync::Arc::make_mut(&mut p.config);
+        cfg.router.sim_threads = sim_threads;
         // CMP sweep: every point runs the closed-loop N-core mode with
         // per-core derived traces (bit-identical for any worker count).
-        p.config.cores = cores;
+        cfg.cores = cores;
         if cores > 1 {
-            p.label = format!("{} x{cores} cores", p.label);
+            p.label = format!("{} x{cores} cores", p.label).into();
         }
     }
     if args.get("check") == Some("1") {
         for p in &mut points {
-            p.config.check_invariants = true;
+            std::sync::Arc::make_mut(&mut p.config).check_invariants = true;
         }
     }
     if faults > 0 {
@@ -350,7 +358,7 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
             (repair > 0).then_some(repair as u64),
         );
         for p in &mut points {
-            p.config.faults = Some(fc.clone());
+            std::sync::Arc::make_mut(&mut p.config).faults = Some(fc.clone());
         }
     }
     let results = runner.try_run(&points);
@@ -372,7 +380,7 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
                     "ok".into()
                 };
                 t.push(vec![
-                    o.label.clone(),
+                    o.label.to_string(),
                     format!("{:.1}", o.metrics.avg_latency()),
                     p(0.50),
                     p(0.95),
@@ -385,7 +393,7 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
             Err(f) => {
                 let dash = || "-".to_string();
                 t.push(vec![
-                    f.label.clone(),
+                    f.label.to_string(),
                     dash(),
                     dash(),
                     dash(),
@@ -460,6 +468,31 @@ fn cmd_perf(args: &Args) -> Result<String, ParseError> {
             _ => out.push('\n'),
         }
     }
+    let mut sweep_samples: Vec<SweepPerfSample> = Vec::new();
+    let sweep_points = args.get_usize("sweep-points", 0)? as u64;
+    if sweep_points > 0 {
+        let points = screening_points(sweep_points);
+        out.push_str(&format!(
+            "sweep throughput ({sweep_points} screening points, 1 worker, best of {repeats})\n"
+        ));
+        for warm in [false, true] {
+            let s = (0..repeats)
+                .map(|_| sweep_throughput(&points, 1, warm))
+                .min_by_key(|s| s.wall)
+                .expect("repeats >= 1");
+            out.push_str(&format!(
+                "{:10} {:>12.1} points/s  ({} points, {} ms)\n",
+                s.mode,
+                s.points_per_sec(),
+                s.points,
+                s.wall.as_millis()
+            ));
+            sweep_samples.push(s);
+        }
+        if let Some(x) = warm_speedup(&sweep_samples) {
+            out.push_str(&format!("warm speedup: {x:.2}x fresh points/sec\n"));
+        }
+    }
     if let Some(path) = args.get("baseline") {
         // Compare against a previously recorded BENCH_perf*.json. The
         // parse refuses cross-schema files (perf-v1 vs perf-v2) with a
@@ -491,7 +524,11 @@ fn cmd_perf(args: &Args) -> Result<String, ParseError> {
         }
     }
     if let Some(path) = args.get("json") {
-        write_atomically(std::path::Path::new(path), &render_perf_json(&samples)).map_err(
+        write_atomically(
+            std::path::Path::new(path),
+            &render_perf_json_with_sweep(&samples, &sweep_samples),
+        )
+        .map_err(
             |e| ParseError::BadValue {
                 key: "json".into(),
                 value: format!("{path}: {e}"),
@@ -516,6 +553,7 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
         check: args.get("check") != Some("0"),
         max_cycles: args.get_usize("max-cycles", 50_000)? as u64,
         sim_threads: sim_threads_of(args)?,
+        warm_iters: args.get_usize("warm-iters", 0)? as u64,
     };
     let cmp_opts = nucanet::CmpFuzzOptions {
         iters: args.get_usize("cmp-iters", 10)? as u64,
@@ -552,6 +590,7 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
     Ok(format!(
         "fuzz: {} iterations clean (checker {})\n\
          {} packets injected, {} deliveries, {} multicasts, {} fault events\n\
+         warm fuzz: {} reset-and-replay scenarios clean\n\
          cmp fuzz: {} scenarios clean (2-4 cores, sim-threads 1 vs 4)\n",
         report.iters_run,
         if opts.check { "on" } else { "off" },
@@ -559,6 +598,7 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
         report.deliveries,
         report.multicasts,
         report.fault_events,
+        report.warm_iters_run,
         cmp_clean
     ))
 }
@@ -652,9 +692,25 @@ mod tests {
     }
 
     #[test]
+    fn fuzz_warm_replays_are_clean() {
+        let out = run("fuzz --iters 2 --warm-iters 8 --seed 31");
+        assert!(
+            out.contains("warm fuzz: 8 reset-and-replay scenarios clean"),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn fuzz_checker_can_be_disabled() {
         let out = run("fuzz --iters 3 --seed 4 --check 0");
         assert!(out.contains("checker off"), "{out}");
+    }
+
+    #[test]
+    fn perf_sweep_points_reports_warm_speedup() {
+        let out = run("perf --packets 100 --sweep-points 8");
+        assert!(out.contains("sweep throughput (8 screening points"), "{out}");
+        assert!(out.contains("warm speedup:"), "{out}");
     }
 
     #[test]

@@ -90,6 +90,17 @@ impl BankAgent {
         self.ops
     }
 
+    /// Empties the bank and clears all protocol state in place
+    /// (warm-reset path): afterwards the agent behaves exactly like a
+    /// freshly constructed one on the same wiring.
+    pub fn reset(&mut self) {
+        self.bank.clear();
+        self.busy_until = 0;
+        self.ops = 0;
+        self.seen_requests.clear();
+        self.early_evicted.clear();
+    }
+
     fn service(&mut self, now: u64, cycles: u32) -> u64 {
         let start = now.max(self.busy_until);
         let fin = start + cycles as u64;

@@ -57,6 +57,13 @@ impl SetLocks {
         self.col_active[column as usize] -= 1;
         self.locked.remove(&(column, index));
     }
+
+    /// Releases every lock, returning the table to its just-constructed
+    /// state (warm-reset path). Keeps the hash-set storage.
+    pub fn reset(&mut self) {
+        self.col_active.fill(0);
+        self.locked.clear();
+    }
 }
 
 /// One L2 access waiting for admission.
@@ -111,6 +118,10 @@ pub struct CoreController {
     queue: VecDeque<PendingAccess>,
     txns: HashMap<u32, Txn>,
     next_txn: u32,
+    /// First transaction id of this controller's stride (see
+    /// [`CoreController::set_txn_base`]); `next_txn` restarts here on
+    /// [`CoreController::reset`].
+    txn_base: u32,
     locks: Rc<RefCell<SetLocks>>,
     max_outstanding: usize,
     /// How deep into the queue admission may look (an MSHR-like window).
@@ -164,6 +175,7 @@ impl CoreController {
             queue: VecDeque::new(),
             txns: HashMap::new(),
             next_txn: 0,
+            txn_base: 0,
             locks,
             max_outstanding: max_outstanding.max(1),
             admission_scan: 16,
@@ -267,6 +279,23 @@ impl CoreController {
     pub fn set_txn_base(&mut self, base: u32) {
         assert!(self.txns.is_empty(), "set the txn base before issuing");
         self.next_txn = base;
+        self.txn_base = base;
+    }
+
+    /// Returns the controller to its just-constructed state (same
+    /// wiring, txn ids restarting at the configured base) while keeping
+    /// queue/map storage. The timeout arming is per-configuration and
+    /// is left untouched; the shared [`SetLocks`] must be reset
+    /// separately by whoever owns it. Warm-reset path.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.txns.clear();
+        self.next_txn = self.txn_base;
+        self.completed.clear();
+        self.stale.clear();
+        self.timeouts = 0;
+        self.retries = 0;
+        self.stale_drops = 0;
     }
 
     /// Enqueues one access for admission.

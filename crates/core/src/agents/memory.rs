@@ -67,6 +67,13 @@ impl MemoryAgent {
         self.writebacks
     }
 
+    /// Zeroes the service counters (warm-reset path); the memory model
+    /// itself is stateless between requests.
+    pub fn reset(&mut self) {
+        self.fetches = 0;
+        self.writebacks = 0;
+    }
+
     /// Handles one delivered message.
     ///
     /// # Panics

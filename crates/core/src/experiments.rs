@@ -107,8 +107,8 @@ pub fn cell_point(
     scale: ExperimentScale,
 ) -> SweepPoint {
     SweepPoint {
-        label: format!("{design:?}/{scheme}/{}", profile.name),
-        config: design.config(scheme),
+        label: format!("{design:?}/{scheme}/{}", profile.name).into(),
+        config: design.config(scheme).into(),
         profile: *profile,
         scale,
     }

@@ -64,5 +64,5 @@ pub use energy::EnergyReport;
 pub use metrics::{AccessRecord, Metrics};
 pub use msg::CacheMsg;
 pub use scheme::Scheme;
-pub use sweep::{PointError, PointFailure, SweepOutcome, SweepPoint, SweepRunner};
-pub use system::CacheSystem;
+pub use sweep::{PointError, PointFailure, SimArena, SweepOutcome, SweepPoint, SweepRunner};
+pub use system::{CacheSystem, StructuralCache, StructuralEntry};

@@ -26,6 +26,23 @@
 //! run. Callers who want decorrelated workloads across points can derive
 //! per-point seeds with [`derive_seed`].
 //!
+//! # Warm evaluation
+//!
+//! By default the runner amortises construction across points on two
+//! levels, and both are covered by the same contract — warm results are
+//! bit-identical to fresh ones:
+//!
+//! * a shared [`StructuralCache`] builds each distinct topology +
+//!   routing table once; points that differ only in workload, seed,
+//!   label or fault schedule reuse the `Arc`-shared structure;
+//! * each worker owns a [`SimArena`] that keeps the previous point's
+//!   simulator carcass and trace buffers alive, reviving them with
+//!   [`CacheSystem::reset_for`] instead of reconstructing, so a
+//!   steady-state fault-free point allocates nothing.
+//!
+//! [`SweepRunner::reuse`]`(false)` restores the fresh-construction path
+//! (the benchmark harness uses it as the warm path's baseline).
+//!
 //! Points may themselves run a multi-threaded cycle kernel
 //! ([`nucanet_noc::RouterParams::sim_threads`]). Since the kernel is
 //! bit-identical for every thread count, this composes freely with the
@@ -39,7 +56,7 @@ use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use nucanet_noc::SimError;
@@ -49,15 +66,22 @@ use crate::config::{Design, SystemConfig, TopologyChoice};
 use crate::experiments::ExperimentScale;
 use crate::metrics::{Metrics, MetricsCapture};
 use crate::scheme::Scheme;
-use crate::system::CacheSystem;
+use crate::system::{CacheSystem, StructuralCache};
 
 /// One independent simulation of the sweep grid.
+///
+/// The label and configuration sit behind [`Arc`]s: a grid built by
+/// fanning one base configuration out over seeds shares the bytes
+/// instead of cloning them per point, and [`SweepPoint::try_run`] only
+/// clones the configuration when it actually rewrites a field (the
+/// fault-schedule seed). Use [`Arc::make_mut`] to edit a point's
+/// configuration in place after construction.
 #[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// Human-readable point name (used in reports and JSON output).
-    pub label: String,
+    pub label: Arc<str>,
     /// The full system configuration to simulate.
-    pub config: SystemConfig,
+    pub config: Arc<SystemConfig>,
     /// The synthetic workload profile driving the run.
     pub profile: BenchmarkProfile,
     /// Simulation scale, including the point's RNG seed.
@@ -99,63 +123,183 @@ impl SweepPoint {
         let n_cores = self.config.cores.max(1);
         let mut traces: Vec<Trace> = Vec::with_capacity(n_cores as usize);
         for i in 0..n_cores {
-            // Core 0 keeps the raw point seed so single-core points are
-            // unchanged; later cores get decorrelated derived streams.
-            let seed = if i == 0 {
-                self.scale.seed
-            } else {
-                derive_seed(self.scale.seed, CORE_SEED_STREAM.wrapping_add(i as u64))
-            };
-            let mut gen = TraceGenerator::new(
-                self.profile,
-                SynthConfig {
-                    active_sets: self.scale.active_sets,
-                    seed,
-                    ..Default::default()
-                },
-            );
+            let mut gen = TraceGenerator::new(self.profile, self.trace_config(i));
             traces.push(gen.generate(self.scale.warmup, self.scale.measured));
         }
-        let mut cfg = self.config.clone();
-        if let Some(fc) = cfg.faults.as_mut() {
-            fc.seed = derive_seed(self.scale.seed, FAULT_SEED_STREAM.wrapping_add(fc.seed));
-        }
-        let sim = catch_unwind(AssertUnwindSafe(|| {
-            let mut sys = CacheSystem::new(&cfg);
-            sys.set_metrics_capture(capture);
-            if n_cores == 1 {
-                sys.run(&traces[0])
-            } else {
-                // Closed-loop CMP point: every core drives its own
-                // trace; the point's result is the merged aggregate.
-                sys.run_cmp(&traces).map(|per_core| {
-                    let mut it = per_core.into_iter();
-                    let mut merged = it.next().expect("at least one core");
-                    for m in it {
-                        merged.merge(&m);
-                    }
-                    merged
-                })
+        // Copy-on-write: fault-free points run straight off the shared
+        // `Arc`; only a fault-carrying point pays for a clone, because
+        // its schedule seed is rewritten per point.
+        let seeded;
+        let cfg: &SystemConfig = match self.config.faults {
+            Some(_) => {
+                seeded = self.fault_seeded_config();
+                &seeded
             }
+            None => &self.config,
+        };
+        let sim = catch_unwind(AssertUnwindSafe(|| {
+            let mut sys = CacheSystem::new(cfg);
+            sys.set_metrics_capture(capture);
+            run_traces(&mut sys, &traces)
         }));
+        self.finish(start, sim)
+    }
+
+    /// The synthetic-workload configuration of core `core`. Core 0
+    /// keeps the raw point seed so single-core points are unchanged;
+    /// later cores get decorrelated derived streams.
+    fn trace_config(&self, core: u16) -> SynthConfig {
+        let seed = if core == 0 {
+            self.scale.seed
+        } else {
+            derive_seed(self.scale.seed, CORE_SEED_STREAM.wrapping_add(core as u64))
+        };
+        SynthConfig {
+            active_sets: self.scale.active_sets,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Clone of the shared configuration with the fault seed re-derived
+    /// from the point's own stream.
+    fn fault_seeded_config(&self) -> SystemConfig {
+        let mut cfg = (*self.config).clone();
+        let fc = cfg.faults.as_mut().expect("caller checked faults exist");
+        fc.seed = derive_seed(self.scale.seed, FAULT_SEED_STREAM.wrapping_add(fc.seed));
+        cfg
+    }
+
+    /// Wraps a finished simulation into the point's outcome or failure.
+    fn finish(
+        &self,
+        start: Instant,
+        sim: std::thread::Result<Result<Metrics, SimError>>,
+    ) -> Result<SweepOutcome, PointFailure> {
         let error = match sim {
             Ok(Ok(metrics)) => {
                 let ipc = metrics.ipc(&CoreModel::for_profile(&self.profile));
                 return Ok(SweepOutcome {
-                    label: self.label.clone(),
+                    label: Arc::clone(&self.label),
                     metrics,
                     ipc,
                     wall: start.elapsed(),
                 });
             }
             Ok(Err(e)) => PointError::Sim(e),
-            Err(payload) => PointError::Panic(panic_message(&payload)),
+            Err(payload) => PointError::Panic(panic_message(payload.as_ref())),
         };
         Err(PointFailure {
-            label: self.label.clone(),
+            label: Arc::clone(&self.label),
             error,
             wall: start.elapsed(),
         })
+    }
+}
+
+/// Runs a ready system (fresh or warm-reset) over the point's traces;
+/// CMP per-core results merge into the point aggregate.
+fn run_traces(sys: &mut CacheSystem, traces: &[Trace]) -> Result<Metrics, SimError> {
+    if traces.len() == 1 {
+        sys.run(&traces[0])
+    } else {
+        // Closed-loop CMP point: every core drives its own trace.
+        sys.run_cmp(traces).map(|per_core| {
+            let mut it = per_core.into_iter();
+            let mut merged = it.next().expect("at least one core");
+            for m in it {
+                merged.merge(&m);
+            }
+            merged
+        })
+    }
+}
+
+/// Reusable per-worker simulation state for warm sweeps: one
+/// [`CacheSystem`] carcass revived between points via
+/// [`CacheSystem::reset_for`], plus per-core trace generators and trace
+/// buffers refilled in place. After the first point on a given
+/// structure, a fault-free point runs without allocating (enforced by
+/// `tests/alloc_free_sweep.rs`).
+///
+/// Warm results are bit-identical to [`SweepPoint::try_run`]'s fresh
+/// construction for every point — the reset contract is covered by the
+/// warm-vs-fresh sweep campaign and the `fuzz --warm-iters` mode.
+#[derive(Default)]
+pub struct SimArena {
+    sys: Option<CacheSystem>,
+    gens: Vec<TraceGenerator>,
+    traces: Vec<Trace>,
+}
+
+impl SimArena {
+    /// An empty arena; the first point populates it.
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Runs `point` on this arena, reviving the previous point's
+    /// simulator when the machine is structurally identical (see
+    /// [`CacheSystem::same_machine`]) and rebuilding through
+    /// `structures` otherwise. Failure semantics match
+    /// [`SweepPoint::try_run`]; after a failed point the carcass is
+    /// discarded (an errored simulation is mid-flight state, not a
+    /// reusable machine).
+    pub fn run_point(
+        &mut self,
+        point: &SweepPoint,
+        capture: MetricsCapture,
+        structures: &StructuralCache,
+    ) -> Result<SweepOutcome, PointFailure> {
+        let start = Instant::now();
+        let n_cores = point.config.cores.max(1) as usize;
+        for i in 0..n_cores {
+            let syn = point.trace_config(i as u16);
+            match self.gens.get_mut(i) {
+                Some(gen) => gen.reset_for(point.profile, syn),
+                None => self.gens.push(TraceGenerator::new(point.profile, syn)),
+            }
+            match self.traces.get_mut(i) {
+                Some(t) => {
+                    self.gens[i].generate_into(t, point.scale.warmup, point.scale.measured);
+                }
+                None => self
+                    .traces
+                    .push(self.gens[i].generate(point.scale.warmup, point.scale.measured)),
+            }
+        }
+        let seeded;
+        let cfg: &SystemConfig = match point.config.faults {
+            Some(_) => {
+                seeded = point.fault_seeded_config();
+                &seeded
+            }
+            None => &point.config,
+        };
+        let traces = &self.traces[..n_cores];
+        let slot = &mut self.sys;
+        let sim = catch_unwind(AssertUnwindSafe(|| {
+            let mut sys = match slot.take().filter(|s| s.same_machine(cfg)) {
+                Some(mut s) => {
+                    let revived = s.reset_for(cfg);
+                    debug_assert!(revived, "same_machine implies reset_for succeeds");
+                    s
+                }
+                None => {
+                    let entry = structures
+                        .get_or_build(cfg, cfg.cores)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    CacheSystem::with_structure(cfg, &entry)
+                }
+            };
+            sys.set_metrics_capture(capture);
+            let result = run_traces(&mut sys, traces);
+            if result.is_ok() {
+                *slot = Some(sys);
+            }
+            result
+        }));
+        point.finish(start, sim)
     }
 }
 
@@ -207,8 +351,8 @@ impl std::error::Error for PointError {}
 /// The failure record of one [`SweepPoint`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PointFailure {
-    /// The point's label, copied through for reporting.
-    pub label: String,
+    /// The point's label, shared through for reporting.
+    pub label: Arc<str>,
     /// What went wrong.
     pub error: PointError,
     /// Wall-clock time spent before the failure (host-dependent).
@@ -218,8 +362,8 @@ pub struct PointFailure {
 /// The completed measurement of one [`SweepPoint`].
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// The point's label, copied through for reporting.
-    pub label: String,
+    /// The point's label, shared through for reporting.
+    pub label: Arc<str>,
     /// Full measurement of the run.
     pub metrics: Metrics,
     /// Modelled IPC under the point's benchmark core model.
@@ -270,6 +414,7 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 pub struct SweepRunner {
     workers: usize,
     capture: MetricsCapture,
+    reuse: bool,
 }
 
 impl Default for SweepRunner {
@@ -287,6 +432,7 @@ impl SweepRunner {
                 .map(|n| n.get())
                 .unwrap_or(1),
             capture: MetricsCapture::Streaming,
+            reuse: true,
         }
     }
 
@@ -301,6 +447,16 @@ impl SweepRunner {
     /// Sets the metrics capture mode for every point.
     pub fn capture(mut self, capture: MetricsCapture) -> Self {
         self.capture = capture;
+        self
+    }
+
+    /// Toggles warm evaluation (on by default): whether workers keep a
+    /// [`SimArena`] so consecutive points on the same structure reuse
+    /// the simulator instead of reconstructing it. Bit-identical either
+    /// way; `false` exists as the benchmark baseline and a debugging
+    /// escape hatch.
+    pub fn reuse(mut self, reuse: bool) -> Self {
+        self.reuse = reuse;
         self
     }
 
@@ -342,19 +498,30 @@ impl SweepRunner {
             .map(|n| n.get())
             .unwrap_or(1);
         let workers = budget_workers(self.workers, sim_threads, cores).min(points.len());
+        let structures = StructuralCache::new();
         if workers == 1 {
-            return points.iter().map(|p| p.try_run(self.capture)).collect();
+            let mut arena = self.reuse.then(SimArena::new);
+            return points
+                .iter()
+                .map(|p| run_one(p, self.capture, arena.as_mut(), &structures))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         type Slot = Mutex<Option<Result<SweepOutcome, PointFailure>>>;
         let slots: Vec<Slot> = points.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(point) = points.get(i) else { break };
-                    let result = point.try_run(self.capture);
-                    *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                scope.spawn(|| {
+                    // Arenas are per worker: the carcass holds `Rc`
+                    // state and never crosses threads; only the
+                    // structural cache is shared.
+                    let mut arena = self.reuse.then(SimArena::new);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(i) else { break };
+                        let result = run_one(point, self.capture, arena.as_mut(), &structures);
+                        *slots[i].lock().expect("slot lock poisoned") = Some(result);
+                    }
                 });
             }
         });
@@ -366,6 +533,20 @@ impl SweepRunner {
                     .expect("every claimed point stores a result")
             })
             .collect()
+    }
+}
+
+/// One point through the warm arena when reuse is on, or the fresh
+/// construction path when it is off.
+fn run_one(
+    point: &SweepPoint,
+    capture: MetricsCapture,
+    arena: Option<&mut SimArena>,
+    structures: &StructuralCache,
+) -> Result<SweepOutcome, PointFailure> {
+    match arena {
+        Some(a) => a.run_point(point, capture, structures),
+        None => point.try_run(capture),
     }
 }
 
@@ -400,8 +581,8 @@ pub fn capacity_points(profile: BenchmarkProfile, scale: ExperimentScale) -> Vec
     for banks_per_set in [4usize, 8, 16, 32] {
         for topology in [TopologyChoice::Mesh, TopologyChoice::Halo] {
             points.push(SweepPoint {
-                label: capacity_label(topology, banks_per_set),
-                config: capacity_config(topology, banks_per_set),
+                label: capacity_label(topology, banks_per_set).into(),
+                config: capacity_config(topology, banks_per_set).into(),
                 profile,
                 scale,
             });
@@ -657,8 +838,8 @@ mod tests {
                     seed: derive_seed(0xCAFE, i as u64),
                 };
                 SweepPoint {
-                    label: format!("point-{i}"),
-                    config: Design::A.config(scheme),
+                    label: format!("point-{i}").into(),
+                    config: Design::A.config(scheme).into(),
                     profile,
                     scale,
                 }
@@ -670,7 +851,7 @@ mod tests {
     fn outcomes_keep_input_order() {
         let points = tiny_points(4);
         let outcomes = SweepRunner::with_workers(3).run(&points);
-        let labels: Vec<&str> = outcomes.iter().map(|o| o.label.as_str()).collect();
+        let labels: Vec<&str> = outcomes.iter().map(|o| &*o.label).collect();
         assert_eq!(labels, ["point-0", "point-1", "point-2", "point-3"]);
     }
 
@@ -705,7 +886,7 @@ mod tests {
         let serial = SweepRunner::with_workers(2).run(&tiny_points(3));
         let mut points = tiny_points(3);
         for p in &mut points {
-            p.config.router.sim_threads = 2;
+            Arc::make_mut(&mut p.config).router.sim_threads = 2;
         }
         let threaded = SweepRunner::with_workers(2).run(&points);
         for (s, t) in serial.iter().zip(&threaded) {
@@ -786,8 +967,8 @@ mod tests {
         let link = r.ports[p.0 as usize].out_link.expect("port has a link");
         cfg.faults = Some(crate::config::FaultConfig::permanent(link, 0));
         SweepPoint {
-            label: label.to_string(),
-            config: cfg,
+            label: label.into(),
+            config: cfg.into(),
             profile: BenchmarkProfile::by_name("gcc").expect("profile"),
             scale: ExperimentScale {
                 warmup: 600,
@@ -810,7 +991,7 @@ mod tests {
                 error: PointError::Sim(SimError::Watchdog { blocked_heads, .. }),
                 ..
             }) => {
-                assert_eq!(label, "cut");
+                assert_eq!(&**label, "cut");
                 assert!(*blocked_heads >= 1, "the cut head is visible");
             }
             other => panic!("expected a watchdog failure, got {other:?}"),

@@ -1,11 +1,15 @@
 //! Full-system driver: network + banks + memory + cache controller.
 
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use nucanet_cache::{AddressMap, BankSetModel, Block};
-use nucanet_noc::{Endpoint, FaultSchedule, NetEvent, Network, Packet, SimError};
+use nucanet_noc::{
+    Endpoint, FaultSchedule, NetEvent, Network, Packet, RoutingTable, SimError, Topology,
+};
 use nucanet_workload::{L2Access, Trace};
 
 use crate::agents::bank::{BankAgent, BankCtx};
@@ -46,6 +50,156 @@ impl Ord for OutEv {
     }
 }
 
+/// Structural equality between a built machine's configuration and a
+/// candidate point: every field that shapes the topology, the routing
+/// tables, the bank layout, or the agents must match. `name`, `faults`
+/// and `check_invariants` are deliberately excluded — they are per-point
+/// decorations re-applied on top of the shared structure (faults degrade
+/// a *copy* of the routing table at run time, never the shared one).
+///
+/// `key.cores` carries the *realised* core count; the candidate's own
+/// `cores` field is ignored in favour of the explicit `n_cores`.
+fn structurally_eq(key: &SystemConfig, cfg: &SystemConfig, n_cores: u16) -> bool {
+    key.cores == n_cores
+        && key.topology == cfg.topology
+        && key.bank_kb == cfg.bank_kb
+        && key.bank_ways == cfg.bank_ways
+        && key.columns == cfg.columns
+        && key.scheme == cfg.scheme
+        && key.router == cfg.router
+        && key.mem_base_cycles == cfg.mem_base_cycles
+        && key.mem_per_8b_cycles == cfg.mem_per_8b_cycles
+        && key.mem_extra_wire == cfg.mem_extra_wire
+        && key.core_ports == cfg.core_ports
+        && key.max_outstanding == cfg.max_outstanding
+        && key.per_column_limit == cfg.per_column_limit
+        && key.tech == cfg.tech
+        && key.request_timeout == cfg.request_timeout
+        && key.request_retries == cfg.request_retries
+}
+
+/// The expensive, immutable part of a [`CacheSystem`]: the realised
+/// layout, the topology, and the fault-free routing table, built once
+/// per distinct structure and shared read-only (the topology and table
+/// ride behind [`Arc`]s all the way into the network).
+///
+/// Produced by [`StructuralCache::get_or_build`]; consumed by
+/// [`CacheSystem::with_structure`].
+#[derive(Debug, Clone)]
+pub struct StructuralEntry {
+    /// Normalised configuration this structure was built from: `name`
+    /// cleared, `faults`/`check_invariants` stripped, `cores` set to the
+    /// realised count. Used as the cache key.
+    key: SystemConfig,
+    layout: SystemLayout,
+    core_ifaces: Vec<Vec<Endpoint>>,
+    topo: Arc<Topology>,
+    table: Arc<RoutingTable>,
+}
+
+impl StructuralEntry {
+    /// Builds the structure for `cfg` with `n_cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for the same reasons as
+    /// [`CacheSystem::try_with_cores`].
+    pub fn build(cfg: &SystemConfig, n_cores: u16) -> Result<Self, ConfigError> {
+        let (layout, core_ifaces) = cfg.build_cmp_layout(n_cores)?;
+        let table = layout
+            .routing
+            .build(&layout.topo)
+            .expect("layout topology matches routing");
+        let topo = Arc::new(layout.topo.clone());
+        let mut key = cfg.clone();
+        key.name = String::new();
+        key.faults = None;
+        key.check_invariants = false;
+        key.cores = n_cores;
+        Ok(StructuralEntry {
+            key,
+            layout,
+            core_ifaces,
+            topo,
+            table: Arc::new(table),
+        })
+    }
+
+    /// Whether this structure can host the machine `cfg` describes with
+    /// `n_cores` cores (see [`CacheSystem::same_machine`] for the
+    /// matching rule).
+    pub fn matches(&self, cfg: &SystemConfig, n_cores: u16) -> bool {
+        structurally_eq(&self.key, cfg, n_cores)
+    }
+
+    /// The shared topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The shared fault-free routing table.
+    pub fn routing_table(&self) -> &Arc<RoutingTable> {
+        &self.table
+    }
+}
+
+/// A thread-safe cache of [`StructuralEntry`]s keyed by the structural
+/// fingerprint of a [`SystemConfig`] (every field except `name`,
+/// `faults` and `check_invariants`) plus the realised core count.
+///
+/// Sweep workers share one cache so a thousand points that differ only
+/// in workload, seed, label or fault schedule build the topology and
+/// routing tables exactly once. Lookups are a linear equality scan —
+/// campaigns hold a handful of distinct structures, not thousands —
+/// and a build happens under the cache lock, so concurrent workers
+/// asking for the same structure block instead of duplicating work.
+///
+/// Float fields ([`Technology`](nucanet_timing::Technology)) compare
+/// with `==`; a NaN parameter would therefore never hit the cache. That
+/// degrades to per-point builds, never to a wrong structure.
+#[derive(Debug, Default)]
+pub struct StructuralCache {
+    entries: Mutex<Vec<Arc<StructuralEntry>>>,
+}
+
+impl StructuralCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StructuralCache::default()
+    }
+
+    /// Returns the shared structure for `cfg`/`n_cores`, building and
+    /// memoising it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] for the same reasons as
+    /// [`CacheSystem::try_with_cores`].
+    pub fn get_or_build(
+        &self,
+        cfg: &SystemConfig,
+        n_cores: u16,
+    ) -> Result<Arc<StructuralEntry>, ConfigError> {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = entries.iter().find(|e| e.matches(cfg, n_cores)) {
+            return Ok(Arc::clone(e));
+        }
+        let entry = Arc::new(StructuralEntry::build(cfg, n_cores)?);
+        entries.push(Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Number of distinct structures built so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The paper's networked cache system, ready to run traces.
 pub struct CacheSystem {
     cfg: SystemConfig,
@@ -57,6 +211,9 @@ pub struct CacheSystem {
     /// One controller per core; single-core systems have exactly one.
     cores: Vec<CoreController>,
     core_of_endpoint: HashMap<Endpoint, usize>,
+    /// The bank-set lock table shared by every controller; kept here so
+    /// a warm reset can clear it without tearing the controllers down.
+    locks: Rc<RefCell<SetLocks>>,
     outputs: BinaryHeap<OutEv>,
     out_seq: u64,
     map: AddressMap,
@@ -103,12 +260,42 @@ impl CacheSystem {
     /// Still panics on invalid configurations that are programming
     /// errors (see [`CacheSystem::new`]).
     pub fn try_with_cores(cfg: &SystemConfig, n_cores: u16) -> Result<Self, ConfigError> {
-        let (layout, core_ifaces) = cfg.build_cmp_layout(n_cores)?;
-        let table = layout
-            .routing
-            .build(&layout.topo)
-            .expect("layout topology matches routing");
-        let net = Network::new(layout.topo.clone(), table, cfg.router);
+        // The one-shot path builds its structure privately; no Arc is
+        // ever shared, so `assemble` consumes it without cloning.
+        Ok(Self::assemble(cfg, StructuralEntry::build(cfg, n_cores)?))
+    }
+
+    /// Builds the system on a pre-built shared structure (see
+    /// [`StructuralCache`]): the topology and fault-free routing table
+    /// are reference-counted into the network instead of rebuilt, so
+    /// per-system cost is agent construction only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `entry` was built for a different structure than
+    /// `cfg` describes (compare with [`StructuralEntry::matches`]
+    /// first), or on the invalid-configuration panics of
+    /// [`CacheSystem::new`].
+    pub fn with_structure(cfg: &SystemConfig, entry: &Arc<StructuralEntry>) -> Self {
+        assert!(
+            entry.matches(cfg, cfg.cores),
+            "structural entry does not match the requested configuration"
+        );
+        Self::assemble(cfg, StructuralEntry::clone(entry))
+    }
+
+    /// Assembles the mutable machine (network state, agents, locks)
+    /// around a structure. `entry.key.cores` is the realised core count.
+    fn assemble(cfg: &SystemConfig, entry: StructuralEntry) -> Self {
+        let StructuralEntry {
+            key,
+            layout,
+            core_ifaces,
+            topo,
+            table,
+        } = entry;
+        let n_cores = key.cores;
+        let net = Network::with_shared(topo, table, cfg.router);
 
         assert!(
             cfg.columns.is_power_of_two(),
@@ -214,7 +401,7 @@ impl CacheSystem {
         // built machine even when `n_cores` overrode `cfg.cores`.
         let mut cfg = cfg.clone();
         cfg.cores = n_cores;
-        Ok(CacheSystem {
+        CacheSystem {
             cfg,
             layout,
             net,
@@ -223,12 +410,72 @@ impl CacheSystem {
             memory,
             cores,
             core_of_endpoint,
+            locks,
             outputs: BinaryHeap::new(),
             out_seq: 0,
             map,
             measured_cycles: 0,
             capture: MetricsCapture::Full,
-        })
+        }
+    }
+
+    /// Whether this built machine is structurally identical to the one
+    /// `cfg` describes — i.e. whether [`CacheSystem::reset_for`] can
+    /// reuse it. Everything except `name`, `faults` and
+    /// `check_invariants` must match; those three are per-point
+    /// decorations the reset re-applies.
+    pub fn same_machine(&self, cfg: &SystemConfig) -> bool {
+        structurally_eq(&self.cfg, cfg, cfg.cores)
+    }
+
+    /// Warm reset: restores this system to the state a fresh
+    /// construction from `cfg` would produce, reusing every allocation
+    /// (network slabs, event wheel, agent tables, routing-table
+    /// storage). Returns `false` — leaving the system untouched — when
+    /// `cfg` describes a different machine (see
+    /// [`CacheSystem::same_machine`]); the caller must then rebuild.
+    ///
+    /// The reset is *bit-identity exact*: a reset system produces the
+    /// same metrics, delivered packets and final cache contents as a
+    /// freshly built one for any subsequent run, including runs with a
+    /// fault schedule (a prior point's degraded routing table is
+    /// retired to spare storage, never leaked). The capture mode
+    /// reverts to [`MetricsCapture::Full`], matching construction.
+    ///
+    /// Steady-state cost is allocation-free for fault-free,
+    /// checker-free points; a fault schedule materialises its event
+    /// list and an invariant checker re-allocates its shadow state.
+    pub fn reset_for(&mut self, cfg: &SystemConfig) -> bool {
+        if !self.same_machine(cfg) {
+            return false;
+        }
+        self.net.reset();
+        for b in &mut self.banks {
+            b.reset();
+        }
+        self.memory.reset();
+        self.locks.borrow_mut().reset();
+        for c in &mut self.cores {
+            c.reset();
+            c.set_request_timeout(cfg.request_timeout, cfg.request_retries);
+        }
+        self.outputs.clear();
+        self.out_seq = 0;
+        self.measured_cycles = 0;
+        self.capture = MetricsCapture::Full;
+        if let Some(fc) = &cfg.faults {
+            self.net
+                .set_fault_schedule(fc.schedule(self.layout.topo.link_count()));
+        }
+        if cfg.check_invariants {
+            self.net.enable_invariant_checker();
+        }
+        // Adopt the point's decorations; `clone_into` reuses the name
+        // buffer when capacity allows.
+        cfg.name.clone_into(&mut self.cfg.name);
+        self.cfg.faults.clone_from(&cfg.faults);
+        self.cfg.check_invariants = cfg.check_invariants;
+        true
     }
 
     /// Selects how future runs store per-access measurements: full
@@ -347,8 +594,7 @@ impl CacheSystem {
     /// mid-simulation state after an error; discard it.
     pub fn run(&mut self, trace: &Trace) -> Result<Metrics, SimError> {
         self.warm(trace.warmup());
-        let measured: Vec<L2Access> = trace.measured().copied().collect();
-        self.run_timed(&measured)
+        self.run_timed(trace.measured())
     }
 
     /// Runs `accesses` through the timed simulation (no warm-up).

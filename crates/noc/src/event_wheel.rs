@@ -137,6 +137,18 @@ impl<T> EventWheel<T> {
         self.buckets.iter().flat_map(|b| b.iter())
     }
 
+    /// Drops every pending event while keeping bucket and drain-buffer
+    /// capacities, so a reused wheel schedules without reallocating.
+    /// Part of the warm-reset path; a freshly cleared wheel behaves
+    /// exactly like a new one (the extra capacity is unobservable).
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.spare.clear();
+        self.len = 0;
+    }
+
     /// Returns a drained buffer from [`EventWheel::take_due`] so the
     /// next drain reuses its capacity.
     pub fn recycle(&mut self, mut batch: Vec<(u64, T)>) {

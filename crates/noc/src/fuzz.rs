@@ -49,6 +49,13 @@ pub struct FuzzOptions {
     /// fuzzing with `sim_threads > 1` differentially tests the
     /// two-phase kernel against the golden model.
     pub sim_threads: u32,
+    /// Warm-reset scenarios to run after the main campaign: each
+    /// replays a scenario on a freshly built network, calls
+    /// [`Network::reset`], and reruns the *same* network, asserting the
+    /// delivered sequence and the network counters are bit-identical to
+    /// the fresh run. Exercises the warm-evaluation contract the sweep
+    /// engine's arenas rely on. `0` disables the pass.
+    pub warm_iters: u64,
 }
 
 impl Default for FuzzOptions {
@@ -59,6 +66,7 @@ impl Default for FuzzOptions {
             check: true,
             max_cycles: 50_000,
             sim_threads: 1,
+            warm_iters: 0,
         }
     }
 }
@@ -87,6 +95,9 @@ pub struct FuzzReport {
     pub multicasts: u64,
     /// Fault events exercised across all iterations.
     pub fault_events: u64,
+    /// Warm-reset replay scenarios completed (see
+    /// [`FuzzOptions::warm_iters`]).
+    pub warm_iters_run: u64,
     /// The first failure, if any; the campaign stops there.
     pub failure: Option<FuzzFailure>,
 }
@@ -293,10 +304,25 @@ fn fast_run(
         ..RouterParams::hpca07()
     };
     let mut net: Network<u64> = Network::new(sc.topo.clone(), table, params);
+    arm(&mut net, sc, check);
+    drive(&mut net, sc, max_cycles)
+}
+
+/// Configures a pristine (fresh or reset) network for a scenario run.
+fn arm(net: &mut Network<u64>, sc: &Scenario, check: bool) {
     if check {
         net.enable_invariant_checker();
     }
     net.set_fault_schedule(FaultSchedule::new(sc.faults.clone()));
+}
+
+/// Injects a scenario's packet plan and steps the network until it
+/// drains, collecting the delivered sequence.
+fn drive(
+    net: &mut Network<u64>,
+    sc: &Scenario,
+    max_cycles: u64,
+) -> Result<(Vec<PacketId>, FastDeliveries), String> {
     let mut order: Vec<usize> = (0..sc.plans.len()).collect();
     order.sort_by_key(|&i| sc.plans[i].at);
     let mut ids = vec![PacketId(0); sc.plans.len()];
@@ -402,6 +428,53 @@ fn run_one(
     ))
 }
 
+/// Runs one warm-reset replay: build a network, run the scenario, call
+/// [`Network::reset`], rerun the *same* network object, and require the
+/// warm pass to be indistinguishable from the fresh one — packet ids,
+/// the full `(cycle, packet, endpoint)` delivery sequence, and the
+/// network counters must all match bit for bit.
+fn warm_run_one(seed: u64, check: bool, max_cycles: u64, sim_threads: u32) -> Result<(), String> {
+    let sc = gen_scenario(seed);
+    let table = sc
+        .spec
+        .build(&sc.topo)
+        .map_err(|e| format!("routing build failed: {e:?}"))?;
+    let params = RouterParams {
+        sim_threads,
+        ..RouterParams::hpca07()
+    };
+    let mut net: Network<u64> = Network::new(sc.topo.clone(), table, params);
+    arm(&mut net, &sc, check);
+    let (fresh_ids, fresh) = drive(&mut net, &sc, max_cycles)?;
+    let fresh_stats = net.stats().clone();
+    net.reset();
+    arm(&mut net, &sc, check);
+    let (warm_ids, warm) = drive(&mut net, &sc, max_cycles)?;
+    if fresh_ids != warm_ids {
+        return Err("warm replay assigned different packet ids".into());
+    }
+    if fresh != warm {
+        let divergence = fresh
+            .iter()
+            .zip(&warm)
+            .position(|(a, b)| a != b)
+            .unwrap_or(fresh.len().min(warm.len()));
+        return Err(format!(
+            "warm replay diverges from the fresh run: fresh={} warm={} deliveries, \
+             first divergence at entry {divergence}",
+            fresh.len(),
+            warm.len()
+        ));
+    }
+    if fresh_stats != *net.stats() {
+        return Err(format!(
+            "warm replay counters diverge: fresh={fresh_stats:?} warm={:?}",
+            net.stats()
+        ));
+    }
+    Ok(())
+}
+
 /// Runs a fuzzing campaign and stops at the first failure.
 pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     let mut report = FuzzReport::default();
@@ -419,6 +492,16 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
                 report.failure = Some(FuzzFailure { iter, seed, detail });
                 return report;
             }
+        }
+    }
+    // Warm-reset differential pass: replay the same seed stream through
+    // a reset-and-rerun cycle (see [`FuzzOptions::warm_iters`]).
+    for iter in 0..opts.warm_iters {
+        let seed = opts.seed.wrapping_add(iter);
+        report.warm_iters_run += 1;
+        if let Err(detail) = warm_run_one(seed, opts.check, opts.max_cycles, opts.sim_threads) {
+            report.failure = Some(FuzzFailure { iter, seed, detail });
+            return report;
         }
     }
     report
@@ -457,6 +540,7 @@ mod tests {
             check: true,
             max_cycles: 50_000,
             sim_threads: 1,
+            warm_iters: 0,
         });
         assert!(
             report.failure.is_none(),
@@ -480,12 +564,33 @@ mod tests {
             check: true,
             max_cycles: 50_000,
             sim_threads: 4,
+            warm_iters: 0,
         });
         assert!(
             report.failure.is_none(),
             "fuzz failure with 4 sim threads: {:?}",
             report.failure
         );
+    }
+
+    #[test]
+    fn warm_replays_match_fresh_runs() {
+        // Reset-and-replay over a varied seed stream: mesh/halo shapes,
+        // multicasts, and transient faults all pass through reset().
+        let report = run_fuzz(&FuzzOptions {
+            iters: 0,
+            seed: 7,
+            check: true,
+            max_cycles: 50_000,
+            sim_threads: 1,
+            warm_iters: 25,
+        });
+        assert!(
+            report.failure.is_none(),
+            "warm fuzz failure: {:?}",
+            report.failure
+        );
+        assert_eq!(report.warm_iters_run, 25);
     }
 
     #[test]
@@ -501,6 +606,7 @@ mod tests {
             check: false,
             max_cycles: 50_000,
             sim_threads: 1,
+            warm_iters: 0,
         });
         assert!(direct.failure.is_none());
         assert_eq!(direct.packets, a.plans.len() as u64);

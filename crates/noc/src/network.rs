@@ -111,8 +111,14 @@ enum EvKind<P> {
 
 /// Cycle-driven network of single-cycle multicasting wormhole routers.
 pub struct Network<P> {
-    topo: Topology,
-    table: RoutingTable,
+    /// Shared read-only topology. Behind an `Arc` so a structural cache
+    /// can hand the same instance to every worker's network; the kernel
+    /// never mutates it.
+    topo: Arc<Topology>,
+    /// The routing table in use. Starts as the (possibly shared)
+    /// fault-free table; the first fault replaces it with a privately
+    /// owned degraded copy, so a shared pristine table is never written.
+    table: Arc<RoutingTable>,
     params: RouterParams,
     /// All router microarchitectural state, as structure-of-arrays
     /// slabs: each router's VC buffers, routes, credits, and round-robin
@@ -159,7 +165,11 @@ pub struct Network<P> {
     /// The fault-free routing table, kept from the first fault rebuild
     /// onward so injection checks and reroute accounting can compare
     /// against the intact topology. `None` until a fault applies.
-    base_table: Option<RoutingTable>,
+    base_table: Option<Arc<RoutingTable>>,
+    /// A retired degraded table kept across [`Network::reset`] so the
+    /// next run's first fault can rebuild into its storage instead of
+    /// allocating a fresh table. Always uniquely owned.
+    spare_table: Option<Arc<RoutingTable>>,
     /// Masked-rebuild state (reverse adjacency index + dense scratch),
     /// created at the first fault event and reused for every later
     /// rebuild so fault recomputation stops reallocating O(n²).
@@ -200,6 +210,24 @@ impl<P> Network<P> {
     ///
     /// Panics if `params` are invalid.
     pub fn new(topo: Topology, table: RoutingTable, params: RouterParams) -> Self {
+        Self::with_shared(Arc::new(topo), Arc::new(table), params)
+    }
+
+    /// Builds a network over *shared* structure: the topology and the
+    /// fault-free routing table may be `Arc`s handed out by a structural
+    /// cache and shared read-only across many networks (one per sweep
+    /// worker). The kernel never writes through either `Arc` — fault
+    /// rebuilds move the degraded table into a privately owned
+    /// allocation first — so sharing is safe and free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid.
+    pub fn with_shared(
+        topo: Arc<Topology>,
+        table: Arc<RoutingTable>,
+        params: RouterParams,
+    ) -> Self {
         params.validate();
         let slabs = NetSlabs::build(&topo, params.vcs_per_port, params.vc_depth);
         let n = topo.len();
@@ -236,6 +264,7 @@ impl<P> Network<P> {
             next_fault: 0,
             link_up: vec![true; n_links],
             base_table: None,
+            spare_table: None,
             rebuilder: None,
             sim_threads,
             pool: None,
@@ -261,6 +290,59 @@ impl<P> Network<P> {
             table,
             params,
         }
+    }
+
+    /// Returns the network to its just-constructed state while keeping
+    /// every allocation: slab storage, event-wheel buckets, scratch
+    /// buffers, mailboxes, the worker pool, and the fault-rebuild
+    /// machinery all retain their capacity. This is the warm-evaluation
+    /// path's arena reset — after it, the network is observationally
+    /// identical to `Network::with_shared(topo, table, params)` on the
+    /// same structure (bit-identical simulation results), but stepping
+    /// it performs zero steady-state allocations from the first cycle.
+    ///
+    /// The fault schedule, event log, and invariant checker are
+    /// cleared (they are per-run configuration; reinstall per point).
+    /// If a fault had degraded the routing table, the pristine table
+    /// `Arc` moves back into place and the degraded copy is retired as
+    /// a spare for the next run's first fault rebuild.
+    pub fn reset(&mut self) {
+        self.slabs.reset(self.params.vc_depth);
+        self.events.clear();
+        self.scratch.requesting.clear();
+        self.scratch.winners.clear();
+        self.scratch.work.clear();
+        self.cycle = 0;
+        self.next_packet = 0;
+        self.pending.clear();
+        self.pending_flag.fill(false);
+        self.delivered.clear();
+        self.reserved.fill(false);
+        self.inflight.fill(0);
+        self.stats.reset();
+        self.last_progress = 0;
+        self.evlog = None;
+        self.checker = None;
+        self.faults = FaultSchedule::default();
+        self.next_fault = 0;
+        self.link_up.fill(true);
+        // Restore the fault-free table; keep the degraded storage (and
+        // the rebuilder scratch) so a faulted next run allocates nothing.
+        if let Some(pristine) = self.base_table.take() {
+            let degraded = std::mem::replace(&mut self.table, pristine);
+            self.spare_table = Some(degraded);
+        }
+        for intent in &mut self.intents {
+            intent.clear();
+        }
+        self.deferred.fill(false);
+        self.res_dirty.fill(false);
+        self.res_dirty_list.clear();
+        self.live_mb.clear();
+        for mb in &mut self.commit_mb {
+            mb.clear();
+        }
+        self.phase = PhaseStats::default();
     }
 
     /// Installs a fault schedule. Events at or before the current cycle
@@ -289,7 +371,7 @@ impl<P> Network<P> {
 
     /// The routing table of the intact topology (ignoring faults).
     fn pristine_table(&self) -> &RoutingTable {
-        self.base_table.as_ref().unwrap_or(&self.table)
+        self.base_table.as_deref().unwrap_or(&self.table)
     }
 
     /// Applies fault events due at the current cycle and rebuilds the
@@ -326,21 +408,33 @@ impl<P> Network<P> {
                 );
             }
             let rebuilder = self.rebuilder.as_mut().expect("created above");
-            // Invariant: `base_table` is written exactly once — at the
-            // first fault event, when `self.table` still is the intact
-            // table. That first rebuild goes into a fresh allocation so
-            // the intact table can move into `base_table` unchanged;
-            // every later rebuild (repairs included) reuses the current
-            // degraded table's storage and the builder's scratch, so
-            // steady-state fault recomputation allocates nothing.
-            // `pristine_table` keeps serving the fault-free view for
-            // injection checks and reroute accounting.
+            // Invariant: `base_table` is written exactly once per run —
+            // at the first fault event, when `self.table` still is the
+            // intact (possibly shared) table. That first rebuild goes
+            // into a privately owned `Arc` — a spare retired by a prior
+            // [`Network::reset`] when one exists, a fresh allocation
+            // otherwise — so the intact table moves into `base_table`
+            // unchanged and a table shared through a structural cache is
+            // never written. Every later rebuild (repairs included)
+            // reuses the degraded table's storage and the builder's
+            // scratch, so steady-state fault recomputation allocates
+            // nothing. `pristine_table` keeps serving the fault-free
+            // view for injection checks and reroute accounting.
             if self.base_table.is_none() {
-                let rebuilt = rebuilder.build(&self.topo, &self.link_up);
+                let rebuilt = match self.spare_table.take() {
+                    Some(mut spare) => {
+                        let t = Arc::get_mut(&mut spare).expect("spare table is uniquely owned");
+                        rebuilder.rebuild_into(&self.topo, &self.link_up, t);
+                        spare
+                    }
+                    None => Arc::new(rebuilder.build(&self.topo, &self.link_up)),
+                };
                 let pristine = std::mem::replace(&mut self.table, rebuilt);
                 self.base_table = Some(pristine);
             } else {
-                rebuilder.rebuild_into(&self.topo, &self.link_up, &mut self.table);
+                let t = Arc::get_mut(&mut self.table)
+                    .expect("degraded table is uniquely owned after the first fault");
+                rebuilder.rebuild_into(&self.topo, &self.link_up, t);
             }
             if let Some(checker) = &mut self.checker {
                 let order =
@@ -913,7 +1007,7 @@ impl<P> Network<P> {
                 ctx: ComputeCtx {
                     topo: &self.topo,
                     table: &self.table,
-                    base: self.base_table.as_ref(),
+                    base: self.base_table.as_deref(),
                     params: &self.params,
                     reserved: &self.reserved,
                     slabs: &self.slabs,

@@ -190,6 +190,30 @@ impl<P> NetSlabs<P> {
         }
     }
 
+    /// Restores the just-built state in place: every VC FIFO emptied
+    /// (capacity kept), routes/splits/replica roles cleared, output
+    /// credits re-seeded to `vc_depth` on ports with an outgoing link,
+    /// utilisation and round-robin pointers zeroed. The structural
+    /// arrays (`port_base`, `vcs`, `is_local`, `has_out`) are untouched.
+    /// `vc_depth` must match the depth the slabs were built with; the
+    /// warm-reset path relies on this doing zero allocations.
+    pub fn reset(&mut self, vc_depth: u8) {
+        for b in &mut self.buf {
+            b.clear();
+        }
+        self.route.fill(None);
+        self.split.fill(None);
+        self.replica_role.fill(false);
+        self.out_owner.fill(false);
+        let vcs = self.vcs;
+        for (ps, &h) in self.has_out.iter().enumerate() {
+            self.out_credits[ps * vcs..(ps + 1) * vcs].fill(if h { vc_depth } else { 0 });
+        }
+        self.util.fill(0);
+        self.rr_in.fill(0);
+        self.out_rr.fill(0);
+    }
+
     /// Number of routers.
     #[inline]
     pub fn n_routers(&self) -> usize {

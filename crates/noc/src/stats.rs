@@ -53,6 +53,43 @@ impl NetStats {
         }
     }
 
+    /// Zeroes every counter in place, keeping the per-link and
+    /// histogram vector allocations. After `reset`, the statistics
+    /// compare equal to `NetStats::new(n_links)` — the warm-reset path
+    /// relies on this to stay allocation-free across sweep points.
+    pub fn reset(&mut self) {
+        let NetStats {
+            cycles,
+            packets_injected,
+            packets_delivered,
+            flits_per_link,
+            flits_ejected,
+            total_packet_latency,
+            replications,
+            replication_blocked_cycles,
+            latency_buckets,
+            peak_vc_occupancy,
+            link_down_events,
+            link_up_events,
+            packets_rerouted,
+            route_blocked_cycles,
+        } = self;
+        *cycles = 0;
+        *packets_injected = 0;
+        *packets_delivered = 0;
+        flits_per_link.fill(0);
+        *flits_ejected = 0;
+        *total_packet_latency = 0;
+        *replications = 0;
+        *replication_blocked_cycles = 0;
+        latency_buckets.fill(0);
+        *peak_vc_occupancy = 0;
+        *link_down_events = 0;
+        *link_up_events = 0;
+        *packets_rerouted = 0;
+        *route_blocked_cycles = 0;
+    }
+
     /// Records one delivery into the latency histogram.
     pub(crate) fn record_latency(&mut self, latency: u64) {
         let b = ((latency / 10) as usize).min(LATENCY_BUCKETS - 1);

@@ -31,7 +31,7 @@
 //! let profile = BenchmarkProfile::by_name("art").unwrap();
 //! let mut gen = TraceGenerator::new(profile, SynthConfig { seed: 1, ..Default::default() });
 //! let trace = gen.generate(1_000, 4_000);
-//! assert_eq!(trace.measured().count(), 4_000);
+//! assert_eq!(trace.measured().len(), 4_000);
 //! ```
 
 pub mod cpu;

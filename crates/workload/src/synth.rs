@@ -94,6 +94,46 @@ impl TraceGenerator {
         &self.profile
     }
 
+    /// Warm reset: restores this generator to the state
+    /// [`TraceGenerator::new`]`(profile, cfg)` would produce — the
+    /// subsequent access stream is bit-identical to a fresh generator's
+    /// — while reusing the per-set stack storage. Allocation-free when
+    /// `cfg.active_sets` does not grow and the profile's Zipf locality
+    /// parameters are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configurations as
+    /// [`TraceGenerator::new`].
+    pub fn reset_for(&mut self, profile: BenchmarkProfile, cfg: SynthConfig) {
+        assert!(cfg.active_sets >= 1, "need at least one active set");
+        assert!(
+            cfg.active_sets <= 1 << (cfg.column_bits + cfg.index_bits),
+            "more active sets than the address map addresses"
+        );
+        if profile.locality.max_depth != self.profile.locality.max_depth
+            || profile.locality.theta != self.profile.locality.theta
+        {
+            self.depth_sampler = ZipfSampler::new(profile.locality.max_depth, profile.locality.theta);
+        }
+        self.rng = StdRng::seed_from_u64(cfg.seed ^ hash_name(profile.name));
+        for s in &mut self.stacks {
+            s.clear();
+        }
+        self.stacks.resize_with(cfg.active_sets as usize, VecDeque::new);
+        self.next_tag.clear();
+        self.next_tag.resize(cfg.active_sets as usize, 0);
+        self.burst_state = (0, 0);
+        self.profile = profile;
+        self.cfg = cfg;
+    }
+
+    /// Like [`TraceGenerator::generate`], but refills `trace` in place,
+    /// reusing its storage (see [`Trace::refill`]).
+    pub fn generate_into(&mut self, trace: &mut Trace, warmup: usize, measured: usize) {
+        trace.refill(warmup, warmup + measured, || self.next_access());
+    }
+
     /// Generates `warmup + measured` accesses.
     pub fn generate(&mut self, warmup: usize, measured: usize) -> Trace {
         let total = warmup + measured;

@@ -38,9 +38,27 @@ impl Trace {
         &self.accesses[..self.warmup]
     }
 
-    /// Iterator over the measured window.
-    pub fn measured(&self) -> impl Iterator<Item = &L2Access> {
-        self.accesses[self.warmup..].iter()
+    /// The measured window (everything after the warm-up prefix).
+    pub fn measured(&self) -> &[L2Access] {
+        &self.accesses[self.warmup..]
+    }
+
+    /// Clears and refills this trace in place from `fill`, reusing the
+    /// existing allocation: `total` accesses are drawn, of which the
+    /// first `warmup` form the warm-up prefix. Allocation-free once the
+    /// buffer has grown to `total` (the warm sweep path's contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` exceeds `total`.
+    pub fn refill(&mut self, warmup: usize, total: usize, mut fill: impl FnMut() -> L2Access) {
+        assert!(warmup <= total, "warm-up longer than the trace");
+        self.accesses.clear();
+        self.accesses.reserve(total);
+        for _ in 0..total {
+            self.accesses.push(fill());
+        }
+        self.warmup = warmup;
     }
 
     /// Length of the measured window.
@@ -64,7 +82,7 @@ impl Trace {
         if m == 0 {
             return 0.0;
         }
-        self.measured().filter(|a| a.write).count() as f64 / m as f64
+        self.measured().iter().filter(|a| a.write).count() as f64 / m as f64
     }
 }
 

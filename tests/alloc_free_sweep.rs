@@ -1,0 +1,148 @@
+//! Proves the warm-evaluation sweep path is allocation-free in steady
+//! state.
+//!
+//! Two properties, both behind a counting global allocator (its own
+//! integration-test binary, like `alloc_free_step`, because the
+//! `#[global_allocator]` is process-wide; everything lives in one
+//! `#[test]` so no parallel test inflates the counter):
+//!
+//! 1. the **warm-reset window** — `CacheSystem::reset_for` plus
+//!    in-place trace regeneration — performs exactly zero allocations
+//!    once the first evaluations have grown every buffer to its
+//!    high-water mark (clean, checker-free points);
+//! 2. end to end, steady-state warm points through
+//!    [`SimArena::run_point`] allocate an identical amount per point
+//!    (no creep) and strictly less than evaluating the same point with
+//!    fresh construction.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nucanet::experiments::ExperimentScale;
+use nucanet::metrics::MetricsCapture;
+use nucanet::sweep::{SimArena, SweepPoint};
+use nucanet::{CacheSystem, Design, Scheme, StructuralCache};
+use nucanet_workload::{BenchmarkProfile, SynthConfig, TraceGenerator};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+const WARMUP: usize = 300;
+const MEASURED: usize = 60;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn point() -> SweepPoint {
+    SweepPoint {
+        label: "alloc-gate".into(),
+        config: Design::A.config(Scheme::MulticastFastLru).into(),
+        profile: BenchmarkProfile::by_name("twolf").expect("profile"),
+        scale: ExperimentScale {
+            warmup: WARMUP,
+            measured: MEASURED,
+            active_sets: 32,
+            seed: 0xFEED,
+        },
+    }
+}
+
+#[test]
+fn warm_sweep_path_is_allocation_free_in_steady_state() {
+    // ---- Property 1: the warm-reset window allocates exactly zero. ----
+    let cfg = Design::A.config(Scheme::MulticastFastLru);
+    let mut sys = CacheSystem::new(&cfg);
+    let profile = BenchmarkProfile::by_name("twolf").expect("profile");
+    let syn = SynthConfig {
+        active_sets: 32,
+        seed: 7,
+        ..Default::default()
+    };
+    let mut gen = TraceGenerator::new(profile, syn);
+    let mut trace = gen.generate(WARMUP, MEASURED);
+
+    // Warm-up: two full evaluations grow every buffer (bank maps, VC
+    // queues, trace storage, controller queues) to its high-water mark.
+    for _ in 0..2 {
+        sys.set_metrics_capture(MetricsCapture::Streaming);
+        sys.run(&trace).expect("healthy run");
+        assert!(sys.reset_for(&cfg), "same machine must warm-reset");
+        gen.reset_for(profile, syn);
+        gen.generate_into(&mut trace, WARMUP, MEASURED);
+    }
+    sys.set_metrics_capture(MetricsCapture::Streaming);
+    sys.run(&trace).expect("healthy run");
+
+    let before = allocations();
+    assert!(sys.reset_for(&cfg), "same machine must warm-reset");
+    gen.reset_for(profile, syn);
+    gen.generate_into(&mut trace, WARMUP, MEASURED);
+    let window = allocations() - before;
+    assert_eq!(
+        window, 0,
+        "warm-reset window (reset_for + trace regeneration) allocated {window} times"
+    );
+
+    // ---- Property 2: steady-state arena points allocate equally, ----
+    // ---- and less than fresh construction of the same point.      ----
+    let p = point();
+    let capture = MetricsCapture::Streaming;
+    let structures = StructuralCache::new();
+    let mut arena = SimArena::new();
+    arena
+        .run_point(&p, capture, &structures)
+        .expect("first (cold) arena point succeeds");
+    arena
+        .run_point(&p, capture, &structures)
+        .expect("second arena point succeeds");
+
+    let mut count_one = || {
+        let before = allocations();
+        arena
+            .run_point(&p, capture, &structures)
+            .expect("steady-state arena point succeeds");
+        allocations() - before
+    };
+    let k = count_one();
+    let k1 = count_one();
+    assert_eq!(
+        k, k1,
+        "steady-state warm points must allocate identically (no creep): {k} vs {k1}"
+    );
+
+    // Fresh construction: a brand-new arena and structural cache pay
+    // the layout build, the routing tables, and every simulator buffer
+    // again. The warm path must be strictly cheaper.
+    let before = allocations();
+    let mut cold_arena = SimArena::new();
+    let cold_structures = StructuralCache::new();
+    cold_arena
+        .run_point(&p, capture, &cold_structures)
+        .expect("fresh-construction point succeeds");
+    let fresh = allocations() - before;
+    assert!(
+        k < fresh,
+        "warm point must allocate strictly less than fresh construction: warm {k} vs fresh {fresh}"
+    );
+}

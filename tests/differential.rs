@@ -23,6 +23,7 @@ fn two_hundred_seeded_scenarios_match_the_golden_model() {
         check: true,
         max_cycles: 50_000,
         sim_threads: 1,
+        warm_iters: 50,
     });
     assert!(
         report.failure.is_none(),
@@ -46,6 +47,7 @@ fn campaigns_are_reproducible() {
         check: false,
         max_cycles: 50_000,
         sim_threads: 1,
+        warm_iters: 20,
     };
     let a = run_fuzz(&opts);
     let b = run_fuzz(&opts);

@@ -207,8 +207,8 @@ fn giant_cmp_sweep_is_bit_identical_across_worker_counts() {
     let points: Vec<SweepPoint> = [2u16, 4]
         .into_iter()
         .map(|cores| SweepPoint {
-            label: format!("giant x{cores}"),
-            config: giant_config(cores, 1),
+            label: format!("giant x{cores}").into(),
+            config: giant_config(cores, 1).into(),
             profile,
             scale,
         })

@@ -297,6 +297,7 @@ fn differential_fuzz_passes_with_four_sim_threads() {
         check: true,
         max_cycles: 50_000,
         sim_threads: 4,
+        warm_iters: 10,
     });
     assert!(
         report.failure.is_none(),

@@ -76,8 +76,8 @@ fn cut_point() -> SweepPoint {
     let link = r.ports[p.0 as usize].out_link.expect("port has a link");
     cfg.faults = Some(FaultConfig::permanent(link, 0));
     SweepPoint {
-        label: "cut".to_string(),
-        config: cfg,
+        label: "cut".into(),
+        config: cfg.into(),
         profile: bench("gcc"),
         scale: ExperimentScale {
             warmup: 600,
@@ -96,7 +96,8 @@ fn fault_injected_sweeps_are_worker_count_invariant() {
     // failure diagnostics are bit-identical for any worker count.
     let mut points = grid();
     for p in &mut points {
-        p.config.faults = Some(FaultConfig::random(2, (1, 1_000), Some(400)));
+        std::sync::Arc::make_mut(&mut p.config).faults =
+            Some(FaultConfig::random(2, (1, 1_000), Some(400)));
     }
     points.push(cut_point());
     let baseline = SweepRunner::with_workers(1).try_run(&points);
