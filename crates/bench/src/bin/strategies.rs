@@ -1,0 +1,80 @@
+//! Cross-strategy comparison: the same Design A / Multicast Fast-LRU
+//! cells under every multicast replication strategy (hybrid, tree,
+//! path), side by side.
+//!
+//! Delivered traffic is strategy-invariant — the same packets reach the
+//! same endpoints — so hit rates match across rows and the interesting
+//! columns are latency, IPC, and the replication count (how many flit
+//! copies the network minted to serve the multicasts). Results land in
+//! `BENCH_strategies.json` for the trajectory.
+
+use nucanet::experiments::ExperimentScale;
+use nucanet::sweep::SweepPoint;
+use nucanet::{Design, Scheme};
+use nucanet_bench::{
+    apply_env_check, apply_env_sim_threads, rule, runner_from_env, scale_from_env,
+    write_bench_json,
+};
+use nucanet_noc::ALL_STRATEGIES;
+use nucanet_workload::BenchmarkProfile;
+
+const BENCHES: [&str; 3] = ["gcc", "twolf", "art"];
+
+fn points(scale: ExperimentScale) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for strategy in ALL_STRATEGIES {
+        // One shared config per strategy, so the sweep runner's warm
+        // path reuses arenas across the strategy's benchmarks.
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.router.strategy = strategy;
+        let cfg: std::sync::Arc<_> = cfg.into();
+        for bench in BENCHES {
+            points.push(SweepPoint {
+                label: format!("{strategy}/{bench}").into(),
+                config: cfg.clone(),
+                profile: BenchmarkProfile::by_name(bench).expect("Table 2 benchmark"),
+                scale,
+            });
+        }
+    }
+    points
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let runner = runner_from_env();
+    println!("Multicast strategy comparison — Design A, Multicast Fast-LRU");
+    println!(
+        "(scale: {} measured accesses, {} warm-up, {} workers)",
+        scale.measured,
+        scale.warmup,
+        runner.workers()
+    );
+    rule(64);
+    println!(
+        "{:14} {:>8} {:>8} {:>8} {:>12}",
+        "point", "avg", "hitrate", "ipc", "replications"
+    );
+    rule(64);
+    let mut points = points(scale);
+    apply_env_sim_threads(&mut points);
+    apply_env_check(&mut points);
+    let outcomes = runner.run(&points);
+    for o in &outcomes {
+        println!(
+            "{:14} {:>8.1} {:>8.3} {:>8.3} {:>12}",
+            o.label,
+            o.metrics.avg_latency(),
+            o.metrics.hit_rate(),
+            o.ipc,
+            o.metrics.net.replications
+        );
+    }
+    rule(64);
+    println!("\ndelivered work is identical per benchmark; latency and");
+    println!("replication cost are what the strategies trade off.");
+    match write_bench_json("strategies", &runner, &points, &outcomes) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_strategies.json: {e}"),
+    }
+}

@@ -23,6 +23,12 @@
 //! * `NUCANET_CHECK` — non-zero enables the network's runtime invariant
 //!   checker on every point (default 0: the checker audits each cycle
 //!   and would distort throughput numbers; CI smoke runs set it).
+//! * `NUCANET_STRATEGY` — multicast replication strategy (`hybrid`,
+//!   `tree`, or `path`; default: the paper's hybrid). Applies to every
+//!   sweep point and to the perf harness's router parameters, so one
+//!   variable re-runs any figure or timing under an alternative
+//!   strategy. Delivered results are strategy-invariant (same packets
+//!   reach the same endpoints); latencies and replication counts move.
 //! * `NUCANET_BENCH_DIR` — where `BENCH_*.json` files land (default:
 //!   the current directory).
 //!
@@ -40,6 +46,7 @@ use nucanet::sweep::{
     render_json_results, write_atomically, PointFailure, SweepOutcome, SweepPoint, SweepRunner,
 };
 use nucanet::FaultConfig;
+use nucanet_noc::MulticastStrategy;
 
 /// Parses a numeric environment value: decimal, or hex with a `0x`/`0X`
 /// prefix. Returns a message naming the offending value on failure.
@@ -139,6 +146,36 @@ pub fn faults_from_env() -> Option<FaultConfig> {
         c => Some(c),
     };
     Some(FaultConfig::random(count as u32, (1, 1_000), repair))
+}
+
+/// Reads `NUCANET_STRATEGY` — the multicast replication strategy (see
+/// crate docs). Returns `None` when unset, so callers can distinguish
+/// "explicitly hybrid" from "defaulted".
+///
+/// # Panics
+///
+/// Panics if `NUCANET_STRATEGY` is set but names no known strategy.
+#[must_use]
+pub fn strategy_from_env() -> Option<MulticastStrategy> {
+    match std::env::var("NUCANET_STRATEGY") {
+        Err(_) => None,
+        Ok(v) => match MulticastStrategy::parse(&v) {
+            Some(s) => Some(s),
+            None => panic!("bad NUCANET_STRATEGY: '{v}' is not hybrid|tree|path"),
+        },
+    }
+}
+
+/// Applies [`strategy_from_env`] to a point list, so sweep binaries
+/// pick up `NUCANET_STRATEGY` uniformly. A no-op when the variable is
+/// unset (points keep whatever strategy their config carries). Call
+/// after building the points and before running them.
+pub fn apply_env_strategy(points: &mut [SweepPoint]) {
+    if let Some(s) = strategy_from_env() {
+        for p in points {
+            std::sync::Arc::make_mut(&mut p.config).router.strategy = s;
+        }
+    }
 }
 
 /// Applies `NUCANET_CHECK` to a point list: non-zero turns the runtime

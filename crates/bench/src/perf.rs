@@ -243,11 +243,20 @@ fn lcg(x: &mut u64) -> u64 {
     *x >> 16
 }
 
+/// Router parameters for every timed config: Table 1 values, the
+/// requested thread count, and — when `NUCANET_STRATEGY` is set — the
+/// requested multicast replication strategy, so the perf trajectory
+/// can be re-measured under tree or path replication without a new
+/// harness entry point.
 fn params(sim_threads: u32) -> RouterParams {
-    RouterParams {
+    let mut p = RouterParams {
         sim_threads,
         ..RouterParams::hpca07()
+    };
+    if let Some(s) = crate::strategy_from_env() {
+        p.strategy = s;
     }
+    p
 }
 
 fn drain<P>(net: &mut Network<P>) {

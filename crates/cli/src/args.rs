@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use nucanet::{Design, Scheme};
+use nucanet_noc::MulticastStrategy;
 use nucanet_workload::BenchmarkProfile;
 
 /// Parsed command line: a subcommand plus `--key value` options.
@@ -147,6 +148,26 @@ impl Args {
         }
     }
 
+    /// The `--strategy` option: the multicast replication strategy, or
+    /// `None` when absent (callers fall back to `NUCANET_STRATEGY` and
+    /// then the paper's hybrid default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::BadValue`] for unknown strategy names.
+    pub fn strategy(&self) -> Result<Option<MulticastStrategy>, ParseError> {
+        match self.get("strategy") {
+            None => Ok(None),
+            Some(v) => MulticastStrategy::parse(v).map(Some).ok_or_else(|| {
+                ParseError::BadValue {
+                    key: "strategy".into(),
+                    value: v.into(),
+                    expected: "hybrid|tree|path",
+                }
+            }),
+        }
+    }
+
     /// The `--bench` option (default `gcc`).
     ///
     /// # Errors
@@ -202,6 +223,21 @@ mod tests {
             parse("x --scheme mc-promotion").unwrap().scheme().unwrap(),
             Scheme::MulticastPromotion
         );
+    }
+
+    #[test]
+    fn strategy_parses_and_defaults_to_unset() {
+        assert_eq!(parse("run").unwrap().strategy().unwrap(), None);
+        assert_eq!(
+            parse("run --strategy tree").unwrap().strategy().unwrap(),
+            Some(MulticastStrategy::Tree)
+        );
+        assert_eq!(
+            parse("run --strategy path").unwrap().strategy().unwrap(),
+            Some(MulticastStrategy::Path)
+        );
+        let e = parse("run --strategy ring").unwrap().strategy().unwrap_err();
+        assert!(e.to_string().contains("hybrid|tree|path"), "{e}");
     }
 
     #[test]

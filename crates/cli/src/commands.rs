@@ -13,7 +13,9 @@ use nucanet_bench::perf::{
     mesh_sat_throughput, mesh_throughput, parse_trajectory, render_perf_json_with_sweep,
     screening_points, sweep_throughput, warm_speedup, SweepPerfSample,
 };
-use nucanet_noc::{run_fuzz, FuzzOptions, LinkCensus, NodeId, RoutingSpec, Topology};
+use nucanet_noc::{
+    run_fuzz, FuzzOptions, LinkCensus, MulticastStrategy, NodeId, RoutingSpec, Topology,
+};
 use nucanet_workload::{CoreModel, SynthConfig, Trace, TraceGenerator};
 
 use crate::args::{Args, ParseError};
@@ -75,6 +77,10 @@ pub fn help_text() -> String {
      \x20 --cores K            cores sharing the cache (run/sweep: closed-loop\n\
      \x20                      CMP mode; perf: mesh-giant injectors; default 1)\n\
      \x20 --seed N             workload seed\n\
+     \x20 --strategy NAME      multicast replication strategy for run/\n\
+     \x20                      sweep/perf/fuzz: hybrid (paper default),\n\
+     \x20                      tree, or path (default: NUCANET_STRATEGY\n\
+     \x20                      or hybrid; fuzz samples per scenario)\n\
      \x20 --workers N          sweep worker threads (default: all cores)\n\
      \x20 --sim-threads N      cycle-kernel threads per simulated network\n\
      \x20                      (default: NUCANET_SIM_THREADS or 1; 0 = auto;\n\
@@ -88,6 +94,9 @@ pub fn help_text() -> String {
      \x20 --fault-repair C     sweep only: repair each injected fault after C cycles\n\
      \x20 --check 1            run/sweep: enable the runtime invariant checker\n\
      \x20 --iters N            fuzz: scenarios to run (default 200)\n\
+     \x20 --cross-strategy 1   fuzz: run every scenario under all three\n\
+     \x20                      strategies and compare their delivered\n\
+     \x20                      (packet, endpoint) multisets\n\
      \x20 --cmp-iters N        fuzz: CMP determinism scenarios, 2-4 cores\n\
      \x20                      across sim-thread counts (default 10)\n\
      \x20 --warm-iters N       fuzz: reset-and-replay scenarios — each runs\n\
@@ -110,6 +119,17 @@ fn sim_threads_of(args: &Args) -> Result<u32, ParseError> {
         Ok(args.get_usize("sim-threads", 1)? as u32)
     } else {
         Ok(nucanet_bench::sim_threads_from_env())
+    }
+}
+
+/// `--strategy NAME` when given, else the `NUCANET_STRATEGY`
+/// environment variable, else `None` (the config keeps the paper's
+/// hybrid default). Delivered packets are identical under every
+/// strategy; latency and replication counters move.
+fn strategy_of(args: &Args) -> Result<Option<MulticastStrategy>, ParseError> {
+    match args.strategy()? {
+        Some(s) => Ok(Some(s)),
+        None => Ok(nucanet_bench::strategy_from_env()),
     }
 }
 
@@ -142,11 +162,15 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
     let cores = cores_of(args)?;
     let check = args.get("check") == Some("1");
     let sim_threads = sim_threads_of(args)?;
+    let strategy = strategy_of(args)?;
 
     if cores == 1 {
         let mut cfg = design.config(scheme);
         cfg.check_invariants = check;
         cfg.router.sim_threads = sim_threads;
+        if let Some(s) = strategy {
+            cfg.router.strategy = s;
+        }
         let (m, ipc) = run_config(&cfg, &bench, scale)
             .map_err(|e| ParseError::SimulationFailed(e.to_string()))?;
         let note = if check { "\ninvariants checked: ok" } else { "" };
@@ -161,6 +185,9 @@ fn cmd_run(args: &Args) -> Result<String, ParseError> {
     let mut cfg = design.config(scheme);
     cfg.check_invariants = check;
     cfg.router.sim_threads = sim_threads;
+    if let Some(s) = strategy {
+        cfg.router.strategy = s;
+    }
     let mut sys = CacheSystem::try_with_cores(&cfg, cores)
         .map_err(|e| ParseError::InvalidConfig(e.to_string()))?;
     let traces: Vec<Trace> = (0..cores)
@@ -336,9 +363,13 @@ fn cmd_sweep(args: &Args) -> Result<String, ParseError> {
     };
     let mut points = capacity_points(bench, scale);
     let sim_threads = sim_threads_of(args)?;
+    let strategy = strategy_of(args)?;
     for p in &mut points {
         let cfg = std::sync::Arc::make_mut(&mut p.config);
         cfg.router.sim_threads = sim_threads;
+        if let Some(s) = strategy {
+            cfg.router.strategy = s;
+        }
         // CMP sweep: every point runs the closed-loop N-core mode with
         // per-core derived traces (bit-identical for any worker count).
         cfg.cores = cores;
@@ -434,6 +465,12 @@ fn cmd_perf(args: &Args) -> Result<String, ParseError> {
     let repeats = args.get_usize("repeats", 1)?.max(1);
     let threads = sim_threads_of(args)?;
     let cores = cores_of(args)?.max(1);
+    // The perf harness reads its router parameters from the
+    // environment, so `--strategy` is forwarded through the variable
+    // the bench binaries already honour.
+    if let Some(s) = args.strategy()? {
+        std::env::set_var("NUCANET_STRATEGY", s.name());
+    }
     let best = |run: &dyn Fn() -> nucanet_bench::perf::PerfSample| {
         (0..repeats)
             .map(|_| run())
@@ -554,6 +591,12 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
         max_cycles: args.get_usize("max-cycles", 50_000)? as u64,
         sim_threads: sim_threads_of(args)?,
         warm_iters: args.get_usize("warm-iters", 0)? as u64,
+        // `--strategy` pins one strategy; by default each scenario
+        // samples its own from the seed.
+        strategy: strategy_of(args)?,
+        // `--cross-strategy 1` runs every scenario under all three
+        // strategies and compares their delivered multisets.
+        cross_strategy: args.get("cross-strategy") == Some("1"),
     };
     let cmp_opts = nucanet::CmpFuzzOptions {
         iters: args.get_usize("cmp-iters", 10)? as u64,
@@ -587,9 +630,19 @@ fn cmd_fuzz(args: &Args) -> Result<String, ParseError> {
             f.iter, f.seed, f.detail
         ))
     })?;
+    let mode = if opts.cross_strategy {
+        "cross-strategy".to_string()
+    } else {
+        match opts.strategy {
+            Some(s) => format!("strategy {s}"),
+            None => "strategy sampled".to_string(),
+        }
+    };
+    let [h, t, p] = report.strategy_runs;
     Ok(format!(
-        "fuzz: {} iterations clean (checker {})\n\
+        "fuzz: {} iterations clean (checker {}, {mode})\n\
          {} packets injected, {} deliveries, {} multicasts, {} fault events\n\
+         strategy runs: {h} hybrid, {t} tree, {p} path\n\
          warm fuzz: {} reset-and-replay scenarios clean\n\
          cmp fuzz: {} scenarios clean (2-4 cores, sim-threads 1 vs 4)\n",
         report.iters_run,
@@ -698,6 +751,42 @@ mod tests {
             out.contains("warm fuzz: 8 reset-and-replay scenarios clean"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn fuzz_samples_strategies_by_default() {
+        let out = run("fuzz --iters 12 --seed 5");
+        assert!(out.contains("strategy sampled"), "{out}");
+        assert!(out.contains("strategy runs:"), "{out}");
+        // Twelve seeded scenarios should not all collapse onto one
+        // strategy (the sampler is a decorrelated stream).
+        assert!(!out.contains("12 hybrid"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_strategy_can_be_pinned() {
+        let out = run("fuzz --iters 4 --seed 9 --strategy path");
+        assert!(out.contains("strategy path"), "{out}");
+        assert!(out.contains("strategy runs: 0 hybrid, 0 tree, 4 path"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_cross_strategy_campaign_is_clean() {
+        let out = run("fuzz --iters 4 --seed 17 --cross-strategy 1");
+        assert!(out.contains("4 iterations clean"), "{out}");
+        assert!(out.contains("cross-strategy"), "{out}");
+        assert!(out.contains("strategy runs: 4 hybrid, 4 tree, 4 path"), "{out}");
+    }
+
+    #[test]
+    fn run_accepts_a_strategy() {
+        for strategy in ["tree", "path"] {
+            let out = run(&format!(
+                "run --bench art --accesses 60 --warmup 1000 --sets 32 --check 1 \
+                 --strategy {strategy}"
+            ));
+            assert!(out.contains("invariants checked: ok"), "{strategy}: {out}");
+        }
     }
 
     #[test]

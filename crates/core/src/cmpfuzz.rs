@@ -13,6 +13,7 @@
 //! Scenarios are a pure function of `(seed, iteration)`, so a failure
 //! replays with `--cmp-iters 1 --seed <reported seed>`.
 
+use nucanet_noc::ALL_STRATEGIES;
 use nucanet_workload::{BenchmarkProfile, SynthConfig, Trace, TraceGenerator};
 
 use crate::config::{Design, TopologyChoice};
@@ -54,8 +55,9 @@ pub struct CmpFuzzFailure {
 }
 
 /// Runs `opts.iters` sampled CMP scenarios (2–4 cores on a mesh, halo,
-/// or 2-hub halo, every non-static scheme) with cycle-kernel thread
-/// counts 1 and 4, returning the iteration count on success.
+/// or 2-hub halo, every non-static scheme, every multicast strategy)
+/// with cycle-kernel thread counts 1 and 4, returning the iteration
+/// count on success.
 ///
 /// # Errors
 ///
@@ -86,6 +88,10 @@ fn run_one(seed: u64, accesses: usize) -> Result<(), String> {
         }
     };
     cfg.cores = cores;
+    // The multicast replication strategy is a sampled axis too: CMP
+    // traffic (column multicasts from the protocol agents) must stay
+    // bit-identical across kernels under every strategy.
+    cfg.router.strategy = ALL_STRATEGIES[(draw(3) % ALL_STRATEGIES.len() as u64) as usize];
     let profile = BenchmarkProfile::by_name("gcc").expect("gcc profile exists");
     let traces: Vec<Trace> = (0..cores)
         .map(|i| {

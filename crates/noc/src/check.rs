@@ -19,9 +19,14 @@
 //!   `inflight` array, which is cross-checked too.
 //! * **Wormhole order** — flits eject at each (packet, destination) in
 //!   strict `0, 1, …, flits-1` sequence; packets never interleave.
-//! * **Exactly-once multicast** — hybrid replication delivers exactly
-//!   one copy per destination-list slot: no duplicates, and (checked at
-//!   quiescence) no starved endpoint.
+//! * **Exactly-once multicast** — whatever the replication strategy
+//!   (hybrid splits, tree forks, or path passing deliveries), exactly
+//!   one copy arrives per destination-list slot: no duplicates, and
+//!   (checked at quiescence) no starved endpoint.
+//! * **Replication budget** — the active [`crate::strategy`] model
+//!   predicts exactly how many replica copies a packet costs
+//!   (`flits × (n_dests − 1)` for all three strategies); the running
+//!   count may never overshoot it and must land on it by quiescence.
 //! * **Channel enumeration** — within each routed segment, head flits
 //!   cross strictly increasing channel numbers under the total order
 //!   from [`crate::deadlock`] (the paper's Fig. 5(b) argument). The
@@ -46,6 +51,7 @@ use std::fmt;
 use crate::evlog::{EventLog, NetEvent};
 use crate::ids::{Endpoint, LinkId};
 use crate::packet::PacketId;
+use crate::strategy::MulticastStrategy;
 
 /// Violations retained with full detail; later ones only increment
 /// [`InvariantChecker::total_violations`].
@@ -138,6 +144,20 @@ pub enum InvariantKind {
         /// Flits that did eject there before traffic stopped.
         flits_seen: u32,
     },
+    /// A packet's replica-copy count disagrees with what the active
+    /// multicast strategy predicts. Every strategy — hybrid splits,
+    /// tree forks, path passing deliveries — creates exactly
+    /// `flits × (n_dests − 1)` copies per fully delivered packet, so
+    /// this fires while running when the count overshoots and at
+    /// quiescence when it lands anywhere else.
+    ReplicaCount {
+        /// The packet involved.
+        packet: PacketId,
+        /// Replica copies created for it so far.
+        copies: u64,
+        /// What the strategy model predicts for full delivery.
+        expected: u64,
+    },
     /// A head flit crossed a channel whose enumeration rank does not
     /// exceed the previous hop's within the same routed segment.
     ChannelOrder {
@@ -224,6 +244,15 @@ impl fmt::Display for InvariantKind {
                 "missing delivery: {packet:?} never completed at {endpoint} \
                  ({flits_seen} flits seen)"
             ),
+            InvariantKind::ReplicaCount {
+                packet,
+                copies,
+                expected,
+            } => write!(
+                f,
+                "replica count: {packet:?} created {copies} copies, strategy \
+                 predicts {expected}"
+            ),
             InvariantKind::ChannelOrder {
                 packet,
                 link,
@@ -271,6 +300,11 @@ struct PacketTrack {
     next_seq: Vec<u32>,
     /// Tail copies delivered per destination slot (must end at 1).
     tails: Vec<u32>,
+    /// Replica flit copies created for this packet so far.
+    copies: u64,
+    /// What the strategy model predicts for full delivery
+    /// (`flits × (n_dests − 1)` under every current strategy).
+    copy_limit: u64,
 }
 
 /// Pluggable per-cycle invariant checker (see the module docs).
@@ -282,6 +316,8 @@ pub struct InvariantChecker {
     /// Channel total order of the current routing table, when one
     /// exists; `None` disables per-hop rank checks.
     enumeration: Option<Vec<u32>>,
+    /// The multicast strategy whose replication expectations apply.
+    strategy: MulticastStrategy,
     /// Flit copies created so far (injected flits + replica writes).
     created: u64,
     packets: BTreeMap<PacketId, PacketTrack>,
@@ -300,10 +336,12 @@ pub struct InvariantChecker {
 
 impl InvariantChecker {
     /// Creates a checker with the given channel enumeration (from
-    /// [`crate::deadlock::ChannelDependencyGraph::enumeration`]).
-    pub(crate) fn new(enumeration: Option<Vec<u32>>) -> Self {
+    /// [`crate::deadlock::ChannelDependencyGraph::enumeration`]) and
+    /// the multicast strategy whose replication counts to expect.
+    pub(crate) fn new(enumeration: Option<Vec<u32>>, strategy: MulticastStrategy) -> Self {
         InvariantChecker {
             enumeration,
+            strategy,
             ..Default::default()
         }
     }
@@ -325,13 +363,30 @@ impl InvariantChecker {
                 dests: dests.to_vec(),
                 next_seq: vec![0; dests.len()],
                 tails: vec![0; dests.len()],
+                copies: 0,
+                copy_limit: self.strategy.model().replica_copies(flits, dests.len()),
             },
         );
     }
 
-    /// Registers one locally written replica flit copy.
-    pub(crate) fn on_replica_copy(&mut self) {
+    /// Registers one replica flit copy and checks the running count
+    /// against the strategy model's prediction for the packet.
+    pub(crate) fn on_replica_copy(&mut self, id: PacketId) {
         self.created += 1;
+        let Some(track) = self.packets.get_mut(&id) else {
+            // Injected before the checker was enabled; count the copy
+            // for conservation, but there is no prediction to check.
+            return;
+        };
+        track.copies += 1;
+        let (copies, limit) = (track.copies, track.copy_limit);
+        if copies > limit {
+            self.record(InvariantKind::ReplicaCount {
+                packet: id,
+                copies,
+                expected: limit,
+            });
+        }
     }
 
     /// Checks one ejected flit for wormhole order, destination
@@ -505,6 +560,15 @@ impl InvariantChecker {
                     });
                 }
             }
+            // A fully delivered packet must have cost exactly the
+            // copies its strategy predicts — no more, no fewer.
+            if track.copies != track.copy_limit {
+                self.record(InvariantKind::ReplicaCount {
+                    packet: *id,
+                    copies: track.copies,
+                    expected: track.copy_limit,
+                });
+            }
         }
         self.last_rank.clear();
     }
@@ -559,7 +623,7 @@ mod tests {
 
     #[test]
     fn clean_unicast_life_cycle_records_nothing() {
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         c.on_inject(PacketId(0), 2, &[ep(3)]);
         c.on_eject(PacketId(0), 0, 0, ep(3), false);
         c.on_eject(PacketId(0), 1, 0, ep(3), true);
@@ -573,7 +637,7 @@ mod tests {
 
     #[test]
     fn out_of_order_eject_is_flagged() {
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         c.on_inject(PacketId(1), 3, &[ep(2)]);
         c.on_eject(PacketId(1), 1, 0, ep(2), false);
         c.seal(5, None);
@@ -590,7 +654,7 @@ mod tests {
 
     #[test]
     fn duplicate_tail_is_flagged() {
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         c.on_inject(PacketId(2), 1, &[ep(4)]);
         c.on_eject(PacketId(2), 0, 0, ep(4), true);
         c.on_eject(PacketId(2), 0, 0, ep(4), true);
@@ -604,7 +668,7 @@ mod tests {
 
     #[test]
     fn missing_delivery_caught_at_quiescence() {
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         c.on_inject(PacketId(3), 1, &[ep(1), ep(5)]);
         c.on_eject(PacketId(3), 0, 0, ep(1), true);
         c.audit_quiescent();
@@ -617,7 +681,7 @@ mod tests {
 
     #[test]
     fn conservation_mismatch_is_flagged() {
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         c.on_inject(PacketId(4), 5, &[ep(1)]);
         c.begin_wire(4);
         c.wire_flit(0);
@@ -636,7 +700,7 @@ mod tests {
 
     #[test]
     fn channel_rank_must_increase_within_a_segment() {
-        let mut c = InvariantChecker::new(Some(vec![0, 2, 1]));
+        let mut c = InvariantChecker::new(Some(vec![0, 2, 1]), MulticastStrategy::Hybrid);
         c.on_inject(PacketId(5), 1, &[ep(9)]);
         c.on_link_send(PacketId(5), 0, LinkId(1)); // rank 2
         c.on_link_send(PacketId(5), 0, LinkId(2)); // rank 1 < 2: violation
@@ -655,7 +719,7 @@ mod tests {
 
     #[test]
     fn table_rebuild_resets_segment_history() {
-        let mut c = InvariantChecker::new(Some(vec![5, 0]));
+        let mut c = InvariantChecker::new(Some(vec![5, 0]), MulticastStrategy::Hybrid);
         c.on_link_send(PacketId(6), 0, LinkId(0)); // rank 5
         c.on_table_rebuilt(Some(vec![5, 0]));
         c.on_link_send(PacketId(6), 0, LinkId(1)); // rank 0, but fresh history
@@ -665,7 +729,7 @@ mod tests {
 
     #[test]
     fn credit_slot_mismatch_and_drift() {
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         c.begin_wire(2);
         c.wire_flit(0);
         // Slot 0: kernel claims 0 inflight but the wheel holds 1 → drift,
@@ -686,13 +750,63 @@ mod tests {
     }
 
     #[test]
+    fn replica_overshoot_is_flagged_while_running() {
+        // Hybrid: 2 flits to 2 endpoints budgets 2 × (2−1) = 2 copies.
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
+        c.on_inject(PacketId(8), 2, &[ep(1), ep(2)]);
+        c.on_replica_copy(PacketId(8));
+        c.on_replica_copy(PacketId(8));
+        c.seal(1, None);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+        c.on_replica_copy(PacketId(8)); // third copy overshoots
+        c.seal(2, None);
+        assert!(matches!(
+            c.violations()[0].kind,
+            InvariantKind::ReplicaCount {
+                copies: 3,
+                expected: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn replica_shortfall_is_caught_at_quiescence() {
+        // Path multicast still owes one passing copy per extra
+        // destination; a fully delivered packet with none is wrong.
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Path);
+        c.on_inject(PacketId(9), 1, &[ep(1), ep(2)]);
+        c.on_eject(PacketId(9), 0, 0, ep(1), true);
+        c.on_eject(PacketId(9), 0, 1, ep(2), true);
+        c.audit_quiescent();
+        c.seal(3, None);
+        assert!(matches!(
+            c.violations()[0].kind,
+            InvariantKind::ReplicaCount {
+                copies: 0,
+                expected: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn untracked_replica_copy_only_counts_conservation() {
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Tree);
+        c.on_replica_copy(PacketId(99)); // injected pre-enable
+        c.check_conservation(1, 0);
+        c.seal(1, None);
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
     fn violations_attach_recent_events() {
         let mut log = EventLog::new(8);
         log.push(NetEvent::ReplicaBlocked {
             cycle: 1,
             node: NodeId(0),
         });
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         c.on_inject(PacketId(7), 1, &[ep(1)]);
         c.on_eject(PacketId(7), 0, 0, ep(2), true); // wrong endpoint
         c.seal(4, Some(&log));
@@ -705,7 +819,7 @@ mod tests {
 
     #[test]
     fn retention_is_bounded_but_total_counts_on() {
-        let mut c = InvariantChecker::new(None);
+        let mut c = InvariantChecker::new(None, MulticastStrategy::Hybrid);
         for i in 0..100u64 {
             c.on_eject(PacketId(50), 0, 0, ep(1), true);
             c.on_inject(PacketId(50), 1, &[ep(2)]);

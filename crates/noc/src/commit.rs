@@ -28,9 +28,10 @@
 use std::collections::VecDeque;
 
 use crate::ids::{LinkId, NodeId};
-use crate::packet::FlitRef;
+use crate::packet::{FlitRef, PacketId};
 use crate::params::RouterParams;
 use crate::router::{NetSlabs, OutRoute, RouterIntent, Split};
+use crate::strategy::MulticastStrategy;
 use crate::topology::Topology;
 
 /// One cross-router (or global) side effect recorded by a commit
@@ -73,10 +74,15 @@ pub(crate) enum Effect<P> {
         /// The ejected flit (tail-ness and endpoint derive from it).
         flit: FlitRef<P>,
     },
-    /// A replica flit was copied into the reserved replica VC
-    /// (invariant-checker bookkeeping only; the copy itself is
-    /// own-router slab state and already happened).
-    ReplicaCopy,
+    /// A replica flit copy was created — written into a reserved
+    /// replica VC (hybrid/tree splits) or peeled straight off to the
+    /// local sink (path passing delivery). Invariant-checker
+    /// bookkeeping only; the copy itself is own-router slab state (or a
+    /// paired [`Effect::Eject`]) and already happened.
+    ReplicaCopy {
+        /// The packet whose flit was copied.
+        packet: PacketId,
+    },
     /// A replica VC's tail left: the remote reservation on the VC's
     /// input link must be released so the upstream router can allocate
     /// it again.
@@ -241,21 +247,52 @@ pub(crate) unsafe fn apply_winner<P>(
         let is_tail = flit.is_tail();
         let via_link = !*s.is_local.add(ps) && !*s.replica_role.add(slot);
 
-        // Replica copy (multicast): same flit, targeting this router.
+        // Replica copy (multicast split): the clone's destination range
+        // depends on the strategy. Hybrid clones eject here — they keep
+        // `dest_idx` and close their range at `resume` (= dest_idx + 1)
+        // — while the primary resumes at `resume`. Tree is the mirror
+        // image: the primary keeps the near group `[dest_idx, resume)`
+        // and the clone carries the far group `[resume, dest_hi)`.
         if let Some(sp) = split {
             let rslot = s.vc_slot(ri, sp.port as usize, sp.vc as usize);
-            (*s.buf.add(rslot)).push_back(flit.clone());
-            mb.push_back((pos, Effect::ReplicaCopy));
+            let mut copy = flit.clone();
+            match params.strategy {
+                MulticastStrategy::Tree => copy.dest_idx = sp.resume,
+                _ => copy.dest_hi = sp.resume,
+            }
+            (*s.buf.add(rslot)).push_back(copy);
+            mb.push_back((pos, Effect::ReplicaCopy { packet: flit.pkt.id }));
         }
 
         let mut out = flit;
-        if split.is_some() {
-            out.dest_idx += 1; // the continuing copy heads to the next endpoint
+        if let Some(sp) = split {
+            match params.strategy {
+                MulticastStrategy::Tree => out.dest_hi = sp.resume,
+                // The continuing copy heads to the next endpoint.
+                _ => out.dest_idx = sp.resume,
+            }
         }
 
         if route.eject {
             mb.push_back((pos, Effect::Eject { flit: out }));
         } else {
+            // Passing delivery: the worm's current target lives on
+            // this router but further endpoints remain — peel a copy
+            // off to the local sink and forward the worm re-aimed at
+            // the next endpoint. No replication storage: the copy goes
+            // straight from the crossbar to ejection. This is path
+            // multicast's only mechanism, and tree multicast's fallback
+            // when an ejection router has no free replica VC to fork
+            // into (hybrid never routes onward past a local target
+            // without splitting first).
+            if !matches!(params.strategy, MulticastStrategy::Hybrid)
+                && out.target().node == node
+                && out.has_more_targets()
+            {
+                mb.push_back((pos, Effect::ReplicaCopy { packet: out.pkt.id }));
+                mb.push_back((pos, Effect::Eject { flit: out.clone() }));
+                out.dest_idx += 1;
+            }
             let link = topo.router(node).ports[route.port as usize]
                 .out_link
                 .expect("net route must have a link");

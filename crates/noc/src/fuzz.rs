@@ -17,6 +17,16 @@
 //! determinism check in (2). All faults generated here are transient
 //! and repaired, so both models must deliver everything.
 //!
+//! The multicast replication strategy (see [`crate::strategy`]) is a
+//! fuzzed axis too: unless [`FuzzOptions::strategy`] pins one, each
+//! iteration samples hybrid/tree/path from a stream decorrelated from
+//! scenario generation — the same seed always yields the same scenario
+//! *and* the same strategy, preserving the collapsed-seed reproduction
+//! contract below. [`FuzzOptions::cross_strategy`] instead runs every
+//! scenario under **all** strategies and asserts they deliver the same
+//! `(packet, endpoint)` multiset: replication mechanics may differ,
+//! who-gets-what may not.
+//!
 //! Reproduction: iteration `i` of `(seed, iters)` is exactly iteration
 //! `0` of `(seed + i, 1)` — a failure report carries that collapsed
 //! seed so one CLI invocation (`nucanet fuzz --iters 1 --seed <s>`)
@@ -30,6 +40,7 @@ use crate::network::Network;
 use crate::packet::{Dest, Packet, PacketId};
 use crate::params::RouterParams;
 use crate::routing::RoutingSpec;
+use crate::strategy::{MulticastStrategy, ALL_STRATEGIES};
 use crate::topology::Topology;
 
 /// Knobs for a fuzzing campaign.
@@ -56,6 +67,15 @@ pub struct FuzzOptions {
     /// the fresh run. Exercises the warm-evaluation contract the sweep
     /// engine's arenas rely on. `0` disables the pass.
     pub warm_iters: u64,
+    /// Pin every iteration to one multicast strategy, or `None` (the
+    /// default) to sample hybrid/tree/path per iteration from a stream
+    /// derived from — but decorrelated from — the scenario seed.
+    pub strategy: Option<MulticastStrategy>,
+    /// Run each scenario under **every** strategy and require all of
+    /// them to deliver the same `(packet, endpoint)` multiset (each one
+    /// still differentially checked against the golden model). Ignores
+    /// [`FuzzOptions::strategy`].
+    pub cross_strategy: bool,
 }
 
 impl Default for FuzzOptions {
@@ -67,6 +87,8 @@ impl Default for FuzzOptions {
             max_cycles: 50_000,
             sim_threads: 1,
             warm_iters: 0,
+            strategy: None,
+            cross_strategy: false,
         }
     }
 }
@@ -98,6 +120,9 @@ pub struct FuzzReport {
     /// Warm-reset replay scenarios completed (see
     /// [`FuzzOptions::warm_iters`]).
     pub warm_iters_run: u64,
+    /// Scenario runs per strategy, indexed in [`ALL_STRATEGIES`] order
+    /// (hybrid, tree, path). Cross-strategy iterations count all three.
+    pub strategy_runs: [u64; 3],
     /// The first failure, if any; the campaign stops there.
     pub failure: Option<FuzzFailure>,
 }
@@ -289,8 +314,29 @@ fn gen_scenario(seed: u64) -> Scenario {
 /// What one fast-simulator run produced, in delivery order.
 type FastDeliveries = Vec<(u64, PacketId, Endpoint)>;
 
+/// Stream salt for the per-iteration strategy draw: XORed into the
+/// scenario seed so sampling the strategy axis never perturbs what
+/// [`gen_scenario`] generates for that seed.
+const STRATEGY_STREAM: u64 = 0x5354_5241_5447_5953;
+
+/// The strategy a sampled iteration runs under — a pure function of the
+/// collapsed seed, so `fuzz --iters 1 --seed <s>` replays both the
+/// scenario and its strategy.
+fn sample_strategy(seed: u64) -> MulticastStrategy {
+    let mut rng = Rng(seed ^ STRATEGY_STREAM);
+    ALL_STRATEGIES[rng.below(ALL_STRATEGIES.len() as u64) as usize]
+}
+
+fn strategy_slot(strategy: MulticastStrategy) -> usize {
+    ALL_STRATEGIES
+        .iter()
+        .position(|&s| s == strategy)
+        .expect("ALL_STRATEGIES is exhaustive")
+}
+
 fn fast_run(
     sc: &Scenario,
+    strategy: MulticastStrategy,
     check: bool,
     max_cycles: u64,
     sim_threads: u32,
@@ -301,6 +347,7 @@ fn fast_run(
         .map_err(|e| format!("routing build failed: {e:?}"))?;
     let params = RouterParams {
         sim_threads,
+        strategy,
         ..RouterParams::hpca07()
     };
     let mut net: Network<u64> = Network::new(sc.topo.clone(), table, params);
@@ -355,12 +402,18 @@ fn drive(
     Ok((ids, out))
 }
 
-fn golden_run(sc: &Scenario, ids: &[PacketId], max_cycles: u64) -> Result<Vec<(u64, Endpoint)>, String> {
+fn golden_run(
+    sc: &Scenario,
+    strategy: MulticastStrategy,
+    ids: &[PacketId],
+    max_cycles: u64,
+) -> Result<Vec<(u64, Endpoint)>, String> {
     let table = sc
         .spec
         .build(&sc.topo)
         .map_err(|e| format!("routing build failed: {e:?}"))?;
     let mut sim = GoldenSim::new(sc.topo.clone(), table);
+    sim.set_strategy(strategy);
     sim.set_fault_schedule(FaultSchedule::new(sc.faults.clone()));
     let packets: Vec<GoldenPacket> = sc
         .plans
@@ -385,23 +438,49 @@ fn golden_run(sc: &Scenario, ids: &[PacketId], max_cycles: u64) -> Result<Vec<(u
 /// multicasts, fault events)` counters for the campaign report.
 fn run_one(
     seed: u64,
+    strategy: MulticastStrategy,
     check: bool,
     max_cycles: u64,
     sim_threads: u32,
 ) -> Result<(u64, u64, u64, u64), String> {
     let sc = gen_scenario(seed);
-    let (ids, first) = fast_run(&sc, check, max_cycles, sim_threads)?;
-    let (ids2, second) = fast_run(&sc, check, max_cycles, sim_threads)?;
+    let (_, fast_set) = differential_one(&sc, strategy, check, max_cycles, sim_threads)?;
+    let multicasts = sc.plans.iter().filter(|p| p.dests.len() > 1).count() as u64;
+    Ok((
+        sc.plans.len() as u64,
+        fast_set.len() as u64,
+        multicasts,
+        sc.faults.len() as u64,
+    ))
+}
+
+/// What one differential run yields: the injected packet ids and the
+/// sorted delivered `(payload, endpoint)` multiset.
+type DeliveredRun = (Vec<PacketId>, Vec<(u64, Endpoint)>);
+
+/// Runs one scenario under one strategy — determinism check plus the
+/// golden-model multiset comparison — and returns the packet ids and
+/// the sorted delivered `(packet, endpoint)` multiset.
+fn differential_one(
+    sc: &Scenario,
+    strategy: MulticastStrategy,
+    check: bool,
+    max_cycles: u64,
+    sim_threads: u32,
+) -> Result<DeliveredRun, String> {
+    let (ids, first) = fast_run(sc, strategy, check, max_cycles, sim_threads)?;
+    let (ids2, second) = fast_run(sc, strategy, check, max_cycles, sim_threads)?;
     if ids != ids2 || first != second {
         return Err(format!(
-            "fast simulator is nondeterministic: run 1 delivered {} entries, run 2 {}",
+            "fast simulator is nondeterministic under {strategy}: \
+             run 1 delivered {} entries, run 2 {}",
             first.len(),
             second.len()
         ));
     }
     let mut fast_set: Vec<(u64, Endpoint)> = first.iter().map(|&(_, id, e)| (id.0, e)).collect();
     fast_set.sort_unstable();
-    let mut golden_set = golden_run(&sc, &ids, max_cycles)?;
+    let mut golden_set = golden_run(sc, strategy, &ids, max_cycles)?;
     golden_set.sort_unstable();
     if fast_set != golden_set {
         let only_fast: Vec<_> = fast_set
@@ -413,16 +492,47 @@ fn run_one(
             .filter(|x| !fast_set.contains(x))
             .collect();
         return Err(format!(
-            "delivery multisets diverge: fast={} golden={} entries; \
+            "delivery multisets diverge under {strategy}: fast={} golden={} entries; \
              only-fast={only_fast:?} only-golden={only_golden:?}",
             fast_set.len(),
             golden_set.len()
         ));
     }
+    Ok((ids, fast_set))
+}
+
+/// Runs one scenario under **every** strategy and requires identical
+/// delivered multisets; each strategy is also differentially checked
+/// against the golden model on the way.
+fn cross_run_one(
+    seed: u64,
+    check: bool,
+    max_cycles: u64,
+    sim_threads: u32,
+) -> Result<(u64, u64, u64, u64), String> {
+    let sc = gen_scenario(seed);
+    let mut baseline: Option<(MulticastStrategy, Vec<(u64, Endpoint)>)> = None;
+    for strategy in ALL_STRATEGIES {
+        let (_, set) = differential_one(&sc, strategy, check, max_cycles, sim_threads)?;
+        match &baseline {
+            None => baseline = Some((strategy, set)),
+            Some((base, want)) => {
+                if set != *want {
+                    return Err(format!(
+                        "strategies disagree on the delivered multiset: \
+                         {base}={} entries, {strategy}={} entries",
+                        want.len(),
+                        set.len()
+                    ));
+                }
+            }
+        }
+    }
+    let deliveries = baseline.expect("ALL_STRATEGIES is non-empty").1.len() as u64;
     let multicasts = sc.plans.iter().filter(|p| p.dests.len() > 1).count() as u64;
     Ok((
         sc.plans.len() as u64,
-        first.len() as u64,
+        deliveries,
         multicasts,
         sc.faults.len() as u64,
     ))
@@ -433,7 +543,13 @@ fn run_one(
 /// warm pass to be indistinguishable from the fresh one — packet ids,
 /// the full `(cycle, packet, endpoint)` delivery sequence, and the
 /// network counters must all match bit for bit.
-fn warm_run_one(seed: u64, check: bool, max_cycles: u64, sim_threads: u32) -> Result<(), String> {
+fn warm_run_one(
+    seed: u64,
+    strategy: MulticastStrategy,
+    check: bool,
+    max_cycles: u64,
+    sim_threads: u32,
+) -> Result<(), String> {
     let sc = gen_scenario(seed);
     let table = sc
         .spec
@@ -441,6 +557,7 @@ fn warm_run_one(seed: u64, check: bool, max_cycles: u64, sim_threads: u32) -> Re
         .map_err(|e| format!("routing build failed: {e:?}"))?;
     let params = RouterParams {
         sim_threads,
+        strategy,
         ..RouterParams::hpca07()
     };
     let mut net: Network<u64> = Network::new(sc.topo.clone(), table, params);
@@ -481,7 +598,17 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     for iter in 0..opts.iters {
         let seed = opts.seed.wrapping_add(iter);
         report.iters_run += 1;
-        match run_one(seed, opts.check, opts.max_cycles, opts.sim_threads) {
+        let outcome = if opts.cross_strategy {
+            for s in ALL_STRATEGIES {
+                report.strategy_runs[strategy_slot(s)] += 1;
+            }
+            cross_run_one(seed, opts.check, opts.max_cycles, opts.sim_threads)
+        } else {
+            let strategy = opts.strategy.unwrap_or_else(|| sample_strategy(seed));
+            report.strategy_runs[strategy_slot(strategy)] += 1;
+            run_one(seed, strategy, opts.check, opts.max_cycles, opts.sim_threads)
+        };
+        match outcome {
             Ok((packets, deliveries, multicasts, faults)) => {
                 report.packets += packets;
                 report.deliveries += deliveries;
@@ -495,11 +622,16 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
         }
     }
     // Warm-reset differential pass: replay the same seed stream through
-    // a reset-and-rerun cycle (see [`FuzzOptions::warm_iters`]).
+    // a reset-and-rerun cycle (see [`FuzzOptions::warm_iters`]). The
+    // per-seed strategy rule matches the main campaign's so collapsed
+    // seeds replay warm failures too.
     for iter in 0..opts.warm_iters {
         let seed = opts.seed.wrapping_add(iter);
+        let strategy = opts.strategy.unwrap_or_else(|| sample_strategy(seed));
         report.warm_iters_run += 1;
-        if let Err(detail) = warm_run_one(seed, opts.check, opts.max_cycles, opts.sim_threads) {
+        if let Err(detail) =
+            warm_run_one(seed, strategy, opts.check, opts.max_cycles, opts.sim_threads)
+        {
             report.failure = Some(FuzzFailure { iter, seed, detail });
             return report;
         }
@@ -534,6 +666,8 @@ mod tests {
 
     #[test]
     fn short_campaign_is_clean_with_checker_on() {
+        // `strategy: None` samples the strategy axis per iteration, so
+        // this campaign sweeps hybrid/tree/path under the checker.
         let report = run_fuzz(&FuzzOptions {
             iters: 30,
             seed: 7,
@@ -541,6 +675,8 @@ mod tests {
             max_cycles: 50_000,
             sim_threads: 1,
             warm_iters: 0,
+            strategy: None,
+            cross_strategy: false,
         });
         assert!(
             report.failure.is_none(),
@@ -552,12 +688,18 @@ mod tests {
         assert!(report.deliveries >= report.packets);
         assert!(report.multicasts > 0, "generator never produced a multicast");
         assert!(report.fault_events > 0, "generator never produced a fault");
+        assert!(
+            report.strategy_runs.iter().all(|&n| n > 0),
+            "30 sampled iterations never hit some strategy: {:?}",
+            report.strategy_runs
+        );
     }
 
     #[test]
     fn short_campaign_is_clean_with_four_sim_threads() {
         // Same seeds as the serial campaign above: the two-phase kernel
-        // must clear the checker and match the golden model too.
+        // must clear the checker and match the golden model too — under
+        // the same sampled strategies (the draw depends only on seed).
         let report = run_fuzz(&FuzzOptions {
             iters: 15,
             seed: 7,
@@ -565,6 +707,8 @@ mod tests {
             max_cycles: 50_000,
             sim_threads: 4,
             warm_iters: 0,
+            strategy: None,
+            cross_strategy: false,
         });
         assert!(
             report.failure.is_none(),
@@ -576,7 +720,8 @@ mod tests {
     #[test]
     fn warm_replays_match_fresh_runs() {
         // Reset-and-replay over a varied seed stream: mesh/halo shapes,
-        // multicasts, and transient faults all pass through reset().
+        // multicasts, transient faults, and all three strategies pass
+        // through reset().
         let report = run_fuzz(&FuzzOptions {
             iters: 0,
             seed: 7,
@@ -584,6 +729,8 @@ mod tests {
             max_cycles: 50_000,
             sim_threads: 1,
             warm_iters: 25,
+            strategy: None,
+            cross_strategy: false,
         });
         assert!(
             report.failure.is_none(),
@@ -591,6 +738,71 @@ mod tests {
             report.failure
         );
         assert_eq!(report.warm_iters_run, 25);
+    }
+
+    #[test]
+    fn cross_strategy_runs_agree_on_deliveries() {
+        let report = run_fuzz(&FuzzOptions {
+            iters: 10,
+            seed: 99,
+            check: true,
+            max_cycles: 50_000,
+            sim_threads: 1,
+            warm_iters: 0,
+            strategy: None,
+            cross_strategy: true,
+        });
+        assert!(
+            report.failure.is_none(),
+            "cross-strategy failure: {:?}",
+            report.failure
+        );
+        assert_eq!(
+            report.strategy_runs,
+            [10, 10, 10],
+            "cross mode runs every scenario under every strategy"
+        );
+        assert!(report.multicasts > 0, "campaign never exercised a multicast");
+    }
+
+    #[test]
+    fn pinned_strategy_campaigns_are_clean() {
+        for strategy in ALL_STRATEGIES {
+            let report = run_fuzz(&FuzzOptions {
+                iters: 8,
+                seed: 21,
+                check: true,
+                max_cycles: 50_000,
+                sim_threads: 1,
+                warm_iters: 0,
+                strategy: Some(strategy),
+                cross_strategy: false,
+            });
+            assert!(
+                report.failure.is_none(),
+                "fuzz failure pinned to {strategy}: {:?}",
+                report.failure
+            );
+            assert_eq!(report.strategy_runs[strategy_slot(strategy)], 8);
+        }
+    }
+
+    #[test]
+    fn strategy_sampling_is_decorrelated_from_scenarios() {
+        // The draw is a pure function of the seed, and nearby seeds
+        // must not all land on the same strategy.
+        let draws: Vec<MulticastStrategy> = (0..12).map(sample_strategy).collect();
+        assert_eq!(draws, (0..12).map(sample_strategy).collect::<Vec<_>>());
+        assert!(
+            ALL_STRATEGIES
+                .iter()
+                .all(|s| draws.contains(s)),
+            "12 consecutive seeds never drew some strategy: {draws:?}"
+        );
+        // And sampling does not change the scenario itself.
+        let a = gen_scenario(5);
+        let b = gen_scenario(5);
+        assert_eq!(a.plans, b.plans);
     }
 
     #[test]
@@ -607,8 +819,11 @@ mod tests {
             max_cycles: 50_000,
             sim_threads: 1,
             warm_iters: 0,
+            strategy: None,
+            cross_strategy: false,
         });
         assert!(direct.failure.is_none());
         assert_eq!(direct.packets, a.plans.len() as u64);
     }
 }
+

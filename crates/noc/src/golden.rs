@@ -24,6 +24,7 @@ use crate::faults::FaultSchedule;
 use crate::ids::Endpoint;
 use crate::packet::PacketId;
 use crate::routing::RoutingTable;
+use crate::strategy::MulticastStrategy;
 use crate::topology::Topology;
 
 /// A packet for the reference simulator: pure header, no payload.
@@ -53,11 +54,20 @@ pub struct GoldenDelivery {
     pub cycle: u64,
 }
 
+/// One live packet copy. Hybrid and path multicast keep a single copy
+/// per packet walking the destination list in order (`lo` advances,
+/// `hi` stays at the list length); tree multicast forks additional
+/// copies at branch routers, each owning a disjoint `lo .. hi` slice.
 #[derive(Debug)]
 struct PkState {
+    /// Index into the caller's packet slice.
+    pk: usize,
     node: crate::ids::NodeId,
     ready_at: u64,
-    dest_i: usize,
+    /// Next destination-list index this copy still has to reach.
+    lo: usize,
+    /// Exclusive end of the destination range this copy serves.
+    hi: usize,
     done: bool,
 }
 
@@ -70,10 +80,12 @@ pub struct GoldenSim {
     table: RoutingTable,
     faults: FaultSchedule,
     link_up: Vec<bool>,
+    strategy: MulticastStrategy,
 }
 
 impl GoldenSim {
-    /// Builds a reference simulator over `topo` with `table`.
+    /// Builds a reference simulator over `topo` with `table`, using the
+    /// default (hybrid) multicast strategy.
     pub fn new(topo: Topology, table: RoutingTable) -> Self {
         let n_links = topo.link_count();
         GoldenSim {
@@ -81,7 +93,19 @@ impl GoldenSim {
             table,
             faults: FaultSchedule::default(),
             link_up: vec![true; n_links],
+            strategy: MulticastStrategy::default(),
         }
+    }
+
+    /// Selects the multicast strategy whose delivery semantics to
+    /// mirror. Hybrid and path both visit a packet's endpoints serially
+    /// in list order, so they share one reference walk; tree multicast
+    /// forks copies at branch routers so divergent destination groups
+    /// progress concurrently. The delivered multiset is the same either
+    /// way — strategy affects timing and which faults strand which
+    /// endpoints.
+    pub fn set_strategy(&mut self, strategy: MulticastStrategy) {
+        self.strategy = strategy;
     }
 
     /// Installs a fault schedule (same semantics as
@@ -131,11 +155,15 @@ impl GoldenSim {
 
     /// Runs `packets` to completion and returns every delivery.
     ///
-    /// One action per wake-up: a packet at its current target's router
-    /// delivers (and re-arms for the next endpoint one cycle later);
-    /// otherwise it takes one hop, arriving `link delay + flits` cycles
-    /// later (store-and-forward serialization). A packet whose next hop
-    /// is cut by a fault waits in place for a repair.
+    /// One action per wake-up: a packet copy at its current target's
+    /// router delivers (and re-arms for the next endpoint one cycle
+    /// later); otherwise it takes one hop, arriving `link delay +
+    /// flits` cycles later (store-and-forward serialization). Under the
+    /// tree strategy, a copy about to hop first forks off the suffix of
+    /// its destination range that diverges from that hop (next stop on
+    /// a different output port, or local to this router); the fork
+    /// wakes here one cycle later and progresses independently. A copy
+    /// whose next hop is cut by a fault waits in place for a repair.
     ///
     /// # Errors
     ///
@@ -147,19 +175,26 @@ impl GoldenSim {
         packets: &[GoldenPacket],
         max_cycles: u64,
     ) -> Result<Vec<GoldenDelivery>, SimError> {
+        let tree = matches!(self.strategy, MulticastStrategy::Tree);
         let mut live: Vec<PkState> = packets
             .iter()
-            .map(|p| {
+            .enumerate()
+            .map(|(i, p)| {
                 assert!(!p.dests.is_empty(), "packet without destinations");
                 PkState {
+                    pk: i,
                     node: p.src.node,
                     ready_at: p.inject_at,
-                    dest_i: 0,
+                    lo: 0,
+                    hi: p.dests.len(),
                     done: false,
                 }
             })
             .collect();
         let mut out = Vec::new();
+        // Tree forks created this wake-up; appended after the sweep so
+        // the iteration order stays stable.
+        let mut forks: Vec<PkState> = Vec::new();
         let mut cursor = 0usize;
         let mut now = 0u64;
         loop {
@@ -171,25 +206,60 @@ impl GoldenSim {
             }
             cursor = self.apply_faults(cursor, now);
             let mut blocked = 0usize;
-            for (i, p) in live.iter_mut().enumerate() {
+            for p in live.iter_mut() {
                 if p.done || p.ready_at > now {
                     continue;
                 }
-                let pk = &packets[i];
-                let target = pk.dests[p.dest_i];
+                let pk = &packets[p.pk];
+                let target = pk.dests[p.lo];
                 if target.node == p.node {
                     out.push(GoldenDelivery {
                         id: pk.id,
                         endpoint: target,
                         cycle: now,
                     });
-                    p.dest_i += 1;
-                    if p.dest_i == pk.dests.len() {
+                    p.lo += 1;
+                    if p.lo == p.hi {
                         p.done = true;
                     } else {
                         p.ready_at = now + 1;
                     }
                 } else if let Some(port) = self.table.next_hop(p.node, target.node) {
+                    if tree {
+                        // Longest prefix of the range that shares this
+                        // hop rides along; the divergent suffix forks
+                        // off and routes from here on its own — but
+                        // only when this router can actually reach it
+                        // (XYX turn limits can make a divergent
+                        // endpoint unroutable from the branch point).
+                        // Otherwise the copy carries the whole range
+                        // and serializes through the endpoint chain,
+                        // exactly like the fast simulator's fallback.
+                        let mut k = p.lo + 1;
+                        while k < p.hi {
+                            let e = pk.dests[k];
+                            if e.node == p.node
+                                || self.table.next_hop(p.node, e.node) != Some(port)
+                            {
+                                break;
+                            }
+                            k += 1;
+                        }
+                        if k < p.hi {
+                            let e = pk.dests[k];
+                            if e.node == p.node || self.table.next_hop(p.node, e.node).is_some() {
+                                forks.push(PkState {
+                                    pk: p.pk,
+                                    node: p.node,
+                                    ready_at: now + 1,
+                                    lo: k,
+                                    hi: p.hi,
+                                    done: false,
+                                });
+                                p.hi = k;
+                            }
+                        }
+                    }
                     let link = self.topo.router(p.node).ports[port.0 as usize]
                         .out_link
                         .expect("routed port must have a link");
@@ -200,6 +270,7 @@ impl GoldenSim {
                     blocked += 1;
                 }
             }
+            live.append(&mut forks);
             // Advance to the next cycle anything can change. Blocked
             // packets can only move on a fault event.
             let next_fault = self.faults.events().get(cursor).map(|e| e.cycle.max(now + 1));
@@ -279,6 +350,44 @@ mod tests {
         let mut want = dests;
         want.sort();
         assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn tree_multicast_forks_and_still_delivers_every_endpoint_once() {
+        // Destinations in different columns: XY paths share the first
+        // eastward hop and then diverge, so the tree actually branches
+        // (a single-column chain never would — every hop is shared).
+        let make = || {
+            let sim = mesh_sim(4, 4);
+            GoldenPacket {
+                id: PacketId(7),
+                src: ep(&sim, 0, 0),
+                dests: vec![ep(&sim, 3, 1), ep(&sim, 1, 3)],
+                flits: 5,
+                inject_at: 0,
+            }
+        };
+        let mut serial = mesh_sim(4, 4);
+        serial.set_strategy(MulticastStrategy::Path);
+        let base = serial.run(&[make()], 10_000).unwrap();
+
+        let mut sim = mesh_sim(4, 4);
+        sim.set_strategy(MulticastStrategy::Tree);
+        let got = sim.run(&[make()], 10_000).unwrap();
+        assert_eq!(got.len(), 2);
+        let mut seen: Vec<Endpoint> = got.iter().map(|d| d.endpoint).collect();
+        seen.sort();
+        let mut want: Vec<Endpoint> = make().dests;
+        want.sort();
+        assert_eq!(seen, want, "same delivered multiset as the serial walk");
+        // Forked copies progress concurrently, so the slowest endpoint
+        // finishes strictly earlier than under the serial visitation.
+        let last_tree = got.iter().map(|d| d.cycle).max().unwrap();
+        let last_serial = base.iter().map(|d| d.cycle).max().unwrap();
+        assert!(
+            last_tree < last_serial,
+            "tree {last_tree} vs serial {last_serial}"
+        );
     }
 
     #[test]

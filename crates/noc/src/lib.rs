@@ -73,6 +73,7 @@ pub mod params;
 pub mod router;
 pub mod routing;
 pub mod stats;
+pub mod strategy;
 pub mod topology;
 
 pub use census::LinkCensus;
@@ -90,4 +91,5 @@ pub use packet::{Dest, Packet, PacketId};
 pub use params::RouterParams;
 pub use routing::{BuildRoutingError, RoutingBuilder, RoutingSpec, RoutingTable};
 pub use stats::NetStats;
+pub use strategy::{MulticastStrategy, StrategyModel, ALL_STRATEGIES};
 pub use topology::{PortLabel, Topology, TopologyKind};

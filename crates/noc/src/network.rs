@@ -47,6 +47,7 @@ use crate::router::{
 };
 use crate::routing::{RoutingBuilder, RoutingTable};
 use crate::stats::NetStats;
+use crate::strategy::MulticastStrategy;
 use crate::topology::{PortLabel, Topology};
 
 /// Fewest active routers in a cycle for which the parallel compute
@@ -532,7 +533,7 @@ impl<P> Network<P> {
             self.enable_event_log(64);
         }
         let order = ChannelDependencyGraph::from_all_pairs(&self.topo, &self.table).enumeration();
-        self.checker = Some(InvariantChecker::new(order));
+        self.checker = Some(InvariantChecker::new(order, self.params.strategy));
     }
 
     /// The invariant checker, when enabled.
@@ -604,11 +605,13 @@ impl<P> Network<P> {
         let vc_idx = (0..self.slabs.vcs)
             .min_by_key(|&v| self.slabs.buf[base + v].len())
             .expect("local ports always have VCs");
+        let dest_hi = pkt.dest.endpoints().len() as u32;
         for seq in 0..flits {
             self.slabs.buf[base + vc_idx].push_back(FlitRef {
                 pkt: Arc::clone(&pkt),
                 seq,
                 dest_idx: 0,
+                dest_hi,
             });
         }
         self.mark_pending(src.node);
@@ -1228,9 +1231,9 @@ impl<P> Network<P> {
                     });
                 }
             }
-            Effect::ReplicaCopy => {
+            Effect::ReplicaCopy { packet } => {
                 if let Some(c) = &mut self.checker {
-                    c.on_replica_copy();
+                    c.on_replica_copy(packet);
                 }
             }
             Effect::Release { node, port, vc } => {
@@ -1258,19 +1261,33 @@ impl<P> Network<P> {
             })
     }
 
-    /// Routing and VC allocation for head flits at VC fronts.
+    /// Routing and VC allocation for head flits at VC fronts,
+    /// dispatched per replication strategy. The hybrid body is the
+    /// paper's §3.1 logic, untouched; tree and path live in their own
+    /// loops so the baseline cannot drift.
     ///
     /// Receives the split-borrowed slabs (see
     /// [`Network::process_router`]); the replica-VC search reads the
     /// upstream neighbours' output state from the same slabs.
     fn allocate_routes(&mut self, node: NodeId, slabs: &mut NetSlabs<P>) {
+        match self.params.strategy {
+            MulticastStrategy::Hybrid => self.allocate_routes_hybrid(node, slabs),
+            MulticastStrategy::Tree => self.allocate_routes_tree(node, slabs),
+            MulticastStrategy::Path => self.allocate_routes_path(node, slabs),
+        }
+    }
+
+    /// Hybrid replication (§3.1): at each visited destination, reserve
+    /// a replica VC on a different input channel and keep the primary
+    /// moving toward the next endpoint.
+    fn allocate_routes_hybrid(&mut self, node: NodeId, slabs: &mut NetSlabs<P>) {
         let ri = node.0 as usize;
         for p in 0..slabs.n_ports(ri) {
             for v in 0..slabs.vcs {
                 let slot = slabs.vc_slot(ri, p, v);
                 // Copy the head's routing facts out before any `&mut`
                 // helper call needs the slabs.
-                let (target, next_target, split_is_none) = {
+                let (target, next_target, dest_idx, split_is_none) = {
                     if slabs.route[slot].is_some() {
                         continue;
                     }
@@ -1288,7 +1305,12 @@ impl<P> Network<P> {
                     } else {
                         None
                     };
-                    (front.target(), next_target, slabs.split[slot].is_none())
+                    (
+                        front.target(),
+                        next_target,
+                        front.dest_idx,
+                        slabs.split[slot].is_none(),
+                    )
                 };
 
                 if target.node == node {
@@ -1311,6 +1333,7 @@ impl<P> Network<P> {
                                     slabs.split[slot] = Some(Split {
                                         port: rp as u8,
                                         vc: rv as u8,
+                                        resume: dest_idx + 1,
                                     });
                                     let pkt_id =
                                         slabs.buf[slot].front().expect("head present").pkt.id;
@@ -1370,6 +1393,246 @@ impl<P> Network<P> {
                         self.note_reroute(node, target.node, out);
                     }
                 }
+            }
+        }
+    }
+
+    /// Path-based multicast: no replication state at all. A worm whose
+    /// current target lives here but has further endpoints routes
+    /// onward toward the next one; the local copy peels off in
+    /// [`crate::commit::apply_winner`] as the flits pass through.
+    fn allocate_routes_path(&mut self, node: NodeId, slabs: &mut NetSlabs<P>) {
+        let ri = node.0 as usize;
+        for p in 0..slabs.n_ports(ri) {
+            for v in 0..slabs.vcs {
+                let slot = slabs.vc_slot(ri, p, v);
+                let (target, next_target) = {
+                    if slabs.route[slot].is_some() {
+                        continue;
+                    }
+                    let Some(front) = slabs.buf[slot].front() else {
+                        continue;
+                    };
+                    assert!(
+                        front.is_head(),
+                        "non-head flit at front of unrouted VC: packet {:?} seq {}",
+                        front.pkt.id,
+                        front.seq
+                    );
+                    let next_target = if front.has_more_targets() {
+                        Some(front.pkt.dest.endpoints()[front.dest_idx as usize + 1])
+                    } else {
+                        None
+                    };
+                    (front.target(), next_target)
+                };
+
+                // Route toward the worm's next stop: the following
+                // endpoint when the current target is local and more
+                // remain, otherwise the current target (or ejection).
+                let toward = if target.node == node {
+                    match next_target {
+                        Some(next) => next,
+                        None => {
+                            let eject_port = self
+                                .local_port(node, target.slot)
+                                .unwrap_or_else(|| panic!("endpoint {target} vanished"))
+                                .0;
+                            slabs.route[slot] = Some(OutRoute {
+                                port: eject_port as u8,
+                                vc: 0,
+                                eject: true,
+                            });
+                            continue;
+                        }
+                    }
+                } else {
+                    target
+                };
+                let Some(out) = self.table.next_hop(node, toward.node) else {
+                    // Fault cut every path; the head waits for a repair.
+                    self.stats.route_blocked_cycles += 1;
+                    continue;
+                };
+                if let Some(ovc) = self.claim_out_vc(node, slabs, out.0 as usize) {
+                    slabs.route[slot] = Some(OutRoute {
+                        port: out.0 as u8,
+                        vc: ovc,
+                        eject: false,
+                    });
+                    self.note_reroute(node, toward.node, out);
+                }
+            }
+        }
+    }
+
+    /// Tree-based multicast: a worm serves the destination range
+    /// `dest_idx .. dest_hi`. At every router the longest prefix of the
+    /// range sharing the first destination's action (local ejection or
+    /// the table's next hop) stays on this worm; the remainder forks
+    /// into a reserved replica VC (the same storage hybrid replication
+    /// uses) and is routed — and possibly forked again — from this
+    /// router on later cycles.
+    ///
+    /// Forking is **opportunistic**: a branch point with no free
+    /// replica VC never blocks the worm. Hybrid can afford to wait
+    /// (its replicas eject immediately, so the VC it wants always
+    /// drains), but tree replicas are network worms holding buffers for
+    /// many cycles — two fork-blocked heads whose replica VCs hold each
+    /// other's flits would deadlock. Instead the worm degrades to
+    /// path-style serialization: it carries the whole range toward the
+    /// first endpoint (retrying the fork at later routers), and at an
+    /// ejection router with no replica VC it routes toward the next
+    /// endpoint and lets the commit phase peel the local copy off as a
+    /// passing delivery. The mid-route retry is also gated on the
+    /// suffix still being routable from here — a worm that drifted past
+    /// a branch point may stand where the table cannot reach the
+    /// divergent endpoints (XYX turn limits), and a fork there would
+    /// strand the replica; serializing through the endpoint chain,
+    /// whose per-segment routability injection asserted, always works.
+    fn allocate_routes_tree(&mut self, node: NodeId, slabs: &mut NetSlabs<P>) {
+        let ri = node.0 as usize;
+        for p in 0..slabs.n_ports(ri) {
+            for v in 0..slabs.vcs {
+                let slot = slabs.vc_slot(ri, p, v);
+                let (pkt, lo, hi) = {
+                    if slabs.route[slot].is_some() {
+                        continue;
+                    }
+                    let Some(front) = slabs.buf[slot].front() else {
+                        continue;
+                    };
+                    assert!(
+                        front.is_head(),
+                        "non-head flit at front of unrouted VC: packet {:?} seq {}",
+                        front.pkt.id,
+                        front.seq
+                    );
+                    (Arc::clone(&front.pkt), front.dest_idx, front.dest_hi)
+                };
+                let eps = pkt.dest.endpoints();
+                debug_assert!((lo as usize) < eps.len() && hi as usize <= eps.len() && lo < hi);
+                // The split survives route-blocked cycles: once the fork
+                // is placed, only the primary's own route is (re)sought.
+                let already_split = slabs.split[slot].is_some();
+                let first = eps[lo as usize];
+                if first.node == node {
+                    // Consecutive endpoints never share a router, so an
+                    // ejecting group is always a singleton: fork the
+                    // rest of the range before ejecting.
+                    if hi - lo >= 2
+                        && !already_split
+                        && !self.fork_tree(node, slabs, slot, p, lo + 1, pkt.id)
+                    {
+                        // No replica VC free: degrade to a passing
+                        // delivery — route toward the next endpoint and
+                        // let the commit phase peel the local copy off.
+                        let next = eps[lo as usize + 1];
+                        let Some(out) = self.table.next_hop(node, next.node) else {
+                            self.stats.route_blocked_cycles += 1;
+                            continue;
+                        };
+                        if let Some(ovc) = self.claim_out_vc(node, slabs, out.0 as usize) {
+                            slabs.route[slot] = Some(OutRoute {
+                                port: out.0 as u8,
+                                vc: ovc,
+                                eject: false,
+                            });
+                            self.note_reroute(node, next.node, out);
+                        }
+                        continue;
+                    }
+                    let eject_port = self
+                        .local_port(node, first.slot)
+                        .unwrap_or_else(|| panic!("endpoint {first} vanished"))
+                        .0;
+                    slabs.route[slot] = Some(OutRoute {
+                        port: eject_port as u8,
+                        vc: 0,
+                        eject: true,
+                    });
+                } else {
+                    let Some(out) = self.table.next_hop(node, first.node) else {
+                        // Fault cut every path; wait for a repair.
+                        self.stats.route_blocked_cycles += 1;
+                        continue;
+                    };
+                    if !already_split {
+                        // Branch-point scan: how far does the range
+                        // share the first destination's next hop?
+                        let mut k = lo + 1;
+                        while k < hi {
+                            let e = eps[k as usize];
+                            if e.node == node || self.table.next_hop(node, e.node) != Some(out) {
+                                break;
+                            }
+                            k += 1;
+                        }
+                        // Fork the divergent suffix when it is routable
+                        // (or local) from here; otherwise — and when no
+                        // replica VC is free — carry the whole range on
+                        // and retry further along.
+                        if k < hi {
+                            let e = eps[k as usize];
+                            if e.node == node || self.table.next_hop(node, e.node).is_some() {
+                                let _ = self.fork_tree(node, slabs, slot, p, k, pkt.id);
+                            }
+                        }
+                    }
+                    if let Some(ovc) = self.claim_out_vc(node, slabs, out.0 as usize) {
+                        slabs.route[slot] = Some(OutRoute {
+                            port: out.0 as u8,
+                            vc: ovc,
+                            eject: false,
+                        });
+                        self.note_reroute(node, first.node, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Places a tree fork on input VC `slot`: reserves a replica VC on
+    /// a different input channel (hybrid's §3.1 machinery) that will
+    /// receive the clone carrying destinations `resume ..`. Unlike
+    /// hybrid, the replica head starts *unrouted* — it is routed (and
+    /// possibly forked again) from this router on later cycles. Returns
+    /// `false` when no replica VC is free.
+    fn fork_tree(
+        &mut self,
+        node: NodeId,
+        slabs: &mut NetSlabs<P>,
+        slot: usize,
+        primary_port: usize,
+        resume: u32,
+        pkt_id: PacketId,
+    ) -> bool {
+        match self.find_replica_vc(node, slabs, primary_port) {
+            Some((rp, rv)) => {
+                let ri = node.0 as usize;
+                let rslot = slabs.vc_slot(ri, rp, rv);
+                slabs.replica_role[rslot] = true;
+                slabs.split[slot] = Some(Split {
+                    port: rp as u8,
+                    vc: rv as u8,
+                    resume,
+                });
+                self.reserve_remote(node, rp, rv, true);
+                self.stats.replications += 1;
+                self.log(NetEvent::Replicate {
+                    cycle: self.cycle,
+                    packet: pkt_id,
+                    node,
+                });
+                true
+            }
+            None => {
+                self.stats.replication_blocked_cycles += 1;
+                self.log(NetEvent::ReplicaBlocked {
+                    cycle: self.cycle,
+                    node,
+                });
+                false
             }
         }
     }
@@ -1596,6 +1859,16 @@ impl<P> ComputeCtx<'_, P> {
                     front.pkt.id,
                     front.seq
                 );
+                if matches!(self.params.strategy, MulticastStrategy::Tree)
+                    && front.dest_hi - front.dest_idx >= 2
+                {
+                    // A tree worm with a multi-destination range may
+                    // fork at any router, which needs the live
+                    // replica-VC search: defer. (Conservative — the
+                    // range may turn out not to branch here — but
+                    // deferral is bit-identical by construction.)
+                    return true;
+                }
                 let target = front.target();
                 let next_target = if front.has_more_targets() {
                     Some(front.pkt.dest.endpoints()[front.dest_idx as usize + 1])
@@ -1604,12 +1877,23 @@ impl<P> ComputeCtx<'_, P> {
                 };
                 if target.node == node {
                     if let Some(next) = next_target {
-                        if s.split[slot].is_none() {
-                            // Multicast split this cycle: defer.
-                            return true;
+                        match self.params.strategy {
+                            MulticastStrategy::Hybrid => {
+                                if s.split[slot].is_none() {
+                                    // Multicast split this cycle: defer.
+                                    return true;
+                                }
+                                // Split already placed; the primary
+                                // continues toward the next endpoint.
+                            }
+                            // Path multicast needs no replication state:
+                            // the worm just routes onward (the passing
+                            // copy peels off at traversal time).
+                            MulticastStrategy::Path => {}
+                            MulticastStrategy::Tree => {
+                                unreachable!("tree multicast heads defer above")
+                            }
                         }
-                        // Split already placed; the primary continues
-                        // toward the next endpoint.
                         let Some(out) = self.table.next_hop(node, next.node) else {
                             intent.route_blocked += 1;
                             continue;

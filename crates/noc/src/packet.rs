@@ -145,6 +145,13 @@ pub(crate) struct FlitRef<P> {
     /// Index into `pkt.dest.endpoints()` of the next endpoint this copy
     /// still has to reach.
     pub dest_idx: u32,
+    /// Exclusive end of the destination-list range this copy serves:
+    /// the copy covers endpoints `dest_idx .. dest_hi`. Injected flits
+    /// cover the whole list; tree-based multicast truncates ranges at
+    /// each fork, while hybrid and path replication keep the full range
+    /// on the continuing copy (their copies peel one endpoint at a
+    /// time, advancing `dest_idx` instead).
+    pub dest_hi: u32,
 }
 
 // Manual impl: `P` itself need not be `Clone` — flits share the packet
@@ -155,6 +162,7 @@ impl<P> Clone for FlitRef<P> {
             pkt: Arc::clone(&self.pkt),
             seq: self.seq,
             dest_idx: self.dest_idx,
+            dest_hi: self.dest_hi,
         }
     }
 }
@@ -173,9 +181,10 @@ impl<P> FlitRef<P> {
         self.pkt.dest.endpoints()[self.dest_idx as usize]
     }
 
-    /// Whether further endpoints remain after [`FlitRef::target`].
+    /// Whether further endpoints remain after [`FlitRef::target`]
+    /// within this copy's destination range.
     pub fn has_more_targets(&self) -> bool {
-        (self.dest_idx as usize + 1) < self.pkt.dest.endpoints().len()
+        self.dest_idx + 1 < self.dest_hi
     }
 }
 
@@ -243,16 +252,19 @@ mod tests {
             pkt: Arc::clone(&pkt),
             seq: 0,
             dest_idx: 0,
+            dest_hi: 1,
         };
         let mid = FlitRef {
             pkt: Arc::clone(&pkt),
             seq: 1,
             dest_idx: 0,
+            dest_hi: 1,
         };
         let tail = FlitRef {
             pkt,
             seq: 2,
             dest_idx: 0,
+            dest_hi: 1,
         };
         assert!(head.is_head() && !head.is_tail());
         assert!(!mid.is_head() && !mid.is_tail());

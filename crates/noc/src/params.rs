@@ -1,5 +1,7 @@
 //! Router configuration parameters (Table 1 of the paper).
 
+use crate::strategy::MulticastStrategy;
+
 /// Wormhole router parameters shared by every router in a network.
 ///
 /// The defaults reproduce Table 1 of the paper: 4 virtual channels per
@@ -42,6 +44,10 @@ pub struct RouterParams {
     /// serial kernel visits routers — so this is purely a wall-clock
     /// knob.
     pub sim_threads: u32,
+    /// How multicast packets replicate (see [`crate::strategy`]). The
+    /// default is the paper's hybrid replication; tree and path are the
+    /// comparison points from the multicast-NoC design space.
+    pub strategy: MulticastStrategy,
 }
 
 impl RouterParams {
@@ -54,6 +60,7 @@ impl RouterParams {
             router_stages: 1,
             watchdog_cycles: 200_000,
             sim_threads: 1,
+            strategy: MulticastStrategy::Hybrid,
         }
     }
 
@@ -101,6 +108,11 @@ mod tests {
         assert_eq!(p.credit_delay, 1);
         assert_eq!(p.router_stages, 1);
         assert_eq!(p.sim_threads, 1, "serial kernel by default");
+        assert_eq!(
+            p.strategy,
+            MulticastStrategy::Hybrid,
+            "the paper's replication scheme by default"
+        );
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub(crate) struct Split {
     pub port: u8,
     /// Replica VC index within that port.
     pub vc: u8,
+    /// Destination-list index where the split divides the worm's range:
+    /// under hybrid replication the clone ejects here and the primary
+    /// resumes at `resume` (always `dest_idx + 1`); under tree
+    /// replication the primary keeps `dest_idx .. resume` and the clone
+    /// carries `resume .. dest_hi` onward.
+    pub resume: u32,
 }
 
 /// Structure-of-arrays storage for every router's microarchitectural

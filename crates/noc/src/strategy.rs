@@ -1,0 +1,228 @@
+//! Multicast replication strategies.
+//!
+//! The paper's router (§3.1) uses **hybrid** replication: when a
+//! path-multicast head must both eject locally and continue, the router
+//! copies each flit into a reserved VC of a different input physical
+//! channel. That is one point in the multicast-NoC design space; this
+//! module names the axis so the rest of the simulator — the cycle
+//! kernel, the golden model, the invariant checker, the fuzzer, and the
+//! benchmark harness — can run the same workloads under alternatives
+//! and compare them under identical seeds and fault schedules:
+//!
+//! * [`MulticastStrategy::Hybrid`] — the paper's design: replicate into
+//!   a reserved replica VC at each visited destination, the primary
+//!   worm continues toward the next endpoint.
+//! * [`MulticastStrategy::Tree`] — replicate at *branch routers*: a
+//!   worm carries a contiguous destination range and forks (into a
+//!   reserved replica VC, like hybrid) wherever the routing table sends
+//!   a prefix of that range out of a different port than the rest. No
+//!   serial endpoint visitation; copies travel the routing tree.
+//! * [`MulticastStrategy::Path`] — pure path-based multicast: one worm
+//!   serially visits every destination and a copy is peeled off to the
+//!   local sink *as the worm passes through*; no replica VCs, no
+//!   reservations, no extra buffering.
+//!
+//! The enum is the hot-path selector (stored in
+//! [`crate::RouterParams::strategy`] and matched directly inside the
+//! kernel); [`StrategyModel`] carries the *expectations* each strategy
+//! implies — replica-copy budgets, split counts — which the invariant
+//! checker and property tests consume instead of hard-coding hybrid's
+//! numbers.
+
+use std::fmt;
+
+/// How the network replicates multicast packets. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MulticastStrategy {
+    /// The paper's hybrid replication (§3.1): replicate into a reserved
+    /// VC at each visited destination while the primary continues.
+    #[default]
+    Hybrid,
+    /// Tree-based multicast: fork at branch routers of the routing
+    /// tree; each copy serves a contiguous destination range.
+    Tree,
+    /// Path-based multicast: one worm visits every destination in
+    /// order, leaving a copy at each without any replication storage.
+    Path,
+}
+
+/// Every strategy, in a stable order (used by samplers and sweeps).
+pub const ALL_STRATEGIES: [MulticastStrategy; 3] = [
+    MulticastStrategy::Hybrid,
+    MulticastStrategy::Tree,
+    MulticastStrategy::Path,
+];
+
+impl MulticastStrategy {
+    /// Stable lower-case name (CLI / env / JSON spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            MulticastStrategy::Hybrid => "hybrid",
+            MulticastStrategy::Tree => "tree",
+            MulticastStrategy::Path => "path",
+        }
+    }
+
+    /// Parses the spelling produced by [`MulticastStrategy::name`].
+    pub fn parse(s: &str) -> Option<Self> {
+        ALL_STRATEGIES.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// The expectations this strategy implies (see [`StrategyModel`]).
+    pub fn model(self) -> &'static dyn StrategyModel {
+        match self {
+            MulticastStrategy::Hybrid => &HybridModel,
+            MulticastStrategy::Tree => &TreeModel,
+            MulticastStrategy::Path => &PathModel,
+        }
+    }
+}
+
+impl fmt::Display for MulticastStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a replication strategy promises about its bookkeeping, consumed
+/// by the invariant checker and property tests in place of hard-coded
+/// hybrid constants.
+///
+/// All three built-in strategies share one striking identity: a fully
+/// delivered packet of `f` flits and `n` destinations creates exactly
+/// `f * (n - 1)` locally written replica copies — hybrid and tree pay
+/// them as replica-VC writes (one split per extra destination, each
+/// copying the whole worm), path pays them as passing-delivery clones.
+/// The *split* counts differ: hybrid and tree install `n - 1` splits,
+/// path installs none.
+pub trait StrategyModel: fmt::Debug + Sync {
+    /// The strategy's stable name.
+    fn name(&self) -> &'static str;
+
+    /// Exact locally written replica copies a fully delivered packet of
+    /// `flits` flits and `n_dests` destinations creates — also the
+    /// running upper bound while the packet is in flight.
+    fn replica_copies(&self, flits: u32, n_dests: usize) -> u64;
+
+    /// Exact multicast splits (replica-VC reservations) a fully
+    /// delivered packet with `n_dests` destinations installs.
+    fn splits_per_packet(&self, n_dests: usize) -> u64;
+
+    /// Whether the strategy reserves replica VCs (and therefore uses
+    /// the remote-reservation machinery at all).
+    fn uses_replica_vcs(&self) -> bool;
+}
+
+fn extra_dests(n_dests: usize) -> u64 {
+    n_dests.saturating_sub(1) as u64
+}
+
+/// Expectations of [`MulticastStrategy::Hybrid`].
+#[derive(Debug)]
+pub struct HybridModel;
+
+impl StrategyModel for HybridModel {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn replica_copies(&self, flits: u32, n_dests: usize) -> u64 {
+        u64::from(flits) * extra_dests(n_dests)
+    }
+
+    fn splits_per_packet(&self, n_dests: usize) -> u64 {
+        extra_dests(n_dests)
+    }
+
+    fn uses_replica_vcs(&self) -> bool {
+        true
+    }
+}
+
+/// Expectations of [`MulticastStrategy::Tree`].
+#[derive(Debug)]
+pub struct TreeModel;
+
+impl StrategyModel for TreeModel {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn replica_copies(&self, flits: u32, n_dests: usize) -> u64 {
+        // Each fork splits one destination range in two; reaching
+        // `n_dests` singleton ranges takes exactly `n_dests - 1` forks,
+        // each copying the whole worm.
+        u64::from(flits) * extra_dests(n_dests)
+    }
+
+    fn splits_per_packet(&self, n_dests: usize) -> u64 {
+        extra_dests(n_dests)
+    }
+
+    fn uses_replica_vcs(&self) -> bool {
+        true
+    }
+}
+
+/// Expectations of [`MulticastStrategy::Path`].
+#[derive(Debug)]
+pub struct PathModel;
+
+impl StrategyModel for PathModel {
+    fn name(&self) -> &'static str {
+        "path"
+    }
+
+    fn replica_copies(&self, flits: u32, n_dests: usize) -> u64 {
+        // One clone per flit at each non-final destination the worm
+        // passes through.
+        u64::from(flits) * extra_dests(n_dests)
+    }
+
+    fn splits_per_packet(&self, _n_dests: usize) -> u64 {
+        0
+    }
+
+    fn uses_replica_vcs(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in ALL_STRATEGIES {
+            assert_eq!(MulticastStrategy::parse(s.name()), Some(s));
+            assert_eq!(s.to_string(), s.name());
+            assert_eq!(s.model().name(), s.name());
+        }
+        assert_eq!(MulticastStrategy::parse("ring"), None);
+    }
+
+    #[test]
+    fn default_is_the_paper_design() {
+        assert_eq!(MulticastStrategy::default(), MulticastStrategy::Hybrid);
+    }
+
+    #[test]
+    fn replica_copy_counts_agree_across_strategies() {
+        for s in ALL_STRATEGIES {
+            let m = s.model();
+            assert_eq!(m.replica_copies(5, 4), 15, "{}", m.name());
+            assert_eq!(m.replica_copies(1, 1), 0, "unicast never replicates");
+            assert_eq!(m.replica_copies(3, 0), 0, "degenerate list");
+        }
+    }
+
+    #[test]
+    fn split_counts_differ_by_strategy() {
+        assert_eq!(MulticastStrategy::Hybrid.model().splits_per_packet(4), 3);
+        assert_eq!(MulticastStrategy::Tree.model().splits_per_packet(4), 3);
+        assert_eq!(MulticastStrategy::Path.model().splits_per_packet(4), 0);
+        assert!(!MulticastStrategy::Path.model().uses_replica_vcs());
+        assert!(MulticastStrategy::Tree.model().uses_replica_vcs());
+    }
+}

@@ -11,7 +11,14 @@
 //! 2. fast and golden deliver the same `(packet, endpoint)` multiset,
 //! 3. with the runtime invariant checker enabled, no per-cycle
 //!    invariant (flit conservation, credit accounting, flit order,
-//!    exactly-once multicast, channel enumeration) is violated.
+//!    exactly-once multicast, channel enumeration, replication budget)
+//!    is violated.
+//!
+//! With `strategy: None` every scenario also samples its multicast
+//! replication strategy (hybrid, tree, or path) from a decorrelated
+//! seed stream, so one campaign covers all three replication kernels;
+//! the cross-strategy campaign additionally runs each scenario under
+//! every strategy and demands identical delivered multisets.
 
 use nucanet_noc::{run_fuzz, FuzzOptions};
 
@@ -24,6 +31,8 @@ fn two_hundred_seeded_scenarios_match_the_golden_model() {
         max_cycles: 50_000,
         sim_threads: 1,
         warm_iters: 50,
+        strategy: None,
+        cross_strategy: false,
     });
     assert!(
         report.failure.is_none(),
@@ -37,6 +46,33 @@ fn two_hundred_seeded_scenarios_match_the_golden_model() {
     assert!(report.deliveries >= report.packets, "{report:?}");
     assert!(report.multicasts > 50, "{report:?}");
     assert!(report.fault_events > 50, "{report:?}");
+    // Strategy sampling must spread the campaign over all three
+    // replication kernels rather than collapsing onto one.
+    for (runs, name) in report.strategy_runs.iter().zip(["hybrid", "tree", "path"]) {
+        assert!(*runs > 20, "{name} undersampled: {report:?}");
+    }
+}
+
+#[test]
+fn cross_strategy_scenarios_deliver_identical_multisets() {
+    let report = run_fuzz(&FuzzOptions {
+        iters: 100,
+        seed: 0xC405,
+        check: true,
+        max_cycles: 50_000,
+        sim_threads: 1,
+        warm_iters: 0,
+        strategy: None,
+        cross_strategy: true,
+    });
+    assert!(
+        report.failure.is_none(),
+        "cross-strategy fuzz failed: {:?}",
+        report.failure
+    );
+    assert_eq!(report.iters_run, 100);
+    assert_eq!(report.strategy_runs, [100, 100, 100], "{report:?}");
+    assert!(report.multicasts > 25, "{report:?}");
 }
 
 #[test]
@@ -48,6 +84,8 @@ fn campaigns_are_reproducible() {
         max_cycles: 50_000,
         sim_threads: 1,
         warm_iters: 20,
+        strategy: None,
+        cross_strategy: false,
     };
     let a = run_fuzz(&opts);
     let b = run_fuzz(&opts);
@@ -56,4 +94,5 @@ fn campaigns_are_reproducible() {
     assert_eq!(a.deliveries, b.deliveries);
     assert_eq!(a.multicasts, b.multicasts);
     assert_eq!(a.fault_events, b.fault_events);
+    assert_eq!(a.strategy_runs, b.strategy_runs);
 }

@@ -20,8 +20,10 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use nucanet::config::{Design, ALL_DESIGNS};
-use nucanet::experiments::{run_cell, ExperimentScale};
+use nucanet::experiments::{run_cell, run_config, ExperimentScale};
 use nucanet::scheme::{Scheme, ALL_SCHEMES};
+use nucanet::Metrics;
+use nucanet_noc::MulticastStrategy;
 use nucanet_workload::BenchmarkProfile;
 
 /// The scale every golden cell runs at. Small enough that the three
@@ -35,14 +37,13 @@ fn bench(name: &str) -> BenchmarkProfile {
     BenchmarkProfile::by_name(name).expect("benchmark exists")
 }
 
-/// Renders one (design, scheme, benchmark) cell as a JSON object of
-/// integer counters, on a single line for readable diffs.
-fn render_cell(design: Design, scheme: Scheme, bench_name: &str) -> String {
-    let (m, _ipc) = run_cell(design, scheme, &bench(bench_name), golden_scale());
+/// Renders a labelled metrics summary as a JSON object of integer
+/// counters, on a single line for readable diffs.
+fn render_metrics(label: &str, m: &Metrics) -> String {
     let lat = m.latency_histogram();
     format!(
         concat!(
-            "{{\"label\": \"{design:?}/{scheme}/{bench}\", ",
+            "{{\"label\": \"{label}\", ",
             "\"accesses\": {accesses}, \"writes\": {writes}, ",
             "\"hits\": {hits}, \"mru_hits\": {mru_hits}, ",
             "\"latency_sum\": {lat_sum}, \"latency_max\": {lat_max}, ",
@@ -50,9 +51,7 @@ fn render_cell(design: Design, scheme: Scheme, bench_name: &str) -> String {
             "\"net_injected\": {injected}, \"net_delivered\": {delivered}, ",
             "\"net_flits_ejected\": {ejected}, \"net_latency_sum\": {net_lat}}}"
         ),
-        design = design,
-        scheme = scheme,
-        bench = bench_name,
+        label = label,
         accesses = m.accesses(),
         writes = m.writes(),
         hits = m.hit_latency_histogram().count(),
@@ -68,8 +67,28 @@ fn render_cell(design: Design, scheme: Scheme, bench_name: &str) -> String {
     )
 }
 
-/// Renders a whole figure snapshot document.
-fn render_figure(name: &str, cells: &[(Design, Scheme, &str)]) -> String {
+/// Renders one (design, scheme, benchmark) cell.
+fn render_cell(design: Design, scheme: Scheme, bench_name: &str) -> String {
+    let (m, _ipc) = run_cell(design, scheme, &bench(bench_name), golden_scale());
+    render_metrics(&format!("{design:?}/{scheme}/{bench_name}"), &m)
+}
+
+/// Renders one Fig. 7-style multicast cell under an explicit
+/// replication strategy (Design A, Multicast Fast-LRU — a scheme whose
+/// traffic actually multicasts, so the strategies diverge).
+fn render_strategy_cell(strategy: MulticastStrategy, bench_name: &str) -> String {
+    let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+    cfg.router.strategy = strategy;
+    let (m, _ipc) =
+        run_config(&cfg, &bench(bench_name), golden_scale()).expect("golden cell completes");
+    render_metrics(
+        &format!("A/multicast+fastLRU/{strategy}/{bench_name}"),
+        &m,
+    )
+}
+
+/// Renders a whole figure snapshot document from pre-rendered cells.
+fn render_document(name: &str, cell_lines: &[String]) -> String {
     let s = golden_scale();
     let mut out = String::new();
     writeln!(out, "{{").unwrap();
@@ -82,13 +101,19 @@ fn render_figure(name: &str, cells: &[(Design, Scheme, &str)]) -> String {
     )
     .unwrap();
     writeln!(out, "  \"cells\": [").unwrap();
-    for (i, &(d, sch, b)) in cells.iter().enumerate() {
-        let sep = if i + 1 < cells.len() { "," } else { "" };
-        writeln!(out, "    {}{sep}", render_cell(d, sch, b)).unwrap();
+    for (i, line) in cell_lines.iter().enumerate() {
+        let sep = if i + 1 < cell_lines.len() { "," } else { "" };
+        writeln!(out, "    {line}{sep}").unwrap();
     }
     writeln!(out, "  ]").unwrap();
     writeln!(out, "}}").unwrap();
     out
+}
+
+/// Renders a figure snapshot document from (design, scheme, bench) cells.
+fn render_figure(name: &str, cells: &[(Design, Scheme, &str)]) -> String {
+    let lines: Vec<String> = cells.iter().map(|&(d, s, b)| render_cell(d, s, b)).collect();
+    render_document(name, &lines)
 }
 
 fn golden_path(name: &str) -> PathBuf {
@@ -100,7 +125,10 @@ fn golden_path(name: &str) -> PathBuf {
 /// Compares the rendered snapshot against the committed golden file, or
 /// rewrites the file when `NUCANET_BLESS=1` is set.
 fn check_golden(name: &str, cells: &[(Design, Scheme, &str)]) {
-    let rendered = render_figure(name, cells);
+    check_golden_doc(name, render_figure(name, cells));
+}
+
+fn check_golden_doc(name: &str, rendered: String) {
     let path = golden_path(name);
     if std::env::var("NUCANET_BLESS").map(|v| v != "0").unwrap_or(false) {
         std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
@@ -131,6 +159,25 @@ fn fig7_summary_counters_are_pinned() {
         .map(|b| (Design::A, Scheme::UnicastLru, b))
         .collect();
     check_golden("fig7", &cells);
+}
+
+#[test]
+fn fig7_strategy_counters_are_pinned() {
+    // The Fig. 7 benchmarks again, but on the multicast scheme under
+    // each alternative replication strategy. Hybrid is pinned by the
+    // other suites (it is the default everywhere); tree and path each
+    // get their own snapshot so a kernel change in one strategy cannot
+    // hide behind the others.
+    for (name, strategy) in [
+        ("fig7_tree", MulticastStrategy::Tree),
+        ("fig7_path", MulticastStrategy::Path),
+    ] {
+        let lines: Vec<String> = ["gcc", "twolf", "art"]
+            .into_iter()
+            .map(|b| render_strategy_cell(strategy, b))
+            .collect();
+        check_golden_doc(name, render_document(name, &lines));
+    }
 }
 
 #[test]

@@ -298,6 +298,8 @@ fn differential_fuzz_passes_with_four_sim_threads() {
         max_cycles: 50_000,
         sim_threads: 4,
         warm_iters: 10,
+        strategy: None,
+        cross_strategy: false,
     });
     assert!(
         report.failure.is_none(),

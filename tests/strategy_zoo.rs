@@ -1,0 +1,311 @@
+//! The strategy zoo: every multicast replication strategy (hybrid,
+//! tree, path) run through the same determinism, fault-tolerance, and
+//! warm-reset contracts the hybrid default has always had to meet.
+//!
+//! * bit-identical delivered sequences and statistics across
+//!   cycle-kernel thread counts, per strategy, under link faults with
+//!   the invariant checker on;
+//! * bit-identical sweep outcomes across worker counts on a point list
+//!   that *switches strategy mid-sweep* (forcing the warm path to
+//!   rebuild its arenas — strategy is part of the structural key);
+//! * end-to-end cache runs per strategy with injected faults;
+//! * a property: the replication budget — flit copies minted per
+//!   multicast — never exceeds (and at quiescence exactly equals)
+//!   `flits × (destinations − 1)`, enforced by the invariant checker
+//!   over arbitrary destination sets.
+
+use nucanet::experiments::ExperimentScale;
+use nucanet::sweep::{derive_seed, SweepPoint, SweepRunner};
+use nucanet::{CacheSystem, Design, FaultConfig, Scheme, SystemConfig};
+use nucanet_noc::{
+    Dest, Endpoint, FaultEvent, FaultSchedule, MulticastStrategy, NetStats, Network, NodeId,
+    Packet, PacketId, RouterParams, RoutingSpec, Topology, ALL_STRATEGIES,
+};
+use nucanet_workload::{BenchmarkProfile, SynthConfig, TraceGenerator};
+use proptest::prelude::*;
+
+/// An 8×8 mesh campaign mixing unicasts and column multicasts under a
+/// transient fault pulse, checker on. Returns the delivered sequence
+/// and final statistics.
+fn mesh_campaign(
+    strategy: MulticastStrategy,
+    sim_threads: u32,
+) -> (Vec<(PacketId, Endpoint, u64)>, NetStats) {
+    let topo = Topology::mesh(8, 8, &[1; 7], &[1; 7]);
+    let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+    let params = RouterParams {
+        sim_threads,
+        strategy,
+        ..RouterParams::hpca07()
+    };
+    let mut net: Network<u64> = Network::new(topo, table, params);
+    net.enable_invariant_checker();
+    net.set_fault_schedule(FaultSchedule::new(vec![
+        FaultEvent {
+            cycle: 50,
+            link: nucanet_noc::LinkId(9),
+            up: false,
+        },
+        FaultEvent {
+            cycle: 240,
+            link: nucanet_noc::LinkId(9),
+            up: true,
+        },
+    ]));
+    let mut x: u64 = 0x00DD_BA11_5EED ^ (strategy as u64) << 32;
+    let mut lcg = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 16
+    };
+    let mut delivered = Vec::new();
+    let mut inbox = Vec::new();
+    for wave in 0..4u64 {
+        for i in 0..60u64 {
+            let r = lcg();
+            let a = (r % 64) as u32;
+            let mut b = ((r >> 8) % 64) as u32;
+            if a == b {
+                b = (b + 1) % 64;
+            }
+            if r & 0x4000 == 0 {
+                let col = (b % 8) as u16;
+                let path: Vec<Endpoint> = (0..8)
+                    .map(|row| Endpoint::at(net.topology().node_at(col, row)))
+                    .collect();
+                net.inject(Packet::new(
+                    Endpoint::at(NodeId(a)),
+                    Dest::multicast(path),
+                    if r & 0x8000 == 0 { 1 } else { 3 },
+                    wave * 100 + i,
+                ));
+            } else {
+                net.inject(Packet::new(
+                    Endpoint::at(NodeId(a)),
+                    Dest::unicast(Endpoint::at(NodeId(b))),
+                    if r & 0x10000 == 0 { 1 } else { 5 },
+                    wave * 100 + i,
+                ));
+            }
+        }
+        while net.is_busy() || net.next_event_cycle().is_some() {
+            net.advance().expect("campaign traffic cannot deadlock");
+            net.drain_all_delivered_into(&mut inbox);
+            for d in inbox.drain(..) {
+                delivered.push((d.packet.id, d.endpoint, net.cycle()));
+            }
+        }
+    }
+    let checker = net.take_invariant_checker().expect("checker was enabled");
+    assert!(
+        checker.violations().is_empty(),
+        "{strategy}/sim_threads={sim_threads}: {:?}",
+        checker.violations()
+    );
+    (delivered, net.stats().clone())
+}
+
+#[test]
+fn every_strategy_is_bit_identical_across_thread_counts() {
+    for strategy in ALL_STRATEGIES {
+        let (serial_seq, serial_stats) = mesh_campaign(strategy, 1);
+        assert!(
+            serial_seq.len() > 300,
+            "{strategy}: campaign must deliver real traffic, got {}",
+            serial_seq.len()
+        );
+        assert!(
+            serial_stats.link_down_events > 0,
+            "{strategy}: the fault pulse must actually fire"
+        );
+        for threads in [2, 4] {
+            let (seq, stats) = mesh_campaign(strategy, threads);
+            assert_eq!(
+                serial_seq, seq,
+                "{strategy}: delivered sequence must not depend on sim_threads={threads}"
+            );
+            assert_eq!(
+                serial_stats, stats,
+                "{strategy}: statistics must not depend on sim_threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn path_strategy_never_splits_and_tree_does() {
+    let (_, path_stats) = mesh_campaign(MulticastStrategy::Path, 1);
+    assert_eq!(
+        path_stats.replications, 0,
+        "path multicast visits endpoints serially, no replica VCs"
+    );
+    let (_, hybrid_stats) = mesh_campaign(MulticastStrategy::Hybrid, 1);
+    assert!(
+        hybrid_stats.replications > 0,
+        "hybrid multicast must split at destination routers"
+    );
+}
+
+fn bench(name: &str) -> BenchmarkProfile {
+    BenchmarkProfile::by_name(name).expect("benchmark exists")
+}
+
+fn mk(label: &str, cfg: SystemConfig, name: &str, i: u64) -> SweepPoint {
+    SweepPoint {
+        label: label.into(),
+        config: cfg.into(),
+        profile: bench(name),
+        scale: ExperimentScale {
+            warmup: 600,
+            measured: 120,
+            active_sets: 32,
+            seed: derive_seed(0x5742, i),
+        },
+    }
+}
+
+/// A sweep that changes strategy mid-flight on the same Design A
+/// structure — including a faulted tree point — so the warm path has to
+/// notice that strategy is part of the structural key and rebuild its
+/// arenas instead of replaying a stale kernel.
+fn switching_campaign() -> Vec<SweepPoint> {
+    let mut per: Vec<SystemConfig> = ALL_STRATEGIES
+        .into_iter()
+        .map(|s| {
+            let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+            cfg.router.strategy = s;
+            cfg.check_invariants = true;
+            cfg
+        })
+        .collect();
+    let mut faulted_tree = per[1].clone();
+    faulted_tree.faults = Some(FaultConfig::random(2, (1, 1_000), Some(400)));
+    vec![
+        mk("hybrid-gcc", per[0].clone(), "gcc", 0),
+        mk("tree-gcc", per[1].clone(), "gcc", 0),
+        mk("path-gcc", per.remove(2), "gcc", 0),
+        mk("tree-faulted", faulted_tree, "vpr", 1),
+        mk("tree-art", per.remove(1), "art", 2),
+        mk("hybrid-art", per.remove(0), "art", 2),
+    ]
+}
+
+#[test]
+fn strategy_switching_sweep_is_warm_and_worker_invariant() {
+    let points = switching_campaign();
+    let fresh = SweepRunner::with_workers(1).reuse(false).run(&points);
+    assert!(
+        fresh[3].metrics.net.link_down_events > 0,
+        "the faulted tree point must inject faults"
+    );
+    // Identical workload, identical deliveries: the strategies may only
+    // move latency, never the hit/miss outcome.
+    assert_eq!(fresh[0].metrics.hit_rate(), fresh[1].metrics.hit_rate());
+    assert_eq!(fresh[0].metrics.hit_rate(), fresh[2].metrics.hit_rate());
+    for workers in [1usize, 4] {
+        let warm = SweepRunner::with_workers(workers).run(&points);
+        for (f, w) in fresh.iter().zip(&warm) {
+            assert_eq!(f.label, w.label);
+            assert_eq!(
+                f.metrics, w.metrics,
+                "{}: warm metrics must be bit-identical to fresh (workers {workers})",
+                f.label
+            );
+            assert_eq!(f.ipc.to_bits(), w.ipc.to_bits(), "{}", f.label);
+        }
+    }
+}
+
+#[test]
+fn faulted_cache_runs_complete_under_every_strategy() {
+    for strategy in ALL_STRATEGIES {
+        let mut cfg = Design::A.config(Scheme::MulticastFastLru);
+        cfg.check_invariants = true;
+        cfg.router.strategy = strategy;
+        cfg.faults = Some(FaultConfig::random(2, (50, 400), Some(300)));
+        let mut gen = TraceGenerator::new(
+            bench("twolf"),
+            SynthConfig {
+                active_sets: 32,
+                seed: derive_seed(0xFA57, strategy as u64),
+                ..Default::default()
+            },
+        );
+        let trace = gen.generate(800, 150);
+        let run = |sim_threads: u32| {
+            let mut cfg = cfg.clone();
+            cfg.router.sim_threads = sim_threads;
+            let mut sys = CacheSystem::new(&cfg);
+            sys.run(&trace)
+                .unwrap_or_else(|e| panic!("{strategy}: faulted cell must complete: {e}"))
+        };
+        assert_eq!(
+            run(1),
+            run(4),
+            "{strategy}: faulted cell metrics must not depend on sim_threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The replication budget holds for arbitrary destination sets: the
+    /// invariant checker records a violation the moment a packet mints
+    /// more than `flits × (destinations − 1)` copies, and again at
+    /// quiescence if the total is not exactly that — so a clean checker
+    /// IS the property.
+    #[test]
+    fn replication_budget_is_exact_for_arbitrary_multicasts(
+        raw in proptest::collection::vec(0u32..36, 3..9),
+        src in 0u32..36,
+        flits in 1u32..6,
+        strategy_idx in 0usize..3,
+    ) {
+        let strategy = ALL_STRATEGIES[strategy_idx];
+        let topo = Topology::mesh(6, 6, &[1; 5], &[1; 5]);
+        let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+        let params = RouterParams { strategy, ..RouterParams::hpca07() };
+        let mut net: Network<u64> = Network::new(topo, table, params);
+        net.enable_invariant_checker();
+        // Distinct destination nodes (order as drawn), never the
+        // source, padded to at least two so it is always a multicast.
+        let mut nodes: Vec<u32> = Vec::new();
+        for d in raw {
+            if d != src && !nodes.contains(&d) {
+                nodes.push(d);
+            }
+        }
+        let mut pad = src;
+        while nodes.len() < 2 {
+            pad = (pad + 1) % 36;
+            if pad != src && !nodes.contains(&pad) {
+                nodes.push(pad);
+            }
+        }
+        let dests: Vec<Endpoint> = nodes.into_iter().map(|d| Endpoint::at(NodeId(d))).collect();
+        let n_dests = dests.len();
+        net.inject(Packet::new(
+            Endpoint::at(NodeId(src)),
+            Dest::multicast(dests),
+            flits,
+            0,
+        ));
+        let mut deliveries = 0usize;
+        let mut inbox = Vec::new();
+        while net.is_busy() || net.next_event_cycle().is_some() {
+            net.advance().expect("a lone multicast cannot deadlock");
+            net.drain_all_delivered_into(&mut inbox);
+            deliveries += inbox.drain(..).count();
+        }
+        prop_assert_eq!(deliveries, n_dests, "{} must reach every endpoint", strategy);
+        let checker = net.take_invariant_checker().expect("checker was enabled");
+        prop_assert!(
+            checker.violations().is_empty(),
+            "{}: {:?}",
+            strategy,
+            checker.violations()
+        );
+    }
+}
