@@ -87,6 +87,13 @@ pub struct PerfSample {
     pub compute_ns: u64,
     /// Wall nanoseconds inside the serial commit phase.
     pub commit_ns: u64,
+    /// Wall nanoseconds of pool-dispatch overhead across all parallel
+    /// cycles (job publish + spawned-worker tail wait).
+    pub dispatch_ns: u64,
+    /// Cycles the adaptive gate ran serially despite `sim_threads > 1`.
+    pub adaptive_serial_cycles: u64,
+    /// Cycles the adaptive gate sharded (including calibration probes).
+    pub adaptive_parallel_cycles: u64,
 }
 
 impl PerfSample {
@@ -259,10 +266,11 @@ fn params(sim_threads: u32) -> RouterParams {
     p
 }
 
-fn drain<P>(net: &mut Network<P>) {
+fn drain<P>(net: &mut Network<P>, inbox: &mut Vec<nucanet_noc::Delivered<P>>) {
     while net.is_busy() || net.next_event_cycle().is_some() {
         net.advance().expect("perf traffic cannot deadlock");
-        net.drain_all_delivered();
+        net.drain_all_delivered_into(inbox);
+        inbox.clear();
     }
 }
 
@@ -280,6 +288,9 @@ fn sample<P>(config: &'static str, net: &Network<P>, wall: Duration) -> PerfSamp
         serial_cycles: phase.serial_cycles,
         compute_ns: phase.compute_ns,
         commit_ns: phase.commit_ns,
+        dispatch_ns: phase.dispatch_ns,
+        adaptive_serial_cycles: phase.adaptive_serial_cycles,
+        adaptive_parallel_cycles: phase.adaptive_parallel_cycles,
     }
 }
 
@@ -307,6 +318,7 @@ pub fn mesh_throughput(packets: u64, sim_threads: u32) -> PerfSample {
     let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
     let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
     let mut x: u64 = 0x9E3779B97F4A7C15;
+    let mut inbox = Vec::new();
     let start = Instant::now();
     let mut injected = 0u64;
     while injected < packets {
@@ -327,7 +339,7 @@ pub fn mesh_throughput(packets: u64, sim_threads: u32) -> PerfSample {
             ));
             injected += 1;
         }
-        drain(&mut net);
+        drain(&mut net, &mut inbox);
     }
     sample("fig7-mesh", &net, start.elapsed())
 }
@@ -341,7 +353,9 @@ pub fn mesh_throughput(packets: u64, sim_threads: u32) -> PerfSample {
 pub fn halo_throughput(packets: u64, sim_threads: u32) -> PerfSample {
     let topo = Topology::halo(16, 16, &[1; 16], 2);
     let table = RoutingSpec::ShortestPath.build(&topo).expect("halo routes");
-    let spike_paths: Vec<Vec<Endpoint>> = (0..16)
+    // Shared endpoint lists: every multicast down a spike reuses one
+    // `Arc<[Endpoint]>` instead of allocating a fresh path per packet.
+    let spike_paths: Vec<std::sync::Arc<[Endpoint]>> = (0..16)
         .map(|s| (0..16).map(|p| Endpoint::at(topo.spike_node(s, p))).collect())
         .collect();
     let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
@@ -350,6 +364,7 @@ pub fn halo_throughput(packets: u64, sim_threads: u32) -> PerfSample {
         slot: 1,
     };
     let mut x: u64 = 0x6A09E667F3BCC909;
+    let mut inbox = Vec::new();
     let start = Instant::now();
     let mut injected = 0u64;
     while injected < packets {
@@ -361,7 +376,7 @@ pub fn halo_throughput(packets: u64, sim_threads: u32) -> PerfSample {
                 // Concurrent tag-match: multicast down the whole spike.
                 net.inject(Packet::new(
                     hub,
-                    Dest::multicast(spike_paths[s as usize].clone()),
+                    Dest::multicast_shared(std::sync::Arc::clone(&spike_paths[s as usize])),
                     1,
                     injected,
                 ));
@@ -377,7 +392,7 @@ pub fn halo_throughput(packets: u64, sim_threads: u32) -> PerfSample {
             }
             injected += 1;
         }
-        drain(&mut net);
+        drain(&mut net, &mut inbox);
     }
     sample("halo", &net, start.elapsed())
 }
@@ -444,7 +459,7 @@ pub fn mesh_sat_throughput(packets: u64, sim_threads: u32) -> PerfSample {
 pub fn halo_sat_throughput(packets: u64, sim_threads: u32) -> PerfSample {
     let topo = Topology::halo(16, 16, &[1; 16], 2);
     let table = RoutingSpec::ShortestPath.build(&topo).expect("halo routes");
-    let spike_paths: Vec<Vec<Endpoint>> = (0..16)
+    let spike_paths: Vec<std::sync::Arc<[Endpoint]>> = (0..16)
         .map(|s| (0..16).map(|p| Endpoint::at(topo.spike_node(s, p))).collect())
         .collect();
     let mut net: Network<u64> = Network::new(topo, table, params(sim_threads));
@@ -467,7 +482,7 @@ pub fn halo_sat_throughput(packets: u64, sim_threads: u32) -> PerfSample {
             if r & 0x1000 == 0 {
                 net.inject(Packet::new(
                     hub,
-                    Dest::multicast(spike_paths[s as usize].clone()),
+                    Dest::multicast_shared(std::sync::Arc::clone(&spike_paths[s as usize])),
                     1,
                     injected,
                 ));
@@ -675,6 +690,15 @@ pub fn render_perf_json_with_sweep(samples: &[PerfSample], sweep: &[SweepPerfSam
         out.push_str(&format!("      \"serial_cycles\": {},\n", s.serial_cycles));
         out.push_str(&format!("      \"compute_ns\": {},\n", s.compute_ns));
         out.push_str(&format!("      \"commit_ns\": {},\n", s.commit_ns));
+        out.push_str(&format!("      \"dispatch_ns\": {},\n", s.dispatch_ns));
+        out.push_str(&format!(
+            "      \"adaptive_serial_cycles\": {},\n",
+            s.adaptive_serial_cycles
+        ));
+        out.push_str(&format!(
+            "      \"adaptive_parallel_cycles\": {},\n",
+            s.adaptive_parallel_cycles
+        ));
         out.push_str(&format!(
             "      \"cycles_per_sec\": {},\n",
             f(s.cycles_per_sec())
@@ -901,6 +925,9 @@ mod tests {
         assert!(json.contains("\"threads\": 1"));
         assert!(json.contains("\"host_cores\":"));
         assert!(json.contains("\"compute_ns\":"));
+        assert!(json.contains("\"dispatch_ns\":"));
+        assert!(json.contains("\"adaptive_serial_cycles\":"));
+        assert!(json.contains("\"adaptive_parallel_cycles\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

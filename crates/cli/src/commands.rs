@@ -504,6 +504,15 @@ fn cmd_perf(args: &Args) -> Result<String, ParseError> {
             )),
             _ => out.push('\n'),
         }
+        if s.threads > 1 {
+            out.push_str(&format!(
+                "{:10}   gate: {} parallel / {} serial cycles, dispatch {:.1} ms\n",
+                "",
+                s.adaptive_parallel_cycles,
+                s.adaptive_serial_cycles,
+                s.dispatch_ns as f64 / 1e6
+            ));
+        }
     }
     let mut sweep_samples: Vec<SweepPerfSample> = Vec::new();
     let sweep_points = args.get_usize("sweep-points", 0)? as u64;
@@ -822,7 +831,17 @@ mod tests {
         assert!(json.contains("\"halo-sat\""), "{json}");
         assert!(json.contains("\"threads\": 1"), "{json}");
         assert!(json.contains("\"compute_ns\":"), "{json}");
+        assert!(json.contains("\"dispatch_ns\":"), "{json}");
+        assert!(json.contains("\"adaptive_serial_cycles\":"), "{json}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn perf_with_threads_reports_gate_breakdown() {
+        let out = run("perf --packets 200 --sim-threads 2");
+        assert!(out.contains("gate:"), "{out}");
+        assert!(out.contains("parallel /"), "{out}");
+        assert!(out.contains("dispatch"), "{out}");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use std::collections::VecDeque;
 
 use crate::ids::{LinkId, NodeId};
-use crate::packet::{FlitRef, PacketId};
+use crate::packet::{FlitQueue, FlitRef, PacketId};
 use crate::params::RouterParams;
 use crate::router::{NetSlabs, OutRoute, RouterIntent, Split};
 use crate::strategy::MulticastStrategy;
@@ -115,7 +115,9 @@ pub(crate) type Mailbox<P> = VecDeque<(u32, Effect<P>)>;
 pub(crate) struct SlabPtrs<P> {
     port_base: *const u32,
     vcs: usize,
-    buf: *mut VecDeque<FlitRef<P>>,
+    buf: *mut FlitQueue<P>,
+    occ: *mut u32,
+    buffered: *mut u32,
     route: *mut Option<OutRoute>,
     split: *mut Option<Split>,
     replica_role: *mut bool,
@@ -134,6 +136,8 @@ impl<P> SlabPtrs<P> {
             port_base: s.port_base.as_ptr(),
             vcs: s.vcs,
             buf: s.buf.as_mut_ptr(),
+            occ: s.occ.as_mut_ptr(),
+            buffered: s.buffered.as_mut_ptr(),
             route: s.route.as_mut_ptr(),
             split: s.split.as_mut_ptr(),
             replica_role: s.replica_role.as_mut_ptr(),
@@ -244,6 +248,8 @@ pub(crate) unsafe fn apply_winner<P>(
         let flit = (*s.buf.add(slot))
             .pop_front()
             .expect("winner must have a flit");
+        *s.occ.add(slot) -= 1;
+        *s.buffered.add(ri) -= 1;
         let is_tail = flit.is_tail();
         let via_link = !*s.is_local.add(ps) && !*s.replica_role.add(slot);
 
@@ -261,6 +267,8 @@ pub(crate) unsafe fn apply_winner<P>(
                 _ => copy.dest_hi = sp.resume,
             }
             (*s.buf.add(rslot)).push_back(copy);
+            *s.occ.add(rslot) += 1;
+            *s.buffered.add(ri) += 1;
             mb.push_back((pos, Effect::ReplicaCopy { packet: flit.pkt.id }));
         }
 

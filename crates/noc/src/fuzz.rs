@@ -375,6 +375,7 @@ fn drive(
     let mut ids = vec![PacketId(0); sc.plans.len()];
     let mut next = 0usize;
     let mut out: FastDeliveries = Vec::new();
+    let mut inbox = Vec::new();
     loop {
         while next < order.len() && sc.plans[order[next]].at <= net.cycle() {
             let p = &sc.plans[order[next]];
@@ -395,7 +396,8 @@ fn drive(
             ));
         }
         net.step().map_err(|e| format!("fast simulator error: {e}"))?;
-        for d in net.drain_all_delivered() {
+        net.drain_all_delivered_into(&mut inbox);
+        for d in inbox.drain(..) {
             out.push((d.cycle, d.packet.id, d.endpoint));
         }
     }

@@ -50,13 +50,46 @@ use crate::stats::NetStats;
 use crate::strategy::MulticastStrategy;
 use crate::topology::{PortLabel, Topology};
 
-/// Fewest active routers in a cycle for which the parallel compute
-/// phase pays for its dispatch overhead; smaller worklists take the
-/// serial kernel. Purely a wall-clock heuristic — both kernels are
-/// bit-identical, so switching per cycle cannot change results. Kept
-/// low so correctness campaigns on small topologies (the fuzzer's
-/// meshes) still exercise the two-phase path with `sim_threads > 1`.
+/// Fewest active routers for which an *uncalibrated* gate shards a
+/// cycle — the static floor the adaptive threshold starts from (and
+/// never drops below). Kept low so correctness campaigns on small
+/// topologies (the fuzzer's meshes) still exercise the two-phase path
+/// with `sim_threads > 1` before calibration settles.
 const MIN_PAR_WORK: usize = 8;
+
+/// Hard ceiling on the adaptive threshold: on hosts where a pool
+/// dispatch never pays for itself (one core, heavy oversubscription)
+/// the calibrated break-even grows without bound; clamping keeps the
+/// arithmetic sane. Effectively "always serial" for any real topology.
+const MAX_PAR_WORK: usize = 1 << 20;
+
+/// A serial-decided cycle every this many consecutive parallel cycles
+/// re-measures the serial kernel, so the serial-cost estimate tracks
+/// the workload as it drifts. Cheap: a serial probe does strictly less
+/// work than the parallel cycle it replaces would have.
+const SERIAL_PROBE_EVERY: u32 = 1024;
+
+/// A parallel-decided cycle every this many consecutive serial cycles
+/// re-measures the pool dispatch, so a host whose scheduling improves
+/// (cores freed up) gets the parallel kernel back. Each probe that
+/// still loses doubles the interval (up to [`PAR_PROBE_MAX`]) so a
+/// host where sharding never pays converges to near-zero probe
+/// overhead; a probe that would win snaps the interval back here.
+const PAR_PROBE_EVERY: u32 = 512;
+
+/// Ceiling for the parallel-probe backoff. At this interval even a
+/// grossly oversubscribed probe (a parallel cycle costing 50x a serial
+/// one) stays under 0.1% of wall time.
+const PAR_PROBE_MAX: u32 = 1 << 16;
+
+/// Serial cycles are timed once every this many (when `sim_threads >
+/// 1`), amortizing the two `Instant::now` calls so the gate costs the
+/// serial path nearly nothing.
+const SERIAL_SAMPLE_EVERY: u32 = 8;
+
+/// EWMA smoothing for the gate's cost estimates: `new = (1 - ALPHA) *
+/// old + ALPHA * sample`.
+const GATE_ALPHA: f64 = 0.1;
 
 /// Wall-clock breakdown of the two-phase cycle kernel. Lives outside
 /// [`NetStats`] on purpose: stats are part of the bit-identity
@@ -65,14 +98,217 @@ const MIN_PAR_WORK: usize = 8;
 pub struct PhaseStats {
     /// Cycles that ran the parallel two-phase kernel.
     pub parallel_cycles: u64,
-    /// Cycles that ran the classic serial kernel (thread count 1, or a
-    /// worklist too small to shard).
+    /// Cycles that ran the classic serial kernel (thread count 1, or
+    /// the adaptive gate choosing serial).
     pub serial_cycles: u64,
     /// Nanoseconds spent in the sharded compute phase.
     pub compute_ns: u64,
     /// Nanoseconds spent in the commit phase (the sharded apply plus
     /// the deterministic merge, or the serial fallback).
     pub commit_ns: u64,
+    /// Nanoseconds of pool dispatch overhead (job publish + waiting
+    /// out the spawned workers' tail) across all parallel cycles.
+    pub dispatch_ns: u64,
+    /// Cycles the adaptive gate decided serially although `sim_threads
+    /// > 1` (small worklist, or a calibrated host where dispatch never
+    /// pays). Zero when `sim_threads == 1`.
+    pub adaptive_serial_cycles: u64,
+    /// Cycles the adaptive gate decided to shard (including
+    /// calibration probes). Zero when `sim_threads == 1`.
+    pub adaptive_parallel_cycles: u64,
+}
+
+/// Online serial-vs-parallel calibration for the cycle kernel.
+///
+/// Both kernels are bit-identical, so the choice is free of
+/// determinism risk — purely a wall-clock decision, re-made every
+/// cycle from three measured quantities:
+///
+/// * `serial_ns_per_router` — EWMA of the serial kernel's cost per
+///   worklist router, sampled every [`SERIAL_SAMPLE_EVERY`]-th serial
+///   cycle (and on every serial probe);
+/// * `dispatch_ns` — EWMA of one parallel cycle's pool-dispatch
+///   overhead, measured by [`SimPool`] as publish + tail-wait time and
+///   differenced here per cycle;
+/// * `par_ns_per_router` — EWMA of a whole parallel cycle's cost per
+///   worklist router with the dispatch overhead subtracted out: the
+///   sharded kernel's *measured* marginal rate, which already folds in
+///   shard imbalance, the serial commit merge, and — crucially — hosts
+///   where the "parallel" workers in fact serialize (one core, heavy
+///   oversubscription) and the marginal rate exceeds serial.
+///
+/// The break-even worklist follows from pricing a cycle both ways with
+/// measured rates: serial costs `s·W`, parallel costs `D + p·W`, so
+/// parallel wins when `W > D / (s − p)` — and *never* when `p ≥ s`
+/// (the threshold pegs to [`MAX_PAR_WORK`]). Unlike a model that
+/// assumes compute divides by the thread count, this cannot be fooled
+/// by a host that grants fewer cores than `sim_threads` asks for. The
+/// threshold is clamped to `[MIN_PAR_WORK, MAX_PAR_WORK]` and defaults
+/// to [`MIN_PAR_WORK`] until the estimates exist. Periodic probes run
+/// the minority kernel so whichever estimate is going stale gets
+/// refreshed (see [`SERIAL_PROBE_EVERY`] / [`PAR_PROBE_EVERY`]);
+/// parallel probes back off exponentially while they keep losing.
+///
+/// The estimates describe the *host*, not the simulation, so they
+/// survive [`Network::reset`] along with the pool.
+#[derive(Debug)]
+struct AdaptiveGate {
+    /// EWMA serial cost per worklist router, ns; 0 until first sample.
+    serial_ns_per_router: f64,
+    /// EWMA parallel marginal cost per worklist router (dispatch
+    /// excluded), ns; 0 until the first parallel cycle.
+    par_ns_per_router: f64,
+    /// EWMA pool-dispatch overhead per parallel cycle, ns; 0 until the
+    /// first parallel cycle.
+    dispatch_ns: f64,
+    /// Pool cumulative dispatch counter at the last reading.
+    last_dispatch_total: u64,
+    /// Calibrated break-even worklist length.
+    threshold: usize,
+    /// Consecutive serial decisions (drives parallel probing).
+    serial_streak: u32,
+    /// Consecutive parallel decisions (drives serial probing).
+    parallel_streak: u32,
+    /// Current parallel-probe interval (doubles while probes lose).
+    par_probe_interval: u32,
+    /// Serial cycles since the last timed one.
+    sample_tick: u32,
+    /// The next serial cycle is a probe: time it regardless of the
+    /// sampling tick.
+    probe_pending: bool,
+}
+
+impl Default for AdaptiveGate {
+    fn default() -> Self {
+        AdaptiveGate {
+            serial_ns_per_router: 0.0,
+            par_ns_per_router: 0.0,
+            dispatch_ns: 0.0,
+            last_dispatch_total: 0,
+            threshold: MIN_PAR_WORK,
+            serial_streak: 0,
+            parallel_streak: 0,
+            par_probe_interval: PAR_PROBE_EVERY,
+            sample_tick: 0,
+            probe_pending: false,
+        }
+    }
+}
+
+impl AdaptiveGate {
+    /// Decides this cycle's kernel for a worklist of `work_len` active
+    /// routers (`sim_threads > 1` and `work_len > 0` at every call).
+    fn choose_parallel(&mut self, work_len: usize) -> bool {
+        // Bootstrap: price both kernels before trusting the threshold.
+        // The first gated cycle shards (seeding the dispatch estimate),
+        // the next runs serial with forced timing (seeding the serial
+        // estimate) — so calibration completes within two cycles
+        // instead of waiting out a probe interval, which matters for
+        // short runs on hosts where sharding never pays.
+        let mut par = if self.dispatch_ns == 0.0 {
+            true
+        } else if self.serial_ns_per_router == 0.0 {
+            self.probe_pending = true;
+            false
+        } else {
+            work_len >= self.threshold
+        };
+        if par {
+            if self.parallel_streak >= SERIAL_PROBE_EVERY {
+                par = false;
+                self.probe_pending = true;
+            }
+        } else if self.serial_streak >= self.par_probe_interval && self.serial_ns_per_router > 0.0
+        {
+            par = true;
+        }
+        if par {
+            self.parallel_streak += 1;
+            self.serial_streak = 0;
+        } else {
+            self.serial_streak += 1;
+            self.parallel_streak = 0;
+        }
+        par
+    }
+
+    /// Whether this serial cycle should be timed.
+    fn serial_sample_due(&mut self) -> bool {
+        if std::mem::take(&mut self.probe_pending) {
+            self.sample_tick = 0;
+            return true;
+        }
+        self.sample_tick += 1;
+        if self.sample_tick >= SERIAL_SAMPLE_EVERY {
+            self.sample_tick = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Feeds one timed serial cycle (`elapsed` ns over `work_len`
+    /// routers) into the serial-cost estimate.
+    fn note_serial(&mut self, elapsed_ns: u64, work_len: usize) {
+        let per_router = elapsed_ns as f64 / work_len.max(1) as f64;
+        self.serial_ns_per_router = if self.serial_ns_per_router == 0.0 {
+            per_router
+        } else {
+            (1.0 - GATE_ALPHA) * self.serial_ns_per_router + GATE_ALPHA * per_router
+        };
+        self.update_threshold();
+    }
+
+    /// Feeds one whole parallel cycle (`elapsed` ns over `work_len`
+    /// routers, with the pool's cumulative dispatch counter for the
+    /// fixed-overhead split) into the parallel-cost estimates; returns
+    /// the per-cycle dispatch delta for [`PhaseStats::dispatch_ns`].
+    fn note_parallel(&mut self, pool_total_ns: u64, elapsed_ns: u64, work_len: usize) -> u64 {
+        let delta = pool_total_ns.saturating_sub(self.last_dispatch_total);
+        self.last_dispatch_total = pool_total_ns;
+        self.dispatch_ns = if self.dispatch_ns == 0.0 {
+            delta as f64
+        } else {
+            (1.0 - GATE_ALPHA) * self.dispatch_ns + GATE_ALPHA * delta as f64
+        };
+        let marginal = elapsed_ns.saturating_sub(delta) as f64 / work_len.max(1) as f64;
+        self.par_ns_per_router = if self.par_ns_per_router == 0.0 {
+            marginal
+        } else {
+            (1.0 - GATE_ALPHA) * self.par_ns_per_router + GATE_ALPHA * marginal
+        };
+        self.update_threshold();
+        // Probe backoff: a parallel cycle that leaves the threshold
+        // above this worklist just confirmed serial still wins here —
+        // stretch the next probe out. One that would win resets the
+        // cadence (the threshold decision takes over from there).
+        if work_len < self.threshold {
+            self.par_probe_interval = (self.par_probe_interval * 2).min(PAR_PROBE_MAX);
+        } else {
+            self.par_probe_interval = PAR_PROBE_EVERY;
+        }
+        delta
+    }
+
+    /// Re-derives the break-even worklist from the current estimates:
+    /// `D / (s − p)` routers, or "never" when the measured parallel
+    /// marginal rate is no better than serial.
+    fn update_threshold(&mut self) {
+        if self.serial_ns_per_router > 0.0 && self.dispatch_ns > 0.0 {
+            let gain = self.serial_ns_per_router - self.par_ns_per_router;
+            self.threshold = if gain <= 0.0 {
+                MAX_PAR_WORK
+            } else {
+                ((self.dispatch_ns / gain).ceil() as usize).clamp(MIN_PAR_WORK, MAX_PAR_WORK)
+            };
+        }
+    }
+
+    /// The threshold the sharded-commit decision shares (no probing:
+    /// runs inside an already-parallel cycle).
+    fn run_threshold(&self) -> usize {
+        self.threshold
+    }
 }
 
 /// A packet handed to a local sink.
@@ -202,6 +438,9 @@ pub struct Network<P> {
     /// the pool).
     commit_mb: Vec<Mailbox<P>>,
     phase: PhaseStats,
+    /// Online serial-vs-parallel calibration (meaningful only when
+    /// `sim_threads > 1`). Host-describing, so it survives resets.
+    gate: AdaptiveGate,
 }
 
 impl<P> Network<P> {
@@ -287,6 +526,7 @@ impl<P> Network<P> {
             live_mb: VecDeque::with_capacity(max_ports * 4),
             commit_mb: Vec::new(),
             phase: PhaseStats::default(),
+            gate: AdaptiveGate::default(),
             topo,
             table,
             params,
@@ -603,17 +843,14 @@ impl<P> Network<P> {
         // interleave across VCs of the local port.
         let base = self.slabs.vc_slot(src.node.0 as usize, sp.0 as usize, 0);
         let vc_idx = (0..self.slabs.vcs)
-            .min_by_key(|&v| self.slabs.buf[base + v].len())
+            .min_by_key(|&v| self.slabs.occ[base + v])
             .expect("local ports always have VCs");
         let dest_hi = pkt.dest.endpoints().len() as u32;
-        for seq in 0..flits {
-            self.slabs.buf[base + vc_idx].push_back(FlitRef {
-                pkt: Arc::clone(&pkt),
-                seq,
-                dest_idx: 0,
-                dest_hi,
-            });
-        }
+        // One run-length entry (and one `Arc`) covers the whole packet,
+        // however many flits it carries.
+        self.slabs.buf[base + vc_idx].push_run(pkt, 0, flits, dest_hi);
+        self.slabs.occ[base + vc_idx] += flits;
+        self.slabs.buffered[src.node.0 as usize] += flits;
         self.mark_pending(src.node);
         self.log(NetEvent::Inject {
             cycle: self.cycle,
@@ -740,12 +977,33 @@ impl<P> Network<P> {
             self.res_dirty[s as usize] = false;
         }
         self.res_dirty_list.clear();
-        if self.sim_threads > 1 && work.len() >= MIN_PAR_WORK {
+        // Kernel choice: per-instance calibration of the serial cost vs
+        // the pool-dispatch cost (both kernels are bit-identical, so the
+        // decision is pure wall-clock). With one thread there is no
+        // choice and no gate bookkeeping at all.
+        let parallel =
+            self.sim_threads > 1 && !work.is_empty() && self.gate.choose_parallel(work.len());
+        if parallel {
+            self.phase.adaptive_parallel_cycles += 1;
+            // Time the whole sharded cycle: the gate prices parallel
+            // from its measured total cost, not a modeled speedup, so
+            // a host that can't actually run the workers concurrently
+            // calibrates itself back to serial.
+            let t0 = Instant::now();
             self.step_two_phase(&work);
+            let total = self.pool.as_ref().expect("pool created").dispatch_ns();
+            self.phase.dispatch_ns +=
+                self.gate
+                    .note_parallel(total, t0.elapsed().as_nanos() as u64, work.len());
         } else {
             // Classic serial kernel — also the reference semantics the
             // two-phase kernel must reproduce bit-for-bit.
             self.phase.serial_cycles += 1;
+            let gated = self.sim_threads > 1 && !work.is_empty();
+            if gated {
+                self.phase.adaptive_serial_cycles += 1;
+            }
+            let t0 = (gated && self.gate.serial_sample_due()).then(Instant::now);
             // Split borrow: take the slabs out of `self` once for the
             // whole loop; helpers receive them as an explicit argument.
             // Nothing below may touch `self.slabs` (it is empty) until
@@ -755,6 +1013,10 @@ impl<P> Network<P> {
                 self.process_router(i, &mut slabs);
             }
             self.slabs = slabs;
+            if let Some(t0) = t0 {
+                self.gate
+                    .note_serial(t0.elapsed().as_nanos() as u64, work.len());
+            }
         }
         work.clear();
         self.scratch.work = work;
@@ -795,15 +1057,17 @@ impl<P> Network<P> {
                         .slabs
                         .port_slot(l.dst.0 as usize, l.dst_port.0 as usize);
                     self.slabs.util[ps] += 1;
-                    let buf = &mut self.slabs.buf[ps * self.slabs.vcs + vc as usize];
+                    let slot = ps * self.slabs.vcs + vc as usize;
                     assert!(
-                        buf.len() < self.params.vc_depth as usize,
+                        self.slabs.occ[slot] < u32::from(self.params.vc_depth),
                         "VC overflow at {} port {:?} vc {vc}: credit protocol violated",
                         l.dst,
                         l.dst_port
                     );
-                    buf.push_back(flit);
-                    let occ = buf.len() as u8;
+                    self.slabs.buf[slot].push_back(flit);
+                    self.slabs.occ[slot] += 1;
+                    self.slabs.buffered[l.dst.0 as usize] += 1;
+                    let occ = self.slabs.occ[slot] as u8;
                     if occ > self.stats.peak_vc_occupancy {
                         self.stats.peak_vc_occupancy = occ;
                     }
@@ -858,39 +1122,41 @@ impl<P> Network<P> {
 
         self.allocate_routes(node, slabs);
 
-        // Phase A: each input port nominates one sendable VC.
+        // Phase A: each input port nominates one sendable VC. Nominees
+        // land in a dense `(port, vc, output)` list (ascending port
+        // order) so phase B touches only nominating ports instead of
+        // rescanning every (output, input) pair against the route slab.
         let n_ports = slabs.n_ports(ri);
         let n_vcs = slabs.vcs as u8;
-        self.scratch.nominee[..n_ports].fill(None);
+        debug_assert!(self.scratch.nominated.is_empty());
         for p in 0..n_ports {
             let start = slabs.rr_in[slabs.port_slot(ri, p)];
             for k in 0..n_vcs {
                 let v = (start + k) % n_vcs;
-                if self.vc_sendable(slabs, ri, p, v as usize) {
-                    self.scratch.nominee[p] = Some(v);
+                if let Some(rt) = self.vc_sendable(slabs, ri, p, v as usize) {
+                    self.scratch.nominated.push((p as u8, v, rt.port));
                     break;
                 }
             }
         }
 
-        // Phase B: each output port grants one nominating input port.
+        // Phase B: each requested output port grants one nominating
+        // input port. Every nominee requests exactly one output, so the
+        // nominee list partitions by output port; walking the distinct
+        // outputs in ascending order visits them exactly as the
+        // historical all-pairs `for o in 0..n_ports` scan did.
         debug_assert!(self.scratch.winners.is_empty());
-        for o in 0..n_ports {
+        let mut next_o = self.scratch.nominated.iter().map(|&(_, _, o)| o).min();
+        while let Some(o) = next_o {
             self.scratch.requesting.clear();
-            for p in 0..n_ports {
-                let Some(v) = self.scratch.nominee[p] else {
-                    continue;
-                };
-                let routed_here = slabs.route[slabs.vc_slot(ri, p, v as usize)]
-                    .is_some_and(|rt| rt.port as usize == o);
-                if routed_here {
-                    self.scratch.requesting.push(p as u8);
+            let mut pick_v = 0;
+            for &(p, v, po) in &self.scratch.nominated {
+                if po == o {
+                    self.scratch.requesting.push(p);
+                    pick_v = v;
                 }
             }
-            if self.scratch.requesting.is_empty() {
-                continue;
-            }
-            let ps_o = slabs.port_slot(ri, o);
+            let ps_o = slabs.port_slot(ri, o as usize);
             let start = slabs.out_rr[ps_o];
             let pick = self
                 .scratch
@@ -900,9 +1166,25 @@ impl<P> Network<P> {
                 .find(|&p| p >= start)
                 .unwrap_or(self.scratch.requesting[0]);
             slabs.out_rr[ps_o] = pick.wrapping_add(1) % n_ports.max(1) as u8;
-            let v = self.scratch.nominee[pick as usize].expect("requesting port has nominee");
-            self.scratch.winners.push((pick, v));
+            if self.scratch.requesting.len() > 1 {
+                pick_v = self
+                    .scratch
+                    .nominated
+                    .iter()
+                    .find(|&&(p, _, _)| p == pick)
+                    .map(|&(_, v, _)| v)
+                    .expect("picked port has a nominee");
+            }
+            self.scratch.winners.push((pick, pick_v));
+            next_o = self
+                .scratch
+                .nominated
+                .iter()
+                .map(|&(_, _, po)| po)
+                .filter(|&po| po > o)
+                .min();
         }
+        self.scratch.nominated.clear();
 
         // Traversal: apply each winner through the shared commit-path
         // implementation, collecting global effects into the (reused)
@@ -1092,7 +1374,7 @@ impl<P> Network<P> {
     /// the serial kernel's.
     fn commit_run(&mut self, run: &[u32], intents: &[RouterIntent], slabs: &mut NetSlabs<P>) {
         let threads = self.sim_threads;
-        if run.len() >= MIN_PAR_WORK && threads > 1 {
+        if run.len() >= self.gate.run_threshold() && threads > 1 {
             {
                 let job = CommitJob {
                     slabs: SlabPtrs::new(slabs),
@@ -1288,12 +1570,10 @@ impl<P> Network<P> {
                 // Copy the head's routing facts out before any `&mut`
                 // helper call needs the slabs.
                 let (target, next_target, dest_idx, split_is_none) = {
-                    if slabs.route[slot].is_some() {
+                    if slabs.occ[slot] == 0 || slabs.route[slot].is_some() {
                         continue;
                     }
-                    let Some(front) = slabs.buf[slot].front() else {
-                        continue;
-                    };
+                    let front = slabs.buf[slot].front().expect("occupied VC has a front");
                     assert!(
                         front.is_head(),
                         "non-head flit at front of unrouted VC: packet {:?} seq {}",
@@ -1407,12 +1687,10 @@ impl<P> Network<P> {
             for v in 0..slabs.vcs {
                 let slot = slabs.vc_slot(ri, p, v);
                 let (target, next_target) = {
-                    if slabs.route[slot].is_some() {
+                    if slabs.occ[slot] == 0 || slabs.route[slot].is_some() {
                         continue;
                     }
-                    let Some(front) = slabs.buf[slot].front() else {
-                        continue;
-                    };
+                    let front = slabs.buf[slot].front().expect("occupied VC has a front");
                     assert!(
                         front.is_head(),
                         "non-head flit at front of unrouted VC: packet {:?} seq {}",
@@ -1496,19 +1774,17 @@ impl<P> Network<P> {
             for v in 0..slabs.vcs {
                 let slot = slabs.vc_slot(ri, p, v);
                 let (pkt, lo, hi) = {
-                    if slabs.route[slot].is_some() {
+                    if slabs.occ[slot] == 0 || slabs.route[slot].is_some() {
                         continue;
                     }
-                    let Some(front) = slabs.buf[slot].front() else {
-                        continue;
-                    };
+                    let front = slabs.buf[slot].front().expect("occupied VC has a front");
                     assert!(
                         front.is_head(),
                         "non-head flit at front of unrouted VC: packet {:?} seq {}",
                         front.pkt.id,
                         front.seq
                     );
-                    (Arc::clone(&front.pkt), front.dest_idx, front.dest_hi)
+                    (Arc::clone(front.pkt), front.dest_idx, front.dest_hi)
                 };
                 let eps = pkt.dest.endpoints();
                 debug_assert!((lo as usize) < eps.len() && hi as usize <= eps.len() && lo < hi);
@@ -1732,26 +2008,28 @@ impl<P> Network<P> {
     }
 
     /// Whether input VC (`p`, `v`) of router `ri` can send a flit this
-    /// cycle.
-    fn vc_sendable(&self, slabs: &NetSlabs<P>, ri: usize, p: usize, v: usize) -> bool {
+    /// cycle; returns its allocated route so switch allocation can reuse
+    /// the output port without re-reading the route slab.
+    fn vc_sendable(&self, slabs: &NetSlabs<P>, ri: usize, p: usize, v: usize) -> Option<OutRoute> {
         let slot = slabs.vc_slot(ri, p, v);
-        if slabs.buf[slot].is_empty() {
-            return false;
+        debug_assert_eq!(slabs.occ[slot] as usize, slabs.buf[slot].len());
+        if slabs.occ[slot] == 0 {
+            return None;
         }
-        let Some(route) = slabs.route[slot] else {
-            return false;
-        };
+        let route = slabs.route[slot]?;
         // Multicast primary also writes into the replica VC: need space.
         if let Some(s) = slabs.split[slot] {
             let rslot = slabs.vc_slot(ri, s.port as usize, s.vc as usize);
-            if slabs.buf[rslot].len() >= self.params.vc_depth as usize {
-                return false;
+            if slabs.occ[rslot] >= u32::from(self.params.vc_depth) {
+                return None;
             }
         }
-        if route.eject {
-            true
+        if route.eject
+            || slabs.out_credits[slabs.vc_slot(ri, route.port as usize, route.vc as usize)] > 0
+        {
+            Some(route)
         } else {
-            slabs.out_credits[slabs.vc_slot(ri, route.port as usize, route.vc as usize)] > 0
+            None
         }
     }
 
@@ -1847,12 +2125,10 @@ impl<P> ComputeCtx<'_, P> {
         for p in 0..s.n_ports(ri) {
             for v in 0..s.vcs {
                 let slot = s.vc_slot(ri, p, v);
-                if s.route[slot].is_some() {
+                if s.occ[slot] == 0 || s.route[slot].is_some() {
                     continue;
                 }
-                let Some(front) = s.buf[slot].front() else {
-                    continue;
-                };
+                let front = s.buf[slot].front().expect("occupied VC has a front");
                 assert!(
                     front.is_head(),
                     "non-head flit at front of unrouted VC: packet {:?} seq {}",
@@ -2035,7 +2311,7 @@ impl<P> ComputeCtx<'_, P> {
     fn vc_sendable(&self, ri: usize, p: usize, v: usize, intent: &RouterIntent) -> bool {
         let s = self.slabs;
         let slot = s.vc_slot(ri, p, v);
-        if s.buf[slot].is_empty() {
+        if s.occ[slot] == 0 {
             return false;
         }
         let Some(route) = self.effective_route(ri, p, v, intent) else {
@@ -2043,7 +2319,7 @@ impl<P> ComputeCtx<'_, P> {
         };
         if let Some(sp) = s.split[slot] {
             let rslot = s.vc_slot(ri, sp.port as usize, sp.vc as usize);
-            if s.buf[rslot].len() >= self.params.vc_depth as usize {
+            if s.occ[rslot] >= u32::from(self.params.vc_depth) {
                 return false;
             }
         }

@@ -5,6 +5,7 @@
 //! carrying a 64-byte block (plus address and wormhole overhead) is five
 //! flits.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::ids::Endpoint;
@@ -188,6 +189,201 @@ impl<P> FlitRef<P> {
     }
 }
 
+/// A run of consecutive flits of one packet copy buffered in a VC:
+/// sequence numbers `seq_lo .. seq_hi`, all serving the destination
+/// range `dest_idx .. dest_hi`. One `Arc` bump covers the whole run, so
+/// injecting an N-flit packet, or a worm streaming through a VC,
+/// touches the packet's reference count once instead of N times — and a
+/// VC FIFO holds one entry per *worm*, not one per flit.
+#[derive(Debug)]
+struct FlitRun<P> {
+    pkt: Arc<Packet<P>>,
+    /// First sequence number of the run.
+    seq_lo: u32,
+    /// One past the last sequence number of the run.
+    seq_hi: u32,
+    /// Destination range served by every flit in the run (see
+    /// [`FlitRef::dest_idx`] / [`FlitRef::dest_hi`]).
+    dest_idx: u32,
+    dest_hi: u32,
+}
+
+/// Borrowed view of the first flit of a [`FlitQueue`] — the run-length
+/// analogue of `VecDeque::front()` returning `&FlitRef`. Field and
+/// method names mirror [`FlitRef`] so call sites read identically.
+#[derive(Debug)]
+pub(crate) struct FlitFront<'a, P> {
+    pub pkt: &'a Arc<Packet<P>>,
+    pub seq: u32,
+    pub dest_idx: u32,
+    pub dest_hi: u32,
+}
+
+impl<P> FlitFront<'_, P> {
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+
+    pub fn is_tail(&self) -> bool {
+        self.seq + 1 == self.pkt.flits
+    }
+
+    /// The endpoint this copy is currently heading to.
+    pub fn target(&self) -> Endpoint {
+        self.pkt.dest.endpoints()[self.dest_idx as usize]
+    }
+
+    /// Whether further endpoints remain after [`FlitFront::target`]
+    /// within this copy's destination range.
+    pub fn has_more_targets(&self) -> bool {
+        self.dest_idx + 1 < self.dest_hi
+    }
+}
+
+/// A virtual-channel flit FIFO stored as run-length entries.
+///
+/// Semantically identical to a `VecDeque<FlitRef<P>>` (the differential
+/// test below pits the two against each other over random operation
+/// sequences), but consecutive flits of one packet copy share a single
+/// [`FlitRun`] entry: pushing the next flit of the worm at the back
+/// bumps `seq_hi`, popping the front bumps `seq_lo`, and only the run
+/// boundaries clone or drop the packet `Arc`. Wormhole traffic — where
+/// a 5-flit packet streams through each VC head-to-tail — thus costs
+/// O(1) queue entries and two `Arc` operations per VC instead of
+/// O(flits) of each.
+#[derive(Debug)]
+pub(crate) struct FlitQueue<P> {
+    runs: VecDeque<FlitRun<P>>,
+    /// Total buffered flits (sum of run lengths), kept incrementally so
+    /// `len()` stays O(1) for occupancy checks and credit accounting.
+    len: usize,
+}
+
+// Manual impl: `derive(Default)` would demand `P: Default`.
+impl<P> Default for FlitQueue<P> {
+    fn default() -> Self {
+        FlitQueue {
+            runs: VecDeque::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<P> FlitQueue<P> {
+    /// A queue pre-sized for `flits` buffered flits. Every run holds at
+    /// least one flit, so `flits` runs can never be exceeded while the
+    /// queue stays within that occupancy — credit flow control bounds
+    /// network VCs exactly so, keeping steady-state stepping
+    /// allocation-free.
+    pub fn with_capacity(flits: usize) -> Self {
+        FlitQueue {
+            runs: VecDeque::with_capacity(flits),
+            len: 0,
+        }
+    }
+
+    /// Buffered flits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no flits are buffered. The cycle kernel reads the dense
+    /// `NetSlabs::occ` mirror instead; kept for API parity with the
+    /// flat deque this replaced (and the differential test).
+    #[allow(dead_code)]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the queue, keeping the run buffer's capacity.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.len = 0;
+    }
+
+    /// Appends one flit, extending the back run when it is the worm's
+    /// next flit (same packet copy, consecutive sequence number, same
+    /// destination range) — the steady-state path for a packet
+    /// streaming into a VC, which then drops the incoming `Arc` instead
+    /// of storing a new entry.
+    pub fn push_back(&mut self, flit: FlitRef<P>) {
+        if let Some(back) = self.runs.back_mut() {
+            if back.seq_hi == flit.seq
+                && back.dest_idx == flit.dest_idx
+                && back.dest_hi == flit.dest_hi
+                && Arc::ptr_eq(&back.pkt, &flit.pkt)
+            {
+                back.seq_hi += 1;
+                self.len += 1;
+                return;
+            }
+        }
+        self.runs.push_back(FlitRun {
+            pkt: flit.pkt,
+            seq_lo: flit.seq,
+            seq_hi: flit.seq + 1,
+            dest_idx: flit.dest_idx,
+            dest_hi: flit.dest_hi,
+        });
+        self.len += 1;
+    }
+
+    /// Appends the whole flit range `seq_lo .. seq_hi` of `pkt` in one
+    /// entry — the injection path, which previously pushed `flits`
+    /// individual entries with an `Arc` bump each.
+    pub fn push_run(&mut self, pkt: Arc<Packet<P>>, seq_lo: u32, seq_hi: u32, dest_hi: u32) {
+        debug_assert!(seq_lo < seq_hi);
+        self.runs.push_back(FlitRun {
+            pkt,
+            seq_lo,
+            seq_hi,
+            dest_idx: 0,
+            dest_hi,
+        });
+        self.len += (seq_hi - seq_lo) as usize;
+    }
+
+    /// Removes and returns the first flit. Only the run's last flit
+    /// moves the `Arc` out; earlier flits clone it (one atomic bump,
+    /// same as the per-flit layout's pop + later drop).
+    pub fn pop_front(&mut self) -> Option<FlitRef<P>> {
+        let run = self.runs.front_mut()?;
+        let seq = run.seq_lo;
+        let flit = if run.seq_lo + 1 == run.seq_hi {
+            let run = self.runs.pop_front().expect("front exists");
+            FlitRef {
+                pkt: run.pkt,
+                seq,
+                dest_idx: run.dest_idx,
+                dest_hi: run.dest_hi,
+            }
+        } else {
+            run.seq_lo += 1;
+            FlitRef {
+                pkt: Arc::clone(&run.pkt),
+                seq,
+                dest_idx: run.dest_idx,
+                dest_hi: run.dest_hi,
+            }
+        };
+        self.len -= 1;
+        Some(flit)
+    }
+
+    /// Borrowed view of the first flit, if any.
+    #[inline]
+    pub fn front(&self) -> Option<FlitFront<'_, P>> {
+        self.runs.front().map(|run| FlitFront {
+            pkt: &run.pkt,
+            seq: run.seq_lo,
+            dest_idx: run.dest_idx,
+            dest_hi: run.dest_hi,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +434,181 @@ mod tests {
             0,
             (),
         );
+    }
+
+    #[test]
+    fn flit_queue_coalesces_worm_pushes() {
+        let pkt = Arc::new(Packet::new(
+            Endpoint::at(NodeId(0)),
+            Dest::unicast(Endpoint::at(NodeId(1))),
+            5,
+            (),
+        ));
+        let mut q: FlitQueue<()> = FlitQueue::with_capacity(8);
+        for seq in 0..5 {
+            q.push_back(FlitRef {
+                pkt: Arc::clone(&pkt),
+                seq,
+                dest_idx: 0,
+                dest_hi: 1,
+            });
+        }
+        assert_eq!(q.len(), 5);
+        // The whole worm coalesced into one run: exactly two strong
+        // counts — ours and the queue's.
+        assert_eq!(Arc::strong_count(&pkt), 2);
+        let front = q.front().expect("non-empty");
+        assert!(front.is_head() && !front.is_tail());
+        for seq in 0..5 {
+            let f = q.pop_front().expect("flit buffered");
+            assert_eq!(f.seq, seq);
+            assert!(Arc::ptr_eq(&f.pkt, &pkt));
+        }
+        assert!(q.is_empty() && q.front().is_none());
+        assert_eq!(Arc::strong_count(&pkt), 1);
+    }
+
+    #[test]
+    fn flit_queue_push_run_is_one_entry() {
+        let pkt = Arc::new(Packet::new(
+            Endpoint::at(NodeId(0)),
+            Dest::multicast(vec![Endpoint::at(NodeId(1)), Endpoint::at(NodeId(2))]),
+            3,
+            (),
+        ));
+        let mut q: FlitQueue<()> = FlitQueue::with_capacity(4);
+        q.push_run(Arc::clone(&pkt), 0, 3, 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(Arc::strong_count(&pkt), 2);
+        let f = q.pop_front().expect("head");
+        assert!(f.is_head());
+        assert_eq!((f.dest_idx, f.dest_hi), (0, 2));
+        assert!(f.has_more_targets());
+    }
+
+    /// Differential test: the run-length [`FlitQueue`] against a flat
+    /// one-`FlitRef`-per-flit `VecDeque` reference, over seeded random
+    /// operation sequences that mimic the kernel's access pattern —
+    /// worms streaming in flit by flit (coalescible), whole-packet
+    /// injection runs, interleaved packets, multicast replica copies
+    /// with truncated destination ranges (split slicing), pops, and
+    /// resets. Every observable (length, front view, popped flits,
+    /// `Arc` identity) must agree at every step.
+    #[test]
+    fn flit_queue_matches_flat_deque_differentially() {
+        fn pkt_of(flits: u32, dests: u32) -> Arc<Packet<()>> {
+            let dest = if dests <= 1 {
+                Dest::unicast(Endpoint::at(NodeId(1)))
+            } else {
+                Dest::multicast((1..=dests).map(|i| Endpoint::at(NodeId(i))).collect())
+            };
+            Arc::new(Packet::new(Endpoint::at(NodeId(0)), dest, flits, ()))
+        }
+        let pool: Vec<Arc<Packet<()>>> = vec![
+            pkt_of(1, 1),
+            pkt_of(5, 1),
+            pkt_of(3, 4),
+            pkt_of(5, 8),
+            pkt_of(2, 2),
+        ];
+        let mut x: u64 = 0x5EED_F00D_CAFE_0001;
+        let mut rng = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 16
+        };
+        let mut q: FlitQueue<()> = FlitQueue::with_capacity(4);
+        let mut reference: VecDeque<FlitRef<()>> = VecDeque::new();
+        // In-flight worm cursor: (pool index, next seq, dest range), so
+        // a stretch of pushes extends one worm — the coalescible case.
+        let mut worm: Option<(usize, u32, u32, u32)> = None;
+        for _ in 0..20_000 {
+            match rng() % 10 {
+                // Push the worm's next flit (start one when idle).
+                0..=4 => {
+                    let (pi, seq, dlo, dhi) = match worm {
+                        Some(w) if w.1 < pool[w.0].flits => w,
+                        _ => {
+                            let pi = (rng() % pool.len() as u64) as usize;
+                            let n_eps = pool[pi].dest.endpoints().len() as u32;
+                            // Random sub-range of the destination list:
+                            // replica copies carry truncated ranges.
+                            let dlo = rng() as u32 % n_eps;
+                            let dhi = dlo + 1 + (rng() as u32 % (n_eps - dlo));
+                            (pi, 0, dlo, dhi)
+                        }
+                    };
+                    let flit = FlitRef {
+                        pkt: Arc::clone(&pool[pi]),
+                        seq,
+                        dest_idx: dlo,
+                        dest_hi: dhi,
+                    };
+                    q.push_back(flit.clone());
+                    reference.push_back(flit);
+                    worm = Some((pi, seq + 1, dlo, dhi));
+                }
+                // Inject a whole packet as one run.
+                5 => {
+                    let pi = (rng() % pool.len() as u64) as usize;
+                    let pkt = &pool[pi];
+                    let dest_hi = pkt.dest.endpoints().len() as u32;
+                    q.push_run(Arc::clone(pkt), 0, pkt.flits, dest_hi);
+                    for seq in 0..pkt.flits {
+                        reference.push_back(FlitRef {
+                            pkt: Arc::clone(pkt),
+                            seq,
+                            dest_idx: 0,
+                            dest_hi,
+                        });
+                    }
+                    worm = None;
+                }
+                // Pop (sometimes several — drain the front run past its
+                // boundary).
+                6..=8 => {
+                    for _ in 0..=(rng() % 3) {
+                        let got = q.pop_front();
+                        let want = reference.pop_front();
+                        match (&got, &want) {
+                            (None, None) => {}
+                            (Some(g), Some(w)) => {
+                                assert!(Arc::ptr_eq(&g.pkt, &w.pkt));
+                                assert_eq!(
+                                    (g.seq, g.dest_idx, g.dest_hi),
+                                    (w.seq, w.dest_idx, w.dest_hi)
+                                );
+                            }
+                            _ => panic!("pop disagreement: {got:?} vs {want:?}"),
+                        }
+                    }
+                }
+                // Rare reset (the warm-reset path).
+                _ => {
+                    if rng() % 50 == 0 {
+                        q.clear();
+                        reference.clear();
+                        worm = None;
+                    }
+                }
+            }
+            assert_eq!(q.len(), reference.len());
+            assert_eq!(q.is_empty(), reference.is_empty());
+            match (q.front(), reference.front()) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    assert!(Arc::ptr_eq(g.pkt, &w.pkt));
+                    assert_eq!(
+                        (g.seq, g.dest_idx, g.dest_hi),
+                        (w.seq, w.dest_idx, w.dest_hi)
+                    );
+                    assert_eq!(g.is_head(), w.is_head());
+                    assert_eq!(g.is_tail(), w.is_tail());
+                }
+                (g, w) => panic!("front disagreement: {g:?} vs {w:?}"),
+            }
+        }
     }
 
     #[test]

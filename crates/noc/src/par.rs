@@ -5,27 +5,57 @@
 //! OS threads per cycle (even via `std::thread::scope`) costs more than
 //! the phase itself, so the network keeps one [`SimPool`] alive across
 //! cycles and re-dispatches the same type-erased job to it every cycle.
-//! No external crates: the pool is a `Mutex`/`Condvar` park bench plus
-//! three atomics (vendored-only policy, same as the sweep engine).
+//! No external crates: the pool is an epoch barrier built from atomics
+//! plus `std::thread::park` (vendored-only policy, same as the sweep
+//! engine).
 //!
-//! # Dispatch protocol
+//! # Dispatch protocol (epoch barrier)
 //!
-//! Publishing a job stores the job cell, then bumps the `seq` counter
-//! (release) and notifies the condvar *after* taking the mutex, so a
-//! worker either observes the new `seq` before parking or is already
-//! inside `Condvar::wait` and receives the wakeup — the classic
-//! lost-wakeup-free handoff. Workers spin briefly (with
-//! [`std::thread::yield_now`], so oversubscribed or single-core hosts
-//! degrade to scheduling, not busy-burn) before parking.
+//! The job cell is a plain `UnsafeCell` written only by the dispatching
+//! thread while every worker is provably idle (`run` returns only after
+//! `remaining` hits zero, and each worker decrements `remaining` with a
+//! release store *after* its last read of the cell). Publishing a cycle
+//! is therefore just: store `remaining`, write the cell, bump the
+//! `epoch` counter. At steady state — workers still inside their spin
+//! window from the previous cycle — that is two uncontended atomic
+//! writes and zero syscalls, replacing the old `Mutex` + `Condvar`
+//! `notify_all` handoff whose per-cycle lock and wakeup syscalls
+//! dominated small-worklist configs.
+//!
+//! # Why no wakeup is ever lost
+//!
+//! A worker that exhausts its spin window declares intent to sleep by
+//! storing its `sleeping` flag with `SeqCst`, then re-loads `epoch`
+//! (`SeqCst`) and only calls [`std::thread::park`] if it is unchanged.
+//! The publisher bumps `epoch` with `SeqCst` and then loads each
+//! `sleeping` flag (`SeqCst`), unparking every worker whose flag is
+//! set. Because all four accesses are `SeqCst`, they interleave in one
+//! total order, and the classic Dekker store-load argument applies: if
+//! the worker's `epoch` re-load missed the bump, its `sleeping` store
+//! precedes the bump in that order, so the publisher's later flag load
+//! must see it and unpark. If instead the publisher's flag load missed
+//! the store, the bump precedes the store, so the worker's re-load sees
+//! the new epoch and never parks. A worker already committed to
+//! `park()` when `unpark` arrives is released by the park token, which
+//! `unpark` sets even when the target is not yet (or no longer) parked;
+//! a stale token from a previous cycle at worst turns one `park` into
+//! an immediate return, and the re-check loop parks again. Spurious
+//! wakeups fall out of the same re-check.
 //!
 //! [`SimPool::run`] executes the job on the calling thread as worker 0
 //! and blocks until every spawned worker finished, so jobs may safely
 //! borrow the caller's stack (the raw `data` pointer never outlives the
-//! call).
+//! call). It also accrues the pool's dispatch overhead — everything
+//! `run` spends outside the caller's own job invocation — into a
+//! cumulative [`SimPool::dispatch_ns`] counter, which the network's
+//! adaptive kernel switch reads to price a parallel cycle against a
+//! serial one.
 
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock};
+use std::thread::{JoinHandle, Thread};
+use std::time::Instant;
 
 /// A type-erased job: `f(data, worker_index)`. The shim function is
 /// monomorphized by the caller and knows the concrete type behind
@@ -41,9 +71,28 @@ struct Job {
 // this `data` (see `SimPool::run`). The pool itself never reads it.
 unsafe impl Send for Job {}
 
+/// Placeholder job for the cell before the first publish; never run
+/// (workers read the cell only after observing an epoch bump, which
+/// happens only after a real job is written).
+unsafe fn never_run(_data: *const (), _worker: usize) {
+    unreachable!("job cell read before first publish");
+}
+
+/// Per-spawned-worker parking state.
+struct WorkerSlot {
+    /// Set (SeqCst) by the worker just before it re-checks the epoch
+    /// and parks; cleared when it wakes. The publisher unparks every
+    /// worker whose flag it observes set after bumping the epoch.
+    sleeping: AtomicBool,
+    /// The worker's thread handle, registered by the worker itself as
+    /// its first action; a set `sleeping` flag implies this is set.
+    thread: OnceLock<Thread>,
+}
+
 struct Shared {
-    /// Monotone job counter; a change publishes a new job (or shutdown).
-    seq: AtomicU64,
+    /// Monotone cycle counter; a bump publishes the job cell (or
+    /// shutdown).
+    epoch: AtomicU64,
     /// Spawned workers still running the current job.
     remaining: AtomicUsize,
     shutdown: AtomicBool,
@@ -51,9 +100,21 @@ struct Shared {
     /// the dispatching thread so it cannot pass silently, and
     /// `remaining` still reaches zero so `run` never hangs).
     panicked: AtomicBool,
-    job: Mutex<Option<Job>>,
-    park: Condvar,
+    /// Written only by the dispatcher while all workers are idle; read
+    /// by workers only after an epoch bump (release/acquire through
+    /// `epoch` orders the accesses — see the module docs).
+    job: UnsafeCell<Job>,
+    slots: Box<[WorkerSlot]>,
 }
+
+// SAFETY: the `UnsafeCell` is the only non-Sync field; the epoch
+// protocol above guarantees writes to it never race with reads.
+unsafe impl Sync for Shared {}
+
+/// Spin iterations before a worker declares intent to sleep. Each
+/// iteration yields, so scarce-core hosts degrade to scheduling, not
+/// busy-burn; back-to-back cycles re-dispatch well inside the window.
+const SPIN_ITERS: u32 = 64;
 
 /// Persistent pool of `threads - 1` spawned workers; the dispatching
 /// thread acts as worker 0.
@@ -61,6 +122,10 @@ pub(crate) struct SimPool {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    /// Cumulative nanoseconds `run` spent on dispatch overhead: publish
+    /// plus waiting for the spawned workers' tail, i.e. total `run`
+    /// time minus the caller's own job invocation.
+    dispatch_ns: AtomicU64,
 }
 
 impl SimPool {
@@ -70,12 +135,20 @@ impl SimPool {
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 2, "a pool needs at least one spawned worker");
         let shared = Arc::new(Shared {
-            seq: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             remaining: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
-            job: Mutex::new(None),
-            park: Condvar::new(),
+            job: UnsafeCell::new(Job {
+                f: never_run,
+                data: std::ptr::null(),
+            }),
+            slots: (1..threads)
+                .map(|_| WorkerSlot {
+                    sleeping: AtomicBool::new(false),
+                    thread: OnceLock::new(),
+                })
+                .collect(),
         });
         let handles = (1..threads)
             .map(|worker| {
@@ -90,12 +163,22 @@ impl SimPool {
             shared,
             handles,
             threads,
+            dispatch_ns: AtomicU64::new(0),
         }
     }
 
     /// Total threads this pool runs jobs on (spawned workers + caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Cumulative dispatch overhead across every `run` call so far:
+    /// the time spent publishing jobs and waiting out the spawned
+    /// workers' tail, excluding the caller's own job invocation. The
+    /// adaptive kernel switch differences this across cycles to price
+    /// a pool dispatch on the current host.
+    pub fn dispatch_ns(&self) -> u64 {
+        self.dispatch_ns.load(Ordering::Relaxed)
     }
 
     /// Runs `f(data, worker)` once per thread (worker indices
@@ -110,24 +193,43 @@ impl SimPool {
     pub unsafe fn run(&self, f: unsafe fn(*const (), usize), data: *const ()) {
         let spawned = self.handles.len();
         debug_assert!(spawned > 0);
+        let t_start = Instant::now();
         self.shared.remaining.store(spawned, Ordering::Relaxed);
-        {
-            let mut slot = self.shared.job.lock().expect("sim pool mutex");
-            *slot = Some(Job { f, data });
-            self.shared.seq.fetch_add(1, Ordering::Release);
+        // SAFETY: every worker is idle here — the previous `run`
+        // returned only after `remaining` reached zero, and each
+        // worker's decrement is a release store sequenced after its
+        // last read of the cell, so this write cannot race.
+        unsafe {
+            *self.shared.job.get() = Job { f, data };
         }
-        self.shared.park.notify_all();
+        // SeqCst: the bump is both the release of the job-cell write
+        // and one half of the Dekker store-load pair with the workers'
+        // `sleeping` flags (module docs).
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        for slot in self.shared.slots.iter() {
+            if slot.sleeping.load(Ordering::SeqCst) {
+                slot.thread
+                    .get()
+                    .expect("a sleeping worker has registered its handle")
+                    .unpark();
+            }
+        }
         // Worker 0: the calling thread. Catch a panic so we still wait
         // for the spawned workers before unwinding — they borrow `data`
         // from this stack frame.
+        let t_job = Instant::now();
         // SAFETY: forwarded from the caller's contract.
         let r0 = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { f(data, 0) }));
+        let job_ns = t_job.elapsed().as_nanos() as u64;
         // Wait for the spawned workers. Spin with yields: the job is
         // microseconds long, and yielding keeps single-core hosts live.
         while self.shared.remaining.load(Ordering::Acquire) != 0 {
             std::hint::spin_loop();
             std::thread::yield_now();
         }
+        let total_ns = t_start.elapsed().as_nanos() as u64;
+        self.dispatch_ns
+            .fetch_add(total_ns.saturating_sub(job_ns), Ordering::Relaxed);
         if let Err(payload) = r0 {
             std::panic::resume_unwind(payload);
         }
@@ -141,11 +243,16 @@ impl SimPool {
 impl Drop for SimPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Relaxed);
-        {
-            let _guard = self.shared.job.lock().expect("sim pool mutex");
-            self.shared.seq.fetch_add(1, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        // Unconditional unpark: a spinning worker sees the epoch bump;
+        // a parked (or about-to-park) one needs the token. Workers that
+        // never registered a handle yet cannot be parked and will see
+        // the bump on their first epoch load.
+        for slot in self.shared.slots.iter() {
+            if let Some(t) = slot.thread.get() {
+                t.unpark();
+            }
         }
-        self.shared.park.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -153,40 +260,46 @@ impl Drop for SimPool {
 }
 
 fn worker_loop(shared: &Shared, worker: usize) {
-    let mut last_seq = 0u64;
+    let slot = &shared.slots[worker - 1];
+    slot.thread
+        .set(std::thread::current())
+        .expect("worker registers its handle exactly once");
+    let mut last_epoch = 0u64;
     loop {
         // Brief spin before parking: back-to-back cycles re-dispatch
         // within microseconds, and a parked thread costs a syscall to
         // wake. `yield_now` keeps this fair when cores are scarce.
-        let mut seq = shared.seq.load(Ordering::Acquire);
+        let mut epoch = shared.epoch.load(Ordering::Acquire);
         let mut spins = 0u32;
-        while seq == last_seq && spins < 64 {
+        while epoch == last_epoch && spins < SPIN_ITERS {
             std::hint::spin_loop();
             std::thread::yield_now();
             spins += 1;
-            seq = shared.seq.load(Ordering::Acquire);
+            epoch = shared.epoch.load(Ordering::Acquire);
         }
-        if seq == last_seq {
-            let mut guard = shared.job.lock().expect("sim pool mutex");
-            loop {
-                seq = shared.seq.load(Ordering::Acquire);
-                if seq != last_seq {
-                    break;
-                }
-                guard = shared.park.wait(guard).expect("sim pool condvar");
+        while epoch == last_epoch {
+            // Declare intent to sleep, then re-check: the Dekker pair
+            // with the publisher's bump-then-check (module docs).
+            slot.sleeping.store(true, Ordering::SeqCst);
+            epoch = shared.epoch.load(Ordering::SeqCst);
+            if epoch != last_epoch {
+                slot.sleeping.store(false, Ordering::Relaxed);
+                break;
             }
+            std::thread::park();
+            slot.sleeping.store(false, Ordering::Relaxed);
+            epoch = shared.epoch.load(Ordering::Acquire);
         }
-        last_seq = seq;
+        last_epoch = epoch;
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let job = shared
-            .job
-            .lock()
-            .expect("sim pool mutex")
-            .expect("a published seq always carries a job");
-        // SAFETY: `SimPool::run` keeps `data` alive until `remaining`
-        // reaches zero, which happens only after this call returns.
+        // SAFETY: the acquire load of `epoch` that observed the bump
+        // synchronizes with the publisher's SeqCst bump, which is
+        // sequenced after the cell write; and `SimPool::run` keeps
+        // `data` alive until `remaining` reaches zero, which happens
+        // only after this job call returns.
+        let job = unsafe { *shared.job.get() };
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
             (job.f)(job.data, worker)
         }));
@@ -230,6 +343,36 @@ mod tests {
                 assert_eq!(h.load(Ordering::Relaxed), round);
             }
         }
+    }
+
+    #[test]
+    fn survives_park_wakeups_after_idle_gaps() {
+        // Force the park path: sleep past the spin window between
+        // dispatches so workers actually park and must be unparked.
+        let pool = SimPool::new(3);
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        unsafe fn shim(_data: *const (), _worker: usize) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        for round in 1..=3usize {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // SAFETY: `shim` touches only a static atomic.
+            unsafe { pool.run(shim, std::ptr::null()) };
+            assert_eq!(HITS.load(Ordering::Relaxed), round * 3);
+        }
+    }
+
+    #[test]
+    fn accrues_dispatch_overhead() {
+        let pool = SimPool::new(2);
+        unsafe fn shim(_data: *const (), _worker: usize) {}
+        // SAFETY: `shim` does nothing.
+        unsafe { pool.run(shim, std::ptr::null()) };
+        let after_one = pool.dispatch_ns();
+        assert!(after_one > 0, "dispatch must cost a measurable time");
+        // SAFETY: as above.
+        unsafe { pool.run(shim, std::ptr::null()) };
+        assert!(pool.dispatch_ns() >= after_one, "counter is cumulative");
     }
 
     #[test]

@@ -21,9 +21,7 @@
 //! competes for the ejection port like any other input VC. No dedicated
 //! multicast buffers exist; when no VC is free the packet blocks.
 
-use std::collections::VecDeque;
-
-use crate::packet::FlitRef;
+use crate::packet::FlitQueue;
 use crate::topology::{PortLabel, Topology};
 
 /// Where an input VC's current packet is headed.
@@ -78,8 +76,17 @@ pub(crate) struct NetSlabs<P> {
     /// Virtual channels per port (uniform across the network).
     pub vcs: usize,
     // ---- input side, indexed by VC slot ----
-    /// Flit FIFO of each input VC.
-    pub buf: Vec<VecDeque<FlitRef<P>>>,
+    /// Flit FIFO of each input VC, stored as run-length entries
+    /// ([`FlitQueue`]): a worm streaming through the VC occupies one
+    /// entry, not one per flit.
+    pub buf: Vec<FlitQueue<P>>,
+    /// Flit count of each input VC — a dense mirror of
+    /// `buf[slot].len()`. The per-cycle scans (route allocation,
+    /// sendability, watchdog diagnostics) reject empty VCs from this
+    /// 4-byte-per-slot array instead of striding across the much larger
+    /// [`FlitQueue`] structs; every `buf` mutation site updates it in
+    /// the same statement.
+    pub occ: Vec<u32>,
     /// Allocated output for the packet currently traversing each VC.
     pub route: Vec<Option<OutRoute>>,
     /// Multicast replication target, when a VC carries a primary
@@ -110,6 +117,10 @@ pub(crate) struct NetSlabs<P> {
     /// Round-robin pointer over input ports (switch-allocation phase B),
     /// one per output port.
     pub out_rr: Vec<u8>,
+    // ---- per router ----
+    /// Total buffered flits per router (`sum of occ over vc_range`),
+    /// making the has-work re-schedule test O(1) instead of a scan.
+    pub buffered: Vec<u32>,
 }
 
 // Manual impl: `mem::take` during the router loop needs a default, and
@@ -120,6 +131,7 @@ impl<P> Default for NetSlabs<P> {
             port_base: Vec::new(),
             vcs: 0,
             buf: Vec::new(),
+            occ: Vec::new(),
             route: Vec::new(),
             split: Vec::new(),
             replica_role: Vec::new(),
@@ -130,6 +142,7 @@ impl<P> Default for NetSlabs<P> {
             util: Vec::new(),
             rr_in: Vec::new(),
             out_rr: Vec::new(),
+            buffered: Vec::new(),
         }
     }
 }
@@ -181,8 +194,9 @@ impl<P> NetSlabs<P> {
             port_base,
             vcs,
             buf: (0..n_slots)
-                .map(|_| VecDeque::with_capacity(vc_depth as usize))
+                .map(|_| FlitQueue::with_capacity(vc_depth as usize))
                 .collect(),
+            occ: vec![0; n_slots],
             route: vec![None; n_slots],
             split: vec![None; n_slots],
             replica_role: vec![false; n_slots],
@@ -193,6 +207,7 @@ impl<P> NetSlabs<P> {
             util: vec![0; n_ports],
             rr_in: vec![0; n_ports],
             out_rr: vec![0; n_ports],
+            buffered: vec![0; topo.len()],
         }
     }
 
@@ -207,6 +222,8 @@ impl<P> NetSlabs<P> {
         for b in &mut self.buf {
             b.clear();
         }
+        self.occ.fill(0);
+        self.buffered.fill(0);
         self.route.fill(None);
         self.split.fill(None);
         self.replica_role.fill(false);
@@ -244,7 +261,10 @@ impl<P> NetSlabs<P> {
         self.port_slot(r, p) * self.vcs + v
     }
 
-    /// The contiguous VC-slot range owned by router `r`.
+    /// The contiguous VC-slot range owned by router `r`. The kernel's
+    /// has-work test reads the O(1) `buffered` counter instead; shard
+    /// layout tests still assert range contiguity through this.
+    #[allow(dead_code)]
     #[inline]
     pub fn vc_range(&self, r: usize) -> std::ops::Range<usize> {
         let lo = self.port_base[r] as usize * self.vcs;
@@ -256,25 +276,26 @@ impl<P> NetSlabs<P> {
     /// idle.
     #[inline]
     pub fn vc_is_free(&self, slot: usize) -> bool {
-        self.buf[slot].is_empty() && self.route[slot].is_none() && !self.replica_role[slot]
+        self.occ[slot] == 0 && self.route[slot].is_none() && !self.replica_role[slot]
     }
 
     /// Whether any input VC of router `r` holds flits (the router must
     /// stay scheduled).
+    #[inline]
     pub fn has_work(&self, r: usize) -> bool {
-        self.vc_range(r).any(|s| !self.buf[s].is_empty())
+        self.buffered[r] > 0
     }
 
     /// Total buffered flits across the network (diagnostics).
     pub fn buffered_flits_total(&self) -> u64 {
-        self.buf.iter().map(|b| b.len() as u64).sum()
+        self.buffered.iter().map(|&n| u64::from(n)).sum()
     }
 
     /// Input VCs holding flits but no allocated route — heads waiting on
     /// routing, e.g. cut off by a link fault (diagnostics).
     pub fn blocked_heads_total(&self) -> usize {
-        (0..self.buf.len())
-            .filter(|&s| !self.buf[s].is_empty() && self.route[s].is_none())
+        (0..self.occ.len())
+            .filter(|&s| self.occ[s] > 0 && self.route[s].is_none())
             .count()
     }
 }
@@ -285,10 +306,10 @@ impl<P> NetSlabs<P> {
 /// reallocated, between routers.
 #[derive(Debug)]
 pub(crate) struct RouterScratch {
-    /// Phase A result: the VC each input port nominates, `None` when
-    /// the port has nothing sendable. Only `[..n_ports]` is meaningful
-    /// for the router being processed.
-    pub nominee: Vec<Option<u8>>,
+    /// Phase A result: `(input port, nominated VC, requested output
+    /// port)` per nominating port, in ascending port order. Dense so
+    /// phase B visits only nominating ports.
+    pub nominated: Vec<(u8, u8, u8)>,
     /// Input ports requesting the output port currently arbitrated
     /// (ascending order, rebuilt per output).
     pub requesting: Vec<u8>,
@@ -304,7 +325,7 @@ impl RouterScratch {
     /// Builds scratch buffers for routers with up to `max_ports` ports.
     pub fn for_max_ports(max_ports: usize) -> Self {
         RouterScratch {
-            nominee: vec![None; max_ports],
+            nominated: Vec::with_capacity(max_ports),
             requesting: Vec::with_capacity(max_ports),
             winners: Vec::with_capacity(max_ports),
             work: Vec::new(),

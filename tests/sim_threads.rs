@@ -289,6 +289,113 @@ fn cache_system_metrics_are_bit_identical_for_every_thread_count() {
     }
 }
 
+/// A campaign shaped to drive the adaptive gate through both kernels:
+/// wide bursts (worklists spanning most of the mesh, where sharding is
+/// plausible) alternating with single-packet trickles (worklists of a
+/// handful of routers, where dispatch can never pay). Returns the
+/// delivered sequence, the statistics, and the phase breakdown.
+fn adaptive_campaign(
+    sim_threads: u32,
+) -> (
+    Vec<(PacketId, Endpoint, u64)>,
+    NetStats,
+    nucanet_noc::PhaseStats,
+) {
+    let topo = Topology::mesh(8, 8, &[1; 7], &[1; 7]);
+    let table = RoutingSpec::Xy.build(&topo).expect("mesh routes");
+    let params = RouterParams {
+        sim_threads,
+        ..RouterParams::hpca07()
+    };
+    let mut net: Network<u64> = Network::new(topo, table, params);
+    net.enable_invariant_checker();
+    let mut delivered = Vec::new();
+    let mut inbox = Vec::new();
+    for wave in 0..12u64 {
+        if wave % 2 == 0 {
+            // Wide burst: all-to-all-ish traffic keeps ~all routers on
+            // the worklist for many consecutive cycles.
+            for i in 0..64u64 {
+                let a = ((wave * 31 + i * 7) % 64) as u32;
+                let b = (a + 1 + (i % 11) as u32 * 5) % 64;
+                net.inject(Packet::new(
+                    Endpoint::at(NodeId(a)),
+                    Dest::unicast(Endpoint::at(NodeId(b))),
+                    if i % 4 == 0 { 5 } else { 1 },
+                    wave * 100 + i,
+                ));
+            }
+        } else {
+            // Trickle: one short unicast — worklists of a few routers,
+            // far below any sane parallel threshold.
+            let a = ((wave * 17) % 64) as u32;
+            net.inject(Packet::new(
+                Endpoint::at(NodeId(a)),
+                Dest::unicast(Endpoint::at(NodeId((a + 9) % 64))),
+                1,
+                wave * 100,
+            ));
+        }
+        while net.is_busy() || net.next_event_cycle().is_some() {
+            net.advance().expect("campaign traffic cannot deadlock");
+            net.drain_all_delivered_into(&mut inbox);
+            for d in inbox.drain(..) {
+                delivered.push((d.packet.id, d.endpoint, net.cycle()));
+            }
+        }
+    }
+    let checker = net.take_invariant_checker().expect("checker was enabled");
+    assert!(
+        checker.violations().is_empty(),
+        "sim_threads={sim_threads}: {:?}",
+        checker.violations()
+    );
+    let phase = net.phase_stats();
+    (delivered, net.stats().clone(), phase)
+}
+
+#[test]
+fn adaptive_gate_switches_kernels_mid_run_and_stays_bit_identical() {
+    let (serial_seq, serial_stats, serial_phase) = adaptive_campaign(1);
+    assert!(serial_seq.len() > 300, "got {}", serial_seq.len());
+    assert_eq!(
+        serial_phase.adaptive_parallel_cycles, 0,
+        "one thread never consults the gate"
+    );
+    assert_eq!(serial_phase.adaptive_serial_cycles, 0);
+    for threads in [2, 4] {
+        let (seq, stats, phase) = adaptive_campaign(threads);
+        assert_eq!(
+            serial_seq, seq,
+            "delivered sequence must not depend on sim_threads={threads}"
+        );
+        assert_eq!(
+            serial_stats, stats,
+            "statistics must not depend on sim_threads={threads}"
+        );
+        // The gate's two-cycle bootstrap prices both kernels, so any
+        // gated run visits each at least once — whatever the host's
+        // core count and however calibration then settles.
+        assert!(
+            phase.adaptive_parallel_cycles > 0,
+            "sim_threads={threads}: gate never sharded (phase {phase:?})"
+        );
+        assert!(
+            phase.adaptive_serial_cycles > 0,
+            "sim_threads={threads}: gate never ran serial (phase {phase:?})"
+        );
+        assert_eq!(
+            phase.parallel_cycles, phase.adaptive_parallel_cycles,
+            "every sharded cycle is a gate decision"
+        );
+        assert_eq!(
+            phase.parallel_cycles + phase.serial_cycles,
+            stats.cycles,
+            "every cycle ran exactly one kernel"
+        );
+    }
+}
+
 #[test]
 fn differential_fuzz_passes_with_four_sim_threads() {
     let report = nucanet_noc::run_fuzz(&FuzzOptions {
